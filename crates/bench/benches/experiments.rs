@@ -1,0 +1,9 @@
+//! Regenerates every table and figure of the evaluation at reduced scale
+//! under `cargo bench` (see DESIGN.md for the experiment index and the
+//! `exp_*` binaries for full-scale runs).
+
+fn main() {
+    let scale = spire_bench::env_u64("SPIRE_SCALE", 1);
+    println!("Spire evaluation experiments (scale factor {scale}); see EXPERIMENTS.md");
+    spire_bench::experiments::run_all(scale);
+}

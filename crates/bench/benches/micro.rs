@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks of the building blocks: crypto primitives,
+//! protocol codecs, the SCADA state machine and overlay path computation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spire_crypto::keys::Signer;
+use spire_crypto::{KeyMaterial, NodeId};
+use spire_prime::{ClientId, ClientOp, PrimeMsg, ReplicaId};
+use spire_scada::{ScadaDirectory, ScadaMaster, ScadaOp};
+use spire_spines::{OverlayId, Topology};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let data = vec![0xabu8; 1024];
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("sha256_1k", |b| {
+        b.iter(|| spire_crypto::sha2::Sha256::digest(std::hint::black_box(&data)))
+    });
+    group.bench_function("hmac_sha256_1k", |b| {
+        b.iter(|| spire_crypto::hmac::hmac_sha256(b"key", std::hint::black_box(&data)))
+    });
+    group.finish();
+
+    let material = KeyMaterial::new([1u8; 32]);
+    let key = material.signing_key(NodeId(0));
+    let msg = b"PO-REQUEST r2 seq 17";
+    let sig = key.sign(msg);
+    let pk = key.verifying_key();
+    let mut group = c.benchmark_group("ed25519");
+    group.bench_function("sign", |b| b.iter(|| key.sign(std::hint::black_box(msg))));
+    group.bench_function("verify", |b| {
+        b.iter(|| pk.verify(std::hint::black_box(msg), &sig))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("merkle");
+    let leaves: Vec<Vec<u8>> = (0..256u32).map(|i| i.to_le_bytes().to_vec()).collect();
+    group.bench_function("build_256", |b| {
+        b.iter(|| {
+            spire_crypto::merkle::MerkleTree::build(leaves.iter().map(|l| l.as_slice()))
+        })
+    });
+    group.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spire_crypto::rsa::RsaPrivateKey;
+    // 1024-bit keys approximate what the original system deployed.
+    let key = RsaPrivateKey::generate(1024, &mut StdRng::seed_from_u64(1));
+    let public = key.public_key();
+    let msg = b"PO-REQUEST r2 seq 17";
+    let sig = key.sign(msg);
+    let mut group = c.benchmark_group("rsa1024");
+    group.sample_size(20);
+    group.bench_function("sign", |b| b.iter(|| key.sign(std::hint::black_box(msg))));
+    group.bench_function("verify", |b| {
+        b.iter(|| public.verify(std::hint::black_box(msg), &sig))
+    });
+    group.finish();
+}
+
+fn bench_erasure(c: &mut Criterion) {
+    let data = vec![0xabu8; 64 * 1024];
+    let mut group = c.benchmark_group("erasure_64k");
+    group.throughput(Throughput::Bytes(64 * 1024));
+    group.bench_function("encode_k2_n6", |b| {
+        b.iter(|| spire_crypto::erasure::encode(std::hint::black_box(&data), 2, 6).unwrap())
+    });
+    let shares = spire_crypto::erasure::encode(&data, 2, 6).unwrap();
+    let parity = vec![shares[4].clone(), shares[5].clone()];
+    group.bench_function("decode_parity_only", |b| {
+        b.iter(|| spire_crypto::erasure::decode(std::hint::black_box(&parity), 2).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_prime_codec(c: &mut Criterion) {
+    let material = KeyMaterial::new([2u8; 32]);
+    let signer = Signer::new(material.signing_key(NodeId(2000)), false);
+    let op = ClientOp::signed(
+        ClientId(0),
+        1,
+        bytes::Bytes::from(vec![0u8; 64]),
+        &signer,
+    );
+    let msg = PrimeMsg::PoRequest {
+        origin: ReplicaId(0),
+        po_seq: 1,
+        ops: vec![op; 16],
+        sig: [7; 64],
+    };
+    let encoded = msg.encode();
+    let mut group = c.benchmark_group("prime_codec");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_po_request_16ops", |b| {
+        b.iter(|| std::hint::black_box(&msg).encode())
+    });
+    group.bench_function("decode_po_request_16ops", |b| {
+        b.iter(|| PrimeMsg::decode(std::hint::black_box(&encoded)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_scada_master(c: &mut Criterion) {
+    use spire_prime::Application;
+    let mut master = ScadaMaster::new(ScadaDirectory::default());
+    let op = ScadaOp::DeviceUpdate {
+        rtu: 1,
+        ts_us: 42,
+        registers: (0..8).map(|i| (i, i * 100)).collect(),
+        breakers: vec![(0, true), (1, false)],
+    }
+    .encode();
+    c.bench_function("scada_apply_update", |b| {
+        b.iter(|| master.execute(std::hint::black_box(&op)))
+    });
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let topology = Topology::full_mesh(24, 10);
+    let mut group = c.benchmark_group("spines_routing");
+    group.bench_function("dijkstra_24_mesh", |b| {
+        b.iter(|| topology.shortest_path(OverlayId(0), OverlayId(23)))
+    });
+    group.bench_function("disjoint3_24_mesh", |b| {
+        b.iter(|| topology.disjoint_paths(OverlayId(0), OverlayId(23), 3))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_rsa,
+    bench_erasure,
+    bench_prime_codec,
+    bench_scada_master,
+    bench_topology
+);
+criterion_main!(benches);

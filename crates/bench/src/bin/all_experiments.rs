@@ -1,0 +1,6 @@
+//! Runs every table and figure experiment in sequence (scaled by
+//! SPIRE_SCALE, default 1).
+fn main() {
+    let scale = spire_bench::env_u64("SPIRE_SCALE", 1);
+    spire_bench::experiments::run_all(scale);
+}

@@ -1,0 +1,40 @@
+//! Operator tool: prints valid Spire replica placements for a requested
+//! tolerance level.
+//!
+//! Usage: `config_planner [f] [k] [data_centers]` (defaults 1 1 2).
+
+use spire::{SpireConfig, required_replicas};
+
+fn main() {
+    let args: Vec<u32> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let f = args.first().copied().unwrap_or(1);
+    let k = args.get(1).copied().unwrap_or(1);
+    let dcs = args.get(2).copied().unwrap_or(2);
+    println!("tolerance target: f={f} intrusions, k={k} concurrent recoveries");
+    println!("minimum replicas (3f+2k+1): {}", required_replicas(f, k));
+    let cfg = SpireConfig::spread(f, k, dcs);
+    println!("\nplacement over 2 control centers + {dcs} data centers:");
+    for (i, site) in cfg.sites.iter().enumerate() {
+        println!(
+            "  {} ({:?}): replicas {:?}",
+            site.name,
+            site.kind,
+            cfg.replicas_of_site(i)
+        );
+    }
+    match cfg.validate(true) {
+        Ok(()) => println!("\nconfiguration tolerates the loss of any single site."),
+        Err(e) => {
+            println!("\nNOT site-loss tolerant: {e}");
+            for sites in 2..=8 {
+                if let Some(n) = SpireConfig::min_replicas_site_tolerant(f, k, sites) {
+                    println!("  -> {n} replicas over {sites} sites would be");
+                    break;
+                }
+            }
+        }
+    }
+}

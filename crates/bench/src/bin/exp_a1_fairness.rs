@@ -1,0 +1,5 @@
+//! Ablation: Spines per-source flooding fairness on/off under an attacker.
+fn main() {
+    let msgs = spire_bench::env_u64("SPIRE_A1_MSGS", 200) as u32;
+    spire_bench::experiments::a1_fairness(msgs);
+}

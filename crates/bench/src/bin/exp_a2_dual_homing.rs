@@ -1,0 +1,5 @@
+//! Ablation: dual-homed vs single-homed substations under CC loss.
+fn main() {
+    let secs = spire_bench::env_u64("SPIRE_A2_SECS", 90);
+    spire_bench::experiments::a2_dual_homing(secs);
+}

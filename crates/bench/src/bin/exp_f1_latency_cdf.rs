@@ -1,0 +1,5 @@
+//! F1: update-latency CDF, wide-area vs LAN. SPIRE_F1_SECS scales it.
+fn main() {
+    let secs = spire_bench::env_u64("SPIRE_F1_SECS", 300);
+    spire_bench::experiments::f1_latency_cdf(secs);
+}

@@ -1,0 +1,5 @@
+//! F2: latency timeline across proactive recoveries. SPIRE_F2_SECS scales.
+fn main() {
+    let secs = spire_bench::env_u64("SPIRE_F2_SECS", 180);
+    spire_bench::experiments::f2_recovery_timeline(secs, 30);
+}

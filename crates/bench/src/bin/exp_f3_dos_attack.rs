@@ -1,0 +1,6 @@
+//! F3: DoS + disconnection of the primary control center, Spire vs the
+//! single-CC baseline. SPIRE_F3_SECS scales.
+fn main() {
+    let secs = spire_bench::env_u64("SPIRE_F3_SECS", 120);
+    spire_bench::experiments::f3_network_attack(secs);
+}

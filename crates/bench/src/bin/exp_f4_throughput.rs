@@ -1,0 +1,5 @@
+//! F4: latency vs offered load sweep. SPIRE_F4_SECS scales each point.
+fn main() {
+    let secs = spire_bench::env_u64("SPIRE_F4_SECS", 60);
+    spire_bench::experiments::f4_throughput(secs);
+}

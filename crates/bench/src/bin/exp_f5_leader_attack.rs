@@ -1,0 +1,5 @@
+//! F5: leader performance attack sweep, Prime vs PBFT-like.
+fn main() {
+    let secs = spire_bench::env_u64("SPIRE_F5_SECS", 60);
+    spire_bench::experiments::f5_leader_attack(secs);
+}

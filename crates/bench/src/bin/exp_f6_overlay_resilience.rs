@@ -1,0 +1,5 @@
+//! F6: overlay dissemination resilience vs daemon failures.
+fn main() {
+    let msgs = spire_bench::env_u64("SPIRE_F6_MSGS", 200) as u32;
+    spire_bench::experiments::f6_overlay_resilience(msgs);
+}

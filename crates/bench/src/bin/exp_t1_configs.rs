@@ -1,0 +1,5 @@
+//! T1: resource-requirement table (replicas for f intrusions, k recoveries,
+//! optional single-site-loss tolerance).
+fn main() {
+    spire_bench::experiments::t1_configurations();
+}

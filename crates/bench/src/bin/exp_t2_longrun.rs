@@ -1,0 +1,6 @@
+//! T2: long-running wide-area deployment statistics (the paper's 30-hour
+//! test, time-scaled). Scale with SPIRE_T2_SECS (default 1800 simulated s).
+fn main() {
+    let secs = spire_bench::env_u64("SPIRE_T2_SECS", 1800);
+    spire_bench::experiments::t2_longrun(secs);
+}

@@ -1,0 +1,4 @@
+//! T3: the red-team scenario matrix.
+fn main() {
+    spire_bench::experiments::t3_red_team();
+}

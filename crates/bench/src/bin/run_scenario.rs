@@ -1,0 +1,42 @@
+//! Operator tool: run one red-team scenario by index and print its report.
+//!
+//! Usage: `run_scenario [index]`; with no argument, lists the suite.
+
+use spire::attack::Scenario;
+use spire::deployment::{Deployment, DeploymentConfig};
+use spire_scada::WorkloadConfig;
+use spire_sim::Span;
+
+fn main() {
+    let suite = Scenario::red_team_suite();
+    let arg = std::env::args().nth(1).and_then(|a| a.parse::<usize>().ok());
+    let Some(index) = arg else {
+        println!("red-team scenario suite:");
+        for (i, s) in suite.iter().enumerate() {
+            println!("  {i}: {} ({} attacks, {})", s.name, s.attacks.len(), s.duration);
+        }
+        println!("\nrun one with: run_scenario <index>");
+        return;
+    };
+    let Some(scenario) = suite.get(index) else {
+        eprintln!("no scenario {index} (suite has {})", suite.len());
+        std::process::exit(1);
+    };
+    println!("running scenario {index}: {}", scenario.name);
+    let mut cfg = DeploymentConfig::wide_area(9000 + index as u64);
+    cfg.workload = WorkloadConfig {
+        rtus: 6,
+        update_interval: Span::millis(500),
+        ..Default::default()
+    };
+    let mut system = Deployment::build(cfg);
+    scenario.apply(&mut system);
+    system.run_for(scenario.duration + Span::secs(5));
+    let report = system.report();
+    println!("{}", report.one_line());
+    println!("silent seconds: {}", report.silent_seconds());
+    println!(
+        "commands: {} issued / {} actuated; recoveries {:?}",
+        report.commands_issued, report.commands_actuated, report.recoveries
+    );
+}

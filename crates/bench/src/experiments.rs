@@ -1,0 +1,715 @@
+//! Implementations of the paper's evaluation experiments (tables T1-T3,
+//! figures F1-F6). Each function prints the table/series the corresponding
+//! paper artifact reports; binaries in `src/bin/` run them at full scale
+//! and `benches/experiments.rs` at reduced scale.
+
+use crate::{bucket_timeline, fmt_summary, header, parallel_runs};
+use spire::attack::Scenario;
+use spire::deployment::{Deployment, DeploymentConfig};
+use spire::{BaselineDeployment, SpireConfig};
+use spire_prime::{ByzBehavior, ProtocolMode};
+use spire_scada::WorkloadConfig;
+use spire_sim::stats::{fraction_within, percentile, Summary};
+use spire_sim::{Span, Time};
+
+fn secs(s: u64) -> Time {
+    Time(s * 1_000_000)
+}
+
+/// T1 — resource requirements: replicas needed for (f, k), with and
+/// without tolerance to one site disconnection, vs prior systems.
+pub fn t1_configurations() {
+    header(
+        "T1: replicas required (3f+2k+1 analysis)",
+        "  f  k |  BFT(3f+1) | +recovery (3f+2k+1) | +1-site-loss: 2 sites  4 sites  6 sites",
+    );
+    for f in 1..=3u32 {
+        for k in 0..=2u32 {
+            let bft = 3 * f + 1;
+            let spire_n = spire::required_replicas(f, k);
+            let over = |sites| {
+                SpireConfig::min_replicas_site_tolerant(f, k, sites)
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "-".to_string())
+            };
+            println!(
+                "  {f}  {k} | {bft:>10} | {spire_n:>19} | {:>21} {:>8} {:>8}",
+                over(2),
+                over(4),
+                over(6)
+            );
+        }
+    }
+    println!("\nPaper's deployed configuration: f=1, k=1 -> 6 replicas as 2+2+1+1");
+    println!("over 2 control centers + 2 data centers (site-loss tolerant).");
+    let cfg = SpireConfig::spread(1, 1, 2);
+    assert!(cfg.validate(true).is_ok());
+}
+
+/// T2 — long-running wide-area deployment: latency statistics and SLA
+/// conformance over `duration_s` simulated seconds with periodic proactive
+/// recoveries (the paper's 30-hour wide-area test, time-scaled).
+pub fn t2_longrun(duration_s: u64) -> Summary {
+    let mut cfg = DeploymentConfig::wide_area(2024);
+    cfg.workload = WorkloadConfig {
+        rtus: 10,
+        update_interval: Span::secs(1),
+        hmis: 1,
+        command_interval: Span::secs(30),
+        ..Default::default()
+    };
+    let mut system = Deployment::build(cfg);
+    // One proactive recovery per minute, round-robin over the 6 replicas.
+    system.schedule_proactive_recovery(secs(30), Span::secs(60), secs(duration_s));
+    system.run_for(Span::secs(duration_s));
+    let report = system.report();
+    let summary = report.update_summary.expect("updates flowed");
+    header(
+        &format!("T2: wide-area long run ({duration_s} simulated seconds)"),
+        "metric                         value",
+    );
+    println!("updates sent                   {}", report.updates_sent);
+    println!("updates confirmed              {}", report.updates_confirmed);
+    println!("delivery ratio                 {:.4}", report.delivery_ratio());
+    println!("mean latency                   {:.2} ms", summary.mean);
+    println!("median latency                 {:.2} ms", summary.p50);
+    println!("99th percentile                {:.2} ms", summary.p99);
+    println!("99.9th percentile              {:.2} ms", summary.p999);
+    println!("max latency                    {:.2} ms", summary.max);
+    println!(
+        "within 100 ms SLA              {:.3} %",
+        report.sla_fraction * 100.0
+    );
+    println!("proactive recoveries           {} started / {} completed",
+        report.recoveries.0, report.recoveries.1);
+    println!("view changes                   {}", report.view_changes);
+    println!("silent seconds                 {}", report.silent_seconds());
+    println!(
+        "safety                         {}",
+        if report.safety_ok { "OK" } else { "VIOLATED" }
+    );
+    summary
+}
+
+/// F1 — CDF of end-to-end update latency: wide-area vs single-site LAN.
+pub fn f1_latency_cdf(duration_s: u64) {
+    let run = move |lan: bool| {
+        let mut cfg = if lan {
+            DeploymentConfig::lan(77)
+        } else {
+            DeploymentConfig::wide_area(77)
+        };
+        cfg.workload = WorkloadConfig {
+            rtus: 10,
+            update_interval: Span::millis(500),
+            ..Default::default()
+        };
+        let mut system = Deployment::build(cfg);
+        system.run_for(Span::secs(duration_s));
+        system.report().update_latencies_ms
+    };
+    let jobs: Vec<Box<dyn FnOnce() -> Vec<f64> + Send>> = vec![
+        Box::new(move || run(false)),
+        Box::new(move || run(true)),
+    ];
+    let mut results = parallel_runs(jobs);
+    let lan = results.pop().unwrap();
+    let wan = results.pop().unwrap();
+    header(
+        "F1: update latency CDF (proxy -> f+1 confirmations)",
+        "percentile |   LAN (1 site)   | wide-area (2CC+2DC)",
+    );
+    for pct in [10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9] {
+        println!(
+            "  {pct:>6.1}% | {:>13.2} ms | {:>16.2} ms",
+            percentile(&lan, pct),
+            percentile(&wan, pct)
+        );
+    }
+    println!(
+        "within 100ms SLA: LAN {:.2}%, wide-area {:.2}%",
+        fraction_within(&lan, 100.0) * 100.0,
+        fraction_within(&wan, 100.0) * 100.0
+    );
+}
+
+/// F2 — latency/throughput timeline across proactive recovery events.
+pub fn f2_recovery_timeline(duration_s: u64, recovery_period_s: u64) {
+    let mut cfg = DeploymentConfig::wide_area(88);
+    cfg.workload = WorkloadConfig {
+        rtus: 8,
+        update_interval: Span::millis(500),
+        ..Default::default()
+    };
+    let mut system = Deployment::build(cfg);
+    system.schedule_proactive_recovery(
+        secs(recovery_period_s),
+        Span::secs(recovery_period_s),
+        secs(duration_s),
+    );
+    system.run_for(Span::secs(duration_s));
+    let report = system.report();
+    header(
+        &format!(
+            "F2: timeline with a proactive recovery every {recovery_period_s} s (offered: 16 updates/s)"
+        ),
+        "  t(s) | updates confirmed | mean latency",
+    );
+    for (t, count, mean) in bucket_timeline(&report.update_timeline, 5, duration_s) {
+        let marker = if t > 0 && (t % recovery_period_s) < 5 { "  <- recovery" } else { "" };
+        println!("  {t:>4} | {count:>17} | {mean:>9.1} ms{marker}");
+    }
+    println!(
+        "recoveries completed: {} / {}; safety {}",
+        report.recoveries.1,
+        report.recoveries.0,
+        if report.safety_ok { "OK" } else { "VIOLATED" }
+    );
+}
+
+/// F3 — behaviour under network attack: DoS then full disconnection of the
+/// primary control center; Spire vs the single-CC baseline.
+pub fn f3_network_attack(duration_s: u64) {
+    let dos_from = duration_s / 4;
+    let cut_from = duration_s / 2;
+    let repair = duration_s * 3 / 4;
+    let workload = WorkloadConfig {
+        rtus: 8,
+        update_interval: Span::millis(500),
+        ..Default::default()
+    };
+
+    let spire_timeline = {
+        let mut cfg = DeploymentConfig::wide_area(99);
+        cfg.workload = workload;
+        let mut system = Deployment::build(cfg);
+        system.schedule_site_dos(0, secs(dos_from), secs(cut_from), 0.7);
+        system.schedule_site_disconnect(0, secs(cut_from), secs(repair));
+        system.run_for(Span::secs(duration_s));
+        let report = system.report();
+        assert!(report.safety_ok, "safety violated under network attack");
+        report.update_timeline
+    };
+    let baseline_timeline = {
+        let mut baseline = BaselineDeployment::build(99, workload, true);
+        baseline.schedule_cc_outage(secs(cut_from), secs(repair));
+        // Model the DoS phase as heavy loss on the CC links too.
+        baseline.run_for(Span::secs(duration_s));
+        baseline
+            .world
+            .metrics()
+            .series("scada.update_latency_ms")
+            .to_vec()
+    };
+    header(
+        &format!(
+            "F3: DoS on CC1 at {dos_from}s, disconnection {cut_from}s-{repair}s (offered: 16 updates/s)"
+        ),
+        "  t(s) | Spire confirmed / mean | baseline confirmed / mean",
+    );
+    let spire_rows = bucket_timeline(&spire_timeline, 5, duration_s);
+    let base_rows = bucket_timeline(&baseline_timeline, 5, duration_s);
+    for (s_row, b_row) in spire_rows.iter().zip(base_rows.iter()) {
+        let phase = if s_row.0 >= cut_from && s_row.0 < repair {
+            " <- CC1 cut"
+        } else if s_row.0 >= dos_from && s_row.0 < cut_from {
+            " <- CC1 DoS"
+        } else {
+            ""
+        };
+        println!(
+            "  {:>4} | {:>9} {:>8.1}ms | {:>12} {:>8.1}ms{phase}",
+            s_row.0, s_row.1, s_row.2, b_row.1, b_row.2
+        );
+    }
+}
+
+/// F4 — latency vs offered load: Spire (wide-area, 6 replicas) vs the
+/// unreplicated baseline, sweeping the per-RTU update interval.
+pub fn f4_throughput(duration_s: u64) {
+    header(
+        "F4: latency vs offered load (10 RTUs)",
+        "  updates/s | Spire mean / p99 / delivered      | baseline mean / p99 / delivered",
+    );
+    let intervals_ms = [1000u64, 500, 200, 100, 50, 20, 10];
+    type Row = (f64, Option<Summary>, f64, Option<Summary>, f64);
+    let jobs: Vec<Box<dyn FnOnce() -> Row + Send>> = intervals_ms
+        .iter()
+        .map(|interval| {
+            let interval = *interval;
+            Box::new(move || {
+                let workload = WorkloadConfig {
+                    rtus: 10,
+                    update_interval: Span::millis(interval),
+                    ..Default::default()
+                };
+                let offered = workload.updates_per_second();
+                let mut cfg = DeploymentConfig::wide_area(3000 + interval);
+                cfg.workload = workload;
+                let mut system = Deployment::build(cfg);
+                system.run_for(Span::secs(duration_s));
+                let report = system.report();
+                let mut baseline = BaselineDeployment::build(3000 + interval, workload, true);
+                baseline.run_for(Span::secs(duration_s));
+                let m = baseline.world.metrics();
+                let base_lat = m.values("scada.update_latency_ms");
+                let base_ratio = if m.counter("scada.updates_sent") == 0 {
+                    0.0
+                } else {
+                    m.counter("scada.updates_confirmed") as f64
+                        / m.counter("scada.updates_sent") as f64
+                };
+                (
+                    offered,
+                    report.update_summary,
+                    report.delivery_ratio(),
+                    Summary::of(&base_lat),
+                    base_ratio,
+                )
+            }) as Box<dyn FnOnce() -> Row + Send>
+        })
+        .collect();
+    for (offered, spire_sum, spire_ratio, base_sum, base_ratio) in parallel_runs(jobs) {
+        let fmt = |s: &Option<Summary>| match s {
+            Some(s) => format!("{:>7.1} / {:>7.1}", s.mean, s.p99),
+            None => "      - /      -".to_string(),
+        };
+        println!(
+            "  {offered:>9.0} | {} / {:>5.1}% | {} / {:>5.1}%",
+            fmt(&spire_sum),
+            spire_ratio * 100.0,
+            fmt(&base_sum),
+            base_ratio * 100.0
+        );
+    }
+}
+
+/// F5 — the leader performance attack: latency under a proposal-delaying
+/// leader, Prime vs PBFT-like, sweeping the injected delay.
+pub fn f5_leader_attack(duration_s: u64) {
+    header(
+        "F5: malicious leader delaying proposals (update latency)",
+        "  delay(ms) | Prime p50 / view-changes | PBFT-like p50 / view-changes",
+    );
+    let delays_ms = [0u64, 200, 500, 900, 1500];
+    type Row = (u64, f64, u64, f64, u64);
+    let jobs: Vec<Box<dyn FnOnce() -> Row + Send>> = delays_ms
+        .iter()
+        .map(|delay| {
+            let delay = *delay;
+            Box::new(move || {
+                let run = |mode: ProtocolMode| {
+                    let mut cfg = DeploymentConfig::wide_area(4000 + delay);
+                    cfg.mode = mode;
+                    cfg.workload = WorkloadConfig {
+                        rtus: 5,
+                        update_interval: Span::millis(500),
+                        ..Default::default()
+                    };
+                    if delay > 0 {
+                        cfg.byz
+                            .insert(0, ByzBehavior::LeaderDelay(Span::millis(delay)));
+                    }
+                    let mut system = Deployment::build(cfg);
+                    system.run_for(Span::secs(duration_s));
+                    let report = system.report();
+                    let p50 = if report.update_latencies_ms.is_empty() {
+                        f64::NAN
+                    } else {
+                        percentile(&report.update_latencies_ms, 50.0)
+                    };
+                    (p50, report.view_changes)
+                };
+                let (prime_p50, prime_vc) = run(ProtocolMode::Prime);
+                let (pbft_p50, pbft_vc) = run(ProtocolMode::PbftLike);
+                (delay, prime_p50, prime_vc, pbft_p50, pbft_vc)
+            }) as Box<dyn FnOnce() -> Row + Send>
+        })
+        .collect();
+    for (delay, prime_p50, prime_vc, pbft_p50, pbft_vc) in parallel_runs(jobs) {
+        println!(
+            "  {delay:>9} | {prime_p50:>9.1} ms / {prime_vc:>4} | {pbft_p50:>12.1} ms / {pbft_vc:>4}"
+        );
+    }
+    println!("\nShape check: Prime's p50 stays near the no-attack level (the slow");
+    println!("leader is replaced); the PBFT-like p50 grows with the injected delay.");
+}
+
+/// F6 — overlay dissemination resilience: delivery ratio vs number of
+/// failed overlay nodes for each dissemination mode.
+pub fn f6_overlay_resilience(messages: u32) {
+    use bytes::Bytes;
+    use spire_crypto::{KeyMaterial, KeyStore};
+    use spire_sim::{Context, LinkConfig, Process, ProcessId, World};
+    use spire_spines::{
+        DaemonBehavior, DaemonConfig, Dissemination, OverlayAddr, OverlayId, OverlayNetwork,
+        SpinesPort, Topology,
+    };
+    use std::rc::Rc;
+
+    struct Rx {
+        port: SpinesPort,
+    }
+    impl Process for Rx {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            self.port.attach(ctx);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, bytes: &Bytes) {
+            if SpinesPort::decode_deliver(bytes).is_some() {
+                ctx.count("f6.rx", 1);
+            }
+        }
+    }
+    struct Tx {
+        port: SpinesPort,
+        dst: OverlayAddr,
+        mode: Dissemination,
+        remaining: u32,
+    }
+    impl Process for Tx {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            self.port.attach(ctx);
+            ctx.set_timer(Span::millis(20), 1);
+        }
+        fn on_message(&mut self, _: &mut Context<'_>, _: ProcessId, _: &Bytes) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                self.port
+                    .send(ctx, self.dst, self.mode, false, Bytes::from_static(&[0u8; 64]));
+                ctx.set_timer(Span::millis(20), 1);
+            }
+        }
+    }
+
+    // 12-node overlay: ring + two chords (three disjoint paths 0 -> 6).
+    let build_topology = || {
+        let mut t = Topology::ring(12, 10);
+        t.add_edge(OverlayId(0), OverlayId(4), 12);
+        t.add_edge(OverlayId(4), OverlayId(8), 12);
+        t.add_edge(OverlayId(2), OverlayId(10), 12);
+        t
+    };
+    header(
+        "F6: overlay delivery ratio vs failed daemons (12-node overlay)",
+        "  failed | shortest-path | 3 disjoint paths | constrained flooding",
+    );
+    for failures in 0..=4u16 {
+        let mut ratios = Vec::new();
+        for mode in [
+            Dissemination::Shortest,
+            Dissemination::DisjointPaths(3),
+            Dissemination::Flood,
+        ] {
+            let mut world = World::new(1000 + failures as u64);
+            let material = KeyMaterial::new([6u8; 32]);
+            let keystore = Rc::new(KeyStore::for_nodes(&material, 64));
+            let topology = build_topology();
+            let net = OverlayNetwork::build(
+                &mut world,
+                &topology,
+                DaemonConfig::default(),
+                &material,
+                &keystore,
+                0,
+                |_, _| LinkConfig::wan(5),
+                |_| DaemonBehavior::Honest,
+            );
+            let rx_port = SpinesPort::new(
+                net.daemon_pid(OverlayId(6)),
+                OverlayAddr {
+                    node: OverlayId(6),
+                    port: 1,
+                },
+            );
+            let rx = world.add_process("rx", Box::new(Rx { port: rx_port }));
+            net.wire_client(&mut world, OverlayId(6), rx);
+            let tx_port = SpinesPort::new(
+                net.daemon_pid(OverlayId(0)),
+                OverlayAddr {
+                    node: OverlayId(0),
+                    port: 2,
+                },
+            );
+            let tx = world.add_process(
+                "tx",
+                Box::new(Tx {
+                    port: tx_port,
+                    dst: OverlayAddr {
+                        node: OverlayId(6),
+                        port: 1,
+                    },
+                    mode,
+                    remaining: messages,
+                }),
+            );
+            net.wire_client(&mut world, OverlayId(0), tx);
+            // Fail daemons at t=1s, chosen for a stepwise story: the first
+            // kill (5) breaks the shortest path 0-4-5-6; the second (9)
+            // breaks the second disjoint path 0-11-...-6; flooding survives
+            // every kill because 0-4-8-7-6 stays connected throughout.
+            let victims = [5u16, 9, 11, 3];
+            for v in victims.iter().take(failures as usize) {
+                let pid = net.daemon_pid(OverlayId(*v));
+                world.schedule_control(Time(1_000_000), move |w| w.crash(pid));
+            }
+            world.run_for(Span::secs(60));
+            let delivered = world.metrics().counter("f6.rx");
+            ratios.push(delivered as f64 / messages as f64);
+        }
+        println!(
+            "  {failures:>6} | {:>12.1}% | {:>15.1}% | {:>19.1}%",
+            ratios[0] * 100.0,
+            ratios[1] * 100.0,
+            ratios[2] * 100.0
+        );
+    }
+    println!("\nShape check: shortest-path degrades once its path dies until");
+    println!("re-routing converges; flooding survives anything that leaves the");
+    println!("graph connected.");
+}
+
+/// Ablation A1 — Spines per-source fairness on/off under a flooding
+/// attacker (the DESIGN.md design-choice ablation).
+pub fn a1_fairness(messages: u32) {
+    use bytes::Bytes;
+    use spire_crypto::{KeyMaterial, KeyStore};
+    use spire_sim::{Context, LinkConfig, Process, ProcessId, World};
+    use spire_spines::{
+        DaemonBehavior, DaemonConfig, Dissemination, OverlayAddr, OverlayId, OverlayNetwork,
+        SpinesPort, Topology,
+    };
+    use std::rc::Rc;
+
+    struct Rx {
+        port: SpinesPort,
+    }
+    impl Process for Rx {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            self.port.attach(ctx);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, bytes: &Bytes) {
+            if SpinesPort::decode_deliver(bytes).is_some() {
+                ctx.count("a1.rx", 1);
+            }
+        }
+    }
+    struct Tx {
+        port: SpinesPort,
+        dst: OverlayAddr,
+        remaining: u32,
+        interval: Span,
+    }
+    impl Process for Tx {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            self.port.attach(ctx);
+            ctx.set_timer(self.interval, 1);
+        }
+        fn on_message(&mut self, _: &mut Context<'_>, _: ProcessId, _: &Bytes) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                self.port.send(
+                    ctx,
+                    self.dst,
+                    Dissemination::Flood,
+                    false,
+                    Bytes::from_static(&[0u8; 256]),
+                );
+                ctx.set_timer(self.interval, 1);
+            }
+        }
+    }
+
+    header(
+        "A1 (ablation): flooding attacker vs per-source fairness",
+        "  fairness | legitimate delivered | attacker msgs | rate-limited drops",
+    );
+    for fairness in [true, false] {
+        let mut cfg = DaemonConfig::default();
+        if !fairness {
+            cfg.flood_rate_per_source = f64::INFINITY;
+            cfg.flood_burst = f64::INFINITY;
+        } else {
+            // Tight budget so the contrast is visible at bench scale.
+            cfg.flood_rate_per_source = 200.0;
+            cfg.flood_burst = 50.0;
+        }
+        let mut world = World::new(31337);
+        let material = KeyMaterial::new([8u8; 32]);
+        let keystore = Rc::new(KeyStore::for_nodes(&material, 64));
+        let topology = Topology::ring(6, 10);
+        // Narrow links so the attacker can actually congest them.
+        let net = OverlayNetwork::build(
+            &mut world,
+            &topology,
+            cfg,
+            &material,
+            &keystore,
+            0,
+            |_, _| LinkConfig::wan(5).with_bandwidth(2_000_000),
+            |_| DaemonBehavior::Honest,
+        );
+        let rx_port = SpinesPort::new(
+            net.daemon_pid(OverlayId(3)),
+            OverlayAddr {
+                node: OverlayId(3),
+                port: 1,
+            },
+        );
+        let rx = world.add_process("rx", Box::new(Rx { port: rx_port }));
+        net.wire_client(&mut world, OverlayId(3), rx);
+        let legit_port = SpinesPort::new(
+            net.daemon_pid(OverlayId(0)),
+            OverlayAddr {
+                node: OverlayId(0),
+                port: 2,
+            },
+        );
+        let legit = world.add_process(
+            "legit",
+            Box::new(Tx {
+                port: legit_port,
+                dst: OverlayAddr {
+                    node: OverlayId(3),
+                    port: 1,
+                },
+                remaining: messages,
+                interval: Span::millis(50),
+            }),
+        );
+        net.wire_client(&mut world, OverlayId(0), legit);
+        // Three flooding attackers behind different daemons, together ~4x
+        // the links' capacity for the whole legitimate send window.
+        for (i, node) in [1u16, 4, 5].into_iter().enumerate() {
+            let attacker_port = SpinesPort::new(
+                net.daemon_pid(OverlayId(node)),
+                OverlayAddr {
+                    node: OverlayId(node),
+                    port: 30 + i as u16,
+                },
+            );
+            let attacker = world.add_process(
+                &format!("attacker-{i}"),
+                Box::new(Tx {
+                    port: attacker_port,
+                    dst: OverlayAddr {
+                        node: OverlayId(2),
+                        port: 9,
+                    },
+                    remaining: messages * 100,
+                    interval: Span::micros(500),
+                }),
+            );
+            net.wire_client(&mut world, OverlayId(node), attacker);
+        }
+        world.run_for(Span::secs(120));
+        println!(
+            "  {:>8} | {:>19.1}% | {:>13} | {:>18}",
+            if fairness { "on" } else { "off" },
+            world.metrics().counter("a1.rx") as f64 / messages as f64 * 100.0,
+            messages * 300,
+            world.metrics().counter("spines.flood_rate_limited"),
+        );
+    }
+    println!("\nShape check: with fairness off, the attacker's flood congests the");
+    println!("narrow links and legitimate delivery collapses; with per-source");
+    println!("rate limits on, the attacker is clamped and delivery is unaffected.");
+}
+
+/// Ablation A2 — dual-homed vs single-homed substations under the loss of
+/// the primary control center.
+pub fn a2_dual_homing(duration_s: u64) {
+    header(
+        "A2 (ablation): substation homing vs loss of the primary CC",
+        "  homing | confirmed during outage | confirmed overall",
+    );
+    let cut_from = duration_s / 3;
+    let cut_until = duration_s * 2 / 3;
+    for dual in [true, false] {
+        let mut cfg = DeploymentConfig::wide_area(555);
+        cfg.dual_homed_substations = dual;
+        cfg.workload = WorkloadConfig {
+            rtus: 6,
+            update_interval: Span::millis(500),
+            ..Default::default()
+        };
+        let mut system = Deployment::build(cfg);
+        system.schedule_site_disconnect(0, secs(cut_from), secs(cut_until));
+        system.run_for(Span::secs(duration_s));
+        let report = system.report();
+        let during: usize = report
+            .update_timeline
+            .iter()
+            .filter(|(t, _)| {
+                t.0 > (cut_from + 5) * 1_000_000 && t.0 < cut_until * 1_000_000
+            })
+            .count();
+        println!(
+            "  {:>6} | {:>23} | {:>16.1}%",
+            if dual { "dual" } else { "single" },
+            during,
+            report.delivery_ratio() * 100.0
+        );
+    }
+    println!("\nShape check: dual-homed substations keep reporting through the");
+    println!("outage via the second control center; single-homed ones go dark.");
+}
+
+/// T3 — the red-team scenario matrix.
+pub fn t3_red_team() {
+    header(
+        "T3: red-team scenario matrix (f=1, k=1, 6 replicas, 6 RTUs)",
+        "scenario                                         | safety | delivery |   SLA  | VCs",
+    );
+    type Row = (String, bool, f64, f64, u64);
+    let jobs: Vec<Box<dyn FnOnce() -> Row + Send>> = Scenario::red_team_suite()
+        .into_iter()
+        .enumerate()
+        .map(|(i, scenario)| {
+            Box::new(move || {
+                let mut cfg = DeploymentConfig::wide_area(7000 + i as u64);
+                cfg.workload = WorkloadConfig {
+                    rtus: 6,
+                    update_interval: Span::millis(500),
+                    ..Default::default()
+                };
+                let mut system = Deployment::build(cfg);
+                scenario.apply(&mut system);
+                system.run_for(scenario.duration + Span::secs(5));
+                let report = system.report();
+                (
+                    scenario.name.clone(),
+                    report.safety_ok,
+                    report.delivery_ratio(),
+                    report.sla_fraction,
+                    report.view_changes,
+                )
+            }) as Box<dyn FnOnce() -> Row + Send>
+        })
+        .collect();
+    for (name, safety, delivery, sla, vcs) in parallel_runs(jobs) {
+        println!(
+            "{name:<48} | {:>6} | {:>7.1}% | {:>5.1}% | {vcs:>3}",
+            if safety { "OK" } else { "BROKEN" },
+            delivery * 100.0,
+            sla * 100.0
+        );
+    }
+}
+
+/// Convenience wrapper used by `cargo bench` and the all-experiments bin.
+pub fn run_all(scale: u64) {
+    t1_configurations();
+    let _ = t2_longrun(120 * scale);
+    f1_latency_cdf(60 * scale);
+    f2_recovery_timeline(100 * scale, 20);
+    f3_network_attack(80 * scale);
+    f4_throughput(30 * scale);
+    f5_leader_attack(40 * scale);
+    f6_overlay_resilience(100);
+    a1_fairness(100);
+    a2_dual_homing(60);
+    t3_red_team();
+    let _ = fmt_summary(&None);
+}

@@ -1,0 +1,111 @@
+//! Shared helpers for the Spire experiment harness.
+//!
+//! Each table/figure of the paper's evaluation has a binary in `src/bin/`
+//! (see DESIGN.md for the index); `benches/experiments.rs` runs scaled-down
+//! versions of all of them under `cargo bench`.
+
+pub mod experiments;
+
+use spire_sim::stats::Summary;
+
+/// Reads an experiment scale parameter from the environment.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Prints a table header followed by a separator line.
+pub fn header(title: &str, columns: &str) {
+    println!("\n== {title} ==");
+    println!("{columns}");
+    println!("{}", "-".repeat(columns.len().max(20)));
+}
+
+/// Formats a latency summary compactly for table cells.
+pub fn fmt_summary(summary: &Option<Summary>) -> String {
+    match summary {
+        Some(s) => format!(
+            "mean={:>6.1}ms p50={:>6.1}ms p99={:>7.1}ms max={:>7.1}ms",
+            s.mean, s.p50, s.p99, s.max
+        ),
+        None => "no samples".to_string(),
+    }
+}
+
+/// Buckets timestamped samples into fixed windows, returning
+/// `(window_start_s, count, mean)` rows.
+pub fn bucket_timeline(
+    samples: &[(spire_sim::Time, f64)],
+    window_s: u64,
+    horizon_s: u64,
+) -> Vec<(u64, usize, f64)> {
+    let mut rows = Vec::new();
+    let mut start = 0u64;
+    while start < horizon_s {
+        let end = start + window_s;
+        let window: Vec<f64> = samples
+            .iter()
+            .filter(|(t, _)| t.0 >= start * 1_000_000 && t.0 < end * 1_000_000)
+            .map(|(_, v)| *v)
+            .collect();
+        let mean = if window.is_empty() {
+            0.0
+        } else {
+            window.iter().sum::<f64>() / window.len() as f64
+        };
+        rows.push((start, window.len(), mean));
+        start = end;
+    }
+    rows
+}
+
+/// Runs closures on worker threads and collects their results in order.
+/// (Each closure builds and runs its own simulation world.)
+pub fn parallel_runs<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|job| scope.spawn(job))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spire_sim::Time;
+
+    #[test]
+    fn bucketing() {
+        let samples = vec![
+            (Time(500_000), 10.0),
+            (Time(1_500_000), 20.0),
+            (Time(1_700_000), 40.0),
+        ];
+        let rows = bucket_timeline(&samples, 1, 3);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], (0, 1, 10.0));
+        assert_eq!(rows[1].1, 2);
+        assert!((rows[1].2 - 30.0).abs() < 1e-9);
+        assert_eq!(rows[2].1, 0);
+    }
+
+    #[test]
+    fn env_parsing() {
+        assert_eq!(env_u64("SPIRE_DOES_NOT_EXIST_XYZ", 7), 7);
+    }
+
+    #[test]
+    fn parallel_runs_preserve_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| Box::new(move || i * 2) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        assert_eq!(parallel_runs(jobs), vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+}

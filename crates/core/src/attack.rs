@@ -1,0 +1,193 @@
+//! The attack vocabulary shared by tests, examples and the red-team
+//! experiment (Table T3): each scenario is a named set of scheduled
+//! attacks applied to a deployment.
+
+use crate::deployment::Deployment;
+use spire_prime::ByzBehavior;
+use spire_sim::{Span, Time};
+
+/// A single attack action with its schedule.
+#[derive(Clone, Debug)]
+pub enum Attack {
+    /// Replica `id` starts misbehaving at `at`.
+    Compromise {
+        /// Target replica.
+        id: u32,
+        /// Behaviour after compromise.
+        behavior: ByzBehavior,
+        /// When the intrusion succeeds.
+        at: Time,
+    },
+    /// Replica `id` crashes at `at` (process down until recovered).
+    KillReplica {
+        /// Target replica.
+        id: u32,
+        /// When.
+        at: Time,
+    },
+    /// Denial of service against all WAN links of a site.
+    DosSite {
+        /// Site index.
+        site: usize,
+        /// Start.
+        from: Time,
+        /// End.
+        until: Time,
+        /// Induced loss probability on the attacked links.
+        loss: f64,
+    },
+    /// Complete disconnection of a site.
+    DisconnectSite {
+        /// Site index.
+        site: usize,
+        /// Start.
+        from: Time,
+        /// End.
+        until: Time,
+    },
+    /// Proactive recovery of a replica (defensive action, same machinery).
+    Recover {
+        /// Target replica.
+        id: u32,
+        /// When.
+        at: Time,
+    },
+}
+
+impl Attack {
+    /// Applies (schedules) this attack on a deployment.
+    pub fn apply(&self, deployment: &mut Deployment) {
+        match self {
+            Attack::Compromise { id, behavior, at } => {
+                deployment.schedule_compromise(*id, *behavior, *at);
+            }
+            Attack::KillReplica { id, at } => {
+                let pid = deployment.replica_pids[*id as usize];
+                deployment.world.schedule_control(*at, move |w| w.crash(pid));
+            }
+            Attack::DosSite {
+                site,
+                from,
+                until,
+                loss,
+            } => deployment.schedule_site_dos(*site, *from, *until, *loss),
+            Attack::DisconnectSite { site, from, until } => {
+                deployment.schedule_site_disconnect(*site, *from, *until)
+            }
+            Attack::Recover { id, at } => deployment.schedule_recovery(*id, *at),
+        }
+    }
+}
+
+/// A named attack scenario (one row of the red-team table).
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Display name.
+    pub name: String,
+    /// Attacks applied.
+    pub attacks: Vec<Attack>,
+    /// Intended run length.
+    pub duration: Span,
+}
+
+impl Scenario {
+    /// The red-team suite reproduced from the paper's threat model: up to
+    /// `f` intrusions with several behaviours, network attacks on a control
+    /// center, a site loss, proactive recovery, and combinations.
+    pub fn red_team_suite() -> Vec<Scenario> {
+        let s = |secs: u64| Time(secs * 1_000_000);
+        vec![
+            Scenario {
+                name: "no attack".into(),
+                attacks: vec![],
+                duration: Span::secs(60),
+            },
+            Scenario {
+                name: "compromised replica (divergent execution)".into(),
+                attacks: vec![Attack::Compromise {
+                    id: 2,
+                    behavior: ByzBehavior::DivergentExec,
+                    at: s(5),
+                }],
+                duration: Span::secs(60),
+            },
+            Scenario {
+                name: "compromised leader (delay attack)".into(),
+                attacks: vec![Attack::Compromise {
+                    id: 0,
+                    behavior: ByzBehavior::LeaderDelay(Span::millis(800)),
+                    at: s(5),
+                }],
+                duration: Span::secs(60),
+            },
+            Scenario {
+                name: "compromised leader (equivocation)".into(),
+                attacks: vec![Attack::Compromise {
+                    id: 0,
+                    behavior: ByzBehavior::Equivocate,
+                    at: s(5),
+                }],
+                duration: Span::secs(60),
+            },
+            Scenario {
+                name: "replica crash".into(),
+                attacks: vec![Attack::KillReplica { id: 3, at: s(10) }],
+                duration: Span::secs(60),
+            },
+            Scenario {
+                name: "DoS on primary control center".into(),
+                attacks: vec![Attack::DosSite {
+                    site: 0,
+                    from: s(15),
+                    until: s(45),
+                    loss: 0.6,
+                }],
+                duration: Span::secs(60),
+            },
+            Scenario {
+                name: "primary control center disconnected".into(),
+                attacks: vec![Attack::DisconnectSite {
+                    site: 0,
+                    from: s(15),
+                    until: s(45),
+                }],
+                duration: Span::secs(60),
+            },
+            Scenario {
+                name: "intrusion + site disconnection (combined)".into(),
+                attacks: vec![
+                    Attack::Compromise {
+                        id: 4,
+                        behavior: ByzBehavior::AckWithhold,
+                        at: s(5),
+                    },
+                    Attack::DisconnectSite {
+                        site: 1,
+                        from: s(20),
+                        until: s(40),
+                    },
+                ],
+                duration: Span::secs(60),
+            },
+            Scenario {
+                name: "intrusion during proactive recovery".into(),
+                attacks: vec![
+                    Attack::Recover { id: 5, at: s(10) },
+                    Attack::Compromise {
+                        id: 1,
+                        behavior: ByzBehavior::Mute,
+                        at: s(10),
+                    },
+                ],
+                duration: Span::secs(60),
+            },
+        ]
+    }
+
+    /// Applies all attacks to the deployment.
+    pub fn apply(&self, deployment: &mut Deployment) {
+        for attack in &self.attacks {
+            attack.apply(deployment);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Deployment configuration analysis: how many replicas are needed, and how
+//! they are placed across control centers and data centers, to tolerate
+//! `f` intrusions, `k` simultaneous proactive recoveries, and (optionally)
+//! the disconnection of an entire site — the paper's resource-requirement
+//! analysis (Table T1 in EXPERIMENTS.md).
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a site hosting replicas.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SiteKind {
+    /// A control center: connected to both the internal (replica) and the
+    /// external (field) network.
+    ControlCenter,
+    /// A data center: replicas participate in ordering but no field
+    /// equipment connects here directly.
+    DataCenter,
+}
+
+/// A site in the deployment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Site {
+    /// Display name (e.g. "CC1").
+    pub name: String,
+    /// Kind.
+    pub kind: SiteKind,
+    /// Number of replicas hosted.
+    pub replicas: u32,
+}
+
+/// Replication parameters plus the site layout.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpireConfig {
+    /// Tolerated intrusions.
+    pub f: u32,
+    /// Tolerated simultaneous recoveries.
+    pub k: u32,
+    /// Sites hosting replicas, in order (replica ids are assigned site by
+    /// site).
+    pub sites: Vec<Site>,
+}
+
+/// Why a configuration is invalid.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConfigError {
+    /// Fewer than `3f + 2k + 1` replicas in total.
+    TooFewReplicas,
+    /// Losing the largest site leaves fewer than `2f + k + 1` replicas, so
+    /// a site disconnection stalls the system (only reported when site
+    /// tolerance is requested).
+    NotSiteTolerant,
+    /// No control center site present.
+    NoControlCenter,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::TooFewReplicas => write!(f, "fewer than 3f+2k+1 replicas"),
+            ConfigError::NotSiteTolerant => {
+                write!(f, "losing the largest site breaks the ordering quorum")
+            }
+            ConfigError::NoControlCenter => write!(f, "no control center site"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Replicas required to tolerate `f` intrusions and `k` simultaneous
+/// recoveries (Prime with proactive recovery): `3f + 2k + 1`.
+pub fn required_replicas(f: u32, k: u32) -> u32 {
+    3 * f + 2 * k + 1
+}
+
+/// The ordering quorum: `2f + k + 1`.
+pub fn ordering_quorum(f: u32, k: u32) -> u32 {
+    2 * f + k + 1
+}
+
+impl SpireConfig {
+    /// Total replicas.
+    pub fn total_replicas(&self) -> u32 {
+        self.sites.iter().map(|s| s.replicas).sum()
+    }
+
+    /// Validates the basic resilience inequality and control-center
+    /// presence; with `site_tolerant`, additionally requires that losing
+    /// any single site leaves an ordering quorum.
+    pub fn validate(&self, site_tolerant: bool) -> Result<(), ConfigError> {
+        if self.total_replicas() < required_replicas(self.f, self.k) {
+            return Err(ConfigError::TooFewReplicas);
+        }
+        if !self
+            .sites
+            .iter()
+            .any(|s| s.kind == SiteKind::ControlCenter && s.replicas > 0)
+        {
+            return Err(ConfigError::NoControlCenter);
+        }
+        if site_tolerant {
+            let largest = self.sites.iter().map(|s| s.replicas).max().unwrap_or(0);
+            if self.total_replicas() - largest < ordering_quorum(self.f, self.k) {
+                return Err(ConfigError::NotSiteTolerant);
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper's benchmark configuration: `3f + 2k + 1` replicas over two
+    /// control centers and `data_centers` data centers, spreading replicas
+    /// as evenly as possible with control centers favored.
+    pub fn spread(f: u32, k: u32, data_centers: u32) -> SpireConfig {
+        let n = required_replicas(f, k);
+        let sites_total = 2 + data_centers;
+        let base = n / sites_total;
+        let extra = n % sites_total;
+        let mut sites = Vec::new();
+        for i in 0..sites_total {
+            let replicas = base + if i < extra { 1 } else { 0 };
+            let (name, kind) = if i < 2 {
+                (format!("CC{}", i + 1), SiteKind::ControlCenter)
+            } else {
+                (format!("DC{}", i - 1), SiteKind::DataCenter)
+            };
+            sites.push(Site {
+                name,
+                kind,
+                replicas,
+            });
+        }
+        SpireConfig { f, k, sites }
+    }
+
+    /// A single-site configuration (LAN benchmark, not site-tolerant).
+    pub fn single_site(f: u32, k: u32) -> SpireConfig {
+        SpireConfig {
+            f,
+            k,
+            sites: vec![Site {
+                name: "CC1".to_string(),
+                kind: SiteKind::ControlCenter,
+                replicas: required_replicas(f, k),
+            }],
+        }
+    }
+
+    /// The smallest number of total replicas that tolerates one site
+    /// disconnection when spread over `sites_total` sites: the constraint
+    /// is `n - ceil(n / sites) >= 2f + k + 1`.
+    pub fn min_replicas_site_tolerant(f: u32, k: u32, sites_total: u32) -> Option<u32> {
+        if sites_total < 2 {
+            return None;
+        }
+        let need = required_replicas(f, k);
+        for n in need..=(need + 4 * sites_total + 8) {
+            let largest = n.div_ceil(sites_total);
+            if n - largest >= ordering_quorum(f, k) {
+                return Some(n);
+            }
+        }
+        None
+    }
+
+    /// Replica ids hosted at site `index` (ids assigned site by site).
+    pub fn replicas_of_site(&self, index: usize) -> std::ops::Range<u32> {
+        let start: u32 = self.sites[..index].iter().map(|s| s.replicas).sum();
+        start..(start + self.sites[index].replicas)
+    }
+
+    /// The site index hosting replica `id`.
+    pub fn site_of_replica(&self, id: u32) -> usize {
+        let mut acc = 0;
+        for (i, site) in self.sites.iter().enumerate() {
+            acc += site.replicas;
+            if id < acc {
+                return i;
+            }
+        }
+        self.sites.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_matches_paper_formula() {
+        assert_eq!(required_replicas(1, 0), 4); // classic BFT
+        assert_eq!(required_replicas(1, 1), 6); // the paper's main config
+        assert_eq!(required_replicas(2, 1), 9);
+        assert_eq!(required_replicas(3, 2), 14);
+    }
+
+    #[test]
+    fn paper_configuration_6_over_4_sites_is_site_tolerant() {
+        // 6 replicas as 2+2+1+1 over 2 CCs + 2 DCs: tolerates f=1, k=1 and
+        // any single site disconnection (6 - 2 = 4 = 2f+k+1).
+        let cfg = SpireConfig::spread(1, 1, 2);
+        assert_eq!(cfg.total_replicas(), 6);
+        assert_eq!(
+            cfg.sites.iter().map(|s| s.replicas).collect::<Vec<_>>(),
+            vec![2, 2, 1, 1]
+        );
+        assert!(cfg.validate(true).is_ok());
+    }
+
+    #[test]
+    fn two_sites_cannot_be_site_tolerant_at_minimum_size() {
+        let cfg = SpireConfig::spread(1, 1, 0); // 3 + 3 over two CCs
+        assert!(cfg.validate(false).is_ok());
+        assert_eq!(cfg.validate(true), Err(ConfigError::NotSiteTolerant));
+    }
+
+    #[test]
+    fn single_site_valid_but_not_site_tolerant() {
+        let cfg = SpireConfig::single_site(1, 1);
+        assert!(cfg.validate(false).is_ok());
+        assert!(cfg.validate(true).is_err());
+    }
+
+    #[test]
+    fn too_few_replicas_rejected() {
+        let mut cfg = SpireConfig::single_site(1, 1);
+        cfg.sites[0].replicas = 5;
+        assert_eq!(cfg.validate(false), Err(ConfigError::TooFewReplicas));
+    }
+
+    #[test]
+    fn no_control_center_rejected() {
+        let mut cfg = SpireConfig::spread(1, 0, 2);
+        for s in &mut cfg.sites {
+            s.kind = SiteKind::DataCenter;
+        }
+        assert_eq!(cfg.validate(false), Err(ConfigError::NoControlCenter));
+    }
+
+    #[test]
+    fn min_replicas_site_tolerant_table() {
+        // f=1, k=1 over 4 sites: 6 suffices (2+2+1+1).
+        assert_eq!(SpireConfig::min_replicas_site_tolerant(1, 1, 4), Some(6));
+        // Over 2 sites: need n - ceil(n/2) >= 4 -> n >= 8.
+        assert_eq!(SpireConfig::min_replicas_site_tolerant(1, 1, 2), Some(8));
+        // One site can never tolerate its own loss.
+        assert_eq!(SpireConfig::min_replicas_site_tolerant(1, 1, 1), None);
+    }
+
+    #[test]
+    fn replica_site_assignment() {
+        let cfg = SpireConfig::spread(1, 1, 2); // 2+2+1+1
+        assert_eq!(cfg.replicas_of_site(0), 0..2);
+        assert_eq!(cfg.replicas_of_site(1), 2..4);
+        assert_eq!(cfg.replicas_of_site(2), 4..5);
+        assert_eq!(cfg.replicas_of_site(3), 5..6);
+        assert_eq!(cfg.site_of_replica(0), 0);
+        assert_eq!(cfg.site_of_replica(3), 1);
+        assert_eq!(cfg.site_of_replica(5), 3);
+    }
+}

@@ -1,0 +1,616 @@
+//! Builds a complete Spire system inside the simulator: two Spines
+//! overlays (internal replica network, external field network), Prime
+//! replicas running the SCADA master, RTU proxies + emulated devices at
+//! substations, and HMIs — the full architecture of the paper.
+//!
+//! ```text
+//!        internal overlay (per-site daemons, full WAN mesh)
+//!   CC1 ══ CC2 ══ DC1 ══ DC2          replicas attach to their site daemon
+//!
+//!        external overlay
+//!   SUB1 ─ CC1/CC2 (dual-homed) ─ DC1/DC2     proxies + HMIs attach here
+//! ```
+
+use crate::config::{SiteKind, SpireConfig};
+use crate::report::Report;
+use spire_crypto::keys::Signer;
+use spire_crypto::{KeyMaterial, KeyStore, NodeId};
+use spire_prime::client::ClientRouting;
+use spire_prime::{
+    ByzBehavior, ClientId, Inspection, PrimeConfig, ProtocolMode, Replica, ReplicaId, SpinesNet,
+};
+use spire_scada::{Hmi, Rtu, RtuProxy, ScadaDirectory, ScadaMaster, WorkloadConfig};
+use spire_sim::{LinkConfig, ProcessId, Span, Time, World};
+use spire_spines::{
+    DaemonBehavior, DaemonConfig, Dissemination, OverlayAddr, OverlayId, OverlayNetwork,
+    SpinesPort, Topology,
+};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Crypto id bases for the different roles.
+pub mod key_base {
+    /// Internal overlay daemons.
+    pub const INTERNAL_DAEMON: u32 = 0;
+    /// External overlay daemons.
+    pub const EXTERNAL_DAEMON: u32 = 100;
+    /// Prime replicas.
+    pub const REPLICA: u32 = 1000;
+    /// Prime clients (proxies, HMIs).
+    pub const CLIENT: u32 = 2000;
+}
+
+const REPLICA_PORT_BASE: u16 = 100;
+const PROXY_PORT: u16 = 40;
+const HMI_PORT_BASE: u16 = 200;
+
+/// Wide-area latency model (one-way, milliseconds) loosely following the
+/// paper's emulated US East Coast deployment.
+#[derive(Clone, Copy, Debug)]
+pub struct WanModel {
+    /// Control center <-> control center.
+    pub cc_cc_ms: u64,
+    /// Control center <-> data center.
+    pub cc_dc_ms: u64,
+    /// Data center <-> data center.
+    pub dc_dc_ms: u64,
+    /// Substation <-> control center.
+    pub sub_cc_ms: u64,
+}
+
+impl Default for WanModel {
+    fn default() -> Self {
+        WanModel {
+            cc_cc_ms: 4,
+            cc_dc_ms: 10,
+            dc_dc_ms: 15,
+            sub_cc_ms: 3,
+        }
+    }
+}
+
+impl WanModel {
+    fn site_latency(&self, a: SiteKind, b: SiteKind) -> u64 {
+        match (a, b) {
+            (SiteKind::ControlCenter, SiteKind::ControlCenter) => self.cc_cc_ms,
+            (SiteKind::DataCenter, SiteKind::DataCenter) => self.dc_dc_ms,
+            _ => self.cc_dc_ms,
+        }
+    }
+}
+
+/// Full deployment parameters.
+#[derive(Clone, Debug)]
+pub struct DeploymentConfig {
+    /// Replication and site layout.
+    pub spire: SpireConfig,
+    /// Workload (RTUs, rates, HMIs).
+    pub workload: WorkloadConfig,
+    /// WAN latencies.
+    pub wan: WanModel,
+    /// Prime protocol mode (Prime vs PBFT-like baseline).
+    pub mode: ProtocolMode,
+    /// Use mock signatures (fast macro-experiments; see `spire-crypto`).
+    pub mock_sigs: bool,
+    /// Per-replica Byzantine behaviours (compromises present from start).
+    pub byz: BTreeMap<u32, ByzBehavior>,
+    /// Substations connect to both control centers (the paper's design).
+    /// Disable for the single-homing ablation: a disconnected primary CC
+    /// then cuts all field traffic.
+    pub dual_homed_substations: bool,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl DeploymentConfig {
+    /// The paper's standard wide-area configuration: f=1, k=1, 6 replicas
+    /// over 2 control centers + 2 data centers.
+    pub fn wide_area(seed: u64) -> DeploymentConfig {
+        DeploymentConfig {
+            spire: SpireConfig::spread(1, 1, 2),
+            workload: WorkloadConfig::default(),
+            wan: WanModel::default(),
+            mode: ProtocolMode::Prime,
+            mock_sigs: true,
+            byz: BTreeMap::new(),
+            dual_homed_substations: true,
+            seed,
+        }
+    }
+
+    /// Single-site LAN configuration.
+    pub fn lan(seed: u64) -> DeploymentConfig {
+        DeploymentConfig {
+            spire: SpireConfig::single_site(1, 1),
+            ..DeploymentConfig::wide_area(seed)
+        }
+    }
+}
+
+/// Everything needed to construct a fresh replica process (used by
+/// proactive recovery and compromise injection).
+pub struct ReplicaBuilder {
+    prime: PrimeConfig,
+    keystore: Rc<KeyStore>,
+    material: KeyMaterial,
+    directory: ScadaDirectory,
+    inspection: Inspection,
+    nets: Vec<SpinesNet>,
+    mock_sigs: bool,
+}
+
+impl ReplicaBuilder {
+    /// Builds replica `id` with the given behaviour and recovery flag.
+    pub fn build(&self, id: u32, behavior: ByzBehavior, recovering: bool) -> Replica {
+        let signer = Signer::new(
+            self.material
+                .signing_key(NodeId(key_base::REPLICA + id)),
+            self.mock_sigs,
+        );
+        Replica::new(
+            self.prime.clone(),
+            ReplicaId(id),
+            behavior,
+            Rc::clone(&self.keystore),
+            signer,
+            Box::new(self.nets[id as usize].clone()),
+            Box::new(ScadaMaster::new(self.directory.clone())),
+            recovering,
+        )
+        .with_inspection(self.inspection.clone())
+    }
+}
+
+/// A fully built Spire system.
+pub struct Deployment {
+    /// The simulation world (run it, inject into it).
+    pub world: World,
+    /// Shared replica inspection registry (safety checks).
+    pub inspection: Inspection,
+    /// Per-replica process ids.
+    pub replica_pids: Vec<ProcessId>,
+    /// Per-RTU proxy process ids.
+    pub proxy_pids: Vec<ProcessId>,
+    /// Per-RTU device process ids.
+    pub device_pids: Vec<ProcessId>,
+    /// HMI process ids.
+    pub hmi_pids: Vec<ProcessId>,
+    /// The internal overlay.
+    pub internal: OverlayNetwork,
+    /// The external overlay.
+    pub external: OverlayNetwork,
+    /// Replica construction context for recovery / compromise injection.
+    pub builder: Rc<ReplicaBuilder>,
+    /// The configuration the deployment was built from.
+    pub cfg: DeploymentConfig,
+    recovery_counter: u32,
+}
+
+impl Deployment {
+    /// Builds the full system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SpireConfig::validate`] (non
+    /// site-tolerant layouts are allowed; they are part of the evaluation).
+    pub fn build(cfg: DeploymentConfig) -> Deployment {
+        cfg.spire.validate(false).expect("invalid spire config");
+        let mut world = World::new(cfg.seed);
+        let material = KeyMaterial::new([0x55u8; 32]);
+        let keystore = Rc::new(KeyStore::for_nodes(&material, 4096));
+        let inspection = Inspection::new();
+        let sites = &cfg.spire.sites;
+        let n_sites = sites.len() as u16;
+        let n_replicas = cfg.spire.total_replicas();
+        let n_rtus = cfg.workload.rtus;
+        let n_hmis = cfg.workload.hmis;
+
+        // ---------- internal overlay: one daemon per site, full mesh ----------
+        let mut internal_topology = Topology::new();
+        for i in 0..n_sites {
+            internal_topology.add_node(OverlayId(i));
+        }
+        for i in 0..n_sites {
+            for j in (i + 1)..n_sites {
+                let w = cfg
+                    .wan
+                    .site_latency(sites[i as usize].kind, sites[j as usize].kind)
+                    as u32;
+                internal_topology.add_edge(OverlayId(i), OverlayId(j), w.max(1));
+            }
+        }
+        let wan_for = {
+            let sites = sites.clone();
+            let wan = cfg.wan;
+            move |a: OverlayId, b: OverlayId| {
+                let ms = wan.site_latency(sites[a.0 as usize].kind, sites[b.0 as usize].kind);
+                LinkConfig::wan(ms)
+            }
+        };
+        let internal = OverlayNetwork::build(
+            &mut world,
+            &internal_topology,
+            DaemonConfig::default(),
+            &material,
+            &keystore,
+            key_base::INTERNAL_DAEMON,
+            &wan_for,
+            |_| DaemonBehavior::Honest,
+        );
+
+        // ---------- external overlay: site daemons + substation hubs ----------
+        // External overlay ids: 0..n_sites mirror the sites, then one hub
+        // per RTU substation.
+        let mut external_topology = Topology::new();
+        for i in 0..n_sites {
+            external_topology.add_node(OverlayId(i));
+        }
+        let cc_indices: Vec<u16> = sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind == SiteKind::ControlCenter)
+            .map(|(i, _)| i as u16)
+            .collect();
+        for i in 0..n_sites {
+            for j in (i + 1)..n_sites {
+                let w = cfg
+                    .wan
+                    .site_latency(sites[i as usize].kind, sites[j as usize].kind)
+                    as u32;
+                external_topology.add_edge(OverlayId(i), OverlayId(j), w.max(1));
+            }
+        }
+        for r in 0..n_rtus {
+            let hub = OverlayId(n_sites + r as u16);
+            external_topology.add_node(hub);
+            // Substations are dual-homed to (up to) two control centers —
+            // the paper's key network-design decision (ablatable).
+            let homes = if cfg.dual_homed_substations { 2 } else { 1 };
+            for cc in cc_indices.iter().take(homes) {
+                external_topology.add_edge(hub, OverlayId(*cc), cfg.wan.sub_cc_ms as u32);
+            }
+        }
+        let external_wan = {
+            let sites = sites.clone();
+            let wan = cfg.wan;
+            let n_sites = n_sites;
+            move |a: OverlayId, b: OverlayId| {
+                let lat = |id: OverlayId| -> Option<SiteKind> {
+                    if id.0 < n_sites {
+                        Some(sites[id.0 as usize].kind)
+                    } else {
+                        None
+                    }
+                };
+                let ms = match (lat(a), lat(b)) {
+                    (Some(x), Some(y)) => wan.site_latency(x, y),
+                    _ => wan.sub_cc_ms,
+                };
+                LinkConfig::wan(ms)
+            }
+        };
+        let external = OverlayNetwork::build(
+            &mut world,
+            &external_topology,
+            DaemonConfig::default(),
+            &material,
+            &keystore,
+            key_base::EXTERNAL_DAEMON,
+            &external_wan,
+            |_| DaemonBehavior::Honest,
+        );
+
+        // ---------- directory & addressing ----------
+        let mut directory = ScadaDirectory::default();
+        for r in 0..n_rtus {
+            directory.rtu_proxy.insert(r, r); // proxy client id = rtu id
+        }
+        for h in 0..n_hmis {
+            directory.hmis.push(1000 + h);
+        }
+        let replica_addr_internal: Vec<OverlayAddr> = (0..n_replicas)
+            .map(|r| OverlayAddr {
+                node: OverlayId(cfg.spire.site_of_replica(r) as u16),
+                port: REPLICA_PORT_BASE + r as u16,
+            })
+            .collect();
+        let replica_addr_external: Vec<OverlayAddr> = (0..n_replicas)
+            .map(|r| OverlayAddr {
+                node: OverlayId(cfg.spire.site_of_replica(r) as u16),
+                port: REPLICA_PORT_BASE + r as u16,
+            })
+            .collect();
+        let mut client_addrs: BTreeMap<u32, OverlayAddr> = BTreeMap::new();
+        for r in 0..n_rtus {
+            client_addrs.insert(
+                r,
+                OverlayAddr {
+                    node: OverlayId(n_sites + r as u16),
+                    port: PROXY_PORT,
+                },
+            );
+        }
+        // HMIs attach to the second control center's external daemon (the
+        // first CC is the canonical DoS target in the attack experiments).
+        let hmi_site = *cc_indices.get(1).or_else(|| cc_indices.first()).unwrap();
+        for h in 0..n_hmis {
+            client_addrs.insert(
+                1000 + h,
+                OverlayAddr {
+                    node: OverlayId(hmi_site),
+                    port: HMI_PORT_BASE + h as u16,
+                },
+            );
+        }
+
+        let mut prime = PrimeConfig::new(cfg.spire.f, cfg.spire.k);
+        prime.n = n_replicas;
+        prime.mode = cfg.mode;
+        // SCADA loads are modest; frequent checkpoints keep proactive
+        // recovery fast (state transfer instead of long replays).
+        prime.checkpoint_interval = 25;
+        // SCADA's 100 ms regime warrants fast crash detection.
+        prime.progress_timeout = Span::secs(2);
+        prime.replica_key_base = key_base::REPLICA;
+        prime.client_key_base = key_base::CLIENT;
+
+        // ---------- replicas ----------
+        let nets: Vec<SpinesNet> = (0..n_replicas)
+            .map(|r| {
+                let site = cfg.spire.site_of_replica(r) as u16;
+                SpinesNet {
+                    internal: SpinesPort::new(
+                        internal.daemon_pid(OverlayId(site)),
+                        replica_addr_internal[r as usize],
+                    ),
+                    replica_addrs: replica_addr_internal.clone(),
+                    external: Some(SpinesPort::new(
+                        external.daemon_pid(OverlayId(site)),
+                        replica_addr_external[r as usize],
+                    )),
+                    client_addrs: client_addrs.clone(),
+                    replica_mode: Dissemination::Flood,
+                    client_mode: Dissemination::Flood,
+                    reliable: true,
+                }
+            })
+            .collect();
+        let builder = Rc::new(ReplicaBuilder {
+            prime: prime.clone(),
+            keystore: Rc::clone(&keystore),
+            material: material.clone(),
+            directory: directory.clone(),
+            inspection: inspection.clone(),
+            nets: nets.clone(),
+            mock_sigs: cfg.mock_sigs,
+        });
+        let mut replica_pids = Vec::new();
+        for r in 0..n_replicas {
+            let behavior = cfg.byz.get(&r).copied().unwrap_or(ByzBehavior::Honest);
+            let replica = builder.build(r, behavior, false);
+            let pid = world.add_process(&format!("replica-{r}"), Box::new(replica));
+            let site = cfg.spire.site_of_replica(r) as u16;
+            internal.wire_client(&mut world, OverlayId(site), pid);
+            external.wire_client(&mut world, OverlayId(site), pid);
+            replica_pids.push(pid);
+        }
+
+        // ---------- substations: devices + proxies ----------
+        let mut device_pids = Vec::new();
+        let mut proxy_pids = Vec::new();
+        for r in 0..n_rtus {
+            let hub = OverlayId(n_sites + r as u16);
+            // Device and proxy are co-located at the substation.
+            let first = world.process_count() as u32;
+            let proxy_pid = ProcessId(first + 1);
+            let device = Rtu::new(
+                r,
+                proxy_pid,
+                cfg.workload.update_interval,
+                cfg.workload.process,
+            );
+            let device_pid = world.add_process(&format!("rtu-{r}"), Box::new(device));
+            let signer = Signer::new(
+                material.signing_key(NodeId(key_base::CLIENT + r)),
+                cfg.mock_sigs,
+            );
+            let proxy = RtuProxy::new(
+                prime.clone(),
+                r,
+                ClientId(r),
+                signer,
+                ClientRouting::Spines {
+                    port: SpinesPort::new(external.daemon_pid(hub), client_addrs[&r]),
+                    addrs: replica_addr_external.clone(),
+                    mode: Dissemination::Flood,
+                },
+                device_pid,
+            );
+            let got_proxy = world.add_process(&format!("proxy-{r}"), Box::new(proxy));
+            assert_eq!(got_proxy, proxy_pid);
+            world.add_link(device_pid, proxy_pid, LinkConfig::local());
+            external.wire_client(&mut world, hub, proxy_pid);
+            device_pids.push(device_pid);
+            proxy_pids.push(proxy_pid);
+        }
+
+        // ---------- HMIs ----------
+        let mut hmi_pids = Vec::new();
+        for h in 0..n_hmis {
+            let client = 1000 + h;
+            let signer = Signer::new(
+                material.signing_key(NodeId(key_base::CLIENT + client)),
+                cfg.mock_sigs,
+            );
+            let hmi = Hmi::new(
+                prime.clone(),
+                ClientId(client),
+                signer,
+                ClientRouting::Spines {
+                    port: SpinesPort::new(
+                        external.daemon_pid(OverlayId(hmi_site)),
+                        client_addrs[&client],
+                    ),
+                    addrs: replica_addr_external.clone(),
+                    mode: Dissemination::Flood,
+                },
+                (0..n_rtus).collect(),
+                cfg.workload.command_interval,
+                0,
+            )
+            .with_polling(cfg.workload.poll_interval);
+            let pid = world.add_process(&format!("hmi-{h}"), Box::new(hmi));
+            external.wire_client(&mut world, OverlayId(hmi_site), pid);
+            hmi_pids.push(pid);
+        }
+
+        Deployment {
+            world,
+            inspection,
+            replica_pids,
+            proxy_pids,
+            device_pids,
+            hmi_pids,
+            internal,
+            external,
+            builder,
+            cfg,
+            recovery_counter: 0,
+        }
+    }
+
+    /// Runs the simulation for `span`.
+    pub fn run_for(&mut self, span: Span) {
+        self.world.run_for(span);
+    }
+
+    /// Builds the evaluation report from collected metrics.
+    pub fn report(&self) -> Report {
+        Report::from_deployment(self)
+    }
+
+    /// Replica ids that are honest under the built configuration.
+    pub fn correct_replicas(&self) -> Vec<u32> {
+        (0..self.cfg.spire.total_replicas())
+            .filter(|r| {
+                self.cfg
+                    .byz
+                    .get(r)
+                    .map(|b| !b.is_byzantine())
+                    .unwrap_or(true)
+            })
+            .collect()
+    }
+
+    /// Schedules a proactive recovery of replica `id` at time `at`: the
+    /// replica process is restarted with a clean state machine in
+    /// recovering mode (it rejoins via proof-carrying state transfer).
+    pub fn schedule_recovery(&mut self, id: u32, at: Time) {
+        let builder = Rc::clone(&self.builder);
+        let pid = self.replica_pids[id as usize];
+        self.world.schedule_control(at, move |w| {
+            let replica = builder.build(id, ByzBehavior::Honest, true);
+            w.restart(pid, Box::new(replica));
+            w.metrics_mut().count("spire.recoveries_started", 1);
+        });
+    }
+
+    /// Schedules round-robin proactive recoveries: one replica every
+    /// `period`, starting at `start`, until `horizon`.
+    pub fn schedule_proactive_recovery(&mut self, start: Time, period: Span, horizon: Time) {
+        let n = self.cfg.spire.total_replicas();
+        let mut at = start;
+        while at <= horizon {
+            let id = self.recovery_counter % n;
+            self.recovery_counter += 1;
+            self.schedule_recovery(id, at);
+            at = at + period;
+        }
+    }
+
+    /// Schedules a compromise: at `at`, replica `id` begins misbehaving.
+    pub fn schedule_compromise(&mut self, id: u32, behavior: ByzBehavior, at: Time) {
+        let builder = Rc::clone(&self.builder);
+        let pid = self.replica_pids[id as usize];
+        self.world.schedule_control(at, move |w| {
+            // The attacker takes over the running process; it keeps state
+            // via state transfer (recovering) but follows the attacker's
+            // logic afterwards.
+            let replica = builder.build(id, behavior, true);
+            w.restart(pid, Box::new(replica));
+            w.metrics_mut().count("spire.compromises", 1);
+        });
+    }
+
+    /// All inter-site links of a site's daemons (internal and external).
+    fn site_wan_peers(&self, site: usize) -> Vec<(ProcessId, ProcessId)> {
+        let mut pairs = Vec::new();
+        let me = OverlayId(site as u16);
+        for (a, b, _) in self.internal.topology.edges() {
+            if a == me || b == me {
+                pairs.push((self.internal.daemon_pid(a), self.internal.daemon_pid(b)));
+            }
+        }
+        for (a, b, _) in self.external.topology.edges() {
+            if a == me || b == me {
+                pairs.push((self.external.daemon_pid(a), self.external.daemon_pid(b)));
+            }
+        }
+        pairs
+    }
+
+    /// Schedules a full disconnection of a site between `from` and `until`
+    /// (all WAN links of its internal and external daemons go down).
+    pub fn schedule_site_disconnect(&mut self, site: usize, from: Time, until: Time) {
+        let pairs = self.site_wan_peers(site);
+        let pairs2 = pairs.clone();
+        self.world.schedule_control(from, move |w| {
+            for (a, b) in &pairs {
+                w.set_link_up(*a, *b, false);
+            }
+            w.metrics_mut().count("spire.site_disconnects", 1);
+        });
+        self.world.schedule_control(until, move |w| {
+            for (a, b) in &pairs2 {
+                w.set_link_up(*a, *b, true);
+            }
+        });
+    }
+
+    /// Schedules a DoS attack against a site: its WAN links become lossy
+    /// and severely bandwidth-constrained between `from` and `until`.
+    pub fn schedule_site_dos(&mut self, site: usize, from: Time, until: Time, loss: f64) {
+        let pairs = self.site_wan_peers(site);
+        let pairs2 = pairs.clone();
+        self.world.schedule_control(from, move |w| {
+            for (a, b) in &pairs {
+                let degraded = LinkConfig {
+                    latency: Span::millis(50),
+                    jitter: Span::millis(30),
+                    loss,
+                    corrupt: 0.0,
+                    bandwidth_bps: Some(200_000),
+                    max_queue: Span::millis(300),
+                };
+                w.set_link_config(*a, *b, degraded);
+            }
+            w.metrics_mut().count("spire.dos_attacks", 1);
+        });
+        self.world.schedule_control(until, move |w| {
+            for (a, b) in &pairs2 {
+                // Restore a nominal WAN link.
+                w.set_link_config(*a, *b, LinkConfig::wan(8));
+            }
+        });
+    }
+}
+
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("replicas", &self.replica_pids.len())
+            .field("rtus", &self.device_pids.len())
+            .field("sites", &self.cfg.spire.sites.len())
+            .finish()
+    }
+}

@@ -1,0 +1,164 @@
+//! Evaluation report extracted from a deployment run: the latency,
+//! availability and safety numbers the paper's tables and figures are
+//! built from.
+
+use spire_sim::stats::{fraction_within, Summary};
+use spire_sim::Time;
+
+/// The grid operators' latency requirement used throughout the paper.
+pub const SLA_MS: f64 = 100.0;
+
+/// Metrics extracted from a run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Per-update latency samples (proxy submit -> f+1 confirmations), ms.
+    pub update_latencies_ms: Vec<f64>,
+    /// Timestamped latency samples for timelines, (time, ms).
+    pub update_timeline: Vec<(Time, f64)>,
+    /// Summary of update latencies.
+    pub update_summary: Option<Summary>,
+    /// Fraction of updates within the 100 ms SLA.
+    pub sla_fraction: f64,
+    /// Updates submitted by proxies.
+    pub updates_sent: u64,
+    /// Updates confirmed by f+1 replicas.
+    pub updates_confirmed: u64,
+    /// Supervisory commands issued / actuated at devices.
+    pub commands_issued: u64,
+    /// Commands actually actuated at field devices.
+    pub commands_actuated: u64,
+    /// End-to-end command latency samples (HMI -> device), ms.
+    pub command_latencies_ms: Vec<f64>,
+    /// Prime view changes observed.
+    pub view_changes: u64,
+    /// Proactive recoveries started / completed.
+    pub recoveries: (u64, u64),
+    /// Result of the safety check over correct replicas.
+    pub safety_ok: bool,
+    /// Updates confirmed per second (for availability timelines).
+    pub throughput_timeline: Vec<(u64, u64)>,
+}
+
+impl Report {
+    /// Extracts the report from a finished deployment.
+    pub fn from_deployment(deployment: &crate::deployment::Deployment) -> Report {
+        let metrics = deployment.world.metrics();
+        let series = metrics.series("scada.update_latency_ms");
+        let update_latencies_ms: Vec<f64> = series.iter().map(|(_, v)| *v).collect();
+        let update_timeline = series.to_vec();
+        let safety_ok = deployment
+            .inspection
+            .check_safety(&deployment.correct_replicas())
+            .is_ok();
+        let mut throughput: std::collections::BTreeMap<u64, u64> = Default::default();
+        for (t, _) in series {
+            *throughput.entry(t.0 / 1_000_000).or_insert(0) += 1;
+        }
+        Report {
+            update_summary: Summary::of(&update_latencies_ms),
+            sla_fraction: fraction_within(&update_latencies_ms, SLA_MS),
+            updates_sent: metrics.counter("scada.updates_sent"),
+            updates_confirmed: metrics.counter("scada.updates_confirmed"),
+            commands_issued: metrics.counter("hmi.commands_sent"),
+            commands_actuated: metrics.counter("scada.commands_actuated"),
+            command_latencies_ms: metrics.values("scada.command_latency_ms"),
+            view_changes: metrics.counter("prime.view_changes"),
+            recoveries: (
+                metrics.counter("spire.recoveries_started"),
+                metrics.counter("prime.recovery_completed"),
+            ),
+            safety_ok,
+            throughput_timeline: throughput.into_iter().collect(),
+            update_latencies_ms,
+            update_timeline,
+        }
+    }
+
+    /// Fraction of submitted updates that were confirmed.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.updates_sent == 0 {
+            return 0.0;
+        }
+        self.updates_confirmed as f64 / self.updates_sent as f64
+    }
+
+    /// Whole seconds (within `[first, last]` confirmation) during which no
+    /// update was confirmed — a coarse unavailability measure.
+    pub fn silent_seconds(&self) -> u64 {
+        if self.throughput_timeline.len() < 2 {
+            return 0;
+        }
+        let first = self.throughput_timeline.first().unwrap().0;
+        let last = self.throughput_timeline.last().unwrap().0;
+        let covered: std::collections::BTreeSet<u64> =
+            self.throughput_timeline.iter().map(|(s, _)| *s).collect();
+        (first..=last).filter(|s| !covered.contains(s)).count() as u64
+    }
+
+    /// One-line human-readable summary.
+    pub fn one_line(&self) -> String {
+        match &self.update_summary {
+            Some(s) => format!(
+                "updates {}/{} ({:.2}% <= {}ms) mean={:.1}ms p99={:.1}ms max={:.1}ms vc={} safety={}",
+                self.updates_confirmed,
+                self.updates_sent,
+                self.sla_fraction * 100.0,
+                SLA_MS,
+                s.mean,
+                s.p99,
+                s.max,
+                self.view_changes,
+                if self.safety_ok { "OK" } else { "VIOLATED" },
+            ),
+            None => "no updates confirmed".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(timeline: Vec<(u64, u64)>, sent: u64, confirmed: u64) -> Report {
+        Report {
+            update_latencies_ms: vec![],
+            update_timeline: vec![],
+            update_summary: None,
+            sla_fraction: 0.0,
+            updates_sent: sent,
+            updates_confirmed: confirmed,
+            commands_issued: 0,
+            commands_actuated: 0,
+            command_latencies_ms: vec![],
+            view_changes: 0,
+            recoveries: (0, 0),
+            safety_ok: true,
+            throughput_timeline: timeline,
+        }
+    }
+
+    #[test]
+    fn delivery_ratio_handles_zero_sent() {
+        assert_eq!(report_with(vec![], 0, 0).delivery_ratio(), 0.0);
+        assert!((report_with(vec![], 10, 9).delivery_ratio() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn silent_seconds_counts_gaps() {
+        // Confirmations in seconds 0, 1, 4: seconds 2 and 3 are silent.
+        let r = report_with(vec![(0, 5), (1, 5), (4, 5)], 0, 0);
+        assert_eq!(r.silent_seconds(), 2);
+        // No gap.
+        let r = report_with(vec![(0, 5), (1, 5), (2, 5)], 0, 0);
+        assert_eq!(r.silent_seconds(), 0);
+        // Degenerate timelines.
+        assert_eq!(report_with(vec![], 0, 0).silent_seconds(), 0);
+        assert_eq!(report_with(vec![(3, 1)], 0, 0).silent_seconds(), 0);
+    }
+
+    #[test]
+    fn one_line_mentions_safety() {
+        let r = report_with(vec![], 0, 0);
+        assert_eq!(r.one_line(), "no updates confirmed");
+    }
+}

@@ -1,0 +1,399 @@
+//! Arithmetic in the field GF(2^255 - 19), using five 51-bit limbs.
+//!
+//! This is the classic "radix 2^51" representation. Operations keep limbs
+//! loosely reduced (below 2^52) and only fully reduce when serializing.
+//! The implementation favours clarity over constant-time behaviour: this
+//! reproduction uses signatures for Byzantine-fault-tolerance research in a
+//! simulator, not for protecting live secrets against side channels.
+
+const MASK51: u64 = (1 << 51) - 1;
+
+/// An element of GF(2^255 - 19).
+#[derive(Clone, Copy, Debug)]
+pub struct Fe(pub(crate) [u64; 5]);
+
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe([0; 5]);
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    /// Builds a field element from a small integer.
+    pub fn from_u64(x: u64) -> Fe {
+        Fe([x & MASK51, x >> 51, 0, 0, 0])
+    }
+
+    /// Deserializes 32 little-endian bytes (the top bit is ignored, per
+    /// RFC 8032 conventions for point encodings).
+    pub fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load = |i: usize| -> u64 {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&bytes[i..i + 8]);
+            u64::from_le_bytes(word)
+        };
+        let l0 = load(0) & MASK51;
+        let l1 = (load(6) >> 3) & MASK51;
+        let l2 = (load(12) >> 6) & MASK51;
+        let l3 = (load(19) >> 1) & MASK51;
+        let l4 = (load(24) >> 12) & ((1 << 51) - 1) & MASK51;
+        // Clear the encoded sign bit by masking to 255 bits: limb 4 carries
+        // bits 204..=254, so keep 51 bits but drop bit 255 which `load(24)>>12`
+        // already excludes (bit 255 is byte 31 bit 7 = overall bit 255; load
+        // at offset 24 covers bits 192..=255, >>12 gives bits 204..=243 plus
+        // the top bits; masking to 51 bits keeps bits 204..=254).
+        Fe([l0, l1, l2, l3, l4])
+    }
+
+    /// Serializes to 32 little-endian bytes, fully reduced mod p.
+    pub fn to_bytes(self) -> [u8; 32] {
+        let limbs = self.reduce_weak().0;
+        let mut out = [0u8; 32];
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut limb_idx = 0usize;
+        for byte in out.iter_mut() {
+            if acc_bits < 8 && limb_idx < 5 {
+                acc |= (limbs[limb_idx] as u128) << acc_bits;
+                acc_bits += 51;
+                limb_idx += 1;
+            }
+            *byte = (acc & 0xff) as u8;
+            acc >>= 8;
+            acc_bits = acc_bits.saturating_sub(8);
+        }
+        out
+    }
+
+    /// Weak carry propagation, producing limbs below 2^51 (value fully
+    /// reduced modulo p by conditional subtraction).
+    fn reduce_weak(self) -> Fe {
+        let mut h = self.carry();
+        h = h.carry();
+        // Now limbs < 2^51 + tiny epsilon; subtract p up to twice.
+        for _ in 0..2 {
+            if h.is_geq_p() {
+                h = h.sub_p();
+            }
+        }
+        h
+    }
+
+    fn carry(self) -> Fe {
+        let mut l = self.0;
+        let mut c: u64;
+        c = l[0] >> 51;
+        l[0] &= MASK51;
+        l[1] += c;
+        c = l[1] >> 51;
+        l[1] &= MASK51;
+        l[2] += c;
+        c = l[2] >> 51;
+        l[2] &= MASK51;
+        l[3] += c;
+        c = l[3] >> 51;
+        l[3] &= MASK51;
+        l[4] += c;
+        c = l[4] >> 51;
+        l[4] &= MASK51;
+        l[0] += c * 19;
+        Fe(l)
+    }
+
+    fn is_geq_p(&self) -> bool {
+        // p = 2^255 - 19 in 51-bit limbs.
+        let p = [MASK51 - 18, MASK51, MASK51, MASK51, MASK51];
+        for i in (0..5).rev() {
+            if self.0[i] > p[i] {
+                return true;
+            }
+            if self.0[i] < p[i] {
+                return false;
+            }
+        }
+        true // equal to p
+    }
+
+    fn sub_p(self) -> Fe {
+        // self >= p is guaranteed by the caller; compute self - p via
+        // borrow-free addition of 2^255 - p complement... simplest: add 19
+        // and drop bit 255.
+        let mut l = self.0;
+        l[0] += 19;
+        let mut c;
+        c = l[0] >> 51;
+        l[0] &= MASK51;
+        l[1] += c;
+        c = l[1] >> 51;
+        l[1] &= MASK51;
+        l[2] += c;
+        c = l[2] >> 51;
+        l[2] &= MASK51;
+        l[3] += c;
+        c = l[3] >> 51;
+        l[3] &= MASK51;
+        l[4] += c;
+        l[4] &= MASK51; // drop bit 255 (the subtraction of 2^255)
+        Fe(l)
+    }
+
+    /// Field addition.
+    pub fn add(self, other: Fe) -> Fe {
+        let mut l = [0u64; 5];
+        for i in 0..5 {
+            l[i] = self.0[i] + other.0[i];
+        }
+        Fe(l).carry()
+    }
+
+    /// Field subtraction.
+    pub fn sub(self, other: Fe) -> Fe {
+        // Add 2p (in loose limb form) before subtracting to keep limbs
+        // non-negative: 2p = (2^52 - 38, 2^52 - 2, ...).
+        const TWO_P: [u64; 5] = [
+            2 * ((1 << 51) - 19),
+            2 * ((1 << 51) - 1),
+            2 * ((1 << 51) - 1),
+            2 * ((1 << 51) - 1),
+            2 * ((1 << 51) - 1),
+        ];
+        let mut l = [0u64; 5];
+        for i in 0..5 {
+            l[i] = self.0[i] + TWO_P[i] - other.0[i];
+        }
+        Fe(l).carry()
+    }
+
+    /// Field negation.
+    pub fn neg(self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    /// Field multiplication.
+    pub fn mul(self, other: Fe) -> Fe {
+        let a = self.0;
+        let b = other.0;
+        let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
+        let r0 = m(a[0], b[0])
+            + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
+        let r1 = m(a[0], b[1])
+            + m(a[1], b[0])
+            + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
+        let r2 = m(a[0], b[2])
+            + m(a[1], b[1])
+            + m(a[2], b[0])
+            + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
+        let r3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0])
+            + 19 * m(a[4], b[4]);
+        let r4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+        Fe::carry_wide([r0, r1, r2, r3, r4])
+    }
+
+    /// Field squaring.
+    pub fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    fn carry_wide(mut r: [u128; 5]) -> Fe {
+        let mut c: u128;
+        c = r[0] >> 51;
+        r[0] &= MASK51 as u128;
+        r[1] += c;
+        c = r[1] >> 51;
+        r[1] &= MASK51 as u128;
+        r[2] += c;
+        c = r[2] >> 51;
+        r[2] &= MASK51 as u128;
+        r[3] += c;
+        c = r[3] >> 51;
+        r[3] &= MASK51 as u128;
+        r[4] += c;
+        c = r[4] >> 51;
+        r[4] &= MASK51 as u128;
+        r[0] += c * 19;
+        c = r[0] >> 51;
+        r[0] &= MASK51 as u128;
+        r[1] += c;
+        Fe([
+            r[0] as u64,
+            r[1] as u64,
+            r[2] as u64,
+            r[3] as u64,
+            r[4] as u64,
+        ])
+    }
+
+    /// Raises `self` to the power given by a 256-bit little-endian exponent.
+    pub fn pow(self, exponent_le: &[u8; 32]) -> Fe {
+        let mut result = Fe::ONE;
+        // Square-and-multiply from the most significant bit.
+        for byte_idx in (0..32).rev() {
+            for bit_idx in (0..8).rev() {
+                result = result.square();
+                if (exponent_le[byte_idx] >> bit_idx) & 1 == 1 {
+                    result = result.mul(self);
+                }
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`self^(p-2)`).
+    ///
+    /// Returns `Fe::ZERO` for zero input.
+    pub fn invert(self) -> Fe {
+        self.pow(&P_MINUS_2)
+    }
+
+    /// True if the element reduces to zero.
+    pub fn is_zero(self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// True if the fully reduced element is odd (used for the sign bit).
+    pub fn is_odd(self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+}
+
+impl PartialEq for Fe {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+}
+
+impl Eq for Fe {}
+
+/// p - 2 = 2^255 - 21 as little-endian bytes.
+pub const P_MINUS_2: [u8; 32] = {
+    let mut b = [0xffu8; 32];
+    b[0] = 0xeb; // 0xed - 2
+    b[31] = 0x7f;
+    b
+};
+
+/// (p + 3) / 8 = 2^252 - 2 as little-endian bytes (sqrt exponent).
+pub const SQRT_EXP: [u8; 32] = {
+    // 2^252 - 2 = 0x0fff...ffe
+    let mut b = [0xffu8; 32];
+    b[0] = 0xfe;
+    b[31] = 0x0f;
+    b
+};
+
+/// (p - 1) / 4 = 2^253 - 5 as little-endian bytes (for sqrt(-1)).
+pub const SQRT_M1_EXP: [u8; 32] = {
+    // 2^253 - 5 = 0x1fff...ffb
+    let mut b = [0xffu8; 32];
+    b[0] = 0xfb;
+    b[31] = 0x1f;
+    b
+};
+
+/// Returns sqrt(-1) mod p, computed as 2^((p-1)/4).
+pub fn sqrt_m1() -> Fe {
+    use std::sync::OnceLock;
+    static CELL: OnceLock<Fe> = OnceLock::new();
+    *CELL.get_or_init(|| Fe::from_u64(2).pow(&SQRT_M1_EXP))
+}
+
+/// Computes the square root of `a` if one exists.
+pub fn sqrt(a: Fe) -> Option<Fe> {
+    let candidate = a.pow(&SQRT_EXP);
+    if candidate.square() == a {
+        return Some(candidate);
+    }
+    let candidate = candidate.mul(sqrt_m1());
+    if candidate.square() == a {
+        return Some(candidate);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(n: u64) -> Fe {
+        Fe::from_u64(n)
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = fe(123456789);
+        let b = fe(987654321);
+        assert_eq!(a.add(b).sub(b), a);
+        assert_eq!(a.sub(b).add(b), a);
+    }
+
+    #[test]
+    fn mul_matches_small_ints() {
+        assert_eq!(fe(6).mul(fe(7)), fe(42));
+        assert_eq!(fe(1 << 30).mul(fe(1 << 30)), {
+            // 2^60 fits across two limbs.
+            Fe::from_u64(1 << 60)
+        });
+    }
+
+    #[test]
+    fn inverse() {
+        let a = fe(123456789123456789);
+        assert_eq!(a.mul(a.invert()), Fe::ONE);
+        assert_eq!(Fe::ZERO.invert(), Fe::ZERO);
+    }
+
+    #[test]
+    fn pow_small() {
+        let mut exp = [0u8; 32];
+        exp[0] = 5;
+        assert_eq!(fe(3).pow(&exp), fe(243));
+    }
+
+    #[test]
+    fn neg_and_zero() {
+        let a = fe(42);
+        assert_eq!(a.add(a.neg()), Fe::ZERO);
+        assert!(Fe::ZERO.is_zero());
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let a = fe(0xdeadbeefcafebabe);
+        let b = Fe::from_bytes(&a.to_bytes());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn p_reduces_to_zero() {
+        // p itself must serialize as zero.
+        let mut p_bytes = [0xffu8; 32];
+        p_bytes[0] = 0xed;
+        p_bytes[31] = 0x7f;
+        let p = Fe::from_bytes(&p_bytes);
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn sqrt_of_square() {
+        for n in [2u64, 3, 5, 123456789] {
+            let a = fe(n);
+            let sq = a.square();
+            let root = sqrt(sq).expect("square must have a root");
+            assert!(root == a || root == a.neg());
+        }
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = sqrt_m1();
+        assert_eq!(i.square(), Fe::ONE.neg());
+    }
+
+    #[test]
+    fn nonresidue_has_no_root() {
+        // 2 is a known quadratic non-residue mod 2^255-19? Actually 2 is a
+        // residue iff p = ±1 mod 8; p = 2^255-19 ≡ 5 mod 8, so 2 is a
+        // non-residue.
+        assert!(sqrt(fe(2)).is_none());
+    }
+}

@@ -1,0 +1,280 @@
+//! Ed25519 digital signatures (RFC 8032), built from scratch.
+//!
+//! Spire authenticates every protocol message between SCADA-master replicas,
+//! proxies and HMIs with digital signatures; the original system used RSA via
+//! OpenSSL, which this reproduction replaces with Ed25519 (see DESIGN.md).
+//!
+//! # Security note
+//!
+//! The implementation is *functionally* correct (validated against RFC 8032
+//! test vectors) but is **not constant time** — acceptable for a research
+//! simulator, unacceptable for protecting real long-term keys.
+//!
+//! # Examples
+//!
+//! ```
+//! use spire_crypto::ed25519::SigningKey;
+//! let key = SigningKey::from_seed(&[7u8; 32]);
+//! let sig = key.sign(b"breaker 14 open");
+//! assert!(key.verifying_key().verify(b"breaker 14 open", &sig));
+//! ```
+
+mod field;
+mod point;
+mod scalar;
+
+pub use point::Point;
+pub use scalar::Scalar;
+
+use crate::sha2::Sha512;
+use point::base_point;
+
+/// A 64-byte Ed25519 signature.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Signature(pub [u8; 64]);
+
+impl std::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Signature({}...)", crate::sha2::to_hex(&self.0[..8]))
+    }
+}
+
+impl Signature {
+    /// Builds a signature from raw bytes (no validation; verification
+    /// happens in [`VerifyingKey::verify`]).
+    pub fn from_bytes(bytes: [u8; 64]) -> Signature {
+        Signature(bytes)
+    }
+
+    /// Returns the raw 64 bytes.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        self.0
+    }
+}
+
+/// An Ed25519 private signing key, derived from a 32-byte seed.
+#[derive(Clone)]
+pub struct SigningKey {
+    /// Clamped and reduced secret scalar.
+    scalar: Scalar,
+    /// The second half of SHA-512(seed), used to derive nonces.
+    prefix: [u8; 32],
+    /// Cached public key.
+    verifying: VerifyingKey,
+}
+
+impl std::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SigningKey(pub={:?})", self.verifying)
+    }
+}
+
+impl SigningKey {
+    /// Derives a signing key from a 32-byte seed per RFC 8032 §5.1.5.
+    pub fn from_seed(seed: &[u8; 32]) -> SigningKey {
+        let h = Sha512::digest(seed);
+        let mut scalar_bytes = [0u8; 32];
+        scalar_bytes.copy_from_slice(&h[..32]);
+        scalar_bytes[0] &= 248;
+        scalar_bytes[31] &= 127;
+        scalar_bytes[31] |= 64;
+        // Reducing the clamped value mod l is equivalent for all uses since
+        // the base point has order l.
+        let scalar = Scalar::from_bytes_mod_order(&scalar_bytes);
+        let mut prefix = [0u8; 32];
+        prefix.copy_from_slice(&h[32..]);
+        let public = base_point().mul_scalar(&scalar).compress();
+        SigningKey {
+            scalar,
+            prefix,
+            verifying: VerifyingKey(public),
+        }
+    }
+
+    /// Returns the corresponding public key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.verifying
+    }
+
+    /// Signs a message.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let mut h = Sha512::new();
+        h.update(&self.prefix);
+        h.update(message);
+        let r = Scalar::from_wide_bytes(&h.finalize());
+        let r_point = base_point().mul_scalar(&r).compress();
+
+        let mut h = Sha512::new();
+        h.update(&r_point);
+        h.update(&self.verifying.0);
+        h.update(message);
+        let k = Scalar::from_wide_bytes(&h.finalize());
+
+        let s = r.add(k.mul(self.scalar));
+        let mut sig = [0u8; 64];
+        sig[..32].copy_from_slice(&r_point);
+        sig[32..].copy_from_slice(&s.to_bytes());
+        Signature(sig)
+    }
+}
+
+/// An Ed25519 public verification key (32-byte compressed point).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VerifyingKey(pub [u8; 32]);
+
+impl std::fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VerifyingKey({}...)", crate::sha2::to_hex(&self.0[..6]))
+    }
+}
+
+impl VerifyingKey {
+    /// Builds a verifying key from its 32-byte encoding (validated lazily
+    /// during verification).
+    pub fn from_bytes(bytes: [u8; 32]) -> VerifyingKey {
+        VerifyingKey(bytes)
+    }
+
+    /// Returns the raw 32-byte encoding.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0
+    }
+
+    /// Verifies `signature` over `message`.
+    ///
+    /// Rejects: malformed points, non-canonical `S` (malleability), and of
+    /// course mismatched signatures.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        let sig = &signature.0;
+        let mut r_bytes = [0u8; 32];
+        r_bytes.copy_from_slice(&sig[..32]);
+        let mut s_bytes = [0u8; 32];
+        s_bytes.copy_from_slice(&sig[32..]);
+
+        let Some(s) = Scalar::from_canonical_bytes(&s_bytes) else {
+            return false;
+        };
+        let Some(a) = Point::decompress(&self.0) else {
+            return false;
+        };
+        let Some(r) = Point::decompress(&r_bytes) else {
+            return false;
+        };
+
+        let mut h = Sha512::new();
+        h.update(&r_bytes);
+        h.update(&self.0);
+        h.update(message);
+        let k = Scalar::from_wide_bytes(&h.finalize());
+
+        // Check [8][S]B == [8]R + [8][k]A (cofactored verification).
+        let lhs = base_point().mul_scalar(&s).mul_by_cofactor();
+        let rhs = r.add(&a.mul_scalar(&k)).mul_by_cofactor();
+        lhs == rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha2::from_hex;
+
+    #[test]
+    fn rfc8032_test_vector_1() {
+        // RFC 8032 §7.1 TEST 1: empty message.
+        let seed: [u8; 32] = from_hex(
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+        )
+        .try_into()
+        .unwrap();
+        let key = SigningKey::from_seed(&seed);
+        assert_eq!(
+            key.verifying_key().to_bytes().to_vec(),
+            from_hex("d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a")
+        );
+        let sig = key.sign(b"");
+        assert_eq!(
+            sig.to_bytes().to_vec(),
+            from_hex(
+                "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+                 5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+            )
+        );
+        assert!(key.verifying_key().verify(b"", &sig));
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let key = SigningKey::from_seed(&[42u8; 32]);
+        let msg = b"supervisory control: open breaker 7";
+        let sig = key.sign(msg);
+        assert!(key.verifying_key().verify(msg, &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message() {
+        let key = SigningKey::from_seed(&[42u8; 32]);
+        let sig = key.sign(b"message a");
+        assert!(!key.verifying_key().verify(b"message b", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let key1 = SigningKey::from_seed(&[1u8; 32]);
+        let key2 = SigningKey::from_seed(&[2u8; 32]);
+        let sig = key1.sign(b"msg");
+        assert!(!key2.verifying_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_bitflips() {
+        let key = SigningKey::from_seed(&[9u8; 32]);
+        let msg = b"rtu 3 status update";
+        let sig = key.sign(msg);
+        for byte in [0usize, 31, 32, 63] {
+            let mut bad = sig.to_bytes();
+            bad[byte] ^= 0x01;
+            assert!(
+                !key.verifying_key().verify(msg, &Signature::from_bytes(bad)),
+                "bit flip at byte {byte} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn verify_rejects_noncanonical_s() {
+        use super::scalar::group_order;
+        let key = SigningKey::from_seed(&[5u8; 32]);
+        let sig = key.sign(b"m");
+        // Add l to S: produces the same point equation but a non-canonical
+        // encoding, which must be rejected.
+        let mut bytes = sig.to_bytes();
+        let mut s_words = [0u64; 4];
+        for i in 0..4 {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&bytes[32 + i * 8..32 + i * 8 + 8]);
+            s_words[i] = u64::from_le_bytes(w);
+        }
+        let l = group_order();
+        let mut carry = 0u128;
+        for i in 0..4 {
+            let v = s_words[i] as u128 + l[i] as u128 + carry;
+            s_words[i] = v as u64;
+            carry = v >> 64;
+        }
+        // S + l < 2^256 (l < 2^253, S < l), so no carry out.
+        assert_eq!(carry, 0);
+        for i in 0..4 {
+            bytes[32 + i * 8..32 + i * 8 + 8].copy_from_slice(&s_words[i].to_le_bytes());
+        }
+        assert!(!key.verifying_key().verify(b"m", &Signature::from_bytes(bytes)));
+    }
+
+    #[test]
+    fn distinct_messages_distinct_signatures() {
+        let key = SigningKey::from_seed(&[3u8; 32]);
+        assert_ne!(key.sign(b"a").to_bytes(), key.sign(b"b").to_bytes());
+        // Deterministic: same message, same signature.
+        assert_eq!(key.sign(b"a").to_bytes(), key.sign(b"a").to_bytes());
+    }
+}

@@ -1,0 +1,264 @@
+//! Arithmetic modulo the Ed25519 group order
+//! `l = 2^252 + 27742317777372353535851937790883648493`.
+//!
+//! The constant is constructed from its decimal expansion at first use
+//! rather than transcribed in hex, and the wide reduction uses a simple
+//! shift-subtract long division, prioritising obviousness over speed.
+
+use std::sync::OnceLock;
+
+/// A scalar modulo the group order, in four little-endian 64-bit words.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Scalar(pub(crate) [u64; 4]);
+
+/// Returns the group order `l` as four little-endian 64-bit words.
+pub fn group_order() -> &'static [u64; 4] {
+    static L: OnceLock<[u64; 4]> = OnceLock::new();
+    L.get_or_init(|| {
+        // 27742317777372353535851937790883648493, parsed digit by digit.
+        let mut acc = [0u64; 4];
+        for digit in "27742317777372353535851937790883648493".bytes() {
+            acc = mul_small(&acc, 10);
+            acc = add_small(&acc, (digit - b'0') as u64);
+        }
+        // + 2^252
+        acc[3] += 1 << (252 - 192);
+        acc
+    })
+}
+
+fn mul_small(a: &[u64; 4], m: u64) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    let mut carry: u128 = 0;
+    for i in 0..4 {
+        let v = (a[i] as u128) * (m as u128) + carry;
+        out[i] = v as u64;
+        carry = v >> 64;
+    }
+    debug_assert_eq!(carry, 0, "overflow in small multiplication");
+    out
+}
+
+fn add_small(a: &[u64; 4], m: u64) -> [u64; 4] {
+    let mut out = *a;
+    let mut carry = m;
+    for limb in out.iter_mut() {
+        let (v, c) = limb.overflowing_add(carry);
+        *limb = v;
+        carry = c as u64;
+        if carry == 0 {
+            break;
+        }
+    }
+    out
+}
+
+fn geq(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+    }
+    true
+}
+
+fn sub(a: &[u64; 4], b: &[u64; 4]) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    let mut borrow = 0u64;
+    for i in 0..4 {
+        let (v1, b1) = a[i].overflowing_sub(b[i]);
+        let (v2, b2) = v1.overflowing_sub(borrow);
+        out[i] = v2;
+        borrow = (b1 | b2) as u64;
+    }
+    debug_assert_eq!(borrow, 0, "underflow in scalar subtraction");
+    out
+}
+
+impl Scalar {
+    /// The scalar zero.
+    pub const ZERO: Scalar = Scalar([0; 4]);
+    /// The scalar one.
+    pub const ONE: Scalar = Scalar([1, 0, 0, 0]);
+
+    /// Reduces a 512-bit little-endian value modulo `l`.
+    ///
+    /// Uses bitwise shift-subtract long division: slow (512 steps) but
+    /// self-evidently correct, and plenty fast for a research codebase.
+    pub fn from_wide_bytes(bytes: &[u8; 64]) -> Scalar {
+        let l = group_order();
+        let mut rem = [0u64; 4]; // remainder < l < 2^253 always fits
+        for bit in (0..512).rev() {
+            // rem = rem * 2 + bit
+            let mut carry = (bytes[bit / 8] >> (bit % 8)) & 1;
+            for limb in rem.iter_mut() {
+                let top = (*limb >> 63) as u8;
+                *limb = (*limb << 1) | carry as u64;
+                carry = top;
+            }
+            if geq(&rem, l) {
+                rem = sub(&rem, l);
+            }
+        }
+        Scalar(rem)
+    }
+
+    /// Reduces a 256-bit little-endian value modulo `l`.
+    pub fn from_bytes_mod_order(bytes: &[u8; 32]) -> Scalar {
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(bytes);
+        Scalar::from_wide_bytes(&wide)
+    }
+
+    /// Interprets canonical little-endian bytes as a scalar, rejecting
+    /// non-canonical encodings (values >= l). Required when verifying
+    /// signatures to prevent malleability.
+    pub fn from_canonical_bytes(bytes: &[u8; 32]) -> Option<Scalar> {
+        let mut words = [0u64; 4];
+        for i in 0..4 {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&bytes[i * 8..i * 8 + 8]);
+            words[i] = u64::from_le_bytes(w);
+        }
+        if geq(&words, group_order()) {
+            None
+        } else {
+            Some(Scalar(words))
+        }
+    }
+
+    /// Serializes the scalar to 32 little-endian bytes.
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..i * 8 + 8].copy_from_slice(&self.0[i].to_le_bytes());
+        }
+        out
+    }
+
+    /// Modular addition.
+    pub fn add(self, other: Scalar) -> Scalar {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let v = (self.0[i] as u128) + (other.0[i] as u128) + (carry as u128);
+            out[i] = v as u64;
+            carry = (v >> 64) as u64;
+        }
+        // l < 2^253 and both inputs < l, so the sum fits in 254 bits: no
+        // carry out, at most one subtraction needed.
+        debug_assert_eq!(carry, 0);
+        if geq(&out, group_order()) {
+            out = sub(&out, group_order());
+        }
+        Scalar(out)
+    }
+
+    /// Modular multiplication.
+    pub fn mul(self, other: Scalar) -> Scalar {
+        let mut wide = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let v = (self.0[i] as u128) * (other.0[j] as u128)
+                    + (wide[i + j] as u128)
+                    + carry;
+                wide[i + j] = v as u64;
+                carry = v >> 64;
+            }
+            wide[i + 4] = carry as u64;
+        }
+        let mut bytes = [0u8; 64];
+        for i in 0..8 {
+            bytes[i * 8..i * 8 + 8].copy_from_slice(&wide[i].to_le_bytes());
+        }
+        Scalar::from_wide_bytes(&bytes)
+    }
+
+    /// True if the scalar is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// Iterates the scalar's 256 bits from least significant to most.
+    pub fn bits_le(self) -> impl Iterator<Item = bool> {
+        let words = self.0;
+        (0..256).map(move |i| (words[i / 64] >> (i % 64)) & 1 == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_order_words() {
+        // l mod 2 = 1 (l is odd, it's a prime).
+        assert_eq!(group_order()[0] & 1, 1);
+        // Top word carries exactly the 2^252 bit.
+        assert_eq!(group_order()[3] >> 60, 1);
+    }
+
+    #[test]
+    fn l_reduces_to_zero() {
+        let l = group_order();
+        let mut bytes = [0u8; 32];
+        for i in 0..4 {
+            bytes[i * 8..i * 8 + 8].copy_from_slice(&l[i].to_le_bytes());
+        }
+        assert!(Scalar::from_bytes_mod_order(&bytes).is_zero());
+        assert!(Scalar::from_canonical_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn l_minus_one_is_canonical() {
+        let l_minus_1 = sub(group_order(), &[1, 0, 0, 0]);
+        let s = Scalar(l_minus_1);
+        assert!(Scalar::from_canonical_bytes(&s.to_bytes()).is_some());
+        // (l-1) + 1 = 0 mod l
+        assert!(s.add(Scalar::ONE).is_zero());
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        let a = Scalar([7, 0, 0, 0]);
+        let b = Scalar([6, 0, 0, 0]);
+        assert_eq!(a.mul(b), Scalar([42, 0, 0, 0]));
+        assert_eq!(a.add(b), Scalar([13, 0, 0, 0]));
+        assert_eq!(a.mul(Scalar::ONE), a);
+        assert_eq!(a.mul(Scalar::ZERO), Scalar::ZERO);
+    }
+
+    #[test]
+    fn wide_reduction_matches_narrow() {
+        let mut narrow = [0u8; 32];
+        narrow[0] = 0x99;
+        narrow[20] = 0x77;
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(&narrow);
+        assert_eq!(
+            Scalar::from_wide_bytes(&wide),
+            Scalar::from_bytes_mod_order(&narrow)
+        );
+    }
+
+    #[test]
+    fn mul_distributes_over_add() {
+        let a = Scalar::from_bytes_mod_order(&[0xab; 32]);
+        let b = Scalar::from_bytes_mod_order(&[0x34; 32]);
+        let c = Scalar::from_bytes_mod_order(&[0x77; 32]);
+        assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let a = Scalar([0b1011, 0, 0, 1]);
+        let bits: Vec<bool> = a.bits_le().collect();
+        assert!(bits[0] && bits[1] && !bits[2] && bits[3]);
+        assert!(bits[192]);
+        assert_eq!(bits.len(), 256);
+    }
+}

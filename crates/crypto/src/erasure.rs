@@ -1,0 +1,353 @@
+//! Systematic Reed–Solomon erasure coding over GF(2^8).
+//!
+//! Prime's reconciliation and Spire's state transfer use maximum-distance-
+//! separable erasure codes so that a recovering replica can rebuild large
+//! state from *any* `k` of `n` responder shares instead of downloading the
+//! full state from one (possibly slow or malicious) peer. This module
+//! implements that substrate from scratch: GF(256) arithmetic with the
+//! AES polynomial `x^8 + x^4 + x^3 + x + 1` (0x11b), systematic encoding
+//! via polynomial evaluation, and Lagrange-interpolation decoding.
+
+/// Number of field elements.
+const FIELD: usize = 256;
+/// The AES reduction polynomial.
+const POLY: u16 = 0x11b;
+
+/// Precomputed exp/log tables for GF(256) with generator 3.
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static CELL: OnceLock<Tables> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for i in 0..(FIELD - 1) {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            // Multiply by the generator 3 = x + 1: shift + add.
+            x = (x << 1) ^ x;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        for i in (FIELD - 1)..512 {
+            exp[i] = exp[i - (FIELD - 1)];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Multiplication in GF(256).
+pub fn gf_mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    let idx = t.log[a as usize] as usize + t.log[b as usize] as usize;
+    t.exp[idx]
+}
+
+/// Multiplicative inverse in GF(256).
+///
+/// # Panics
+///
+/// Panics on zero (no inverse).
+pub fn gf_inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse");
+    let t = tables();
+    t.exp[(FIELD - 1) - t.log[a as usize] as usize]
+}
+
+/// Division in GF(256).
+pub fn gf_div(a: u8, b: u8) -> u8 {
+    gf_mul(a, gf_inv(b))
+}
+
+/// One share of an erasure-coded blob.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Share {
+    /// Share index (the field evaluation point is `index`).
+    pub index: u8,
+    /// Share payload (same length for all shares of a blob).
+    pub data: Vec<u8>,
+}
+
+/// Errors from erasure decoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErasureError {
+    /// Fewer than `k` distinct shares supplied.
+    NotEnoughShares,
+    /// Shares have inconsistent lengths.
+    LengthMismatch,
+    /// Parameters out of range (`k = 0` or `n > 255` or `k > n`).
+    BadParameters,
+    /// Duplicate share indices supplied.
+    DuplicateShare,
+}
+
+impl std::fmt::Display for ErasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErasureError::NotEnoughShares => write!(f, "not enough shares to reconstruct"),
+            ErasureError::LengthMismatch => write!(f, "share lengths differ"),
+            ErasureError::BadParameters => write!(f, "invalid erasure parameters"),
+            ErasureError::DuplicateShare => write!(f, "duplicate share index"),
+        }
+    }
+}
+
+impl std::error::Error for ErasureError {}
+
+/// Splits `data` into `n` shares such that any `k` reconstruct it.
+///
+/// Systematic: shares `0..k` carry the padded data columns verbatim (cheap
+/// fast path), shares `k..n` carry Reed–Solomon parity. Each byte column is
+/// treated as the evaluations of a degree-`k-1` polynomial: data share `i`
+/// is the evaluation at point `i`, parity shares at points `k..n`.
+///
+/// # Errors
+///
+/// Returns [`ErasureError::BadParameters`] if `k == 0`, `k > n`, or
+/// `n > 255`.
+pub fn encode(data: &[u8], k: usize, n: usize) -> Result<Vec<Share>, ErasureError> {
+    if k == 0 || k > n || n > 255 {
+        return Err(ErasureError::BadParameters);
+    }
+    // Prefix with the true length, then pad to a multiple of k.
+    let mut framed = Vec::with_capacity(8 + data.len());
+    framed.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    framed.extend_from_slice(data);
+    let share_len = framed.len().div_ceil(k);
+    framed.resize(share_len * k, 0);
+
+    // Column-major data shares: byte j of share i (i < k) is framed[j*k + i].
+    let mut shares: Vec<Share> = (0..n)
+        .map(|i| Share {
+            index: i as u8,
+            data: vec![0u8; share_len],
+        })
+        .collect();
+    for j in 0..share_len {
+        for i in 0..k {
+            shares[i].data[j] = framed[j * k + i];
+        }
+    }
+    // Parity shares: evaluate the interpolating polynomial of points
+    // (0, d0), ..., (k-1, d_{k-1}) at x = k..n-1, via Lagrange basis
+    // coefficients precomputed per evaluation point.
+    for x in k..n {
+        let coefficients = lagrange_coefficients_at(k, x as u8);
+        for j in 0..share_len {
+            let mut acc = 0u8;
+            for (i, c) in coefficients.iter().enumerate() {
+                acc ^= gf_mul(*c, shares[i].data[j]);
+            }
+            shares[x].data[j] = acc;
+        }
+    }
+    Ok(shares)
+}
+
+/// The Lagrange basis coefficients `l_i(x)` for nodes `0..k` at point `x`.
+fn lagrange_coefficients_at(k: usize, x: u8) -> Vec<u8> {
+    (0..k)
+        .map(|i| {
+            let xi = i as u8;
+            let mut num = 1u8;
+            let mut den = 1u8;
+            for m in 0..k {
+                if m == i {
+                    continue;
+                }
+                let xm = m as u8;
+                num = gf_mul(num, x ^ xm); // (x - x_m): subtraction is XOR
+                den = gf_mul(den, xi ^ xm);
+            }
+            gf_div(num, den)
+        })
+        .collect()
+}
+
+/// Reconstructs the original data from any `k` distinct shares.
+///
+/// # Errors
+///
+/// See [`ErasureError`].
+pub fn decode(shares: &[Share], k: usize) -> Result<Vec<u8>, ErasureError> {
+    if k == 0 || k > 255 {
+        return Err(ErasureError::BadParameters);
+    }
+    if shares.len() < k {
+        return Err(ErasureError::NotEnoughShares);
+    }
+    let share_len = shares[0].data.len();
+    if shares.iter().any(|s| s.data.len() != share_len) {
+        return Err(ErasureError::LengthMismatch);
+    }
+    let chosen = &shares[..k];
+    {
+        let mut seen = [false; 256];
+        for s in chosen {
+            if seen[s.index as usize] {
+                return Err(ErasureError::DuplicateShare);
+            }
+            seen[s.index as usize] = true;
+        }
+    }
+    // Interpolate the data points 0..k from the chosen shares.
+    // For each target point t in 0..k, coefficient vector over chosen nodes.
+    let mut framed = vec![0u8; share_len * k];
+    let nodes: Vec<u8> = chosen.iter().map(|s| s.index).collect();
+    for (t, target) in (0..k).enumerate() {
+        // Fast path: the systematic share for this point is present.
+        if let Some(s) = chosen.iter().find(|s| s.index == target as u8) {
+            for j in 0..share_len {
+                framed[j * k + t] = s.data[j];
+            }
+            continue;
+        }
+        let coefficients: Vec<u8> = (0..k)
+            .map(|i| {
+                let xi = nodes[i];
+                let mut num = 1u8;
+                let mut den = 1u8;
+                for (m, xm) in nodes.iter().enumerate() {
+                    if m == i {
+                        continue;
+                    }
+                    num = gf_mul(num, (target as u8) ^ xm);
+                    den = gf_mul(den, xi ^ xm);
+                }
+                gf_div(num, den)
+            })
+            .collect();
+        for j in 0..share_len {
+            let mut acc = 0u8;
+            for (i, c) in coefficients.iter().enumerate() {
+                acc ^= gf_mul(*c, chosen[i].data[j]);
+            }
+            framed[j * k + t] = acc;
+        }
+    }
+    // Strip the length frame.
+    if framed.len() < 8 {
+        return Err(ErasureError::LengthMismatch);
+    }
+    let len = u64::from_le_bytes(framed[..8].try_into().unwrap()) as usize;
+    if len > framed.len() - 8 {
+        return Err(ErasureError::LengthMismatch);
+    }
+    Ok(framed[8..8 + len].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf_field_axioms_spot_checks() {
+        // Known AES field facts: 0x53 * 0xCA = 0x01.
+        assert_eq!(gf_mul(0x53, 0xca), 0x01);
+        assert_eq!(gf_inv(0x53), 0xca);
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a={a}");
+            assert_eq!(gf_mul(a, 1), a);
+            assert_eq!(gf_mul(a, 0), 0);
+        }
+    }
+
+    #[test]
+    fn gf_mul_is_commutative_and_distributive() {
+        for a in [0u8, 1, 2, 7, 0x53, 0xff] {
+            for b in [0u8, 1, 3, 0x80, 0xca] {
+                assert_eq!(gf_mul(a, b), gf_mul(b, a));
+                for c in [0u8, 5, 0xaa] {
+                    assert_eq!(gf_mul(a, b ^ c), gf_mul(a, b) ^ gf_mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_systematic_shares() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let shares = encode(&data, 4, 6).unwrap();
+        assert_eq!(shares.len(), 6);
+        // Any k = 4 systematic shares reconstruct.
+        assert_eq!(decode(&shares[..4], 4).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_with_parity_shares() {
+        let data = b"power grid state snapshot".to_vec();
+        let shares = encode(&data, 3, 6).unwrap();
+        // Drop all systematic shares; use parity only.
+        let parity = vec![shares[3].clone(), shares[4].clone(), shares[5].clone()];
+        assert_eq!(decode(&parity, 3).unwrap(), data);
+        // Mixed subset.
+        let mixed = vec![shares[1].clone(), shares[5].clone(), shares[2].clone()];
+        assert_eq!(decode(&mixed, 3).unwrap(), data);
+    }
+
+    #[test]
+    fn every_k_subset_reconstructs() {
+        let data: Vec<u8> = (0..257u32).map(|i| (i * 7 % 256) as u8).collect();
+        let (k, n) = (3usize, 6usize);
+        let shares = encode(&data, k, n).unwrap();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    let subset = vec![shares[a].clone(), shares[b].clone(), shares[c].clone()];
+                    assert_eq!(decode(&subset, k).unwrap(), data, "subset {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_few_shares_fails() {
+        let shares = encode(b"x", 3, 5).unwrap();
+        assert_eq!(decode(&shares[..2], 3), Err(ErasureError::NotEnoughShares));
+    }
+
+    #[test]
+    fn duplicate_share_rejected() {
+        let shares = encode(b"hello", 2, 4).unwrap();
+        let dup = vec![shares[1].clone(), shares[1].clone()];
+        assert_eq!(decode(&dup, 2), Err(ErasureError::DuplicateShare));
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert_eq!(encode(b"x", 0, 3), Err(ErasureError::BadParameters));
+        assert_eq!(encode(b"x", 4, 3), Err(ErasureError::BadParameters));
+        assert_eq!(encode(b"x", 3, 300), Err(ErasureError::BadParameters));
+    }
+
+    #[test]
+    fn empty_data_roundtrips() {
+        let shares = encode(&[], 2, 4).unwrap();
+        assert_eq!(decode(&shares[1..3], 2).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn k_equals_one_is_replication() {
+        let data = b"replica".to_vec();
+        let shares = encode(&data, 1, 3).unwrap();
+        for s in &shares {
+            assert_eq!(decode(std::slice::from_ref(s), 1).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn k_equals_n_has_no_redundancy_but_works() {
+        let data: Vec<u8> = (0..100).collect();
+        let shares = encode(&data, 5, 5).unwrap();
+        assert_eq!(decode(&shares, 5).unwrap(), data);
+    }
+}

@@ -1,0 +1,218 @@
+//! Merkle trees over SHA-256, used for state-transfer integrity checks and
+//! for amortizing signatures over message batches (as Prime does).
+
+use crate::sha2::Sha256;
+
+/// A 32-byte hash value.
+pub type Digest = [u8; 32];
+
+/// Hashes a leaf with domain separation.
+pub fn leaf_hash(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[0x00]);
+    h.update(data);
+    h.finalize()
+}
+
+/// Hashes an interior node with domain separation.
+pub fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[0x01]);
+    h.update(left);
+    h.update(right);
+    h.finalize()
+}
+
+/// A Merkle tree built over a list of byte-string leaves.
+///
+/// Odd nodes at each level are promoted unchanged (Bitcoin-style duplication
+/// is avoided because it permits ambiguous proofs).
+///
+/// # Examples
+///
+/// ```
+/// use spire_crypto::merkle::MerkleTree;
+/// let tree = MerkleTree::build([b"a".as_slice(), b"b".as_slice(), b"c".as_slice()]);
+/// let proof = tree.prove(2).unwrap();
+/// assert!(proof.verify(&tree.root(), b"c"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    /// levels[0] = leaf hashes, last level = [root].
+    levels: Vec<Vec<Digest>>,
+}
+
+impl MerkleTree {
+    /// Builds a tree over the given leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is empty.
+    pub fn build<'a, I>(leaves: I) -> MerkleTree
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let level0: Vec<Digest> = leaves.into_iter().map(leaf_hash).collect();
+        assert!(!level0.is_empty(), "merkle tree needs at least one leaf");
+        let mut levels = vec![level0];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(node_hash(&pair[0], &pair[1]));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root digest.
+    pub fn root(&self) -> Digest {
+        self.levels.last().unwrap()[0]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// True if the tree has exactly one leaf.
+    pub fn is_empty(&self) -> bool {
+        false // a tree always has >= 1 leaf; method provided for API symmetry
+    }
+
+    /// Builds an inclusion proof for leaf `index`.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.len() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling = idx ^ 1;
+            if sibling < level.len() {
+                path.push(ProofNode {
+                    digest: level[sibling],
+                    is_left: sibling < idx,
+                });
+            }
+            idx /= 2;
+        }
+        Some(MerkleProof { index, path })
+    }
+}
+
+/// One step of a Merkle inclusion proof.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct ProofNode {
+    digest: Digest,
+    /// True if the sibling is the left child.
+    is_left: bool,
+}
+
+/// An inclusion proof tying a leaf to a root.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerkleProof {
+    index: usize,
+    path: Vec<ProofNode>,
+}
+
+impl MerkleProof {
+    /// Verifies that `leaf_data` is included under `root`.
+    pub fn verify(&self, root: &Digest, leaf_data: &[u8]) -> bool {
+        let mut acc = leaf_hash(leaf_data);
+        for node in &self.path {
+            acc = if node.is_left {
+                node_hash(&node.digest, &acc)
+            } else {
+                node_hash(&acc, &node.digest)
+            };
+        }
+        &acc == root
+    }
+
+    /// The index of the proven leaf.
+    pub fn leaf_index(&self) -> usize {
+        self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let tree = MerkleTree::build([b"only".as_slice()]);
+        assert_eq!(tree.root(), leaf_hash(b"only"));
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn proofs_verify_for_all_sizes() {
+        for n in 1..=17 {
+            let data = leaves(n);
+            let tree = MerkleTree::build(data.iter().map(|v| v.as_slice()));
+            for (i, leaf) in data.iter().enumerate() {
+                let proof = tree.prove(i).expect("index in range");
+                assert!(proof.verify(&tree.root(), leaf), "n={n} i={i}");
+                assert_eq!(proof.leaf_index(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_leaf() {
+        let data = leaves(8);
+        let tree = MerkleTree::build(data.iter().map(|v| v.as_slice()));
+        let proof = tree.prove(3).unwrap();
+        assert!(!proof.verify(&tree.root(), b"leaf-4"));
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_root() {
+        let data = leaves(5);
+        let tree = MerkleTree::build(data.iter().map(|v| v.as_slice()));
+        let proof = tree.prove(0).unwrap();
+        let mut bad_root = tree.root();
+        bad_root[0] ^= 1;
+        assert!(!proof.verify(&bad_root, b"leaf-0"));
+    }
+
+    #[test]
+    fn out_of_range_index() {
+        let tree = MerkleTree::build([b"x".as_slice()]);
+        assert!(tree.prove(1).is_none());
+    }
+
+    #[test]
+    fn different_leaf_sets_different_roots() {
+        let a = MerkleTree::build([b"a".as_slice(), b"b".as_slice()]);
+        let b = MerkleTree::build([b"a".as_slice(), b"c".as_slice()]);
+        assert_ne!(a.root(), b.root());
+        // Order matters.
+        let c = MerkleTree::build([b"b".as_slice(), b"a".as_slice()]);
+        assert_ne!(a.root(), c.root());
+    }
+
+    #[test]
+    fn domain_separation_prevents_leaf_node_confusion() {
+        // The hash of two leaves as a node differs from hashing their
+        // concatenation as a leaf.
+        let l = leaf_hash(b"a");
+        let r = leaf_hash(b"b");
+        let node = node_hash(&l, &r);
+        let mut concat = Vec::new();
+        concat.extend_from_slice(&l);
+        concat.extend_from_slice(&r);
+        assert_ne!(node, leaf_hash(&concat));
+    }
+}

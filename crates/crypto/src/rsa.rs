@@ -1,0 +1,342 @@
+//! RSA signatures (PKCS#1 v1.5 with SHA-256), from scratch.
+//!
+//! The original Spire authenticates Prime messages with RSA via OpenSSL;
+//! this module provides the same primitive for fidelity experiments and
+//! micro-benchmarks (the simulation deployments default to Ed25519 or mock
+//! signatures, which are much cheaper). Key generation uses Miller–Rabin
+//! with a caller-provided deterministic RNG so test keys are reproducible.
+//!
+//! Not constant time; research use only (see the crate-level note).
+
+use crate::bignum::{Montgomery, Ubig};
+use crate::sha2::Sha256;
+use rand::Rng;
+
+/// `DigestInfo` DER prefix for SHA-256 (RFC 8017 §9.2 note 1).
+const SHA256_DER_PREFIX: [u8; 19] = [
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
+    0x05, 0x00, 0x04, 0x20,
+];
+
+/// Small primes for trial division before Miller–Rabin.
+fn small_primes() -> &'static [u64] {
+    &[
+        3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+        97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+        191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+    ]
+}
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+pub fn is_probable_prime(n: &Ubig, rounds: u32, rng: &mut impl Rng) -> bool {
+    if n.bits() < 2 {
+        return false;
+    }
+    if !n.is_odd() {
+        return n == &Ubig::from_u64(2);
+    }
+    for p in small_primes() {
+        let p_big = Ubig::from_u64(*p);
+        if n == &p_big {
+            return true;
+        }
+        if n.rem(&p_big).is_zero() {
+            return false;
+        }
+    }
+    // n - 1 = d * 2^r with d odd.
+    let n_minus_1 = n.sub(&Ubig::one());
+    let mut d = n_minus_1.clone();
+    let mut r = 0u32;
+    while !d.is_odd() {
+        d = d.shr1();
+        r += 1;
+    }
+    let mont = Montgomery::new(n);
+    let byte_len = n.bits().div_ceil(8);
+    'witness: for _ in 0..rounds {
+        // Random base in [2, n-2]: sample bytes and reduce (bias is
+        // irrelevant for primality testing).
+        let mut bytes = vec![0u8; byte_len];
+        rng.fill(&mut bytes[..]);
+        let a = Ubig::from_be_bytes(&bytes).rem(n);
+        if a.bits() < 2 {
+            continue;
+        }
+        let mut x = mont.pow(&a, &d);
+        if x == Ubig::one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..r.saturating_sub(1) {
+            x = mont.pow(&x, &Ubig::from_u64(2));
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+pub fn generate_prime(bits: usize, rng: &mut impl Rng) -> Ubig {
+    assert!(bits >= 16, "prime too small");
+    loop {
+        let byte_len = bits.div_ceil(8);
+        let mut bytes = vec![0u8; byte_len];
+        rng.fill(&mut bytes[..]);
+        // Force exact bit length and oddness.
+        let top_bit = (bits - 1) % 8;
+        bytes[0] &= (1u16 << (top_bit + 1)).wrapping_sub(1) as u8;
+        bytes[0] |= 1 << top_bit;
+        let last = byte_len - 1;
+        bytes[last] |= 1;
+        let candidate = Ubig::from_be_bytes(&bytes);
+        if is_probable_prime(&candidate, 12, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Extended Euclid: returns `e^{-1} mod m`, if `gcd(e, m) = 1`.
+fn mod_inverse(e: &Ubig, m: &Ubig) -> Option<Ubig> {
+    // Signed coefficients tracked as (magnitude, negative?) pairs.
+    let mut old_r = m.clone();
+    let mut r = e.rem(m);
+    if r.is_zero() {
+        return None;
+    }
+    let mut old_t: (Ubig, bool) = (Ubig::zero(), false);
+    let mut t: (Ubig, bool) = (Ubig::one(), false);
+    while !r.is_zero() {
+        let (q, rem) = old_r.div_rem(&r);
+        old_r = std::mem::replace(&mut r, rem);
+        // new_t = old_t - q * t  (signed)
+        let qt = q.mul(&t.0);
+        let new_t = signed_sub(&old_t, &(qt, t.1));
+        old_t = std::mem::replace(&mut t, new_t);
+    }
+    if old_r != Ubig::one() {
+        return None; // not coprime
+    }
+    // Normalize old_t into [0, m).
+    let magnitude = old_t.0.rem(m);
+    Some(if old_t.1 && !magnitude.is_zero() {
+        m.sub(&magnitude)
+    } else {
+        magnitude
+    })
+}
+
+/// `a - b` over signed magnitudes.
+fn signed_sub(a: &(Ubig, bool), b: &(Ubig, bool)) -> (Ubig, bool) {
+    match (a.1, b.1) {
+        // a - b with equal signs: magnitude subtraction.
+        (false, false) | (true, true) => {
+            if a.0.cmp_with(&b.0) != std::cmp::Ordering::Less {
+                (a.0.sub(&b.0), a.1)
+            } else {
+                (b.0.sub(&a.0), !a.1)
+            }
+        }
+        // a - (-b) = a + b ; (-a) - b = -(a + b)
+        (false, true) => (a.0.add(&b.0), false),
+        (true, false) => (a.0.add(&b.0), true),
+    }
+}
+
+/// An RSA public key.
+#[derive(Clone, Debug)]
+pub struct RsaPublicKey {
+    n: Ubig,
+    e: Ubig,
+    modulus_len: usize,
+}
+
+/// An RSA private key.
+pub struct RsaPrivateKey {
+    public: RsaPublicKey,
+    d: Ubig,
+}
+
+impl std::fmt::Debug for RsaPrivateKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RsaPrivateKey({} bits)", self.public.n.bits())
+    }
+}
+
+impl RsaPublicKey {
+    /// Verifies a PKCS#1 v1.5 SHA-256 signature.
+    pub fn verify(&self, message: &[u8], signature: &[u8]) -> bool {
+        if signature.len() != self.modulus_len {
+            return false;
+        }
+        let s = Ubig::from_be_bytes(signature);
+        if s.cmp_with(&self.n) != std::cmp::Ordering::Less {
+            return false;
+        }
+        let mont = Montgomery::new(&self.n);
+        let em = mont.pow(&s, &self.e).to_be_bytes_padded(self.modulus_len);
+        em == emsa_pkcs1_v15(message, self.modulus_len)
+    }
+
+    /// The modulus size in bytes (= signature size).
+    pub fn modulus_len(&self) -> usize {
+        self.modulus_len
+    }
+}
+
+impl RsaPrivateKey {
+    /// Generates a keypair with an n-bit modulus (e = 65537).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus_bits < 128` (too small even for tests).
+    pub fn generate(modulus_bits: usize, rng: &mut impl Rng) -> RsaPrivateKey {
+        assert!(modulus_bits >= 128, "modulus too small");
+        let e = Ubig::from_u64(65537);
+        loop {
+            let p = generate_prime(modulus_bits / 2, rng);
+            let q = generate_prime(modulus_bits - modulus_bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            if n.bits() != modulus_bits {
+                continue;
+            }
+            let phi = p.sub(&Ubig::one()).mul(&q.sub(&Ubig::one()));
+            let Some(d) = mod_inverse(&e, &phi) else {
+                continue;
+            };
+            debug_assert_eq!(e.mul(&d).rem(&phi), Ubig::one());
+            let modulus_len = modulus_bits.div_ceil(8);
+            return RsaPrivateKey {
+                public: RsaPublicKey { n, e, modulus_len },
+                d,
+            };
+        }
+    }
+
+    /// The public half.
+    pub fn public_key(&self) -> RsaPublicKey {
+        self.public.clone()
+    }
+
+    /// Signs a message (PKCS#1 v1.5 with SHA-256).
+    pub fn sign(&self, message: &[u8]) -> Vec<u8> {
+        let em = emsa_pkcs1_v15(message, self.public.modulus_len);
+        let m = Ubig::from_be_bytes(&em);
+        let mont = Montgomery::new(&self.public.n);
+        mont.pow(&m, &self.d)
+            .to_be_bytes_padded(self.public.modulus_len)
+    }
+}
+
+/// EMSA-PKCS1-v1_5 encoding of SHA-256(message).
+fn emsa_pkcs1_v15(message: &[u8], em_len: usize) -> Vec<u8> {
+    let digest = Sha256::digest(message);
+    let t_len = SHA256_DER_PREFIX.len() + digest.len();
+    assert!(em_len >= t_len + 11, "modulus too small for PKCS#1 v1.5");
+    let mut em = Vec::with_capacity(em_len);
+    em.push(0x00);
+    em.push(0x01);
+    em.resize(em_len - t_len - 1, 0xff);
+    em.push(0x00);
+    em.extend_from_slice(&SHA256_DER_PREFIX);
+    em.extend_from_slice(&digest);
+    em
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn miller_rabin_classifies_known_numbers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in [2u64, 3, 5, 97, 101, 65537, 1_000_003] {
+            assert!(
+                is_probable_prime(&Ubig::from_u64(p), 16, &mut rng),
+                "{p} is prime"
+            );
+        }
+        for c in [1u64, 4, 100, 65536, 1_000_001, 561, 6601, 41041] {
+            // (561, 6601, 41041 are Carmichael numbers)
+            assert!(
+                !is_probable_prime(&Ubig::from_u64(c), 16, &mut rng),
+                "{c} is composite"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_primes_have_exact_bit_length() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for bits in [64usize, 96, 128] {
+            let p = generate_prime(bits, &mut rng);
+            assert_eq!(p.bits(), bits);
+            assert!(p.is_odd());
+        }
+    }
+
+    #[test]
+    fn mod_inverse_small_cases() {
+        // 3 * 7 = 21 = 1 mod 20... check against known inverses (odd moduli).
+        let inv = mod_inverse(&Ubig::from_u64(3), &Ubig::from_u64(25)).unwrap();
+        assert_eq!(
+            Ubig::from_u64(3).mul(&inv).rem(&Ubig::from_u64(25)),
+            Ubig::one()
+        );
+        let inv = mod_inverse(&Ubig::from_u64(65537), &Ubig::from_u64(0x7fff_ffff)).unwrap();
+        assert_eq!(
+            Ubig::from_u64(65537)
+                .mul(&inv)
+                .rem(&Ubig::from_u64(0x7fff_ffff)),
+            Ubig::one()
+        );
+    }
+
+    #[test]
+    fn rsa_sign_verify_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // 512-bit keys keep the test fast; the scheme is parameterized.
+        let key = RsaPrivateKey::generate(512, &mut rng);
+        let public = key.public_key();
+        let msg = b"breaker 14 open";
+        let sig = key.sign(msg);
+        assert_eq!(sig.len(), public.modulus_len());
+        assert!(public.verify(msg, &sig));
+    }
+
+    #[test]
+    fn rsa_rejects_tampering() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let key = RsaPrivateKey::generate(512, &mut rng);
+        let public = key.public_key();
+        let sig = key.sign(b"message");
+        assert!(!public.verify(b"other message", &sig));
+        let mut bad = sig.clone();
+        bad[10] ^= 1;
+        assert!(!public.verify(b"message", &bad));
+        assert!(!public.verify(b"message", &sig[1..]));
+    }
+
+    #[test]
+    fn rsa_cross_key_rejection() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let key1 = RsaPrivateKey::generate(512, &mut rng);
+        let key2 = RsaPrivateKey::generate(512, &mut rng);
+        let sig = key1.sign(b"m");
+        assert!(!key2.public_key().verify(b"m", &sig));
+    }
+
+    #[test]
+    fn keygen_is_deterministic_from_seed() {
+        let k1 = RsaPrivateKey::generate(512, &mut StdRng::seed_from_u64(7));
+        let k2 = RsaPrivateKey::generate(512, &mut StdRng::seed_from_u64(7));
+        assert_eq!(k1.sign(b"x"), k2.sign(b"x"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests of the cryptographic primitives.
+
+use proptest::prelude::*;
+use spire_crypto::ed25519::SigningKey;
+use spire_crypto::hmac::{hmac_sha256, verify_hmac_sha256};
+use spire_crypto::keys::{mock_sign64, verify64, KeyMaterial, KeyStore, NodeId, Signer};
+use spire_crypto::merkle::MerkleTree;
+use spire_crypto::sha2::{Sha256, Sha512};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                                         split in 0usize..4096) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn sha512_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                                         split in 0usize..4096) {
+        let split = split.min(data.len());
+        let mut h = Sha512::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize().to_vec(), Sha512::digest(&data).to_vec());
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests(a in proptest::collection::vec(any::<u8>(), 0..256),
+                                        b in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assume!(a != b);
+        prop_assert_ne!(Sha256::digest(&a), Sha256::digest(&b));
+    }
+
+    #[test]
+    fn hmac_roundtrip_and_tamper(key in proptest::collection::vec(any::<u8>(), 0..128),
+                                 msg in proptest::collection::vec(any::<u8>(), 0..512),
+                                 flip in 0usize..512) {
+        let tag = hmac_sha256(&key, &msg);
+        prop_assert!(verify_hmac_sha256(&key, &msg, &tag));
+        if !msg.is_empty() {
+            let mut tampered = msg.clone();
+            let idx = flip % tampered.len();
+            tampered[idx] ^= 1;
+            prop_assert!(!verify_hmac_sha256(&key, &tampered, &tag));
+        }
+    }
+
+    #[test]
+    fn ed25519_sign_verify_roundtrip(seed in any::<[u8; 32]>(),
+                                     msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let key = SigningKey::from_seed(&seed);
+        let sig = key.sign(&msg);
+        prop_assert!(key.verifying_key().verify(&msg, &sig));
+    }
+
+    #[test]
+    fn ed25519_rejects_tampered_message(seed in any::<[u8; 32]>(),
+                                        msg in proptest::collection::vec(any::<u8>(), 1..256),
+                                        flip in 0usize..256) {
+        let key = SigningKey::from_seed(&seed);
+        let sig = key.sign(&msg);
+        let mut tampered = msg.clone();
+        let idx = flip % tampered.len();
+        tampered[idx] ^= 0x40;
+        prop_assert!(!key.verifying_key().verify(&tampered, &sig));
+    }
+
+    #[test]
+    fn ed25519_cross_key_rejection(seed_a in any::<[u8; 32]>(), seed_b in any::<[u8; 32]>(),
+                                   msg in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assume!(seed_a != seed_b);
+        let a = SigningKey::from_seed(&seed_a);
+        let b = SigningKey::from_seed(&seed_b);
+        let sig = a.sign(&msg);
+        prop_assert!(!b.verifying_key().verify(&msg, &sig));
+    }
+
+    #[test]
+    fn merkle_all_proofs_verify(leaves in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..32), 1..40)) {
+        let tree = MerkleTree::build(leaves.iter().map(|l| l.as_slice()));
+        for (i, leaf) in leaves.iter().enumerate() {
+            let proof = tree.prove(i).unwrap();
+            prop_assert!(proof.verify(&tree.root(), leaf));
+        }
+    }
+
+    #[test]
+    fn merkle_proof_rejects_other_leaves(leaves in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 1..16), 2..20), idx in 0usize..20) {
+        let tree = MerkleTree::build(leaves.iter().map(|l| l.as_slice()));
+        let idx = idx % leaves.len();
+        let other = (idx + 1) % leaves.len();
+        prop_assume!(leaves[idx] != leaves[other]);
+        let proof = tree.prove(idx).unwrap();
+        prop_assert!(!proof.verify(&tree.root(), &leaves[other]));
+    }
+
+    #[test]
+    fn signer_modes_bind_messages(seed in any::<u64>(),
+                                  msg in proptest::collection::vec(any::<u8>(), 0..128),
+                                  mock in any::<bool>()) {
+        let material = KeyMaterial::new([9u8; 32]);
+        let store = KeyStore::for_nodes(&material, 4);
+        let node = NodeId((seed % 4) as u32);
+        let signer = Signer::new(material.signing_key(node), mock);
+        let sig = signer.sign64(&msg);
+        prop_assert!(verify64(&store, node, &msg, &sig, mock));
+        let mut other = msg.clone();
+        other.push(0);
+        prop_assert!(!verify64(&store, node, &other, &sig, mock));
+    }
+}
+
+#[test]
+fn mock_signature_is_deterministic() {
+    let material = KeyMaterial::new([1u8; 32]);
+    let pk = material.signing_key(NodeId(0)).verifying_key();
+    assert_eq!(mock_sign64(&pk, b"x"), mock_sign64(&pk, b"x"));
+    assert_ne!(mock_sign64(&pk, b"x"), mock_sign64(&pk, b"y"));
+}
+
+mod erasure_props {
+    use proptest::prelude::*;
+    use spire_crypto::erasure::{decode, encode};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn any_k_subset_reconstructs(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                     k in 1usize..5, extra in 0usize..4,
+                                     pick in any::<u64>()) {
+            let n = k + extra;
+            let shares = encode(&data, k, n).unwrap();
+            prop_assert_eq!(shares.len(), n);
+            // Pseudo-randomly pick k distinct shares.
+            let mut indices: Vec<usize> = (0..n).collect();
+            let mut seed = pick;
+            for i in (1..indices.len()).rev() {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                indices.swap(i, (seed % (i as u64 + 1)) as usize);
+            }
+            let subset: Vec<_> = indices[..k].iter().map(|i| shares[*i].clone()).collect();
+            prop_assert_eq!(decode(&subset, k).unwrap(), data);
+        }
+
+        #[test]
+        fn share_sizes_are_balanced(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                    k in 1usize..6) {
+            let shares = encode(&data, k, k + 2).unwrap();
+            let len = shares[0].data.len();
+            prop_assert!(shares.iter().all(|s| s.data.len() == len));
+            // Overhead is the 8-byte length frame plus <= k-1 padding.
+            prop_assert!(len * k <= data.len() + 8 + k);
+        }
+    }
+}
+
+mod bignum_props {
+    use proptest::prelude::*;
+    use spire_crypto::bignum::{Montgomery, Ubig};
+
+    fn big(v: u128) -> Ubig {
+        Ubig::from_be_bytes(&v.to_be_bytes())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn add_sub_mul_match_u128(a in any::<u64>(), b in any::<u64>()) {
+            let (ba, bb) = (big(a as u128), big(b as u128));
+            prop_assert_eq!(ba.add(&bb), big(a as u128 + b as u128));
+            prop_assert_eq!(ba.mul(&bb), big(a as u128 * b as u128));
+            if a >= b {
+                prop_assert_eq!(ba.sub(&bb), big((a - b) as u128));
+            }
+        }
+
+        #[test]
+        fn div_rem_reconstructs(a in any::<u128>(), m in 1u128..) {
+            let (q, r) = big(a).div_rem(&big(m));
+            prop_assert_eq!(q.mul(&big(m)).add(&r), big(a));
+            prop_assert!(r.cmp_with(&big(m)) == std::cmp::Ordering::Less);
+        }
+
+        #[test]
+        fn montgomery_pow_matches_naive_u64(a in any::<u64>(), e in 0u64..4096, m in any::<u32>()) {
+            let m = (m as u64) | 1; // odd
+            prop_assume!(m > 1);
+            let mont = Montgomery::new(&Ubig::from_u64(m));
+            let mut expected: u128 = 1;
+            let base = (a % m) as u128;
+            for _ in 0..e {
+                expected = expected * base % m as u128;
+            }
+            prop_assert_eq!(
+                mont.pow(&Ubig::from_u64(a), &Ubig::from_u64(e)),
+                big(expected)
+            );
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Prime replication parameters.
+
+use spire_sim::Span;
+
+/// Identifies a replica (0-based, dense).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ReplicaId(pub u32);
+
+impl std::fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identifies a client of the replicated service (proxy or HMI).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClientId(pub u32);
+
+impl std::fmt::Display for ClientId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Protocol mode: full Prime, or a PBFT-style baseline without Prime's
+/// performance-under-attack defenses (used for the paper's comparisons).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ProtocolMode {
+    /// Prime: pre-ordering fairness + suspect-leader turnaround monitoring.
+    #[default]
+    Prime,
+    /// Leader-based BFT with only a conservative crash timeout; a malicious
+    /// leader can delay every proposal just below the timeout indefinitely.
+    PbftLike,
+}
+
+/// Static configuration shared by all replicas of one Prime instance.
+#[derive(Clone, Debug)]
+pub struct PrimeConfig {
+    /// Number of replicas (`n`).
+    pub n: u32,
+    /// Tolerated Byzantine replicas (`f`).
+    pub f: u32,
+    /// Tolerated simultaneously recovering replicas (`k`).
+    pub k: u32,
+    /// Protocol mode.
+    pub mode: ProtocolMode,
+    /// Batch flush interval for PO-Requests.
+    pub po_interval: Span,
+    /// Maximum ops per PO-Request batch.
+    pub po_batch: usize,
+    /// PO-Summary broadcast interval.
+    pub summary_interval: Span,
+    /// Leader's pre-prepare (proposal) interval, Δpp.
+    pub pre_prepare_interval: Span,
+    /// Ping interval for RTT measurement (suspect-leader).
+    pub ping_interval: Span,
+    /// Multiplier over the measured network round trip allowed to the
+    /// leader before suspicion (Prime's K_lat).
+    pub tat_allowance: f64,
+    /// Hard timeout with no ordering progress before suspecting the leader
+    /// (the only defense in [`ProtocolMode::PbftLike`]).
+    pub progress_timeout: Span,
+    /// Take a checkpoint every this many committed matrices.
+    pub checkpoint_interval: u64,
+    /// Retry interval for fetching missing PO-Requests (reconciliation).
+    pub recon_interval: Span,
+    /// A recovering replica that finds no checkpoint anywhere for this long
+    /// rejoins from genesis and catches up via reconciliation instead.
+    pub recovery_genesis_timeout: Span,
+    /// Crypto id base for replicas in the key store.
+    pub replica_key_base: u32,
+    /// Crypto id base for clients in the key store.
+    pub client_key_base: u32,
+}
+
+impl PrimeConfig {
+    /// A configuration for `n = 3f + 2k + 1` replicas with sane defaults.
+    pub fn new(f: u32, k: u32) -> PrimeConfig {
+        PrimeConfig {
+            n: 3 * f + 2 * k + 1,
+            f,
+            k,
+            mode: ProtocolMode::Prime,
+            po_interval: Span::millis(5),
+            po_batch: 64,
+            summary_interval: Span::millis(10),
+            pre_prepare_interval: Span::millis(30),
+            ping_interval: Span::millis(500),
+            tat_allowance: 2.5,
+            progress_timeout: Span::secs(5),
+            checkpoint_interval: 50,
+            recon_interval: Span::millis(50),
+            recovery_genesis_timeout: Span::secs(3),
+            replica_key_base: 1000,
+            client_key_base: 2000,
+        }
+    }
+
+    /// Quorum needed to order (prepare/commit/new-view): `2f + k + 1`.
+    pub fn ordering_quorum(&self) -> usize {
+        (2 * self.f + self.k + 1) as usize
+    }
+
+    /// Acks (from others) needed to pre-order a request: `2f + k`.
+    pub fn po_ack_quorum(&self) -> usize {
+        (2 * self.f + self.k) as usize
+    }
+
+    /// Summaries that must cover an op before execution: `f + k + 1`
+    /// (guarantees a correct, currently-up replica can supply the content).
+    pub fn cover_quorum(&self) -> usize {
+        (self.f + self.k + 1) as usize
+    }
+
+    /// Suspicions needed to change view: `f + k + 1` (at least one correct
+    /// up replica among them).
+    pub fn suspect_quorum(&self) -> usize {
+        (self.f + self.k + 1) as usize
+    }
+
+    /// The leader of a view.
+    pub fn leader_of(&self, view: u64) -> ReplicaId {
+        ReplicaId((view % self.n as u64) as u32)
+    }
+
+    /// Validates the resilience inequality `n >= 3f + 2k + 1`.
+    pub fn is_valid(&self) -> bool {
+        self.n >= 3 * self.f + 2 * self.k + 1 && self.n > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorums_f1_k1() {
+        let c = PrimeConfig::new(1, 1);
+        assert_eq!(c.n, 6);
+        assert!(c.is_valid());
+        assert_eq!(c.ordering_quorum(), 4);
+        assert_eq!(c.po_ack_quorum(), 3);
+        assert_eq!(c.cover_quorum(), 3);
+        assert_eq!(c.suspect_quorum(), 3);
+    }
+
+    #[test]
+    fn quorums_f1_k0() {
+        let c = PrimeConfig::new(1, 0);
+        assert_eq!(c.n, 4); // classic PBFT sizing
+        assert_eq!(c.ordering_quorum(), 3);
+    }
+
+    #[test]
+    fn leader_rotation() {
+        let c = PrimeConfig::new(1, 1);
+        assert_eq!(c.leader_of(0), ReplicaId(0));
+        assert_eq!(c.leader_of(7), ReplicaId(1));
+    }
+
+    #[test]
+    fn quorum_intersection_property() {
+        // Any two ordering quorums intersect in at least f+1 replicas, and
+        // the system stays live with f faulty + k recovering.
+        for f in 0..4u32 {
+            for k in 0..3u32 {
+                let c = PrimeConfig::new(f, k);
+                let q = c.ordering_quorum() as u32;
+                assert!(2 * q > c.n + f, "quorum intersection violated");
+                assert!(c.n - f - k >= q, "liveness violated");
+            }
+        }
+    }
+}

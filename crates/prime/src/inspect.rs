@@ -1,0 +1,153 @@
+//! White-box inspection of replica state for invariant checking.
+//!
+//! Replicas publish their execution history into a shared registry after
+//! every executed operation; tests and the red-team harness use it to check
+//! **safety** (all correct replicas execute the same op sequence — their
+//! execution hash chains are prefix-compatible) and **liveness** (the
+//! executed-op counts advance).
+
+use spire_crypto::Digest;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Execution record of one replica.
+///
+/// `exec_chain[i]` is the chain head after global op number
+/// `chain_offset + i + 1`. A replica that state-transferred resumes its
+/// chain at the checkpoint's op count (the head survives inside the
+/// snapshot), so prefix comparisons remain sound across recoveries.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicaRecord {
+    /// Current view.
+    pub view: u64,
+    /// Highest executed matrix sequence.
+    pub last_executed: u64,
+    /// Total ops executed since genesis (including pre-recovery history).
+    pub ops_executed: u64,
+    /// Global op index before the first entry of `exec_chain`.
+    pub chain_offset: u64,
+    /// Hash chain value after each executed op from `chain_offset`.
+    pub exec_chain: Vec<Digest>,
+    /// Application digest after the latest execution.
+    pub app_digest: Digest,
+}
+
+/// Shared registry: replica id -> record.
+#[derive(Clone, Debug, Default)]
+pub struct Inspection {
+    inner: Rc<RefCell<BTreeMap<u32, ReplicaRecord>>>,
+}
+
+impl Inspection {
+    /// Creates an empty registry.
+    pub fn new() -> Inspection {
+        Inspection::default()
+    }
+
+    /// Updates a replica's record (called by the replica itself).
+    pub fn update(&self, replica: u32, f: impl FnOnce(&mut ReplicaRecord)) {
+        let mut map = self.inner.borrow_mut();
+        f(map.entry(replica).or_default())
+    }
+
+    /// Reads a snapshot of all records.
+    pub fn records(&self) -> BTreeMap<u32, ReplicaRecord> {
+        self.inner.borrow().clone()
+    }
+
+    /// Checks pairwise prefix-compatibility of the execution chains of the
+    /// given replicas over their overlapping global op range; returns the
+    /// violating pair if safety was broken.
+    pub fn check_safety(&self, replicas: &[u32]) -> Result<(), (u32, u32)> {
+        let map = self.inner.borrow();
+        for (idx, a) in replicas.iter().enumerate() {
+            for b in &replicas[idx + 1..] {
+                let (Some(ra), Some(rb)) = (map.get(a), map.get(b)) else {
+                    continue;
+                };
+                let start = ra.chain_offset.max(rb.chain_offset);
+                let end = (ra.chain_offset + ra.exec_chain.len() as u64)
+                    .min(rb.chain_offset + rb.exec_chain.len() as u64);
+                for i in start..end {
+                    let da = ra.exec_chain[(i - ra.chain_offset) as usize];
+                    let db = rb.exec_chain[(i - rb.chain_offset) as usize];
+                    if da != db {
+                        return Err((*a, *b));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The minimum ops-executed count across the given replicas.
+    pub fn min_executed(&self, replicas: &[u32]) -> u64 {
+        let map = self.inner.borrow();
+        replicas
+            .iter()
+            .map(|r| map.get(r).map(|rec| rec.ops_executed).unwrap_or(0))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The maximum ops-executed count across all replicas.
+    pub fn max_executed(&self) -> u64 {
+        self.inner
+            .borrow()
+            .values()
+            .map(|r| r.ops_executed)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safety_check_detects_divergence() {
+        let insp = Inspection::new();
+        insp.update(0, |r| {
+            r.exec_chain = vec![[1; 32], [2; 32]];
+        });
+        insp.update(1, |r| {
+            r.exec_chain = vec![[1; 32], [2; 32], [3; 32]];
+        });
+        insp.update(2, |r| {
+            r.exec_chain = vec![[1; 32], [9; 32]];
+        });
+        assert!(insp.check_safety(&[0, 1]).is_ok());
+        assert_eq!(insp.check_safety(&[0, 1, 2]), Err((0, 2)));
+        assert!(insp.check_safety(&[7, 8]).is_ok()); // unknown replicas skip
+    }
+
+    #[test]
+    fn safety_check_respects_chain_offsets() {
+        let insp = Inspection::new();
+        // Replica 0 has the full history; replica 1 recovered at op 2 and
+        // only has entries from there.
+        insp.update(0, |r| {
+            r.exec_chain = vec![[1; 32], [2; 32], [3; 32], [4; 32]];
+        });
+        insp.update(1, |r| {
+            r.chain_offset = 2;
+            r.exec_chain = vec![[3; 32], [4; 32]];
+        });
+        assert!(insp.check_safety(&[0, 1]).is_ok());
+        // A divergence inside the overlap is still caught.
+        insp.update(1, |r| r.exec_chain[1] = [9; 32]);
+        assert_eq!(insp.check_safety(&[0, 1]), Err((0, 1)));
+    }
+
+    #[test]
+    fn executed_counters() {
+        let insp = Inspection::new();
+        insp.update(0, |r| r.ops_executed = 5);
+        insp.update(1, |r| r.ops_executed = 9);
+        assert_eq!(insp.min_executed(&[0, 1]), 5);
+        assert_eq!(insp.max_executed(), 9);
+        assert_eq!(insp.min_executed(&[2]), 0);
+    }
+}

@@ -1,0 +1,1980 @@
+//! The Prime replica: pre-ordering, ordering, suspect-leader monitoring,
+//! view changes, checkpointing, reconciliation and state transfer.
+//!
+//! # Protocol summary
+//!
+//! *Pre-ordering.* Client ops reach any replica, which batches them into
+//! signed `PO-Request(origin, po_seq)` broadcasts. Replicas acknowledge
+//! with `PO-Ack`; a request is **pre-ordered** once `2f + k + 1` distinct
+//! replicas (counting the originator and the acker itself) vouch for one
+//! digest. Each replica tracks, per originator, the highest contiguously
+//! pre-ordered sequence (its *ARU vector*) and broadcasts it as a signed
+//! `PO-Summary` whenever it advances.
+//!
+//! *Ordering.* The leader periodically proposes a **matrix** of the latest
+//! signed summary rows (`Pre-Prepare`), which is ordered with PBFT-style
+//! `Prepare`/`Commit` rounds under quorum `2f + k + 1`. Executing a matrix
+//! means executing every pre-ordered request newly covered by at least
+//! `f + k + 1` rows, in deterministic `(origin, po_seq)` order — so a
+//! malicious leader cannot reorder or starve any originator's requests; at
+//! most it can delay the whole batch, which the next mechanism bounds.
+//!
+//! *Suspect-leader.* Replicas measure the leader's **turnaround time**
+//! (from sending a summary until a proposal covers it) and compare it with
+//! what a correct leader could achieve given measured round-trip times. A
+//! leader that delays beyond `tat_allowance * (rtt + 2·Δpp)` is suspected;
+//! `f + k + 1` suspicions trigger a view change. In
+//! [`ProtocolMode::PbftLike`] this monitoring is disabled and only the
+//! coarse progress timeout remains — reproducing the attack Prime defends
+//! against.
+//!
+//! *Recovery.* Replicas checkpoint every `checkpoint_interval` matrices;
+//! a (re)starting replica state-transfers from a checkpoint proven by
+//! `f + 1` signed attestations, then rejoins the protocol.
+
+use crate::application::Application;
+use crate::behavior::ByzBehavior;
+use crate::config::{PrimeConfig, ProtocolMode, ReplicaId};
+use crate::msg::{
+    AruVector, CheckpointMsg, ClientOp, Matrix, PreparedClaim, PrimeMsg, SummaryRow, ViewStateMsg,
+};
+use crate::inspect::Inspection;
+use crate::net::ReplicaNet;
+use bytes::Bytes;
+use spire_crypto::keys::Signer;
+use spire_crypto::{Digest, KeyStore, NodeId};
+use spire_sim::{Context, Process, ProcessId, Span, Time};
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+const TIMER_PO_FLUSH: u64 = 1;
+const TIMER_SUMMARY: u64 = 2;
+const TIMER_PRE_PREPARE: u64 = 3;
+const TIMER_PING: u64 = 4;
+const TIMER_PROGRESS: u64 = 5;
+const TIMER_RECON: u64 = 6;
+const TIMER_STATE_REQ: u64 = 7;
+
+/// How far ahead of the committed prefix the leader may propose.
+const PROPOSAL_WINDOW: u64 = 8;
+
+/// Exactly-once tracking of a client's operation sequence numbers that
+/// tolerates out-of-order arrival/execution: a contiguous floor plus the
+/// sparse set of numbers seen above it. (A plain high-water mark would
+/// wrongly treat an op overtaken in the network by a later one from the
+/// same client as a duplicate.)
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CseqWindow {
+    floor: u64,
+    above: BTreeSet<u64>,
+}
+
+impl CseqWindow {
+    /// Marks `cseq` as seen; returns false if it was already seen.
+    pub fn try_mark(&mut self, cseq: u64) -> bool {
+        if cseq <= self.floor || self.above.contains(&cseq) {
+            return false;
+        }
+        self.above.insert(cseq);
+        while self.above.remove(&(self.floor + 1)) {
+            self.floor += 1;
+        }
+        true
+    }
+
+    /// The contiguous floor (every cseq `<= floor` was seen).
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// Sparse entries above the floor.
+    pub fn sparse(&self) -> impl Iterator<Item = u64> + '_ {
+        self.above.iter().copied()
+    }
+
+    /// Rebuilds from snapshot parts.
+    pub fn from_parts(floor: u64, above: impl IntoIterator<Item = u64>) -> CseqWindow {
+        CseqWindow {
+            floor,
+            above: above.into_iter().collect(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct OrderingSlot {
+    /// (view, matrix, digest) of the accepted pre-prepare.
+    pre_prepare: Option<(u64, Matrix, Digest)>,
+    prepares: BTreeMap<u32, Digest>,
+    commits: BTreeMap<u32, Digest>,
+    prepared: bool,
+    committed: bool,
+}
+
+struct PoEntry {
+    /// Ops by digest actually held (origin equivocation can give us content
+    /// that never certifies; we only execute certified content).
+    content: Option<(Digest, Vec<ClientOp>, Bytes)>,
+    /// Signed PO-Ack messages per digest, keyed by acking replica. The
+    /// origin's vote is implicit in the signed request itself. Storing the
+    /// full messages lets reconciliation forward the *certificate*, so a
+    /// replica that lost its pre-ordering state (recovery, long partition)
+    /// can re-certify historical requests.
+    acks: BTreeMap<Digest, BTreeMap<u32, Bytes>>,
+    /// Digest that reached the pre-order quorum, if any.
+    certified: Option<Digest>,
+    /// Whether we have already broadcast our own ack.
+    acked: Option<Digest>,
+}
+
+impl Default for PoEntry {
+    fn default() -> Self {
+        PoEntry {
+            content: None,
+            acks: BTreeMap::new(),
+            certified: None,
+            acked: None,
+        }
+    }
+}
+
+/// The Prime replica process.
+pub struct Replica {
+    cfg: PrimeConfig,
+    me: ReplicaId,
+    behavior: ByzBehavior,
+    keystore: Rc<KeyStore>,
+    signer: Signer,
+    net: Box<dyn ReplicaNet>,
+    app: Box<dyn Application>,
+    /// Metric-name prefix, so several Prime instances can coexist.
+    label: String,
+
+    // ---- pre-ordering ----
+    pending_ops: Vec<ClientOp>,
+    seen_ops: BTreeMap<u32, CseqWindow>, // per-client batching dedup
+    my_po_seq: u64,
+    po: BTreeMap<(u32, u64), PoEntry>,
+    /// Highest PO sequence ever seen per origin (for post-recovery resume).
+    po_high: Vec<u64>,
+    /// Highest summary sequence ever seen per replica (for post-recovery
+    /// resume: peers discard summaries with non-increasing sseq).
+    sseq_high: Vec<u64>,
+    po_aru: Vec<u64>,
+    exec_cover: Vec<u64>,
+
+    // ---- summaries ----
+    latest_rows: BTreeMap<u32, SummaryRow>,
+    my_sseq: u64,
+    last_summary_vector: AruVector,
+
+    // ---- ordering ----
+    view: u64,
+    in_view_change: bool,
+    /// When the current view was entered (for view-change timeouts).
+    view_entered_at: Time,
+    /// Doubles on every view change without intervening progress (capped),
+    /// multiplying the progress timeout so cascades of failed view changes
+    /// damp out instead of thrashing (standard PBFT-style backoff).
+    timeout_backoff: u64,
+    slots: BTreeMap<u64, OrderingSlot>,
+    commit_aru: u64,
+    committed_matrices: BTreeMap<u64, Matrix>,
+    last_executed: u64,
+    executed_cseq: BTreeMap<u32, CseqWindow>,
+    last_proposed: u64,
+
+    // ---- view change ----
+    suspects: BTreeMap<u64, BTreeSet<u32>>,
+    suspected_views: BTreeSet<u64>,
+    view_states: BTreeMap<u64, BTreeMap<u32, ViewStateMsg>>,
+    /// Highest view each replica has claimed in any signed message; a
+    /// replica that fell behind joins view `v` once `f + k + 1` replicas
+    /// claim `>= v` (at least one of them is correct).
+    claimed_views: BTreeMap<u32, u64>,
+
+    // ---- suspect-leader ----
+    rtt_us: BTreeMap<u32, f64>,
+    ping_nonce: u64,
+    outstanding_pings: BTreeMap<u64, (u32, Time)>,
+    outstanding_summary: Option<(u64, Time)>,
+    last_progress: Time,
+
+    // ---- checkpoints / recovery ----
+    recovery_started: Time,
+    checkpoint_votes: BTreeMap<u64, BTreeMap<u32, CheckpointMsg>>,
+    stable_checkpoint: Option<(u64, Bytes, Vec<CheckpointMsg>)>,
+    stable_exec_cover: Vec<u64>,
+    recovering: bool,
+    suffix_votes: BTreeMap<(u64, Digest), (Matrix, BTreeSet<u32>)>,
+    /// Erasure shares collected during state transfer, keyed by the proven
+    /// (checkpoint_seq, snapshot digest): share index -> share bytes, plus
+    /// the k parameter, the validated proof and the po-high hint.
+    state_shares:
+        BTreeMap<(u64, Digest), (u8, BTreeMap<u8, Vec<u8>>, Vec<CheckpointMsg>, (u64, u64))>,
+
+    // ---- reconciliation ----
+    missing: BTreeSet<(u32, u64)>,
+    recon_rotor: u32,
+    max_seen_commit: u64,
+
+    // ---- attack modelling ----
+    delayed_proposals: Vec<(Time, Bytes)>,
+
+    // ---- checkpoint snapshots awaiting stability ----
+    pending_snapshots: BTreeMap<u64, Bytes>,
+
+    // ---- white-box inspection ----
+    inspection: Option<Inspection>,
+    exec_chain_head: Digest,
+    total_ops: u64,
+}
+
+impl Replica {
+    /// Creates a replica.
+    ///
+    /// `recovering` starts the replica in state-transfer mode (used after a
+    /// proactive recovery): it requests a checkpoint before participating.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cfg: PrimeConfig,
+        me: ReplicaId,
+        behavior: ByzBehavior,
+        keystore: Rc<KeyStore>,
+        signer: Signer,
+        net: Box<dyn ReplicaNet>,
+        app: Box<dyn Application>,
+        recovering: bool,
+    ) -> Replica {
+        let n = cfg.n as usize;
+        Replica {
+            cfg,
+            me,
+            behavior,
+            keystore,
+            signer,
+            net,
+            app,
+            label: "prime".to_string(),
+            pending_ops: Vec::new(),
+            seen_ops: BTreeMap::new(),
+            my_po_seq: 0,
+            po: BTreeMap::new(),
+            po_high: vec![0; n],
+            sseq_high: vec![0; n],
+            po_aru: vec![0; n],
+            exec_cover: vec![0; n],
+            latest_rows: BTreeMap::new(),
+            my_sseq: 0,
+            last_summary_vector: AruVector::zeros(n),
+            view: 0,
+            in_view_change: false,
+            view_entered_at: Time::ZERO,
+            timeout_backoff: 1,
+            slots: BTreeMap::new(),
+            commit_aru: 0,
+            committed_matrices: BTreeMap::new(),
+            last_executed: 0,
+            executed_cseq: BTreeMap::new(),
+            last_proposed: 0,
+            suspects: BTreeMap::new(),
+            suspected_views: BTreeSet::new(),
+            view_states: BTreeMap::new(),
+            claimed_views: BTreeMap::new(),
+            rtt_us: BTreeMap::new(),
+            ping_nonce: 0,
+            outstanding_pings: BTreeMap::new(),
+            outstanding_summary: None,
+            last_progress: Time::ZERO,
+            recovery_started: Time::ZERO,
+            checkpoint_votes: BTreeMap::new(),
+            stable_checkpoint: None,
+            stable_exec_cover: vec![0; n],
+            recovering,
+            suffix_votes: BTreeMap::new(),
+            state_shares: BTreeMap::new(),
+            missing: BTreeSet::new(),
+            recon_rotor: 0,
+            max_seen_commit: 0,
+            delayed_proposals: Vec::new(),
+            pending_snapshots: BTreeMap::new(),
+            inspection: None,
+            exec_chain_head: [0; 32],
+            total_ops: 0,
+        }
+    }
+
+    /// Attaches a shared inspection registry (for invariant checking).
+    pub fn with_inspection(mut self, inspection: Inspection) -> Replica {
+        self.inspection = Some(inspection);
+        self
+    }
+
+    /// Overrides the metric label (default `"prime"`).
+    pub fn with_label(mut self, label: &str) -> Replica {
+        self.label = label.to_string();
+        self
+    }
+
+    fn n(&self) -> usize {
+        self.cfg.n as usize
+    }
+
+    fn mock(&self) -> bool {
+        self.signer.is_mock()
+    }
+
+    fn replica_node(&self, r: ReplicaId) -> NodeId {
+        NodeId(self.cfg.replica_key_base + r.0)
+    }
+
+    fn is_leader(&self) -> bool {
+        self.cfg.leader_of(self.view) == self.me
+    }
+
+    fn metric(&self, name: &str) -> String {
+        format!("{}.{}", self.label, name)
+    }
+
+    fn broadcast(&mut self, ctx: &mut Context<'_>, msg: &PrimeMsg) {
+        let bytes = msg.encode();
+        for r in 0..self.cfg.n {
+            if r != self.me.0 {
+                self.net.send_replica(ctx, ReplicaId(r), bytes.clone());
+            }
+        }
+    }
+
+    fn send_to(&mut self, ctx: &mut Context<'_>, to: ReplicaId, msg: &PrimeMsg) {
+        if to == self.me {
+            return;
+        }
+        self.net.send_replica(ctx, to, msg.encode());
+    }
+
+    // ================= pre-ordering =================
+
+    fn on_client_op(&mut self, ctx: &mut Context<'_>, op: ClientOp) {
+        if !op.verify(&self.keystore, self.cfg.client_key_base, self.mock()) {
+            ctx.count(&self.metric("bad_client_sig"), 1);
+            return;
+        }
+        let seen = self.seen_ops.entry(op.client.0).or_default();
+        if !seen.try_mark(op.cseq) {
+            return; // duplicate submission
+        }
+        self.pending_ops.push(op);
+        if self.pending_ops.len() >= self.cfg.po_batch {
+            self.flush_po_batch(ctx);
+        }
+    }
+
+    fn flush_po_batch(&mut self, ctx: &mut Context<'_>) {
+        if self.pending_ops.is_empty() || self.recovering {
+            return;
+        }
+        self.my_po_seq += 1;
+        let ops = std::mem::take(&mut self.pending_ops);
+        if self.behavior == ByzBehavior::EquivocatePo && ops.len() >= 2 {
+            // Same po_seq, different contents to the two halves.
+            let half = ops.len() / 2;
+            let mut msg_a = PrimeMsg::PoRequest {
+                origin: self.me,
+                po_seq: self.my_po_seq,
+                ops: ops[..half].to_vec(),
+                sig: [0; 64],
+            };
+            msg_a.sign(&self.signer);
+            let mut msg_b = PrimeMsg::PoRequest {
+                origin: self.me,
+                po_seq: self.my_po_seq,
+                ops: ops[half..].to_vec(),
+                sig: [0; 64],
+            };
+            msg_b.sign(&self.signer);
+            let (a, b) = (msg_a.encode(), msg_b.encode());
+            for r in 0..self.cfg.n {
+                if r == self.me.0 {
+                    continue;
+                }
+                let bytes = if r % 2 == 0 { a.clone() } else { b.clone() };
+                self.net.send_replica(ctx, ReplicaId(r), bytes);
+            }
+            return;
+        }
+        let mut msg = PrimeMsg::PoRequest {
+            origin: self.me,
+            po_seq: self.my_po_seq,
+            ops,
+            sig: [0; 64],
+        };
+        msg.sign(&self.signer);
+        // Record our own request locally (we are origin and first acker).
+        self.accept_po_request(ctx, &msg);
+        self.broadcast(ctx, &msg);
+    }
+
+    /// Handles a PO-Request (from the origin, from our own flush, or
+    /// re-broadcast through reconciliation).
+    fn accept_po_request(&mut self, ctx: &mut Context<'_>, msg: &PrimeMsg) {
+        let PrimeMsg::PoRequest {
+            origin,
+            po_seq,
+            ops,
+            ..
+        } = msg
+        else {
+            return;
+        };
+        let (origin, po_seq) = (*origin, *po_seq);
+        if origin.0 >= self.cfg.n {
+            return;
+        }
+        if !msg.verify_sig(&self.keystore, self.replica_node(origin), self.mock()) {
+            ctx.count(&self.metric("bad_po_sig"), 1);
+            return;
+        }
+        let mock = self.mock();
+        let ops_ok = ops
+            .iter()
+            .all(|op| op.verify(&self.keystore, self.cfg.client_key_base, mock));
+        if !ops_ok {
+            ctx.count(&self.metric("bad_op_in_batch"), 1);
+            return;
+        }
+        let digest = spire_crypto::digest(&msg.signing_bytes());
+        self.po_high[origin.0 as usize] = self.po_high[origin.0 as usize].max(po_seq);
+        let entry = self.po.entry((origin.0, po_seq)).or_default();
+        let replace = match (&entry.content, &entry.certified) {
+            (None, _) => true,
+            // An equivocating origin gave us content that never certified;
+            // adopt the certified version fetched via reconciliation.
+            (Some((held, _, _)), Some(cert)) => held != cert && *cert == digest,
+            _ => false,
+        };
+        if replace {
+            entry.content = Some((digest, ops.clone(), msg.encode()));
+        }
+        // Vouch: the origin implicitly acks via its signed request; we ack
+        // once (unless we are the origin, whose request is its vote).
+        if entry.acked.is_none() && origin != self.me {
+            entry.acked = Some(digest);
+            let mut ack = PrimeMsg::PoAck {
+                replica: self.me,
+                origin,
+                po_seq,
+                digest,
+                sig: [0; 64],
+            };
+            if self.behavior != ByzBehavior::AckWithhold {
+                ack.sign(&self.signer);
+                entry
+                    .acks
+                    .entry(digest)
+                    .or_default()
+                    .insert(self.me.0, ack.encode());
+                self.broadcast(ctx, &ack);
+            }
+        }
+        self.missing.remove(&(origin.0, po_seq));
+        self.check_certified(ctx, origin.0, po_seq);
+    }
+
+    fn on_po_ack(
+        &mut self,
+        ctx: &mut Context<'_>,
+        msg: &PrimeMsg,
+        replica: ReplicaId,
+        origin: ReplicaId,
+        po_seq: u64,
+        digest: Digest,
+    ) {
+        if replica.0 >= self.cfg.n || origin.0 >= self.cfg.n {
+            return;
+        }
+        if !msg.verify_sig(&self.keystore, self.replica_node(replica), self.mock()) {
+            ctx.count(&self.metric("bad_ack_sig"), 1);
+            return;
+        }
+        if replica == origin {
+            return; // the origin's vote is its signed request, not an ack
+        }
+        let entry = self.po.entry((origin.0, po_seq)).or_default();
+        entry
+            .acks
+            .entry(digest)
+            .or_default()
+            .insert(replica.0, msg.encode());
+        self.check_certified(ctx, origin.0, po_seq);
+    }
+
+    fn check_certified(&mut self, ctx: &mut Context<'_>, origin: u32, po_seq: u64) {
+        let quorum = self.cfg.ordering_quorum(); // 2f + k + 1 vouchers
+        let entry = self.po.entry((origin, po_seq)).or_default();
+        if entry.certified.is_none() {
+            let content_digest = entry.content.as_ref().map(|(d, _, _)| *d);
+            let winner = entry
+                .acks
+                .iter()
+                .find(|(digest, votes)| {
+                    // Count distinct non-origin ackers plus the origin's
+                    // implicit vote when we hold matching content.
+                    let origin_vote = (content_digest == Some(**digest)) as usize;
+                    votes.keys().filter(|r| **r != origin).count() + origin_vote >= quorum
+                })
+                .map(|(digest, _)| *digest);
+            entry.certified = winner;
+            if winner.is_some() {
+                ctx.count("prime_certified", 1);
+            }
+        }
+        if entry.certified.is_some() {
+            self.advance_po_aru(ctx, origin);
+        }
+    }
+
+    fn advance_po_aru(&mut self, _ctx: &mut Context<'_>, origin: u32) {
+        loop {
+            let next = self.po_aru[origin as usize] + 1;
+            let certified = self
+                .po
+                .get(&(origin, next))
+                .map(|e| e.certified.is_some())
+                .unwrap_or(false);
+            if certified {
+                self.po_aru[origin as usize] = next;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn maybe_send_summary(&mut self, ctx: &mut Context<'_>) {
+        if self.recovering || self.behavior == ByzBehavior::AckWithhold {
+            return;
+        }
+        let vector = AruVector(self.po_aru.clone());
+        if vector == self.last_summary_vector {
+            return;
+        }
+        self.my_sseq += 1;
+        ctx.count(&self.metric("summaries_sent"), 1);
+        let row = SummaryRow::signed(self.me, self.my_sseq, vector.clone(), &self.signer);
+        self.last_summary_vector = vector;
+        self.latest_rows.insert(self.me.0, row.clone());
+        if self.outstanding_summary.is_none() && !self.is_leader() {
+            self.outstanding_summary = Some((self.my_sseq, ctx.now()));
+        }
+        let msg = PrimeMsg::PoSummary(row);
+        self.broadcast(ctx, &msg);
+    }
+
+    fn on_summary(&mut self, ctx: &mut Context<'_>, row: SummaryRow) {
+        if row.replica.0 >= self.cfg.n {
+            return;
+        }
+        if !row.verify(&self.keystore, self.cfg.replica_key_base, self.mock()) {
+            ctx.count(&self.metric("bad_summary_sig"), 1);
+            return;
+        }
+        self.observe_row_sseq(&row);
+        let current = self
+            .latest_rows
+            .get(&row.replica.0)
+            .map(|r| r.sseq)
+            .unwrap_or(0);
+        if row.sseq > current {
+            self.latest_rows.insert(row.replica.0, row);
+        }
+    }
+
+    /// Tracks the highest summary sequence seen per replica; observing our
+    /// *own* pre-recovery rows bumps our counter past them so our fresh
+    /// summaries are not discarded as stale replays.
+    fn observe_row_sseq(&mut self, row: &SummaryRow) {
+        let idx = row.replica.0 as usize;
+        if idx < self.sseq_high.len() {
+            self.sseq_high[idx] = self.sseq_high[idx].max(row.sseq);
+        }
+        if row.replica == self.me && row.sseq >= self.my_sseq {
+            self.my_sseq = row.sseq;
+        }
+    }
+
+    // ================= ordering =================
+
+    fn propose(&mut self, ctx: &mut Context<'_>) {
+        if !self.is_leader() || self.in_view_change || self.recovering {
+            return;
+        }
+        if self.behavior == ByzBehavior::Mute {
+            return;
+        }
+        if self.last_proposed >= self.commit_aru + PROPOSAL_WINDOW {
+            ctx.count(&self.metric("propose_window_stall"), 1);
+            return;
+        }
+        let matrix = Matrix {
+            rows: self.latest_rows.values().cloned().collect(),
+        };
+        // Skip proposals that cannot make progress: identical to the last
+        // proposed matrix.
+        if let Some(slot) = self.slots.get(&self.last_proposed) {
+            if let Some((_, last_matrix, _)) = &slot.pre_prepare {
+                if *last_matrix == matrix {
+                    return;
+                }
+            }
+        }
+        if matrix.rows.is_empty() {
+            return;
+        }
+        let seq = self.last_proposed + 1;
+        self.last_proposed = seq;
+        if self.behavior == ByzBehavior::Equivocate {
+            // Send conflicting proposals to the two halves of the cluster.
+            let mut alt = matrix.clone();
+            if !alt.rows.is_empty() {
+                alt.rows.remove(0);
+            }
+            let mut msg_a = PrimeMsg::PrePrepare {
+                view: self.view,
+                seq,
+                matrix: matrix.clone(),
+                sig: [0; 64],
+            };
+            msg_a.sign(&self.signer);
+            let mut msg_b = PrimeMsg::PrePrepare {
+                view: self.view,
+                seq,
+                matrix: alt,
+                sig: [0; 64],
+            };
+            msg_b.sign(&self.signer);
+            let (a_bytes, b_bytes) = (msg_a.encode(), msg_b.encode());
+            for r in 0..self.cfg.n {
+                if r == self.me.0 {
+                    continue;
+                }
+                let bytes = if r % 2 == 0 {
+                    a_bytes.clone()
+                } else {
+                    b_bytes.clone()
+                };
+                self.net.send_replica(ctx, ReplicaId(r), bytes);
+            }
+            return;
+        }
+        let mut msg = PrimeMsg::PrePrepare {
+            view: self.view,
+            seq,
+            matrix,
+            sig: [0; 64],
+        };
+        msg.sign(&self.signer);
+        // A delaying leader (performance attack) postpones the broadcast;
+        // deferred frames are released from the pre-prepare timer.
+        if let ByzBehavior::LeaderDelay(extra) = self.behavior {
+            self.delayed_proposals.push((ctx.now() + extra, msg.encode()));
+            return;
+        }
+        self.accept_pre_prepare(ctx, self.view, seq, {
+            if let PrimeMsg::PrePrepare { matrix, .. } = &msg {
+                matrix.clone()
+            } else {
+                unreachable!()
+            }
+        });
+        self.broadcast(ctx, &msg);
+    }
+
+    fn accept_pre_prepare(&mut self, ctx: &mut Context<'_>, view: u64, seq: u64, matrix: Matrix) {
+        if view != self.view || self.in_view_change || seq <= self.commit_aru {
+            return;
+        }
+        let mock = self.mock();
+        // Validate every row signature so a lying leader cannot fabricate
+        // other replicas' summaries.
+        let rows_ok = matrix.rows.iter().all(|row| {
+            row.replica.0 < self.cfg.n
+                && row.verify(&self.keystore, self.cfg.replica_key_base, mock)
+        });
+        if !rows_ok {
+            ctx.count(&self.metric("bad_matrix_row"), 1);
+            return;
+        }
+        // At most one row per replica.
+        let mut seen = BTreeSet::new();
+        if !matrix.rows.iter().all(|row| seen.insert(row.replica.0)) {
+            ctx.count(&self.metric("dup_matrix_row"), 1);
+            return;
+        }
+        for row in &matrix.rows {
+            self.observe_row_sseq(row);
+        }
+        let digest = matrix.digest();
+        let slot = self.slots.entry(seq).or_default();
+        if let Some((v, _, existing)) = &slot.pre_prepare {
+            if *v == view && *existing != digest {
+                // Leader equivocation detected locally.
+                ctx.count(&self.metric("equivocation_detected"), 1);
+                return;
+            }
+            if *v >= view {
+                return;
+            }
+        }
+        slot.pre_prepare = Some((view, matrix, digest));
+        // TAT measurement: does this proposal cover our outstanding summary?
+        if let Some((sseq, sent)) = self.outstanding_summary {
+            let covered = self.slots[&seq]
+                .pre_prepare
+                .as_ref()
+                .map(|(_, m, _)| {
+                    m.rows
+                        .iter()
+                        .any(|row| row.replica == self.me && row.sseq >= sseq)
+                })
+                .unwrap_or(false);
+            if covered {
+                let tat_us = ctx.now().since(sent).0 as f64;
+                self.outstanding_summary = None;
+                self.check_turnaround(ctx, tat_us);
+            }
+        }
+        let mut prepare = PrimeMsg::Prepare {
+            replica: self.me,
+            view,
+            seq,
+            digest,
+            sig: [0; 64],
+        };
+        if self.behavior != ByzBehavior::AckWithhold {
+            prepare.sign(&self.signer);
+            self.slots.get_mut(&seq).unwrap().prepares.insert(self.me.0, digest);
+            self.broadcast(ctx, &prepare);
+        }
+        self.try_prepare_commit(ctx, seq);
+    }
+
+    fn on_prepare(
+        &mut self,
+        ctx: &mut Context<'_>,
+        msg: &PrimeMsg,
+        replica: ReplicaId,
+        view: u64,
+        seq: u64,
+        digest: Digest,
+    ) {
+        if replica.0 >= self.cfg.n || seq <= self.commit_aru {
+            return;
+        }
+        if !msg.verify_sig(&self.keystore, self.replica_node(replica), self.mock()) {
+            ctx.count(&self.metric("bad_prepare_sig"), 1);
+            return;
+        }
+        self.note_claimed_view(replica, view);
+        if view != self.view {
+            return;
+        }
+        let slot = self.slots.entry(seq).or_default();
+        slot.prepares.insert(replica.0, digest);
+        self.try_prepare_commit(ctx, seq);
+    }
+
+    fn on_commit(
+        &mut self,
+        ctx: &mut Context<'_>,
+        msg: &PrimeMsg,
+        replica: ReplicaId,
+        view: u64,
+        seq: u64,
+        digest: Digest,
+    ) {
+        if replica.0 >= self.cfg.n || seq <= self.commit_aru {
+            return;
+        }
+        if !msg.verify_sig(&self.keystore, self.replica_node(replica), self.mock()) {
+            ctx.count(&self.metric("bad_commit_sig"), 1);
+            return;
+        }
+        self.note_claimed_view(replica, view);
+        self.max_seen_commit = self.max_seen_commit.max(seq);
+        if view != self.view {
+            return;
+        }
+        let slot = self.slots.entry(seq).or_default();
+        slot.commits.insert(replica.0, digest);
+        self.try_prepare_commit(ctx, seq);
+    }
+
+    fn try_prepare_commit(&mut self, ctx: &mut Context<'_>, seq: u64) {
+        let quorum = self.cfg.ordering_quorum();
+        let withhold = self.behavior == ByzBehavior::AckWithhold;
+        let me = self.me;
+        let Some(slot) = self.slots.get_mut(&seq) else {
+            return;
+        };
+        let Some((view, digest)) = slot.pre_prepare.as_ref().map(|(v, _, d)| (*v, *d)) else {
+            return;
+        };
+        if !slot.prepared {
+            let count = slot.prepares.values().filter(|d| **d == digest).count();
+            if count >= quorum {
+                slot.prepared = true;
+                if !withhold {
+                    slot.commits.insert(me.0, digest);
+                    let mut commit = PrimeMsg::Commit {
+                        replica: me,
+                        view,
+                        seq,
+                        digest,
+                        sig: [0; 64],
+                    };
+                    commit.sign(&self.signer);
+                    self.broadcast(ctx, &commit);
+                }
+            }
+        }
+        let Some(slot) = self.slots.get_mut(&seq) else {
+            return;
+        };
+        if slot.prepared && !slot.committed {
+            let count = slot.commits.values().filter(|d| **d == digest).count();
+            if count >= quorum {
+                slot.committed = true;
+                let matrix = slot.pre_prepare.as_ref().unwrap().1.clone();
+                self.committed_matrices.insert(seq, matrix);
+                ctx.count(&self.metric("committed"), 1);
+                self.advance_commit_aru(ctx);
+            }
+        }
+    }
+
+    fn advance_commit_aru(&mut self, ctx: &mut Context<'_>) {
+        loop {
+            let next = self.commit_aru + 1;
+            if self.committed_matrices.contains_key(&next)
+                || self
+                    .slots
+                    .get(&next)
+                    .map(|s| s.committed)
+                    .unwrap_or(false)
+            {
+                self.commit_aru = next;
+                self.last_progress = ctx.now();
+                self.timeout_backoff = 1;
+            } else {
+                break;
+            }
+        }
+        self.try_execute(ctx);
+    }
+
+    // ================= execution =================
+
+    fn try_execute(&mut self, ctx: &mut Context<'_>) {
+        loop {
+            let next = self.last_executed + 1;
+            if next > self.commit_aru {
+                break;
+            }
+            let Some(matrix) = self.committed_matrices.get(&next).cloned() else {
+                break;
+            };
+            let quorum = self.cfg.cover_quorum();
+            // Per-origin execution targets from this matrix.
+            let targets: Vec<u64> = (0..self.n())
+                .map(|i| matrix.covered_aru(i, quorum).max(self.exec_cover[i]))
+                .collect();
+            // First pass: are all needed PO-Requests present and certified?
+            let mut absent: Vec<(u32, u64)> = Vec::new();
+            for (i, target) in targets.iter().enumerate() {
+                for s in (self.exec_cover[i] + 1)..=*target {
+                    let ok = self
+                        .po
+                        .get(&(i as u32, s))
+                        .map(|e| match (&e.certified, &e.content) {
+                            (Some(cert), Some((digest, _, _))) => cert == digest,
+                            _ => false,
+                        })
+                        .unwrap_or(false);
+                    if !ok {
+                        absent.push((i as u32, s));
+                    }
+                }
+            }
+            if !absent.is_empty() {
+                for key in absent {
+                    if self.missing.insert(key) {
+                        let req = PrimeMsg::ReconReq {
+                            replica: self.me,
+                            origin: ReplicaId(key.0),
+                            po_seq: key.1,
+                        };
+                        self.broadcast(ctx, &req);
+                        ctx.count(&self.metric("recon_requested"), 1);
+                    }
+                }
+                break; // stall until reconciliation completes
+            }
+            // Second pass: execute deterministically.
+            for (i, target) in targets.iter().enumerate() {
+                for s in (self.exec_cover[i] + 1)..=*target {
+                    let ops = self.po[&(i as u32, s)]
+                        .content
+                        .as_ref()
+                        .map(|(_, ops, _)| ops.clone())
+                        .unwrap();
+                    for op in ops {
+                        self.execute_op(ctx, op);
+                    }
+                    self.exec_cover[i] = s;
+                }
+            }
+            self.last_executed = next;
+            ctx.count(&self.metric("matrices_executed"), 1);
+            if next % self.cfg.checkpoint_interval == 0 {
+                self.take_checkpoint(ctx, next);
+            }
+        }
+    }
+
+    fn execute_op(&mut self, ctx: &mut Context<'_>, op: ClientOp) {
+        let executed = self.executed_cseq.entry(op.client.0).or_default();
+        if !executed.try_mark(op.cseq) {
+            return; // duplicate (several replicas originated it)
+        }
+        let outcome = if self.behavior == ByzBehavior::DivergentExec {
+            // A compromised replica corrupting its own state machine: it
+            // diverges silently. Clients are protected by f+1 matching
+            // replies; tests assert correct replicas stay consistent.
+            let mut corrupted = op.payload.to_vec();
+            corrupted.push(0xff);
+            self.app.execute(&corrupted)
+        } else {
+            self.app.execute(&op.payload)
+        };
+        let result = outcome.reply;
+        for notification in outcome.notifications {
+            let mut msg = PrimeMsg::Notify {
+                replica: self.me,
+                client: notification.target,
+                nseq: notification.nseq,
+                payload: Bytes::from(notification.payload),
+                sig: [0; 64],
+            };
+            msg.sign(&self.signer);
+            self.net.send_client(ctx, notification.target, msg.encode());
+        }
+        ctx.count(&self.metric("ops_executed"), 1);
+        self.total_ops += 1;
+        self.exec_chain_head = spire_crypto::digest_parts(&[
+            &self.exec_chain_head,
+            &op.client.0.to_le_bytes(),
+            &op.cseq.to_le_bytes(),
+            &op.payload,
+        ]);
+        if let Some(inspection) = &self.inspection {
+            let head = self.exec_chain_head;
+            let app_digest = self.app.digest();
+            let (view, last_executed) = (self.view, self.last_executed);
+            inspection.update(self.me.0, move |rec| {
+                rec.view = view;
+                rec.last_executed = last_executed;
+                rec.ops_executed += 1;
+                rec.exec_chain.push(head);
+                rec.app_digest = app_digest;
+            });
+        }
+        let mut reply = PrimeMsg::Reply {
+            replica: self.me,
+            client: op.client,
+            cseq: op.cseq,
+            result: Bytes::from(result),
+            sig: [0; 64],
+        };
+        reply.sign(&self.signer);
+        self.net.send_client(ctx, op.client, reply.encode());
+    }
+
+    // ================= checkpoints & recovery =================
+
+    fn execution_snapshot(&self) -> Vec<u8> {
+        let mut w = spire_sim::WireWriter::new();
+        w.bytes(&self.app.snapshot());
+        w.u16(self.exec_cover.len() as u16);
+        for v in &self.exec_cover {
+            w.u64(*v);
+        }
+        w.u32(self.executed_cseq.len() as u32);
+        for (c, window) in &self.executed_cseq {
+            w.u32(*c).u64(window.floor());
+            let sparse: Vec<u64> = window.sparse().collect();
+            w.u16(sparse.len() as u16);
+            for v in sparse {
+                w.u64(v);
+            }
+        }
+        w.raw(&self.exec_chain_head).u64(self.total_ops);
+        w.finish().to_vec()
+    }
+
+    fn restore_execution_snapshot(&mut self, snapshot: &[u8]) -> bool {
+        let mut r = spire_sim::WireReader::new(snapshot);
+        let Ok(app_snap) = r.bytes() else { return false };
+        let app_snap = app_snap.to_vec();
+        let Ok(n) = r.u16() else { return false };
+        let mut cover = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let Ok(v) = r.u64() else { return false };
+            cover.push(v);
+        }
+        let Ok(m) = r.u32() else { return false };
+        let mut cseq = BTreeMap::new();
+        for _ in 0..m {
+            let (Ok(c), Ok(floor), Ok(k)) = (r.u32(), r.u64(), r.u16()) else {
+                return false;
+            };
+            let mut above = Vec::with_capacity(k as usize);
+            for _ in 0..k {
+                let Ok(v) = r.u64() else { return false };
+                above.push(v);
+            }
+            cseq.insert(c, CseqWindow::from_parts(floor, above));
+        }
+        let (Ok(head), Ok(total_ops)) = (r.array::<32>(), r.u64()) else {
+            return false;
+        };
+        if cover.len() != self.n() {
+            return false;
+        }
+        self.app.restore(&app_snap);
+        self.exec_cover = cover;
+        self.executed_cseq = cseq;
+        // The execution hash chain resumes from the checkpoint's head; the
+        // published chain restarts at the checkpoint's global op count so
+        // prefix checks compare the overlapping history.
+        self.exec_chain_head = head;
+        self.total_ops = total_ops;
+        if let Some(inspection) = &self.inspection {
+            inspection.update(self.me.0, |rec| {
+                rec.exec_chain.clear();
+                rec.chain_offset = total_ops;
+                rec.ops_executed = total_ops;
+            });
+        }
+        true
+    }
+
+    fn take_checkpoint(&mut self, ctx: &mut Context<'_>, seq: u64) {
+        let snapshot = self.execution_snapshot();
+        let digest = spire_crypto::digest(&snapshot);
+        let msg = CheckpointMsg::signed(self.me, seq, digest, &self.signer);
+        self.checkpoint_votes
+            .entry(seq)
+            .or_default()
+            .insert(self.me.0, msg.clone());
+        // Cache our own snapshot so it is available once stable.
+        self.pending_snapshots.insert(seq, Bytes::from(snapshot));
+        self.broadcast(ctx, &PrimeMsg::Checkpoint(msg));
+        self.check_checkpoint_stable(ctx, seq);
+    }
+
+    fn on_checkpoint(&mut self, ctx: &mut Context<'_>, msg: CheckpointMsg) {
+        if msg.replica.0 >= self.cfg.n {
+            return;
+        }
+        if !msg.verify(&self.keystore, self.cfg.replica_key_base, self.mock()) {
+            ctx.count(&self.metric("bad_ckpt_sig"), 1);
+            return;
+        }
+        self.checkpoint_votes
+            .entry(msg.seq)
+            .or_default()
+            .insert(msg.replica.0, msg.clone());
+        self.check_checkpoint_stable(ctx, msg.seq);
+    }
+
+    fn check_checkpoint_stable(&mut self, ctx: &mut Context<'_>, seq: u64) {
+        let needed = (self.cfg.f + 1) as usize;
+        let Some(votes) = self.checkpoint_votes.get(&seq) else {
+            return;
+        };
+        let Some(snapshot) = self.pending_snapshots.get(&seq) else {
+            return;
+        };
+        let my_digest = spire_crypto::digest(snapshot);
+        let matching: Vec<CheckpointMsg> = votes
+            .values()
+            .filter(|v| v.digest == my_digest)
+            .cloned()
+            .collect();
+        if matching.len() < needed {
+            return;
+        }
+        let already = self
+            .stable_checkpoint
+            .as_ref()
+            .map(|(s, _, _)| *s)
+            .unwrap_or(0);
+        if seq <= already {
+            return;
+        }
+        self.stable_checkpoint = Some((seq, snapshot.clone(), matching));
+        self.stable_exec_cover = self.exec_cover.clone();
+        ctx.count(&self.metric("checkpoints_stable"), 1);
+        self.garbage_collect(seq);
+    }
+
+    fn garbage_collect(&mut self, stable_seq: u64) {
+        self.committed_matrices.retain(|s, _| *s > stable_seq);
+        self.slots.retain(|s, _| *s > stable_seq);
+        self.checkpoint_votes.retain(|s, _| *s + 1 >= stable_seq);
+        self.pending_snapshots.retain(|s, _| *s >= stable_seq);
+        let cover = self.stable_exec_cover.clone();
+        self.po
+            .retain(|(origin, s), _| *s > cover[*origin as usize]);
+    }
+
+    fn on_state_req(&mut self, ctx: &mut Context<'_>, msg: &PrimeMsg, from: ReplicaId, have_seq: u64) {
+        if from.0 >= self.cfg.n || from == self.me {
+            return;
+        }
+        if !msg.verify_sig(&self.keystore, self.replica_node(from), self.mock()) {
+            ctx.count(&self.metric("bad_state_req_sig"), 1);
+            return;
+        }
+        // A recovering replica cannot lead: if the requester is the current
+        // leader, replace it immediately instead of waiting for the
+        // progress timeout.
+        if from == self.cfg.leader_of(self.view) && !self.in_view_change {
+            self.suspect_current_view(ctx);
+        }
+        let mut suffix_from = have_seq + 1;
+        if let Some((seq, snapshot, proof)) = self.stable_checkpoint.clone() {
+            if seq > have_seq {
+                // Erasure-code the snapshot with k = f + 1: any f+1 correct
+                // responders let the requester reconstruct, at 1/(f+1) the
+                // bandwidth each. Deterministic, so all responders produce
+                // identical share sets.
+                let k = (self.cfg.f + 1) as usize;
+                let n = self.n().max(k);
+                if let Ok(shares) = spire_crypto::erasure::encode(&snapshot, k, n) {
+                    let share = &shares[self.me.0 as usize];
+                    let resp = PrimeMsg::StateResp {
+                        replica: self.me,
+                        checkpoint_seq: seq,
+                        share_index: share.index,
+                        erasure_k: k as u8,
+                        share: Bytes::from(share.data.clone()),
+                        proof,
+                        view: self.view,
+                        requester_po_high: self.po_high[from.0 as usize],
+                        requester_sseq_high: self.sseq_high[from.0 as usize],
+                    };
+                    self.send_to(ctx, from, &resp);
+                    suffix_from = seq + 1;
+                }
+            }
+        }
+        // Send the committed suffix so the requester can catch up to the
+        // present (adopted there once f+1 responders agree) — even when no
+        // checkpoint exists yet (young system, genesis rejoin).
+        let suffix: Vec<u64> = self
+            .committed_matrices
+            .range(suffix_from..)
+            .map(|(s, _)| *s)
+            .take(200)
+            .collect();
+        for s in suffix {
+            self.send_suffix_vote(ctx, from, s);
+        }
+    }
+
+    fn send_suffix_vote(&mut self, ctx: &mut Context<'_>, to: ReplicaId, seq: u64) {
+        if let Some(matrix) = self.committed_matrices.get(&seq).cloned() {
+            let msg = PrimeMsg::SuffixVote {
+                replica: self.me,
+                seq,
+                matrix,
+            };
+            self.send_to(ctx, to, &msg);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_state_resp(
+        &mut self,
+        ctx: &mut Context<'_>,
+        checkpoint_seq: u64,
+        share_index: u8,
+        erasure_k: u8,
+        share: Bytes,
+        proof: Vec<CheckpointMsg>,
+        view: u64,
+        requester_po_high: u64,
+        requester_sseq_high: u64,
+    ) {
+        if !self.recovering && checkpoint_seq <= self.last_executed {
+            return;
+        }
+        // Validate the proof: f+1 distinct valid signatures over one
+        // snapshot digest at this sequence. The share itself cannot be
+        // checked until reconstruction; the digest check after decode
+        // rejects corrupted shares.
+        let mut tallies: BTreeMap<Digest, BTreeSet<u32>> = BTreeMap::new();
+        for attestation in &proof {
+            if attestation.seq == checkpoint_seq
+                && attestation.replica.0 < self.cfg.n
+                && attestation.verify(&self.keystore, self.cfg.replica_key_base, self.mock())
+            {
+                tallies
+                    .entry(attestation.digest)
+                    .or_default()
+                    .insert(attestation.replica.0);
+            }
+        }
+        let needed = (self.cfg.f + 1) as usize;
+        let Some(digest) = tallies
+            .iter()
+            .find(|(_, set)| set.len() >= needed)
+            .map(|(d, _)| *d)
+        else {
+            ctx.count(&self.metric("bad_state_proof"), 1);
+            return;
+        };
+        if erasure_k == 0 || erasure_k as u32 > self.cfg.n {
+            return;
+        }
+        // Collect the share.
+        let entry = self
+            .state_shares
+            .entry((checkpoint_seq, digest))
+            .or_insert_with(|| (erasure_k, BTreeMap::new(), proof.clone(), (0, 0)));
+        if entry.0 != erasure_k {
+            return; // inconsistent parameter claim; ignore this responder
+        }
+        entry.1.insert(share_index, share.to_vec());
+        entry.3 = (
+            entry.3 .0.max(requester_po_high),
+            entry.3 .1.max(requester_sseq_high),
+        );
+        if entry.1.len() < erasure_k as usize {
+            return;
+        }
+        // Try reconstructing from combinations of k collected shares (bad
+        // shares from Byzantine responders fail the digest check and are
+        // weeded out by trying other subsets; bounded search).
+        let k = erasure_k as usize;
+        let shares: Vec<spire_crypto::erasure::Share> = entry
+            .1
+            .iter()
+            .map(|(idx, data)| spire_crypto::erasure::Share {
+                index: *idx,
+                data: data.clone(),
+            })
+            .collect();
+        let (requester_po_high, requester_sseq_high) = entry.3;
+        let proof = entry.2.clone();
+        let mut snapshot: Option<Vec<u8>> = None;
+        let m = shares.len().min(16); // responders are replicas: small
+        let mut attempts = 0;
+        for mask in 0u32..(1 << m) {
+            if mask.count_ones() as usize != k {
+                continue;
+            }
+            attempts += 1;
+            if attempts > 256 {
+                break;
+            }
+            let subset: Vec<spire_crypto::erasure::Share> = (0..m)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| shares[i].clone())
+                .collect();
+            if let Ok(candidate) = spire_crypto::erasure::decode(&subset, k) {
+                if spire_crypto::digest(&candidate) == digest {
+                    snapshot = Some(candidate);
+                    break;
+                }
+            }
+        }
+        let Some(snapshot) = snapshot else {
+            ctx.count(&self.metric("state_reconstruct_pending"), 1);
+            return;
+        };
+        let snapshot = Bytes::from(snapshot);
+        self.state_shares.remove(&(checkpoint_seq, digest));
+        if checkpoint_seq <= self.last_executed {
+            return;
+        }
+        if !self.restore_execution_snapshot(&snapshot) {
+            ctx.count(&self.metric("bad_state_snapshot"), 1);
+            return;
+        }
+        let _ = view; // views are learned from quorum traffic, not from a
+                      // single (possibly lying) state-transfer responder
+        self.last_executed = checkpoint_seq;
+        self.commit_aru = self.commit_aru.max(checkpoint_seq);
+        self.last_proposed = self.last_proposed.max(checkpoint_seq);
+        self.missing.clear();
+        self.stable_checkpoint = Some((checkpoint_seq, snapshot, proof));
+        self.stable_exec_cover = self.exec_cover.clone();
+        self.po_aru = self.exec_cover.clone();
+        self.last_summary_vector = AruVector(self.po_aru.clone());
+        if self.recovering {
+            // Resume origination past any sequence peers have seen from us,
+            // so fresh PO-Requests do not collide with pre-recovery
+            // certificates. (The local ARU is *not* bumped: we only claim
+            // what we can re-certify; peers' summaries cover the rest.)
+            self.my_po_seq = self.my_po_seq.max(requester_po_high);
+            self.my_sseq = self.my_sseq.max(requester_sseq_high);
+            self.recovering = false;
+            ctx.count(&self.metric("recovery_completed"), 1);
+        }
+        self.try_execute(ctx);
+    }
+
+    fn on_suffix_vote(&mut self, ctx: &mut Context<'_>, from: ReplicaId, seq: u64, matrix: Matrix) {
+        if seq <= self.last_executed || from.0 >= self.cfg.n {
+            return;
+        }
+        let digest = matrix.digest();
+        let entry = self
+            .suffix_votes
+            .entry((seq, digest))
+            .or_insert_with(|| (matrix, BTreeSet::new()));
+        entry.1.insert(from.0);
+        if entry.1.len() >= (self.cfg.f + 1) as usize
+            && !self.committed_matrices.contains_key(&seq)
+        {
+            let matrix = entry.0.clone();
+            self.committed_matrices.insert(seq, matrix);
+            self.advance_commit_aru(ctx);
+        }
+    }
+
+    fn on_recon_req(&mut self, ctx: &mut Context<'_>, from: ReplicaId, origin: u32, po_seq: u64) {
+        let Some(entry) = self.po.get(&(origin, po_seq)) else {
+            return;
+        };
+        let Some((digest, _, raw)) = &entry.content else {
+            return;
+        };
+        if entry.certified.as_ref() != Some(digest) {
+            return;
+        }
+        if from.0 >= self.cfg.n || from == self.me {
+            return;
+        }
+        // Forward the origin's original signed PO-Request plus the stored
+        // pre-order certificate (signed acks), so even a requester with no
+        // prior state can re-certify and execute.
+        let frames: Vec<Bytes> = std::iter::once(raw.clone())
+            .chain(
+                entry
+                    .acks
+                    .get(digest)
+                    .into_iter()
+                    .flat_map(|m| m.values().cloned()),
+            )
+            .collect();
+        for frame in frames {
+            self.net.send_replica(ctx, from, frame);
+        }
+    }
+
+    // ================= suspect-leader & view changes =================
+
+    fn check_turnaround(&mut self, ctx: &mut Context<'_>, tat_us: f64) {
+        if self.cfg.mode != ProtocolMode::Prime || self.in_view_change {
+            return;
+        }
+        let leader = self.cfg.leader_of(self.view);
+        let Some(rtt) = self.rtt_us.get(&leader.0).copied() else {
+            return;
+        };
+        let allowed =
+            self.cfg.tat_allowance * (rtt + 2.0 * self.cfg.pre_prepare_interval.0 as f64);
+        ctx.record(&self.metric("tat_ms"), tat_us / 1000.0);
+        if tat_us > allowed {
+            self.suspect_current_view(ctx);
+        }
+    }
+
+    fn suspect_current_view(&mut self, ctx: &mut Context<'_>) {
+        if self.suspected_views.contains(&self.view) {
+            return;
+        }
+        self.suspected_views.insert(self.view);
+        let mut msg = PrimeMsg::Suspect {
+            replica: self.me,
+            view: self.view,
+            sig: [0; 64],
+        };
+        msg.sign(&self.signer);
+        self.suspects
+            .entry(self.view)
+            .or_default()
+            .insert(self.me.0);
+        ctx.count(&self.metric("suspects_sent"), 1);
+        self.broadcast(ctx, &msg);
+        self.check_suspect_quorum(ctx);
+    }
+
+    fn on_suspect(&mut self, ctx: &mut Context<'_>, msg: &PrimeMsg, replica: ReplicaId, view: u64) {
+        if replica.0 >= self.cfg.n || view < self.view {
+            return;
+        }
+        if !msg.verify_sig(&self.keystore, self.replica_node(replica), self.mock()) {
+            return;
+        }
+        self.suspects.entry(view).or_default().insert(replica.0);
+        self.check_suspect_quorum(ctx);
+    }
+
+    fn check_suspect_quorum(&mut self, ctx: &mut Context<'_>) {
+        let quorum = self.cfg.suspect_quorum();
+        let target = self
+            .suspects
+            .iter()
+            .filter(|(v, set)| **v >= self.view && set.len() >= quorum)
+            .map(|(v, _)| *v)
+            .max();
+        if let Some(v) = target {
+            self.enter_view(ctx, v + 1);
+        }
+    }
+
+    fn enter_view(&mut self, ctx: &mut Context<'_>, new_view: u64) {
+        if new_view <= self.view && self.in_view_change {
+            return;
+        }
+        if new_view < self.view {
+            return;
+        }
+        self.view = new_view;
+        self.in_view_change = true;
+        self.view_entered_at = ctx.now();
+        self.timeout_backoff = (self.timeout_backoff * 2).min(8);
+        self.outstanding_summary = None;
+        ctx.count(&self.metric("view_changes"), 1);
+        // Report state for the new view.
+        let prepared = self
+            .slots
+            .iter()
+            .filter(|(s, slot)| **s > self.commit_aru && slot.prepared)
+            .max_by_key(|(s, _)| **s)
+            .and_then(|(s, slot)| {
+                slot.pre_prepare.as_ref().map(|(v, m, _)| PreparedClaim {
+                    view: *v,
+                    seq: *s,
+                    matrix: m.clone(),
+                })
+            });
+        let mut state = ViewStateMsg {
+            replica: self.me,
+            view: new_view,
+            last_committed: self.commit_aru,
+            prepared,
+            sig: [0; 64],
+        };
+        let bytes = state.signing_bytes();
+        state.sig = self.signer.sign64(&bytes);
+        self.view_states
+            .entry(new_view)
+            .or_default()
+            .insert(self.me.0, state.clone());
+        self.broadcast(ctx, &PrimeMsg::ViewState(state));
+        self.maybe_install_view(ctx);
+    }
+
+    fn on_view_state(&mut self, ctx: &mut Context<'_>, state: ViewStateMsg) {
+        if state.replica.0 >= self.cfg.n || state.view < self.view {
+            return;
+        }
+        if !state.verify(&self.keystore, self.cfg.replica_key_base, self.mock()) {
+            return;
+        }
+        self.view_states
+            .entry(state.view)
+            .or_default()
+            .insert(state.replica.0, state.clone());
+        // Seeing a quorum of view states for a higher view means a view
+        // change is in progress; join it.
+        let quorum = self.cfg.ordering_quorum();
+        if state.view > self.view
+            && self
+                .view_states
+                .get(&state.view)
+                .map(|m| m.len() >= quorum)
+                .unwrap_or(false)
+        {
+            self.enter_view(ctx, state.view);
+        }
+        self.maybe_install_view(ctx);
+    }
+
+    /// The new leader installs the view once it holds a quorum of states.
+    fn maybe_install_view(&mut self, ctx: &mut Context<'_>) {
+        if !self.in_view_change || self.cfg.leader_of(self.view) != self.me {
+            return;
+        }
+        let quorum = self.cfg.ordering_quorum();
+        let Some(states) = self.view_states.get(&self.view) else {
+            return;
+        };
+        if states.len() < quorum {
+            return;
+        }
+        let states: Vec<ViewStateMsg> = states.values().cloned().collect();
+        let mut msg = PrimeMsg::NewView {
+            view: self.view,
+            states: states.clone(),
+            sig: [0; 64],
+        };
+        msg.sign(&self.signer);
+        self.broadcast(ctx, &msg);
+        self.apply_new_view(ctx, self.view, &states);
+    }
+
+    fn on_new_view(&mut self, ctx: &mut Context<'_>, msg: &PrimeMsg) {
+        let PrimeMsg::NewView { view, states, .. } = msg else {
+            return;
+        };
+        let view = *view;
+        if view < self.view {
+            return;
+        }
+        let leader = self.cfg.leader_of(view);
+        if !msg.verify_sig(&self.keystore, self.replica_node(leader), self.mock()) {
+            return;
+        }
+        // Validate the quorum of states.
+        let mock = self.mock();
+        let mut signers = BTreeSet::new();
+        for state in states {
+            if state.view == view
+                && state.replica.0 < self.cfg.n
+                && state.verify(&self.keystore, self.cfg.replica_key_base, mock)
+            {
+                signers.insert(state.replica.0);
+            }
+        }
+        if signers.len() < self.cfg.ordering_quorum() {
+            ctx.count(&self.metric("bad_new_view"), 1);
+            return;
+        }
+        if view > self.view {
+            self.view = view;
+            self.in_view_change = true;
+        }
+        self.apply_new_view(ctx, view, states);
+    }
+
+    /// Deterministically derives the reproposal plan from a state quorum and
+    /// installs the view.
+    fn apply_new_view(&mut self, ctx: &mut Context<'_>, view: u64, states: &[ViewStateMsg]) {
+        let (base, reproposals) = plan_new_view(states);
+        let top = reproposals.last().map(|(s, _)| *s).unwrap_or(base);
+        // Reset ordering state above the committed prefix.
+        let commit_aru = self.commit_aru;
+        self.slots.retain(|s, slot| *s <= commit_aru || slot.committed);
+        self.in_view_change = false;
+        self.last_proposed = top.max(self.commit_aru);
+        self.last_progress = ctx.now();
+        // Re-propose prepared matrices (and explicit no-ops for holes).
+        for (seq, matrix) in reproposals {
+            self.accept_pre_prepare(ctx, view, seq, matrix);
+        }
+        ctx.count(&self.metric("views_installed"), 1);
+    }
+
+    /// Records that `replica` operates in `view`; if a quorum of f+k+1
+    /// replicas claim a higher view than ours, adopt it (we were left
+    /// behind by a view change we missed, e.g. during recovery).
+    fn note_claimed_view(&mut self, replica: ReplicaId, view: u64) {
+        let entry = self.claimed_views.entry(replica.0).or_insert(0);
+        *entry = (*entry).max(view);
+        let mut views: Vec<u64> = self.claimed_views.values().copied().collect();
+        views.sort_unstable_by(|a, b| b.cmp(a));
+        let quorum = self.cfg.suspect_quorum();
+        if views.len() >= quorum {
+            let joinable = views[quorum - 1];
+            // Prepare/Commit messages only flow in *installed* views, so a
+            // quorum of them proves the view is active: join it directly.
+            if joinable > self.view || (joinable == self.view && self.in_view_change) {
+                self.view = joinable;
+                self.in_view_change = false;
+                self.outstanding_summary = None;
+            }
+        }
+    }
+
+    fn on_ping(&mut self, ctx: &mut Context<'_>, replica: ReplicaId, nonce: u64) {
+        let pong = PrimeMsg::Pong {
+            replica: self.me,
+            nonce,
+        };
+        self.send_to(ctx, replica, &pong);
+    }
+
+    fn on_pong(&mut self, ctx: &mut Context<'_>, replica: ReplicaId, nonce: u64) {
+        if let Some((target, sent)) = self.outstanding_pings.remove(&nonce) {
+            if target == replica.0 {
+                let rtt = ctx.now().since(sent).0 as f64;
+                let entry = self.rtt_us.entry(replica.0).or_insert(rtt);
+                *entry = 0.8 * *entry + 0.2 * rtt;
+            }
+        }
+    }
+
+    fn work_pending(&self) -> bool {
+        if !self.pending_ops.is_empty() || !self.missing.is_empty() {
+            return true;
+        }
+        // Any certified-but-unexecuted pre-ordered requests (ours or ones
+        // other replicas report)?
+        let local = (0..self.n()).any(|i| self.po_aru[i] > self.exec_cover[i]);
+        let reported = self.latest_rows.values().any(|row| {
+            row.vector
+                .0
+                .iter()
+                .zip(self.exec_cover.iter())
+                .any(|(aru, cover)| aru > cover)
+        });
+        local || reported
+    }
+}
+
+impl Process for Replica {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.net.start(ctx);
+        self.last_progress = ctx.now();
+        ctx.set_timer(self.cfg.po_interval, TIMER_PO_FLUSH);
+        ctx.set_timer(self.cfg.summary_interval, TIMER_SUMMARY);
+        ctx.set_timer(self.cfg.pre_prepare_interval, TIMER_PRE_PREPARE);
+        ctx.set_timer(self.cfg.ping_interval, TIMER_PING);
+        ctx.set_timer(self.cfg.progress_timeout, TIMER_PROGRESS);
+        ctx.set_timer(self.cfg.recon_interval, TIMER_RECON);
+        if self.recovering {
+            self.recovery_started = ctx.now();
+            ctx.set_timer(Span::millis(10), TIMER_STATE_REQ);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, bytes: &Bytes) {
+        if self.behavior == ByzBehavior::Mute {
+            return;
+        }
+        let Some(payload) = self.net.unwrap(from, bytes) else {
+            return;
+        };
+        let Ok(msg) = PrimeMsg::decode(&payload) else {
+            ctx.count(&self.metric("decode_fail"), 1);
+            return;
+        };
+        if self.recovering {
+            // While recovering, only state transfer traffic is processed.
+            if let PrimeMsg::StateResp {
+                checkpoint_seq,
+                share_index,
+                erasure_k,
+                share,
+                proof,
+                view,
+                requester_po_high,
+                requester_sseq_high,
+                ..
+            } = msg
+            {
+                self.on_state_resp(
+                    ctx,
+                    checkpoint_seq,
+                    share_index,
+                    erasure_k,
+                    share,
+                    proof,
+                    view,
+                    requester_po_high,
+                    requester_sseq_high,
+                );
+            }
+            return;
+        }
+        match &msg {
+            PrimeMsg::Op(op) => self.on_client_op(ctx, op.clone()),
+            PrimeMsg::PoRequest { .. } => self.accept_po_request(ctx, &msg),
+            PrimeMsg::PoAck {
+                replica,
+                origin,
+                po_seq,
+                digest,
+                ..
+            } => self.on_po_ack(ctx, &msg, *replica, *origin, *po_seq, *digest),
+            PrimeMsg::PoSummary(row) => self.on_summary(ctx, row.clone()),
+            PrimeMsg::PrePrepare {
+                view, seq, matrix, ..
+            } => {
+                let leader = self.cfg.leader_of(*view);
+                if msg.verify_sig(&self.keystore, self.replica_node(leader), self.mock()) {
+                    self.accept_pre_prepare(ctx, *view, *seq, matrix.clone());
+                } else {
+                    ctx.count(&self.metric("bad_preprepare_sig"), 1);
+                }
+            }
+            PrimeMsg::Prepare {
+                replica,
+                view,
+                seq,
+                digest,
+                ..
+            } => self.on_prepare(ctx, &msg, *replica, *view, *seq, *digest),
+            PrimeMsg::Commit {
+                replica,
+                view,
+                seq,
+                digest,
+                ..
+            } => self.on_commit(ctx, &msg, *replica, *view, *seq, *digest),
+            PrimeMsg::Ping { replica, nonce } => self.on_ping(ctx, *replica, *nonce),
+            PrimeMsg::Pong { replica, nonce } => self.on_pong(ctx, *replica, *nonce),
+            PrimeMsg::Suspect { replica, view, .. } => {
+                self.on_suspect(ctx, &msg, *replica, *view)
+            }
+            PrimeMsg::ViewState(state) => self.on_view_state(ctx, state.clone()),
+            PrimeMsg::NewView { .. } => self.on_new_view(ctx, &msg),
+            PrimeMsg::Checkpoint(m) => self.on_checkpoint(ctx, m.clone()),
+            PrimeMsg::StateReq {
+                replica, have_seq, ..
+            } => self.on_state_req(ctx, &msg, *replica, *have_seq),
+            PrimeMsg::StateResp {
+                checkpoint_seq,
+                share_index,
+                erasure_k,
+                share,
+                proof,
+                view,
+                requester_po_high,
+                requester_sseq_high,
+                ..
+            } => self.on_state_resp(
+                ctx,
+                *checkpoint_seq,
+                *share_index,
+                *erasure_k,
+                share.clone(),
+                proof.clone(),
+                *view,
+                *requester_po_high,
+                *requester_sseq_high,
+            ),
+            PrimeMsg::SuffixVote {
+                replica,
+                seq,
+                matrix,
+            } => self.on_suffix_vote(ctx, *replica, *seq, matrix.clone()),
+            PrimeMsg::ReconReq {
+                replica,
+                origin,
+                po_seq,
+            } => self.on_recon_req(ctx, *replica, origin.0, *po_seq),
+            PrimeMsg::Reply { .. } | PrimeMsg::Notify { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        if self.behavior == ByzBehavior::Mute {
+            return;
+        }
+        match tag {
+            TIMER_PO_FLUSH => {
+                self.flush_po_batch(ctx);
+                ctx.set_timer(self.cfg.po_interval, TIMER_PO_FLUSH);
+            }
+            TIMER_SUMMARY => {
+                self.maybe_send_summary(ctx);
+                ctx.set_timer(self.cfg.summary_interval, TIMER_SUMMARY);
+            }
+            TIMER_PRE_PREPARE => {
+                // Release any delayed (attacked) proposals first.
+                let now = ctx.now();
+                let due: Vec<Bytes> = {
+                    let (ready, later): (Vec<_>, Vec<_>) = self
+                        .delayed_proposals
+                        .drain(..)
+                        .partition(|(at, _)| *at <= now);
+                    self.delayed_proposals = later;
+                    ready.into_iter().map(|(_, b)| b).collect()
+                };
+                for bytes in due {
+                    if let Ok(PrimeMsg::PrePrepare {
+                        view, seq, matrix, ..
+                    }) = PrimeMsg::decode(&bytes)
+                    {
+                        self.accept_pre_prepare(ctx, view, seq, matrix);
+                    }
+                    for r in 0..self.cfg.n {
+                        if r != self.me.0 {
+                            self.net.send_replica(ctx, ReplicaId(r), bytes.clone());
+                        }
+                    }
+                }
+                self.propose(ctx);
+                ctx.set_timer(self.cfg.pre_prepare_interval, TIMER_PRE_PREPARE);
+            }
+            TIMER_PING => {
+                if self.cfg.mode == ProtocolMode::Prime && !self.recovering {
+                    for r in 0..self.cfg.n {
+                        if r == self.me.0 {
+                            continue;
+                        }
+                        self.ping_nonce += 1;
+                        self.outstanding_pings
+                            .insert(self.ping_nonce, (r, ctx.now()));
+                        let ping = PrimeMsg::Ping {
+                            replica: self.me,
+                            nonce: self.ping_nonce,
+                        };
+                        self.send_to(ctx, ReplicaId(r), &ping);
+                    }
+                    // Cap the outstanding map.
+                    while self.outstanding_pings.len() > 4 * self.n() {
+                        let first = *self.outstanding_pings.keys().next().unwrap();
+                        self.outstanding_pings.remove(&first);
+                    }
+                }
+                ctx.set_timer(self.cfg.ping_interval, TIMER_PING);
+            }
+            TIMER_PROGRESS => {
+                let now = ctx.now();
+                let timeout = Span::micros(self.cfg.progress_timeout.0 * self.timeout_backoff);
+                // A view change that never completes (its new leader is
+                // also faulty or unreachable) must itself time out, or the
+                // whole cluster waits forever for a NewView that will never
+                // come.
+                let vc_stalled = self.in_view_change
+                    && now.since(self.view_entered_at) >= timeout;
+                let ordering_stalled = !self.in_view_change
+                    && self.work_pending()
+                    && now.since(self.last_progress) >= timeout;
+                if !self.recovering && (vc_stalled || ordering_stalled) {
+                    self.suspect_current_view(ctx);
+                }
+                // Check twice per timeout window so stalls are caught
+                // promptly regardless of timer phase.
+                ctx.set_timer(
+                    Span::micros((self.cfg.progress_timeout.0 / 2).max(1)),
+                    TIMER_PROGRESS,
+                );
+            }
+            TIMER_RECON => {
+                // A replica that fell far behind (partition, long outage)
+                // catches up via state transfer instead of waiting forever.
+                let exec_lag = self.commit_aru > self.last_executed + self.cfg.checkpoint_interval;
+                if self.max_seen_commit > self.commit_aru + self.cfg.checkpoint_interval || exec_lag {
+                    let mut req = PrimeMsg::StateReq {
+                        replica: self.me,
+                        have_seq: self.last_executed,
+                        sig: [0; 64],
+                    };
+                    req.sign(&self.signer);
+                    self.broadcast(ctx, &req);
+                }
+                // Fetch a bounded window of missing PO-Requests (execution
+                // needs them in order anyway) from two rotating peers, so a
+                // large catch-up cannot melt the network.
+                let missing: Vec<(u32, u64)> =
+                    self.missing.iter().copied().take(32).collect();
+                let n = self.cfg.n;
+                for (i, (origin, po_seq)) in missing.into_iter().enumerate() {
+                    let req = PrimeMsg::ReconReq {
+                        replica: self.me,
+                        origin: ReplicaId(origin),
+                        po_seq,
+                    };
+                    for offset in 1..=2u32 {
+                        let target = (self.me.0 + i as u32 + offset * (self.recon_rotor % n + 1)) % n;
+                        if target != self.me.0 {
+                            self.send_to(ctx, ReplicaId(target), &req);
+                        }
+                    }
+                }
+                self.recon_rotor = self.recon_rotor.wrapping_add(1);
+                self.try_execute(ctx);
+                ctx.set_timer(self.cfg.recon_interval, TIMER_RECON);
+            }
+            TIMER_STATE_REQ => {
+                if self.recovering {
+                    // If nobody has a checkpoint yet (young system), rejoin
+                    // from genesis; reconciliation certificates let us
+                    // replay everything that was ordered meanwhile.
+                    if ctx.now().since(self.recovery_started)
+                        >= self.cfg.recovery_genesis_timeout
+                    {
+                        self.recovering = false;
+                        ctx.count(&self.metric("recovery_from_genesis"), 1);
+                        ctx.count(&self.metric("recovery_completed"), 1);
+                        return;
+                    }
+                    let mut req = PrimeMsg::StateReq {
+                        replica: self.me,
+                        have_seq: self.last_executed,
+                        sig: [0; 64],
+                    };
+                    req.sign(&self.signer);
+                    self.broadcast(ctx, &req);
+                    ctx.set_timer(Span::millis(500), TIMER_STATE_REQ);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Derives the deterministic view-change plan from a quorum of state
+/// reports: the committed base and the (seq, matrix) reproposals preserving
+/// every prepared matrix above it, highest-view claim winning per sequence,
+/// with explicit empty matrices filling holes.
+///
+/// Every replica recomputes this from the same `NewView` quorum, so a
+/// Byzantine new leader cannot silently drop a prepared matrix.
+pub fn plan_new_view(states: &[ViewStateMsg]) -> (u64, Vec<(u64, Matrix)>) {
+    let base = states.iter().map(|s| s.last_committed).max().unwrap_or(0);
+    let mut claims: BTreeMap<u64, &PreparedClaim> = BTreeMap::new();
+    for state in states {
+        if let Some(claim) = &state.prepared {
+            if claim.seq > base {
+                let better = claims
+                    .get(&claim.seq)
+                    .map(|existing| claim.view > existing.view)
+                    .unwrap_or(true);
+                if better {
+                    claims.insert(claim.seq, claim);
+                }
+            }
+        }
+    }
+    let top = claims.keys().max().copied().unwrap_or(base);
+    let reproposals = ((base + 1)..=top)
+        .map(|seq| {
+            (
+                seq,
+                claims.get(&seq).map(|c| c.matrix.clone()).unwrap_or_default(),
+            )
+        })
+        .collect();
+    (base, reproposals)
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("me", &self.me)
+            .field("view", &self.view)
+            .field("commit_aru", &self.commit_aru)
+            .field("last_executed", &self.last_executed)
+            .field("recovering", &self.recovering)
+            .finish()
+    }
+}

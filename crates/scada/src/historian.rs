@@ -1,0 +1,171 @@
+//! The SCADA historian: a passive observer that archives confirmed device
+//! updates and alarms, as real control rooms run alongside the HMI.
+//!
+//! The historian is a Prime client like any other: it receives the same
+//! `f + 1`-validated notifications, so a compromised replica cannot plant
+//! false history. It answers range queries over the archived samples —
+//! used by tests and by operators reconstructing an incident timeline.
+
+use crate::master::notify_kind;
+use bytes::Bytes;
+use spire_prime::{ClientId, PrimeConfig, PrimeMsg};
+use spire_sim::{Context, Process, ProcessId, Time, WireReader};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One archived breaker event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerEvent {
+    /// When the historian archived it (simulation time).
+    pub archived_at: Time,
+    /// The RTU reporting the transition.
+    pub rtu: u32,
+    /// The breaker.
+    pub breaker: u8,
+    /// New state (true = closed).
+    pub closed: bool,
+}
+
+/// Shared, queryable archive.
+#[derive(Clone, Debug, Default)]
+pub struct Archive {
+    inner: Rc<RefCell<Vec<BreakerEvent>>>,
+}
+
+impl Archive {
+    /// Creates an empty archive.
+    pub fn new() -> Archive {
+        Archive::default()
+    }
+
+    fn push(&self, event: BreakerEvent) {
+        self.inner.borrow_mut().push(event);
+    }
+
+    /// Number of archived events.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// True if nothing was archived.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Events archived within `[from, until)`.
+    pub fn query_range(&self, from: Time, until: Time) -> Vec<BreakerEvent> {
+        self.inner
+            .borrow()
+            .iter()
+            .filter(|e| e.archived_at >= from && e.archived_at < until)
+            .copied()
+            .collect()
+    }
+
+    /// Events for one breaker, in order.
+    pub fn breaker_history(&self, rtu: u32, breaker: u8) -> Vec<BreakerEvent> {
+        self.inner
+            .borrow()
+            .iter()
+            .filter(|e| e.rtu == rtu && e.breaker == breaker)
+            .copied()
+            .collect()
+    }
+}
+
+/// The historian process.
+pub struct Historian {
+    cfg: PrimeConfig,
+    client_id: ClientId,
+    archive: Archive,
+    votes: crate::proxy::QuorumTracker,
+}
+
+impl Historian {
+    /// Creates a historian with the given Prime client identity. Register
+    /// its client id in the [`crate::master::ScadaDirectory`] `hmis` list so
+    /// the masters push it events.
+    pub fn new(cfg: PrimeConfig, client_id: ClientId, archive: Archive) -> Historian {
+        Historian {
+            cfg,
+            client_id,
+            archive,
+            votes: Default::default(),
+        }
+    }
+}
+
+impl Process for Historian {
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, bytes: &Bytes) {
+        // Accept both direct and overlay-wrapped deliveries.
+        let payload = match spire_spines::SpinesPort::decode_deliver(bytes) {
+            Some((_, payload)) => payload,
+            None => bytes.clone(),
+        };
+        let Ok(PrimeMsg::Notify {
+            replica,
+            client,
+            nseq,
+            payload,
+            ..
+        }) = PrimeMsg::decode(&payload)
+        else {
+            return;
+        };
+        if client != self.client_id {
+            return;
+        }
+        let quorum = (self.cfg.f + 1) as usize;
+        let Some(agreed) = self.votes.vote(nseq, replica.0, &payload, quorum) else {
+            return;
+        };
+        let mut r = WireReader::new(&agreed);
+        let Ok(kind) = r.u8() else { return };
+        if kind != notify_kind::BREAKER_EVENT {
+            return;
+        }
+        let (Ok(rtu), Ok(breaker), Ok(closed)) = (r.u32(), r.u8(), r.bool()) else {
+            return;
+        };
+        self.archive.push(BreakerEvent {
+            archived_at: ctx.now(),
+            rtu,
+            breaker,
+            closed,
+        });
+        ctx.count("historian.events", 1);
+    }
+}
+
+impl std::fmt::Debug for Historian {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Historian(events={})", self.archive.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archive_queries() {
+        let archive = Archive::new();
+        for (t, rtu, breaker, closed) in
+            [(10u64, 1u32, 0u8, false), (20, 1, 0, true), (30, 2, 1, false)]
+        {
+            archive.push(BreakerEvent {
+                archived_at: Time(t),
+                rtu,
+                breaker,
+                closed,
+            });
+        }
+        assert_eq!(archive.len(), 3);
+        assert_eq!(archive.query_range(Time(10), Time(30)).len(), 2);
+        assert_eq!(archive.query_range(Time(0), Time(5)).len(), 0);
+        let history = archive.breaker_history(1, 0);
+        assert_eq!(history.len(), 2);
+        assert!(!history[0].closed && history[1].closed);
+        assert!(archive.breaker_history(9, 9).is_empty());
+    }
+}

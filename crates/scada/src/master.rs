@@ -1,0 +1,412 @@
+//! The replicated SCADA master: the application state machine ordered by
+//! Prime. It maintains the grid state (per-RTU registers and breakers),
+//! raises events toward the HMI, and emits supervisory commands toward RTU
+//! proxies as replica notifications.
+
+use crate::op::{CommandAction, ScadaOp};
+use spire_crypto::Digest;
+use spire_prime::{Application, ClientId, ExecResult, Notification};
+use spire_sim::{WireReader, WireWriter};
+use std::collections::BTreeMap;
+
+/// Static wiring of the SCADA deployment, identical on every replica.
+#[derive(Clone, Debug, Default)]
+pub struct ScadaDirectory {
+    /// RTU id -> the Prime client id of its proxy.
+    pub rtu_proxy: BTreeMap<u32, u32>,
+    /// Client ids of HMIs (receive event notifications).
+    pub hmis: Vec<u32>,
+}
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct RtuState {
+    registers: BTreeMap<u16, u16>,
+    breakers: BTreeMap<u8, bool>,
+    last_update_us: u64,
+    updates_applied: u64,
+}
+
+/// The replicated state machine.
+#[derive(Clone, Debug, Default)]
+pub struct ScadaMaster {
+    directory: ScadaDirectory,
+    rtus: BTreeMap<u32, RtuState>,
+    /// Deterministic per-target notification counters.
+    nseq: BTreeMap<u32, u64>,
+    events: u64,
+}
+
+impl ScadaMaster {
+    /// Creates a master with the deployment directory.
+    pub fn new(directory: ScadaDirectory) -> ScadaMaster {
+        ScadaMaster {
+            directory,
+            ..Default::default()
+        }
+    }
+
+    fn next_nseq(&mut self, target: u32) -> u64 {
+        let counter = self.nseq.entry(target).or_insert(0);
+        *counter += 1;
+        *counter
+    }
+
+    fn notify(&mut self, target: u32, payload: Vec<u8>) -> Notification {
+        Notification {
+            target: ClientId(target),
+            nseq: self.next_nseq(target),
+            payload,
+        }
+    }
+
+    /// Number of updates applied for an RTU (0 if unknown).
+    pub fn updates_applied(&self, rtu: u32) -> u64 {
+        self.rtus
+            .get(&rtu)
+            .map(|r| r.updates_applied)
+            .unwrap_or(0)
+    }
+
+    /// Current breaker state, if known.
+    pub fn breaker(&self, rtu: u32, breaker: u8) -> Option<bool> {
+        self.rtus.get(&rtu)?.breakers.get(&breaker).copied()
+    }
+
+    /// Current register value, if known.
+    pub fn register(&self, rtu: u32, addr: u16) -> Option<u16> {
+        self.rtus.get(&rtu)?.registers.get(&addr).copied()
+    }
+
+    fn encode_rtu_state(&self, rtu: u32) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self.rtus.get(&rtu) {
+            Some(state) => {
+                w.u8(1).u32(rtu).u64(state.last_update_us);
+                w.u16(state.registers.len() as u16);
+                for (a, v) in &state.registers {
+                    w.u16(*a).u16(*v);
+                }
+                w.u8(state.breakers.len() as u8);
+                for (b, on) in &state.breakers {
+                    w.u8(*b).bool(*on);
+                }
+            }
+            None => {
+                w.u8(0).u32(rtu);
+            }
+        }
+        w.finish().to_vec()
+    }
+}
+
+impl Application for ScadaMaster {
+    fn execute(&mut self, op: &[u8]) -> ExecResult {
+        let Ok(op) = ScadaOp::decode(op) else {
+            return ExecResult::reply(b"err:decode".to_vec());
+        };
+        match op {
+            ScadaOp::DeviceUpdate {
+                rtu,
+                ts_us,
+                registers,
+                breakers,
+            } => {
+                let mut breaker_events: Vec<(u8, bool)> = Vec::new();
+                {
+                    let state = self.rtus.entry(rtu).or_default();
+                    for (a, v) in registers {
+                        state.registers.insert(a, v);
+                    }
+                    for (b, on) in breakers {
+                        let old = state.breakers.insert(b, on);
+                        if old.is_some() && old != Some(on) {
+                            breaker_events.push((b, on));
+                        }
+                    }
+                    state.last_update_us = ts_us;
+                    state.updates_applied += 1;
+                }
+                // Unexpected breaker transitions are alarms pushed to HMIs.
+                let mut notifications = Vec::new();
+                for (b, on) in breaker_events {
+                    self.events += 1;
+                    let mut w = WireWriter::new();
+                    w.u8(1).u32(rtu).u8(b).bool(on);
+                    let payload = w.finish().to_vec();
+                    for hmi in self.directory.hmis.clone() {
+                        notifications.push(self.notify(hmi, payload.clone()));
+                    }
+                }
+                let mut w = WireWriter::new();
+                w.raw(b"ok").u64(ts_us);
+                ExecResult {
+                    reply: w.finish().to_vec(),
+                    notifications,
+                }
+            }
+            ScadaOp::Command { rtu, ts_us, action } => {
+                // Apply optimistically to the model (the authoritative state
+                // arrives with the next device update) and forward the
+                // command to the RTU's proxy.
+                {
+                    let state = self.rtus.entry(rtu).or_default();
+                    match action {
+                        CommandAction::OpenBreaker(b) => {
+                            state.breakers.insert(b, false);
+                        }
+                        CommandAction::CloseBreaker(b) => {
+                            state.breakers.insert(b, true);
+                        }
+                        CommandAction::SetRegister(a, v) => {
+                            state.registers.insert(a, v);
+                        }
+                    }
+                }
+                let mut notifications = Vec::new();
+                if let Some(proxy) = self.directory.rtu_proxy.get(&rtu).copied() {
+                    let mut w = WireWriter::new();
+                    w.u8(2).u32(rtu).u64(ts_us);
+                    match action {
+                        CommandAction::OpenBreaker(b) => {
+                            w.u8(1).u8(b);
+                        }
+                        CommandAction::CloseBreaker(b) => {
+                            w.u8(2).u8(b);
+                        }
+                        CommandAction::SetRegister(a, v) => {
+                            w.u8(3).u16(a).u16(v);
+                        }
+                    }
+                    let payload = w.finish().to_vec();
+                    notifications.push(self.notify(proxy, payload));
+                }
+                ExecResult {
+                    reply: b"ok:cmd".to_vec(),
+                    notifications,
+                }
+            }
+            ScadaOp::ReadState { rtu } => ExecResult::reply(self.encode_rtu_state(rtu)),
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u32(self.rtus.len() as u32);
+        for (rtu, state) in &self.rtus {
+            w.u32(*rtu).u64(state.last_update_us).u64(state.updates_applied);
+            w.u16(state.registers.len() as u16);
+            for (a, v) in &state.registers {
+                w.u16(*a).u16(*v);
+            }
+            w.u8(state.breakers.len() as u8);
+            for (b, on) in &state.breakers {
+                w.u8(*b).bool(*on);
+            }
+        }
+        w.u32(self.nseq.len() as u32);
+        for (t, s) in &self.nseq {
+            w.u32(*t).u64(*s);
+        }
+        w.u64(self.events);
+        w.finish().to_vec()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) {
+        let mut r = WireReader::new(snapshot);
+        let mut rtus = BTreeMap::new();
+        let n = r.u32().unwrap_or(0);
+        for _ in 0..n {
+            let (Ok(rtu), Ok(last), Ok(applied)) = (r.u32(), r.u64(), r.u64()) else {
+                return;
+            };
+            let mut state = RtuState {
+                last_update_us: last,
+                updates_applied: applied,
+                ..Default::default()
+            };
+            let Ok(nr) = r.u16() else { return };
+            for _ in 0..nr {
+                let (Ok(a), Ok(v)) = (r.u16(), r.u16()) else {
+                    return;
+                };
+                state.registers.insert(a, v);
+            }
+            let Ok(nb) = r.u8() else { return };
+            for _ in 0..nb {
+                let (Ok(b), Ok(on)) = (r.u8(), r.bool()) else {
+                    return;
+                };
+                state.breakers.insert(b, on);
+            }
+            rtus.insert(rtu, state);
+        }
+        let mut nseq = BTreeMap::new();
+        let m = r.u32().unwrap_or(0);
+        for _ in 0..m {
+            let (Ok(t), Ok(s)) = (r.u32(), r.u64()) else {
+                return;
+            };
+            nseq.insert(t, s);
+        }
+        self.rtus = rtus;
+        self.nseq = nseq;
+        self.events = r.u64().unwrap_or(0);
+    }
+
+    fn digest(&self) -> Digest {
+        spire_crypto::digest(&self.snapshot())
+    }
+}
+
+/// Payload kinds pushed by the master (first byte of notification payloads).
+pub mod notify_kind {
+    /// Breaker state-change alarm to HMIs.
+    pub const BREAKER_EVENT: u8 = 1;
+    /// Supervisory command to an RTU proxy.
+    pub const COMMAND: u8 = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn directory() -> ScadaDirectory {
+        let mut rtu_proxy = BTreeMap::new();
+        rtu_proxy.insert(1, 100);
+        ScadaDirectory {
+            rtu_proxy,
+            hmis: vec![200],
+        }
+    }
+
+    fn update_op(rtu: u32, ts: u64, breaker_on: bool) -> Vec<u8> {
+        ScadaOp::DeviceUpdate {
+            rtu,
+            ts_us: ts,
+            registers: vec![(0, 42)],
+            breakers: vec![(0, breaker_on)],
+        }
+        .encode()
+        .to_vec()
+    }
+
+    #[test]
+    fn updates_apply_and_read_back() {
+        let mut master = ScadaMaster::new(directory());
+        let out = master.execute(&update_op(1, 10, true));
+        assert!(out.reply.starts_with(b"ok"));
+        assert!(out.notifications.is_empty(), "first state is not an event");
+        assert_eq!(master.register(1, 0), Some(42));
+        assert_eq!(master.breaker(1, 0), Some(true));
+        assert_eq!(master.updates_applied(1), 1);
+    }
+
+    #[test]
+    fn breaker_transition_raises_hmi_event() {
+        let mut master = ScadaMaster::new(directory());
+        master.execute(&update_op(1, 10, true));
+        let out = master.execute(&update_op(1, 20, false));
+        assert_eq!(out.notifications.len(), 1);
+        assert_eq!(out.notifications[0].target, ClientId(200));
+        assert_eq!(out.notifications[0].payload[0], notify_kind::BREAKER_EVENT);
+        // Repeating the same state is not an event.
+        let out = master.execute(&update_op(1, 30, false));
+        assert!(out.notifications.is_empty());
+    }
+
+    #[test]
+    fn command_notifies_proxy_with_monotone_nseq() {
+        let mut master = ScadaMaster::new(directory());
+        let cmd = |ts| {
+            ScadaOp::Command {
+                rtu: 1,
+                ts_us: ts,
+                action: CommandAction::OpenBreaker(0),
+            }
+            .encode()
+            .to_vec()
+        };
+        let out1 = master.execute(&cmd(5));
+        let out2 = master.execute(&cmd(6));
+        assert_eq!(out1.notifications[0].target, ClientId(100));
+        assert_eq!(out1.notifications[0].nseq, 1);
+        assert_eq!(out2.notifications[0].nseq, 2);
+        assert_eq!(out1.notifications[0].payload[0], notify_kind::COMMAND);
+        assert_eq!(master.breaker(1, 0), Some(false));
+    }
+
+    #[test]
+    fn command_to_unknown_rtu_has_no_proxy_notification() {
+        let mut master = ScadaMaster::new(directory());
+        let out = master.execute(
+            &ScadaOp::Command {
+                rtu: 99,
+                ts_us: 1,
+                action: CommandAction::CloseBreaker(0),
+            }
+            .encode(),
+        );
+        assert!(out.notifications.is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut master = ScadaMaster::new(directory());
+        master.execute(&update_op(1, 10, true));
+        master.execute(
+            &ScadaOp::Command {
+                rtu: 1,
+                ts_us: 11,
+                action: CommandAction::SetRegister(5, 123),
+            }
+            .encode(),
+        );
+        let snap = master.snapshot();
+        let mut other = ScadaMaster::new(directory());
+        other.restore(&snap);
+        assert_eq!(other.digest(), master.digest());
+        assert_eq!(other.register(1, 5), Some(123));
+        // nseq continuity: the restored master continues the counter.
+        let out = other.execute(
+            &ScadaOp::Command {
+                rtu: 1,
+                ts_us: 12,
+                action: CommandAction::OpenBreaker(0),
+            }
+            .encode(),
+        );
+        assert_eq!(out.notifications[0].nseq, 2);
+    }
+
+    #[test]
+    fn read_state_reply_roundtrips() {
+        let mut master = ScadaMaster::new(directory());
+        master.execute(&update_op(1, 10, true));
+        let out = master.execute(&ScadaOp::ReadState { rtu: 1 }.encode());
+        assert_eq!(out.reply[0], 1); // known
+        let out = master.execute(&ScadaOp::ReadState { rtu: 9 }.encode());
+        assert_eq!(out.reply[0], 0); // unknown
+    }
+
+    #[test]
+    fn determinism_across_instances() {
+        let ops: Vec<Vec<u8>> = (0..20)
+            .map(|i| update_op(1 + (i % 3), i as u64, i % 2 == 0))
+            .collect();
+        let mut a = ScadaMaster::new(directory());
+        let mut b = ScadaMaster::new(directory());
+        for op in &ops {
+            let ra = a.execute(op);
+            let rb = b.execute(op);
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn garbage_op_is_rejected_gracefully() {
+        let mut master = ScadaMaster::new(directory());
+        let out = master.execute(b"\xff\xfe");
+        assert_eq!(out.reply, b"err:decode".to_vec());
+    }
+}

@@ -1,0 +1,204 @@
+//! A Modbus-like field-device protocol.
+//!
+//! Spire's proxies speak Modbus/DNP3 to PLCs and RTUs; this module provides
+//! the equivalent device protocol for the emulated field devices: holding
+//! registers (analog measurements, setpoints) and coils (breakers).
+
+use bytes::Bytes;
+use spire_sim::{WireError, WireReader, WireWriter};
+
+/// A device-protocol frame between a proxy and a field device.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModbusFrame {
+    /// Read `count` holding registers starting at `addr`.
+    ReadRegisters {
+        /// Correlates request and response.
+        txn: u16,
+        /// First register.
+        addr: u16,
+        /// Number of registers.
+        count: u16,
+    },
+    /// Response carrying register values.
+    ReadResponse {
+        /// Echoed transaction id.
+        txn: u16,
+        /// First register.
+        addr: u16,
+        /// Values.
+        values: Vec<u16>,
+    },
+    /// Write a single coil (breaker): `true` = closed.
+    WriteCoil {
+        /// Transaction id.
+        txn: u16,
+        /// Coil number.
+        coil: u8,
+        /// Desired state.
+        on: bool,
+    },
+    /// Write a single holding register (setpoint).
+    WriteRegister {
+        /// Transaction id.
+        txn: u16,
+        /// Register address.
+        addr: u16,
+        /// Value.
+        value: u16,
+    },
+    /// Acknowledgement of a write.
+    WriteAck {
+        /// Echoed transaction id.
+        txn: u16,
+    },
+    /// Unsolicited periodic status report from the device.
+    Report {
+        /// Device-local timestamp (simulation microseconds).
+        ts_us: u64,
+        /// Register values `(addr, value)`.
+        registers: Vec<(u16, u16)>,
+        /// Coil states `(coil, closed)`.
+        coils: Vec<(u8, bool)>,
+    },
+}
+
+impl ModbusFrame {
+    /// Encodes the frame.
+    pub fn encode(&self) -> Bytes {
+        let mut w = WireWriter::with_capacity(32);
+        match self {
+            ModbusFrame::ReadRegisters { txn, addr, count } => {
+                w.u8(3).u16(*txn).u16(*addr).u16(*count);
+            }
+            ModbusFrame::ReadResponse { txn, addr, values } => {
+                w.u8(4).u16(*txn).u16(*addr).u16(values.len() as u16);
+                for v in values {
+                    w.u16(*v);
+                }
+            }
+            ModbusFrame::WriteCoil { txn, coil, on } => {
+                w.u8(5).u16(*txn).u8(*coil).bool(*on);
+            }
+            ModbusFrame::WriteRegister { txn, addr, value } => {
+                w.u8(6).u16(*txn).u16(*addr).u16(*value);
+            }
+            ModbusFrame::WriteAck { txn } => {
+                w.u8(7).u16(*txn);
+            }
+            ModbusFrame::Report {
+                ts_us,
+                registers,
+                coils,
+            } => {
+                w.u8(8).u64(*ts_us).u16(registers.len() as u16);
+                for (a, v) in registers {
+                    w.u16(*a).u16(*v);
+                }
+                w.u8(coils.len() as u8);
+                for (c, on) in coils {
+                    w.u8(*c).bool(*on);
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a frame.
+    pub fn decode(bytes: &[u8]) -> Result<ModbusFrame, WireError> {
+        let mut r = WireReader::new(bytes);
+        let frame = match r.u8()? {
+            3 => ModbusFrame::ReadRegisters {
+                txn: r.u16()?,
+                addr: r.u16()?,
+                count: r.u16()?,
+            },
+            4 => {
+                let txn = r.u16()?;
+                let addr = r.u16()?;
+                let n = r.u16()? as usize;
+                let mut values = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    values.push(r.u16()?);
+                }
+                ModbusFrame::ReadResponse { txn, addr, values }
+            }
+            5 => ModbusFrame::WriteCoil {
+                txn: r.u16()?,
+                coil: r.u8()?,
+                on: r.bool()?,
+            },
+            6 => ModbusFrame::WriteRegister {
+                txn: r.u16()?,
+                addr: r.u16()?,
+                value: r.u16()?,
+            },
+            7 => ModbusFrame::WriteAck { txn: r.u16()? },
+            8 => {
+                let ts_us = r.u64()?;
+                let n = r.u16()? as usize;
+                let mut registers = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    registers.push((r.u16()?, r.u16()?));
+                }
+                let m = r.u8()? as usize;
+                let mut coils = Vec::with_capacity(m);
+                for _ in 0..m {
+                    coils.push((r.u8()?, r.bool()?));
+                }
+                ModbusFrame::Report {
+                    ts_us,
+                    registers,
+                    coils,
+                }
+            }
+            other => return Err(WireError::BadTag(other)),
+        };
+        r.expect_end()?;
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: ModbusFrame) {
+        assert_eq!(ModbusFrame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn roundtrip_all() {
+        roundtrip(ModbusFrame::ReadRegisters {
+            txn: 1,
+            addr: 10,
+            count: 4,
+        });
+        roundtrip(ModbusFrame::ReadResponse {
+            txn: 1,
+            addr: 10,
+            values: vec![5, 6, 7],
+        });
+        roundtrip(ModbusFrame::WriteCoil {
+            txn: 2,
+            coil: 3,
+            on: true,
+        });
+        roundtrip(ModbusFrame::WriteRegister {
+            txn: 3,
+            addr: 20,
+            value: 999,
+        });
+        roundtrip(ModbusFrame::WriteAck { txn: 3 });
+        roundtrip(ModbusFrame::Report {
+            ts_us: 123456,
+            registers: vec![(0, 100), (1, 200)],
+            coils: vec![(0, true), (1, false)],
+        });
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(ModbusFrame::decode(&[0xaa, 0xbb]).is_err());
+        assert!(ModbusFrame::decode(&[]).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Operations of the replicated SCADA master state machine.
+
+use bytes::Bytes;
+use spire_sim::{WireError, WireReader, WireWriter};
+
+/// A supervisory control action.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommandAction {
+    /// Open (trip) a breaker.
+    OpenBreaker(u8),
+    /// Close a breaker.
+    CloseBreaker(u8),
+    /// Write a setpoint register.
+    SetRegister(u16, u16),
+}
+
+/// An operation ordered through Prime and executed by every SCADA master.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScadaOp {
+    /// A field-device status update forwarded by an RTU proxy.
+    DeviceUpdate {
+        /// Reporting RTU.
+        rtu: u32,
+        /// Device timestamp when the measurement was taken (sim µs).
+        ts_us: u64,
+        /// Register values.
+        registers: Vec<(u16, u16)>,
+        /// Breaker states.
+        breakers: Vec<(u8, bool)>,
+    },
+    /// A supervisory command issued by an HMI operator.
+    Command {
+        /// Target RTU.
+        rtu: u32,
+        /// HMI timestamp when the command was issued (sim µs).
+        ts_us: u64,
+        /// The action.
+        action: CommandAction,
+    },
+    /// An ordered read of an RTU's state (returns its current registers).
+    ReadState {
+        /// Target RTU.
+        rtu: u32,
+    },
+}
+
+impl ScadaOp {
+    /// Encodes the op for submission as a Prime client payload.
+    pub fn encode(&self) -> Bytes {
+        let mut w = WireWriter::with_capacity(32);
+        match self {
+            ScadaOp::DeviceUpdate {
+                rtu,
+                ts_us,
+                registers,
+                breakers,
+            } => {
+                w.u8(1).u32(*rtu).u64(*ts_us).u16(registers.len() as u16);
+                for (a, v) in registers {
+                    w.u16(*a).u16(*v);
+                }
+                w.u8(breakers.len() as u8);
+                for (b, on) in breakers {
+                    w.u8(*b).bool(*on);
+                }
+            }
+            ScadaOp::Command { rtu, ts_us, action } => {
+                w.u8(2).u32(*rtu).u64(*ts_us);
+                match action {
+                    CommandAction::OpenBreaker(b) => {
+                        w.u8(1).u8(*b);
+                    }
+                    CommandAction::CloseBreaker(b) => {
+                        w.u8(2).u8(*b);
+                    }
+                    CommandAction::SetRegister(a, v) => {
+                        w.u8(3).u16(*a).u16(*v);
+                    }
+                }
+            }
+            ScadaOp::ReadState { rtu } => {
+                w.u8(3).u32(*rtu);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes an op.
+    pub fn decode(bytes: &[u8]) -> Result<ScadaOp, WireError> {
+        let mut r = WireReader::new(bytes);
+        let op = match r.u8()? {
+            1 => {
+                let rtu = r.u32()?;
+                let ts_us = r.u64()?;
+                let n = r.u16()? as usize;
+                let mut registers = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    registers.push((r.u16()?, r.u16()?));
+                }
+                let m = r.u8()? as usize;
+                let mut breakers = Vec::with_capacity(m);
+                for _ in 0..m {
+                    breakers.push((r.u8()?, r.bool()?));
+                }
+                ScadaOp::DeviceUpdate {
+                    rtu,
+                    ts_us,
+                    registers,
+                    breakers,
+                }
+            }
+            2 => {
+                let rtu = r.u32()?;
+                let ts_us = r.u64()?;
+                let action = match r.u8()? {
+                    1 => CommandAction::OpenBreaker(r.u8()?),
+                    2 => CommandAction::CloseBreaker(r.u8()?),
+                    3 => CommandAction::SetRegister(r.u16()?, r.u16()?),
+                    other => return Err(WireError::BadTag(other)),
+                };
+                ScadaOp::Command { rtu, ts_us, action }
+            }
+            3 => ScadaOp::ReadState { rtu: r.u32()? },
+            other => return Err(WireError::BadTag(other)),
+        };
+        r.expect_end()?;
+        Ok(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(op: ScadaOp) {
+        assert_eq!(ScadaOp::decode(&op.encode()).unwrap(), op);
+    }
+
+    #[test]
+    fn roundtrip_all() {
+        roundtrip(ScadaOp::DeviceUpdate {
+            rtu: 7,
+            ts_us: 99,
+            registers: vec![(0, 1), (2, 3)],
+            breakers: vec![(0, true)],
+        });
+        roundtrip(ScadaOp::Command {
+            rtu: 7,
+            ts_us: 100,
+            action: CommandAction::OpenBreaker(2),
+        });
+        roundtrip(ScadaOp::Command {
+            rtu: 7,
+            ts_us: 100,
+            action: CommandAction::SetRegister(5, 1000),
+        });
+        roundtrip(ScadaOp::ReadState { rtu: 3 });
+    }
+
+    #[test]
+    fn rejects_bad_tag() {
+        assert!(ScadaOp::decode(&[9]).is_err());
+    }
+}

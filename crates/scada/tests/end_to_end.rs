@@ -1,0 +1,229 @@
+//! End-to-end SCADA loop over direct links (no overlay): field devices
+//! report through proxies into a replicated master group, an HMI issues a
+//! breaker command, and the command round-trips back to the device only
+//! after f+1 replicas agree.
+
+use spire_crypto::keys::Signer;
+use spire_crypto::{KeyMaterial, KeyStore, NodeId};
+use spire_prime::client::ClientRouting;
+use spire_prime::{
+    ByzBehavior, ClientId, Inspection, PrimeConfig, Replica, ReplicaId,
+};
+use spire_scada::{Archive, Historian, Hmi, ProcessModel, Rtu, RtuProxy, ScadaDirectory, ScadaMaster};
+use spire_sim::{LinkConfig, ProcessId, Span, World};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+fn link() -> LinkConfig {
+    LinkConfig {
+        latency: Span::millis(1),
+        jitter: Span::micros(200),
+        loss: 0.0,
+        corrupt: 0.0,
+        bandwidth_bps: None,
+        max_queue: Span::secs(1),
+    }
+}
+
+struct TestBed {
+    world: World,
+    inspection: Inspection,
+    n_rtus: u32,
+    archive: Archive,
+}
+
+fn build(seed: u64, n_rtus: u32, byz: BTreeMap<u32, ByzBehavior>) -> TestBed {
+    let cfg = {
+        let mut c = PrimeConfig::new(1, 0); // n = 4
+        c.progress_timeout = Span::secs(2);
+        c
+    };
+    let mut world = World::new(seed);
+    let material = KeyMaterial::new([7u8; 32]);
+    let keystore = Rc::new(KeyStore::for_nodes(&material, 4096));
+    let inspection = Inspection::new();
+
+    let mut directory = ScadaDirectory::default();
+    for r in 0..n_rtus {
+        directory.rtu_proxy.insert(r, r);
+    }
+    directory.hmis.push(1000);
+    directory.hmis.push(1001); // the historian subscribes to events too
+
+    // Process id layout: replicas, then per-RTU (device, proxy), then HMI.
+    let first = world.process_count() as u32;
+    let replica_pids: Vec<ProcessId> = (0..cfg.n).map(|i| ProcessId(first + i)).collect();
+    let mut client_pids: BTreeMap<u32, ProcessId> = BTreeMap::new();
+    for r in 0..n_rtus {
+        client_pids.insert(r, ProcessId(first + cfg.n + 2 * r + 1)); // proxies
+    }
+    client_pids.insert(1000, ProcessId(first + cfg.n + 2 * n_rtus)); // HMI
+    client_pids.insert(1001, ProcessId(first + cfg.n + 2 * n_rtus + 1)); // historian
+
+    for i in 0..cfg.n {
+        let signer = Signer::new(
+            material.signing_key(NodeId(cfg.replica_key_base + i)),
+            false,
+        );
+        let net = spire_prime::DirectNet {
+            replicas: replica_pids.clone(),
+            clients: client_pids.clone(),
+        };
+        let replica = Replica::new(
+            cfg.clone(),
+            ReplicaId(i),
+            byz.get(&i).copied().unwrap_or(ByzBehavior::Honest),
+            Rc::clone(&keystore),
+            signer,
+            Box::new(net),
+            Box::new(ScadaMaster::new(directory.clone())),
+            false,
+        )
+        .with_inspection(inspection.clone());
+        world.add_process(&format!("replica-{i}"), Box::new(replica));
+    }
+    for r in 0..n_rtus {
+        let device_pid = ProcessId(first + cfg.n + 2 * r);
+        let proxy_pid = ProcessId(first + cfg.n + 2 * r + 1);
+        let device = Rtu::new(r, proxy_pid, Span::millis(250), ProcessModel::default());
+        assert_eq!(
+            world.add_process(&format!("rtu-{r}"), Box::new(device)),
+            device_pid
+        );
+        let signer = Signer::new(
+            material.signing_key(NodeId(cfg.client_key_base + r)),
+            false,
+        );
+        let proxy = RtuProxy::new(
+            cfg.clone(),
+            r,
+            ClientId(r),
+            signer,
+            ClientRouting::Direct(replica_pids.clone()),
+            device_pid,
+        );
+        assert_eq!(
+            world.add_process(&format!("proxy-{r}"), Box::new(proxy)),
+            proxy_pid
+        );
+        world.add_link(device_pid, proxy_pid, LinkConfig::local());
+        for rp in &replica_pids {
+            world.add_link(proxy_pid, *rp, link());
+        }
+    }
+    let signer = Signer::new(
+        material.signing_key(NodeId(cfg.client_key_base + 1000)),
+        false,
+    );
+    let hmi = Hmi::new(
+        cfg.clone(),
+        ClientId(1000),
+        signer,
+        ClientRouting::Direct(replica_pids.clone()),
+        (0..n_rtus).collect(),
+        Span::secs(3),
+        2,
+    );
+    let hmi_pid = world.add_process("hmi", Box::new(hmi));
+    assert_eq!(hmi_pid, client_pids[&1000]);
+    for rp in &replica_pids {
+        world.add_link(hmi_pid, *rp, link());
+    }
+    let archive = Archive::new();
+    let historian = Historian::new(cfg.clone(), ClientId(1001), archive.clone());
+    let historian_pid = world.add_process("historian", Box::new(historian));
+    assert_eq!(historian_pid, client_pids[&1001]);
+    for rp in &replica_pids {
+        world.add_link(historian_pid, *rp, link());
+    }
+    // Replicas full mesh.
+    for i in 0..replica_pids.len() {
+        for j in (i + 1)..replica_pids.len() {
+            world.add_link(replica_pids[i], replica_pids[j], link());
+        }
+    }
+    TestBed {
+        world,
+        inspection,
+        n_rtus,
+        archive,
+    }
+}
+
+#[test]
+fn device_updates_flow_to_replicated_masters() {
+    let mut bed = build(1, 3, BTreeMap::new());
+    bed.world.run_for(Span::secs(10));
+    let m = bed.world.metrics();
+    let sent = m.counter("scada.updates_sent");
+    let confirmed = m.counter("scada.updates_confirmed");
+    // 3 RTUs at 4 reports/s for 10 s.
+    assert!(sent >= 110, "sent={sent}");
+    assert_eq!(confirmed, sent);
+    bed.inspection.check_safety(&[0, 1, 2, 3]).expect("safety");
+    // Latency well under the SLA on a LAN.
+    let lats = m.values("scada.update_latency_ms");
+    let mean = lats.iter().sum::<f64>() / lats.len() as f64;
+    assert!(mean < 100.0, "mean={mean}");
+}
+
+#[test]
+fn hmi_command_actuates_breaker_through_consensus() {
+    let mut bed = build(2, 2, BTreeMap::new());
+    // Inject a *spontaneous* breaker trip at the device (a grid event, not
+    // an operator command) at t=6 s: coil 1 of RTU 0 opens by itself.
+    let device0 = ProcessId(4); // 4 replicas, then (device, proxy) pairs
+    let proxy0 = ProcessId(5);
+    bed.world.inject_message(
+        spire_sim::Time(6_000_000),
+        proxy0,
+        device0,
+        spire_scada::ModbusFrame::WriteCoil {
+            txn: 999,
+            coil: 1,
+            on: false,
+        }
+        .encode(),
+    );
+    bed.world.run_for(Span::secs(12));
+    let m = bed.world.metrics();
+    // The HMI issued 2 commands; each was ordered, pushed to the right
+    // proxy by f+1 replicas, actuated at the device, and acknowledged.
+    assert_eq!(m.counter("hmi.commands_sent"), 2);
+    assert_eq!(m.counter("hmi.commands_acked"), 2);
+    assert_eq!(m.counter("scada.commands_actuated"), 2);
+    assert!(m.counter("rtu0.coil_writes") + m.counter("rtu1.coil_writes") == 3);
+    // Command latency was recorded.
+    assert_eq!(m.values("scada.command_latency_ms").len(), 2);
+    // Commanded transitions are applied optimistically by the masters and
+    // do not alarm; the *spontaneous* trip does, on the next report.
+    assert!(m.counter("hmi.alarms") >= 1, "no alarm for spontaneous trip");
+    // The historian archived the same f+1-validated event and can answer
+    // incident queries about it.
+    assert!(bed.archive.len() >= 1, "historian archived nothing");
+    let history = bed.archive.breaker_history(0, 1);
+    assert_eq!(history.len(), 1);
+    assert!(!history[0].closed, "the trip opened the breaker");
+    assert!(history[0].archived_at.0 > 6_000_000);
+}
+
+#[test]
+fn one_divergent_master_cannot_mislead_proxies_or_devices() {
+    let mut byz = BTreeMap::new();
+    byz.insert(1u32, ByzBehavior::DivergentExec);
+    let mut bed = build(3, 2, byz);
+    bed.world.run_for(Span::secs(12));
+    let m = bed.world.metrics();
+    // Proxies still confirm everything (f+1 honest matching replies).
+    assert_eq!(
+        m.counter("scada.updates_confirmed"),
+        m.counter("scada.updates_sent")
+    );
+    // Commands still actuate exactly as issued.
+    assert_eq!(
+        m.counter("scada.commands_actuated"),
+        m.counter("hmi.commands_sent")
+    );
+    bed.inspection.check_safety(&[0, 2, 3]).expect("safety");
+    let _ = bed.n_rtus;
+}

@@ -1,0 +1,36 @@
+//! Deterministic discrete-event simulation substrate for the Spire
+//! reproduction.
+//!
+//! The DSN 2018 Spire paper evaluates on a physical LAN testbed and an
+//! emulated wide-area network. This crate is the substitute substrate (see
+//! DESIGN.md): protocol logic runs unchanged as event-driven state machines
+//! over a network model with per-link latency, jitter, loss, bandwidth
+//! queueing, partitions and host crash/restart — all under virtual time with
+//! a seeded RNG, so every experiment is exactly reproducible.
+//!
+//! * [`world`] — the event loop, processes, timers and the link model.
+//! * [`time`] — virtual time types.
+//! * [`metrics`] — counters and time series collected during runs.
+//! * [`stats`] — percentile/CDF summaries for the experiment harness.
+//! * [`wire`] — canonical byte encoding shared by all protocol codecs.
+//!
+//! # Examples
+//!
+//! ```
+//! use spire_sim::{World, Span};
+//! let mut world = World::new(1);
+//! world.run_for(Span::secs(10));
+//! assert_eq!(world.now().as_millis(), 10_000);
+//! ```
+
+pub mod metrics;
+pub mod stats;
+pub mod time;
+pub mod wire;
+pub mod world;
+
+pub use metrics::Metrics;
+pub use stats::Summary;
+pub use time::{Span, Time};
+pub use wire::{WireError, WireReader, WireWriter};
+pub use world::{Context, LinkConfig, Process, ProcessId, TimerId, World};

@@ -1,0 +1,106 @@
+//! Metric collection: named counters and time series.
+
+use crate::time::Time;
+use std::collections::BTreeMap;
+
+/// Counters and time series collected during a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    series: BTreeMap<String, Vec<(Time, f64)>>,
+}
+
+impl Metrics {
+    /// Creates an empty metric store.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Increments a counter.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Appends a sample to a time series.
+    pub fn record(&mut self, name: &str, at: Time, value: f64) {
+        self.series
+            .entry(name.to_string())
+            .or_default()
+            .push((at, value));
+    }
+
+    /// Reads a counter (zero if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a time series (empty if never recorded).
+    pub fn series(&self, name: &str) -> &[(Time, f64)] {
+        self.series.get(name).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The values of a series, without timestamps.
+    pub fn values(&self, name: &str) -> Vec<f64> {
+        self.series(name).iter().map(|(_, v)| *v).collect()
+    }
+
+    /// All counter names (sorted).
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(|s| s.as_str())
+    }
+
+    /// All series names (sorted).
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(|s| s.as_str())
+    }
+
+    /// Merges another metric store into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, samples) in &other.series {
+            self.series
+                .entry(name.clone())
+                .or_default()
+                .extend_from_slice(samples);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters() {
+        let mut m = Metrics::new();
+        assert_eq!(m.counter("x"), 0);
+        m.count("x", 2);
+        m.count("x", 3);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn series() {
+        let mut m = Metrics::new();
+        m.record("lat", Time(1), 0.5);
+        m.record("lat", Time(2), 0.7);
+        assert_eq!(m.series("lat").len(), 2);
+        assert_eq!(m.values("lat"), vec![0.5, 0.7]);
+        assert!(m.series("none").is_empty());
+    }
+
+    #[test]
+    fn merge() {
+        let mut a = Metrics::new();
+        a.count("c", 1);
+        a.record("s", Time(1), 1.0);
+        let mut b = Metrics::new();
+        b.count("c", 2);
+        b.record("s", Time(2), 2.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.values("s"), vec![1.0, 2.0]);
+    }
+}

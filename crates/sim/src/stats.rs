@@ -1,0 +1,164 @@
+//! Summary statistics used by the experiment harness (percentiles, CDFs).
+
+use serde::{Deserialize, Serialize};
+
+/// A percentile/mean summary of a sample set.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary; returns `None` for an empty sample set.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Some(Summary {
+            count: sorted.len(),
+            mean,
+            min: sorted[0],
+            p50: percentile_sorted(&sorted, 50.0),
+            p90: percentile_sorted(&sorted, 90.0),
+            p99: percentile_sorted(&sorted, 99.0),
+            p999: percentile_sorted(&sorted, 99.9),
+            max: *sorted.last().unwrap(),
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} p50={:.2} p90={:.2} p99={:.2} p99.9={:.2} max={:.2}",
+            self.count, self.mean, self.p50, self.p90, self.p99, self.p999, self.max
+        )
+    }
+}
+
+/// Percentile (nearest-rank with linear interpolation) of pre-sorted data.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `pct` is outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty sample set");
+    assert!((0.0..=100.0).contains(&pct), "percentile out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Percentile of unsorted data.
+pub fn percentile(values: &[f64], pct: f64) -> f64 {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    percentile_sorted(&sorted, pct)
+}
+
+/// The fraction of samples at or below `threshold`.
+pub fn fraction_within(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|v| **v <= threshold).count() as f64 / values.len() as f64
+}
+
+/// Evaluates the empirical CDF at `points`, returning `(x, F(x))` pairs.
+pub fn cdf(values: &[f64], points: usize) -> Vec<(f64, f64)> {
+    if values.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    let n = sorted.len();
+    (1..=points)
+        .map(|i| {
+            let q = i as f64 / points as f64;
+            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            (sorted[idx], q)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&values).unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.p50 - 50.5).abs() < 1e-9);
+        assert!(s.p99 > 98.0 && s.p99 <= 100.0);
+    }
+
+    #[test]
+    fn summary_empty() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_single() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.p50, 7.0);
+        assert_eq!(s.p999, 7.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-9);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+    }
+
+    #[test]
+    fn fraction_within_threshold() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((fraction_within(&v, 2.5) - 0.5).abs() < 1e-9);
+        assert_eq!(fraction_within(&v, 0.5), 0.0);
+        assert_eq!(fraction_within(&v, 10.0), 1.0);
+        assert_eq!(fraction_within(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let values: Vec<f64> = (0..1000).map(|i| (i % 37) as f64).collect();
+        let curve = cdf(&values, 20);
+        assert_eq!(curve.len(), 20);
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,305 @@
+//! Canonical wire encoding helpers.
+//!
+//! Every signed protocol message needs a canonical byte representation;
+//! these little-endian, length-prefixed readers/writers are shared by the
+//! Spines, Prime and SCADA codecs.
+
+use bytes::Bytes;
+
+/// Error decoding a wire message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    Truncated,
+    /// A tag or enum discriminant had an unknown value.
+    BadTag(u8),
+    /// A length prefix exceeded the sanity limit.
+    OversizedLength(u64),
+    /// Trailing bytes remained after decoding finished.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadTag(t) => write!(f, "unknown tag {t}"),
+            WireError::OversizedLength(n) => write!(f, "oversized length {n}"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum length accepted for any length-prefixed field (16 MiB).
+pub const MAX_FIELD_LEN: u64 = 16 * 1024 * 1024;
+
+/// Serializes values into a growable buffer.
+#[derive(Clone, Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> WireWriter {
+        WireWriter::default()
+    }
+
+    /// Creates a writer with preallocated capacity.
+    pub fn with_capacity(capacity: usize) -> WireWriter {
+        WireWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a little-endian u16.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian i64.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends an f64 (IEEE-754 bits, little-endian).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        self
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u8(v as u8)
+    }
+
+    /// Appends fixed-size raw bytes (no length prefix).
+    pub fn raw(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends length-prefixed bytes.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    /// Borrow the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Deserializes values from a byte slice.
+#[derive(Clone, Debug)]
+pub struct WireReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Wraps a byte slice for reading.
+    pub fn new(data: &'a [u8]) -> WireReader<'a> {
+        WireReader { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.data.len() {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u16.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian i64.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an f64.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool (strictly 0 or 1).
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::BadTag(other)),
+        }
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Reads a fixed-size array.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        Ok(self.take(N)?.try_into().unwrap())
+    }
+
+    /// Reads length-prefixed bytes.
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.u32()? as u64;
+        if len > MAX_FIELD_LEN {
+            return Err(WireError::OversizedLength(len));
+        }
+        self.take(len as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string (lossy on invalid UTF-8).
+    pub fn string(&mut self) -> Result<String, WireError> {
+        Ok(String::from_utf8_lossy(self.bytes()?).into_owned())
+    }
+
+    /// Remaining unread byte count.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Errors unless the buffer was fully consumed.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = WireWriter::new();
+        w.u8(7)
+            .u16(65535)
+            .u32(123456)
+            .u64(u64::MAX)
+            .i64(-42)
+            .f64(3.5)
+            .bool(true)
+            .bytes(b"hello")
+            .string("world")
+            .raw(&[1, 2, 3]);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 65535);
+        assert_eq!(r.u32().unwrap(), 123456);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap(), 3.5);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.string().unwrap(), "world");
+        assert_eq!(r.raw(3).unwrap(), &[1, 2, 3]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncated_errors() {
+        let mut w = WireWriter::new();
+        w.u64(1);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf[..4]);
+        assert_eq!(r.u64(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_bool() {
+        let mut r = WireReader::new(&[2]);
+        assert_eq!(r.bool(), Err(WireError::BadTag(2)));
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut w = WireWriter::new();
+        w.u32(u32::MAX);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.bytes(), Err(WireError::OversizedLength(u32::MAX as u64)));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let r = WireReader::new(&[1, 2]);
+        assert_eq!(r.expect_end(), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn array_read() {
+        let mut r = WireReader::new(&[9, 8, 7, 6]);
+        let a: [u8; 4] = r.array().unwrap();
+        assert_eq!(a, [9, 8, 7, 6]);
+    }
+}

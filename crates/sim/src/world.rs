@@ -1,0 +1,882 @@
+//! The deterministic discrete-event world: processes, links, timers.
+//!
+//! `World` replaces the paper's physical testbed. Protocol logic runs as
+//! event-driven state machines (the [`Process`] trait); the network model
+//! applies per-link latency, jitter, loss and bandwidth queueing, and can be
+//! reconfigured mid-run to emulate partitions, site disconnections and
+//! denial-of-service attacks. A fixed RNG seed makes every run reproducible.
+
+use crate::metrics::Metrics;
+use crate::time::{Span, Time};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Identifies a process within a [`World`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcessId(pub u32);
+
+impl std::fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Handle to a pending timer, used for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerId(u64);
+
+/// An event-driven simulated process (protocol state machine).
+///
+/// Implementations must be deterministic given the same event sequence and
+/// RNG draws; all side effects go through the [`Context`].
+pub trait Process {
+    /// Called once when the process is added (or restarted).
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Called when a message arrives.
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, bytes: &Bytes);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _tag: u64) {}
+}
+
+/// Configuration of a directed network link.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkConfig {
+    /// Propagation delay.
+    pub latency: Span,
+    /// Uniform random extra delay in `[0, jitter]`.
+    pub jitter: Span,
+    /// Probability in `[0, 1]` that a message is dropped.
+    pub loss: f64,
+    /// Probability in `[0, 1]` that a delivered message has one byte
+    /// flipped (bit errors / tampering en route; authenticated protocols
+    /// must detect and recover).
+    pub corrupt: f64,
+    /// Transmission rate; `None` means infinite (no queueing).
+    pub bandwidth_bps: Option<u64>,
+    /// Maximum queueing delay before tail drop (router buffer size in
+    /// time units). Messages that would wait longer are dropped.
+    pub max_queue: Span,
+}
+
+impl LinkConfig {
+    /// A LAN-like link: 0.5 ms latency, small jitter, lossless, 1 Gbps.
+    pub fn lan() -> LinkConfig {
+        LinkConfig {
+            latency: Span::micros(500),
+            jitter: Span::micros(100),
+            loss: 0.0,
+            corrupt: 0.0,
+            bandwidth_bps: Some(1_000_000_000),
+            max_queue: Span::millis(200),
+        }
+    }
+
+    /// A WAN link with the given one-way latency in milliseconds (100 Mbps).
+    pub fn wan(latency_ms: u64) -> LinkConfig {
+        LinkConfig {
+            latency: Span::millis(latency_ms),
+            jitter: Span::micros(500 * latency_ms.min(10)),
+            loss: 0.0,
+            corrupt: 0.0,
+            bandwidth_bps: Some(100_000_000),
+            max_queue: Span::millis(200),
+        }
+    }
+
+    /// An intra-host link (process to co-located daemon).
+    pub fn local() -> LinkConfig {
+        LinkConfig {
+            latency: Span::micros(50),
+            jitter: Span::ZERO,
+            loss: 0.0,
+            corrupt: 0.0,
+            bandwidth_bps: None,
+            max_queue: Span::millis(200),
+        }
+    }
+
+    /// Returns a copy with the given loss probability.
+    pub fn with_loss(mut self, loss: f64) -> LinkConfig {
+        self.loss = loss;
+        self
+    }
+
+    /// Returns a copy with the given bandwidth.
+    pub fn with_bandwidth(mut self, bps: u64) -> LinkConfig {
+        self.bandwidth_bps = Some(bps);
+        self
+    }
+
+    /// Returns a copy with the given corruption probability.
+    pub fn with_corruption(mut self, corrupt: f64) -> LinkConfig {
+        self.corrupt = corrupt;
+        self
+    }
+}
+
+struct LinkState {
+    cfg: LinkConfig,
+    up: bool,
+    /// Earliest time the link's transmitter is free (bandwidth queueing).
+    next_free: Time,
+}
+
+struct Slot {
+    proc: Option<Box<dyn Process>>,
+    name: String,
+    up: bool,
+    generation: u64,
+}
+
+enum EventKind {
+    Start {
+        to: ProcessId,
+        generation: u64,
+    },
+    Deliver {
+        to: ProcessId,
+        from: ProcessId,
+        bytes: Bytes,
+    },
+    Timer {
+        to: ProcessId,
+        generation: u64,
+        timer: TimerId,
+        tag: u64,
+    },
+    Control(u64),
+}
+
+struct QueuedEvent {
+    at: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+type ControlFn = Box<dyn FnOnce(&mut World)>;
+
+/// The deterministic discrete-event simulation world.
+///
+/// # Examples
+///
+/// ```
+/// use spire_sim::{World, Process, Context, ProcessId, Span, LinkConfig};
+/// use bytes::Bytes;
+///
+/// struct Echo;
+/// impl Process for Echo {
+///     fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, bytes: &Bytes) {
+///         ctx.send(from, bytes.clone());
+///     }
+/// }
+/// struct Probe;
+/// impl Process for Probe {
+///     fn on_start(&mut self, ctx: &mut Context<'_>) {
+///         ctx.send(ProcessId(0), Bytes::from_static(b"ping"));
+///     }
+///     fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, _bytes: &Bytes) {
+///         ctx.count("pongs", 1);
+///     }
+/// }
+///
+/// let mut world = World::new(7);
+/// let echo = world.add_process("echo", Box::new(Echo));
+/// let probe = world.add_process("probe", Box::new(Probe));
+/// world.add_link(echo, probe, LinkConfig::lan());
+/// world.run_for(Span::secs(1));
+/// assert_eq!(world.metrics().counter("pongs"), 1);
+/// ```
+pub struct World {
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    slots: Vec<Slot>,
+    links: HashMap<(u32, u32), LinkState>,
+    rng: StdRng,
+    metrics: Metrics,
+    next_timer: u64,
+    cancelled: HashSet<u64>,
+    controls: HashMap<u64, ControlFn>,
+    next_control: u64,
+    /// Optional cap on queue size as a runaway guard.
+    max_queue: usize,
+}
+
+impl World {
+    /// Creates a world seeded for reproducibility.
+    pub fn new(seed: u64) -> World {
+        World {
+            now: Time::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            slots: Vec::new(),
+            links: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            metrics: Metrics::new(),
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            controls: HashMap::new(),
+            next_control: 0,
+            max_queue: 50_000_000,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Adds a process; its `on_start` runs at the current time.
+    pub fn add_process(&mut self, name: &str, proc: Box<dyn Process>) -> ProcessId {
+        let id = ProcessId(self.slots.len() as u32);
+        self.slots.push(Slot {
+            proc: Some(proc),
+            name: name.to_string(),
+            up: true,
+            generation: 0,
+        });
+        self.push(
+            self.now,
+            EventKind::Start {
+                to: id,
+                generation: 0,
+            },
+        );
+        id
+    }
+
+    /// The human-readable name of a process.
+    pub fn process_name(&self, id: ProcessId) -> &str {
+        &self.slots[id.0 as usize].name
+    }
+
+    /// Whether the process is currently up.
+    pub fn is_up(&self, id: ProcessId) -> bool {
+        self.slots[id.0 as usize].up
+    }
+
+    /// Number of processes ever added.
+    pub fn process_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Crashes a process: it stops receiving messages and timers.
+    pub fn crash(&mut self, id: ProcessId) {
+        let slot = &mut self.slots[id.0 as usize];
+        slot.up = false;
+        slot.generation += 1;
+    }
+
+    /// Restarts a process with a fresh state machine.
+    ///
+    /// The generation counter invalidates timers set by the previous
+    /// incarnation; in-flight messages are still delivered (as they would be
+    /// to a rebooted host on a real network).
+    pub fn restart(&mut self, id: ProcessId, proc: Box<dyn Process>) {
+        let generation = {
+            let slot = &mut self.slots[id.0 as usize];
+            slot.proc = Some(proc);
+            slot.up = true;
+            slot.generation += 1;
+            slot.generation
+        };
+        self.push(self.now, EventKind::Start { to: id, generation });
+    }
+
+    /// Adds a bidirectional link between `a` and `b`.
+    pub fn add_link(&mut self, a: ProcessId, b: ProcessId, cfg: LinkConfig) {
+        self.add_link_directed(a, b, cfg);
+        self.add_link_directed(b, a, cfg);
+    }
+
+    /// Adds a directed link from `a` to `b`.
+    pub fn add_link_directed(&mut self, a: ProcessId, b: ProcessId, cfg: LinkConfig) {
+        self.links.insert(
+            (a.0, b.0),
+            LinkState {
+                cfg,
+                up: true,
+                next_free: Time::ZERO,
+            },
+        );
+    }
+
+    /// Returns true if a (directed) link exists.
+    pub fn has_link(&self, a: ProcessId, b: ProcessId) -> bool {
+        self.links.contains_key(&(a.0, b.0))
+    }
+
+    /// Brings both directions of a link up or down (partition injection).
+    pub fn set_link_up(&mut self, a: ProcessId, b: ProcessId, up: bool) {
+        for key in [(a.0, b.0), (b.0, a.0)] {
+            if let Some(link) = self.links.get_mut(&key) {
+                link.up = up;
+            }
+        }
+    }
+
+    /// Replaces the configuration of both directions of a link (degradation
+    /// injection, e.g. DoS-induced loss and queueing).
+    pub fn set_link_config(&mut self, a: ProcessId, b: ProcessId, cfg: LinkConfig) {
+        let now = self.now;
+        for key in [(a.0, b.0), (b.0, a.0)] {
+            if let Some(link) = self.links.get_mut(&key) {
+                link.cfg = cfg;
+                // A reconfigured link starts with an empty transmit queue
+                // (the old backlog is considered dropped by the old path).
+                link.next_free = now;
+            }
+        }
+    }
+
+    /// Schedules a control action (attack injection, recovery, topology
+    /// change) to run at virtual time `at`.
+    pub fn schedule_control<F>(&mut self, at: Time, f: F)
+    where
+        F: FnOnce(&mut World) + 'static,
+    {
+        let id = self.next_control;
+        self.next_control += 1;
+        self.controls.insert(id, Box::new(f));
+        let at = at.max(self.now);
+        self.push(at, EventKind::Control(id));
+    }
+
+    /// Injects a message directly (bypassing links); for tests and fault
+    /// injection.
+    pub fn inject_message(&mut self, at: Time, from: ProcessId, to: ProcessId, bytes: Bytes) {
+        let at = at.max(self.now);
+        self.push(at, EventKind::Deliver { to, from, bytes });
+    }
+
+    /// Access to collected metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access to metrics (e.g. for harness-recorded values).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Runs until the queue is empty or `deadline` is passed.
+    pub fn run_until(&mut self, deadline: Time) {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs for `span` of virtual time from now.
+    pub fn run_for(&mut self, span: Span) {
+        let deadline = self.now + span;
+        self.run_until(deadline);
+    }
+
+    /// Processes a single event; returns false if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        match ev.kind {
+            EventKind::Start { to, generation } => {
+                self.dispatch(to, Some(generation), |proc, ctx| proc.on_start(ctx));
+            }
+            EventKind::Deliver { to, from, bytes } => {
+                let idx = to.0 as usize;
+                if idx < self.slots.len() && self.slots[idx].up {
+                    self.metrics.count("sim.delivered", 1);
+                    self.dispatch(to, None, |proc, ctx| proc.on_message(ctx, from, &bytes));
+                } else {
+                    self.metrics.count("sim.dropped_to_down_process", 1);
+                }
+            }
+            EventKind::Timer {
+                to,
+                generation,
+                timer,
+                tag,
+            } => {
+                if self.cancelled.remove(&timer.0) {
+                    return true;
+                }
+                self.dispatch(to, Some(generation), |proc, ctx| proc.on_timer(ctx, tag));
+            }
+            EventKind::Control(id) => {
+                if let Some(f) = self.controls.remove(&id) {
+                    f(self);
+                }
+            }
+        }
+        true
+    }
+
+    fn dispatch<F>(&mut self, to: ProcessId, require_generation: Option<u64>, f: F)
+    where
+        F: FnOnce(&mut Box<dyn Process>, &mut Context<'_>),
+    {
+        let idx = to.0 as usize;
+        if idx >= self.slots.len() {
+            return;
+        }
+        if !self.slots[idx].up {
+            return;
+        }
+        if let Some(generation) = require_generation {
+            if self.slots[idx].generation != generation {
+                return; // stale timer/start from a previous incarnation
+            }
+        }
+        let Some(mut proc) = self.slots[idx].proc.take() else {
+            return;
+        };
+        let mut ctx = Context { world: self, me: to };
+        f(&mut proc, &mut ctx);
+        // The process may have been crashed/restarted by a re-entrant control
+        // action; only put it back if the slot is still vacant.
+        let slot = &mut self.slots[idx];
+        if slot.proc.is_none() {
+            slot.proc = Some(proc);
+        }
+    }
+
+    fn push(&mut self, at: Time, kind: EventKind) {
+        assert!(
+            self.queue.len() < self.max_queue,
+            "event queue overflow: runaway simulation"
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { at, seq, kind }));
+    }
+
+    fn do_send(&mut self, from: ProcessId, to: ProcessId, bytes: Bytes) {
+        let Some(link) = self.links.get_mut(&(from.0, to.0)) else {
+            self.metrics.count("sim.no_link_drop", 1);
+            return;
+        };
+        if !link.up {
+            self.metrics.count("sim.link_down_drop", 1);
+            return;
+        }
+        let cfg = link.cfg;
+        // Bandwidth queueing with a finite buffer: serialize messages on
+        // the transmitter; tail-drop once the backlog exceeds `max_queue`.
+        let tx_done = match cfg.bandwidth_bps {
+            Some(bps) if bps > 0 => {
+                let backlog = link.next_free.since(self.now);
+                if backlog > cfg.max_queue {
+                    self.metrics.count("sim.queue_drop", 1);
+                    return;
+                }
+                let tx_us = (bytes.len() as u128 * 8 * 1_000_000 / bps as u128) as u64;
+                let start = link.next_free.max(self.now);
+                let done = start + Span::micros(tx_us.max(1));
+                link.next_free = done;
+                done
+            }
+            _ => self.now,
+        };
+        if cfg.loss > 0.0 && self.rng.gen_bool(cfg.loss.min(1.0)) {
+            self.metrics.count("sim.loss_drop", 1);
+            return;
+        }
+        let jitter = if cfg.jitter.0 > 0 {
+            Span::micros(self.rng.gen_range(0..=cfg.jitter.0))
+        } else {
+            Span::ZERO
+        };
+        let bytes = if cfg.corrupt > 0.0
+            && !bytes.is_empty()
+            && self.rng.gen_bool(cfg.corrupt.min(1.0))
+        {
+            let mut corrupted = bytes.to_vec();
+            let idx = self.rng.gen_range(0..corrupted.len());
+            corrupted[idx] ^= 0x01;
+            self.metrics.count("sim.corrupted", 1);
+            Bytes::from(corrupted)
+        } else {
+            bytes
+        };
+        let arrival = tx_done + cfg.latency + jitter;
+        self.push(arrival, EventKind::Deliver { to, from, bytes });
+        self.metrics.count("sim.sent", 1);
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.now)
+            .field("processes", &self.slots.len())
+            .field("links", &self.links.len())
+            .field("queued", &self.queue.len())
+            .finish()
+    }
+}
+
+/// The API surface a [`Process`] uses to act on the world.
+pub struct Context<'w> {
+    world: &'w mut World,
+    me: ProcessId,
+}
+
+impl<'w> Context<'w> {
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.world.now
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Sends `bytes` to `to` over the configured link (dropped with a metric
+    /// if no link exists or the link is down/lossy).
+    pub fn send(&mut self, to: ProcessId, bytes: Bytes) {
+        self.world.do_send(self.me, to, bytes);
+    }
+
+    /// Sets a timer that fires after `delay` with the given tag.
+    pub fn set_timer(&mut self, delay: Span, tag: u64) -> TimerId {
+        let timer = TimerId(self.world.next_timer);
+        self.world.next_timer += 1;
+        let generation = self.world.slots[self.me.0 as usize].generation;
+        let at = self.world.now + delay;
+        self.world.push(
+            at,
+            EventKind::Timer {
+                to: self.me,
+                generation,
+                timer,
+                tag,
+            },
+        );
+        timer
+    }
+
+    /// Cancels a pending timer (no-op if it already fired).
+    pub fn cancel_timer(&mut self, timer: TimerId) {
+        self.world.cancelled.insert(timer.0);
+    }
+
+    /// Deterministic RNG shared by the whole world.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.world.rng
+    }
+
+    /// Increments a named counter metric.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        self.world.metrics.count(name, delta);
+    }
+
+    /// Records a named time-series sample at the current time.
+    pub fn record(&mut self, name: &str, value: f64) {
+        let now = self.world.now;
+        self.world.metrics.record(name, now, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Collector {
+        received: Vec<(Time, Vec<u8>)>,
+    }
+
+    impl Process for Collector {
+        fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, bytes: &Bytes) {
+            self.received.push((ctx.now(), bytes.to_vec()));
+            ctx.record("rx_time", ctx.now().as_secs_f64());
+        }
+    }
+
+    struct Sender {
+        to: ProcessId,
+        n: u32,
+    }
+
+    impl Process for Sender {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for i in 0..self.n {
+                ctx.send(self.to, Bytes::from(vec![i as u8]));
+            }
+        }
+        fn on_message(&mut self, _: &mut Context<'_>, _: ProcessId, _: &Bytes) {}
+    }
+
+    fn fixed_link(latency_ms: u64) -> LinkConfig {
+        LinkConfig {
+            latency: Span::millis(latency_ms),
+            jitter: Span::ZERO,
+            loss: 0.0,
+            corrupt: 0.0,
+            bandwidth_bps: None,
+            max_queue: Span::secs(10),
+        }
+    }
+
+    #[test]
+    fn message_delivery_latency() {
+        let mut world = World::new(1);
+        let rx = world.add_process(
+            "rx",
+            Box::new(Collector {
+                received: Vec::new(),
+            }),
+        );
+        let tx = world.add_process("tx", Box::new(Sender { to: rx, n: 1 }));
+        world.add_link(tx, rx, fixed_link(10));
+        world.run_for(Span::secs(1));
+        assert_eq!(world.metrics().counter("sim.delivered"), 1);
+        let series = world.metrics().series("rx_time");
+        assert_eq!(series.len(), 1);
+        assert!((series[0].1 - 0.010).abs() < 1e-9, "got {}", series[0].1);
+    }
+
+    #[test]
+    fn no_link_drops() {
+        let mut world = World::new(1);
+        let rx = world.add_process(
+            "rx",
+            Box::new(Collector {
+                received: Vec::new(),
+            }),
+        );
+        let _tx = world.add_process("tx", Box::new(Sender { to: rx, n: 3 }));
+        world.run_for(Span::secs(1));
+        assert_eq!(world.metrics().counter("sim.no_link_drop"), 3);
+        assert_eq!(world.metrics().counter("sim.delivered"), 0);
+    }
+
+    #[test]
+    fn link_down_drops() {
+        let mut world = World::new(1);
+        let rx = world.add_process(
+            "rx",
+            Box::new(Collector {
+                received: Vec::new(),
+            }),
+        );
+        let tx = world.add_process("tx", Box::new(Sender { to: rx, n: 2 }));
+        world.add_link(tx, rx, fixed_link(1));
+        world.set_link_up(tx, rx, false);
+        world.run_for(Span::secs(1));
+        assert_eq!(world.metrics().counter("sim.link_down_drop"), 2);
+    }
+
+    #[test]
+    fn lossy_link_drops_statistically() {
+        let mut world = World::new(42);
+        let rx = world.add_process(
+            "rx",
+            Box::new(Collector {
+                received: Vec::new(),
+            }),
+        );
+        let tx = world.add_process("tx", Box::new(Sender { to: rx, n: 200 }));
+        world.add_link(tx, rx, fixed_link(1).with_loss(0.5));
+        world.run_for(Span::secs(1));
+        let delivered = world.metrics().counter("sim.delivered");
+        assert!((50..150).contains(&delivered), "delivered={delivered}");
+    }
+
+    #[test]
+    fn bandwidth_queueing_serializes() {
+        // Two 1250-byte messages over a 1 Mbps link: 10 ms transmission
+        // each, so the second arrives ~10 ms after the first.
+        struct BigSender {
+            to: ProcessId,
+        }
+        impl Process for BigSender {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.send(self.to, Bytes::from(vec![0u8; 1250]));
+                ctx.send(self.to, Bytes::from(vec![1u8; 1250]));
+            }
+            fn on_message(&mut self, _: &mut Context<'_>, _: ProcessId, _: &Bytes) {}
+        }
+        let mut world = World::new(1);
+        let rx = world.add_process(
+            "rx",
+            Box::new(Collector {
+                received: Vec::new(),
+            }),
+        );
+        let tx = world.add_process("tx", Box::new(BigSender { to: rx }));
+        world.add_link(
+            tx,
+            rx,
+            LinkConfig {
+                latency: Span::millis(5),
+                jitter: Span::ZERO,
+                loss: 0.0,
+                corrupt: 0.0,
+                bandwidth_bps: Some(1_000_000),
+                max_queue: Span::secs(10),
+            },
+        );
+        world.run_for(Span::secs(1));
+        let times = world.metrics().series("rx_time");
+        assert_eq!(times.len(), 2);
+        let gap = times[1].1 - times[0].1;
+        assert!((gap - 0.010).abs() < 1e-6, "gap={gap}");
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct TimerProc {
+            fired: Vec<u64>,
+        }
+        impl Process for TimerProc {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(Span::millis(10), 1);
+                let t = ctx.set_timer(Span::millis(20), 2);
+                ctx.set_timer(Span::millis(30), 3);
+                ctx.cancel_timer(t);
+            }
+            fn on_message(&mut self, _: &mut Context<'_>, _: ProcessId, _: &Bytes) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+                self.fired.push(tag);
+                ctx.count("fired", 1);
+            }
+        }
+        let mut world = World::new(1);
+        world.add_process("t", Box::new(TimerProc { fired: Vec::new() }));
+        world.run_for(Span::secs(1));
+        assert_eq!(world.metrics().counter("fired"), 2);
+    }
+
+    #[test]
+    fn crash_stops_delivery_and_restart_resumes() {
+        let mut world = World::new(1);
+        let rx = world.add_process(
+            "rx",
+            Box::new(Collector {
+                received: Vec::new(),
+            }),
+        );
+        let tx = world.add_process("tx", Box::new(Sender { to: rx, n: 1 }));
+        world.add_link(tx, rx, fixed_link(10));
+        world.crash(rx);
+        world.run_for(Span::secs(1));
+        assert_eq!(world.metrics().counter("sim.dropped_to_down_process"), 1);
+        assert!(!world.is_up(rx));
+        world.restart(
+            rx,
+            Box::new(Collector {
+                received: Vec::new(),
+            }),
+        );
+        assert!(world.is_up(rx));
+        world.inject_message(world.now(), tx, rx, Bytes::from_static(b"x"));
+        world.run_for(Span::secs(1));
+        assert_eq!(world.metrics().counter("sim.delivered"), 1);
+    }
+
+    #[test]
+    fn stale_timers_do_not_fire_after_restart() {
+        struct T;
+        impl Process for T {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(Span::millis(100), 7);
+            }
+            fn on_message(&mut self, _: &mut Context<'_>, _: ProcessId, _: &Bytes) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
+                ctx.count("old_timer", 1);
+            }
+        }
+        struct Quiet;
+        impl Process for Quiet {
+            fn on_message(&mut self, _: &mut Context<'_>, _: ProcessId, _: &Bytes) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
+                ctx.count("new_timer", 1);
+            }
+        }
+        let mut world = World::new(1);
+        let p = world.add_process("t", Box::new(T));
+        world.run_for(Span::millis(10));
+        world.restart(p, Box::new(Quiet));
+        world.run_for(Span::secs(1));
+        assert_eq!(world.metrics().counter("old_timer"), 0);
+        assert_eq!(world.metrics().counter("new_timer"), 0);
+    }
+
+    #[test]
+    fn control_events_run_at_time() {
+        let mut world = World::new(1);
+        world.schedule_control(Time(500_000), |w| {
+            w.metrics_mut().count("control_ran", 1);
+        });
+        world.run_for(Span::millis(100));
+        assert_eq!(world.metrics().counter("control_ran"), 0);
+        world.run_for(Span::secs(1));
+        assert_eq!(world.metrics().counter("control_ran"), 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run(seed: u64) -> u64 {
+            let mut world = World::new(seed);
+            let rx = world.add_process(
+                "rx",
+                Box::new(Collector {
+                    received: Vec::new(),
+                }),
+            );
+            let tx = world.add_process("tx", Box::new(Sender { to: rx, n: 100 }));
+            world.add_link(
+                tx,
+                rx,
+                LinkConfig {
+                    latency: Span::millis(3),
+                    jitter: Span::millis(2),
+                    loss: 0.2,
+                    corrupt: 0.0,
+                    bandwidth_bps: Some(10_000_000),
+                    max_queue: Span::secs(10),
+                },
+            );
+            world.run_for(Span::secs(2));
+            world.metrics().counter("sim.delivered")
+        }
+        assert_eq!(run(5), run(5));
+        // Different seeds almost surely differ for 100 lossy sends.
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn run_until_advances_time_even_when_idle() {
+        let mut world = World::new(1);
+        world.run_until(Time(123));
+        assert_eq!(world.now(), Time(123));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the simulation substrate: wire codec symmetry
+//! and statistics sanity.
+
+use proptest::prelude::*;
+use spire_sim::stats::{cdf, fraction_within, percentile, Summary};
+use spire_sim::{WireReader, WireWriter};
+
+#[derive(Clone, Debug, PartialEq)]
+enum Field {
+    U8(u8),
+    U16(u16),
+    U32(u32),
+    U64(u64),
+    I64(i64),
+    Bool(bool),
+    Bytes(Vec<u8>),
+    Str(String),
+}
+
+fn arb_field() -> impl Strategy<Value = Field> {
+    prop_oneof![
+        any::<u8>().prop_map(Field::U8),
+        any::<u16>().prop_map(Field::U16),
+        any::<u32>().prop_map(Field::U32),
+        any::<u64>().prop_map(Field::U64),
+        any::<i64>().prop_map(Field::I64),
+        any::<bool>().prop_map(Field::Bool),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Field::Bytes),
+        "[a-z0-9 ]{0,24}".prop_map(Field::Str),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn wire_roundtrip_arbitrary_sequences(fields in proptest::collection::vec(arb_field(), 0..32)) {
+        let mut w = WireWriter::new();
+        for f in &fields {
+            match f {
+                Field::U8(v) => { w.u8(*v); }
+                Field::U16(v) => { w.u16(*v); }
+                Field::U32(v) => { w.u32(*v); }
+                Field::U64(v) => { w.u64(*v); }
+                Field::I64(v) => { w.i64(*v); }
+                Field::Bool(v) => { w.bool(*v); }
+                Field::Bytes(v) => { w.bytes(v); }
+                Field::Str(v) => { w.string(v); }
+            }
+        }
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        for f in &fields {
+            match f {
+                Field::U8(v) => prop_assert_eq!(r.u8().unwrap(), *v),
+                Field::U16(v) => prop_assert_eq!(r.u16().unwrap(), *v),
+                Field::U32(v) => prop_assert_eq!(r.u32().unwrap(), *v),
+                Field::U64(v) => prop_assert_eq!(r.u64().unwrap(), *v),
+                Field::I64(v) => prop_assert_eq!(r.i64().unwrap(), *v),
+                Field::Bool(v) => prop_assert_eq!(r.bool().unwrap(), *v),
+                Field::Bytes(v) => prop_assert_eq!(r.bytes().unwrap(), v.as_slice()),
+                Field::Str(v) => prop_assert_eq!(&r.string().unwrap(), v),
+            }
+        }
+        prop_assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics(values in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let p0 = percentile(&values, 0.0);
+        let p100 = percentile(&values, 100.0);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((p0 - min).abs() < 1e-9);
+        prop_assert!((p100 - max).abs() < 1e-9);
+        // Monotonicity.
+        let p50 = percentile(&values, 50.0);
+        let p90 = percentile(&values, 90.0);
+        prop_assert!(p0 <= p50 && p50 <= p90 && p90 <= p100);
+    }
+
+    #[test]
+    fn summary_mean_within_min_max(values in proptest::collection::vec(-1e9f64..1e9, 1..100)) {
+        let s = Summary::of(&values).unwrap();
+        prop_assert!(s.min <= s.mean + 1e-6 && s.mean <= s.max + 1e-6);
+        prop_assert_eq!(s.count, values.len());
+    }
+
+    #[test]
+    fn fraction_within_is_a_probability(values in proptest::collection::vec(0.0f64..100.0, 0..100),
+                                        threshold in -10.0f64..110.0) {
+        let f = fraction_within(&values, threshold);
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn cdf_is_monotone(values in proptest::collection::vec(0.0f64..1e3, 1..200),
+                       points in 1usize..40) {
+        let curve = cdf(&values, points);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0);
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+    }
+}

@@ -1,0 +1,818 @@
+//! The Spines overlay daemon.
+//!
+//! Each daemon maintains authenticated links to its overlay neighbors,
+//! floods signed link-state advertisements, and forwards application
+//! traffic under three dissemination modes (shortest path, k edge-disjoint
+//! paths, constrained flooding). Two mechanisms provide the paper's
+//! *network-attack resilience*:
+//!
+//! 1. **Authentication** — every daemon-to-daemon frame carries an HMAC
+//!    keyed per link, and every LSA is signed by its origin; injected or
+//!    corrupted traffic is dropped at the first hop.
+//! 2. **Per-source fairness** — flooded traffic is rate-limited per source
+//!    with a token bucket, so a single compromised client or daemon cannot
+//!    starve other sources (Spines' fair resource allocation).
+//!
+//! Hop-by-hop reliability (ack + retransmit) recovers from lossy links.
+
+use crate::msg::{lsa_signing_bytes, DataMsg, Dissemination, OverlayMsg};
+use crate::topology::{OverlayId, Topology};
+use bytes::Bytes;
+use spire_crypto::ed25519::Signature;
+use spire_crypto::hmac::{hmac_sha256, verify_hmac_sha256};
+use spire_crypto::{KeyStore, NodeId, SigningKey};
+use spire_sim::{Context, Process, ProcessId, Span, Time};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+const TIMER_HELLO: u64 = 1;
+const TIMER_LSA: u64 = 2;
+const TIMER_RETX: u64 = 3;
+
+/// Tuning knobs for a daemon.
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonConfig {
+    /// Interval between hello probes.
+    pub hello_interval: Span,
+    /// A neighbor is declared dead if silent for this long.
+    pub dead_after: Span,
+    /// Interval between periodic LSA refreshes.
+    pub lsa_interval: Span,
+    /// Link-state advertisements older than this are aged out of the
+    /// database (a crashed daemon's stale adjacency must not linger).
+    pub lsa_max_age: Span,
+    /// Retransmission scan interval for reliable frames.
+    pub retransmit_interval: Span,
+    /// Retransmission timeout for a reliable frame.
+    pub retransmit_timeout: Span,
+    /// Give up after this many retransmissions.
+    pub max_retries: u32,
+    /// Initial TTL for data messages.
+    pub default_ttl: u8,
+    /// Sustained flood forwarding rate allowed per source (messages/sec).
+    pub flood_rate_per_source: f64,
+    /// Burst allowance per source (messages).
+    pub flood_burst: f64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            hello_interval: Span::millis(500),
+            dead_after: Span::millis(1_800),
+            lsa_interval: Span::secs(5),
+            lsa_max_age: Span::secs(16),
+            retransmit_interval: Span::millis(20),
+            retransmit_timeout: Span::millis(60),
+            // With exponential backoff (60 ms doubling, 2 s cap) twelve
+            // retries span roughly ten seconds: enough for liveness
+            // detection to update routes and the re-route path to kick in.
+            max_retries: 12,
+            default_ttl: 32,
+            flood_rate_per_source: 5_000.0,
+            flood_burst: 500.0,
+        }
+    }
+}
+
+/// Fault model of a daemon, for attack-injection experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DaemonBehavior {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Forwards control traffic but silently drops all data (blackhole).
+    Blackhole,
+    /// Flips a byte in every forwarded data payload (detected end-to-end by
+    /// the application's signatures, and at the hop by HMAC only if the
+    /// corruption happens before authentication — a compromised daemon
+    /// re-MACs, so end-to-end protection is what catches it).
+    Corrupting,
+}
+
+struct NeighborState {
+    pid: ProcessId,
+    link_key: [u8; 32],
+    weight: u32,
+    last_heard: Time,
+    alive: bool,
+}
+
+struct LsaEntry {
+    seq: u64,
+    neighbors: Vec<(OverlayId, u32)>,
+    /// When this advertisement was accepted (for aging).
+    received_at: Time,
+}
+
+struct PendingFrame {
+    to_pid: ProcessId,
+    to_overlay: OverlayId,
+    msg: DataMsg,
+    bytes: Bytes,
+    retries: u32,
+    next_at: Time,
+    /// Current retransmission timeout (doubles per retry, capped).
+    rto: Span,
+}
+
+struct TokenBucket {
+    tokens: f64,
+    last: Time,
+}
+
+/// A Spines overlay daemon (a [`Process`] in the simulation).
+pub struct Daemon {
+    me: OverlayId,
+    cfg: DaemonConfig,
+    behavior: DaemonBehavior,
+    signing: SigningKey,
+    keystore: Rc<KeyStore>,
+    /// crypto NodeId of overlay node i is `key_base + i`.
+    key_base: u32,
+    neighbors: BTreeMap<OverlayId, NeighborState>,
+    pid_to_overlay: BTreeMap<ProcessId, OverlayId>,
+    clients: BTreeMap<u16, ProcessId>,
+    lsa_db: BTreeMap<OverlayId, LsaEntry>,
+    my_lsa_seq: u64,
+    routes: Option<Topology>,
+    flood_seen: HashSet<(u16, u16, u64)>,
+    flood_seen_order: VecDeque<(u16, u16, u64)>,
+    frame_seen: HashSet<u64>,
+    frame_seen_order: VecDeque<u64>,
+    pending: BTreeMap<u64, PendingFrame>,
+    next_frame: u64,
+    send_seq: BTreeMap<u16, u64>,
+    buckets: BTreeMap<OverlayId, TokenBucket>,
+    hello_seq: u64,
+}
+
+const SEEN_CAP: usize = 100_000;
+
+impl Daemon {
+    /// Creates a daemon.
+    ///
+    /// `neighbors` maps each overlay neighbor to its simulation process and
+    /// link weight; `link_keys` carries the shared per-link HMAC keys.
+    /// `key_base` maps overlay ids into the [`KeyStore`] id space.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        me: OverlayId,
+        cfg: DaemonConfig,
+        behavior: DaemonBehavior,
+        signing: SigningKey,
+        keystore: Rc<KeyStore>,
+        key_base: u32,
+        neighbors: Vec<(OverlayId, ProcessId, u32, [u8; 32])>,
+    ) -> Daemon {
+        let mut neighbor_map = BTreeMap::new();
+        let mut pid_to_overlay = BTreeMap::new();
+        for (id, pid, weight, link_key) in neighbors {
+            pid_to_overlay.insert(pid, id);
+            neighbor_map.insert(
+                id,
+                NeighborState {
+                    pid,
+                    link_key,
+                    weight,
+                    last_heard: Time::ZERO,
+                    alive: true,
+                },
+            );
+        }
+        Daemon {
+            me,
+            cfg,
+            behavior,
+            signing,
+            keystore,
+            key_base,
+            neighbors: neighbor_map,
+            pid_to_overlay,
+            clients: BTreeMap::new(),
+            lsa_db: BTreeMap::new(),
+            my_lsa_seq: 0,
+            routes: None,
+            flood_seen: HashSet::new(),
+            flood_seen_order: VecDeque::new(),
+            frame_seen: HashSet::new(),
+            frame_seen_order: VecDeque::new(),
+            pending: BTreeMap::new(),
+            next_frame: 0,
+            send_seq: BTreeMap::new(),
+            buckets: BTreeMap::new(),
+            hello_seq: 0,
+        }
+    }
+
+    fn crypto_id(&self, overlay: OverlayId) -> NodeId {
+        NodeId(self.key_base + overlay.0 as u32)
+    }
+
+    fn frame_to(&mut self, ctx: &mut Context<'_>, neighbor: OverlayId, msg: &OverlayMsg) {
+        let Some(state) = self.neighbors.get(&neighbor) else {
+            return;
+        };
+        let body = msg.encode();
+        let tag = hmac_sha256(&state.link_key, &body);
+        let mut framed = Vec::with_capacity(body.len() + 32);
+        framed.extend_from_slice(&body);
+        framed.extend_from_slice(&tag);
+        ctx.send(state.pid, Bytes::from(framed));
+    }
+
+    /// Sends a data frame to a neighbor, registering it for retransmission
+    /// if reliability was requested.
+    fn send_data_frame(&mut self, ctx: &mut Context<'_>, neighbor: OverlayId, msg: DataMsg) {
+        if self.behavior == DaemonBehavior::Blackhole && msg.src != self.me {
+            ctx.count("spines.blackholed", 1);
+            return;
+        }
+        let mut msg = msg;
+        if self.behavior == DaemonBehavior::Corrupting && !msg.payload.is_empty() {
+            let mut corrupted = msg.payload.to_vec();
+            corrupted[0] ^= 0xff;
+            msg.payload = Bytes::from(corrupted);
+            ctx.count("spines.corrupted", 1);
+        }
+        let frame_id = ((self.me.0 as u64) << 40) | self.next_frame;
+        self.next_frame += 1;
+        let reliable = msg.reliable;
+        if reliable {
+            if let Some(state) = self.neighbors.get(&neighbor) {
+                let wire = OverlayMsg::Data {
+                    frame_id,
+                    msg: msg.clone(),
+                };
+                let body = wire.encode();
+                let tag = hmac_sha256(&state.link_key, &body);
+                let mut framed = Vec::with_capacity(body.len() + 32);
+                framed.extend_from_slice(&body);
+                framed.extend_from_slice(&tag);
+                let framed = Bytes::from(framed);
+                ctx.send(state.pid, framed.clone());
+                self.pending.insert(
+                    frame_id,
+                    PendingFrame {
+                        to_pid: state.pid,
+                        to_overlay: neighbor,
+                        msg,
+                        bytes: framed,
+                        retries: 0,
+                        next_at: ctx.now() + self.cfg.retransmit_timeout,
+                        rto: self.cfg.retransmit_timeout,
+                    },
+                );
+            }
+        } else {
+            let wire = OverlayMsg::Data { frame_id, msg };
+            self.frame_to(ctx, neighbor, &wire);
+        }
+    }
+
+    fn regenerate_lsa(&mut self, ctx: &mut Context<'_>) {
+        self.my_lsa_seq += 1;
+        let neighbors: Vec<(OverlayId, u32)> = self
+            .neighbors
+            .iter()
+            .filter(|(_, s)| s.alive)
+            .map(|(id, s)| (*id, s.weight))
+            .collect();
+        let bytes = lsa_signing_bytes(self.me, self.my_lsa_seq, &neighbors);
+        let sig = self.signing.sign(&bytes);
+        let lsa = OverlayMsg::Lsa {
+            origin: self.me,
+            seq: self.my_lsa_seq,
+            neighbors: neighbors.clone(),
+            sig: sig.to_bytes(),
+        };
+        self.lsa_db.insert(
+            self.me,
+            LsaEntry {
+                seq: self.my_lsa_seq,
+                neighbors,
+                received_at: ctx.now(),
+            },
+        );
+        self.routes = None;
+        let targets: Vec<OverlayId> = self.alive_neighbors();
+        for n in targets {
+            self.frame_to(ctx, n, &lsa);
+        }
+    }
+
+    fn alive_neighbors(&self) -> Vec<OverlayId> {
+        self.neighbors
+            .iter()
+            .filter(|(_, s)| s.alive)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Builds the routing topology from the LSA database. An edge is used
+    /// only if *both* endpoints advertise it, so a single lying daemon
+    /// cannot fabricate adjacencies to attract traffic.
+    fn topology(&mut self) -> &Topology {
+        if self.routes.is_none() {
+            let mut t = Topology::new();
+            t.add_node(self.me);
+            for origin in self.lsa_db.keys() {
+                t.add_node(*origin);
+            }
+            let claims: Vec<(OverlayId, OverlayId, u32)> = self
+                .lsa_db
+                .iter()
+                .flat_map(|(origin, entry)| {
+                    entry
+                        .neighbors
+                        .iter()
+                        .map(move |(n, w)| (*origin, *n, *w))
+                })
+                .collect();
+            for (a, b, w) in &claims {
+                if a < b {
+                    let reverse = self
+                        .lsa_db
+                        .get(b)
+                        .map(|e| e.neighbors.iter().any(|(n, _)| n == a))
+                        .unwrap_or(false);
+                    if reverse {
+                        t.add_edge(*a, *b, *w);
+                    }
+                }
+            }
+            self.routes = Some(t);
+        }
+        self.routes.as_ref().unwrap()
+    }
+
+    fn mark_flood_seen(&mut self, key: (u16, u16, u64)) -> bool {
+        if self.flood_seen.contains(&key) {
+            return false;
+        }
+        self.flood_seen.insert(key);
+        self.flood_seen_order.push_back(key);
+        if self.flood_seen_order.len() > SEEN_CAP {
+            if let Some(old) = self.flood_seen_order.pop_front() {
+                self.flood_seen.remove(&old);
+            }
+        }
+        true
+    }
+
+    fn mark_frame_seen(&mut self, frame_id: u64) -> bool {
+        if self.frame_seen.contains(&frame_id) {
+            return false;
+        }
+        self.frame_seen.insert(frame_id);
+        self.frame_seen_order.push_back(frame_id);
+        if self.frame_seen_order.len() > SEEN_CAP {
+            if let Some(old) = self.frame_seen_order.pop_front() {
+                self.frame_seen.remove(&old);
+            }
+        }
+        true
+    }
+
+    fn take_flood_token(&mut self, now: Time, source: OverlayId) -> bool {
+        let bucket = self.buckets.entry(source).or_insert(TokenBucket {
+            tokens: self.cfg.flood_burst,
+            last: now,
+        });
+        let dt = now.since(bucket.last).as_secs_f64();
+        bucket.last = now;
+        bucket.tokens =
+            (bucket.tokens + dt * self.cfg.flood_rate_per_source).min(self.cfg.flood_burst);
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn deliver_local(&mut self, ctx: &mut Context<'_>, msg: &DataMsg) {
+        let Some(client) = self.clients.get(&msg.dst_port).copied() else {
+            ctx.count("spines.no_client_drop", 1);
+            return;
+        };
+        let deliver = OverlayMsg::ClientDeliver {
+            src: msg.src,
+            src_port: msg.src_port,
+            payload: msg.payload.clone(),
+        };
+        ctx.send(client, deliver.encode());
+        ctx.count("spines.delivered", 1);
+    }
+
+    /// Core forwarding logic shared by locally originated and transit data.
+    fn route_data(&mut self, ctx: &mut Context<'_>, mut msg: DataMsg, from_hop: Option<OverlayId>) {
+        match msg.mode {
+            Dissemination::Flood => {
+                let key = (msg.src.0, msg.src_port, msg.seq);
+                if !self.mark_flood_seen(key) {
+                    return;
+                }
+                if msg.dst == self.me {
+                    self.deliver_local(ctx, &msg);
+                    return;
+                }
+                // Per-source fairness: a flooding source cannot consume more
+                // than its token rate at this daemon.
+                if !self.take_flood_token(ctx.now(), msg.src) {
+                    ctx.count("spines.flood_rate_limited", 1);
+                    return;
+                }
+                if msg.ttl == 0 {
+                    ctx.count("spines.ttl_drop", 1);
+                    return;
+                }
+                msg.ttl -= 1;
+                for n in self.alive_neighbors() {
+                    if Some(n) != from_hop {
+                        self.send_data_frame(ctx, n, msg.clone());
+                    }
+                }
+            }
+            Dissemination::Shortest => {
+                if msg.dst == self.me {
+                    let key = (msg.src.0, msg.src_port, msg.seq);
+                    if self.mark_flood_seen(key) {
+                        self.deliver_local(ctx, &msg);
+                    }
+                    return;
+                }
+                if msg.ttl == 0 {
+                    ctx.count("spines.ttl_drop", 1);
+                    return;
+                }
+                msg.ttl -= 1;
+                let me = self.me;
+                let dst = msg.dst;
+                let next = self.topology().next_hop(me, dst);
+                match next {
+                    Some(n) => self.send_data_frame(ctx, n, msg),
+                    None => ctx.count("spines.no_route_drop", 1),
+                }
+            }
+            Dissemination::DisjointPaths(_) => {
+                if msg.dst == self.me {
+                    let key = (msg.src.0, msg.src_port, msg.seq);
+                    if self.mark_flood_seen(key) {
+                        self.deliver_local(ctx, &msg);
+                    }
+                    return;
+                }
+                if msg.ttl == 0 {
+                    ctx.count("spines.ttl_drop", 1);
+                    return;
+                }
+                msg.ttl -= 1;
+                let idx = msg.route_idx as usize;
+                if idx < msg.route.len() {
+                    let next = msg.route[idx];
+                    msg.route_idx += 1;
+                    self.send_data_frame(ctx, next, msg);
+                } else {
+                    ctx.count("spines.bad_route_drop", 1);
+                }
+            }
+        }
+    }
+
+    fn originate(&mut self, ctx: &mut Context<'_>, src_port: u16, dst: OverlayId, dst_port: u16, mode: Dissemination, reliable: bool, payload: Bytes) {
+        let seq = {
+            let counter = self.send_seq.entry(src_port).or_insert(0);
+            *counter += 1;
+            *counter
+        };
+        let base = DataMsg {
+            src: self.me,
+            src_port,
+            dst,
+            dst_port,
+            seq,
+            mode,
+            ttl: self.cfg.default_ttl,
+            route: Vec::new(),
+            route_idx: 0,
+            reliable,
+            payload,
+        };
+        match mode {
+            Dissemination::DisjointPaths(k) => {
+                if dst == self.me {
+                    let mut msg = base;
+                    msg.mode = Dissemination::Shortest;
+                    self.route_data(ctx, msg, None);
+                    return;
+                }
+                let me = self.me;
+                let paths = self.topology().disjoint_paths(me, dst, k.max(1) as usize);
+                if paths.is_empty() {
+                    ctx.count("spines.no_route_drop", 1);
+                    return;
+                }
+                for path in paths {
+                    let mut msg = base.clone();
+                    msg.route = path;
+                    msg.route_idx = 1; // position of the hop after us
+                    let next = msg.route[1];
+                    msg.route_idx = 2;
+                    msg.ttl = self.cfg.default_ttl;
+                    self.send_data_frame(ctx, next, msg);
+                }
+            }
+            _ => self.route_data(ctx, base, None),
+        }
+    }
+
+    fn on_neighbor_msg(&mut self, ctx: &mut Context<'_>, from: OverlayId, msg: OverlayMsg) {
+        match msg {
+            OverlayMsg::Hello { from: h_from, seq: _ } => {
+                if h_from != from {
+                    ctx.count("spines.hello_spoof_drop", 1);
+                    return;
+                }
+                let hello_interval = self.cfg.hello_interval;
+                let newly_alive = {
+                    let Some(state) = self.neighbors.get_mut(&from) else {
+                        return;
+                    };
+                    let previous = state.last_heard;
+                    state.last_heard = ctx.now();
+                    if state.alive {
+                        false
+                    } else {
+                        // Damping: a congested link leaking the occasional
+                        // hello must not flap alive; require two hellos in
+                        // quick succession before reviving.
+                        let stable =
+                            ctx.now().since(previous) <= hello_interval.times(2);
+                        if stable {
+                            state.alive = true;
+                        }
+                        stable
+                    }
+                };
+                if newly_alive {
+                    self.regenerate_lsa(ctx);
+                }
+            }
+            OverlayMsg::Lsa {
+                origin,
+                seq,
+                neighbors,
+                sig,
+            } => {
+                if origin == self.me {
+                    return;
+                }
+                let known = self.lsa_db.get(&origin).map(|e| e.seq).unwrap_or(0);
+                if seq <= known {
+                    return;
+                }
+                let bytes = lsa_signing_bytes(origin, seq, &neighbors);
+                let signature = Signature::from_bytes(sig);
+                if !self
+                    .keystore
+                    .verify(self.crypto_id(origin), &bytes, &signature)
+                {
+                    ctx.count("spines.lsa_bad_sig", 1);
+                    return;
+                }
+                self.lsa_db.insert(
+                    origin,
+                    LsaEntry {
+                        seq,
+                        neighbors,
+                        received_at: ctx.now(),
+                    },
+                );
+                self.routes = None;
+                // Flood onward.
+                let lsa = OverlayMsg::Lsa {
+                    origin,
+                    seq,
+                    neighbors: self.lsa_db[&origin].neighbors.clone(),
+                    sig,
+                };
+                for n in self.alive_neighbors() {
+                    if n != from {
+                        self.frame_to(ctx, n, &lsa);
+                    }
+                }
+            }
+            OverlayMsg::Data { frame_id, msg } => {
+                if msg.reliable {
+                    self.frame_to(ctx, from, &OverlayMsg::HopAck { frame_id });
+                    if !self.mark_frame_seen(frame_id) {
+                        return; // duplicate retransmission
+                    }
+                }
+                self.route_data(ctx, msg, Some(from));
+            }
+            OverlayMsg::HopAck { frame_id } => {
+                self.pending.remove(&frame_id);
+            }
+            _ => ctx.count("spines.unexpected_neighbor_msg", 1),
+        }
+    }
+
+    fn on_client_msg(&mut self, ctx: &mut Context<'_>, from: ProcessId, msg: OverlayMsg) {
+        match msg {
+            OverlayMsg::ClientAttach { port } => {
+                self.clients.insert(port, from);
+            }
+            OverlayMsg::ClientSend {
+                dst,
+                dst_port,
+                mode,
+                reliable,
+                payload,
+            } => {
+                // Identify the sending client's port (must be attached).
+                let Some(src_port) = self
+                    .clients
+                    .iter()
+                    .find(|(_, pid)| **pid == from)
+                    .map(|(port, _)| *port)
+                else {
+                    ctx.count("spines.unattached_client_drop", 1);
+                    return;
+                };
+                self.originate(ctx, src_port, dst, dst_port, mode, reliable, payload);
+            }
+            _ => ctx.count("spines.unexpected_client_msg", 1),
+        }
+    }
+}
+
+impl Process for Daemon {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for (_, state) in self.neighbors.iter_mut() {
+            state.last_heard = ctx.now();
+        }
+        ctx.set_timer(self.cfg.hello_interval, TIMER_HELLO);
+        ctx.set_timer(self.cfg.lsa_interval, TIMER_LSA);
+        ctx.set_timer(self.cfg.retransmit_interval, TIMER_RETX);
+        self.regenerate_lsa(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, bytes: &Bytes) {
+        if let Some(overlay_from) = self.pid_to_overlay.get(&from).copied() {
+            // Neighbor daemon: verify the link HMAC.
+            if bytes.len() < 32 {
+                ctx.count("spines.short_frame_drop", 1);
+                return;
+            }
+            let (body, tag_bytes) = bytes.split_at(bytes.len() - 32);
+            let tag: [u8; 32] = tag_bytes.try_into().unwrap();
+            let key = self.neighbors[&overlay_from].link_key;
+            if !verify_hmac_sha256(&key, body, &tag) {
+                ctx.count("spines.hmac_fail", 1);
+                return;
+            }
+            match OverlayMsg::decode(body) {
+                Ok(msg) => self.on_neighbor_msg(ctx, overlay_from, msg),
+                Err(_) => ctx.count("spines.decode_fail", 1),
+            }
+        } else {
+            // Local client.
+            match OverlayMsg::decode(bytes) {
+                Ok(msg) => self.on_client_msg(ctx, from, msg),
+                Err(_) => ctx.count("spines.client_decode_fail", 1),
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        match tag {
+            TIMER_HELLO => {
+                self.hello_seq += 1;
+                let hello = OverlayMsg::Hello {
+                    from: self.me,
+                    seq: self.hello_seq,
+                };
+                let all: Vec<OverlayId> = self.neighbors.keys().copied().collect();
+                for n in all {
+                    self.frame_to(ctx, n, &hello);
+                }
+                // Death detection.
+                let now = ctx.now();
+                let dead_after = self.cfg.dead_after;
+                let mut changed = false;
+                for (_, state) in self.neighbors.iter_mut() {
+                    if state.alive && now.since(state.last_heard) > dead_after {
+                        state.alive = false;
+                        changed = true;
+                    }
+                }
+                if changed {
+                    self.regenerate_lsa(ctx);
+                }
+                ctx.set_timer(self.cfg.hello_interval, TIMER_HELLO);
+            }
+            TIMER_LSA => {
+                // Age out stale advertisements (their origin stopped
+                // refreshing: crashed, partitioned, or compromised-and-
+                // silenced). Our own entry is refreshed just below.
+                let now = ctx.now();
+                let max_age = self.cfg.lsa_max_age;
+                let me = self.me;
+                let before = self.lsa_db.len();
+                self.lsa_db
+                    .retain(|origin, e| *origin == me || now.since(e.received_at) <= max_age);
+                if self.lsa_db.len() != before {
+                    self.routes = None;
+                    ctx.count("spines.lsa_aged_out", 1);
+                }
+                self.regenerate_lsa(ctx);
+                ctx.set_timer(self.cfg.lsa_interval, TIMER_LSA);
+            }
+            TIMER_RETX => {
+                let now = ctx.now();
+                let mut to_resend: Vec<u64> = Vec::new();
+                let mut to_drop: Vec<u64> = Vec::new();
+                let mut to_reroute: Vec<u64> = Vec::new();
+                let expired: Vec<u64> = self
+                    .pending
+                    .iter()
+                    .filter(|(_, f)| f.next_at <= now)
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in expired {
+                    let (mode, dst, to_overlay, retries) = {
+                        let f = &self.pending[&id];
+                        (f.msg.mode, f.msg.dst, f.to_overlay, f.retries)
+                    };
+                    // If routing has moved away from the pending next hop
+                    // (e.g. the neighbor was declared dead), re-route the
+                    // payload along the new path instead of retrying a dead
+                    // link forever.
+                    if mode == Dissemination::Shortest {
+                        let me = self.me;
+                        let current = self.topology().next_hop(me, dst);
+                        if current.is_some() && current != Some(to_overlay) {
+                            to_reroute.push(id);
+                            continue;
+                        }
+                    }
+                    // Frames bound for a dead neighbor are dropped: flooded
+                    // and disjoint-path traffic has redundant copies, and
+                    // retransmitting into a black hole only feeds congestion
+                    // collapse under DoS.
+                    let neighbor_dead = self
+                        .neighbors
+                        .get(&to_overlay)
+                        .map(|s| !s.alive)
+                        .unwrap_or(true);
+                    if neighbor_dead && mode != Dissemination::Shortest {
+                        to_drop.push(id);
+                        continue;
+                    }
+                    if retries >= self.cfg.max_retries {
+                        to_drop.push(id);
+                    } else {
+                        to_resend.push(id);
+                    }
+                }
+                for id in to_drop {
+                    self.pending.remove(&id);
+                    ctx.count("spines.retx_give_up", 1);
+                }
+                for id in to_reroute {
+                    if let Some(frame) = self.pending.remove(&id) {
+                        ctx.count("spines.rerouted", 1);
+                        self.route_data(ctx, frame.msg, None);
+                    }
+                }
+                for id in to_resend {
+                    if let Some(frame) = self.pending.get_mut(&id) {
+                        frame.retries += 1;
+                        // Exponential backoff, capped: persistent loss must
+                        // not multiply traffic.
+                        frame.rto = Span::micros((frame.rto.0 * 2).min(2_000_000));
+                        frame.next_at = now + frame.rto;
+                        let pid = frame.to_pid;
+                        let bytes = frame.bytes.clone();
+                        ctx.send(pid, bytes);
+                        ctx.count("spines.retx", 1);
+                    }
+                }
+                ctx.set_timer(self.cfg.retransmit_interval, TIMER_RETX);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("me", &self.me)
+            .field("neighbors", &self.neighbors.len())
+            .field("clients", &self.clients.len())
+            .finish()
+    }
+}

@@ -1,0 +1,55 @@
+//! The paper's headline scenario: a network attack on the primary control
+//! center — first a DoS, then a full disconnection — while Spire keeps
+//! delivering SCADA updates within the 100 ms requirement through the
+//! remaining sites. A traditional single-control-center SCADA system is run
+//! under the same outage for contrast.
+//!
+//! Run with: `cargo run --release --example network_attack`
+
+use spire::deployment::{Deployment, DeploymentConfig};
+use spire::BaselineDeployment;
+use spire_scada::WorkloadConfig;
+use spire_sim::{Span, Time};
+
+fn secs(s: u64) -> Time {
+    Time(s * 1_000_000)
+}
+
+fn main() {
+    let workload = WorkloadConfig {
+        rtus: 10,
+        update_interval: Span::secs(1),
+        ..Default::default()
+    };
+
+    // ---- Spire under attack ----
+    let mut cfg = DeploymentConfig::wide_area(11);
+    cfg.workload = workload;
+    let mut spire = Deployment::build(cfg);
+    println!("Spire: DoS on CC1 at t=20s, full disconnection 40s-60s, repair at 60s");
+    spire.schedule_site_dos(0, secs(20), secs(40), 0.7);
+    spire.schedule_site_disconnect(0, secs(40), secs(60));
+    spire.run_for(Span::secs(80));
+    let report = spire.report();
+    println!("  {}", report.one_line());
+    println!(
+        "  silent seconds (no confirmed update): {}",
+        report.silent_seconds()
+    );
+
+    // ---- Baseline under the same outage ----
+    let mut baseline = BaselineDeployment::build(11, workload, true);
+    baseline.schedule_cc_outage(secs(40), secs(60));
+    baseline.run_for(Span::secs(80));
+    let m = baseline.world.metrics();
+    let confirmed = m.counter("scada.updates_confirmed");
+    let sent = m.counter("scada.updates_sent");
+    let outage_confirms = m
+        .series("scada.update_latency_ms")
+        .iter()
+        .filter(|(t, _)| t.0 > 41_000_000 && t.0 < 59_000_000)
+        .count();
+    println!("\nTraditional SCADA (single control center), same outage:");
+    println!("  updates {confirmed}/{sent} confirmed overall");
+    println!("  confirmed during the outage window: {outage_confirms} (service dead)");
+}

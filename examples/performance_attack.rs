@@ -1,0 +1,44 @@
+//! Prime's signature defense: a compromised leader that delays proposals
+//! just below the crash timeout. The PBFT-like baseline never replaces it
+//! (latency stays degraded forever); Prime's turnaround-time monitoring
+//! suspects and replaces it within seconds.
+//!
+//! Run with: `cargo run --release --example performance_attack`
+
+use spire::deployment::{Deployment, DeploymentConfig};
+use spire_prime::{ByzBehavior, ProtocolMode};
+use spire_scada::WorkloadConfig;
+use spire_sim::Span;
+use spire_sim::stats::percentile;
+
+fn run(mode: ProtocolMode, label: &str) {
+    let mut cfg = DeploymentConfig::wide_area(31);
+    cfg.mode = mode;
+    cfg.workload = WorkloadConfig {
+        rtus: 5,
+        update_interval: Span::millis(500),
+        ..Default::default()
+    };
+    // Replica 0 (leader of view 0) delays every proposal by 800 ms.
+    cfg.byz
+        .insert(0, ByzBehavior::LeaderDelay(Span::millis(800)));
+    let mut system = Deployment::build(cfg);
+    system.run_for(Span::secs(60));
+    let report = system.report();
+    let lats = &report.update_latencies_ms;
+    println!(
+        "{label:10}  median={:.0} ms  p90={:.0} ms  view changes={}  confirmed={}",
+        percentile(lats, 50.0),
+        percentile(lats, 90.0),
+        report.view_changes,
+        report.updates_confirmed,
+    );
+}
+
+fn main() {
+    println!("malicious leader delaying proposals by 800 ms:\n");
+    run(ProtocolMode::Prime, "Prime");
+    run(ProtocolMode::PbftLike, "PBFT-like");
+    println!("\nPrime detects the slow leader via turnaround-time monitoring and");
+    println!("rotates it out; the PBFT-like protocol tolerates it indefinitely.");
+}

@@ -1,0 +1,13 @@
+//! Umbrella package for the Spire reproduction workspace.
+//!
+//! This package exists to host the repository-level `examples/` and `tests/`
+//! directories; the implementation lives in the `crates/` members. It
+//! re-exports the public crates for convenience so examples can write
+//! `use spire_repro::spire;`.
+
+pub use spire;
+pub use spire_crypto;
+pub use spire_prime;
+pub use spire_scada;
+pub use spire_sim;
+pub use spire_spines;

@@ -1,0 +1,82 @@
+//! Repository-level integration tests exercising the public API across all
+//! crates, mirroring what a downstream user of the library would do.
+
+use spire_repro::spire::deployment::{Deployment, DeploymentConfig};
+use spire_repro::spire::{required_replicas, SpireConfig};
+use spire_repro::spire_scada::WorkloadConfig;
+use spire_repro::spire_sim::Span;
+
+#[test]
+fn quickstart_flow_works_as_documented() {
+    // This is the README quickstart, asserted.
+    let mut cfg = DeploymentConfig::wide_area(7);
+    cfg.workload = WorkloadConfig {
+        rtus: 4,
+        update_interval: Span::millis(500),
+        ..Default::default()
+    };
+    let mut system = Deployment::build(cfg);
+    system.run_for(Span::secs(20));
+    let report = system.report();
+    assert!(report.safety_ok);
+    assert!(report.updates_confirmed > 0);
+    assert!(report.sla_fraction > 0.95);
+}
+
+#[test]
+fn configuration_analysis_matches_deployment_behaviour() {
+    // The calculator says 6 replicas over 4 sites tolerate one site loss;
+    // verify against a live deployment with a disconnected data center.
+    let spire_cfg = SpireConfig::spread(1, 1, 2);
+    assert_eq!(spire_cfg.total_replicas(), required_replicas(1, 1));
+    assert!(spire_cfg.validate(true).is_ok());
+
+    let mut cfg = DeploymentConfig::wide_area(8);
+    cfg.workload = WorkloadConfig {
+        rtus: 3,
+        update_interval: Span::millis(500),
+        ..Default::default()
+    };
+    let mut system = Deployment::build(cfg);
+    // Disconnect DC1 (site index 2) for the whole run.
+    system.schedule_site_disconnect(2, spire_repro::spire_sim::Time(1), spire_repro::spire_sim::Time(60_000_000));
+    system.run_for(Span::secs(30));
+    let report = system.report();
+    assert!(report.safety_ok);
+    assert!(
+        report.delivery_ratio() > 0.9,
+        "delivery {}",
+        report.delivery_ratio()
+    );
+}
+
+#[test]
+fn crypto_stack_interops_across_crates() {
+    use spire_repro::spire_crypto::keys::{verify64, Signer};
+    use spire_repro::spire_crypto::{KeyMaterial, KeyStore, NodeId};
+    let material = KeyMaterial::new([1u8; 32]);
+    let store = KeyStore::for_nodes(&material, 8);
+    let signer = Signer::new(material.signing_key(NodeId(3)), false);
+    let sig = signer.sign64(b"cross-crate");
+    assert!(verify64(&store, NodeId(3), b"cross-crate", &sig, false));
+}
+
+#[test]
+fn deterministic_replay_across_identical_builds() {
+    let run = |seed: u64| {
+        let mut cfg = DeploymentConfig::wide_area(seed);
+        cfg.workload = WorkloadConfig {
+            rtus: 3,
+            update_interval: Span::millis(500),
+            ..Default::default()
+        };
+        let mut system = Deployment::build(cfg);
+        system.run_for(Span::secs(10));
+        let report = system.report();
+        (
+            report.updates_confirmed,
+            report.update_summary.map(|s| s.mean),
+        )
+    };
+    assert_eq!(run(42), run(42));
+}
