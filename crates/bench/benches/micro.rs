@@ -35,9 +35,7 @@ fn bench_crypto(c: &mut Criterion) {
     let mut group = c.benchmark_group("merkle");
     let leaves: Vec<Vec<u8>> = (0..256u32).map(|i| i.to_le_bytes().to_vec()).collect();
     group.bench_function("build_256", |b| {
-        b.iter(|| {
-            spire_crypto::merkle::MerkleTree::build(leaves.iter().map(|l| l.as_slice()))
-        })
+        b.iter(|| spire_crypto::merkle::MerkleTree::build(leaves.iter().map(|l| l.as_slice())))
     });
     group.finish();
 }
@@ -78,12 +76,7 @@ fn bench_erasure(c: &mut Criterion) {
 fn bench_prime_codec(c: &mut Criterion) {
     let material = KeyMaterial::new([2u8; 32]);
     let signer = Signer::new(material.signing_key(NodeId(2000)), false);
-    let op = ClientOp::signed(
-        ClientId(0),
-        1,
-        bytes::Bytes::from(vec![0u8; 64]),
-        &signer,
-    );
+    let op = ClientOp::signed(ClientId(0), 1, bytes::Bytes::from(vec![0u8; 64]), &signer);
     let msg = PrimeMsg::PoRequest {
         origin: ReplicaId(0),
         po_seq: 1,
@@ -117,6 +110,64 @@ fn bench_scada_master(c: &mut Criterion) {
     });
 }
 
+fn bench_tracing(c: &mut Criterion) {
+    use spire_sim::{span_key, Histogram, SpanPhase, Time, TraceKind, Tracer};
+    let mut group = c.benchmark_group("tracing");
+    // The disabled path is the one on every message hot path; it must be
+    // branch-only (no allocation, no histogram work).
+    let mut disabled = Tracer::disabled();
+    group.bench_function("record_disabled", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            disabled.record(
+                Time(t),
+                std::hint::black_box(TraceKind::MsgSend {
+                    from: 1,
+                    to: 2,
+                    len: 64,
+                }),
+            )
+        })
+    });
+    let mut enabled = Tracer::disabled();
+    enabled.enable(65_536);
+    group.bench_function("record_enabled", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            enabled.record(
+                Time(t),
+                std::hint::black_box(TraceKind::MsgSend {
+                    from: 1,
+                    to: 2,
+                    len: 64,
+                }),
+            )
+        })
+    });
+    let mut span_tracer = Tracer::disabled();
+    span_tracer.enable(65_536);
+    group.bench_function("span_mark_confirm", |b| {
+        let mut cseq = 0u64;
+        b.iter(|| {
+            cseq += 1;
+            let key = span_key(7, cseq);
+            span_tracer.mark(Time(cseq), 1, key, SpanPhase::Submit);
+            span_tracer.mark(Time(cseq + 3), 2, key, SpanPhase::Confirm)
+        })
+    });
+    let mut hist = Histogram::default();
+    group.bench_function("histogram_observe", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            hist.observe(std::hint::black_box(v >> 40))
+        })
+    });
+    group.finish();
+}
+
 fn bench_topology(c: &mut Criterion) {
     let topology = Topology::full_mesh(24, 10);
     let mut group = c.benchmark_group("spines_routing");
@@ -136,6 +187,7 @@ criterion_group!(
     bench_erasure,
     bench_prime_codec,
     bench_scada_master,
+    bench_tracing,
     bench_topology
 );
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //!
 //! Usage: `config_planner [f] [k] [data_centers]` (defaults 1 1 2).
 
-use spire::{SpireConfig, required_replicas};
+use spire::{required_replicas, SpireConfig};
 
 fn main() {
     let args: Vec<u32> = std::env::args()

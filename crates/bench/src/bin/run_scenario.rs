@@ -1,6 +1,13 @@
 //! Operator tool: run one red-team scenario by index and print its report.
 //!
-//! Usage: `run_scenario [index]`; with no argument, lists the suite.
+//! Usage: `run_scenario [index] [--json[=PATH]] [--trace=PATH]`
+//!
+//! * no argument — lists the suite;
+//! * `--json` — serializes the full [`spire::Report`] (including the
+//!   per-phase latency breakdown) as JSON to stdout, or to `PATH` with
+//!   `--json=PATH`;
+//! * `--trace=PATH` — enables structured tracing and writes a Chrome
+//!   `trace_event` file loadable in `chrome://tracing` / Perfetto.
 
 use spire::attack::Scenario;
 use spire::deployment::{Deployment, DeploymentConfig};
@@ -9,34 +16,97 @@ use spire_sim::Span;
 
 fn main() {
     let suite = Scenario::red_team_suite();
-    let arg = std::env::args().nth(1).and_then(|a| a.parse::<usize>().ok());
-    let Some(index) = arg else {
+    let mut index: Option<usize> = None;
+    // `Some(None)` = JSON to stdout, `Some(Some(path))` = JSON to a file.
+    let mut json: Option<Option<String>> = None;
+    let mut trace_path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = Some(None);
+        } else if let Some(path) = arg.strip_prefix("--json=") {
+            if path.is_empty() {
+                eprintln!("--json= requires a path");
+                std::process::exit(2);
+            }
+            json = Some(Some(path.to_string()));
+        } else if let Some(path) = arg.strip_prefix("--trace=") {
+            if path.is_empty() {
+                eprintln!("--trace= requires a path");
+                std::process::exit(2);
+            }
+            trace_path = Some(path.to_string());
+        } else if let Ok(i) = arg.parse::<usize>() {
+            index = Some(i);
+        } else {
+            eprintln!("unknown argument: {arg}");
+            eprintln!("usage: run_scenario [index] [--json[=PATH]] [--trace=PATH]");
+            std::process::exit(2);
+        }
+    }
+    let Some(index) = index else {
         println!("red-team scenario suite:");
         for (i, s) in suite.iter().enumerate() {
-            println!("  {i}: {} ({} attacks, {})", s.name, s.attacks.len(), s.duration);
+            println!(
+                "  {i}: {} ({} attacks, {})",
+                s.name,
+                s.attacks.len(),
+                s.duration
+            );
         }
-        println!("\nrun one with: run_scenario <index>");
+        println!("\nrun one with: run_scenario <index> [--json[=PATH]] [--trace=PATH]");
         return;
     };
     let Some(scenario) = suite.get(index) else {
         eprintln!("no scenario {index} (suite has {})", suite.len());
         std::process::exit(1);
     };
-    println!("running scenario {index}: {}", scenario.name);
+    let quiet = matches!(json, Some(None));
+    if !quiet {
+        println!("running scenario {index}: {}", scenario.name);
+    }
     let mut cfg = DeploymentConfig::wide_area(9000 + index as u64);
     cfg.workload = WorkloadConfig {
         rtus: 6,
         update_interval: Span::millis(500),
         ..Default::default()
     };
+    if trace_path.is_some() {
+        cfg.trace = true;
+    }
     let mut system = Deployment::build(cfg);
     scenario.apply(&mut system);
     system.run_for(scenario.duration + Span::secs(5));
     let report = system.report();
-    println!("{}", report.one_line());
-    println!("silent seconds: {}", report.silent_seconds());
-    println!(
-        "commands: {} issued / {} actuated; recoveries {:?}",
-        report.commands_issued, report.commands_actuated, report.recoveries
-    );
+    if let Some(path) = &trace_path {
+        match system.export_chrome_trace(path) {
+            Ok(()) => {
+                if !quiet {
+                    println!("chrome trace written to {path}");
+                }
+            }
+            Err(e) => eprintln!("failed to write trace to {path}: {e}"),
+        }
+    }
+    match json {
+        Some(Some(path)) => {
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                eprintln!("failed to write report to {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("report written to {path}");
+        }
+        Some(None) => println!("{}", report.to_json()),
+        None => {
+            println!("{}", report.one_line());
+            println!("silent seconds: {}", report.silent_seconds());
+            println!(
+                "commands: {} issued / {} actuated; recoveries {:?}",
+                report.commands_issued, report.commands_actuated, report.recoveries
+            );
+            let table = report.phase_table();
+            if !table.is_empty() {
+                println!("\nper-phase latency breakdown:\n{table}");
+            }
+        }
+    }
 }

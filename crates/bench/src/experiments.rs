@@ -16,6 +16,31 @@ fn secs(s: u64) -> Time {
     Time(s * 1_000_000)
 }
 
+/// When the deployment ran with tracing on (`SPIRE_TRACE` set), prints
+/// the per-phase latency breakdown and writes the Chrome trace + JSONL
+/// event dumps to `spire-trace-<tag>.{json,jsonl}`.
+pub fn trace_hooks(system: &Deployment, report: &spire::Report, tag: &str) {
+    if !system.cfg.trace {
+        return;
+    }
+    let table = report.phase_table();
+    if !table.is_empty() {
+        println!("\nper-phase latency breakdown ({tag}):\n{table}");
+    }
+    let chrome = format!("spire-trace-{tag}.json");
+    match system.export_chrome_trace(&chrome) {
+        Ok(()) => {
+            println!("chrome trace -> {chrome} (load in chrome://tracing or ui.perfetto.dev)")
+        }
+        Err(e) => eprintln!("chrome trace export failed: {e}"),
+    }
+    let jsonl = format!("spire-trace-{tag}.jsonl");
+    match system.export_events_jsonl(&jsonl) {
+        Ok(()) => println!("flight-recorder events -> {jsonl}"),
+        Err(e) => eprintln!("event export failed: {e}"),
+    }
+}
+
 /// T1 — resource requirements: replicas needed for (f, k), with and
 /// without tolerance to one site disconnection, vs prior systems.
 pub fn t1_configurations() {
@@ -69,8 +94,14 @@ pub fn t2_longrun(duration_s: u64) -> Summary {
         "metric                         value",
     );
     println!("updates sent                   {}", report.updates_sent);
-    println!("updates confirmed              {}", report.updates_confirmed);
-    println!("delivery ratio                 {:.4}", report.delivery_ratio());
+    println!(
+        "updates confirmed              {}",
+        report.updates_confirmed
+    );
+    println!(
+        "delivery ratio                 {:.4}",
+        report.delivery_ratio()
+    );
     println!("mean latency                   {:.2} ms", summary.mean);
     println!("median latency                 {:.2} ms", summary.p50);
     println!("99th percentile                {:.2} ms", summary.p99);
@@ -80,14 +111,17 @@ pub fn t2_longrun(duration_s: u64) -> Summary {
         "within 100 ms SLA              {:.3} %",
         report.sla_fraction * 100.0
     );
-    println!("proactive recoveries           {} started / {} completed",
-        report.recoveries.0, report.recoveries.1);
+    println!(
+        "proactive recoveries           {} started / {} completed",
+        report.recoveries.0, report.recoveries.1
+    );
     println!("view changes                   {}", report.view_changes);
     println!("silent seconds                 {}", report.silent_seconds());
     println!(
         "safety                         {}",
         if report.safety_ok { "OK" } else { "VIOLATED" }
     );
+    trace_hooks(&system, &report, "t2");
     summary
 }
 
@@ -106,12 +140,12 @@ pub fn f1_latency_cdf(duration_s: u64) {
         };
         let mut system = Deployment::build(cfg);
         system.run_for(Span::secs(duration_s));
-        system.report().update_latencies_ms
+        let report = system.report();
+        trace_hooks(&system, &report, if lan { "f1-lan" } else { "f1-wan" });
+        report.update_latencies_ms
     };
-    let jobs: Vec<Box<dyn FnOnce() -> Vec<f64> + Send>> = vec![
-        Box::new(move || run(false)),
-        Box::new(move || run(true)),
-    ];
+    let jobs: Vec<Box<dyn FnOnce() -> Vec<f64> + Send>> =
+        vec![Box::new(move || run(false)), Box::new(move || run(true))];
     let mut results = parallel_runs(jobs);
     let lan = results.pop().unwrap();
     let wan = results.pop().unwrap();
@@ -149,6 +183,7 @@ pub fn f2_recovery_timeline(duration_s: u64, recovery_period_s: u64) {
     );
     system.run_for(Span::secs(duration_s));
     let report = system.report();
+    trace_hooks(&system, &report, "f2");
     header(
         &format!(
             "F2: timeline with a proactive recovery every {recovery_period_s} s (offered: 16 updates/s)"
@@ -156,7 +191,11 @@ pub fn f2_recovery_timeline(duration_s: u64, recovery_period_s: u64) {
         "  t(s) | updates confirmed | mean latency",
     );
     for (t, count, mean) in bucket_timeline(&report.update_timeline, 5, duration_s) {
-        let marker = if t > 0 && (t % recovery_period_s) < 5 { "  <- recovery" } else { "" };
+        let marker = if t > 0 && (t % recovery_period_s) < 5 {
+            "  <- recovery"
+        } else {
+            ""
+        };
         println!("  {t:>4} | {count:>17} | {mean:>9.1} ms{marker}");
     }
     println!(
@@ -188,6 +227,7 @@ pub fn f3_network_attack(duration_s: u64) {
         system.run_for(Span::secs(duration_s));
         let report = system.report();
         assert!(report.safety_ok, "safety violated under network attack");
+        trace_hooks(&system, &report, "f3");
         report.update_timeline
     };
     let baseline_timeline = {
@@ -249,6 +289,7 @@ pub fn f4_throughput(duration_s: u64) {
                 let mut system = Deployment::build(cfg);
                 system.run_for(Span::secs(duration_s));
                 let report = system.report();
+                trace_hooks(&system, &report, &format!("f4-{interval}ms"));
                 let mut baseline = BaselineDeployment::build(3000 + interval, workload, true);
                 baseline.run_for(Span::secs(duration_s));
                 let m = baseline.world.metrics();
@@ -313,6 +354,7 @@ pub fn f5_leader_attack(duration_s: u64) {
                     let mut system = Deployment::build(cfg);
                     system.run_for(Span::secs(duration_s));
                     let report = system.report();
+                    trace_hooks(&system, &report, &format!("f5-{mode:?}-{delay}ms"));
                     let p50 = if report.update_latencies_ms.is_empty() {
                         f64::NAN
                     } else {
@@ -375,8 +417,13 @@ pub fn f6_overlay_resilience(messages: u32) {
         fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
             if self.remaining > 0 {
                 self.remaining -= 1;
-                self.port
-                    .send(ctx, self.dst, self.mode, false, Bytes::from_static(&[0u8; 64]));
+                self.port.send(
+                    ctx,
+                    self.dst,
+                    self.mode,
+                    false,
+                    Bytes::from_static(&[0u8; 64]),
+                );
                 ctx.set_timer(Span::millis(20), 1);
             }
         }
@@ -401,6 +448,7 @@ pub fn f6_overlay_resilience(messages: u32) {
             Dissemination::DisjointPaths(3),
             Dissemination::Flood,
         ] {
+            let traced = std::env::var_os("SPIRE_TRACE").is_some();
             let mut world = World::new(1000 + failures as u64);
             let material = KeyMaterial::new([6u8; 32]);
             let keystore = Rc::new(KeyStore::for_nodes(&material, 64));
@@ -415,6 +463,13 @@ pub fn f6_overlay_resilience(messages: u32) {
                 |_, _| LinkConfig::wan(5),
                 |_| DaemonBehavior::Honest,
             );
+            if traced {
+                world.enable_tracing(16_384);
+                for node in topology.nodes() {
+                    let pid = net.daemon_pid(node);
+                    world.tracer_mut().mark_overlay(pid.0);
+                }
+            }
             let rx_port = SpinesPort::new(
                 net.daemon_pid(OverlayId(6)),
                 OverlayAddr {
@@ -455,6 +510,16 @@ pub fn f6_overlay_resilience(messages: u32) {
             }
             world.run_for(Span::secs(60));
             let delivered = world.metrics().counter("f6.rx");
+            if traced && failures == 0 {
+                if let Some(h) = world.metrics().histogram("overlay.hop_us") {
+                    println!(
+                        "  [trace] {mode:?}: {} overlay hops, mean {:.0} us, p99 {:.0} us",
+                        h.count(),
+                        h.mean(),
+                        h.percentile(99.0)
+                    );
+                }
+            }
             ratios.push(delivered as f64 / messages as f64);
         }
         println!(
@@ -641,9 +706,7 @@ pub fn a2_dual_homing(duration_s: u64) {
         let during: usize = report
             .update_timeline
             .iter()
-            .filter(|(t, _)| {
-                t.0 > (cut_from + 5) * 1_000_000 && t.0 < cut_until * 1_000_000
-            })
+            .filter(|(t, _)| t.0 > (cut_from + 5) * 1_000_000 && t.0 < cut_until * 1_000_000)
             .count();
         println!(
             "  {:>6} | {:>23} | {:>16.1}%",

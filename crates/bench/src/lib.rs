@@ -65,10 +65,7 @@ pub fn bucket_timeline(
 /// (Each closure builds and runs its own simulation world.)
 pub fn parallel_runs<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
     std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .into_iter()
-            .map(|job| scope.spawn(job))
-            .collect();
+        let handles: Vec<_> = jobs.into_iter().map(|job| scope.spawn(job)).collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("experiment thread panicked"))

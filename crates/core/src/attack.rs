@@ -63,7 +63,9 @@ impl Attack {
             }
             Attack::KillReplica { id, at } => {
                 let pid = deployment.replica_pids[*id as usize];
-                deployment.world.schedule_control(*at, move |w| w.crash(pid));
+                deployment
+                    .world
+                    .schedule_control(*at, move |w| w.crash(pid));
             }
             Attack::DosSite {
                 site,

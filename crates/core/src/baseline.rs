@@ -192,10 +192,7 @@ impl BaselineDeployment {
         let master = SingleMaster::new(
             ScadaMaster::new(directory.clone()),
             Rc::clone(&keystore),
-            Signer::new(
-                material.signing_key(NodeId(key_base::REPLICA)),
-                mock_sigs,
-            ),
+            Signer::new(material.signing_key(NodeId(key_base::REPLICA)), mock_sigs),
             SpinesPort::new(external.daemon_pid(OverlayId(0)), master_addr),
             client_addrs.clone(),
         );

@@ -98,6 +98,10 @@ pub struct DeploymentConfig {
     /// Disable for the single-homing ablation: a disconnected primary CC
     /// then cuts all field traffic.
     pub dual_homed_substations: bool,
+    /// Enable the structured tracing subsystem (flight recorder + causal
+    /// spans). Defaults to the `SPIRE_TRACE` environment variable so any
+    /// scenario binary can be traced without a code change.
+    pub trace: bool,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -114,6 +118,7 @@ impl DeploymentConfig {
             mock_sigs: true,
             byz: BTreeMap::new(),
             dual_homed_substations: true,
+            trace: std::env::var_os("SPIRE_TRACE").is_some(),
             seed,
         }
     }
@@ -143,8 +148,7 @@ impl ReplicaBuilder {
     /// Builds replica `id` with the given behaviour and recovery flag.
     pub fn build(&self, id: u32, behavior: ByzBehavior, recovering: bool) -> Replica {
         let signer = Signer::new(
-            self.material
-                .signing_key(NodeId(key_base::REPLICA + id)),
+            self.material.signing_key(NodeId(key_base::REPLICA + id)),
             self.mock_sigs,
         );
         Replica::new(
@@ -273,7 +277,6 @@ impl Deployment {
         let external_wan = {
             let sites = sites.clone();
             let wan = cfg.wan;
-            let n_sites = n_sites;
             move |a: OverlayId, b: OverlayId| {
                 let lat = |id: OverlayId| -> Option<SiteKind> {
                     if id.0 < n_sites {
@@ -299,6 +302,20 @@ impl Deployment {
             &external_wan,
             |_| DaemonBehavior::Honest,
         );
+
+        if cfg.trace {
+            world.enable_tracing(65_536);
+            // Overlay daemons are marked so the simulator can attribute
+            // per-hop forwarding latency to the Spines path.
+            for node in internal_topology.nodes() {
+                let pid = internal.daemon_pid(node);
+                world.tracer_mut().mark_overlay(pid.0);
+            }
+            for node in external_topology.nodes() {
+                let pid = external.daemon_pid(node);
+                world.tracer_mut().mark_overlay(pid.0);
+            }
+        }
 
         // ---------- directory & addressing ----------
         let mut directory = ScadaDirectory::default();
@@ -487,6 +504,18 @@ impl Deployment {
     /// Builds the evaluation report from collected metrics.
     pub fn report(&self) -> Report {
         Report::from_deployment(self)
+    }
+
+    /// Writes the run's trace as a Chrome `trace_event` JSON array
+    /// (load it in `chrome://tracing` or <https://ui.perfetto.dev>).
+    pub fn export_chrome_trace(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.world.chrome_trace())
+    }
+
+    /// Writes the flight-recorder events as JSON Lines (one event per
+    /// line), suitable for `jq`-style post-processing.
+    pub fn export_events_jsonl(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.world.events_jsonl())
     }
 
     /// Replica ids that are honest under the built configuration.

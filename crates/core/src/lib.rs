@@ -46,4 +46,4 @@ pub use attack::{Attack, Scenario};
 pub use baseline::BaselineDeployment;
 pub use config::{required_replicas, SiteKind, SpireConfig};
 pub use deployment::{Deployment, DeploymentConfig, WanModel};
-pub use report::{Report, SLA_MS};
+pub use report::{PhaseStat, Report, SLA_MS};

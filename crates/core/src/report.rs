@@ -8,6 +8,40 @@ use spire_sim::Time;
 /// The grid operators' latency requirement used throughout the paper.
 pub const SLA_MS: f64 = 100.0;
 
+/// Span-phase histograms to surface in the per-phase latency breakdown,
+/// as `(metric name, display label)`. The `span.*` histograms are fed by
+/// the tracer when a causal span completes; `overlay.hop_us` is fed per
+/// Spines hop. All record microseconds.
+const PHASE_METRICS: [(&str, &str); 7] = [
+    ("span.overlay_in_us", "submit -> replica recv"),
+    ("span.preorder_us", "recv -> preordered"),
+    ("span.order_us", "preordered -> ordered"),
+    ("span.execute_us", "ordered -> executed"),
+    ("span.confirm_us", "executed -> f+1 confirm"),
+    ("span.total_us", "submit -> confirm (total)"),
+    ("overlay.hop_us", "spines per-hop forward"),
+];
+
+/// Latency statistics for one protocol phase (from a log-bucketed
+/// histogram; values converted from recorded microseconds).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseStat {
+    /// Human-readable phase label.
+    pub phase: String,
+    /// Histogram metric the stats came from.
+    pub metric: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Mean, milliseconds.
+    pub mean_ms: f64,
+    /// Median, milliseconds.
+    pub p50_ms: f64,
+    /// 99th percentile, milliseconds.
+    pub p99_ms: f64,
+    /// Maximum, milliseconds.
+    pub max_ms: f64,
+}
+
 /// Metrics extracted from a run.
 #[derive(Clone, Debug)]
 pub struct Report {
@@ -37,6 +71,9 @@ pub struct Report {
     pub safety_ok: bool,
     /// Updates confirmed per second (for availability timelines).
     pub throughput_timeline: Vec<(u64, u64)>,
+    /// Per-phase latency breakdown from the tracing spans (empty unless
+    /// the deployment ran with tracing enabled).
+    pub phase_breakdown: Vec<PhaseStat>,
 }
 
 impl Report {
@@ -50,6 +87,30 @@ impl Report {
             .inspection
             .check_safety(&deployment.correct_replicas())
             .is_ok();
+        if !safety_ok && deployment.world.tracer().enabled() {
+            eprintln!(
+                "safety check FAILED — flight recorder tail:\n{}",
+                deployment.world.trace_dump_tail(200)
+            );
+        }
+        let mut phase_breakdown = Vec::new();
+        for (name, label) in PHASE_METRICS {
+            let Some(h) = metrics.histogram(name) else {
+                continue;
+            };
+            if h.count() == 0 {
+                continue;
+            }
+            phase_breakdown.push(PhaseStat {
+                phase: label.to_string(),
+                metric: name.to_string(),
+                count: h.count(),
+                mean_ms: h.mean() / 1000.0,
+                p50_ms: h.percentile(50.0) / 1000.0,
+                p99_ms: h.percentile(99.0) / 1000.0,
+                max_ms: h.max() as f64 / 1000.0,
+            });
+        }
         let mut throughput: std::collections::BTreeMap<u64, u64> = Default::default();
         for (t, _) in series {
             *throughput.entry(t.0 / 1_000_000).or_insert(0) += 1;
@@ -69,6 +130,7 @@ impl Report {
             ),
             safety_ok,
             throughput_timeline: throughput.into_iter().collect(),
+            phase_breakdown,
             update_latencies_ms,
             update_timeline,
         }
@@ -93,6 +155,96 @@ impl Report {
         let covered: std::collections::BTreeSet<u64> =
             self.throughput_timeline.iter().map(|(s, _)| *s).collect();
         (first..=last).filter(|s| !covered.contains(s)).count() as u64
+    }
+
+    /// Renders the per-phase latency breakdown as an aligned text table
+    /// (empty string when the run was not traced).
+    pub fn phase_table(&self) -> String {
+        if self.phase_breakdown.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<26} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
+            "phase", "count", "mean_ms", "p50_ms", "p99_ms", "max_ms"
+        ));
+        for p in &self.phase_breakdown {
+            out.push_str(&format!(
+                "{:<26} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>9.3}\n",
+                p.phase, p.count, p.mean_ms, p.p50_ms, p.p99_ms, p.max_ms
+            ));
+        }
+        out
+    }
+
+    /// Serializes the full report as a JSON object (hand-rolled; the
+    /// repo carries no JSON dependency). Non-finite floats become `null`.
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let summary = match &self.update_summary {
+            Some(s) => format!(
+                "{{\"count\":{},\"mean\":{},\"min\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{}}}",
+                s.count,
+                num(s.mean),
+                num(s.min),
+                num(s.p50),
+                num(s.p90),
+                num(s.p99),
+                num(s.p999),
+                num(s.max),
+            ),
+            None => "null".to_string(),
+        };
+        let phases: Vec<String> = self
+            .phase_breakdown
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"phase\":{:?},\"metric\":{:?},\"count\":{},\"mean_ms\":{},\"p50_ms\":{},\"p99_ms\":{},\"max_ms\":{}}}",
+                    p.phase,
+                    p.metric,
+                    p.count,
+                    num(p.mean_ms),
+                    num(p.p50_ms),
+                    num(p.p99_ms),
+                    num(p.max_ms),
+                )
+            })
+            .collect();
+        let throughput: Vec<String> = self
+            .throughput_timeline
+            .iter()
+            .map(|(s, n)| format!("[{s},{n}]"))
+            .collect();
+        format!(
+            "{{\"updates_sent\":{},\"updates_confirmed\":{},\"delivery_ratio\":{},\
+             \"sla_fraction\":{},\"sla_ms\":{},\"update_summary\":{},\
+             \"commands_issued\":{},\"commands_actuated\":{},\
+             \"view_changes\":{},\"recoveries_started\":{},\"recoveries_completed\":{},\
+             \"safety_ok\":{},\"silent_seconds\":{},\
+             \"phase_breakdown\":[{}],\"throughput_timeline\":[{}]}}",
+            self.updates_sent,
+            self.updates_confirmed,
+            num(self.delivery_ratio()),
+            num(self.sla_fraction),
+            num(SLA_MS),
+            summary,
+            self.commands_issued,
+            self.commands_actuated,
+            self.view_changes,
+            self.recoveries.0,
+            self.recoveries.1,
+            self.safety_ok,
+            self.silent_seconds(),
+            phases.join(","),
+            throughput.join(","),
+        )
     }
 
     /// One-line human-readable summary.
@@ -134,6 +286,7 @@ mod tests {
             recoveries: (0, 0),
             safety_ok: true,
             throughput_timeline: timeline,
+            phase_breakdown: vec![],
         }
     }
 
@@ -160,5 +313,31 @@ mod tests {
     fn one_line_mentions_safety() {
         let r = report_with(vec![], 0, 0);
         assert_eq!(r.one_line(), "no updates confirmed");
+    }
+
+    #[test]
+    fn phase_table_empty_without_tracing() {
+        assert!(report_with(vec![], 0, 0).phase_table().is_empty());
+    }
+
+    #[test]
+    fn to_json_carries_counts_and_phases() {
+        let mut r = report_with(vec![(0, 2), (1, 3)], 4, 3);
+        r.phase_breakdown.push(PhaseStat {
+            phase: "submit -> confirm (total)".to_string(),
+            metric: "span.total_us".to_string(),
+            count: 7,
+            mean_ms: 12.5,
+            p50_ms: 11.0,
+            p99_ms: 40.0,
+            max_ms: 55.0,
+        });
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"updates_sent\":4"));
+        assert!(json.contains("\"updates_confirmed\":3"));
+        assert!(json.contains("\"metric\":\"span.total_us\""));
+        assert!(json.contains("\"throughput_timeline\":[[0,2],[1,3]]"));
+        assert!(!r.phase_table().is_empty());
     }
 }

@@ -94,7 +94,11 @@ fn proactive_recovery_cycle_keeps_service_up() {
     system.run_for(Span::secs(45));
     let report = system.report();
     assert!(report.safety_ok);
-    assert!(report.recoveries.0 >= 6, "recoveries {:?}", report.recoveries);
+    assert!(
+        report.recoveries.0 >= 6,
+        "recoveries {:?}",
+        report.recoveries
+    );
     assert!(
         report.recoveries.1 >= 6,
         "completions {:?}",

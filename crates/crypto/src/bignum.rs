@@ -303,6 +303,7 @@ impl Montgomery {
     }
 
     /// Montgomery product: `a * b * R^{-1} mod n` (CIOS).
+    #[allow(clippy::needless_range_loop)] // limb indices mirror the CIOS paper
     fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
         let s = self.limbs;
         let mut t = vec![0u64; s + 2];
@@ -368,6 +369,7 @@ impl Montgomery {
         self.mont_mul(&limbs, &r2)
     }
 
+    #[allow(clippy::wrong_self_convention)] // converts `a`, not `self`
     fn from_mont(&self, a: &[u64]) -> Ubig {
         let mut one = vec![0u64; self.limbs];
         one[0] = 1;

@@ -139,8 +139,8 @@ impl Fe {
     /// Field addition.
     pub fn add(self, other: Fe) -> Fe {
         let mut l = [0u64; 5];
-        for i in 0..5 {
-            l[i] = self.0[i] + other.0[i];
+        for (o, (a, b)) in l.iter_mut().zip(self.0.into_iter().zip(other.0)) {
+            *o = a + b;
         }
         Fe(l).carry()
     }
@@ -173,17 +173,13 @@ impl Fe {
         let a = self.0;
         let b = other.0;
         let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
-        let r0 = m(a[0], b[0])
-            + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
-        let r1 = m(a[0], b[1])
-            + m(a[1], b[0])
-            + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
-        let r2 = m(a[0], b[2])
-            + m(a[1], b[1])
-            + m(a[2], b[0])
-            + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
-        let r3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0])
-            + 19 * m(a[4], b[4]);
+        let r0 =
+            m(a[0], b[0]) + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
+        let r1 =
+            m(a[0], b[1]) + m(a[1], b[0]) + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
+        let r2 =
+            m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
+        let r3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + 19 * m(a[4], b[4]);
         let r4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
         Fe::carry_wide([r0, r1, r2, r3, r4])
     }

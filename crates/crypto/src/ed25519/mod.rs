@@ -182,11 +182,10 @@ mod tests {
     #[test]
     fn rfc8032_test_vector_1() {
         // RFC 8032 §7.1 TEST 1: empty message.
-        let seed: [u8; 32] = from_hex(
-            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
-        )
-        .try_into()
-        .unwrap();
+        let seed: [u8; 32] =
+            from_hex("9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60")
+                .try_into()
+                .unwrap();
         let key = SigningKey::from_seed(&seed);
         assert_eq!(
             key.verifying_key().to_bytes().to_vec(),
@@ -267,7 +266,9 @@ mod tests {
         for i in 0..4 {
             bytes[32 + i * 8..32 + i * 8 + 8].copy_from_slice(&s_words[i].to_le_bytes());
         }
-        assert!(!key.verifying_key().verify(b"m", &Signature::from_bytes(bytes)));
+        assert!(!key
+            .verifying_key()
+            .verify(b"m", &Signature::from_bytes(bytes)));
     }
 
     #[test]

@@ -173,8 +173,7 @@ impl Point {
 impl PartialEq for Point {
     fn eq(&self, other: &Self) -> bool {
         // (X1/Z1 == X2/Z2) and (Y1/Z1 == Y2/Z2), cross-multiplied.
-        self.x.mul(other.z) == other.x.mul(self.z)
-            && self.y.mul(other.z) == other.y.mul(self.z)
+        self.x.mul(other.z) == other.x.mul(self.z) && self.y.mul(other.z) == other.y.mul(self.z)
     }
 }
 

@@ -140,12 +140,13 @@ impl Scalar {
     }
 
     /// Modular addition.
+    #[allow(clippy::should_implement_trait)] // by-value helper, not `ops::Add`
     pub fn add(self, other: Scalar) -> Scalar {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
+        for (i, o) in out.iter_mut().enumerate() {
             let v = (self.0[i] as u128) + (other.0[i] as u128) + (carry as u128);
-            out[i] = v as u64;
+            *o = v as u64;
             carry = (v >> 64) as u64;
         }
         // l < 2^253 and both inputs < l, so the sum fits in 254 bits: no
@@ -158,14 +159,13 @@ impl Scalar {
     }
 
     /// Modular multiplication.
+    #[allow(clippy::should_implement_trait)] // by-value helper, not `ops::Mul`
     pub fn mul(self, other: Scalar) -> Scalar {
         let mut wide = [0u64; 8];
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let v = (self.0[i] as u128) * (other.0[j] as u128)
-                    + (wide[i + j] as u128)
-                    + carry;
+                let v = (self.0[i] as u128) * (other.0[j] as u128) + (wide[i + j] as u128) + carry;
                 wide[i + j] = v as u64;
                 carry = v >> 64;
             }

@@ -201,7 +201,10 @@ mod tests {
             m1.signing_key(NodeId(3)).verifying_key(),
             m2.signing_key(NodeId(3)).verifying_key()
         );
-        assert_eq!(m1.link_key(NodeId(1), NodeId(2)), m2.link_key(NodeId(1), NodeId(2)));
+        assert_eq!(
+            m1.link_key(NodeId(1), NodeId(2)),
+            m2.link_key(NodeId(1), NodeId(2))
+        );
     }
 
     #[test]
@@ -225,8 +228,14 @@ mod tests {
     #[test]
     fn link_key_is_symmetric() {
         let m = KeyMaterial::new([4u8; 32]);
-        assert_eq!(m.link_key(NodeId(5), NodeId(9)), m.link_key(NodeId(9), NodeId(5)));
-        assert_ne!(m.link_key(NodeId(5), NodeId(9)), m.link_key(NodeId(5), NodeId(8)));
+        assert_eq!(
+            m.link_key(NodeId(5), NodeId(9)),
+            m.link_key(NodeId(9), NodeId(5))
+        );
+        assert_ne!(
+            m.link_key(NodeId(5), NodeId(9)),
+            m.link_key(NodeId(5), NodeId(8))
+        );
     }
 
     #[test]

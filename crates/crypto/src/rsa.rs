@@ -14,8 +14,8 @@ use rand::Rng;
 
 /// `DigestInfo` DER prefix for SHA-256 (RFC 8017 §9.2 note 1).
 const SHA256_DER_PREFIX: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// Small primes for trial division before Miller–Rabin.

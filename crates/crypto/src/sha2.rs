@@ -14,7 +14,7 @@ fn first_primes(n: usize) -> Vec<u64> {
     let mut primes = Vec::with_capacity(n);
     let mut candidate: u64 = 2;
     while primes.len() < n {
-        if primes.iter().all(|p| candidate % p != 0) {
+        if primes.iter().all(|p| !candidate.is_multiple_of(*p)) {
             primes.push(candidate);
         }
         candidate += 1;
@@ -59,8 +59,9 @@ impl U256 {
 /// `floor(sqrt(p) * 2^64)`: binary search for the largest `x` with
 /// `x^2 <= p << 128`.
 fn sqrt_frac_bits(p: u64) -> u128 {
+    // p * 2^128 => hi = p, lo = 0
     let target = U256 {
-        hi: (p as u128) << (128 - 128 + 0), // p * 2^128 => hi = p, lo = 0
+        hi: p as u128,
         lo: 0,
     };
     let (mut lo, mut hi) = (0u128, 1u128 << 70);
@@ -462,7 +463,10 @@ fn hex(bytes: &[u8]) -> String {
 /// Panics if the string has odd length or contains non-hex characters; it is
 /// intended for test vectors and fixed constants.
 pub fn from_hex(s: &str) -> Vec<u8> {
-    assert!(s.len() % 2 == 0, "hex string must have even length");
+    assert!(
+        s.len().is_multiple_of(2),
+        "hex string must have even length"
+    );
     (0..s.len() / 2)
         .map(|i| u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).expect("invalid hex"))
         .collect()

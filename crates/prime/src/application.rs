@@ -47,6 +47,12 @@ pub trait Application {
     /// and any outbound notifications.
     fn execute(&mut self, op: &[u8]) -> ExecResult;
 
+    /// Classifies an operation for tracing (e.g. `"scada.command"`). Only
+    /// called when tracing is enabled; `None` leaves the op unlabelled.
+    fn classify(&self, _op: &[u8]) -> Option<&'static str> {
+        None
+    }
+
     /// Serializes the full state.
     fn snapshot(&self) -> Vec<u8>;
 
@@ -92,19 +98,10 @@ impl Application for CounterApp {
 /// An order-sensitive register application: ops are appended to a hash
 /// chain, so any divergence in execution order changes the digest. Useful
 /// for safety tests.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct HashChainApp {
     head: Digest,
     len: u64,
-}
-
-impl Default for HashChainApp {
-    fn default() -> Self {
-        HashChainApp {
-            head: [0; 32],
-            len: 0,
-        }
-    }
 }
 
 impl HashChainApp {

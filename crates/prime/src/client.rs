@@ -144,12 +144,10 @@ impl Process for TestClient {
     fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, bytes: &Bytes) {
         let payload = match &self.routing {
             ClientRouting::Direct(_) => bytes.clone(),
-            ClientRouting::Spines { .. } => {
-                match spire_spines::SpinesPort::decode_deliver(bytes) {
-                    Some((_, payload)) => payload,
-                    None => return,
-                }
-            }
+            ClientRouting::Spines { .. } => match spire_spines::SpinesPort::decode_deliver(bytes) {
+                Some((_, payload)) => payload,
+                None => return,
+            },
         };
         let Ok(msg) = PrimeMsg::decode(&payload) else {
             return;
@@ -169,11 +167,9 @@ impl Process for TestClient {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
-        if tag == TIMER_SEND {
-            if self.count == 0 || self.next_cseq < self.count {
-                self.send_op(ctx);
-                ctx.set_timer(self.interval, TIMER_SEND);
-            }
+        if tag == TIMER_SEND && (self.count == 0 || self.next_cseq < self.count) {
+            self.send_op(ctx);
+            ctx.set_timer(self.interval, TIMER_SEND);
         }
     }
 }

@@ -126,7 +126,7 @@ impl PrimeConfig {
 
     /// Validates the resilience inequality `n >= 3f + 2k + 1`.
     pub fn is_valid(&self) -> bool {
-        self.n >= 3 * self.f + 2 * self.k + 1 && self.n > 0
+        self.n > 3 * self.f + 2 * self.k && self.n > 0
     }
 }
 

@@ -283,7 +283,10 @@ mod tests {
             exec(&mut app, KvOp::Get { key: "a".into() }),
             KvReply::Value(Some("1".into()))
         );
-        assert_eq!(exec(&mut app, KvOp::Delete { key: "a".into() }), KvReply::Ok);
+        assert_eq!(
+            exec(&mut app, KvOp::Delete { key: "a".into() }),
+            KvReply::Ok
+        );
         assert_eq!(
             exec(&mut app, KvOp::Get { key: "a".into() }),
             KvReply::Value(None)
@@ -401,9 +404,27 @@ mod tests {
         // strict.
         let mut a = KvApp::new();
         let mut b = KvApp::new();
-        exec(&mut a, KvOp::Put { key: "k".into(), value: "v".into() });
-        exec(&mut b, KvOp::Put { key: "k".into(), value: "v".into() });
-        exec(&mut b, KvOp::Put { key: "k".into(), value: "v".into() });
+        exec(
+            &mut a,
+            KvOp::Put {
+                key: "k".into(),
+                value: "v".into(),
+            },
+        );
+        exec(
+            &mut b,
+            KvOp::Put {
+                key: "k".into(),
+                value: "v".into(),
+            },
+        );
+        exec(
+            &mut b,
+            KvOp::Put {
+                key: "k".into(),
+                value: "v".into(),
+            },
+        );
         assert_ne!(a.digest(), b.digest());
     }
 }

@@ -267,7 +267,10 @@ impl CheckpointMsg {
     }
 
     fn write(&self, w: &mut WireWriter) {
-        w.u32(self.replica.0).u64(self.seq).raw(&self.digest).raw(&self.sig);
+        w.u32(self.replica.0)
+            .u64(self.seq)
+            .raw(&self.digest)
+            .raw(&self.sig);
     }
 
     fn read(r: &mut WireReader<'_>) -> Result<CheckpointMsg, WireError> {
@@ -332,7 +335,9 @@ impl ViewStateMsg {
     }
 
     fn write(&self, w: &mut WireWriter) {
-        w.u32(self.replica.0).u64(self.view).u64(self.last_committed);
+        w.u32(self.replica.0)
+            .u64(self.view)
+            .u64(self.last_committed);
         match &self.prepared {
             Some(claim) => {
                 w.u8(1).u64(claim.view).u64(claim.seq);
@@ -752,7 +757,9 @@ impl PrimeMsg {
                 for p in proof {
                     p.write(&mut w);
                 }
-                w.u64(*view).u64(*requester_po_high).u64(*requester_sseq_high);
+                w.u64(*view)
+                    .u64(*requester_po_high)
+                    .u64(*requester_sseq_high);
             }
             PrimeMsg::SuffixVote {
                 replica,

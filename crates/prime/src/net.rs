@@ -109,9 +109,6 @@ mod tests {
     fn direct_net_unwrap_is_identity() {
         let net = DirectNet::default();
         let payload = Bytes::from_static(b"abc");
-        assert_eq!(
-            net.unwrap(ProcessId(0), &payload),
-            Some(payload.clone())
-        );
+        assert_eq!(net.unwrap(ProcessId(0), &payload), Some(payload.clone()));
     }
 }

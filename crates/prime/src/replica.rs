@@ -35,15 +35,15 @@
 use crate::application::Application;
 use crate::behavior::ByzBehavior;
 use crate::config::{PrimeConfig, ProtocolMode, ReplicaId};
+use crate::inspect::Inspection;
 use crate::msg::{
     AruVector, CheckpointMsg, ClientOp, Matrix, PreparedClaim, PrimeMsg, SummaryRow, ViewStateMsg,
 };
-use crate::inspect::Inspection;
 use crate::net::ReplicaNet;
 use bytes::Bytes;
 use spire_crypto::keys::Signer;
 use spire_crypto::{Digest, KeyStore, NodeId};
-use spire_sim::{Context, Process, ProcessId, Span, Time};
+use spire_sim::{span_key, Context, Process, ProcessId, Span, SpanPhase, Time, TraceKind};
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
@@ -57,6 +57,63 @@ const TIMER_STATE_REQ: u64 = 7;
 
 /// How far ahead of the committed prefix the leader may propose.
 const PROPOSAL_WINDOW: u64 = 8;
+
+/// Every metric name a replica emits. Keys are prefixed with the instance
+/// label once, at construction, because several fire per message delivery —
+/// a `format!` there dominated the metrics path.
+const METRIC_NAMES: [&str; 31] = [
+    "bad_client_sig",
+    "bad_po_sig",
+    "bad_op_in_batch",
+    "bad_ack_sig",
+    "summaries_sent",
+    "bad_summary_sig",
+    "propose_window_stall",
+    "bad_matrix_row",
+    "dup_matrix_row",
+    "equivocation_detected",
+    "bad_prepare_sig",
+    "bad_commit_sig",
+    "committed",
+    "recon_requested",
+    "matrices_executed",
+    "ops_executed",
+    "bad_ckpt_sig",
+    "checkpoints_stable",
+    "bad_state_req_sig",
+    "bad_state_proof",
+    "state_reconstruct_pending",
+    "bad_state_snapshot",
+    "recovery_completed",
+    "recovery_from_genesis",
+    "tat_ms",
+    "suspects_sent",
+    "bad_new_view",
+    "view_changes",
+    "views_installed",
+    "decode_fail",
+    "bad_preprepare_sig",
+];
+
+/// Label-prefixed metric keys, computed once per replica.
+struct MetricNames {
+    prefixed: BTreeMap<&'static str, String>,
+}
+
+impl MetricNames {
+    fn new(label: &str) -> MetricNames {
+        MetricNames {
+            prefixed: METRIC_NAMES
+                .iter()
+                .map(|name| (*name, format!("{label}.{name}")))
+                .collect(),
+        }
+    }
+
+    fn get(&self, name: &'static str) -> &str {
+        self.prefixed.get(name).map(String::as_str).unwrap_or(name)
+    }
+}
 
 /// Exactly-once tracking of a client's operation sequence numbers that
 /// tolerates out-of-order arrival/execution: a contiguous floor plus the
@@ -111,6 +168,12 @@ struct OrderingSlot {
     committed: bool,
 }
 
+/// Per-snapshot state-transfer accumulator: share index -> share bytes,
+/// plus the erasure `k` parameter, the validated checkpoint proof and the
+/// po-high hint.
+type StateShares = (u8, BTreeMap<u8, Vec<u8>>, Vec<CheckpointMsg>, (u64, u64));
+
+#[derive(Default)]
 struct PoEntry {
     /// Ops by digest actually held (origin equivocation can give us content
     /// that never certifies; we only execute certified content).
@@ -127,17 +190,6 @@ struct PoEntry {
     acked: Option<Digest>,
 }
 
-impl Default for PoEntry {
-    fn default() -> Self {
-        PoEntry {
-            content: None,
-            acks: BTreeMap::new(),
-            certified: None,
-            acked: None,
-        }
-    }
-}
-
 /// The Prime replica process.
 pub struct Replica {
     cfg: PrimeConfig,
@@ -149,6 +201,8 @@ pub struct Replica {
     app: Box<dyn Application>,
     /// Metric-name prefix, so several Prime instances can coexist.
     label: String,
+    /// Prefixed metric keys derived from `label`.
+    metric_names: MetricNames,
 
     // ---- pre-ordering ----
     pending_ops: Vec<ClientOp>,
@@ -208,10 +262,8 @@ pub struct Replica {
     recovering: bool,
     suffix_votes: BTreeMap<(u64, Digest), (Matrix, BTreeSet<u32>)>,
     /// Erasure shares collected during state transfer, keyed by the proven
-    /// (checkpoint_seq, snapshot digest): share index -> share bytes, plus
-    /// the k parameter, the validated proof and the po-high hint.
-    state_shares:
-        BTreeMap<(u64, Digest), (u8, BTreeMap<u8, Vec<u8>>, Vec<CheckpointMsg>, (u64, u64))>,
+    /// (checkpoint_seq, snapshot digest).
+    state_shares: BTreeMap<(u64, Digest), StateShares>,
 
     // ---- reconciliation ----
     missing: BTreeSet<(u32, u64)>,
@@ -256,6 +308,7 @@ impl Replica {
             net,
             app,
             label: "prime".to_string(),
+            metric_names: MetricNames::new("prime"),
             pending_ops: Vec::new(),
             seen_ops: BTreeMap::new(),
             my_po_seq: 0,
@@ -313,6 +366,7 @@ impl Replica {
     /// Overrides the metric label (default `"prime"`).
     pub fn with_label(mut self, label: &str) -> Replica {
         self.label = label.to_string();
+        self.metric_names = MetricNames::new(label);
         self
     }
 
@@ -332,8 +386,8 @@ impl Replica {
         self.cfg.leader_of(self.view) == self.me
     }
 
-    fn metric(&self, name: &str) -> String {
-        format!("{}.{}", self.label, name)
+    fn metric(&self, name: &'static str) -> &str {
+        self.metric_names.get(name)
     }
 
     fn broadcast(&mut self, ctx: &mut Context<'_>, msg: &PrimeMsg) {
@@ -356,13 +410,14 @@ impl Replica {
 
     fn on_client_op(&mut self, ctx: &mut Context<'_>, op: ClientOp) {
         if !op.verify(&self.keystore, self.cfg.client_key_base, self.mock()) {
-            ctx.count(&self.metric("bad_client_sig"), 1);
+            ctx.count(self.metric("bad_client_sig"), 1);
             return;
         }
         let seen = self.seen_ops.entry(op.client.0).or_default();
         if !seen.try_mark(op.cseq) {
             return; // duplicate submission
         }
+        ctx.span_mark(span_key(op.client.0, op.cseq), SpanPhase::Recv);
         self.pending_ops.push(op);
         if self.pending_ops.len() >= self.cfg.po_batch {
             self.flush_po_batch(ctx);
@@ -431,7 +486,7 @@ impl Replica {
             return;
         }
         if !msg.verify_sig(&self.keystore, self.replica_node(origin), self.mock()) {
-            ctx.count(&self.metric("bad_po_sig"), 1);
+            ctx.count(self.metric("bad_po_sig"), 1);
             return;
         }
         let mock = self.mock();
@@ -439,7 +494,7 @@ impl Replica {
             .iter()
             .all(|op| op.verify(&self.keystore, self.cfg.client_key_base, mock));
         if !ops_ok {
-            ctx.count(&self.metric("bad_op_in_batch"), 1);
+            ctx.count(self.metric("bad_op_in_batch"), 1);
             return;
         }
         let digest = spire_crypto::digest(&msg.signing_bytes());
@@ -493,7 +548,7 @@ impl Replica {
             return;
         }
         if !msg.verify_sig(&self.keystore, self.replica_node(replica), self.mock()) {
-            ctx.count(&self.metric("bad_ack_sig"), 1);
+            ctx.count(self.metric("bad_ack_sig"), 1);
             return;
         }
         if replica == origin {
@@ -526,6 +581,15 @@ impl Replica {
             entry.certified = winner;
             if winner.is_some() {
                 ctx.count("prime_certified", 1);
+                if ctx.tracing_enabled() {
+                    if let Some((digest, ops, _)) = &entry.content {
+                        if Some(*digest) == winner {
+                            for op in ops {
+                                ctx.span_mark(span_key(op.client.0, op.cseq), SpanPhase::Preorder);
+                            }
+                        }
+                    }
+                }
             }
         }
         if entry.certified.is_some() {
@@ -558,7 +622,7 @@ impl Replica {
             return;
         }
         self.my_sseq += 1;
-        ctx.count(&self.metric("summaries_sent"), 1);
+        ctx.count(self.metric("summaries_sent"), 1);
         let row = SummaryRow::signed(self.me, self.my_sseq, vector.clone(), &self.signer);
         self.last_summary_vector = vector;
         self.latest_rows.insert(self.me.0, row.clone());
@@ -574,7 +638,7 @@ impl Replica {
             return;
         }
         if !row.verify(&self.keystore, self.cfg.replica_key_base, self.mock()) {
-            ctx.count(&self.metric("bad_summary_sig"), 1);
+            ctx.count(self.metric("bad_summary_sig"), 1);
             return;
         }
         self.observe_row_sseq(&row);
@@ -611,7 +675,7 @@ impl Replica {
             return;
         }
         if self.last_proposed >= self.commit_aru + PROPOSAL_WINDOW {
-            ctx.count(&self.metric("propose_window_stall"), 1);
+            ctx.count(self.metric("propose_window_stall"), 1);
             return;
         }
         let matrix = Matrix {
@@ -675,7 +739,8 @@ impl Replica {
         // A delaying leader (performance attack) postpones the broadcast;
         // deferred frames are released from the pre-prepare timer.
         if let ByzBehavior::LeaderDelay(extra) = self.behavior {
-            self.delayed_proposals.push((ctx.now() + extra, msg.encode()));
+            self.delayed_proposals
+                .push((ctx.now() + extra, msg.encode()));
             return;
         }
         self.accept_pre_prepare(ctx, self.view, seq, {
@@ -700,13 +765,13 @@ impl Replica {
                 && row.verify(&self.keystore, self.cfg.replica_key_base, mock)
         });
         if !rows_ok {
-            ctx.count(&self.metric("bad_matrix_row"), 1);
+            ctx.count(self.metric("bad_matrix_row"), 1);
             return;
         }
         // At most one row per replica.
         let mut seen = BTreeSet::new();
         if !matrix.rows.iter().all(|row| seen.insert(row.replica.0)) {
-            ctx.count(&self.metric("dup_matrix_row"), 1);
+            ctx.count(self.metric("dup_matrix_row"), 1);
             return;
         }
         for row in &matrix.rows {
@@ -717,7 +782,7 @@ impl Replica {
         if let Some((v, _, existing)) = &slot.pre_prepare {
             if *v == view && *existing != digest {
                 // Leader equivocation detected locally.
-                ctx.count(&self.metric("equivocation_detected"), 1);
+                ctx.count(self.metric("equivocation_detected"), 1);
                 return;
             }
             if *v >= view {
@@ -751,7 +816,11 @@ impl Replica {
         };
         if self.behavior != ByzBehavior::AckWithhold {
             prepare.sign(&self.signer);
-            self.slots.get_mut(&seq).unwrap().prepares.insert(self.me.0, digest);
+            self.slots
+                .get_mut(&seq)
+                .unwrap()
+                .prepares
+                .insert(self.me.0, digest);
             self.broadcast(ctx, &prepare);
         }
         self.try_prepare_commit(ctx, seq);
@@ -770,7 +839,7 @@ impl Replica {
             return;
         }
         if !msg.verify_sig(&self.keystore, self.replica_node(replica), self.mock()) {
-            ctx.count(&self.metric("bad_prepare_sig"), 1);
+            ctx.count(self.metric("bad_prepare_sig"), 1);
             return;
         }
         self.note_claimed_view(replica, view);
@@ -795,7 +864,7 @@ impl Replica {
             return;
         }
         if !msg.verify_sig(&self.keystore, self.replica_node(replica), self.mock()) {
-            ctx.count(&self.metric("bad_commit_sig"), 1);
+            ctx.count(self.metric("bad_commit_sig"), 1);
             return;
         }
         self.note_claimed_view(replica, view);
@@ -845,7 +914,7 @@ impl Replica {
                 slot.committed = true;
                 let matrix = slot.pre_prepare.as_ref().unwrap().1.clone();
                 self.committed_matrices.insert(seq, matrix);
-                ctx.count(&self.metric("committed"), 1);
+                ctx.count(self.metric("committed"), 1);
                 self.advance_commit_aru(ctx);
             }
         }
@@ -855,11 +924,7 @@ impl Replica {
         loop {
             let next = self.commit_aru + 1;
             if self.committed_matrices.contains_key(&next)
-                || self
-                    .slots
-                    .get(&next)
-                    .map(|s| s.committed)
-                    .unwrap_or(false)
+                || self.slots.get(&next).map(|s| s.committed).unwrap_or(false)
             {
                 self.commit_aru = next;
                 self.last_progress = ctx.now();
@@ -913,7 +978,7 @@ impl Replica {
                             po_seq: key.1,
                         };
                         self.broadcast(ctx, &req);
-                        ctx.count(&self.metric("recon_requested"), 1);
+                        ctx.count(self.metric("recon_requested"), 1);
                     }
                 }
                 break; // stall until reconciliation completes
@@ -927,14 +992,15 @@ impl Replica {
                         .map(|(_, ops, _)| ops.clone())
                         .unwrap();
                     for op in ops {
+                        ctx.span_mark(span_key(op.client.0, op.cseq), SpanPhase::Order);
                         self.execute_op(ctx, op);
                     }
                     self.exec_cover[i] = s;
                 }
             }
             self.last_executed = next;
-            ctx.count(&self.metric("matrices_executed"), 1);
-            if next % self.cfg.checkpoint_interval == 0 {
+            ctx.count(self.metric("matrices_executed"), 1);
+            if next.is_multiple_of(self.cfg.checkpoint_interval) {
                 self.take_checkpoint(ctx, next);
             }
         }
@@ -944,6 +1010,16 @@ impl Replica {
         let executed = self.executed_cseq.entry(op.client.0).or_default();
         if !executed.try_mark(op.cseq) {
             return; // duplicate (several replicas originated it)
+        }
+        if ctx.tracing_enabled() {
+            ctx.span_mark(span_key(op.client.0, op.cseq), SpanPhase::Execute);
+            if let Some(kind) = self.app.classify(&op.payload) {
+                ctx.trace(TraceKind::Mark {
+                    pid: ctx.id().0,
+                    label: kind,
+                    value: op.cseq,
+                });
+            }
         }
         let outcome = if self.behavior == ByzBehavior::DivergentExec {
             // A compromised replica corrupting its own state machine: it
@@ -967,7 +1043,7 @@ impl Replica {
             msg.sign(&self.signer);
             self.net.send_client(ctx, notification.target, msg.encode());
         }
-        ctx.count(&self.metric("ops_executed"), 1);
+        ctx.count(self.metric("ops_executed"), 1);
         self.total_ops += 1;
         self.exec_chain_head = spire_crypto::digest_parts(&[
             &self.exec_chain_head,
@@ -1022,7 +1098,9 @@ impl Replica {
 
     fn restore_execution_snapshot(&mut self, snapshot: &[u8]) -> bool {
         let mut r = spire_sim::WireReader::new(snapshot);
-        let Ok(app_snap) = r.bytes() else { return false };
+        let Ok(app_snap) = r.bytes() else {
+            return false;
+        };
         let app_snap = app_snap.to_vec();
         let Ok(n) = r.u16() else { return false };
         let mut cover = Vec::with_capacity(n as usize);
@@ -1086,7 +1164,7 @@ impl Replica {
             return;
         }
         if !msg.verify(&self.keystore, self.cfg.replica_key_base, self.mock()) {
-            ctx.count(&self.metric("bad_ckpt_sig"), 1);
+            ctx.count(self.metric("bad_ckpt_sig"), 1);
             return;
         }
         self.checkpoint_votes
@@ -1123,7 +1201,11 @@ impl Replica {
         }
         self.stable_checkpoint = Some((seq, snapshot.clone(), matching));
         self.stable_exec_cover = self.exec_cover.clone();
-        ctx.count(&self.metric("checkpoints_stable"), 1);
+        ctx.count(self.metric("checkpoints_stable"), 1);
+        ctx.trace(TraceKind::Checkpoint {
+            replica: self.me.0,
+            seq,
+        });
         self.garbage_collect(seq);
     }
 
@@ -1137,12 +1219,18 @@ impl Replica {
             .retain(|(origin, s), _| *s > cover[*origin as usize]);
     }
 
-    fn on_state_req(&mut self, ctx: &mut Context<'_>, msg: &PrimeMsg, from: ReplicaId, have_seq: u64) {
+    fn on_state_req(
+        &mut self,
+        ctx: &mut Context<'_>,
+        msg: &PrimeMsg,
+        from: ReplicaId,
+        have_seq: u64,
+    ) {
         if from.0 >= self.cfg.n || from == self.me {
             return;
         }
         if !msg.verify_sig(&self.keystore, self.replica_node(from), self.mock()) {
-            ctx.count(&self.metric("bad_state_req_sig"), 1);
+            ctx.count(self.metric("bad_state_req_sig"), 1);
             return;
         }
         // A recovering replica cannot lead: if the requester is the current
@@ -1241,7 +1329,7 @@ impl Replica {
             .find(|(_, set)| set.len() >= needed)
             .map(|(d, _)| *d)
         else {
-            ctx.count(&self.metric("bad_state_proof"), 1);
+            ctx.count(self.metric("bad_state_proof"), 1);
             return;
         };
         if erasure_k == 0 || erasure_k as u32 > self.cfg.n {
@@ -1300,7 +1388,7 @@ impl Replica {
             }
         }
         let Some(snapshot) = snapshot else {
-            ctx.count(&self.metric("state_reconstruct_pending"), 1);
+            ctx.count(self.metric("state_reconstruct_pending"), 1);
             return;
         };
         let snapshot = Bytes::from(snapshot);
@@ -1309,7 +1397,7 @@ impl Replica {
             return;
         }
         if !self.restore_execution_snapshot(&snapshot) {
-            ctx.count(&self.metric("bad_state_snapshot"), 1);
+            ctx.count(self.metric("bad_state_snapshot"), 1);
             return;
         }
         let _ = view; // views are learned from quorum traffic, not from a
@@ -1330,7 +1418,8 @@ impl Replica {
             self.my_po_seq = self.my_po_seq.max(requester_po_high);
             self.my_sseq = self.my_sseq.max(requester_sseq_high);
             self.recovering = false;
-            ctx.count(&self.metric("recovery_completed"), 1);
+            ctx.count(self.metric("recovery_completed"), 1);
+            ctx.trace(TraceKind::RecoveryDone { replica: self.me.0 });
         }
         self.try_execute(ctx);
     }
@@ -1345,8 +1434,7 @@ impl Replica {
             .entry((seq, digest))
             .or_insert_with(|| (matrix, BTreeSet::new()));
         entry.1.insert(from.0);
-        if entry.1.len() >= (self.cfg.f + 1) as usize
-            && !self.committed_matrices.contains_key(&seq)
+        if entry.1.len() >= (self.cfg.f + 1) as usize && !self.committed_matrices.contains_key(&seq)
         {
             let matrix = entry.0.clone();
             self.committed_matrices.insert(seq, matrix);
@@ -1394,9 +1482,8 @@ impl Replica {
         let Some(rtt) = self.rtt_us.get(&leader.0).copied() else {
             return;
         };
-        let allowed =
-            self.cfg.tat_allowance * (rtt + 2.0 * self.cfg.pre_prepare_interval.0 as f64);
-        ctx.record(&self.metric("tat_ms"), tat_us / 1000.0);
+        let allowed = self.cfg.tat_allowance * (rtt + 2.0 * self.cfg.pre_prepare_interval.0 as f64);
+        ctx.record(self.metric("tat_ms"), tat_us / 1000.0);
         if tat_us > allowed {
             self.suspect_current_view(ctx);
         }
@@ -1417,7 +1504,11 @@ impl Replica {
             .entry(self.view)
             .or_default()
             .insert(self.me.0);
-        ctx.count(&self.metric("suspects_sent"), 1);
+        ctx.count(self.metric("suspects_sent"), 1);
+        ctx.trace(TraceKind::SuspectLeader {
+            replica: self.me.0,
+            view: self.view,
+        });
         self.broadcast(ctx, &msg);
         self.check_suspect_quorum(ctx);
     }
@@ -1458,7 +1549,11 @@ impl Replica {
         self.view_entered_at = ctx.now();
         self.timeout_backoff = (self.timeout_backoff * 2).min(8);
         self.outstanding_summary = None;
-        ctx.count(&self.metric("view_changes"), 1);
+        ctx.count(self.metric("view_changes"), 1);
+        ctx.trace(TraceKind::ViewChange {
+            replica: self.me.0,
+            view: new_view,
+        });
         // Report state for the new view.
         let prepared = self
             .slots
@@ -1562,7 +1657,7 @@ impl Replica {
             }
         }
         if signers.len() < self.cfg.ordering_quorum() {
-            ctx.count(&self.metric("bad_new_view"), 1);
+            ctx.count(self.metric("bad_new_view"), 1);
             return;
         }
         if view > self.view {
@@ -1579,7 +1674,8 @@ impl Replica {
         let top = reproposals.last().map(|(s, _)| *s).unwrap_or(base);
         // Reset ordering state above the committed prefix.
         let commit_aru = self.commit_aru;
-        self.slots.retain(|s, slot| *s <= commit_aru || slot.committed);
+        self.slots
+            .retain(|s, slot| *s <= commit_aru || slot.committed);
         self.in_view_change = false;
         self.last_proposed = top.max(self.commit_aru);
         self.last_progress = ctx.now();
@@ -1587,7 +1683,7 @@ impl Replica {
         for (seq, matrix) in reproposals {
             self.accept_pre_prepare(ctx, view, seq, matrix);
         }
-        ctx.count(&self.metric("views_installed"), 1);
+        ctx.count(self.metric("views_installed"), 1);
     }
 
     /// Records that `replica` operates in `view`; if a quorum of f+k+1
@@ -1659,6 +1755,7 @@ impl Process for Replica {
         ctx.set_timer(self.cfg.recon_interval, TIMER_RECON);
         if self.recovering {
             self.recovery_started = ctx.now();
+            ctx.trace(TraceKind::RecoveryStart { replica: self.me.0 });
             ctx.set_timer(Span::millis(10), TIMER_STATE_REQ);
         }
     }
@@ -1671,7 +1768,7 @@ impl Process for Replica {
             return;
         };
         let Ok(msg) = PrimeMsg::decode(&payload) else {
-            ctx.count(&self.metric("decode_fail"), 1);
+            ctx.count(self.metric("decode_fail"), 1);
             return;
         };
         if self.recovering {
@@ -1720,7 +1817,7 @@ impl Process for Replica {
                 if msg.verify_sig(&self.keystore, self.replica_node(leader), self.mock()) {
                     self.accept_pre_prepare(ctx, *view, *seq, matrix.clone());
                 } else {
-                    ctx.count(&self.metric("bad_preprepare_sig"), 1);
+                    ctx.count(self.metric("bad_preprepare_sig"), 1);
                 }
             }
             PrimeMsg::Prepare {
@@ -1739,9 +1836,7 @@ impl Process for Replica {
             } => self.on_commit(ctx, &msg, *replica, *view, *seq, *digest),
             PrimeMsg::Ping { replica, nonce } => self.on_ping(ctx, *replica, *nonce),
             PrimeMsg::Pong { replica, nonce } => self.on_pong(ctx, *replica, *nonce),
-            PrimeMsg::Suspect { replica, view, .. } => {
-                self.on_suspect(ctx, &msg, *replica, *view)
-            }
+            PrimeMsg::Suspect { replica, view, .. } => self.on_suspect(ctx, &msg, *replica, *view),
             PrimeMsg::ViewState(state) => self.on_view_state(ctx, state.clone()),
             PrimeMsg::NewView { .. } => self.on_new_view(ctx, &msg),
             PrimeMsg::Checkpoint(m) => self.on_checkpoint(ctx, m.clone()),
@@ -1853,8 +1948,7 @@ impl Process for Replica {
                 // also faulty or unreachable) must itself time out, or the
                 // whole cluster waits forever for a NewView that will never
                 // come.
-                let vc_stalled = self.in_view_change
-                    && now.since(self.view_entered_at) >= timeout;
+                let vc_stalled = self.in_view_change && now.since(self.view_entered_at) >= timeout;
                 let ordering_stalled = !self.in_view_change
                     && self.work_pending()
                     && now.since(self.last_progress) >= timeout;
@@ -1872,7 +1966,8 @@ impl Process for Replica {
                 // A replica that fell far behind (partition, long outage)
                 // catches up via state transfer instead of waiting forever.
                 let exec_lag = self.commit_aru > self.last_executed + self.cfg.checkpoint_interval;
-                if self.max_seen_commit > self.commit_aru + self.cfg.checkpoint_interval || exec_lag {
+                if self.max_seen_commit > self.commit_aru + self.cfg.checkpoint_interval || exec_lag
+                {
                     let mut req = PrimeMsg::StateReq {
                         replica: self.me,
                         have_seq: self.last_executed,
@@ -1884,8 +1979,7 @@ impl Process for Replica {
                 // Fetch a bounded window of missing PO-Requests (execution
                 // needs them in order anyway) from two rotating peers, so a
                 // large catch-up cannot melt the network.
-                let missing: Vec<(u32, u64)> =
-                    self.missing.iter().copied().take(32).collect();
+                let missing: Vec<(u32, u64)> = self.missing.iter().copied().take(32).collect();
                 let n = self.cfg.n;
                 for (i, (origin, po_seq)) in missing.into_iter().enumerate() {
                     let req = PrimeMsg::ReconReq {
@@ -1894,7 +1988,8 @@ impl Process for Replica {
                         po_seq,
                     };
                     for offset in 1..=2u32 {
-                        let target = (self.me.0 + i as u32 + offset * (self.recon_rotor % n + 1)) % n;
+                        let target =
+                            (self.me.0 + i as u32 + offset * (self.recon_rotor % n + 1)) % n;
                         if target != self.me.0 {
                             self.send_to(ctx, ReplicaId(target), &req);
                         }
@@ -1904,28 +1999,25 @@ impl Process for Replica {
                 self.try_execute(ctx);
                 ctx.set_timer(self.cfg.recon_interval, TIMER_RECON);
             }
-            TIMER_STATE_REQ => {
-                if self.recovering {
-                    // If nobody has a checkpoint yet (young system), rejoin
-                    // from genesis; reconciliation certificates let us
-                    // replay everything that was ordered meanwhile.
-                    if ctx.now().since(self.recovery_started)
-                        >= self.cfg.recovery_genesis_timeout
-                    {
-                        self.recovering = false;
-                        ctx.count(&self.metric("recovery_from_genesis"), 1);
-                        ctx.count(&self.metric("recovery_completed"), 1);
-                        return;
-                    }
-                    let mut req = PrimeMsg::StateReq {
-                        replica: self.me,
-                        have_seq: self.last_executed,
-                        sig: [0; 64],
-                    };
-                    req.sign(&self.signer);
-                    self.broadcast(ctx, &req);
-                    ctx.set_timer(Span::millis(500), TIMER_STATE_REQ);
+            TIMER_STATE_REQ if self.recovering => {
+                // If nobody has a checkpoint yet (young system), rejoin
+                // from genesis; reconciliation certificates let us
+                // replay everything that was ordered meanwhile.
+                if ctx.now().since(self.recovery_started) >= self.cfg.recovery_genesis_timeout {
+                    self.recovering = false;
+                    ctx.count(self.metric("recovery_from_genesis"), 1);
+                    ctx.count(self.metric("recovery_completed"), 1);
+                    ctx.trace(TraceKind::RecoveryDone { replica: self.me.0 });
+                    return;
                 }
+                let mut req = PrimeMsg::StateReq {
+                    replica: self.me,
+                    have_seq: self.last_executed,
+                    sig: [0; 64],
+                };
+                req.sign(&self.signer);
+                self.broadcast(ctx, &req);
+                ctx.set_timer(Span::millis(500), TIMER_STATE_REQ);
             }
             _ => {}
         }
@@ -1960,7 +2052,10 @@ pub fn plan_new_view(states: &[ViewStateMsg]) -> (u64, Vec<(u64, Matrix)>) {
         .map(|seq| {
             (
                 seq,
-                claims.get(&seq).map(|c| c.matrix.clone()).unwrap_or_default(),
+                claims
+                    .get(&seq)
+                    .map(|c| c.matrix.clone())
+                    .unwrap_or_default(),
             )
         })
         .collect();

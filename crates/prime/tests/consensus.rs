@@ -103,7 +103,9 @@ fn add_client(cluster: &mut Cluster, id: u32, interval: Span, count: u64) -> Pro
         count,
         &format!("client{id}"),
     );
-    let pid = cluster.world.add_process(&format!("client-{id}"), Box::new(client));
+    let pid = cluster
+        .world
+        .add_process(&format!("client-{id}"), Box::new(client));
     for rpid in cluster.replica_pids.clone() {
         cluster.world.add_link(pid, rpid, link());
     }
@@ -281,10 +283,12 @@ fn tolerates_f_crashed_replicas() {
         build_cluster_with_clients(2, cfg.clone(), false, &[(0, Span::millis(50), 40)], honest);
     let victim1 = cluster.replica_pids[3];
     let victim2 = cluster.replica_pids[4];
-    cluster.world.schedule_control(spire_sim::Time(500_000), move |w| {
-        w.crash(victim1);
-        w.crash(victim2);
-    });
+    cluster
+        .world
+        .schedule_control(spire_sim::Time(500_000), move |w| {
+            w.crash(victim1);
+            w.crash(victim2);
+        });
     cluster.world.run_for(Span::secs(15));
     assert_eq!(cluster.world.metrics().counter("client0.accepted"), 40);
     cluster
@@ -303,8 +307,13 @@ fn mute_leader_triggers_view_change_and_service_continues() {
             ByzBehavior::Honest
         }
     };
-    let mut cluster =
-        build_cluster_with_clients(3, cfg.clone(), false, &[(0, Span::millis(50), 30)], behavior);
+    let mut cluster = build_cluster_with_clients(
+        3,
+        cfg.clone(),
+        false,
+        &[(0, Span::millis(50), 30)],
+        behavior,
+    );
     cluster.world.run_for(Span::secs(20));
     assert!(cluster.world.metrics().counter("prime.view_changes") >= 1);
     assert_eq!(cluster.world.metrics().counter("client0.accepted"), 30);
@@ -322,8 +331,13 @@ fn equivocating_leader_cannot_break_safety() {
             ByzBehavior::Honest
         }
     };
-    let mut cluster =
-        build_cluster_with_clients(4, cfg.clone(), false, &[(0, Span::millis(50), 30)], behavior);
+    let mut cluster = build_cluster_with_clients(
+        4,
+        cfg.clone(),
+        false,
+        &[(0, Span::millis(50), 30)],
+        behavior,
+    );
     cluster.world.run_for(Span::secs(25));
     let correct = correct_ids(&cfg, behavior);
     cluster.inspection.check_safety(&correct).expect("safety");
@@ -342,8 +356,13 @@ fn ack_withholding_replica_does_not_block_progress() {
             ByzBehavior::Honest
         }
     };
-    let mut cluster =
-        build_cluster_with_clients(5, cfg.clone(), false, &[(0, Span::millis(50), 30)], behavior);
+    let mut cluster = build_cluster_with_clients(
+        5,
+        cfg.clone(),
+        false,
+        &[(0, Span::millis(50), 30)],
+        behavior,
+    );
     cluster.world.run_for(Span::secs(15));
     assert_eq!(cluster.world.metrics().counter("client0.accepted"), 30);
 }
@@ -358,8 +377,13 @@ fn divergent_execution_is_masked_from_clients() {
             ByzBehavior::Honest
         }
     };
-    let mut cluster =
-        build_cluster_with_clients(6, cfg.clone(), false, &[(0, Span::millis(50), 25)], behavior);
+    let mut cluster = build_cluster_with_clients(
+        6,
+        cfg.clone(),
+        false,
+        &[(0, Span::millis(50), 25)],
+        behavior,
+    );
     cluster.world.run_for(Span::secs(15));
     // Clients still accept (f+1 matching correct replies exist)...
     assert_eq!(cluster.world.metrics().counter("client0.accepted"), 25);
@@ -382,8 +406,13 @@ fn delaying_leader_in_prime_mode_is_replaced() {
             ByzBehavior::Honest
         }
     };
-    let mut cluster =
-        build_cluster_with_clients(8, cfg.clone(), false, &[(0, Span::millis(50), 60)], behavior);
+    let mut cluster = build_cluster_with_clients(
+        8,
+        cfg.clone(),
+        false,
+        &[(0, Span::millis(50), 60)],
+        behavior,
+    );
     cluster.world.run_for(Span::secs(30));
     // Prime's turnaround monitoring replaces the slow leader well before the
     // 2 s progress timeout would fire per proposal.
@@ -411,8 +440,13 @@ fn delaying_leader_in_pbft_mode_degrades_forever() {
             ByzBehavior::Honest
         }
     };
-    let mut cluster =
-        build_cluster_with_clients(9, cfg.clone(), false, &[(0, Span::millis(50), 60)], behavior);
+    let mut cluster = build_cluster_with_clients(
+        9,
+        cfg.clone(),
+        false,
+        &[(0, Span::millis(50), 60)],
+        behavior,
+    );
     cluster.world.run_for(Span::secs(60));
     // The PBFT-like baseline never suspects the slow-but-not-stopped leader.
     assert_eq!(
@@ -503,8 +537,13 @@ fn equivocating_po_origin_cannot_split_execution() {
             ByzBehavior::Honest
         }
     };
-    let mut cluster =
-        build_cluster_with_clients(21, cfg.clone(), false, &[(0, Span::millis(30), 40)], behavior);
+    let mut cluster = build_cluster_with_clients(
+        21,
+        cfg.clone(),
+        false,
+        &[(0, Span::millis(30), 40)],
+        behavior,
+    );
     cluster.world.run_for(Span::secs(20));
     assert_eq!(cluster.world.metrics().counter("client0.accepted"), 40);
     let correct = correct_ids(&cfg, behavior);
@@ -521,8 +560,13 @@ fn f2_configuration_works() {
             ByzBehavior::Honest
         }
     };
-    let mut cluster =
-        build_cluster_with_clients(11, cfg.clone(), true, &[(0, Span::millis(50), 20)], behavior);
+    let mut cluster = build_cluster_with_clients(
+        11,
+        cfg.clone(),
+        true,
+        &[(0, Span::millis(50), 20)],
+        behavior,
+    );
     cluster.world.run_for(Span::secs(15));
     assert_eq!(cluster.world.metrics().counter("client0.accepted"), 20);
     let correct = correct_ids(&cfg, behavior);

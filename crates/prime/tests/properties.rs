@@ -58,7 +58,7 @@ fn covered_aru_naive(matrix: &Matrix, origin: usize, quorum: usize) -> u64 {
         .max()
         .unwrap_or(0);
     (0..=max)
-        .filter(|v| {
+        .rfind(|v| {
             matrix
                 .rows
                 .iter()
@@ -66,7 +66,6 @@ fn covered_aru_naive(matrix: &Matrix, origin: usize, quorum: usize) -> u64 {
                 .count()
                 >= quorum
         })
-        .next_back()
         .unwrap_or(0)
 }
 
@@ -187,7 +186,7 @@ mod cseq_window {
 }
 
 mod view_change_plan {
-    use spire_prime::msg::{Matrix, PreparedClaim, SummaryRow, AruVector, ViewStateMsg};
+    use spire_prime::msg::{AruVector, Matrix, PreparedClaim, SummaryRow, ViewStateMsg};
     use spire_prime::replica::plan_new_view;
     use spire_prime::ReplicaId;
 

@@ -150,9 +150,11 @@ mod tests {
     #[test]
     fn archive_queries() {
         let archive = Archive::new();
-        for (t, rtu, breaker, closed) in
-            [(10u64, 1u32, 0u8, false), (20, 1, 0, true), (30, 2, 1, false)]
-        {
+        for (t, rtu, breaker, closed) in [
+            (10u64, 1u32, 0u8, false),
+            (20, 1, 0, true),
+            (30, 2, 1, false),
+        ] {
             archive.push(BreakerEvent {
                 archived_at: Time(t),
                 rtu,

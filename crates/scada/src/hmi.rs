@@ -7,7 +7,7 @@ use bytes::Bytes;
 use spire_crypto::keys::Signer;
 use spire_prime::client::ClientRouting;
 use spire_prime::{ClientId, ClientOp, PrimeConfig, PrimeMsg};
-use spire_sim::{Context, Process, ProcessId, Span, Time};
+use spire_sim::{span_key, Context, Process, ProcessId, Span, SpanPhase, Time};
 use std::collections::BTreeMap;
 
 const TIMER_COMMAND: u64 = 1;
@@ -127,6 +127,7 @@ impl Hmi {
         let client_op = ClientOp::signed(self.client_id, self.cseq, op.encode(), &self.signer);
         let msg = PrimeMsg::Op(client_op).encode();
         self.sent_at.insert(self.cseq, ctx.now());
+        ctx.span_mark(span_key(self.client_id.0, self.cseq), SpanPhase::Submit);
         self.send_to_replicas(ctx, msg);
         ctx.count("hmi.commands_sent", 1);
     }
@@ -148,12 +149,10 @@ impl Process for Hmi {
     fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, bytes: &Bytes) {
         let payload = match &self.routing {
             ClientRouting::Direct(_) => bytes.clone(),
-            ClientRouting::Spines { .. } => {
-                match spire_spines::SpinesPort::decode_deliver(bytes) {
-                    Some((_, payload)) => payload,
-                    None => return,
-                }
-            }
+            ClientRouting::Spines { .. } => match spire_spines::SpinesPort::decode_deliver(bytes) {
+                Some((_, payload)) => payload,
+                None => return,
+            },
         };
         let Ok(msg) = PrimeMsg::decode(&payload) else {
             return;
@@ -166,27 +165,27 @@ impl Process for Hmi {
                 cseq,
                 result,
                 ..
-            } if client == self.client_id => {
-                if self
+            } if client == self.client_id
+                && self
                     .replies
                     .vote(cseq, replica.0, &result, quorum)
-                    .is_some()
-                {
-                    let is_poll = self.poll_cseqs.remove(&cseq);
-                    if let Some(sent) = self.sent_at.remove(&cseq) {
-                        let latency = ctx.now().since(sent).as_millis_f64();
-                        let name = if is_poll {
-                            "hmi.poll_latency_ms"
-                        } else {
-                            "hmi.command_ack_ms"
-                        };
-                        ctx.record(name, latency);
-                    }
-                    if is_poll {
-                        ctx.count("hmi.polls_acked", 1);
+                    .is_some() =>
+            {
+                let is_poll = self.poll_cseqs.remove(&cseq);
+                if let Some(sent) = self.sent_at.remove(&cseq) {
+                    let latency = ctx.now().since(sent).as_millis_f64();
+                    let name = if is_poll {
+                        "hmi.poll_latency_ms"
                     } else {
-                        ctx.count("hmi.commands_acked", 1);
-                    }
+                        "hmi.command_ack_ms"
+                    };
+                    ctx.record(name, latency);
+                }
+                if is_poll {
+                    ctx.count("hmi.polls_acked", 1);
+                } else {
+                    ctx.span_mark(span_key(self.client_id.0, cseq), SpanPhase::Confirm);
+                    ctx.count("hmi.commands_acked", 1);
                 }
             }
             PrimeMsg::Notify {
@@ -208,11 +207,9 @@ impl Process for Hmi {
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
         match tag {
-            TIMER_COMMAND => {
-                if self.max_commands == 0 || self.issued < self.max_commands {
-                    self.issue_command(ctx);
-                    ctx.set_timer(self.command_interval, TIMER_COMMAND);
-                }
+            TIMER_COMMAND if self.max_commands == 0 || self.issued < self.max_commands => {
+                self.issue_command(ctx);
+                ctx.set_timer(self.command_interval, TIMER_COMMAND);
             }
             TIMER_POLL => {
                 self.issue_poll(ctx);

@@ -61,10 +61,7 @@ impl ScadaMaster {
 
     /// Number of updates applied for an RTU (0 if unknown).
     pub fn updates_applied(&self, rtu: u32) -> u64 {
-        self.rtus
-            .get(&rtu)
-            .map(|r| r.updates_applied)
-            .unwrap_or(0)
+        self.rtus.get(&rtu).map(|r| r.updates_applied).unwrap_or(0)
     }
 
     /// Current breaker state, if known.
@@ -100,6 +97,15 @@ impl ScadaMaster {
 }
 
 impl Application for ScadaMaster {
+    fn classify(&self, op: &[u8]) -> Option<&'static str> {
+        Some(match ScadaOp::decode(op) {
+            Ok(ScadaOp::DeviceUpdate { .. }) => "scada.device_update",
+            Ok(ScadaOp::Command { .. }) => "scada.command",
+            Ok(ScadaOp::ReadState { .. }) => "scada.read_state",
+            Err(_) => "scada.bad_op",
+        })
+    }
+
     fn execute(&mut self, op: &[u8]) -> ExecResult {
         let Ok(op) = ScadaOp::decode(op) else {
             return ExecResult::reply(b"err:decode".to_vec());
@@ -193,7 +199,9 @@ impl Application for ScadaMaster {
         let mut w = WireWriter::new();
         w.u32(self.rtus.len() as u32);
         for (rtu, state) in &self.rtus {
-            w.u32(*rtu).u64(state.last_update_us).u64(state.updates_applied);
+            w.u32(*rtu)
+                .u64(state.last_update_us)
+                .u64(state.updates_applied);
             w.u16(state.registers.len() as u16);
             for (a, v) in &state.registers {
                 w.u16(*a).u16(*v);

@@ -12,7 +12,7 @@ use bytes::Bytes;
 use spire_crypto::keys::Signer;
 use spire_prime::client::ClientRouting;
 use spire_prime::{ClientId, ClientOp, PrimeConfig, PrimeMsg};
-use spire_sim::{Context, Process, ProcessId, Time, WireReader};
+use spire_sim::{span_key, Context, Process, ProcessId, SpanPhase, Time, WireReader};
 use std::collections::BTreeMap;
 
 /// Collects per-key votes from replicas and fires once `quorum` of them
@@ -26,7 +26,13 @@ pub struct QuorumTracker {
 impl QuorumTracker {
     /// Records a vote; returns the agreed payload the first time `quorum`
     /// matching votes exist for `key`.
-    pub fn vote(&mut self, key: u64, replica: u32, payload: &[u8], quorum: usize) -> Option<Vec<u8>> {
+    pub fn vote(
+        &mut self,
+        key: u64,
+        replica: u32,
+        payload: &[u8],
+        quorum: usize,
+    ) -> Option<Vec<u8>> {
         if self.fired.get(&key).copied().unwrap_or(false) {
             return None;
         }
@@ -101,6 +107,7 @@ impl RtuProxy {
         let client_op = ClientOp::signed(self.client_id, self.cseq, op.encode(), &self.signer);
         let msg = PrimeMsg::Op(client_op).encode();
         self.sent_at.insert(self.cseq, ctx.now());
+        ctx.span_mark(span_key(self.client_id.0, self.cseq), SpanPhase::Submit);
         match &self.routing {
             ClientRouting::Direct(replicas) => {
                 for pid in replicas.clone() {
@@ -161,6 +168,7 @@ impl RtuProxy {
                         let latency = ctx.now().since(sent).as_millis_f64();
                         ctx.record("scada.update_latency_ms", latency);
                     }
+                    ctx.span_mark(span_key(self.client_id.0, cseq), SpanPhase::Confirm);
                     ctx.count("scada.updates_confirmed", 1);
                 }
             }
@@ -247,12 +255,10 @@ impl Process for RtuProxy {
         }
         let payload = match &self.routing {
             ClientRouting::Direct(_) => bytes.clone(),
-            ClientRouting::Spines { .. } => {
-                match spire_spines::SpinesPort::decode_deliver(bytes) {
-                    Some((_, payload)) => payload,
-                    None => return,
-                }
-            }
+            ClientRouting::Spines { .. } => match spire_spines::SpinesPort::decode_deliver(bytes) {
+                Some((_, payload)) => payload,
+                None => return,
+            },
         };
         if let Ok(msg) = PrimeMsg::decode(&payload) {
             self.on_prime_msg(ctx, msg);

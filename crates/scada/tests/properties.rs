@@ -27,9 +27,8 @@ fn arb_op() -> impl Strategy<Value = ScadaOp> {
                 registers,
                 breakers,
             }),
-        (0u32..8, any::<u64>(), arb_action()).prop_map(|(rtu, ts_us, action)| {
-            ScadaOp::Command { rtu, ts_us, action }
-        }),
+        (0u32..8, any::<u64>(), arb_action())
+            .prop_map(|(rtu, ts_us, action)| { ScadaOp::Command { rtu, ts_us, action } }),
         (0u32..8).prop_map(|rtu| ScadaOp::ReadState { rtu }),
     ]
 }
@@ -38,8 +37,16 @@ fn arb_modbus() -> impl Strategy<Value = ModbusFrame> {
     prop_oneof![
         (any::<u16>(), any::<u16>(), any::<u16>())
             .prop_map(|(txn, addr, count)| ModbusFrame::ReadRegisters { txn, addr, count }),
-        (any::<u16>(), any::<u16>(), proptest::collection::vec(any::<u16>(), 0..16))
-            .prop_map(|(txn, addr, values)| ModbusFrame::ReadResponse { txn, addr, values }),
+        (
+            any::<u16>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u16>(), 0..16)
+        )
+            .prop_map(|(txn, addr, values)| ModbusFrame::ReadResponse {
+                txn,
+                addr,
+                values
+            }),
         (any::<u16>(), any::<u8>(), any::<bool>())
             .prop_map(|(txn, coil, on)| ModbusFrame::WriteCoil { txn, coil, on }),
         (any::<u16>(), any::<u16>(), any::<u16>())

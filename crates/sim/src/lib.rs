@@ -10,8 +10,9 @@
 //!
 //! * [`world`] — the event loop, processes, timers and the link model.
 //! * [`time`] — virtual time types.
-//! * [`metrics`] — counters and time series collected during runs.
+//! * [`metrics`] — counters, time series and histograms collected during runs.
 //! * [`stats`] — percentile/CDF summaries for the experiment harness.
+//! * [`trace`] — flight recorder, causal spans, histograms and exporters.
 //! * [`wire`] — canonical byte encoding shared by all protocol codecs.
 //!
 //! # Examples
@@ -26,11 +27,15 @@
 pub mod metrics;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod wire;
 pub mod world;
 
 pub use metrics::Metrics;
 pub use stats::Summary;
 pub use time::{Span, Time};
+pub use trace::{
+    span_key, FlightRecorder, Histogram, SpanPhase, SpanRecord, TraceEvent, TraceKind, Tracer,
+};
 pub use wire::{WireError, WireReader, WireWriter};
 pub use world::{Context, LinkConfig, Process, ProcessId, TimerId, World};

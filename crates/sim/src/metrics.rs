@@ -1,13 +1,19 @@
-//! Metric collection: named counters and time series.
+//! Metric collection: named counters, time series and histograms.
 
 use crate::time::Time;
+use crate::trace::Histogram;
 use std::collections::BTreeMap;
 
-/// Counters and time series collected during a simulation run.
+/// Counters, time series and histograms collected during a simulation run.
+///
+/// Histograms are log-bucketed ([`Histogram`]) and meant for high-volume
+/// series (per-phase latencies, overlay hop times) where keeping every raw
+/// sample would be wasteful.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
     counters: BTreeMap<String, u64>,
     series: BTreeMap<String, Vec<(Time, f64)>>,
+    histograms: BTreeMap<String, Histogram>,
 }
 
 impl Metrics {
@@ -54,6 +60,27 @@ impl Metrics {
         self.series.keys().map(|s| s.as_str())
     }
 
+    /// Records one value into a named log-bucketed histogram.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(value);
+        } else {
+            let mut h = Histogram::new();
+            h.observe(value);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Reads a histogram (`None` if never observed).
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All histogram names (sorted).
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(|s| s.as_str())
+    }
+
     /// Merges another metric store into this one.
     pub fn merge(&mut self, other: &Metrics) {
         for (name, v) in &other.counters {
@@ -64,6 +91,9 @@ impl Metrics {
                 .entry(name.clone())
                 .or_default()
                 .extend_from_slice(samples);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
         }
     }
 }
@@ -102,5 +132,37 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.counter("c"), 3);
         assert_eq!(a.values("s"), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn merge_preserves_disjoint_names() {
+        let mut a = Metrics::new();
+        a.count("only_a", 1);
+        let mut b = Metrics::new();
+        b.count("only_b", 2);
+        b.record("series_b", Time(1), 9.0);
+        a.merge(&b);
+        assert_eq!(a.counter("only_a"), 1);
+        assert_eq!(a.counter("only_b"), 2);
+        assert_eq!(a.values("series_b"), vec![9.0]);
+        assert_eq!(a.counter_names().count(), 2);
+    }
+
+    #[test]
+    fn histograms_observe_and_merge() {
+        let mut a = Metrics::new();
+        assert!(a.histogram("h").is_none());
+        a.observe("h", 10);
+        a.observe("h", 20);
+        let mut b = Metrics::new();
+        b.observe("h", 30);
+        b.observe("other", 5);
+        a.merge(&b);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 30);
+        assert_eq!(a.histogram("other").unwrap().count(), 1);
+        assert_eq!(a.histogram_names().collect::<Vec<_>>(), vec!["h", "other"]);
     }
 }

@@ -142,6 +142,34 @@ mod tests {
     }
 
     #[test]
+    fn percentile_sorted_single_element() {
+        let v = [42.0];
+        assert_eq!(percentile_sorted(&v, 0.0), 42.0);
+        assert_eq!(percentile_sorted(&v, 50.0), 42.0);
+        assert_eq!(percentile_sorted(&v, 100.0), 42.0);
+    }
+
+    #[test]
+    fn percentile_sorted_extremes_hit_min_max() {
+        let v = [1.0, 5.0, 9.0];
+        assert_eq!(percentile_sorted(&v, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&v, 100.0), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_sorted_rejects_out_of_range() {
+        percentile_sorted(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn fraction_within_boundary_is_inclusive() {
+        let v = [1.0, 2.0, 3.0];
+        assert!((fraction_within(&v, 2.0) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(fraction_within(&v, 3.0), 1.0);
+    }
+
+    #[test]
     fn fraction_within_threshold() {
         let v = [1.0, 2.0, 3.0, 4.0];
         assert!((fraction_within(&v, 2.5) - 0.5).abs() < 1e-9);

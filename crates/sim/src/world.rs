@@ -8,6 +8,7 @@
 
 use crate::metrics::Metrics;
 use crate::time::{Span, Time};
+use crate::trace::{SpanPhase, TraceKind, Tracer};
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -222,6 +223,7 @@ pub struct World {
     next_control: u64,
     /// Optional cap on queue size as a runaway guard.
     max_queue: usize,
+    tracer: Tracer,
 }
 
 impl World {
@@ -240,7 +242,62 @@ impl World {
             controls: HashMap::new(),
             next_control: 0,
             max_queue: 50_000_000,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Turns on structured tracing with a flight recorder of `cap` events.
+    pub fn enable_tracing(&mut self, cap: usize) {
+        self.tracer.enable(cap);
+    }
+
+    /// The tracing front end (flight recorder, spans, exporters).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable tracer access (enable, overlay marking).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Records a trace event at the current time (no-op when disabled).
+    #[inline]
+    pub fn trace(&mut self, kind: TraceKind) {
+        self.tracer.record(self.now, kind);
+    }
+
+    /// Marks a span phase at the current time; on completion the per-phase
+    /// deltas are fed into the metric histograms (`span.*_us`).
+    #[inline]
+    pub fn span_mark(&mut self, pid: u32, key: u64, phase: SpanPhase) {
+        if let Some(rec) = self.tracer.mark(self.now, pid, key, phase) {
+            for (name, delta) in rec.phase_deltas() {
+                self.metrics.observe(name, delta);
+            }
+        }
+    }
+
+    /// Human-readable dump of the last `n` trace events, with process names.
+    pub fn trace_dump_tail(&self, n: usize) -> String {
+        self.tracer.dump_tail(n, &|pid| self.pid_name(pid))
+    }
+
+    /// JSONL export of trace events and completed spans.
+    pub fn events_jsonl(&self) -> String {
+        self.tracer.events_jsonl(&|pid| self.pid_name(pid))
+    }
+
+    /// Chrome `trace_event` JSON export (chrome://tracing / Perfetto).
+    pub fn chrome_trace(&self) -> String {
+        self.tracer.chrome_trace(&|pid| self.pid_name(pid))
+    }
+
+    fn pid_name(&self, pid: u32) -> String {
+        self.slots
+            .get(pid as usize)
+            .map(|s| s.name.clone())
+            .unwrap_or_else(|| format!("p{pid}"))
     }
 
     /// Current virtual time.
@@ -287,6 +344,7 @@ impl World {
         let slot = &mut self.slots[id.0 as usize];
         slot.up = false;
         slot.generation += 1;
+        self.tracer.record(self.now, TraceKind::Crash { pid: id.0 });
     }
 
     /// Restarts a process with a fresh state machine.
@@ -302,6 +360,8 @@ impl World {
             slot.generation += 1;
             slot.generation
         };
+        self.tracer
+            .record(self.now, TraceKind::Restart { pid: id.0 });
         self.push(self.now, EventKind::Start { to: id, generation });
     }
 
@@ -413,6 +473,16 @@ impl World {
                 let idx = to.0 as usize;
                 if idx < self.slots.len() && self.slots[idx].up {
                     self.metrics.count("sim.delivered", 1);
+                    if self.tracer.enabled() {
+                        self.tracer.record(
+                            self.now,
+                            TraceKind::MsgRecv {
+                                to: to.0,
+                                from: from.0,
+                                len: bytes.len() as u32,
+                            },
+                        );
+                    }
                     self.dispatch(to, None, |proc, ctx| proc.on_message(ctx, from, &bytes));
                 } else {
                     self.metrics.count("sim.dropped_to_down_process", 1);
@@ -427,6 +497,8 @@ impl World {
                 if self.cancelled.remove(&timer.0) {
                     return true;
                 }
+                self.tracer
+                    .record(self.now, TraceKind::TimerFire { pid: to.0, tag });
                 self.dispatch(to, Some(generation), |proc, ctx| proc.on_timer(ctx, tag));
             }
             EventKind::Control(id) => {
@@ -457,7 +529,10 @@ impl World {
         let Some(mut proc) = self.slots[idx].proc.take() else {
             return;
         };
-        let mut ctx = Context { world: self, me: to };
+        let mut ctx = Context {
+            world: self,
+            me: to,
+        };
         f(&mut proc, &mut ctx);
         // The process may have been crashed/restarted by a re-entrant control
         // action; only put it back if the slot is still vacant.
@@ -513,21 +588,49 @@ impl World {
         } else {
             Span::ZERO
         };
-        let bytes = if cfg.corrupt > 0.0
-            && !bytes.is_empty()
-            && self.rng.gen_bool(cfg.corrupt.min(1.0))
-        {
-            let mut corrupted = bytes.to_vec();
-            let idx = self.rng.gen_range(0..corrupted.len());
-            corrupted[idx] ^= 0x01;
-            self.metrics.count("sim.corrupted", 1);
-            Bytes::from(corrupted)
-        } else {
-            bytes
-        };
+        let bytes =
+            if cfg.corrupt > 0.0 && !bytes.is_empty() && self.rng.gen_bool(cfg.corrupt.min(1.0)) {
+                let mut corrupted = bytes.to_vec();
+                let idx = self.rng.gen_range(0..corrupted.len());
+                corrupted[idx] ^= 0x01;
+                self.metrics.count("sim.corrupted", 1);
+                Bytes::from(corrupted)
+            } else {
+                bytes
+            };
         let arrival = tx_done + cfg.latency + jitter;
+        let len = bytes.len() as u32;
         self.push(arrival, EventKind::Deliver { to, from, bytes });
         self.metrics.count("sim.sent", 1);
+        if self.tracer.enabled() {
+            self.tracer.record(
+                self.now,
+                TraceKind::MsgSend {
+                    from: from.0,
+                    to: to.0,
+                    len,
+                },
+            );
+            // Daemon-to-daemon transit time includes bandwidth queueing, so
+            // this histogram is where overlay DoS pressure becomes visible.
+            if self.tracer.is_overlay(from.0) && self.tracer.is_overlay(to.0) {
+                self.metrics
+                    .observe("overlay.hop_us", arrival.since(self.now).0);
+            }
+        }
+    }
+}
+
+impl Drop for World {
+    /// A panicking run (failed assertion anywhere under the event loop)
+    /// dumps the flight-recorder tail so the postmortem has the last events.
+    fn drop(&mut self) {
+        if self.tracer.enabled() && std::thread::panicking() {
+            eprintln!(
+                "=== panic with tracing enabled; {}",
+                self.trace_dump_tail(100)
+            );
+        }
     }
 }
 
@@ -602,6 +705,31 @@ impl<'w> Context<'w> {
     pub fn record(&mut self, name: &str, value: f64) {
         let now = self.world.now;
         self.world.metrics.record(name, now, value);
+    }
+
+    /// Records one value into a named log-bucketed histogram.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.world.metrics.observe(name, value);
+    }
+
+    /// Whether structured tracing is enabled (to gate instrumentation that
+    /// needs any preparatory work).
+    #[inline]
+    pub fn tracing_enabled(&self) -> bool {
+        self.world.tracer.enabled()
+    }
+
+    /// Records a trace event at the current time (no-op when disabled).
+    #[inline]
+    pub fn trace(&mut self, kind: TraceKind) {
+        self.world.tracer.record(self.world.now, kind);
+    }
+
+    /// Marks a causal-span phase for this process at the current time.
+    #[inline]
+    pub fn span_mark(&mut self, key: u64, phase: SpanPhase) {
+        let me = self.me.0;
+        self.world.span_mark(me, key, phase);
     }
 }
 
@@ -878,5 +1006,83 @@ mod tests {
         let mut world = World::new(1);
         world.run_until(Time(123));
         assert_eq!(world.now(), Time(123));
+    }
+
+    #[test]
+    fn tracing_captures_sends_and_feeds_overlay_histogram() {
+        let mut world = World::new(1);
+        let rx = world.add_process(
+            "rx",
+            Box::new(Collector {
+                received: Vec::new(),
+            }),
+        );
+        let tx = world.add_process("tx", Box::new(Sender { to: rx, n: 2 }));
+        world.add_link(tx, rx, fixed_link(10));
+        world.enable_tracing(1024);
+        world.tracer_mut().mark_overlay(tx.0);
+        world.tracer_mut().mark_overlay(rx.0);
+        world.run_for(Span::secs(1));
+        let sends = world
+            .tracer()
+            .recorder()
+            .events()
+            .filter(|e| matches!(e.kind, crate::trace::TraceKind::MsgSend { .. }))
+            .count();
+        let recvs = world
+            .tracer()
+            .recorder()
+            .events()
+            .filter(|e| matches!(e.kind, crate::trace::TraceKind::MsgRecv { .. }))
+            .count();
+        assert_eq!(sends, 2);
+        assert_eq!(recvs, 2);
+        let hops = world.metrics().histogram("overlay.hop_us").unwrap();
+        assert_eq!(hops.count(), 2);
+        assert_eq!(hops.min(), 10_000); // fixed 10 ms link
+        let json = world.chrome_trace();
+        assert!(json.contains("\"msg_send\""));
+        assert!(json.contains("tx"));
+    }
+
+    #[test]
+    fn span_marks_via_context_complete_into_histograms() {
+        struct Submitter {
+            to: ProcessId,
+        }
+        impl Process for Submitter {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.span_mark(
+                    crate::trace::span_key(9, 1),
+                    crate::trace::SpanPhase::Submit,
+                );
+                ctx.send(self.to, Bytes::from_static(b"op"));
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_>, _: ProcessId, _: &Bytes) {
+                ctx.span_mark(
+                    crate::trace::span_key(9, 1),
+                    crate::trace::SpanPhase::Confirm,
+                );
+            }
+        }
+        struct Echo;
+        impl Process for Echo {
+            fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, bytes: &Bytes) {
+                ctx.span_mark(crate::trace::span_key(9, 1), crate::trace::SpanPhase::Recv);
+                ctx.send(from, bytes.clone());
+            }
+        }
+        let mut world = World::new(1);
+        let echo = world.add_process("echo", Box::new(Echo));
+        let sub = world.add_process("sub", Box::new(Submitter { to: echo }));
+        world.add_link(echo, sub, fixed_link(5));
+        world.enable_tracing(256);
+        world.run_for(Span::secs(1));
+        assert_eq!(world.tracer().completed_spans().len(), 1);
+        let total = world.metrics().histogram("span.total_us").unwrap();
+        assert_eq!(total.count(), 1);
+        assert_eq!(total.min(), 10_000); // two 5 ms hops
+        let overlay_in = world.metrics().histogram("span.overlay_in_us").unwrap();
+        assert_eq!(overlay_in.min(), 5_000);
     }
 }

@@ -21,7 +21,7 @@ use bytes::Bytes;
 use spire_crypto::ed25519::Signature;
 use spire_crypto::hmac::{hmac_sha256, verify_hmac_sha256};
 use spire_crypto::{KeyStore, NodeId, SigningKey};
-use spire_sim::{Context, Process, ProcessId, Span, Time};
+use spire_sim::{Context, Process, ProcessId, Span, Time, TraceKind};
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::rc::Rc;
 
@@ -235,6 +235,14 @@ impl Daemon {
             msg.payload = Bytes::from(corrupted);
             ctx.count("spines.corrupted", 1);
         }
+        if ctx.tracing_enabled() {
+            ctx.trace(TraceKind::OverlayHop {
+                daemon: ctx.id().0,
+                src: msg.src.0,
+                dst: msg.dst.0,
+                ttl: msg.ttl,
+            });
+        }
         let frame_id = ((self.me.0 as u64) << 40) | self.next_frame;
         self.next_frame += 1;
         let reliable = msg.reliable;
@@ -323,10 +331,7 @@ impl Daemon {
                 .lsa_db
                 .iter()
                 .flat_map(|(origin, entry)| {
-                    entry
-                        .neighbors
-                        .iter()
-                        .map(move |(n, w)| (*origin, *n, *w))
+                    entry.neighbors.iter().map(move |(n, w)| (*origin, *n, *w))
                 })
                 .collect();
             for (a, b, w) in &claims {
@@ -480,7 +485,17 @@ impl Daemon {
         }
     }
 
-    fn originate(&mut self, ctx: &mut Context<'_>, src_port: u16, dst: OverlayId, dst_port: u16, mode: Dissemination, reliable: bool, payload: Bytes) {
+    #[allow(clippy::too_many_arguments)]
+    fn originate(
+        &mut self,
+        ctx: &mut Context<'_>,
+        src_port: u16,
+        dst: OverlayId,
+        dst_port: u16,
+        mode: Dissemination,
+        reliable: bool,
+        payload: Bytes,
+    ) {
         let seq = {
             let counter = self.send_seq.entry(src_port).or_insert(0);
             *counter += 1;
@@ -529,7 +544,10 @@ impl Daemon {
 
     fn on_neighbor_msg(&mut self, ctx: &mut Context<'_>, from: OverlayId, msg: OverlayMsg) {
         match msg {
-            OverlayMsg::Hello { from: h_from, seq: _ } => {
+            OverlayMsg::Hello {
+                from: h_from,
+                seq: _,
+            } => {
                 if h_from != from {
                     ctx.count("spines.hello_spoof_drop", 1);
                     return;
@@ -547,8 +565,7 @@ impl Daemon {
                         // Damping: a congested link leaking the occasional
                         // hello must not flap alive; require two hellos in
                         // quick succession before reviving.
-                        let stable =
-                            ctx.now().since(previous) <= hello_interval.times(2);
+                        let stable = ctx.now().since(previous) <= hello_interval.times(2);
                         if stable {
                             state.alive = true;
                         }

@@ -28,6 +28,7 @@ impl OverlayNetwork {
     /// * `behavior_of` — per-daemon fault model (honest by default).
     /// * `material`/`key_base` — provisioned keys; daemon `i` signs as
     ///   crypto node `key_base + i`.
+    #[allow(clippy::too_many_arguments)]
     pub fn build(
         world: &mut World,
         topology: &Topology,
@@ -45,11 +46,8 @@ impl OverlayNetwork {
         let nodes: Vec<OverlayId> = topology.nodes().collect();
         let first_pid = world.process_count() as u32;
         let pid_of = |node_index: usize| ProcessId(first_pid + node_index as u32);
-        let index_of: BTreeMap<OverlayId, usize> = nodes
-            .iter()
-            .enumerate()
-            .map(|(i, id)| (*id, i))
-            .collect();
+        let index_of: BTreeMap<OverlayId, usize> =
+            nodes.iter().enumerate().map(|(i, id)| (*id, i)).collect();
 
         let mut daemons = BTreeMap::new();
         for (i, id) in nodes.iter().enumerate() {

@@ -310,7 +310,10 @@ fn blackhole_on_shortest_path_defeated_by_flooding() {
     });
     h.world.run_for(Span::secs(5));
     let via_shortest = h.world.metrics().counter("rx_short.rx");
-    assert_eq!(via_shortest, 0, "blackhole should eat shortest-path traffic");
+    assert_eq!(
+        via_shortest, 0,
+        "blackhole should eat shortest-path traffic"
+    );
 
     let mut h = build(8, behavior);
     add_app(&mut h, OverlayId(2), |p| App::receiver(p, "rx_flood"));
@@ -490,7 +493,10 @@ fn unattached_client_sends_are_dropped() {
     let rogue = h.world.add_process("rogue", Box::new(Rogue { port }));
     h.net.wire_client(&mut h.world, OverlayId(0), rogue);
     h.world.run_for(Span::secs(3));
-    assert_eq!(h.world.metrics().counter("spines.unattached_client_drop"), 1);
+    assert_eq!(
+        h.world.metrics().counter("spines.unattached_client_drop"),
+        1
+    );
     assert_eq!(h.world.metrics().counter("rx.rx"), 0);
 }
 
@@ -509,8 +515,10 @@ fn ttl_bounds_forwarding() {
     let mut world = World::new(41);
     let material = KeyMaterial::new([9u8; 32]);
     let keystore = Rc::new(KeyStore::for_nodes(&material, 64));
-    let mut cfg = DaemonConfig::default();
-    cfg.default_ttl = 2; // path 0 -> 4 needs 4 hops
+    let cfg = DaemonConfig {
+        default_ttl: 2, // path 0 -> 4 needs 4 hops
+        ..DaemonConfig::default()
+    };
     let net = OverlayNetwork::build(
         &mut world,
         &topology,

@@ -44,8 +44,11 @@ fn arb_data_msg() -> impl Strategy<Value = DataMsg> {
 
 /// Random connected topology: a spanning tree plus random extra edges.
 fn arb_topology() -> impl Strategy<Value = Topology> {
-    (2u16..12, proptest::collection::vec((any::<u16>(), any::<u16>(), 1u32..20), 0..20)).prop_map(
-        |(n, extras)| {
+    (
+        2u16..12,
+        proptest::collection::vec((any::<u16>(), any::<u16>(), 1u32..20), 0..20),
+    )
+        .prop_map(|(n, extras)| {
             let mut t = Topology::new();
             for i in 0..n {
                 t.add_node(OverlayId(i));
@@ -62,8 +65,7 @@ fn arb_topology() -> impl Strategy<Value = Topology> {
                 }
             }
             t
-        },
-    )
+        })
 }
 
 proptest! {

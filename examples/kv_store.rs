@@ -97,7 +97,10 @@ fn main() {
     let replica_pids: Vec<ProcessId> = (0..cfg.n).map(|i| ProcessId(first + i)).collect();
     let client_pid = ProcessId(first + cfg.n);
     for i in 0..cfg.n {
-        let signer = Signer::new(material.signing_key(NodeId(cfg.replica_key_base + i)), false);
+        let signer = Signer::new(
+            material.signing_key(NodeId(cfg.replica_key_base + i)),
+            false,
+        );
         let net = spire_repro::spire_prime::DirectNet {
             replicas: replica_pids.clone(),
             clients: [(0u32, client_pid)].into_iter().collect(),

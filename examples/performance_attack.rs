@@ -8,8 +8,8 @@
 use spire::deployment::{Deployment, DeploymentConfig};
 use spire_prime::{ByzBehavior, ProtocolMode};
 use spire_scada::WorkloadConfig;
-use spire_sim::Span;
 use spire_sim::stats::percentile;
+use spire_sim::Span;
 
 fn run(mode: ProtocolMode, label: &str) {
     let mut cfg = DeploymentConfig::wide_area(31);

@@ -19,7 +19,10 @@ fn main() {
         cfg.workload.rtus,
     );
     for site in &cfg.spire.sites {
-        println!("  site {:4} ({:?}): {} replicas", site.name, site.kind, site.replicas);
+        println!(
+            "  site {:4} ({:?}): {} replicas",
+            site.name, site.kind, site.replicas
+        );
     }
 
     let mut system = Deployment::build(cfg);

@@ -39,7 +39,11 @@ fn configuration_analysis_matches_deployment_behaviour() {
     };
     let mut system = Deployment::build(cfg);
     // Disconnect DC1 (site index 2) for the whole run.
-    system.schedule_site_disconnect(2, spire_repro::spire_sim::Time(1), spire_repro::spire_sim::Time(60_000_000));
+    system.schedule_site_disconnect(
+        2,
+        spire_repro::spire_sim::Time(1),
+        spire_repro::spire_sim::Time(60_000_000),
+    );
     system.run_for(Span::secs(30));
     let report = system.report();
     assert!(report.safety_ok);

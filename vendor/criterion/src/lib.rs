@@ -1,0 +1,246 @@
+//! Offline stub of `criterion`: a wall-clock micro-benchmark harness with a
+//! compatible macro/API surface (`criterion_group!`, `criterion_main!`,
+//! `bench_function`, `Bencher::iter`, groups, throughput). It calibrates an
+//! iteration count per benchmark, reports mean time per iteration, and is
+//! quiet under `cargo test` (where bench binaries run with `--test`).
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (same contract as
+/// criterion's `black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group (reported alongside timing).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for parameterized benchmarks.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Creates an id `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{parameter}", function.into()))
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Passed to the closure given to `bench_function`; runs the measurement.
+pub struct Bencher<'a> {
+    measured: &'a mut Option<Measurement>,
+    quiet: bool,
+}
+
+/// One benchmark's measurement.
+struct Measurement {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, auto-calibrating the iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow iterations until the batch takes ~10 ms (or a cap),
+        // then measure one final batch. Under `cargo test` keep it minimal.
+        let mut iters: u64 = 1;
+        let target = if self.quiet {
+            Duration::from_micros(100)
+        } else {
+            Duration::from_millis(10)
+        };
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= target || iters >= 1 << 24 {
+                *self.measured = Some(Measurement {
+                    iters,
+                    total: took,
+                });
+                return;
+            }
+            iters = (iters * 4).min(1 << 24);
+        }
+    }
+
+    /// Like `iter`, with a per-batch setup closure (batch size 1).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut iters: u64 = 0;
+        let mut total = Duration::ZERO;
+        let budget = if self.quiet {
+            Duration::from_micros(200)
+        } else {
+            Duration::from_millis(20)
+        };
+        while total < budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        *self.measured = Some(Measurement { iters, total });
+    }
+}
+
+/// Batch sizing hint (ignored by this stub).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    quiet: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API parity; unused).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets measurement time (accepted for API parity; unused).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(&format!("{}/{id}", self.name), self.quiet, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    quiet: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Under `cargo test`, bench binaries with harness = false are invoked
+        // with `--test`: stay fast and quiet so test runs aren't slowed down.
+        let quiet = std::env::args().any(|a| a == "--test");
+        Criterion { quiet }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(name, self.quiet, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            quiet: self.quiet,
+            _criterion: self,
+        }
+    }
+
+    /// Configuration hook (API parity; returns default).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(name: &str, quiet: bool, mut f: F) {
+    let mut measured = None;
+    let mut b = Bencher {
+        measured: &mut measured,
+        quiet,
+    };
+    f(&mut b);
+    if quiet {
+        return;
+    }
+    match measured {
+        Some(m) if m.iters > 0 => {
+            let per = m.total.as_nanos() as f64 / m.iters as f64;
+            let (value, unit) = if per < 1_000.0 {
+                (per, "ns")
+            } else if per < 1_000_000.0 {
+                (per / 1_000.0, "µs")
+            } else {
+                (per / 1_000_000.0, "ms")
+            };
+            println!("{name:<40} {value:>10.2} {unit}/iter ({} iters)", m.iters);
+        }
+        _ => println!("{name:<40} (no measurement)"),
+    }
+}
+
+/// Declares a benchmark group runner (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main` (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,12 @@
+//! Offline stub of `crossbeam`. The workspace declares the dependency but
+//! does not currently use it; std::thread::scope covers scoped spawning.
+
+pub mod thread {
+    /// Scoped threads via the standard library.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send>>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(f))
+    }
+}

@@ -1,0 +1,44 @@
+//! Offline stub of `parking_lot`: std-backed, panic-on-poison wrappers with
+//! the lock-returns-guard-directly API shape.
+
+/// Mutex whose `lock` returns the guard directly (std-backed).
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Locks, panicking if poisoned.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().expect("poisoned mutex")
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("poisoned mutex")
+    }
+}
+
+/// RwLock whose `read`/`write` return guards directly (std-backed).
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new RwLock.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Acquires a read guard, panicking if poisoned.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0.read().expect("poisoned rwlock")
+    }
+
+    /// Acquires a write guard, panicking if poisoned.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0.write().expect("poisoned rwlock")
+    }
+}

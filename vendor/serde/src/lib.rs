@@ -1,0 +1,25 @@
+//! Offline stub of `serde`: the trait names plus no-op derive macros.
+//! Nothing in this workspace serializes at runtime — types only carry the
+//! derives — so empty traits and empty derive expansions suffice.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Namespace parity with the real crate.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace parity with the real crate.
+pub mod ser {
+    pub use super::Serialize;
+}
