@@ -40,6 +40,66 @@ fn bench_crypto(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batch_auth(c: &mut Criterion) {
+    use spire_crypto::keys::verify64;
+    use spire_crypto::{BatchSigner, KeyStore};
+
+    let material = KeyMaterial::new([3u8; 32]);
+    let node = NodeId(1000);
+    let signer = Signer::new(material.signing_key(node), false);
+    let store = KeyStore::for_nodes(&material, 2048);
+    let msgs: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; 96]).collect();
+    let digests: Vec<[u8; 32]> = msgs
+        .iter()
+        .map(|m| spire_crypto::sha2::Sha256::digest(m))
+        .collect();
+
+    // The amortization claim: one Merkle flush over 16 vote digests must
+    // beat 16 individual ed25519 signatures.
+    let mut group = c.benchmark_group("batch_auth");
+    group.bench_function("sign_16_individually", |b| {
+        b.iter(|| {
+            for m in &msgs {
+                std::hint::black_box(signer.sign64(std::hint::black_box(m)));
+            }
+        })
+    });
+    group.bench_function("batch_sign_16", |b| {
+        b.iter(|| {
+            let mut batcher = BatchSigner::new();
+            for d in &digests {
+                batcher.push(std::hint::black_box(*d));
+            }
+            std::hint::black_box(batcher.flush(&signer))
+        })
+    });
+
+    // Receiver side: verifying a message through its inclusion proof
+    // (path recompute + root signature check) vs a bare signature check.
+    let mut batcher = BatchSigner::new();
+    for d in &digests {
+        batcher.push(*d);
+    }
+    let batch = batcher.flush(&signer).unwrap();
+    let attestation = batch.attestation(7);
+    let bare_sig = signer.sign64(&msgs[7]);
+    group.bench_function("verify_bare", |b| {
+        b.iter(|| {
+            verify64(
+                &store,
+                node,
+                std::hint::black_box(&msgs[7]),
+                &bare_sig,
+                false,
+            )
+        })
+    });
+    group.bench_function("verify_with_proof_16", |b| {
+        b.iter(|| attestation.verify(&store, node, std::hint::black_box(&digests[7]), false))
+    });
+    group.finish();
+}
+
 fn bench_rsa(c: &mut Criterion) {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -183,6 +243,7 @@ fn bench_topology(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_crypto,
+    bench_batch_auth,
     bench_rsa,
     bench_erasure,
     bench_prime_codec,

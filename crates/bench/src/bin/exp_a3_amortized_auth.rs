@@ -1,0 +1,6 @@
+//! Perf ablation: Merkle batch signing vs per-message signatures with
+//! real ed25519 (signature ops per delivered update).
+fn main() {
+    let secs = spire_bench::env_u64("SPIRE_A3_SECS", 30);
+    spire_bench::experiments::a3_amortized_auth(secs);
+}

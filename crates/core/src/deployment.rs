@@ -92,6 +92,14 @@ pub struct DeploymentConfig {
     pub mode: ProtocolMode,
     /// Use mock signatures (fast macro-experiments; see `spire-crypto`).
     pub mock_sigs: bool,
+    /// Amortize replica vote signatures with Merkle batch signing (one
+    /// root signature per flush window instead of one per
+    /// PO-Ack/Prepare/Commit/Reply).
+    pub batch_signing: bool,
+    /// How long a replica may hold queued votes before signing their
+    /// Merkle root (longer windows amortize better, at up to this much
+    /// extra latency per protocol hop).
+    pub batch_interval: Span,
     /// Per-replica Byzantine behaviours (compromises present from start).
     pub byz: BTreeMap<u32, ByzBehavior>,
     /// Substations connect to both control centers (the paper's design).
@@ -116,6 +124,8 @@ impl DeploymentConfig {
             wan: WanModel::default(),
             mode: ProtocolMode::Prime,
             mock_sigs: true,
+            batch_signing: true,
+            batch_interval: Span::millis(2),
             byz: BTreeMap::new(),
             dual_homed_substations: true,
             trace: std::env::var_os("SPIRE_TRACE").is_some(),
@@ -370,6 +380,8 @@ impl Deployment {
         prime.progress_timeout = Span::secs(2);
         prime.replica_key_base = key_base::REPLICA;
         prime.client_key_base = key_base::CLIENT;
+        prime.batch_sign = cfg.batch_signing;
+        prime.batch_interval = cfg.batch_interval;
 
         // ---------- replicas ----------
         let nets: Vec<SpinesNet> = (0..n_replicas)

@@ -42,6 +42,33 @@ pub struct PhaseStat {
     pub max_ms: f64,
 }
 
+/// Authentication-cost counters aggregated over all replicas, for
+/// measuring the signature-amortization factor of batch signing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AuthStats {
+    /// Signature operations performed (one per Merkle batch when batch
+    /// signing is on, one per message otherwise).
+    pub sign_ops: u64,
+    /// Full signature verifications performed.
+    pub verify_ops: u64,
+    /// Verifications answered from the bounded caches.
+    pub verify_cache_hits: u64,
+    /// Batch flushes (Merkle roots signed).
+    pub batch_flushes: u64,
+    /// Vote messages covered by batch signatures.
+    pub batched_msgs: u64,
+}
+
+impl AuthStats {
+    /// Average number of votes covered by one batch signature.
+    pub fn amortization_factor(&self) -> f64 {
+        if self.batch_flushes == 0 {
+            return 1.0;
+        }
+        self.batched_msgs as f64 / self.batch_flushes as f64
+    }
+}
+
 /// Metrics extracted from a run.
 #[derive(Clone, Debug)]
 pub struct Report {
@@ -74,6 +101,8 @@ pub struct Report {
     /// Per-phase latency breakdown from the tracing spans (empty unless
     /// the deployment ran with tracing enabled).
     pub phase_breakdown: Vec<PhaseStat>,
+    /// Aggregate signing/verification cost counters.
+    pub auth: AuthStats,
 }
 
 impl Report {
@@ -131,9 +160,25 @@ impl Report {
             safety_ok,
             throughput_timeline: throughput.into_iter().collect(),
             phase_breakdown,
+            auth: AuthStats {
+                sign_ops: metrics.counter("prime.sign_ops"),
+                verify_ops: metrics.counter("prime.verify_ops"),
+                verify_cache_hits: metrics.counter("prime.verify_cache_hits"),
+                batch_flushes: metrics.counter("prime.batch_flushes"),
+                batched_msgs: metrics.counter("prime.batched_msgs"),
+            },
             update_latencies_ms,
             update_timeline,
         }
+    }
+
+    /// Signature operations (across all replicas) per confirmed update —
+    /// the quantity batch signing amortizes.
+    pub fn signs_per_update(&self) -> f64 {
+        if self.updates_confirmed == 0 {
+            return f64::NAN;
+        }
+        self.auth.sign_ops as f64 / self.updates_confirmed as f64
     }
 
     /// Fraction of submitted updates that were confirmed.
@@ -228,6 +273,9 @@ impl Report {
              \"commands_issued\":{},\"commands_actuated\":{},\
              \"view_changes\":{},\"recoveries_started\":{},\"recoveries_completed\":{},\
              \"safety_ok\":{},\"silent_seconds\":{},\
+             \"auth\":{{\"sign_ops\":{},\"verify_ops\":{},\"verify_cache_hits\":{},\
+             \"batch_flushes\":{},\"batched_msgs\":{},\"amortization_factor\":{},\
+             \"signs_per_update\":{}}},\
              \"phase_breakdown\":[{}],\"throughput_timeline\":[{}]}}",
             self.updates_sent,
             self.updates_confirmed,
@@ -242,6 +290,13 @@ impl Report {
             self.recoveries.1,
             self.safety_ok,
             self.silent_seconds(),
+            self.auth.sign_ops,
+            self.auth.verify_ops,
+            self.auth.verify_cache_hits,
+            self.auth.batch_flushes,
+            self.auth.batched_msgs,
+            num(self.auth.amortization_factor()),
+            num(self.signs_per_update()),
             phases.join(","),
             throughput.join(","),
         )
@@ -287,6 +342,7 @@ mod tests {
             safety_ok: true,
             throughput_timeline: timeline,
             phase_breakdown: vec![],
+            auth: AuthStats::default(),
         }
     }
 
@@ -321,6 +377,18 @@ mod tests {
     }
 
     #[test]
+    fn amortization_factor_defaults_to_one() {
+        assert_eq!(AuthStats::default().amortization_factor(), 1.0);
+        let a = AuthStats {
+            batch_flushes: 4,
+            batched_msgs: 32,
+            ..AuthStats::default()
+        };
+        assert_eq!(a.amortization_factor(), 8.0);
+        assert!(report_with(vec![], 0, 0).signs_per_update().is_nan());
+    }
+
+    #[test]
     fn to_json_carries_counts_and_phases() {
         let mut r = report_with(vec![(0, 2), (1, 3)], 4, 3);
         r.phase_breakdown.push(PhaseStat {
@@ -332,8 +400,17 @@ mod tests {
             p99_ms: 40.0,
             max_ms: 55.0,
         });
+        r.auth = AuthStats {
+            sign_ops: 20,
+            verify_ops: 50,
+            verify_cache_hits: 30,
+            batch_flushes: 5,
+            batched_msgs: 40,
+        };
         let json = r.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"sign_ops\":20"));
+        assert!(json.contains("\"amortization_factor\":8"));
         assert!(json.contains("\"updates_sent\":4"));
         assert!(json.contains("\"updates_confirmed\":3"));
         assert!(json.contains("\"metric\":\"span.total_us\""));

@@ -12,6 +12,9 @@
 //! * [`ed25519`] — Ed25519 signatures (RFC 8032) replacing RSA.
 //! * [`merkle`] — Merkle trees for state-transfer integrity and signature
 //!   amortization over message batches.
+//! * [`batch`] — amortized batch signing: one signature per Merkle root of
+//!   outgoing message digests, plus per-message inclusion attestations and
+//!   bounded verification caches.
 //! * [`erasure`] — GF(256) Reed-Solomon erasure codes, as Prime/Spire use
 //!   for bandwidth-efficient reconciliation and state transfer.
 //! * [`rsa`] (with [`bignum`]) — RSA PKCS#1 v1.5 signatures, the primitive
@@ -32,6 +35,7 @@
 //! assert!(store.verify(NodeId(2), b"PO-REQUEST 17", &sig));
 //! ```
 
+pub mod batch;
 pub mod bignum;
 pub mod ed25519;
 pub mod erasure;
@@ -41,6 +45,7 @@ pub mod merkle;
 pub mod rsa;
 pub mod sha2;
 
+pub use batch::{BatchAttestation, BatchSigner, DigestCache, SignedBatch};
 pub use ed25519::{Signature, SigningKey, VerifyingKey};
 pub use keys::{KeyMaterial, KeyStore, NodeId};
 pub use merkle::Digest;

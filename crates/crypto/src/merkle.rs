@@ -139,6 +139,67 @@ impl MerkleProof {
     pub fn leaf_index(&self) -> usize {
         self.index
     }
+
+    /// The sibling digests along the path, bottom-up (for wire encoding;
+    /// positions are recomputed from `(index, leaf_count)` by
+    /// [`compute_root`], so the flags need not be shipped).
+    pub fn path_digests(&self) -> Vec<Digest> {
+        self.path.iter().map(|node| node.digest).collect()
+    }
+}
+
+/// Recomputes the root implied by an inclusion path, deriving the tree
+/// structure from `(index, leaf_count)` alone.
+///
+/// This is the canonical verifier for proofs received over the wire: the
+/// sender ships only the sibling digests, and the expected path length and
+/// left/right positions are recomputed here from the claimed index and leaf
+/// count. A truncated or extended path, or an index outside `0..leaf_count`,
+/// yields `None` rather than a forgeable root.
+pub fn compute_root(
+    index: usize,
+    leaf_count: usize,
+    leaf_digest: &Digest,
+    path: &[Digest],
+) -> Option<Digest> {
+    if leaf_count == 0 || index >= leaf_count {
+        return None;
+    }
+    let mut acc = *leaf_digest;
+    let mut idx = index;
+    let mut width = leaf_count;
+    let mut steps = path.iter();
+    while width > 1 {
+        let sibling = idx ^ 1;
+        if sibling < width {
+            let sib = steps.next()?;
+            acc = if sibling < idx {
+                node_hash(sib, &acc)
+            } else {
+                node_hash(&acc, sib)
+            };
+        }
+        // Odd nodes are promoted unchanged (no duplication), matching
+        // `MerkleTree::build`.
+        idx /= 2;
+        width = width.div_ceil(2);
+    }
+    if steps.next().is_some() {
+        return None;
+    }
+    Some(acc)
+}
+
+/// Verifies that `leaf_data` is the `index`-th of `leaf_count` leaves under
+/// `root`, given the sibling digests bottom-up.
+pub fn verify_inclusion(
+    root: &Digest,
+    index: usize,
+    leaf_count: usize,
+    leaf_data: &[u8],
+    path: &[Digest],
+) -> bool {
+    compute_root(index, leaf_count, &leaf_hash(leaf_data), path).as_ref() == Some(root)
 }
 
 #[cfg(test)]
@@ -201,6 +262,53 @@ mod tests {
         // Order matters.
         let c = MerkleTree::build([b"b".as_slice(), b"a".as_slice()]);
         assert_ne!(a.root(), c.root());
+    }
+
+    #[test]
+    fn compute_root_matches_tree_for_all_sizes() {
+        for n in 1..=17 {
+            let data = leaves(n);
+            let tree = MerkleTree::build(data.iter().map(|v| v.as_slice()));
+            for (i, leaf) in data.iter().enumerate() {
+                let path = tree.prove(i).unwrap().path_digests();
+                assert!(
+                    verify_inclusion(&tree.root(), i, n, leaf, &path),
+                    "n={n} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compute_root_rejects_structural_tampering() {
+        let data = leaves(11);
+        let tree = MerkleTree::build(data.iter().map(|v| v.as_slice()));
+        let root = tree.root();
+        let path = tree.prove(6).unwrap().path_digests();
+        // Baseline accepts.
+        assert!(verify_inclusion(&root, 6, 11, &data[6], &path));
+        // Wrong index: structurally valid indices bind to different roots,
+        // out-of-range indices are rejected outright.
+        assert!(!verify_inclusion(&root, 5, 11, &data[6], &path));
+        assert!(!verify_inclusion(&root, 11, 11, &data[6], &path));
+        // A lying leaf count that changes the tree shape is rejected. (A
+        // count lie that preserves the shape — e.g. 12 here — recomputes
+        // the same root and is harmless: the signature binds the root.)
+        assert!(!verify_inclusion(&root, 6, 7, &data[6], &path));
+        assert!(!verify_inclusion(&root, 6, 32, &data[6], &path));
+        // Truncated and padded paths.
+        assert!(!verify_inclusion(
+            &root,
+            6,
+            11,
+            &data[6],
+            &path[..path.len() - 1]
+        ));
+        let mut padded = path.clone();
+        padded.push([0; 32]);
+        assert!(!verify_inclusion(&root, 6, 11, &data[6], &padded));
+        // Empty tree.
+        assert_eq!(compute_root(0, 0, &leaf_hash(b"x"), &[]), None);
     }
 
     #[test]

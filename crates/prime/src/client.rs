@@ -149,7 +149,7 @@ impl Process for TestClient {
                 None => return,
             },
         };
-        let Ok(msg) = PrimeMsg::decode(&payload) else {
+        let Ok(msg) = crate::msg::decode_enclosed(&payload) else {
             return;
         };
         if let PrimeMsg::Reply {

@@ -72,6 +72,18 @@ pub struct PrimeConfig {
     pub replica_key_base: u32,
     /// Crypto id base for clients in the key store.
     pub client_key_base: u32,
+    /// Amortize signatures: queue PO-Acks/Prepares/Commits/Replies and
+    /// sign a single Merkle root over the batch, attaching per-message
+    /// inclusion proofs instead of individual signatures.
+    pub batch_sign: bool,
+    /// Maximum time queued messages wait for their Merkle root signature:
+    /// the batch flushes this long after its first message is queued (or
+    /// immediately once 64 messages accumulate). Longer windows amortize
+    /// better at the cost of up to this much latency per protocol hop.
+    pub batch_interval: Span,
+    /// Capacity of each bounded verification cache (client ops, summary
+    /// rows, batch roots); 0 disables caching.
+    pub verify_cache: usize,
 }
 
 impl PrimeConfig {
@@ -94,6 +106,9 @@ impl PrimeConfig {
             recovery_genesis_timeout: Span::secs(3),
             replica_key_base: 1000,
             client_key_base: 2000,
+            batch_sign: false,
+            batch_interval: Span::millis(2),
+            verify_cache: 4096,
         }
     }
 

@@ -42,6 +42,6 @@ pub use client::TestClient;
 pub use config::{ClientId, PrimeConfig, ProtocolMode, ReplicaId};
 pub use inspect::Inspection;
 pub use kv::{KvApp, KvOp, KvReply};
-pub use msg::{ClientOp, PrimeMsg};
+pub use msg::{decode_enclosed, ClientOp, PrimeMsg};
 pub use net::{DirectNet, ReplicaNet, SpinesNet};
 pub use replica::Replica;

@@ -7,6 +7,7 @@
 
 use crate::config::{ClientId, ReplicaId};
 use bytes::Bytes;
+use spire_crypto::batch::BatchAttestation;
 use spire_crypto::keys::{verify64, Signer};
 use spire_crypto::{Digest, KeyStore, NodeId};
 use spire_sim::{WireError, WireReader, WireWriter};
@@ -43,7 +44,7 @@ impl ClientOp {
             .u32(self.client.0)
             .u64(self.cseq)
             .bytes(&self.payload);
-        w.finish().to_vec()
+        w.into_vec()
     }
 
     /// Verifies the client signature given the client's key-store id.
@@ -81,7 +82,7 @@ impl ClientOp {
     fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
         self.write(&mut w);
-        w.finish().to_vec()
+        w.into_vec()
     }
 }
 
@@ -143,7 +144,17 @@ impl SummaryRow {
         let mut w = WireWriter::new();
         w.raw(b"prime-summary").u32(self.replica.0).u64(self.sseq);
         self.vector.write(&mut w);
-        w.finish().to_vec()
+        w.into_vec()
+    }
+
+    /// A digest identifying this row *including* its signature, used as a
+    /// verification-cache key: two rows with identical content but
+    /// different signature bytes hash differently, so a forged signature
+    /// can never alias a cached verified row.
+    pub fn cache_key(&self) -> Digest {
+        let mut w = WireWriter::new();
+        self.write(&mut w);
+        spire_crypto::digest(w.as_slice())
     }
 
     /// Verifies the row signature.
@@ -252,7 +263,7 @@ impl CheckpointMsg {
             .u32(self.replica.0)
             .u64(self.seq)
             .raw(&self.digest);
-        w.finish().to_vec()
+        w.into_vec()
     }
 
     /// Verifies the attestation signature.
@@ -313,14 +324,14 @@ pub struct ViewStateMsg {
 }
 
 impl ViewStateMsg {
-    /// Canonical signed bytes (signature zeroed).
+    /// Canonical signed bytes: the encoding with the trailing signature
+    /// field zeroed in place (no clone, no re-encode).
     pub fn signing_bytes(&self) -> Vec<u8> {
-        let mut clone = self.clone();
-        clone.sig = [0; 64];
         let mut w = WireWriter::new();
         w.raw(b"prime-viewstate");
-        clone.write(&mut w);
-        w.finish().to_vec()
+        self.write(&mut w);
+        w.zero_tail(64);
+        w.into_vec()
     }
 
     /// Verifies the report signature.
@@ -566,31 +577,53 @@ pub enum PrimeMsg {
 }
 
 impl PrimeMsg {
-    /// The canonical bytes a signature covers for this message (the
-    /// encoding with a zeroed signature).
-    pub fn signing_bytes(&self) -> Vec<u8> {
-        let mut clone = self.clone();
-        match &mut clone {
-            PrimeMsg::PoRequest { sig, .. }
-            | PrimeMsg::PoAck { sig, .. }
-            | PrimeMsg::PrePrepare { sig, .. }
-            | PrimeMsg::Prepare { sig, .. }
-            | PrimeMsg::Commit { sig, .. }
-            | PrimeMsg::Suspect { sig, .. }
-            | PrimeMsg::NewView { sig, .. }
-            | PrimeMsg::Notify { sig, .. }
-            | PrimeMsg::StateReq { sig, .. }
-            | PrimeMsg::Reply { sig, .. } => *sig = [0; 64],
-            PrimeMsg::ViewState(state) => state.sig = [0; 64],
-            _ => {}
-        }
-        clone.encode().to_vec()
+    /// True for variants whose encoding ends in their own 64-byte
+    /// signature field.
+    ///
+    /// Every signed variant writes its signature *last*, which is what lets
+    /// [`signing_bytes`](PrimeMsg::signing_bytes) zero the signature in the
+    /// already-encoded buffer instead of cloning the whole message.
+    fn carries_sig(&self) -> bool {
+        matches!(
+            self,
+            PrimeMsg::PoRequest { .. }
+                | PrimeMsg::PoAck { .. }
+                | PrimeMsg::PrePrepare { .. }
+                | PrimeMsg::Prepare { .. }
+                | PrimeMsg::Commit { .. }
+                | PrimeMsg::Suspect { .. }
+                | PrimeMsg::ViewState(_)
+                | PrimeMsg::NewView { .. }
+                | PrimeMsg::Notify { .. }
+                | PrimeMsg::StateReq { .. }
+                | PrimeMsg::Reply { .. }
+        )
     }
 
-    /// Signs the message in place (for variants carrying a signature).
-    pub fn sign(&mut self, key: &Signer) {
-        let bytes = self.signing_bytes();
-        let sig = key.sign64(&bytes);
+    /// The canonical bytes a signature covers for this message: the
+    /// encoding with the trailing signature field zeroed in place.
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(128);
+        self.write_signing_bytes(&mut w);
+        w.into_vec()
+    }
+
+    /// Writes the canonical signing bytes into `scratch` (cleared first)
+    /// and returns them — the allocation-free variant for hot sign/verify
+    /// paths that reuse one buffer.
+    pub fn write_signing_bytes<'a>(&self, scratch: &'a mut WireWriter) -> &'a [u8] {
+        scratch.clear();
+        self.write_into(scratch);
+        if self.carries_sig() {
+            scratch.zero_tail(64);
+        }
+        scratch.as_slice()
+    }
+
+    /// Signs the message in place (for variants carrying a signature),
+    /// reusing `scratch` for the signing bytes.
+    pub fn sign_with(&mut self, key: &Signer, scratch: &mut WireWriter) {
+        let sig = key.sign64(self.write_signing_bytes(scratch));
         match self {
             PrimeMsg::PoRequest { sig: s, .. }
             | PrimeMsg::PoAck { sig: s, .. }
@@ -607,8 +640,21 @@ impl PrimeMsg {
         }
     }
 
-    /// Verifies the embedded signature against `signer`'s key.
-    pub fn verify_sig(&self, keystore: &KeyStore, signer: NodeId, mock: bool) -> bool {
+    /// Signs the message in place (for variants carrying a signature).
+    pub fn sign(&mut self, key: &Signer) {
+        let mut scratch = WireWriter::with_capacity(128);
+        self.sign_with(key, &mut scratch);
+    }
+
+    /// Verifies the embedded signature against `signer`'s key, reusing
+    /// `scratch` for the signing bytes.
+    pub fn verify_sig_with(
+        &self,
+        keystore: &KeyStore,
+        signer: NodeId,
+        mock: bool,
+        scratch: &mut WireWriter,
+    ) -> bool {
         let sig = match self {
             PrimeMsg::PoRequest { sig, .. }
             | PrimeMsg::PoAck { sig, .. }
@@ -626,16 +672,34 @@ impl PrimeMsg {
             // idempotent and validated by content.
             _ => return true,
         };
-        verify64(keystore, signer, &self.signing_bytes(), &sig, mock)
+        verify64(
+            keystore,
+            signer,
+            self.write_signing_bytes(scratch),
+            &sig,
+            mock,
+        )
+    }
+
+    /// Verifies the embedded signature against `signer`'s key.
+    pub fn verify_sig(&self, keystore: &KeyStore, signer: NodeId, mock: bool) -> bool {
+        let mut scratch = WireWriter::with_capacity(128);
+        self.verify_sig_with(keystore, signer, mock, &mut scratch)
     }
 
     /// Encodes to canonical bytes.
     pub fn encode(&self) -> Bytes {
         let mut w = WireWriter::with_capacity(128);
+        self.write_into(&mut w);
+        w.finish()
+    }
+
+    /// Writes the canonical encoding into an existing writer.
+    fn write_into(&self, w: &mut WireWriter) {
         match self {
             PrimeMsg::Op(op) => {
                 w.u8(1);
-                op.write(&mut w);
+                op.write(w);
             }
             PrimeMsg::PoRequest {
                 origin,
@@ -645,7 +709,7 @@ impl PrimeMsg {
             } => {
                 w.u8(2).u32(origin.0).u64(*po_seq).u16(ops.len() as u16);
                 for op in ops {
-                    op.write(&mut w);
+                    op.write(w);
                 }
                 w.raw(sig);
             }
@@ -665,7 +729,7 @@ impl PrimeMsg {
             }
             PrimeMsg::PoSummary(row) => {
                 w.u8(4);
-                row.write(&mut w);
+                row.write(w);
             }
             PrimeMsg::PrePrepare {
                 view,
@@ -674,7 +738,7 @@ impl PrimeMsg {
                 sig,
             } => {
                 w.u8(5).u64(*view).u64(*seq);
-                matrix.write(&mut w);
+                matrix.write(w);
                 w.raw(sig);
             }
             PrimeMsg::Prepare {
@@ -716,18 +780,18 @@ impl PrimeMsg {
             }
             PrimeMsg::ViewState(state) => {
                 w.u8(11);
-                state.write(&mut w);
+                state.write(w);
             }
             PrimeMsg::NewView { view, states, sig } => {
                 w.u8(12).u64(*view).u16(states.len() as u16);
                 for state in states {
-                    state.write(&mut w);
+                    state.write(w);
                 }
                 w.raw(sig);
             }
             PrimeMsg::Checkpoint(m) => {
                 w.u8(13);
-                m.write(&mut w);
+                m.write(w);
             }
             PrimeMsg::StateReq {
                 replica,
@@ -755,7 +819,7 @@ impl PrimeMsg {
                     .bytes(share)
                     .u16(proof.len() as u16);
                 for p in proof {
-                    p.write(&mut w);
+                    p.write(w);
                 }
                 w.u64(*view)
                     .u64(*requester_po_high)
@@ -767,7 +831,7 @@ impl PrimeMsg {
                 matrix,
             } => {
                 w.u8(18).u32(replica.0).u64(*seq);
-                matrix.write(&mut w);
+                matrix.write(w);
             }
             PrimeMsg::ReconReq {
                 replica,
@@ -805,7 +869,6 @@ impl PrimeMsg {
                     .raw(sig);
             }
         }
-        w.finish()
     }
 
     /// Decodes from canonical bytes.
@@ -946,6 +1009,90 @@ impl PrimeMsg {
     pub fn digest(&self) -> Digest {
         spire_crypto::digest(&self.encode())
     }
+}
+
+/// Frame tag marking a batch-attested message ([`PrimeMsg`] encodings start
+/// with tags 1..=19, so the two framings share one byte stream).
+pub const BATCH_FRAME_TAG: u8 = 255;
+
+/// A replica-to-replica frame as read off a link: either a plain message
+/// authenticated by its own embedded signature, or a message whose
+/// signature field is zero and whose authenticity comes from a shared
+/// batch-root signature (see [`spire_crypto::batch`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// A bare [`PrimeMsg`] encoding.
+    Plain(PrimeMsg),
+    /// A batch-attested message.
+    Batched {
+        /// The replica that signed the batch root.
+        signer: ReplicaId,
+        /// Inclusion proof tying `msg` to the signed root.
+        attestation: BatchAttestation,
+        /// The carried message (embedded signature field is all-zero).
+        msg: PrimeMsg,
+        /// Digest of the carried message's encoding — the Merkle leaf.
+        msg_digest: Digest,
+    },
+}
+
+/// Encodes a batch-attested frame around an already-encoded message.
+pub fn encode_batched(signer: ReplicaId, attestation: &BatchAttestation, payload: &[u8]) -> Bytes {
+    let mut w = WireWriter::with_capacity(payload.len() + 64 + 32 * attestation.path.len() + 32);
+    w.u8(BATCH_FRAME_TAG)
+        .u32(signer.0)
+        .u32(attestation.leaf_index)
+        .u32(attestation.leaf_count)
+        .u8(attestation.path.len() as u8);
+    for digest in &attestation.path {
+        w.raw(digest);
+    }
+    w.raw(&attestation.root_sig).bytes(payload);
+    w.finish()
+}
+
+/// Decodes a frame: a batch-attested envelope or a plain message.
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, WireError> {
+    if bytes.first() != Some(&BATCH_FRAME_TAG) {
+        return Ok(Frame::Plain(PrimeMsg::decode(bytes)?));
+    }
+    let mut r = WireReader::new(bytes);
+    r.u8()?; // tag
+    let signer = ReplicaId(r.u32()?);
+    let leaf_index = r.u32()?;
+    let leaf_count = r.u32()?;
+    let path_len = r.u8()? as usize;
+    let mut path = Vec::with_capacity(path_len);
+    for _ in 0..path_len {
+        path.push(r.array()?);
+    }
+    let root_sig: [u8; 64] = r.array()?;
+    let payload = r.bytes()?;
+    let msg_digest = spire_crypto::digest(payload);
+    let msg = PrimeMsg::decode(payload)?;
+    r.expect_end()?;
+    Ok(Frame::Batched {
+        signer,
+        attestation: BatchAttestation {
+            leaf_index,
+            leaf_count,
+            path,
+            root_sig,
+        },
+        msg,
+        msg_digest,
+    })
+}
+
+/// Decodes a frame and returns the enclosed message, discarding any batch
+/// attestation. For client-side receivers (proxies, HMIs, historians),
+/// which authenticate results by collecting `f + 1` matching replies
+/// rather than by checking individual replica signatures.
+pub fn decode_enclosed(bytes: &[u8]) -> Result<PrimeMsg, WireError> {
+    Ok(match decode_frame(bytes)? {
+        Frame::Plain(msg) => msg,
+        Frame::Batched { msg, .. } => msg,
+    })
 }
 
 #[cfg(test)]
@@ -1139,6 +1286,95 @@ mod tests {
         let mut bad = op.clone();
         bad.cseq = 2;
         assert!(!bad.verify(&keystore, 2000, false));
+    }
+
+    #[test]
+    fn signing_bytes_zeroes_only_the_sig_field() {
+        // The zero-tail fast path must equal the old clone-and-re-encode
+        // semantics: encoding of the message with sig = [0; 64].
+        let mut msg = PrimeMsg::PoAck {
+            replica: ReplicaId(1),
+            origin: ReplicaId(0),
+            po_seq: 9,
+            digest: [5; 32],
+            sig: [6; 64],
+        };
+        let zeroed = PrimeMsg::PoAck {
+            replica: ReplicaId(1),
+            origin: ReplicaId(0),
+            po_seq: 9,
+            digest: [5; 32],
+            sig: [0; 64],
+        };
+        assert_eq!(msg.signing_bytes(), zeroed.encode().to_vec());
+        // The scratch-buffer variant agrees and the buffer is reusable.
+        let mut scratch = WireWriter::new();
+        assert_eq!(
+            msg.write_signing_bytes(&mut scratch),
+            &msg.signing_bytes()[..]
+        );
+        assert_eq!(
+            msg.write_signing_bytes(&mut scratch),
+            &msg.signing_bytes()[..]
+        );
+        // Unsigned variants keep their full encoding.
+        let ping = PrimeMsg::Ping {
+            replica: ReplicaId(0),
+            nonce: 7,
+        };
+        assert_eq!(ping.signing_bytes(), ping.encode().to_vec());
+        // sign_with round-trips through the same bytes.
+        let material = material();
+        let keystore = spire_crypto::KeyStore::for_nodes(&material, 2000);
+        let key = Signer::new(material.signing_key(NodeId(1001)), false);
+        msg.sign_with(&key, &mut scratch);
+        assert!(msg.verify_sig_with(&keystore, NodeId(1001), false, &mut scratch));
+    }
+
+    #[test]
+    fn batched_frame_roundtrip_and_auth() {
+        use spire_crypto::batch::BatchSigner;
+        let material = material();
+        let keystore = spire_crypto::KeyStore::for_nodes(&material, 2000);
+        let key = Signer::new(material.signing_key(NodeId(1001)), false); // replica 1
+        let msgs: Vec<PrimeMsg> = (0..5)
+            .map(|i| PrimeMsg::Commit {
+                replica: ReplicaId(1),
+                view: 0,
+                seq: i,
+                digest: [i as u8; 32],
+                sig: [0; 64],
+            })
+            .collect();
+        let mut batch = BatchSigner::new();
+        let encodings: Vec<Bytes> = msgs.iter().map(|m| m.encode()).collect();
+        for enc in &encodings {
+            batch.push(spire_crypto::digest(enc));
+        }
+        let signed = batch.flush(&key).unwrap();
+        for (i, (msg, enc)) in msgs.iter().zip(&encodings).enumerate() {
+            let frame = encode_batched(ReplicaId(1), &signed.attestation(i), enc);
+            match decode_frame(&frame).expect("decode") {
+                Frame::Batched {
+                    signer,
+                    attestation,
+                    msg: got,
+                    msg_digest,
+                } => {
+                    assert_eq!(signer, ReplicaId(1));
+                    assert_eq!(&got, msg);
+                    assert!(attestation.verify(&keystore, NodeId(1001), &msg_digest, false));
+                    // The wrong replica id must not authenticate it.
+                    assert!(!attestation.verify(&keystore, NodeId(1002), &msg_digest, false));
+                }
+                Frame::Plain(_) => panic!("expected batched frame"),
+            }
+        }
+        // Plain encodings still decode as plain frames.
+        match decode_frame(&encodings[0]).expect("decode") {
+            Frame::Plain(m) => assert_eq!(m, msgs[0]),
+            Frame::Batched { .. } => panic!("expected plain frame"),
+        }
     }
 
     #[test]

@@ -34,16 +34,20 @@
 
 use crate::application::Application;
 use crate::behavior::ByzBehavior;
-use crate::config::{PrimeConfig, ProtocolMode, ReplicaId};
+use crate::config::{ClientId, PrimeConfig, ProtocolMode, ReplicaId};
 use crate::inspect::Inspection;
 use crate::msg::{
-    AruVector, CheckpointMsg, ClientOp, Matrix, PreparedClaim, PrimeMsg, SummaryRow, ViewStateMsg,
+    self, AruVector, CheckpointMsg, ClientOp, Frame, Matrix, PreparedClaim, PrimeMsg, SummaryRow,
+    ViewStateMsg,
 };
 use crate::net::ReplicaNet;
 use bytes::Bytes;
-use spire_crypto::keys::Signer;
+use spire_crypto::batch::{self, BatchAttestation, BatchSigner, DigestCache};
+use spire_crypto::keys::{verify64, Signer};
 use spire_crypto::{Digest, KeyStore, NodeId};
-use spire_sim::{span_key, Context, Process, ProcessId, Span, SpanPhase, Time, TraceKind};
+use spire_sim::{
+    span_key, Context, Process, ProcessId, Span, SpanPhase, Time, TraceKind, WireWriter,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
@@ -54,6 +58,12 @@ const TIMER_PING: u64 = 4;
 const TIMER_PROGRESS: u64 = 5;
 const TIMER_RECON: u64 = 6;
 const TIMER_STATE_REQ: u64 = 7;
+const TIMER_BATCH: u64 = 8;
+
+/// Messages accumulated in one signing batch before the Merkle root is
+/// signed: bounds both memory and the inclusion-proof length (log2(64) = 6
+/// path digests).
+const BATCH_CAP: usize = 64;
 
 /// How far ahead of the committed prefix the leader may propose.
 const PROPOSAL_WINDOW: u64 = 8;
@@ -61,7 +71,7 @@ const PROPOSAL_WINDOW: u64 = 8;
 /// Every metric name a replica emits. Keys are prefixed with the instance
 /// label once, at construction, because several fire per message delivery —
 /// a `format!` there dominated the metrics path.
-const METRIC_NAMES: [&str; 31] = [
+const METRIC_NAMES: [&str; 37] = [
     "bad_client_sig",
     "bad_po_sig",
     "bad_op_in_batch",
@@ -93,6 +103,12 @@ const METRIC_NAMES: [&str; 31] = [
     "views_installed",
     "decode_fail",
     "bad_preprepare_sig",
+    "sign_ops",
+    "verify_ops",
+    "verify_cache_hits",
+    "batch_flushes",
+    "batched_msgs",
+    "bad_batch_auth",
 ];
 
 /// Label-prefixed metric keys, computed once per replica.
@@ -190,6 +206,41 @@ struct PoEntry {
     acked: Option<Digest>,
 }
 
+/// Where a queued batch-signed message goes at flush time.
+enum OutboxDest {
+    /// Broadcast to every other replica (votes).
+    Replicas,
+    /// Sent to one client (replies and notifications).
+    Client(ClientId),
+}
+
+/// What to keep of a queued message once its attested frame exists at
+/// flush time. Reconciliation later forwards retained frames verbatim, so
+/// they must be self-contained (attestation included).
+enum Retain {
+    /// Nothing to retain.
+    None,
+    /// Our own PO-Ack: certificate material under `(origin, po_seq)`.
+    Ack {
+        origin: u32,
+        po_seq: u64,
+        digest: Digest,
+    },
+    /// Our own PO-Request: the stored content bytes under
+    /// `(me, po_seq)` are replaced with the attested frame.
+    Request { po_seq: u64, digest: Digest },
+}
+
+/// A message queued for the next amortized-signature flush.
+struct OutboxItem {
+    /// The encoded message, signature field all-zero.
+    payload: Bytes,
+    /// Recipient set.
+    dest: OutboxDest,
+    /// Certificate-material retention at flush time.
+    retain: Retain,
+}
+
 /// The Prime replica process.
 pub struct Replica {
     cfg: PrimeConfig,
@@ -270,6 +321,23 @@ pub struct Replica {
     recon_rotor: u32,
     max_seen_commit: u64,
 
+    // ---- amortized authentication ----
+    /// Votes/replies queued for the amortized flush (when `batch_sign`):
+    /// all messages queued within one `batch_interval` window share one
+    /// batch-root signature.
+    outbox: Vec<OutboxItem>,
+    /// Whether a `TIMER_BATCH` flush is already pending.
+    batch_timer_armed: bool,
+    batcher: BatchSigner,
+    /// Verified batch roots, keyed by digest(signer || root || root_sig).
+    root_cache: DigestCache,
+    /// Verified client ops, keyed by digest over the full signed encoding.
+    op_cache: DigestCache,
+    /// Verified summary rows, keyed by [`SummaryRow::cache_key`].
+    row_cache: DigestCache,
+    /// Reusable encoding buffer for sign/verify signing bytes.
+    scratch: WireWriter,
+
     // ---- attack modelling ----
     delayed_proposals: Vec<(Time, Bytes)>,
 
@@ -299,6 +367,7 @@ impl Replica {
         recovering: bool,
     ) -> Replica {
         let n = cfg.n as usize;
+        let cache = cfg.verify_cache;
         Replica {
             cfg,
             me,
@@ -349,6 +418,13 @@ impl Replica {
             missing: BTreeSet::new(),
             recon_rotor: 0,
             max_seen_commit: 0,
+            outbox: Vec::new(),
+            batch_timer_armed: false,
+            batcher: BatchSigner::new(),
+            root_cache: DigestCache::new(cache),
+            op_cache: DigestCache::new(cache),
+            row_cache: DigestCache::new(cache),
+            scratch: WireWriter::with_capacity(256),
             delayed_proposals: Vec::new(),
             pending_snapshots: BTreeMap::new(),
             inspection: None,
@@ -406,10 +482,255 @@ impl Replica {
         self.net.send_replica(ctx, to, msg.encode());
     }
 
+    /// Sends `a` to even-numbered replicas and `b` to odd ones (the
+    /// equivocation attack split), sharing each encoding across recipients.
+    fn broadcast_split(&mut self, ctx: &mut Context<'_>, a: Bytes, b: Bytes) {
+        for r in 0..self.cfg.n {
+            if r == self.me.0 {
+                continue;
+            }
+            let bytes = if r % 2 == 0 { a.clone() } else { b.clone() };
+            self.net.send_replica(ctx, ReplicaId(r), bytes);
+        }
+    }
+
+    // ================= amortized authentication =================
+
+    /// Signs a message in place, metered and buffer-reusing.
+    fn sign_msg(&mut self, ctx: &mut Context<'_>, msg: &mut PrimeMsg) {
+        ctx.count(self.metric("sign_ops"), 1);
+        msg.sign_with(&self.signer, &mut self.scratch);
+    }
+
+    /// Verifies a replica-signed message, metered. `env_auth` is the
+    /// replica whose batch attestation already authenticated the enclosing
+    /// frame, if any: when it matches the claimed sender, the (zeroed)
+    /// embedded signature needs no further checking.
+    fn verify_replica_msg(
+        &mut self,
+        ctx: &mut Context<'_>,
+        msg: &PrimeMsg,
+        claimed: ReplicaId,
+        env_auth: Option<ReplicaId>,
+    ) -> bool {
+        if env_auth == Some(claimed) {
+            return true;
+        }
+        ctx.count(self.metric("verify_ops"), 1);
+        let node = NodeId(self.cfg.replica_key_base + claimed.0);
+        let mock = self.signer.is_mock();
+        msg.verify_sig_with(&self.keystore, node, mock, &mut self.scratch)
+    }
+
+    /// Verifies a client op through the bounded cache: ops re-arrive inside
+    /// every PO-Request rebroadcast and reconciliation, so each distinct
+    /// signed op is checked against the client key at most once per cache
+    /// lifetime.
+    fn verify_client_op(&mut self, ctx: &mut Context<'_>, op: &ClientOp) -> bool {
+        let key = op.digest();
+        if self.op_cache.contains(&key) {
+            ctx.count(self.metric("verify_cache_hits"), 1);
+            return true;
+        }
+        ctx.count(self.metric("verify_ops"), 1);
+        if op.verify(&self.keystore, self.cfg.client_key_base, self.mock()) {
+            self.op_cache.insert(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Verifies a summary row through the bounded cache: the same signed
+    /// rows recur across PO-Summary broadcasts and every Pre-Prepare matrix
+    /// that embeds them.
+    fn verify_summary_row(&mut self, ctx: &mut Context<'_>, row: &SummaryRow) -> bool {
+        if row.replica.0 >= self.cfg.n {
+            return false;
+        }
+        let key = row.cache_key();
+        if self.row_cache.contains(&key) {
+            ctx.count(self.metric("verify_cache_hits"), 1);
+            return true;
+        }
+        ctx.count(self.metric("verify_ops"), 1);
+        if row.verify(&self.keystore, self.cfg.replica_key_base, self.mock()) {
+            self.row_cache.insert(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Verifies a batch attestation (inclusion proof + root signature).
+    /// All messages of one batch share the signed root, so the signature
+    /// check is cached and later messages cost only hashing.
+    fn verify_batch_attestation(
+        &mut self,
+        ctx: &mut Context<'_>,
+        signer: ReplicaId,
+        attestation: &BatchAttestation,
+        msg_digest: &Digest,
+    ) -> bool {
+        let Some(root) = attestation.compute_root(msg_digest) else {
+            return false;
+        };
+        let key =
+            spire_crypto::digest_parts(&[&signer.0.to_le_bytes(), &root, &attestation.root_sig]);
+        if self.root_cache.contains(&key) {
+            ctx.count(self.metric("verify_cache_hits"), 1);
+            return true;
+        }
+        ctx.count(self.metric("verify_ops"), 1);
+        let ok = verify64(
+            &self.keystore,
+            self.replica_node(signer),
+            &batch::root_signing_bytes(&root),
+            &attestation.root_sig,
+            self.mock(),
+        );
+        if ok {
+            self.root_cache.insert(key);
+        }
+        ok
+    }
+
+    /// Queues a zero-signature encoding for the amortized flush. The batch
+    /// flushes `batch_interval` after its first message (or immediately at
+    /// [`BATCH_CAP`]); authenticity comes from the batch attestation
+    /// attached at flush time.
+    fn queue_outbox(&mut self, ctx: &mut Context<'_>, item: OutboxItem) {
+        self.outbox.push(item);
+        if self.outbox.len() >= BATCH_CAP {
+            self.flush_outbox(ctx);
+        } else if !self.batch_timer_armed {
+            self.batch_timer_armed = true;
+            ctx.set_timer(self.cfg.batch_interval, TIMER_BATCH);
+        }
+    }
+
+    /// Queues a vote broadcast (PO-Ack / Prepare / Commit) for the
+    /// amortized flush, or signs and broadcasts it immediately when batch
+    /// signing is off. `retain` marks our own PO-Acks for certificate
+    /// retention (see [`OutboxItem`]).
+    fn send_vote(&mut self, ctx: &mut Context<'_>, mut msg: PrimeMsg, retain: Retain) {
+        if self.cfg.batch_sign {
+            self.queue_outbox(
+                ctx,
+                OutboxItem {
+                    payload: msg.encode(),
+                    dest: OutboxDest::Replicas,
+                    retain,
+                },
+            );
+            return;
+        }
+        self.sign_msg(ctx, &mut msg);
+        let bytes = msg.encode();
+        if let Retain::Ack {
+            origin,
+            po_seq,
+            digest,
+        } = retain
+        {
+            if let Some(entry) = self.po.get_mut(&(origin, po_seq)) {
+                entry
+                    .acks
+                    .entry(digest)
+                    .or_default()
+                    .insert(self.me.0, bytes.clone());
+            }
+        }
+        for r in 0..self.cfg.n {
+            if r != self.me.0 {
+                self.net.send_replica(ctx, ReplicaId(r), bytes.clone());
+            }
+        }
+    }
+
+    /// Sends a signed message to a client (Reply / Notify), through the
+    /// amortized batch when batch signing is on.
+    fn send_client_signed(&mut self, ctx: &mut Context<'_>, client: ClientId, mut msg: PrimeMsg) {
+        if self.cfg.batch_sign {
+            self.queue_outbox(
+                ctx,
+                OutboxItem {
+                    payload: msg.encode(),
+                    dest: OutboxDest::Client(client),
+                    retain: Retain::None,
+                },
+            );
+            return;
+        }
+        self.sign_msg(ctx, &mut msg);
+        self.net.send_client(ctx, client, msg.encode());
+    }
+
+    /// Signs one Merkle root over every queued message and sends each with
+    /// its inclusion attestation, so everything queued during one
+    /// `batch_interval` window shares a single signature.
+    fn flush_outbox(&mut self, ctx: &mut Context<'_>) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        let items = std::mem::take(&mut self.outbox);
+        for item in &items {
+            self.batcher.push(spire_crypto::digest(&item.payload));
+        }
+        ctx.count(self.metric("sign_ops"), 1);
+        ctx.count(self.metric("batch_flushes"), 1);
+        ctx.count(self.metric("batched_msgs"), items.len() as u64);
+        let signed = self.batcher.flush(&self.signer).expect("non-empty batch");
+        for (i, item) in items.into_iter().enumerate() {
+            let frame = msg::encode_batched(self.me, &signed.attestation(i), &item.payload);
+            match item.dest {
+                OutboxDest::Replicas => {
+                    for r in 0..self.cfg.n {
+                        if r != self.me.0 {
+                            self.net.send_replica(ctx, ReplicaId(r), frame.clone());
+                        }
+                    }
+                }
+                OutboxDest::Client(client) => {
+                    self.net.send_client(ctx, client, frame.clone());
+                }
+            }
+            match item.retain {
+                Retain::None => {}
+                Retain::Ack {
+                    origin,
+                    po_seq,
+                    digest,
+                } => {
+                    if let Some(entry) = self.po.get_mut(&(origin, po_seq)) {
+                        entry
+                            .acks
+                            .entry(digest)
+                            .or_default()
+                            .insert(self.me.0, frame);
+                    }
+                    // Our retained vote may complete the pre-order quorum.
+                    self.check_certified(ctx, origin, po_seq);
+                }
+                Retain::Request { po_seq, digest } => {
+                    // Swap the zero-signature encoding stored at queue time
+                    // for the attested frame reconciliation will forward.
+                    if let Some(entry) = self.po.get_mut(&(self.me.0, po_seq)) {
+                        if let Some((stored, _, raw)) = &mut entry.content {
+                            if *stored == digest {
+                                *raw = frame;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     // ================= pre-ordering =================
 
     fn on_client_op(&mut self, ctx: &mut Context<'_>, op: ClientOp) {
-        if !op.verify(&self.keystore, self.cfg.client_key_base, self.mock()) {
+        if !self.verify_client_op(ctx, &op) {
             ctx.count(self.metric("bad_client_sig"), 1);
             return;
         }
@@ -439,22 +760,15 @@ impl Replica {
                 ops: ops[..half].to_vec(),
                 sig: [0; 64],
             };
-            msg_a.sign(&self.signer);
+            self.sign_msg(ctx, &mut msg_a);
             let mut msg_b = PrimeMsg::PoRequest {
                 origin: self.me,
                 po_seq: self.my_po_seq,
                 ops: ops[half..].to_vec(),
                 sig: [0; 64],
             };
-            msg_b.sign(&self.signer);
-            let (a, b) = (msg_a.encode(), msg_b.encode());
-            for r in 0..self.cfg.n {
-                if r == self.me.0 {
-                    continue;
-                }
-                let bytes = if r % 2 == 0 { a.clone() } else { b.clone() };
-                self.net.send_replica(ctx, ReplicaId(r), bytes);
-            }
+            self.sign_msg(ctx, &mut msg_b);
+            self.broadcast_split(ctx, msg_a.encode(), msg_b.encode());
             return;
         }
         let mut msg = PrimeMsg::PoRequest {
@@ -463,15 +777,40 @@ impl Replica {
             ops,
             sig: [0; 64],
         };
-        msg.sign(&self.signer);
+        if self.cfg.batch_sign {
+            // Our own zero-signature encoding is accepted directly (we
+            // trivially authenticated ourselves); the attested frame
+            // replaces the stored bytes at flush time.
+            let digest = spire_crypto::digest(&msg.signing_bytes());
+            let po_seq = self.my_po_seq;
+            self.accept_po_request(ctx, &msg, Some(self.me), None);
+            self.queue_outbox(
+                ctx,
+                OutboxItem {
+                    payload: msg.encode(),
+                    dest: OutboxDest::Replicas,
+                    retain: Retain::Request { po_seq, digest },
+                },
+            );
+            return;
+        }
+        self.sign_msg(ctx, &mut msg);
         // Record our own request locally (we are origin and first acker).
-        self.accept_po_request(ctx, &msg);
+        self.accept_po_request(ctx, &msg, None, None);
         self.broadcast(ctx, &msg);
     }
 
     /// Handles a PO-Request (from the origin, from our own flush, or
-    /// re-broadcast through reconciliation).
-    fn accept_po_request(&mut self, ctx: &mut Context<'_>, msg: &PrimeMsg) {
+    /// re-broadcast through reconciliation). `frame` is the self-contained
+    /// wire form the request arrived in (attested when batched); it is
+    /// what reconciliation stores and forwards.
+    fn accept_po_request(
+        &mut self,
+        ctx: &mut Context<'_>,
+        msg: &PrimeMsg,
+        env_auth: Option<ReplicaId>,
+        frame: Option<&Bytes>,
+    ) {
         let PrimeMsg::PoRequest {
             origin,
             po_seq,
@@ -485,14 +824,11 @@ impl Replica {
         if origin.0 >= self.cfg.n {
             return;
         }
-        if !msg.verify_sig(&self.keystore, self.replica_node(origin), self.mock()) {
+        if !self.verify_replica_msg(ctx, msg, origin, env_auth) {
             ctx.count(self.metric("bad_po_sig"), 1);
             return;
         }
-        let mock = self.mock();
-        let ops_ok = ops
-            .iter()
-            .all(|op| op.verify(&self.keystore, self.cfg.client_key_base, mock));
+        let ops_ok = ops.iter().all(|op| self.verify_client_op(ctx, op));
         if !ops_ok {
             ctx.count(self.metric("bad_op_in_batch"), 1);
             return;
@@ -508,33 +844,38 @@ impl Replica {
             _ => false,
         };
         if replace {
-            entry.content = Some((digest, ops.clone(), msg.encode()));
+            let raw = frame.cloned().unwrap_or_else(|| msg.encode());
+            entry.content = Some((digest, ops.clone(), raw));
         }
         // Vouch: the origin implicitly acks via its signed request; we ack
         // once (unless we are the origin, whose request is its vote).
-        if entry.acked.is_none() && origin != self.me {
+        let ack_now = entry.acked.is_none() && origin != self.me;
+        if ack_now {
             entry.acked = Some(digest);
-            let mut ack = PrimeMsg::PoAck {
+        }
+        if ack_now && self.behavior != ByzBehavior::AckWithhold {
+            let ack = PrimeMsg::PoAck {
                 replica: self.me,
                 origin,
                 po_seq,
                 digest,
                 sig: [0; 64],
             };
-            if self.behavior != ByzBehavior::AckWithhold {
-                ack.sign(&self.signer);
-                entry
-                    .acks
-                    .entry(digest)
-                    .or_default()
-                    .insert(self.me.0, ack.encode());
-                self.broadcast(ctx, &ack);
-            }
+            self.send_vote(
+                ctx,
+                ack,
+                Retain::Ack {
+                    origin: origin.0,
+                    po_seq,
+                    digest,
+                },
+            );
         }
         self.missing.remove(&(origin.0, po_seq));
         self.check_certified(ctx, origin.0, po_seq);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_po_ack(
         &mut self,
         ctx: &mut Context<'_>,
@@ -543,23 +884,27 @@ impl Replica {
         origin: ReplicaId,
         po_seq: u64,
         digest: Digest,
+        env_auth: Option<ReplicaId>,
+        frame: &Bytes,
     ) {
         if replica.0 >= self.cfg.n || origin.0 >= self.cfg.n {
             return;
         }
-        if !msg.verify_sig(&self.keystore, self.replica_node(replica), self.mock()) {
+        if !self.verify_replica_msg(ctx, msg, replica, env_auth) {
             ctx.count(self.metric("bad_ack_sig"), 1);
             return;
         }
         if replica == origin {
             return; // the origin's vote is its signed request, not an ack
         }
+        // Store the frame as received (plain or batch-attested): it is
+        // self-contained certificate material for reconciliation.
         let entry = self.po.entry((origin.0, po_seq)).or_default();
         entry
             .acks
             .entry(digest)
             .or_default()
-            .insert(replica.0, msg.encode());
+            .insert(replica.0, frame.clone());
         self.check_certified(ctx, origin.0, po_seq);
     }
 
@@ -623,6 +968,7 @@ impl Replica {
         }
         self.my_sseq += 1;
         ctx.count(self.metric("summaries_sent"), 1);
+        ctx.count(self.metric("sign_ops"), 1);
         let row = SummaryRow::signed(self.me, self.my_sseq, vector.clone(), &self.signer);
         self.last_summary_vector = vector;
         self.latest_rows.insert(self.me.0, row.clone());
@@ -634,10 +980,7 @@ impl Replica {
     }
 
     fn on_summary(&mut self, ctx: &mut Context<'_>, row: SummaryRow) {
-        if row.replica.0 >= self.cfg.n {
-            return;
-        }
-        if !row.verify(&self.keystore, self.cfg.replica_key_base, self.mock()) {
+        if !self.verify_summary_row(ctx, &row) {
             ctx.count(self.metric("bad_summary_sig"), 1);
             return;
         }
@@ -707,26 +1050,15 @@ impl Replica {
                 matrix: matrix.clone(),
                 sig: [0; 64],
             };
-            msg_a.sign(&self.signer);
+            self.sign_msg(ctx, &mut msg_a);
             let mut msg_b = PrimeMsg::PrePrepare {
                 view: self.view,
                 seq,
                 matrix: alt,
                 sig: [0; 64],
             };
-            msg_b.sign(&self.signer);
-            let (a_bytes, b_bytes) = (msg_a.encode(), msg_b.encode());
-            for r in 0..self.cfg.n {
-                if r == self.me.0 {
-                    continue;
-                }
-                let bytes = if r % 2 == 0 {
-                    a_bytes.clone()
-                } else {
-                    b_bytes.clone()
-                };
-                self.net.send_replica(ctx, ReplicaId(r), bytes);
-            }
+            self.sign_msg(ctx, &mut msg_b);
+            self.broadcast_split(ctx, msg_a.encode(), msg_b.encode());
             return;
         }
         let mut msg = PrimeMsg::PrePrepare {
@@ -735,7 +1067,7 @@ impl Replica {
             matrix,
             sig: [0; 64],
         };
-        msg.sign(&self.signer);
+        self.sign_msg(ctx, &mut msg);
         // A delaying leader (performance attack) postpones the broadcast;
         // deferred frames are released from the pre-prepare timer.
         if let ByzBehavior::LeaderDelay(extra) = self.behavior {
@@ -757,13 +1089,13 @@ impl Replica {
         if view != self.view || self.in_view_change || seq <= self.commit_aru {
             return;
         }
-        let mock = self.mock();
         // Validate every row signature so a lying leader cannot fabricate
-        // other replicas' summaries.
-        let rows_ok = matrix.rows.iter().all(|row| {
-            row.replica.0 < self.cfg.n
-                && row.verify(&self.keystore, self.cfg.replica_key_base, mock)
-        });
+        // other replicas' summaries. Rows recur across proposals, so the
+        // bounded cache makes re-validation a hash lookup.
+        let rows_ok = matrix
+            .rows
+            .iter()
+            .all(|row| self.verify_summary_row(ctx, row));
         if !rows_ok {
             ctx.count(self.metric("bad_matrix_row"), 1);
             return;
@@ -807,25 +1139,25 @@ impl Replica {
                 self.check_turnaround(ctx, tat_us);
             }
         }
-        let mut prepare = PrimeMsg::Prepare {
-            replica: self.me,
-            view,
-            seq,
-            digest,
-            sig: [0; 64],
-        };
         if self.behavior != ByzBehavior::AckWithhold {
-            prepare.sign(&self.signer);
             self.slots
                 .get_mut(&seq)
                 .unwrap()
                 .prepares
                 .insert(self.me.0, digest);
-            self.broadcast(ctx, &prepare);
+            let prepare = PrimeMsg::Prepare {
+                replica: self.me,
+                view,
+                seq,
+                digest,
+                sig: [0; 64],
+            };
+            self.send_vote(ctx, prepare, Retain::None);
         }
         self.try_prepare_commit(ctx, seq);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_prepare(
         &mut self,
         ctx: &mut Context<'_>,
@@ -834,11 +1166,12 @@ impl Replica {
         view: u64,
         seq: u64,
         digest: Digest,
+        env_auth: Option<ReplicaId>,
     ) {
         if replica.0 >= self.cfg.n || seq <= self.commit_aru {
             return;
         }
-        if !msg.verify_sig(&self.keystore, self.replica_node(replica), self.mock()) {
+        if !self.verify_replica_msg(ctx, msg, replica, env_auth) {
             ctx.count(self.metric("bad_prepare_sig"), 1);
             return;
         }
@@ -851,6 +1184,7 @@ impl Replica {
         self.try_prepare_commit(ctx, seq);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_commit(
         &mut self,
         ctx: &mut Context<'_>,
@@ -859,11 +1193,12 @@ impl Replica {
         view: u64,
         seq: u64,
         digest: Digest,
+        env_auth: Option<ReplicaId>,
     ) {
         if replica.0 >= self.cfg.n || seq <= self.commit_aru {
             return;
         }
-        if !msg.verify_sig(&self.keystore, self.replica_node(replica), self.mock()) {
+        if !self.verify_replica_msg(ctx, msg, replica, env_auth) {
             ctx.count(self.metric("bad_commit_sig"), 1);
             return;
         }
@@ -893,15 +1228,14 @@ impl Replica {
                 slot.prepared = true;
                 if !withhold {
                     slot.commits.insert(me.0, digest);
-                    let mut commit = PrimeMsg::Commit {
+                    let commit = PrimeMsg::Commit {
                         replica: me,
                         view,
                         seq,
                         digest,
                         sig: [0; 64],
                     };
-                    commit.sign(&self.signer);
-                    self.broadcast(ctx, &commit);
+                    self.send_vote(ctx, commit, Retain::None);
                 }
             }
         }
@@ -1033,15 +1367,14 @@ impl Replica {
         };
         let result = outcome.reply;
         for notification in outcome.notifications {
-            let mut msg = PrimeMsg::Notify {
+            let msg = PrimeMsg::Notify {
                 replica: self.me,
                 client: notification.target,
                 nseq: notification.nseq,
                 payload: Bytes::from(notification.payload),
                 sig: [0; 64],
             };
-            msg.sign(&self.signer);
-            self.net.send_client(ctx, notification.target, msg.encode());
+            self.send_client_signed(ctx, notification.target, msg);
         }
         ctx.count(self.metric("ops_executed"), 1);
         self.total_ops += 1;
@@ -1063,15 +1396,14 @@ impl Replica {
                 rec.app_digest = app_digest;
             });
         }
-        let mut reply = PrimeMsg::Reply {
+        let reply = PrimeMsg::Reply {
             replica: self.me,
             client: op.client,
             cseq: op.cseq,
             result: Bytes::from(result),
             sig: [0; 64],
         };
-        reply.sign(&self.signer);
-        self.net.send_client(ctx, op.client, reply.encode());
+        self.send_client_signed(ctx, op.client, reply);
     }
 
     // ================= checkpoints & recovery =================
@@ -1148,6 +1480,7 @@ impl Replica {
     fn take_checkpoint(&mut self, ctx: &mut Context<'_>, seq: u64) {
         let snapshot = self.execution_snapshot();
         let digest = spire_crypto::digest(&snapshot);
+        ctx.count(self.metric("sign_ops"), 1);
         let msg = CheckpointMsg::signed(self.me, seq, digest, &self.signer);
         self.checkpoint_votes
             .entry(seq)
@@ -1163,6 +1496,7 @@ impl Replica {
         if msg.replica.0 >= self.cfg.n {
             return;
         }
+        ctx.count(self.metric("verify_ops"), 1);
         if !msg.verify(&self.keystore, self.cfg.replica_key_base, self.mock()) {
             ctx.count(self.metric("bad_ckpt_sig"), 1);
             return;
@@ -1229,7 +1563,7 @@ impl Replica {
         if from.0 >= self.cfg.n || from == self.me {
             return;
         }
-        if !msg.verify_sig(&self.keystore, self.replica_node(from), self.mock()) {
+        if !self.verify_replica_msg(ctx, msg, from, None) {
             ctx.count(self.metric("bad_state_req_sig"), 1);
             return;
         }
@@ -1313,10 +1647,11 @@ impl Replica {
         // rejects corrupted shares.
         let mut tallies: BTreeMap<Digest, BTreeSet<u32>> = BTreeMap::new();
         for attestation in &proof {
-            if attestation.seq == checkpoint_seq
-                && attestation.replica.0 < self.cfg.n
-                && attestation.verify(&self.keystore, self.cfg.replica_key_base, self.mock())
-            {
+            if attestation.seq != checkpoint_seq || attestation.replica.0 >= self.cfg.n {
+                continue;
+            }
+            ctx.count(self.metric("verify_ops"), 1);
+            if attestation.verify(&self.keystore, self.cfg.replica_key_base, self.mock()) {
                 tallies
                     .entry(attestation.digest)
                     .or_default()
@@ -1499,7 +1834,7 @@ impl Replica {
             view: self.view,
             sig: [0; 64],
         };
-        msg.sign(&self.signer);
+        self.sign_msg(ctx, &mut msg);
         self.suspects
             .entry(self.view)
             .or_default()
@@ -1517,7 +1852,7 @@ impl Replica {
         if replica.0 >= self.cfg.n || view < self.view {
             return;
         }
-        if !msg.verify_sig(&self.keystore, self.replica_node(replica), self.mock()) {
+        if !self.verify_replica_msg(ctx, msg, replica, None) {
             return;
         }
         self.suspects.entry(view).or_default().insert(replica.0);
@@ -1574,6 +1909,7 @@ impl Replica {
             prepared,
             sig: [0; 64],
         };
+        ctx.count(self.metric("sign_ops"), 1);
         let bytes = state.signing_bytes();
         state.sig = self.signer.sign64(&bytes);
         self.view_states
@@ -1588,6 +1924,7 @@ impl Replica {
         if state.replica.0 >= self.cfg.n || state.view < self.view {
             return;
         }
+        ctx.count(self.metric("verify_ops"), 1);
         if !state.verify(&self.keystore, self.cfg.replica_key_base, self.mock()) {
             return;
         }
@@ -1628,7 +1965,7 @@ impl Replica {
             states: states.clone(),
             sig: [0; 64],
         };
-        msg.sign(&self.signer);
+        self.sign_msg(ctx, &mut msg);
         self.broadcast(ctx, &msg);
         self.apply_new_view(ctx, self.view, &states);
     }
@@ -1642,17 +1979,18 @@ impl Replica {
             return;
         }
         let leader = self.cfg.leader_of(view);
-        if !msg.verify_sig(&self.keystore, self.replica_node(leader), self.mock()) {
+        if !self.verify_replica_msg(ctx, msg, leader, None) {
             return;
         }
         // Validate the quorum of states.
         let mock = self.mock();
         let mut signers = BTreeSet::new();
         for state in states {
-            if state.view == view
-                && state.replica.0 < self.cfg.n
-                && state.verify(&self.keystore, self.cfg.replica_key_base, mock)
-            {
+            if state.view != view || state.replica.0 >= self.cfg.n {
+                continue;
+            }
+            ctx.count(self.metric("verify_ops"), 1);
+            if state.verify(&self.keystore, self.cfg.replica_key_base, mock) {
                 signers.insert(state.replica.0);
             }
         }
@@ -1767,13 +2105,14 @@ impl Process for Replica {
         let Some(payload) = self.net.unwrap(from, bytes) else {
             return;
         };
-        let Ok(msg) = PrimeMsg::decode(&payload) else {
+        let Ok(frame) = msg::decode_frame(&payload) else {
             ctx.count(self.metric("decode_fail"), 1);
             return;
         };
         if self.recovering {
-            // While recovering, only state transfer traffic is processed.
-            if let PrimeMsg::StateResp {
+            // While recovering, only state transfer traffic is processed
+            // (never batch-attested, so only plain frames matter).
+            if let Frame::Plain(PrimeMsg::StateResp {
                 checkpoint_seq,
                 share_index,
                 erasure_k,
@@ -1783,7 +2122,7 @@ impl Process for Replica {
                 requester_po_high,
                 requester_sseq_high,
                 ..
-            } = msg
+            }) = frame
             {
                 self.on_state_resp(
                     ctx,
@@ -1799,22 +2138,46 @@ impl Process for Replica {
             }
             return;
         }
+        // A batch-attested frame authenticates its enclosed message through
+        // the sender's signed Merkle root; `env_auth` carries the proven
+        // signer so handlers can skip the (zeroed) embedded signature.
+        let (msg, env_auth) = match frame {
+            Frame::Plain(msg) => (msg, None),
+            Frame::Batched {
+                signer,
+                attestation,
+                msg,
+                msg_digest,
+            } => {
+                if signer.0 >= self.cfg.n
+                    || !self.verify_batch_attestation(ctx, signer, &attestation, &msg_digest)
+                {
+                    ctx.count(self.metric("bad_batch_auth"), 1);
+                    return;
+                }
+                (msg, Some(signer))
+            }
+        };
         match &msg {
             PrimeMsg::Op(op) => self.on_client_op(ctx, op.clone()),
-            PrimeMsg::PoRequest { .. } => self.accept_po_request(ctx, &msg),
+            PrimeMsg::PoRequest { .. } => {
+                self.accept_po_request(ctx, &msg, env_auth, Some(&payload))
+            }
             PrimeMsg::PoAck {
                 replica,
                 origin,
                 po_seq,
                 digest,
                 ..
-            } => self.on_po_ack(ctx, &msg, *replica, *origin, *po_seq, *digest),
+            } => self.on_po_ack(
+                ctx, &msg, *replica, *origin, *po_seq, *digest, env_auth, &payload,
+            ),
             PrimeMsg::PoSummary(row) => self.on_summary(ctx, row.clone()),
             PrimeMsg::PrePrepare {
                 view, seq, matrix, ..
             } => {
                 let leader = self.cfg.leader_of(*view);
-                if msg.verify_sig(&self.keystore, self.replica_node(leader), self.mock()) {
+                if self.verify_replica_msg(ctx, &msg, leader, env_auth) {
                     self.accept_pre_prepare(ctx, *view, *seq, matrix.clone());
                 } else {
                     ctx.count(self.metric("bad_preprepare_sig"), 1);
@@ -1826,14 +2189,14 @@ impl Process for Replica {
                 seq,
                 digest,
                 ..
-            } => self.on_prepare(ctx, &msg, *replica, *view, *seq, *digest),
+            } => self.on_prepare(ctx, &msg, *replica, *view, *seq, *digest, env_auth),
             PrimeMsg::Commit {
                 replica,
                 view,
                 seq,
                 digest,
                 ..
-            } => self.on_commit(ctx, &msg, *replica, *view, *seq, *digest),
+            } => self.on_commit(ctx, &msg, *replica, *view, *seq, *digest, env_auth),
             PrimeMsg::Ping { replica, nonce } => self.on_ping(ctx, *replica, *nonce),
             PrimeMsg::Pong { replica, nonce } => self.on_pong(ctx, *replica, *nonce),
             PrimeMsg::Suspect { replica, view, .. } => self.on_suspect(ctx, &msg, *replica, *view),
@@ -1973,7 +2336,7 @@ impl Process for Replica {
                         have_seq: self.last_executed,
                         sig: [0; 64],
                     };
-                    req.sign(&self.signer);
+                    self.sign_msg(ctx, &mut req);
                     self.broadcast(ctx, &req);
                 }
                 // Fetch a bounded window of missing PO-Requests (execution
@@ -1999,6 +2362,22 @@ impl Process for Replica {
                 self.try_execute(ctx);
                 ctx.set_timer(self.cfg.recon_interval, TIMER_RECON);
             }
+            TIMER_BATCH => {
+                self.batch_timer_armed = false;
+                self.flush_outbox(ctx);
+            }
+            tag => {
+                self.on_slow_timer(ctx, tag);
+            }
+        }
+    }
+}
+
+impl Replica {
+    /// Rare timers (recovery state requests), split out so `on_timer` stays
+    /// within the frequent-path match.
+    fn on_slow_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        match tag {
             TIMER_STATE_REQ if self.recovering => {
                 // If nobody has a checkpoint yet (young system), rejoin
                 // from genesis; reconciliation certificates let us
@@ -2015,7 +2394,7 @@ impl Process for Replica {
                     have_seq: self.last_executed,
                     sig: [0; 64],
                 };
-                req.sign(&self.signer);
+                self.sign_msg(ctx, &mut req);
                 self.broadcast(ctx, &req);
                 ctx.set_timer(Span::millis(500), TIMER_STATE_REQ);
             }

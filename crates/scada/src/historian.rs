@@ -108,7 +108,7 @@ impl Process for Historian {
             nseq,
             payload,
             ..
-        }) = PrimeMsg::decode(&payload)
+        }) = spire_prime::decode_enclosed(&payload)
         else {
             return;
         };

@@ -154,7 +154,7 @@ impl Process for Hmi {
                 None => return,
             },
         };
-        let Ok(msg) = PrimeMsg::decode(&payload) else {
+        let Ok(msg) = spire_prime::decode_enclosed(&payload) else {
             return;
         };
         let quorum = (self.cfg.f + 1) as usize;

@@ -260,7 +260,7 @@ impl Process for RtuProxy {
                 None => return,
             },
         };
-        if let Ok(msg) = PrimeMsg::decode(&payload) {
+        if let Ok(msg) = spire_prime::decode_enclosed(&payload) {
             self.on_prime_msg(ctx, msg);
         }
     }

@@ -118,6 +118,29 @@ impl WireWriter {
         Bytes::from(self.buf)
     }
 
+    /// Consumes the writer, returning the underlying vector (no copy).
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Clears the buffer, retaining its capacity for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Zeroes the last `n` bytes in place (e.g. a trailing signature field
+    /// when computing canonical signing bytes without re-encoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes have been written.
+    pub fn zero_tail(&mut self, n: usize) -> &mut Self {
+        let len = self.buf.len();
+        assert!(len >= n, "zero_tail({n}) on {len}-byte buffer");
+        self.buf[len - n..].fill(0);
+        self
+    }
+
     /// Borrow the bytes written so far.
     pub fn as_slice(&self) -> &[u8] {
         &self.buf
@@ -294,6 +317,18 @@ mod tests {
     fn trailing_bytes_detected() {
         let r = WireReader::new(&[1, 2]);
         assert_eq!(r.expect_end(), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn clear_zero_tail_into_vec() {
+        let mut w = WireWriter::new();
+        w.u8(1).raw(&[0xff; 4]);
+        w.zero_tail(3);
+        assert_eq!(w.as_slice(), &[1, 0xff, 0, 0, 0]);
+        w.clear();
+        assert!(w.is_empty());
+        w.u16(0x0201);
+        assert_eq!(w.into_vec(), vec![1, 2]);
     }
 
     #[test]
