@@ -1,16 +1,22 @@
 //! Operator tool: run one red-team scenario by index and print its report.
 //!
-//! Usage: `run_scenario [index] [--json[=PATH]] [--trace=PATH]`
+//! Usage: `run_scenario [index] [--substrate=sim|rt|rt:N] [--json[=PATH]] [--trace=PATH]`
 //!
 //! * no argument — lists the suite;
+//! * `--substrate=` — host the system on the deterministic simulator
+//!   (default) or the real-clock multi-threaded runtime (`rt`, or `rt:N`
+//!   to pin the worker count). The rt substrate runs in wall-clock time;
+//!   attack schedules are a simulator control-plane feature and are
+//!   discarded there, so scenarios with attacks are rejected on rt;
 //! * `--json` — serializes the full [`spire::Report`] (including the
 //!   per-phase latency breakdown) as JSON to stdout, or to `PATH` with
 //!   `--json=PATH`;
 //! * `--trace=PATH` — enables structured tracing and writes a Chrome
-//!   `trace_event` file loadable in `chrome://tracing` / Perfetto.
+//!   `trace_event` file loadable in `chrome://tracing` / Perfetto
+//!   (sim substrate only).
 
 use spire::attack::Scenario;
-use spire::deployment::{Deployment, DeploymentConfig};
+use spire::deployment::{Deployment, DeploymentConfig, Substrate};
 use spire_scada::WorkloadConfig;
 use spire_sim::Span;
 
@@ -20,6 +26,7 @@ fn main() {
     // `Some(None)` = JSON to stdout, `Some(Some(path))` = JSON to a file.
     let mut json: Option<Option<String>> = None;
     let mut trace_path: Option<String> = None;
+    let mut substrate = Substrate::Sim;
     for arg in std::env::args().skip(1) {
         if arg == "--json" {
             json = Some(None);
@@ -35,11 +42,19 @@ fn main() {
                 std::process::exit(2);
             }
             trace_path = Some(path.to_string());
+        } else if let Some(which) = arg.strip_prefix("--substrate=") {
+            let Some(parsed) = Substrate::parse(which) else {
+                eprintln!("bad substrate {which:?}: expected sim, rt or rt:N");
+                std::process::exit(2);
+            };
+            substrate = parsed;
         } else if let Ok(i) = arg.parse::<usize>() {
             index = Some(i);
         } else {
             eprintln!("unknown argument: {arg}");
-            eprintln!("usage: run_scenario [index] [--json[=PATH]] [--trace=PATH]");
+            eprintln!(
+                "usage: run_scenario [index] [--substrate=sim|rt|rt:N] [--json[=PATH]] [--trace=PATH]"
+            );
             std::process::exit(2);
         }
     }
@@ -53,7 +68,9 @@ fn main() {
                 s.duration
             );
         }
-        println!("\nrun one with: run_scenario <index> [--json[=PATH]] [--trace=PATH]");
+        println!(
+            "\nrun one with: run_scenario <index> [--substrate=sim|rt|rt:N] [--json[=PATH]] [--trace=PATH]"
+        );
         return;
     };
     let Some(scenario) = suite.get(index) else {
@@ -62,7 +79,7 @@ fn main() {
     };
     let quiet = matches!(json, Some(None));
     if !quiet {
-        println!("running scenario {index}: {}", scenario.name);
+        println!("running scenario {index}: {} on {substrate}", scenario.name);
     }
     let mut cfg = DeploymentConfig::wide_area(9000 + index as u64);
     cfg.workload = WorkloadConfig {
@@ -73,20 +90,53 @@ fn main() {
     if trace_path.is_some() {
         cfg.trace = true;
     }
-    let mut system = Deployment::build(cfg);
-    scenario.apply(&mut system);
-    system.run_for(scenario.duration + Span::secs(5));
-    let report = system.report();
-    if let Some(path) = &trace_path {
-        match system.export_chrome_trace(path) {
-            Ok(()) => {
-                if !quiet {
-                    println!("chrome trace written to {path}");
+    let duration = scenario.duration + Span::secs(5);
+    let report = match substrate {
+        Substrate::Sim => {
+            let mut system = Deployment::build(cfg);
+            scenario.apply(&mut system);
+            system.run_for(duration);
+            let report = system.report();
+            if let Some(path) = &trace_path {
+                match system.export_chrome_trace(path) {
+                    Ok(()) => {
+                        if !quiet {
+                            println!("chrome trace written to {path}");
+                        }
+                    }
+                    Err(e) => eprintln!("failed to write trace to {path}: {e}"),
                 }
             }
-            Err(e) => eprintln!("failed to write trace to {path}: {e}"),
+            report
         }
-    }
+        Substrate::Rt { threads } => {
+            if !scenario.attacks.is_empty() {
+                eprintln!(
+                    "scenario {index} ({}) schedules attacks; the attack control \
+                     plane is a simulator feature — run it with --substrate=sim",
+                    scenario.name
+                );
+                std::process::exit(2);
+            }
+            if trace_path.is_some() {
+                eprintln!("--trace is not available on the rt substrate");
+                std::process::exit(2);
+            }
+            if !quiet {
+                println!("(real-clock run: this takes {duration} of wall time)");
+            }
+            let outcome = Deployment::build(cfg).into_rt(threads).run_for(duration);
+            if !quiet {
+                println!(
+                    "rt: {} worker thread(s), {} frames delivered, {} dropped by the link model",
+                    outcome.run.threads,
+                    outcome.run.metrics.counter("rt.delivered"),
+                    outcome.run.metrics.counter("rt.loss_drop"),
+                );
+            }
+            outcome.report
+        }
+    };
     match json {
         Some(Some(path)) => {
             if let Err(e) = std::fs::write(&path, report.to_json()) {

@@ -387,7 +387,7 @@ pub fn f6_overlay_resilience(messages: u32) {
         DaemonBehavior, DaemonConfig, Dissemination, OverlayAddr, OverlayId, OverlayNetwork,
         SpinesPort, Topology,
     };
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     struct Rx {
         port: SpinesPort,
@@ -451,7 +451,7 @@ pub fn f6_overlay_resilience(messages: u32) {
             let traced = std::env::var_os("SPIRE_TRACE").is_some();
             let mut world = World::new(1000 + failures as u64);
             let material = KeyMaterial::new([6u8; 32]);
-            let keystore = Rc::new(KeyStore::for_nodes(&material, 64));
+            let keystore = Arc::new(KeyStore::for_nodes(&material, 64));
             let topology = build_topology();
             let net = OverlayNetwork::build(
                 &mut world,
@@ -544,7 +544,7 @@ pub fn a1_fairness(messages: u32) {
         DaemonBehavior, DaemonConfig, Dissemination, OverlayAddr, OverlayId, OverlayNetwork,
         SpinesPort, Topology,
     };
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     struct Rx {
         port: SpinesPort,
@@ -602,7 +602,7 @@ pub fn a1_fairness(messages: u32) {
         }
         let mut world = World::new(31337);
         let material = KeyMaterial::new([8u8; 32]);
-        let keystore = Rc::new(KeyStore::for_nodes(&material, 64));
+        let keystore = Arc::new(KeyStore::for_nodes(&material, 64));
         let topology = Topology::ring(6, 10);
         // Narrow links so the attacker can actually congest them.
         let net = OverlayNetwork::build(
@@ -832,10 +832,160 @@ pub fn t3_red_team() {
     }
 }
 
+/// RT — substrate throughput comparison: the same 6-replica f=1 k=1
+/// system, identical workload sweep, hosted on the single-threaded
+/// discrete-event simulator vs the multi-threaded real-clock runtime.
+///
+/// The comparable number is **confirmed updates per wall-clock second**:
+/// the simulator executes `point_secs` of virtual time as fast as one core
+/// allows, while the rt substrate runs `point_secs` of real time across
+/// worker threads. On a multicore host the rt substrate overtakes the
+/// simulator once the single event loop saturates its core; the emitted
+/// JSON records the host's core count so single-core results are not
+/// mistaken for a parallel speedup.
+pub fn rt_throughput(point_secs: u64, json_out: Option<&str>) {
+    header(
+        "RT: confirmed updates/s by substrate (10 RTUs, f=1 k=1)",
+        "  offered/s | substrate | confirmed | delivery | wall s | confirmed/wall s | safety",
+    );
+    struct Row {
+        substrate: &'static str,
+        interval_ms: u64,
+        offered: f64,
+        sent: u64,
+        confirmed: u64,
+        delivery: f64,
+        safety: bool,
+        wall_s: f64,
+        rate: f64,
+        p99_ms: Option<f64>,
+        threads: usize,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let intervals_ms = [200u64, 100, 50, 20, 10, 5];
+    for interval in intervals_ms {
+        let workload = WorkloadConfig {
+            rtus: 10,
+            update_interval: Span::millis(interval),
+            ..Default::default()
+        };
+        let offered = workload.updates_per_second();
+        let mut cfg = DeploymentConfig::wide_area(8800 + interval);
+        cfg.workload = workload;
+        cfg.trace = false;
+
+        // Sim leg: virtual seconds, wall-timed.
+        let mut system = Deployment::build(cfg.clone());
+        let start = std::time::Instant::now();
+        system.run_for(Span::secs(point_secs));
+        let wall_s = start.elapsed().as_secs_f64();
+        let report = system.report();
+        rows.push(Row {
+            substrate: "sim",
+            interval_ms: interval,
+            offered,
+            sent: report.updates_sent,
+            confirmed: report.updates_confirmed,
+            delivery: report.delivery_ratio(),
+            safety: report.safety_ok,
+            wall_s,
+            rate: report.updates_confirmed as f64 / wall_s.max(1e-9),
+            p99_ms: report.update_summary.as_ref().map(|s| s.p99),
+            threads: 1,
+        });
+
+        // Rt leg: real seconds on OS threads.
+        let rt = Deployment::build(cfg).into_rt(0);
+        let start = std::time::Instant::now();
+        let outcome = rt.run_for(Span::secs(point_secs));
+        let wall_s = start.elapsed().as_secs_f64();
+        let report = outcome.report;
+        rows.push(Row {
+            substrate: "rt",
+            interval_ms: interval,
+            offered,
+            sent: report.updates_sent,
+            confirmed: report.updates_confirmed,
+            delivery: report.delivery_ratio(),
+            safety: report.safety_ok,
+            wall_s,
+            rate: report.updates_confirmed as f64 / wall_s.max(1e-9),
+            p99_ms: report.update_summary.as_ref().map(|s| s.p99),
+            threads: outcome.run.threads,
+        });
+    }
+    for row in &rows {
+        println!(
+            "  {:>9.0} | {:>9} | {:>9} | {:>7.1}% | {:>6.2} | {:>16.1} | {}",
+            row.offered,
+            row.substrate,
+            row.confirmed,
+            row.delivery * 100.0,
+            row.wall_s,
+            row.rate,
+            if row.safety { "OK" } else { "BROKEN" }
+        );
+    }
+    let peak = |substrate: &str| {
+        rows.iter()
+            .filter(|r| r.substrate == substrate)
+            .map(|r| r.rate)
+            .fold(0.0f64, f64::max)
+    };
+    let (sim_peak, rt_peak) = (peak("sim"), peak("rt"));
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "\npeak confirmed/wall s: sim {sim_peak:.1}, rt {rt_peak:.1} \
+         (rt/sim {:.2}x on {cores} core(s))",
+        rt_peak / sim_peak.max(1e-9)
+    );
+    let Some(path) = json_out else { return };
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"substrate\":\"{}\",\"interval_ms\":{},\"offered_per_s\":{},\
+                 \"updates_sent\":{},\"updates_confirmed\":{},\"delivery_ratio\":{},\
+                 \"safety_ok\":{},\"wall_s\":{},\"confirmed_per_wall_s\":{},\
+                 \"p99_ms\":{},\"threads\":{}}}",
+                r.substrate,
+                r.interval_ms,
+                r.offered,
+                r.sent,
+                r.confirmed,
+                r.delivery,
+                r.safety,
+                r.wall_s,
+                r.rate,
+                r.p99_ms
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "null".to_string()),
+                r.threads
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"experiment\":\"rt_throughput\",\"replicas\":6,\"f\":1,\"k\":1,\
+         \"rtus\":10,\"point_secs\":{point_secs},\"cores\":{cores},\
+         \"peak_sim_confirmed_per_wall_s\":{sim_peak},\
+         \"peak_rt_confirmed_per_wall_s\":{rt_peak},\
+         \"rt_over_sim\":{},\"rows\":[{}]}}\n",
+        rt_peak / sim_peak.max(1e-9),
+        json_rows.join(",")
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => println!("rt throughput results -> {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
 /// Convenience wrapper used by `cargo bench` and the all-experiments bin.
 pub fn run_all(scale: u64) {
     t1_configurations();
     let _ = t2_longrun(120 * scale);
+    rt_throughput(2, None);
     f1_latency_cdf(60 * scale);
     f2_recovery_timeline(100 * scale, 20);
     f3_network_attack(80 * scale);

@@ -17,7 +17,7 @@ use spire_spines::{
     SpinesPort, Topology,
 };
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An unreplicated SCADA master: applies every valid signed op immediately
 /// and replies. Implements the same client-facing protocol as the
@@ -25,7 +25,7 @@ use std::rc::Rc;
 /// `f = 0` quorums).
 pub struct SingleMaster {
     app: ScadaMaster,
-    keystore: Rc<KeyStore>,
+    keystore: Arc<KeyStore>,
     signer: Signer,
     port: SpinesPort,
     client_addrs: BTreeMap<u32, OverlayAddr>,
@@ -37,7 +37,7 @@ impl SingleMaster {
     /// Creates the master.
     pub fn new(
         app: ScadaMaster,
-        keystore: Rc<KeyStore>,
+        keystore: Arc<KeyStore>,
         signer: Signer,
         port: SpinesPort,
         client_addrs: BTreeMap<u32, OverlayAddr>,
@@ -133,7 +133,7 @@ impl BaselineDeployment {
     pub fn build(seed: u64, workload: WorkloadConfig, mock_sigs: bool) -> BaselineDeployment {
         let mut world = World::new(seed);
         let material = KeyMaterial::new([0x55u8; 32]);
-        let keystore = Rc::new(KeyStore::for_nodes(&material, 4096));
+        let keystore = Arc::new(KeyStore::for_nodes(&material, 4096));
         let n_rtus = workload.rtus;
 
         // External overlay: CC (node 0) + one hub per substation.
@@ -191,7 +191,7 @@ impl BaselineDeployment {
 
         let master = SingleMaster::new(
             ScadaMaster::new(directory.clone()),
-            Rc::clone(&keystore),
+            Arc::clone(&keystore),
             Signer::new(material.signing_key(NodeId(key_base::REPLICA)), mock_sigs),
             SpinesPort::new(external.daemon_pid(OverlayId(0)), master_addr),
             client_addrs.clone(),

@@ -26,7 +26,7 @@ use spire_spines::{
     SpinesPort, Topology,
 };
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Crypto id bases for the different roles.
 pub mod key_base {
@@ -110,6 +110,10 @@ pub struct DeploymentConfig {
     /// spans). Defaults to the `SPIRE_TRACE` environment variable so any
     /// scenario binary can be traced without a code change.
     pub trace: bool,
+    /// Per-link HMAC session authentication between replicas: frames are
+    /// sealed with a pairwise key, letting receivers skip the per-hop
+    /// signature verification the MAC already covers.
+    pub session_macs: bool,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -129,6 +133,7 @@ impl DeploymentConfig {
             byz: BTreeMap::new(),
             dual_homed_substations: true,
             trace: std::env::var_os("SPIRE_TRACE").is_some(),
+            session_macs: true,
             seed,
         }
     }
@@ -146,12 +151,13 @@ impl DeploymentConfig {
 /// proactive recovery and compromise injection).
 pub struct ReplicaBuilder {
     prime: PrimeConfig,
-    keystore: Rc<KeyStore>,
+    keystore: Arc<KeyStore>,
     material: KeyMaterial,
     directory: ScadaDirectory,
     inspection: Inspection,
     nets: Vec<SpinesNet>,
     mock_sigs: bool,
+    session_macs: bool,
 }
 
 impl ReplicaBuilder {
@@ -161,17 +167,29 @@ impl ReplicaBuilder {
             self.material.signing_key(NodeId(key_base::REPLICA + id)),
             self.mock_sigs,
         );
-        Replica::new(
+        let mut replica = Replica::new(
             self.prime.clone(),
             ReplicaId(id),
             behavior,
-            Rc::clone(&self.keystore),
+            Arc::clone(&self.keystore),
             signer,
             Box::new(self.nets[id as usize].clone()),
             Box::new(ScadaMaster::new(self.directory.clone())),
             recovering,
         )
-        .with_inspection(self.inspection.clone())
+        .with_inspection(self.inspection.clone());
+        if self.session_macs {
+            // One symmetric key per replica pair, derived from the shared
+            // key material exactly as both endpoints will (link_key is
+            // order-independent). Recovery rebuilds replicas through this
+            // same path, so rejoining replicas keep their link keys.
+            let me = NodeId(key_base::REPLICA + id);
+            let keys = (0..self.prime.n)
+                .map(|peer| self.material.link_key(me, NodeId(key_base::REPLICA + peer)))
+                .collect();
+            replica = replica.with_session_keys(keys);
+        }
+        replica
     }
 }
 
@@ -194,7 +212,7 @@ pub struct Deployment {
     /// The external overlay.
     pub external: OverlayNetwork,
     /// Replica construction context for recovery / compromise injection.
-    pub builder: Rc<ReplicaBuilder>,
+    pub builder: Arc<ReplicaBuilder>,
     /// The configuration the deployment was built from.
     pub cfg: DeploymentConfig,
     recovery_counter: u32,
@@ -211,7 +229,7 @@ impl Deployment {
         cfg.spire.validate(false).expect("invalid spire config");
         let mut world = World::new(cfg.seed);
         let material = KeyMaterial::new([0x55u8; 32]);
-        let keystore = Rc::new(KeyStore::for_nodes(&material, 4096));
+        let keystore = Arc::new(KeyStore::for_nodes(&material, 4096));
         let inspection = Inspection::new();
         let sites = &cfg.spire.sites;
         let n_sites = sites.len() as u16;
@@ -404,14 +422,15 @@ impl Deployment {
                 }
             })
             .collect();
-        let builder = Rc::new(ReplicaBuilder {
+        let builder = Arc::new(ReplicaBuilder {
             prime: prime.clone(),
-            keystore: Rc::clone(&keystore),
+            keystore: Arc::clone(&keystore),
             material: material.clone(),
             directory: directory.clone(),
             inspection: inspection.clone(),
             nets: nets.clone(),
             mock_sigs: cfg.mock_sigs,
+            session_macs: cfg.session_macs,
         });
         let mut replica_pids = Vec::new();
         for r in 0..n_replicas {
@@ -547,7 +566,7 @@ impl Deployment {
     /// replica process is restarted with a clean state machine in
     /// recovering mode (it rejoins via proof-carrying state transfer).
     pub fn schedule_recovery(&mut self, id: u32, at: Time) {
-        let builder = Rc::clone(&self.builder);
+        let builder = Arc::clone(&self.builder);
         let pid = self.replica_pids[id as usize];
         self.world.schedule_control(at, move |w| {
             let replica = builder.build(id, ByzBehavior::Honest, true);
@@ -571,7 +590,7 @@ impl Deployment {
 
     /// Schedules a compromise: at `at`, replica `id` begins misbehaving.
     pub fn schedule_compromise(&mut self, id: u32, behavior: ByzBehavior, at: Time) {
-        let builder = Rc::clone(&self.builder);
+        let builder = Arc::clone(&self.builder);
         let pid = self.replica_pids[id as usize];
         self.world.schedule_control(at, move |w| {
             // The attacker takes over the running process; it keeps state
@@ -651,6 +670,112 @@ impl std::fmt::Debug for Deployment {
         f.debug_struct("Deployment")
             .field("replicas", &self.replica_pids.len())
             .field("rtus", &self.device_pids.len())
+            .field("sites", &self.cfg.spire.sites.len())
+            .finish()
+    }
+}
+
+/// Which substrate hosts an assembled deployment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Substrate {
+    /// The single-threaded deterministic discrete-event simulator.
+    Sim,
+    /// The multi-threaded real-clock runtime; `threads == 0` means one
+    /// worker per available core.
+    Rt {
+        /// Worker thread count (0 = auto).
+        threads: usize,
+    },
+}
+
+impl Substrate {
+    /// Parses `"sim"`, `"rt"` or `"rt:<threads>"`.
+    pub fn parse(s: &str) -> Option<Substrate> {
+        match s {
+            "sim" => Some(Substrate::Sim),
+            "rt" => Some(Substrate::Rt { threads: 0 }),
+            other => {
+                let threads = other.strip_prefix("rt:")?.parse().ok()?;
+                Some(Substrate::Rt { threads })
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Substrate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Substrate::Sim => write!(f, "sim"),
+            Substrate::Rt { threads: 0 } => write!(f, "rt"),
+            Substrate::Rt { threads } => write!(f, "rt:{threads}"),
+        }
+    }
+}
+
+impl Deployment {
+    /// Moves the assembled (not yet run) system onto the real-clock
+    /// runtime: the same actors and the same link latency/jitter/loss
+    /// model, hosted on OS threads under wall-clock time.
+    ///
+    /// Control-plane schedules (recoveries, compromises, partitions, DoS)
+    /// are a simulator feature and are discarded; run attack scenarios on
+    /// the sim substrate.
+    pub fn into_rt(self, threads: usize) -> RtDeployment {
+        let correct = self.correct_replicas();
+        let rt_cfg = if threads == 0 {
+            spire_rt::RtConfig::default()
+        } else {
+            spire_rt::RtConfig::with_threads(threads)
+        };
+        let runtime = spire_rt::Runtime::from_fabric(self.world.into_fabric(), rt_cfg);
+        RtDeployment {
+            runtime,
+            inspection: self.inspection,
+            cfg: self.cfg,
+            correct,
+        }
+    }
+}
+
+/// A deployment hosted on the real-clock runtime. The actors are already
+/// running; call [`RtDeployment::run_for`] to let them work and collect
+/// the report.
+pub struct RtDeployment {
+    /// The running substrate.
+    pub runtime: spire_rt::Runtime,
+    /// Shared replica inspection registry (safety checks work across
+    /// threads; replicas publish under a mutex).
+    pub inspection: Inspection,
+    /// The configuration the deployment was built from.
+    pub cfg: DeploymentConfig,
+    correct: Vec<u32>,
+}
+
+/// The result of a real-clock run: the standard [`Report`] plus the raw
+/// merged metrics and wall-clock accounting.
+#[derive(Debug)]
+pub struct RtOutcome {
+    /// The substrate-independent evaluation report.
+    pub report: Report,
+    /// Merged per-worker metrics, elapsed wall time, worker count.
+    pub run: spire_rt::RtRun,
+}
+
+impl RtDeployment {
+    /// Runs for `span` of wall-clock time, shuts the runtime down and
+    /// extracts the report (safety checked over the correct replicas).
+    pub fn run_for(self, span: Span) -> RtOutcome {
+        let run = self.runtime.run_for(span);
+        let safety_ok = self.inspection.check_safety(&self.correct).is_ok();
+        let report = Report::from_metrics(&run.metrics, safety_ok);
+        RtOutcome { report, run }
+    }
+}
+
+impl std::fmt::Debug for RtDeployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtDeployment")
+            .field("runtime", &self.runtime)
             .field("sites", &self.cfg.spire.sites.len())
             .finish()
     }

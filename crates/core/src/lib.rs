@@ -45,5 +45,5 @@ pub mod report;
 pub use attack::{Attack, Scenario};
 pub use baseline::BaselineDeployment;
 pub use config::{required_replicas, SiteKind, SpireConfig};
-pub use deployment::{Deployment, DeploymentConfig, WanModel};
+pub use deployment::{Deployment, DeploymentConfig, RtDeployment, RtOutcome, Substrate, WanModel};
 pub use report::{PhaseStat, Report, SLA_MS};

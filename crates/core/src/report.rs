@@ -57,6 +57,12 @@ pub struct AuthStats {
     pub batch_flushes: u64,
     /// Vote messages covered by batch signatures.
     pub batched_msgs: u64,
+    /// Per-link session MACs computed (seal + verify sides).
+    pub mac_ops: u64,
+    /// Signature verifications replaced by link-MAC authentication.
+    pub mac_auth_hits: u64,
+    /// Frames rejected for a bad or unknown link MAC.
+    pub mac_fail: u64,
 }
 
 impl AuthStats {
@@ -108,10 +114,6 @@ pub struct Report {
 impl Report {
     /// Extracts the report from a finished deployment.
     pub fn from_deployment(deployment: &crate::deployment::Deployment) -> Report {
-        let metrics = deployment.world.metrics();
-        let series = metrics.series("scada.update_latency_ms");
-        let update_latencies_ms: Vec<f64> = series.iter().map(|(_, v)| *v).collect();
-        let update_timeline = series.to_vec();
         let safety_ok = deployment
             .inspection
             .check_safety(&deployment.correct_replicas())
@@ -122,6 +124,16 @@ impl Report {
                 deployment.world.trace_dump_tail(200)
             );
         }
+        Report::from_metrics(deployment.world.metrics(), safety_ok)
+    }
+
+    /// Builds the report from raw run metrics plus the safety verdict —
+    /// the substrate-independent path shared by the simulator
+    /// ([`Report::from_deployment`]) and the real-clock runtime.
+    pub fn from_metrics(metrics: &spire_sim::Metrics, safety_ok: bool) -> Report {
+        let series = metrics.series("scada.update_latency_ms");
+        let update_latencies_ms: Vec<f64> = series.iter().map(|(_, v)| *v).collect();
+        let update_timeline = series.to_vec();
         let mut phase_breakdown = Vec::new();
         for (name, label) in PHASE_METRICS {
             let Some(h) = metrics.histogram(name) else {
@@ -166,6 +178,9 @@ impl Report {
                 verify_cache_hits: metrics.counter("prime.verify_cache_hits"),
                 batch_flushes: metrics.counter("prime.batch_flushes"),
                 batched_msgs: metrics.counter("prime.batched_msgs"),
+                mac_ops: metrics.counter("prime.mac_ops"),
+                mac_auth_hits: metrics.counter("prime.mac_auth_hits"),
+                mac_fail: metrics.counter("prime.mac_fail"),
             },
             update_latencies_ms,
             update_timeline,
@@ -179,6 +194,15 @@ impl Report {
             return f64::NAN;
         }
         self.auth.sign_ops as f64 / self.updates_confirmed as f64
+    }
+
+    /// Full signature verifications per confirmed update — the quantity
+    /// per-link session MACs amortize.
+    pub fn verifies_per_update(&self) -> f64 {
+        if self.updates_confirmed == 0 {
+            return f64::NAN;
+        }
+        self.auth.verify_ops as f64 / self.updates_confirmed as f64
     }
 
     /// Fraction of submitted updates that were confirmed.
@@ -274,8 +298,9 @@ impl Report {
              \"view_changes\":{},\"recoveries_started\":{},\"recoveries_completed\":{},\
              \"safety_ok\":{},\"silent_seconds\":{},\
              \"auth\":{{\"sign_ops\":{},\"verify_ops\":{},\"verify_cache_hits\":{},\
-             \"batch_flushes\":{},\"batched_msgs\":{},\"amortization_factor\":{},\
-             \"signs_per_update\":{}}},\
+             \"batch_flushes\":{},\"batched_msgs\":{},\"mac_ops\":{},\
+             \"mac_auth_hits\":{},\"mac_fail\":{},\"amortization_factor\":{},\
+             \"signs_per_update\":{},\"verifies_per_update\":{}}},\
              \"phase_breakdown\":[{}],\"throughput_timeline\":[{}]}}",
             self.updates_sent,
             self.updates_confirmed,
@@ -295,8 +320,12 @@ impl Report {
             self.auth.verify_cache_hits,
             self.auth.batch_flushes,
             self.auth.batched_msgs,
+            self.auth.mac_ops,
+            self.auth.mac_auth_hits,
+            self.auth.mac_fail,
             num(self.auth.amortization_factor()),
             num(self.signs_per_update()),
+            num(self.verifies_per_update()),
             phases.join(","),
             throughput.join(","),
         )
@@ -406,6 +435,9 @@ mod tests {
             verify_cache_hits: 30,
             batch_flushes: 5,
             batched_msgs: 40,
+            mac_ops: 100,
+            mac_auth_hits: 60,
+            mac_fail: 1,
         };
         let json = r.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));

@@ -42,7 +42,7 @@ impl ExecResult {
 /// to identical states must yield identical results, snapshots, digests and
 /// notifications on every replica, or safety checking will (correctly) flag
 /// divergence.
-pub trait Application {
+pub trait Application: Send {
     /// Executes an operation, returning the reply for the submitting client
     /// and any outbound notifications.
     fn execute(&mut self, op: &[u8]) -> ExecResult;

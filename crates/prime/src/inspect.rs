@@ -7,9 +7,8 @@
 //! executed-op counts advance).
 
 use spire_crypto::Digest;
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Execution record of one replica.
 ///
@@ -36,7 +35,7 @@ pub struct ReplicaRecord {
 /// Shared registry: replica id -> record.
 #[derive(Clone, Debug, Default)]
 pub struct Inspection {
-    inner: Rc<RefCell<BTreeMap<u32, ReplicaRecord>>>,
+    inner: Arc<Mutex<BTreeMap<u32, ReplicaRecord>>>,
 }
 
 impl Inspection {
@@ -47,20 +46,20 @@ impl Inspection {
 
     /// Updates a replica's record (called by the replica itself).
     pub fn update(&self, replica: u32, f: impl FnOnce(&mut ReplicaRecord)) {
-        let mut map = self.inner.borrow_mut();
+        let mut map = self.inner.lock().expect("poisoned");
         f(map.entry(replica).or_default())
     }
 
     /// Reads a snapshot of all records.
     pub fn records(&self) -> BTreeMap<u32, ReplicaRecord> {
-        self.inner.borrow().clone()
+        self.inner.lock().expect("poisoned").clone()
     }
 
     /// Checks pairwise prefix-compatibility of the execution chains of the
     /// given replicas over their overlapping global op range; returns the
     /// violating pair if safety was broken.
     pub fn check_safety(&self, replicas: &[u32]) -> Result<(), (u32, u32)> {
-        let map = self.inner.borrow();
+        let map = self.inner.lock().expect("poisoned");
         for (idx, a) in replicas.iter().enumerate() {
             for b in &replicas[idx + 1..] {
                 let (Some(ra), Some(rb)) = (map.get(a), map.get(b)) else {
@@ -83,7 +82,7 @@ impl Inspection {
 
     /// The minimum ops-executed count across the given replicas.
     pub fn min_executed(&self, replicas: &[u32]) -> u64 {
-        let map = self.inner.borrow();
+        let map = self.inner.lock().expect("poisoned");
         replicas
             .iter()
             .map(|r| map.get(r).map(|rec| rec.ops_executed).unwrap_or(0))
@@ -94,7 +93,8 @@ impl Inspection {
     /// The maximum ops-executed count across all replicas.
     pub fn max_executed(&self) -> u64 {
         self.inner
-            .borrow()
+            .lock()
+            .expect("poisoned")
             .values()
             .map(|r| r.ops_executed)
             .max()

@@ -9,7 +9,7 @@ use spire_spines::{Dissemination, OverlayAddr, SpinesPort};
 use std::collections::BTreeMap;
 
 /// How a replica reaches peers and clients.
-pub trait ReplicaNet {
+pub trait ReplicaNet: Send {
     /// Called from the replica's `on_start` (e.g. to attach overlay ports).
     fn start(&mut self, ctx: &mut Context<'_>);
 

@@ -49,7 +49,7 @@ use spire_sim::{
     span_key, Context, Process, ProcessId, Span, SpanPhase, Time, TraceKind, WireWriter,
 };
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 const TIMER_PO_FLUSH: u64 = 1;
 const TIMER_SUMMARY: u64 = 2;
@@ -71,7 +71,7 @@ const PROPOSAL_WINDOW: u64 = 8;
 /// Every metric name a replica emits. Keys are prefixed with the instance
 /// label once, at construction, because several fire per message delivery —
 /// a `format!` there dominated the metrics path.
-const METRIC_NAMES: [&str; 37] = [
+const METRIC_NAMES: [&str; 40] = [
     "bad_client_sig",
     "bad_po_sig",
     "bad_op_in_batch",
@@ -109,6 +109,9 @@ const METRIC_NAMES: [&str; 37] = [
     "batch_flushes",
     "batched_msgs",
     "bad_batch_auth",
+    "mac_ops",
+    "mac_auth_hits",
+    "mac_fail",
 ];
 
 /// Label-prefixed metric keys, computed once per replica.
@@ -246,10 +249,14 @@ pub struct Replica {
     cfg: PrimeConfig,
     me: ReplicaId,
     behavior: ByzBehavior,
-    keystore: Rc<KeyStore>,
+    keystore: Arc<KeyStore>,
     signer: Signer,
     net: Box<dyn ReplicaNet>,
     app: Box<dyn Application>,
+    /// Per-peer symmetric link keys (indexed by replica id). When present,
+    /// every replica-to-replica frame is sealed in an HMAC envelope and
+    /// MAC-authenticated frames skip per-hop signature verification.
+    session_keys: Option<Vec<[u8; 32]>>,
     /// Metric-name prefix, so several Prime instances can coexist.
     label: String,
     /// Prefixed metric keys derived from `label`.
@@ -360,7 +367,7 @@ impl Replica {
         cfg: PrimeConfig,
         me: ReplicaId,
         behavior: ByzBehavior,
-        keystore: Rc<KeyStore>,
+        keystore: Arc<KeyStore>,
         signer: Signer,
         net: Box<dyn ReplicaNet>,
         app: Box<dyn Application>,
@@ -376,6 +383,7 @@ impl Replica {
             signer,
             net,
             app,
+            session_keys: None,
             label: "prime".to_string(),
             metric_names: MetricNames::new("prime"),
             pending_ops: Vec::new(),
@@ -439,6 +447,16 @@ impl Replica {
         self
     }
 
+    /// Installs per-peer link session keys (index = peer replica id, one
+    /// entry per replica; the self slot is unused). Every outgoing
+    /// replica-to-replica frame is then sealed under the pair's symmetric
+    /// key, and incoming MAC-authenticated frames skip per-hop signature
+    /// verification — the paper's Spines-level session authentication.
+    pub fn with_session_keys(mut self, keys: Vec<[u8; 32]>) -> Replica {
+        self.session_keys = Some(keys);
+        self
+    }
+
     /// Overrides the metric label (default `"prime"`).
     pub fn with_label(mut self, label: &str) -> Replica {
         self.label = label.to_string();
@@ -466,11 +484,68 @@ impl Replica {
         self.metric_names.get(name)
     }
 
+    /// Sends an encoded frame to a peer, sealed under the pair's link key
+    /// when session MACs are on. Retained certificate material must stay
+    /// unsealed (a seal is per-recipient), so sealing happens here — at the
+    /// last moment before the transport — and nowhere else.
+    fn net_send(&mut self, ctx: &mut Context<'_>, to: ReplicaId, bytes: Bytes) {
+        let sealed = match self
+            .session_keys
+            .as_ref()
+            .and_then(|k| k.get(to.0 as usize))
+        {
+            Some(key) => {
+                ctx.count(self.metric("mac_ops"), 1);
+                msg::seal_frame(self.me, key, &bytes)
+            }
+            None => bytes,
+        };
+        self.net.send_replica(ctx, to, sealed);
+    }
+
+    /// Strips and checks a link-MAC envelope. Returns the inner frame
+    /// bytes plus the MAC-authenticated sender, `(payload, None)` when the
+    /// frame is not sealed (client traffic, or session MACs off), or
+    /// `None` for a frame whose envelope fails authentication (dropped).
+    fn unseal(
+        &mut self,
+        ctx: &mut Context<'_>,
+        payload: Bytes,
+    ) -> Option<(Bytes, Option<ReplicaId>)> {
+        if payload.first() != Some(&msg::SEALED_FRAME_TAG) {
+            return Some((payload, None));
+        }
+        let Ok(Some(sealed)) = msg::decode_sealed(&payload) else {
+            ctx.count(self.metric("mac_fail"), 1);
+            return None;
+        };
+        let key = self
+            .session_keys
+            .as_ref()
+            .and_then(|keys| keys.get(sealed.sender.0 as usize))
+            .copied();
+        // A sealed frame from an unknown sender, or arriving at a replica
+        // with no session keys, cannot be authenticated: drop it.
+        let Some(key) = key else {
+            ctx.count(self.metric("mac_fail"), 1);
+            return None;
+        };
+        ctx.count(self.metric("mac_ops"), 1);
+        if !sealed.verify(&key) {
+            ctx.count(self.metric("mac_fail"), 1);
+            return None;
+        }
+        ctx.count(self.metric("mac_auth_hits"), 1);
+        let inner = Bytes::copy_from_slice(sealed.inner);
+        let sender = sealed.sender;
+        Some((inner, Some(sender)))
+    }
+
     fn broadcast(&mut self, ctx: &mut Context<'_>, msg: &PrimeMsg) {
         let bytes = msg.encode();
         for r in 0..self.cfg.n {
             if r != self.me.0 {
-                self.net.send_replica(ctx, ReplicaId(r), bytes.clone());
+                self.net_send(ctx, ReplicaId(r), bytes.clone());
             }
         }
     }
@@ -479,7 +554,8 @@ impl Replica {
         if to == self.me {
             return;
         }
-        self.net.send_replica(ctx, to, msg.encode());
+        let bytes = msg.encode();
+        self.net_send(ctx, to, bytes);
     }
 
     /// Sends `a` to even-numbered replicas and `b` to odd ones (the
@@ -490,7 +566,7 @@ impl Replica {
                 continue;
             }
             let bytes = if r % 2 == 0 { a.clone() } else { b.clone() };
-            self.net.send_replica(ctx, ReplicaId(r), bytes);
+            self.net_send(ctx, ReplicaId(r), bytes);
         }
     }
 
@@ -643,7 +719,7 @@ impl Replica {
         }
         for r in 0..self.cfg.n {
             if r != self.me.0 {
-                self.net.send_replica(ctx, ReplicaId(r), bytes.clone());
+                self.net_send(ctx, ReplicaId(r), bytes.clone());
             }
         }
     }
@@ -687,7 +763,7 @@ impl Replica {
                 OutboxDest::Replicas => {
                     for r in 0..self.cfg.n {
                         if r != self.me.0 {
-                            self.net.send_replica(ctx, ReplicaId(r), frame.clone());
+                            self.net_send(ctx, ReplicaId(r), frame.clone());
                         }
                     }
                 }
@@ -1803,7 +1879,7 @@ impl Replica {
             )
             .collect();
         for frame in frames {
-            self.net.send_replica(ctx, from, frame);
+            self.net_send(ctx, from, frame);
         }
     }
 
@@ -2105,6 +2181,11 @@ impl Process for Replica {
         let Some(payload) = self.net.unwrap(from, bytes) else {
             return;
         };
+        // Per-link session authentication: a MAC-sealed frame proves which
+        // peer sent it before any signature inside is even decoded.
+        let Some((payload, link_auth)) = self.unseal(ctx, payload) else {
+            return;
+        };
         let Ok(frame) = msg::decode_frame(&payload) else {
             ctx.count(self.metric("decode_fail"), 1);
             return;
@@ -2140,17 +2221,26 @@ impl Process for Replica {
         }
         // A batch-attested frame authenticates its enclosed message through
         // the sender's signed Merkle root; `env_auth` carries the proven
-        // signer so handlers can skip the (zeroed) embedded signature.
+        // signer so handlers can skip the (zeroed) embedded signature. A
+        // link MAC authenticates the whole frame as coming from its sealer,
+        // so a plain frame claiming its sealer needs no signature check,
+        // and a batch attestation whose signer IS the sealer needs no
+        // root-signature verification (forwarded frames — sealer differs
+        // from signer — still verify the attestation as before).
         let (msg, env_auth) = match frame {
-            Frame::Plain(msg) => (msg, None),
+            Frame::Plain(msg) => (msg, link_auth),
             Frame::Batched {
                 signer,
                 attestation,
                 msg,
                 msg_digest,
             } => {
-                if signer.0 >= self.cfg.n
-                    || !self.verify_batch_attestation(ctx, signer, &attestation, &msg_digest)
+                if signer.0 >= self.cfg.n {
+                    ctx.count(self.metric("bad_batch_auth"), 1);
+                    return;
+                }
+                if link_auth != Some(signer)
+                    && !self.verify_batch_attestation(ctx, signer, &attestation, &msg_digest)
                 {
                     ctx.count(self.metric("bad_batch_auth"), 1);
                     return;
@@ -2274,7 +2364,7 @@ impl Process for Replica {
                     }
                     for r in 0..self.cfg.n {
                         if r != self.me.0 {
-                            self.net.send_replica(ctx, ReplicaId(r), bytes.clone());
+                            self.net_send(ctx, ReplicaId(r), bytes.clone());
                         }
                     }
                 }

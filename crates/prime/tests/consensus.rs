@@ -12,7 +12,7 @@ use spire_prime::{
     Replica, ReplicaId, TestClient,
 };
 use spire_sim::{LinkConfig, ProcessId, Span, World};
-use std::rc::Rc;
+use std::sync::Arc;
 
 struct Cluster {
     world: World,
@@ -20,7 +20,7 @@ struct Cluster {
     inspection: Inspection,
     cfg: PrimeConfig,
     material: KeyMaterial,
-    keystore: Rc<KeyStore>,
+    keystore: Arc<KeyStore>,
 }
 
 fn link() -> LinkConfig {
@@ -43,7 +43,7 @@ fn build_cluster(
     cfg.progress_timeout = Span::secs(2);
     let mut world = World::new(seed);
     let material = KeyMaterial::new([3u8; 32]);
-    let keystore = Rc::new(KeyStore::for_nodes(&material, 3000));
+    let keystore = Arc::new(KeyStore::for_nodes(&material, 3000));
     let inspection = Inspection::new();
     let n = cfg.n;
     // Allocate replica pids first (processes added in order).
@@ -62,7 +62,7 @@ fn build_cluster(
             cfg.clone(),
             ReplicaId(i),
             behavior_of(i),
-            Rc::clone(&keystore),
+            Arc::clone(&keystore),
             signer,
             Box::new(net),
             Box::new(HashChainApp::new()),
@@ -143,7 +143,7 @@ fn build_cluster_with_clients_inner(
     cfg.progress_timeout = Span::secs(2);
     let mut world = World::new(seed);
     let material = KeyMaterial::new([3u8; 32]);
-    let keystore = Rc::new(KeyStore::for_nodes(&material, 3000));
+    let keystore = Arc::new(KeyStore::for_nodes(&material, 3000));
     let inspection = Inspection::new();
     let n = cfg.n;
     let first = world.process_count() as u32;
@@ -166,7 +166,7 @@ fn build_cluster_with_clients_inner(
             cfg.clone(),
             ReplicaId(i),
             behavior_of(i),
-            Rc::clone(&keystore),
+            Arc::clone(&keystore),
             signer,
             Box::new(net),
             Box::new(HashChainApp::new()),
@@ -473,7 +473,7 @@ fn proactive_recovery_rejoins_via_state_transfer() {
     // recovering state machine.
     let pid = cluster.replica_pids[4];
     let material = cluster.material.clone();
-    let keystore = Rc::clone(&cluster.keystore);
+    let keystore = Arc::clone(&cluster.keystore);
     let inspection = cluster.inspection.clone();
     let replica_pids = cluster.replica_pids.clone();
     let client_pid = ProcessId(replica_pids.last().unwrap().0 + 1);

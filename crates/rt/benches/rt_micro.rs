@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks of the runtime hot paths: bounded mailbox
+//! send/recv and hashed timer-wheel insert/fire.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spire_rt::TimerWheel;
+use spire_sim::Time;
+use std::sync::mpsc::sync_channel;
+
+fn bench_mailbox(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rt_mailbox");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("send_recv_same_thread", |b| {
+        let (tx, rx) = sync_channel::<u64>(4096);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tx.try_send(std::hint::black_box(i)).unwrap();
+            std::hint::black_box(rx.try_recv().unwrap())
+        });
+    });
+    group.bench_function("send_recv_cross_thread", |b| {
+        // A drained echo pair: messages cross a real thread boundary.
+        let (tx, rx) = sync_channel::<u64>(4096);
+        let (back_tx, back_rx) = sync_channel::<u64>(4096);
+        let echo = std::thread::spawn(move || {
+            while let Ok(v) = rx.recv() {
+                if v == u64::MAX {
+                    break;
+                }
+                back_tx.send(v).unwrap();
+            }
+        });
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tx.send(std::hint::black_box(i)).unwrap();
+            std::hint::black_box(back_rx.recv().unwrap())
+        });
+        tx.send(u64::MAX).unwrap();
+        echo.join().unwrap();
+    });
+    group.finish();
+}
+
+fn bench_wheel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rt_timer_wheel");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("insert_fire_near", |b| {
+        let mut wheel: TimerWheel<u64> = TimerWheel::new(200, 1024);
+        let mut out = Vec::new();
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 50;
+            wheel.insert(Time(now + 500), std::hint::black_box(now));
+            wheel.advance(Time(now), &mut out);
+            std::hint::black_box(out.drain(..).count())
+        });
+    });
+    group.bench_function("insert_fire_batch_64", |b| {
+        let mut wheel: TimerWheel<u64> = TimerWheel::new(200, 1024);
+        let mut out = Vec::new();
+        let mut now = 0u64;
+        b.iter(|| {
+            for k in 0..64u64 {
+                wheel.insert(Time(now + 100 + k * 37 % 5_000), k);
+            }
+            now += 10_000;
+            wheel.advance(Time(now), &mut out);
+            std::hint::black_box(out.drain(..).count())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mailbox, bench_wheel);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Real-clock multi-threaded hosting substrate for the Spire
+//! reproduction.
+//!
+//! The simulator (`spire-sim`) measures latency *shapes* under a virtual
+//! clock on one core; this crate runs the very same actor state machines
+//! — Prime replicas, Spines daemons, SCADA masters, proxies and workload
+//! devices — on OS threads under monotonic wall-clock time, so throughput
+//! is bounded by the hardware, not by one event loop. Actor code is
+//! substrate-agnostic: it only sees `spire_sim::Context`, whose services
+//! are provided here by a per-worker [`Backend`](spire_sim::world::Backend)
+//! built from bounded mailboxes and a hashed timer wheel.
+//!
+//! Build a deployment exactly as for the simulator, dismantle the
+//! assembled world with `World::into_fabric`, and hand the fabric to
+//! [`Runtime::from_fabric`].
+
+pub mod runtime;
+pub mod wheel;
+
+pub use runtime::{RtConfig, RtRun, Runtime};
+pub use wheel::TimerWheel;

@@ -1,0 +1,420 @@
+//! The multi-threaded real-clock hosting substrate.
+//!
+//! A [`Runtime`] takes the actors and link model of an assembled
+//! [`Fabric`] (built exactly as for the simulator) and runs them on OS
+//! threads under monotonic wall-clock time. Actors are partitioned
+//! round-robin across workers; each worker owns a bounded mailbox for
+//! frames from other workers and a hashed [`TimerWheel`] that serves both
+//! as its actors' timer service and as the link delay line, applying the
+//! same per-link latency/jitter/loss model the simulator uses.
+//!
+//! Differences from the simulator, by design:
+//! - No bandwidth queueing or byte corruption on links (latency, jitter
+//!   and loss only), and no crash/restart or control-plane injection —
+//!   attack scenarios remain the simulator's job.
+//! - Cross-worker mailboxes are bounded and tail-drop when full (counted
+//!   in `rt.mailbox_full_drop`), like a congested NIC queue.
+//! - Runs are not reproducible: thread interleaving and the OS clock are
+//!   real. Per-worker RNGs are still seeded from the fabric seed so loss
+//!   and jitter draws do not depend on a global entropy source.
+
+use crate::wheel::TimerWheel;
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spire_sim::clock::Clock;
+use spire_sim::world::{Backend, Context, Fabric, LinkConfig, Process, ProcessId, TimerId};
+use spire_sim::{Metrics, Span, SpanPhase, Time, TraceKind};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct RtConfig {
+    /// Worker threads to spawn (capped at the actor count).
+    pub threads: usize,
+    /// Bounded capacity of each worker's cross-worker mailbox.
+    pub mailbox_capacity: usize,
+    /// Timer-wheel bucket width in microseconds.
+    pub wheel_granularity_us: u64,
+    /// Timer-wheel bucket count.
+    pub wheel_slots: usize,
+}
+
+impl Default for RtConfig {
+    fn default() -> RtConfig {
+        RtConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            mailbox_capacity: 65_536,
+            wheel_granularity_us: 200,
+            wheel_slots: 1_024,
+        }
+    }
+}
+
+impl RtConfig {
+    /// A config with an explicit worker count.
+    pub fn with_threads(threads: usize) -> RtConfig {
+        RtConfig {
+            threads,
+            ..RtConfig::default()
+        }
+    }
+}
+
+/// What flows through the cross-worker mailboxes.
+enum Envelope {
+    /// A frame already delayed-and-filtered by the sender's link model;
+    /// the receiving worker holds it in its wheel until `deliver_at`.
+    Frame {
+        from: ProcessId,
+        to: ProcessId,
+        deliver_at: Time,
+        bytes: Bytes,
+    },
+    /// Shutdown nudge so sleeping workers re-check the stop flag.
+    Wake,
+}
+
+/// An entry in a worker's wheel: a delayed frame or a protocol timer.
+enum Due {
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        bytes: Bytes,
+    },
+    Timer {
+        to: ProcessId,
+        id: u64,
+        tag: u64,
+    },
+}
+
+/// The per-worker [`Backend`]: monotonic clock, seeded RNG, private
+/// metrics, the timer/delay wheel, and routes to the other workers.
+struct WorkerBackend {
+    worker: usize,
+    clock: Clock,
+    rng: StdRng,
+    metrics: Metrics,
+    wheel: TimerWheel<Due>,
+    cancelled: HashSet<u64>,
+    next_timer: u64,
+    links: Arc<HashMap<(u32, u32), LinkConfig>>,
+    /// `ProcessId -> worker index` for every actor.
+    assignment: Arc<Vec<usize>>,
+    senders: Vec<SyncSender<Envelope>>,
+}
+
+impl Backend for WorkerBackend {
+    fn now(&self) -> Time {
+        self.clock.now()
+    }
+
+    fn send_from(&mut self, from: ProcessId, to: ProcessId, bytes: Bytes) {
+        let Some(cfg) = self.links.get(&(from.0, to.0)).copied() else {
+            self.metrics.count("rt.no_link_drop", 1);
+            return;
+        };
+        if cfg.loss > 0.0 && self.rng.gen_bool(cfg.loss.min(1.0)) {
+            self.metrics.count("rt.loss_drop", 1);
+            return;
+        }
+        let jitter = if cfg.jitter.0 > 0 {
+            Span::micros(self.rng.gen_range(0..=cfg.jitter.0))
+        } else {
+            Span::ZERO
+        };
+        let deliver_at = self.clock.now() + cfg.latency + jitter;
+        self.metrics.count("rt.sent", 1);
+        let dest = self.assignment.get(to.0 as usize).copied();
+        if dest == Some(self.worker) {
+            self.wheel
+                .insert(deliver_at, Due::Deliver { from, to, bytes });
+        } else if let Some(w) = dest {
+            match self.senders[w].try_send(Envelope::Frame {
+                from,
+                to,
+                deliver_at,
+                bytes,
+            }) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    self.metrics.count("rt.mailbox_full_drop", 1);
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.metrics.count("rt.disconnected_drop", 1);
+                }
+            }
+        } else {
+            self.metrics.count("rt.no_link_drop", 1);
+        }
+    }
+
+    fn set_timer(&mut self, me: ProcessId, delay: Span, tag: u64) -> TimerId {
+        // Worker-tagged ids stay unique across the runtime even though
+        // each worker mints its own.
+        let id = ((self.worker as u64) << 48) | self.next_timer;
+        self.next_timer += 1;
+        let at = self.clock.now() + delay;
+        self.wheel.insert(at, Due::Timer { to: me, id, tag });
+        TimerId::from_raw(id)
+    }
+
+    fn cancel_timer(&mut self, _me: ProcessId, timer: TimerId) {
+        self.cancelled.insert(timer.raw());
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    fn count(&mut self, name: &str, delta: u64) {
+        self.metrics.count(name, delta);
+    }
+
+    fn record(&mut self, name: &str, value: f64) {
+        let now = self.clock.now();
+        self.metrics.record(name, now, value);
+    }
+
+    fn observe(&mut self, name: &str, value: u64) {
+        self.metrics.observe(name, value);
+    }
+
+    // Structured tracing is a simulator feature; the runtime keeps the
+    // default no-op `tracing_enabled`/`trace`/`span_mark`.
+    fn trace(&mut self, _kind: TraceKind) {}
+
+    fn span_mark(&mut self, _pid: u32, _key: u64, _phase: SpanPhase) {}
+}
+
+/// How long a worker sleeps when it has nothing due (it still wakes early
+/// for any mailbox arrival); bounds shutdown latency.
+const MAX_IDLE: Duration = Duration::from_millis(2);
+
+struct Worker {
+    backend: WorkerBackend,
+    actors: HashMap<u32, Box<dyn Process>>,
+    rx: Receiver<Envelope>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Worker {
+    fn enqueue(&mut self, env: Envelope) {
+        if let Envelope::Frame {
+            from,
+            to,
+            deliver_at,
+            bytes,
+        } = env
+        {
+            self.backend
+                .wheel
+                .insert(deliver_at, Due::Deliver { from, to, bytes });
+        }
+    }
+
+    fn dispatch(&mut self, entry: Due) {
+        match entry {
+            Due::Deliver { from, to, bytes } => {
+                let Some(proc) = self.actors.get_mut(&to.0) else {
+                    self.backend.metrics.count("rt.misrouted_drop", 1);
+                    return;
+                };
+                self.backend.metrics.count("rt.delivered", 1);
+                let mut ctx = Context::new(&mut self.backend, to);
+                proc.on_message(&mut ctx, from, &bytes);
+            }
+            Due::Timer { to, id, tag } => {
+                if self.backend.cancelled.remove(&id) {
+                    return;
+                }
+                let Some(proc) = self.actors.get_mut(&to.0) else {
+                    return;
+                };
+                let mut ctx = Context::new(&mut self.backend, to);
+                proc.on_timer(&mut ctx, tag);
+            }
+        }
+    }
+
+    fn run(mut self) -> Metrics {
+        // Start every local actor before touching the mailbox, mirroring
+        // the simulator's time-zero Start events.
+        let mut pids: Vec<u32> = self.actors.keys().copied().collect();
+        pids.sort_unstable();
+        for pid in pids {
+            let mut proc = self.actors.remove(&pid).expect("actor present");
+            let mut ctx = Context::new(&mut self.backend, ProcessId(pid));
+            proc.on_start(&mut ctx);
+            self.actors.insert(pid, proc);
+        }
+        let mut due: Vec<(Time, Due)> = Vec::new();
+        loop {
+            loop {
+                match self.rx.try_recv() {
+                    Ok(env) => self.enqueue(env),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => break,
+                }
+            }
+            let now = self.backend.clock.now();
+            self.backend.wheel.advance(now, &mut due);
+            if !due.is_empty() {
+                due.sort_by_key(|(at, _)| *at);
+                for (_, entry) in due.drain(..) {
+                    self.dispatch(entry);
+                }
+            }
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let timeout = match self.backend.wheel.next_due() {
+                Some(t) => {
+                    let wait = t.0.saturating_sub(self.backend.clock.now().0);
+                    Duration::from_micros(wait).min(MAX_IDLE)
+                }
+                None => MAX_IDLE,
+            };
+            match self.rx.recv_timeout(timeout) {
+                Ok(env) => self.enqueue(env),
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.backend
+            .metrics
+            .count("rt.pending_at_exit", self.backend.wheel.len() as u64);
+        self.backend.metrics.count("rt.worker_clean_exit", 1);
+        self.backend.metrics
+    }
+}
+
+/// The finished run: merged metrics and wall-clock accounting.
+#[derive(Debug)]
+pub struct RtRun {
+    /// Metrics merged across all workers (series re-sorted by time).
+    pub metrics: Metrics,
+    /// Wall-clock time from runtime start to the last worker joining.
+    pub elapsed: Span,
+    /// Worker threads that ran.
+    pub threads: usize,
+}
+
+/// A running real-clock substrate hosting one deployment's actors.
+pub struct Runtime {
+    handles: Vec<std::thread::JoinHandle<Metrics>>,
+    senders: Vec<SyncSender<Envelope>>,
+    stop: Arc<AtomicBool>,
+    epoch: Instant,
+    threads: usize,
+}
+
+impl Runtime {
+    /// Spawns workers hosting the fabric's actors. The actors start
+    /// running (and their `on_start` timers begin counting) immediately.
+    pub fn from_fabric(fabric: Fabric, cfg: RtConfig) -> Runtime {
+        let n = fabric.actors.len().max(1);
+        let threads = cfg.threads.clamp(1, n);
+        let assignment: Arc<Vec<usize>> =
+            Arc::new((0..fabric.actors.len()).map(|i| i % threads).collect());
+        let links: Arc<HashMap<(u32, u32), LinkConfig>> =
+            Arc::new(fabric.links.into_iter().collect());
+        let stop = Arc::new(AtomicBool::new(false));
+        let epoch = Instant::now();
+        let mut senders = Vec::with_capacity(threads);
+        let mut receivers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = sync_channel::<Envelope>(cfg.mailbox_capacity.max(1));
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let mut crews: Vec<HashMap<u32, Box<dyn Process>>> =
+            (0..threads).map(|_| HashMap::new()).collect();
+        for (pid, (_name, proc)) in fabric.actors.into_iter().enumerate() {
+            crews[pid % threads].insert(pid as u32, proc);
+        }
+        let mut handles = Vec::with_capacity(threads);
+        for (w, (actors, rx)) in crews.into_iter().zip(receivers).enumerate() {
+            let worker = Worker {
+                backend: WorkerBackend {
+                    worker: w,
+                    clock: Clock::Monotonic { start: epoch },
+                    rng: StdRng::seed_from_u64(
+                        fabric.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    ),
+                    metrics: Metrics::new(),
+                    wheel: TimerWheel::new(cfg.wheel_granularity_us, cfg.wheel_slots),
+                    cancelled: HashSet::new(),
+                    next_timer: 0,
+                    links: Arc::clone(&links),
+                    assignment: Arc::clone(&assignment),
+                    senders: senders.clone(),
+                },
+                actors,
+                rx,
+                stop: Arc::clone(&stop),
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rt-worker-{w}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn rt worker"),
+            );
+        }
+        Runtime {
+            handles,
+            senders,
+            stop,
+            epoch,
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Lets the system run for `span` of wall-clock time, then shuts it
+    /// down: stop flag, wake nudges, join all workers, merge metrics.
+    pub fn run_for(self, span: Span) -> RtRun {
+        std::thread::sleep(Duration::from_micros(span.0));
+        self.shutdown()
+    }
+
+    /// Stops and joins all workers, merging their metrics.
+    pub fn shutdown(self) -> RtRun {
+        self.stop.store(true, Ordering::Release);
+        for tx in &self.senders {
+            let _ = tx.try_send(Envelope::Wake);
+        }
+        drop(self.senders);
+        let mut metrics = Metrics::new();
+        for handle in self.handles {
+            let worker_metrics = handle.join().expect("rt worker panicked");
+            metrics.merge(&worker_metrics);
+        }
+        metrics.sort_series();
+        RtRun {
+            metrics,
+            elapsed: Span::micros(self.epoch.elapsed().as_micros() as u64),
+            threads: self.threads,
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("threads", &self.threads)
+            .field("elapsed", &self.epoch.elapsed())
+            .finish()
+    }
+}

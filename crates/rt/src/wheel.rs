@@ -1,0 +1,179 @@
+//! A hashed timer wheel: O(1) insert, amortized O(1) fire.
+//!
+//! Deadlines hash into `slot_count` buckets of `granularity_us` each;
+//! entries whose deadline falls in a later wheel revolution simply stay in
+//! their bucket until their time comes around. Each runtime worker owns one
+//! wheel and uses it both for its actors' protocol timers and as the link
+//! delay line for in-flight frames.
+
+use spire_sim::Time;
+
+/// A deadline-ordered container with hashed-wheel internals.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    slots: Vec<Vec<(Time, T)>>,
+    granularity_us: u64,
+    /// The last tick `advance` fully processed.
+    last_tick: u64,
+    len: usize,
+    /// Cached earliest deadline (`None` means unknown; recomputed lazily).
+    min_due: Option<Time>,
+}
+
+impl<T> TimerWheel<T> {
+    /// Creates a wheel of `slot_count` buckets of `granularity_us` each.
+    pub fn new(granularity_us: u64, slot_count: usize) -> TimerWheel<T> {
+        assert!(granularity_us > 0 && slot_count > 1);
+        TimerWheel {
+            slots: (0..slot_count).map(|_| Vec::new()).collect(),
+            granularity_us,
+            last_tick: 0,
+            len: 0,
+            min_due: None,
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn tick_of(&self, at: Time) -> u64 {
+        at.0 / self.granularity_us
+    }
+
+    /// Inserts an entry due at `at`. Past-due deadlines are fine: they land
+    /// in the current bucket and fire on the next [`TimerWheel::advance`].
+    pub fn insert(&mut self, at: Time, item: T) {
+        // Never file into a bucket the cursor has already passed this
+        // revolution — it would wait a full turn of the wheel.
+        let tick = self.tick_of(at).max(self.last_tick);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push((at, item));
+        self.len += 1;
+        self.min_due = match self.min_due {
+            Some(m) => Some(m.min(at)),
+            None => Some(at),
+        };
+    }
+
+    /// The earliest pending deadline, if any.
+    pub fn next_due(&mut self) -> Option<Time> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.min_due.is_none() {
+            let mut min: Option<Time> = None;
+            for slot in &self.slots {
+                for (at, _) in slot {
+                    min = Some(min.map_or(*at, |m: Time| m.min(*at)));
+                }
+            }
+            self.min_due = min;
+        }
+        self.min_due
+    }
+
+    /// Moves every entry due at or before `now` into `out` (unordered;
+    /// sort by deadline if fire order matters).
+    pub fn advance(&mut self, now: Time, out: &mut Vec<(Time, T)>) {
+        let now_tick = self.tick_of(now);
+        if self.len > 0 {
+            let slot_count = self.slots.len() as u64;
+            // Scan from the cursor's bucket through `now`'s bucket, but
+            // each bucket at most once per call.
+            let span = (now_tick - self.last_tick + 1).min(slot_count);
+            let fired_before = out.len();
+            for step in 0..span {
+                let slot = ((self.last_tick + step) % slot_count) as usize;
+                let bucket = &mut self.slots[slot];
+                let mut i = 0;
+                while i < bucket.len() {
+                    if bucket[i].0 <= now {
+                        out.push(bucket.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            let fired = out.len() - fired_before;
+            self.len -= fired;
+            if fired > 0 {
+                self.min_due = None; // recomputed on demand
+            }
+        }
+        self.last_tick = now_tick;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_buckets() {
+        let mut w: TimerWheel<u32> = TimerWheel::new(100, 16);
+        w.insert(Time(250), 1);
+        w.insert(Time(50), 2);
+        w.insert(Time(5_000), 3); // several revolutions out
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.next_due(), Some(Time(50)));
+        let mut out = Vec::new();
+        w.advance(Time(100), &mut out);
+        assert_eq!(out, vec![(Time(50), 2)]);
+        out.clear();
+        w.advance(Time(300), &mut out);
+        assert_eq!(out, vec![(Time(250), 1)]);
+        out.clear();
+        w.advance(Time(4_999), &mut out);
+        assert!(out.is_empty());
+        w.advance(Time(5_000), &mut out);
+        assert_eq!(out, vec![(Time(5_000), 3)]);
+        assert!(w.is_empty());
+        assert_eq!(w.next_due(), None);
+    }
+
+    #[test]
+    fn past_due_inserts_fire_immediately() {
+        let mut w: TimerWheel<u32> = TimerWheel::new(100, 8);
+        let mut out = Vec::new();
+        w.advance(Time(10_000), &mut out);
+        w.insert(Time(500), 7); // long past the cursor
+        assert_eq!(w.next_due(), Some(Time(500)));
+        w.advance(Time(10_000), &mut out);
+        assert_eq!(out, vec![(Time(500), 7)]);
+    }
+
+    #[test]
+    fn large_jump_visits_every_bucket_once() {
+        let mut w: TimerWheel<u32> = TimerWheel::new(100, 8);
+        for i in 0..32 {
+            w.insert(Time(i * 97), i as u32);
+        }
+        let mut out = Vec::new();
+        // A jump much larger than one revolution must still drain all.
+        w.advance(Time(1_000_000), &mut out);
+        assert_eq!(out.len(), 32);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn future_rounds_survive_same_bucket() {
+        let mut w: TimerWheel<u32> = TimerWheel::new(100, 4);
+        // Same bucket (tick 1 and tick 5 with 4 slots), different rounds.
+        w.insert(Time(150), 1);
+        w.insert(Time(550), 2);
+        let mut out = Vec::new();
+        w.advance(Time(200), &mut out);
+        assert_eq!(out, vec![(Time(150), 1)]);
+        assert_eq!(w.len(), 1);
+        out.clear();
+        w.advance(Time(600), &mut out);
+        assert_eq!(out, vec![(Time(550), 2)]);
+    }
+}

@@ -10,8 +10,7 @@ use crate::master::notify_kind;
 use bytes::Bytes;
 use spire_prime::{ClientId, PrimeConfig, PrimeMsg};
 use spire_sim::{Context, Process, ProcessId, Time, WireReader};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// One archived breaker event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,7 +28,7 @@ pub struct BreakerEvent {
 /// Shared, queryable archive.
 #[derive(Clone, Debug, Default)]
 pub struct Archive {
-    inner: Rc<RefCell<Vec<BreakerEvent>>>,
+    inner: Arc<Mutex<Vec<BreakerEvent>>>,
 }
 
 impl Archive {
@@ -39,23 +38,24 @@ impl Archive {
     }
 
     fn push(&self, event: BreakerEvent) {
-        self.inner.borrow_mut().push(event);
+        self.inner.lock().expect("poisoned").push(event);
     }
 
     /// Number of archived events.
     pub fn len(&self) -> usize {
-        self.inner.borrow().len()
+        self.inner.lock().expect("poisoned").len()
     }
 
     /// True if nothing was archived.
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().is_empty()
+        self.inner.lock().expect("poisoned").is_empty()
     }
 
     /// Events archived within `[from, until)`.
     pub fn query_range(&self, from: Time, until: Time) -> Vec<BreakerEvent> {
         self.inner
-            .borrow()
+            .lock()
+            .expect("poisoned")
             .iter()
             .filter(|e| e.archived_at >= from && e.archived_at < until)
             .copied()
@@ -65,7 +65,8 @@ impl Archive {
     /// Events for one breaker, in order.
     pub fn breaker_history(&self, rtu: u32, breaker: u8) -> Vec<BreakerEvent> {
         self.inner
-            .borrow()
+            .lock()
+            .expect("poisoned")
             .iter()
             .filter(|e| e.rtu == rtu && e.breaker == breaker)
             .copied()

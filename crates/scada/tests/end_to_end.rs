@@ -12,7 +12,7 @@ use spire_scada::{
 };
 use spire_sim::{LinkConfig, ProcessId, Span, World};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn link() -> LinkConfig {
     LinkConfig {
@@ -40,7 +40,7 @@ fn build(seed: u64, n_rtus: u32, byz: BTreeMap<u32, ByzBehavior>) -> TestBed {
     };
     let mut world = World::new(seed);
     let material = KeyMaterial::new([7u8; 32]);
-    let keystore = Rc::new(KeyStore::for_nodes(&material, 4096));
+    let keystore = Arc::new(KeyStore::for_nodes(&material, 4096));
     let inspection = Inspection::new();
 
     let mut directory = ScadaDirectory::default();
@@ -73,7 +73,7 @@ fn build(seed: u64, n_rtus: u32, byz: BTreeMap<u32, ByzBehavior>) -> TestBed {
             cfg.clone(),
             ReplicaId(i),
             byz.get(&i).copied().unwrap_or(ByzBehavior::Honest),
-            Rc::clone(&keystore),
+            Arc::clone(&keystore),
             signer,
             Box::new(net),
             Box::new(ScadaMaster::new(directory.clone())),

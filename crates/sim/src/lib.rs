@@ -9,6 +9,7 @@
 //! a seeded RNG, so every experiment is exactly reproducible.
 //!
 //! * [`world`] — the event loop, processes, timers and the link model.
+//! * [`clock`] — virtual vs monotonic time sources (shared with `spire-rt`).
 //! * [`time`] — virtual time types.
 //! * [`metrics`] — counters, time series and histograms collected during runs.
 //! * [`stats`] — percentile/CDF summaries for the experiment harness.
@@ -24,6 +25,7 @@
 //! assert_eq!(world.now().as_millis(), 10_000);
 //! ```
 
+pub mod clock;
 pub mod metrics;
 pub mod stats;
 pub mod time;
@@ -31,6 +33,7 @@ pub mod trace;
 pub mod wire;
 pub mod world;
 
+pub use clock::Clock;
 pub use metrics::Metrics;
 pub use stats::Summary;
 pub use time::{Span, Time};
@@ -38,4 +41,4 @@ pub use trace::{
     span_key, FlightRecorder, Histogram, SpanPhase, SpanRecord, TraceEvent, TraceKind, Tracer,
 };
 pub use wire::{WireError, WireReader, WireWriter};
-pub use world::{Context, LinkConfig, Process, ProcessId, TimerId, World};
+pub use world::{Backend, Context, Fabric, LinkConfig, Process, ProcessId, TimerId, World};

@@ -96,6 +96,15 @@ impl Metrics {
             self.histograms.entry(name.clone()).or_default().merge(h);
         }
     }
+
+    /// Re-sorts every time series by timestamp. Needed after merging
+    /// stores recorded concurrently (e.g. per-worker metrics from the
+    /// real-clock runtime), whose interleaved samples are not ordered.
+    pub fn sort_series(&mut self) {
+        for samples in self.series.values_mut() {
+            samples.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        }
+    }
 }
 
 #[cfg(test)]

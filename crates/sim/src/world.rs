@@ -6,6 +6,7 @@
 //! reconfigured mid-run to emulate partitions, site disconnections and
 //! denial-of-service attacks. A fixed RNG seed makes every run reproducible.
 
+use crate::clock::Clock;
 use crate::metrics::Metrics;
 use crate::time::{Span, Time};
 use crate::trace::{SpanPhase, TraceKind, Tracer};
@@ -29,11 +30,26 @@ impl std::fmt::Display for ProcessId {
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct TimerId(u64);
 
-/// An event-driven simulated process (protocol state machine).
+impl TimerId {
+    /// Builds a handle from its raw value (for alternative substrates that
+    /// mint their own timer ids).
+    pub fn from_raw(raw: u64) -> TimerId {
+        TimerId(raw)
+    }
+
+    /// The raw id value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// An event-driven process (protocol state machine).
 ///
 /// Implementations must be deterministic given the same event sequence and
-/// RNG draws; all side effects go through the [`Context`].
-pub trait Process {
+/// RNG draws; all side effects go through the [`Context`]. `Send` is
+/// required so the same state machines can be hosted on OS threads by the
+/// real-clock runtime.
+pub trait Process: Send {
     /// Called once when the process is added (or restarted).
     fn on_start(&mut self, _ctx: &mut Context<'_>) {}
 
@@ -178,6 +194,53 @@ impl Ord for QueuedEvent {
 
 type ControlFn = Box<dyn FnOnce(&mut World)>;
 
+/// The substrate services a [`Context`] delegates to.
+///
+/// [`World`] implements this over the discrete-event queue and virtual
+/// time; the real-clock runtime (`spire-rt`) implements it over per-worker
+/// mailboxes, timer wheels and a monotonic [`Clock`]. Actor code only sees
+/// [`Context`], so the same state machines run on either substrate.
+pub trait Backend {
+    /// Current time (virtual or monotonic, measured from substrate start).
+    fn now(&self) -> Time;
+
+    /// Sends `bytes` from `from` to `to` over the configured link.
+    fn send_from(&mut self, from: ProcessId, to: ProcessId, bytes: Bytes);
+
+    /// Sets a timer for `me` that fires after `delay` with the given tag.
+    fn set_timer(&mut self, me: ProcessId, delay: Span, tag: u64) -> TimerId;
+
+    /// Cancels a pending timer (no-op if it already fired).
+    fn cancel_timer(&mut self, me: ProcessId, timer: TimerId);
+
+    /// Deterministic RNG (per-world in the sim, per-worker in the runtime).
+    fn rng(&mut self) -> &mut StdRng;
+
+    /// Increments a named counter metric.
+    fn count(&mut self, name: &str, delta: u64);
+
+    /// Records a named time-series sample at the current time.
+    fn record(&mut self, name: &str, value: f64);
+
+    /// Records one value into a named log-bucketed histogram.
+    fn observe(&mut self, name: &str, value: u64);
+
+    /// Whether structured tracing is enabled.
+    fn tracing_enabled(&self) -> bool {
+        false
+    }
+
+    /// Records a trace event at the current time (no-op when disabled).
+    fn trace(&mut self, kind: TraceKind) {
+        let _ = kind;
+    }
+
+    /// Marks a causal-span phase for process `pid` at the current time.
+    fn span_mark(&mut self, pid: u32, key: u64, phase: SpanPhase) {
+        let _ = (pid, key, phase);
+    }
+}
+
 /// The deterministic discrete-event simulation world.
 ///
 /// # Examples
@@ -210,7 +273,8 @@ type ControlFn = Box<dyn FnOnce(&mut World)>;
 /// assert_eq!(world.metrics().counter("pongs"), 1);
 /// ```
 pub struct World {
-    now: Time,
+    clock: Clock,
+    seed: u64,
     seq: u64,
     queue: BinaryHeap<Reverse<QueuedEvent>>,
     slots: Vec<Slot>,
@@ -230,7 +294,8 @@ impl World {
     /// Creates a world seeded for reproducibility.
     pub fn new(seed: u64) -> World {
         World {
-            now: Time::ZERO,
+            clock: Clock::virtual_at_zero(),
+            seed,
             seq: 0,
             queue: BinaryHeap::new(),
             slots: Vec::new(),
@@ -264,14 +329,14 @@ impl World {
     /// Records a trace event at the current time (no-op when disabled).
     #[inline]
     pub fn trace(&mut self, kind: TraceKind) {
-        self.tracer.record(self.now, kind);
+        self.tracer.record(self.clock.now(), kind);
     }
 
     /// Marks a span phase at the current time; on completion the per-phase
     /// deltas are fed into the metric histograms (`span.*_us`).
     #[inline]
     pub fn span_mark(&mut self, pid: u32, key: u64, phase: SpanPhase) {
-        if let Some(rec) = self.tracer.mark(self.now, pid, key, phase) {
+        if let Some(rec) = self.tracer.mark(self.clock.now(), pid, key, phase) {
             for (name, delta) in rec.phase_deltas() {
                 self.metrics.observe(name, delta);
             }
@@ -302,7 +367,12 @@ impl World {
 
     /// Current virtual time.
     pub fn now(&self) -> Time {
-        self.now
+        self.clock.now()
+    }
+
+    /// The RNG seed the world was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Adds a process; its `on_start` runs at the current time.
@@ -314,8 +384,9 @@ impl World {
             up: true,
             generation: 0,
         });
+        let now = self.clock.now();
         self.push(
-            self.now,
+            now,
             EventKind::Start {
                 to: id,
                 generation: 0,
@@ -344,7 +415,8 @@ impl World {
         let slot = &mut self.slots[id.0 as usize];
         slot.up = false;
         slot.generation += 1;
-        self.tracer.record(self.now, TraceKind::Crash { pid: id.0 });
+        self.tracer
+            .record(self.clock.now(), TraceKind::Crash { pid: id.0 });
     }
 
     /// Restarts a process with a fresh state machine.
@@ -361,8 +433,9 @@ impl World {
             slot.generation
         };
         self.tracer
-            .record(self.now, TraceKind::Restart { pid: id.0 });
-        self.push(self.now, EventKind::Start { to: id, generation });
+            .record(self.clock.now(), TraceKind::Restart { pid: id.0 });
+        let now = self.clock.now();
+        self.push(now, EventKind::Start { to: id, generation });
     }
 
     /// Adds a bidirectional link between `a` and `b`.
@@ -400,7 +473,7 @@ impl World {
     /// Replaces the configuration of both directions of a link (degradation
     /// injection, e.g. DoS-induced loss and queueing).
     pub fn set_link_config(&mut self, a: ProcessId, b: ProcessId, cfg: LinkConfig) {
-        let now = self.now;
+        let now = self.clock.now();
         for key in [(a.0, b.0), (b.0, a.0)] {
             if let Some(link) = self.links.get_mut(&key) {
                 link.cfg = cfg;
@@ -420,14 +493,14 @@ impl World {
         let id = self.next_control;
         self.next_control += 1;
         self.controls.insert(id, Box::new(f));
-        let at = at.max(self.now);
+        let at = at.max(self.clock.now());
         self.push(at, EventKind::Control(id));
     }
 
     /// Injects a message directly (bypassing links); for tests and fault
     /// injection.
     pub fn inject_message(&mut self, at: Time, from: ProcessId, to: ProcessId, bytes: Bytes) {
-        let at = at.max(self.now);
+        let at = at.max(self.clock.now());
         self.push(at, EventKind::Deliver { to, from, bytes });
     }
 
@@ -449,12 +522,12 @@ impl World {
             }
             self.step();
         }
-        self.now = self.now.max(deadline);
+        self.clock.advance_to(deadline);
     }
 
     /// Runs for `span` of virtual time from now.
     pub fn run_for(&mut self, span: Span) {
-        let deadline = self.now + span;
+        let deadline = self.clock.now() + span;
         self.run_until(deadline);
     }
 
@@ -463,8 +536,8 @@ impl World {
         let Some(Reverse(ev)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.now, "time went backwards");
-        self.now = ev.at;
+        debug_assert!(ev.at >= self.clock.now(), "time went backwards");
+        self.clock.advance_to(ev.at);
         match ev.kind {
             EventKind::Start { to, generation } => {
                 self.dispatch(to, Some(generation), |proc, ctx| proc.on_start(ctx));
@@ -475,7 +548,7 @@ impl World {
                     self.metrics.count("sim.delivered", 1);
                     if self.tracer.enabled() {
                         self.tracer.record(
-                            self.now,
+                            self.clock.now(),
                             TraceKind::MsgRecv {
                                 to: to.0,
                                 from: from.0,
@@ -498,7 +571,7 @@ impl World {
                     return true;
                 }
                 self.tracer
-                    .record(self.now, TraceKind::TimerFire { pid: to.0, tag });
+                    .record(self.clock.now(), TraceKind::TimerFire { pid: to.0, tag });
                 self.dispatch(to, Some(generation), |proc, ctx| proc.on_timer(ctx, tag));
             }
             EventKind::Control(id) => {
@@ -529,10 +602,7 @@ impl World {
         let Some(mut proc) = self.slots[idx].proc.take() else {
             return;
         };
-        let mut ctx = Context {
-            world: self,
-            me: to,
-        };
+        let mut ctx = Context::new(self, to);
         f(&mut proc, &mut ctx);
         // The process may have been crashed/restarted by a re-entrant control
         // action; only put it back if the slot is still vacant.
@@ -553,6 +623,7 @@ impl World {
     }
 
     fn do_send(&mut self, from: ProcessId, to: ProcessId, bytes: Bytes) {
+        let now = self.clock.now();
         let Some(link) = self.links.get_mut(&(from.0, to.0)) else {
             self.metrics.count("sim.no_link_drop", 1);
             return;
@@ -566,18 +637,18 @@ impl World {
         // the transmitter; tail-drop once the backlog exceeds `max_queue`.
         let tx_done = match cfg.bandwidth_bps {
             Some(bps) if bps > 0 => {
-                let backlog = link.next_free.since(self.now);
+                let backlog = link.next_free.since(now);
                 if backlog > cfg.max_queue {
                     self.metrics.count("sim.queue_drop", 1);
                     return;
                 }
                 let tx_us = (bytes.len() as u128 * 8 * 1_000_000 / bps as u128) as u64;
-                let start = link.next_free.max(self.now);
+                let start = link.next_free.max(now);
                 let done = start + Span::micros(tx_us.max(1));
                 link.next_free = done;
                 done
             }
-            _ => self.now,
+            _ => now,
         };
         if cfg.loss > 0.0 && self.rng.gen_bool(cfg.loss.min(1.0)) {
             self.metrics.count("sim.loss_drop", 1);
@@ -604,7 +675,7 @@ impl World {
         self.metrics.count("sim.sent", 1);
         if self.tracer.enabled() {
             self.tracer.record(
-                self.now,
+                now,
                 TraceKind::MsgSend {
                     from: from.0,
                     to: to.0,
@@ -614,11 +685,44 @@ impl World {
             // Daemon-to-daemon transit time includes bandwidth queueing, so
             // this histogram is where overlay DoS pressure becomes visible.
             if self.tracer.is_overlay(from.0) && self.tracer.is_overlay(to.0) {
-                self.metrics
-                    .observe("overlay.hop_us", arrival.since(self.now).0);
+                self.metrics.observe("overlay.hop_us", arrival.since(now).0);
             }
         }
     }
+
+    /// Dismantles the world into its raw actors and link configurations so
+    /// an alternative substrate (the real-clock `spire-rt` runtime) can
+    /// host the same deployment. Pending events, scheduled controls and
+    /// link up/down state are discarded — call this on a freshly assembled
+    /// world, before running it.
+    pub fn into_fabric(mut self) -> Fabric {
+        // `World` implements `Drop`, so fields are taken rather than moved.
+        let slots = std::mem::take(&mut self.slots);
+        let links = std::mem::take(&mut self.links);
+        Fabric {
+            actors: slots
+                .into_iter()
+                .map(|s| (s.name, s.proc.expect("process checked out")))
+                .collect(),
+            links: links
+                .into_iter()
+                .map(|((a, b), state)| ((a, b), state.cfg))
+                .collect(),
+            seed: self.seed,
+        }
+    }
+}
+
+/// The substrate-independent contents of an assembled deployment: named
+/// actors and directed link configurations, plus the RNG seed. Produced by
+/// [`World::into_fabric`] and consumed by the real-clock runtime.
+pub struct Fabric {
+    /// One `(name, state machine)` per process, indexed by `ProcessId`.
+    pub actors: Vec<(String, Box<dyn Process>)>,
+    /// Directed links `(from, to)` with their latency/jitter/loss model.
+    pub links: Vec<((u32, u32), LinkConfig)>,
+    /// The seed the world was built with.
+    pub seed: u64,
 }
 
 impl Drop for World {
@@ -637,7 +741,7 @@ impl Drop for World {
 impl std::fmt::Debug for World {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("World")
-            .field("now", &self.now)
+            .field("now", &self.clock.now())
             .field("processes", &self.slots.len())
             .field("links", &self.links.len())
             .field("queued", &self.queue.len())
@@ -645,16 +749,82 @@ impl std::fmt::Debug for World {
     }
 }
 
-/// The API surface a [`Process`] uses to act on the world.
+impl Backend for World {
+    fn now(&self) -> Time {
+        self.clock.now()
+    }
+
+    fn send_from(&mut self, from: ProcessId, to: ProcessId, bytes: Bytes) {
+        self.do_send(from, to, bytes);
+    }
+
+    fn set_timer(&mut self, me: ProcessId, delay: Span, tag: u64) -> TimerId {
+        let timer = TimerId(self.next_timer);
+        self.next_timer += 1;
+        let generation = self.slots[me.0 as usize].generation;
+        let at = self.clock.now() + delay;
+        self.push(
+            at,
+            EventKind::Timer {
+                to: me,
+                generation,
+                timer,
+                tag,
+            },
+        );
+        timer
+    }
+
+    fn cancel_timer(&mut self, _me: ProcessId, timer: TimerId) {
+        self.cancelled.insert(timer.0);
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    fn count(&mut self, name: &str, delta: u64) {
+        self.metrics.count(name, delta);
+    }
+
+    fn record(&mut self, name: &str, value: f64) {
+        let now = self.clock.now();
+        self.metrics.record(name, now, value);
+    }
+
+    fn observe(&mut self, name: &str, value: u64) {
+        self.metrics.observe(name, value);
+    }
+
+    fn tracing_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    fn trace(&mut self, kind: TraceKind) {
+        World::trace(self, kind);
+    }
+
+    fn span_mark(&mut self, pid: u32, key: u64, phase: SpanPhase) {
+        World::span_mark(self, pid, key, phase);
+    }
+}
+
+/// The API surface a [`Process`] uses to act on its substrate.
 pub struct Context<'w> {
-    world: &'w mut World,
+    backend: &'w mut dyn Backend,
     me: ProcessId,
 }
 
 impl<'w> Context<'w> {
-    /// Current virtual time.
+    /// Builds a context around any [`Backend`] (used by the world's event
+    /// loop and by the real-clock runtime's workers).
+    pub fn new(backend: &'w mut dyn Backend, me: ProcessId) -> Context<'w> {
+        Context { backend, me }
+    }
+
+    /// Current time (virtual in the sim, monotonic in the runtime).
     pub fn now(&self) -> Time {
-        self.world.now
+        self.backend.now()
     }
 
     /// This process's id.
@@ -665,71 +835,57 @@ impl<'w> Context<'w> {
     /// Sends `bytes` to `to` over the configured link (dropped with a metric
     /// if no link exists or the link is down/lossy).
     pub fn send(&mut self, to: ProcessId, bytes: Bytes) {
-        self.world.do_send(self.me, to, bytes);
+        self.backend.send_from(self.me, to, bytes);
     }
 
     /// Sets a timer that fires after `delay` with the given tag.
     pub fn set_timer(&mut self, delay: Span, tag: u64) -> TimerId {
-        let timer = TimerId(self.world.next_timer);
-        self.world.next_timer += 1;
-        let generation = self.world.slots[self.me.0 as usize].generation;
-        let at = self.world.now + delay;
-        self.world.push(
-            at,
-            EventKind::Timer {
-                to: self.me,
-                generation,
-                timer,
-                tag,
-            },
-        );
-        timer
+        self.backend.set_timer(self.me, delay, tag)
     }
 
     /// Cancels a pending timer (no-op if it already fired).
     pub fn cancel_timer(&mut self, timer: TimerId) {
-        self.world.cancelled.insert(timer.0);
+        self.backend.cancel_timer(self.me, timer);
     }
 
-    /// Deterministic RNG shared by the whole world.
+    /// Deterministic RNG (per-world in the sim, per-worker in the runtime).
     pub fn rng(&mut self) -> &mut StdRng {
-        &mut self.world.rng
+        self.backend.rng()
     }
 
     /// Increments a named counter metric.
     pub fn count(&mut self, name: &str, delta: u64) {
-        self.world.metrics.count(name, delta);
+        self.backend.count(name, delta);
     }
 
     /// Records a named time-series sample at the current time.
     pub fn record(&mut self, name: &str, value: f64) {
-        let now = self.world.now;
-        self.world.metrics.record(name, now, value);
+        self.backend.record(name, value);
     }
 
     /// Records one value into a named log-bucketed histogram.
     pub fn observe(&mut self, name: &str, value: u64) {
-        self.world.metrics.observe(name, value);
+        self.backend.observe(name, value);
     }
 
     /// Whether structured tracing is enabled (to gate instrumentation that
     /// needs any preparatory work).
     #[inline]
     pub fn tracing_enabled(&self) -> bool {
-        self.world.tracer.enabled()
+        self.backend.tracing_enabled()
     }
 
     /// Records a trace event at the current time (no-op when disabled).
     #[inline]
     pub fn trace(&mut self, kind: TraceKind) {
-        self.world.tracer.record(self.world.now, kind);
+        self.backend.trace(kind);
     }
 
     /// Marks a causal-span phase for this process at the current time.
     #[inline]
     pub fn span_mark(&mut self, key: u64, phase: SpanPhase) {
         let me = self.me.0;
-        self.world.span_mark(me, key, phase);
+        self.backend.span_mark(me, key, phase);
     }
 }
 

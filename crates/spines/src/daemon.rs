@@ -23,7 +23,7 @@ use spire_crypto::hmac::{hmac_sha256, verify_hmac_sha256};
 use spire_crypto::{KeyStore, NodeId, SigningKey};
 use spire_sim::{Context, Process, ProcessId, Span, Time, TraceKind};
 use std::collections::{BTreeMap, HashSet, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 const TIMER_HELLO: u64 = 1;
 const TIMER_LSA: u64 = 2;
@@ -127,7 +127,7 @@ pub struct Daemon {
     cfg: DaemonConfig,
     behavior: DaemonBehavior,
     signing: SigningKey,
-    keystore: Rc<KeyStore>,
+    keystore: Arc<KeyStore>,
     /// crypto NodeId of overlay node i is `key_base + i`.
     key_base: u32,
     neighbors: BTreeMap<OverlayId, NeighborState>,
@@ -161,7 +161,7 @@ impl Daemon {
         cfg: DaemonConfig,
         behavior: DaemonBehavior,
         signing: SigningKey,
-        keystore: Rc<KeyStore>,
+        keystore: Arc<KeyStore>,
         key_base: u32,
         neighbors: Vec<(OverlayId, ProcessId, u32, [u8; 32])>,
     ) -> Daemon {

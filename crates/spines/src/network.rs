@@ -7,7 +7,7 @@ use crate::topology::{OverlayId, Topology};
 use spire_crypto::{KeyMaterial, KeyStore, NodeId};
 use spire_sim::{LinkConfig, ProcessId, World};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A deployed overlay network: daemon process ids and key material.
 #[derive(Debug)]
@@ -34,7 +34,7 @@ impl OverlayNetwork {
         topology: &Topology,
         cfg: DaemonConfig,
         material: &KeyMaterial,
-        keystore: &Rc<KeyStore>,
+        keystore: &Arc<KeyStore>,
         key_base: u32,
         link_of: impl Fn(OverlayId, OverlayId) -> LinkConfig,
         behavior_of: impl Fn(OverlayId) -> DaemonBehavior,
@@ -66,7 +66,7 @@ impl OverlayNetwork {
                 cfg,
                 behavior_of(*id),
                 material.signing_key(NodeId(key_base + id.0 as u32)),
-                Rc::clone(keystore),
+                Arc::clone(keystore),
                 key_base,
                 neighbors,
             );

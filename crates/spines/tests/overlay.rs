@@ -9,7 +9,7 @@ use spire_spines::{
     DaemonBehavior, DaemonConfig, Dissemination, OverlayAddr, OverlayId, OverlayNetwork,
     SpinesPort, Topology,
 };
-use std::rc::Rc;
+use std::sync::Arc;
 
 const APP_PORT: u16 = 100;
 
@@ -108,7 +108,7 @@ fn build(seed: u64, behavior_of: impl Fn(OverlayId) -> DaemonBehavior) -> Harnes
     topology.add_edge(OverlayId(0), OverlayId(3), 10);
     let mut world = World::new(seed);
     let material = KeyMaterial::new([9u8; 32]);
-    let keystore = Rc::new(KeyStore::for_nodes(&material, 64));
+    let keystore = Arc::new(KeyStore::for_nodes(&material, 64));
     let net = OverlayNetwork::build(
         &mut world,
         &topology,
@@ -383,7 +383,7 @@ fn reliable_mode_survives_heavy_loss() {
     topology.add_edge(OverlayId(0), OverlayId(2), 10);
     let mut world = World::new(11);
     let material = KeyMaterial::new([9u8; 32]);
-    let keystore = Rc::new(KeyStore::for_nodes(&material, 64));
+    let keystore = Arc::new(KeyStore::for_nodes(&material, 64));
     let net = OverlayNetwork::build(
         &mut world,
         &topology,
@@ -425,7 +425,7 @@ fn corrupted_frames_are_detected_and_recovered_by_retransmission() {
     topology.add_edge(OverlayId(0), OverlayId(2), 10);
     let mut world = World::new(77);
     let material = KeyMaterial::new([9u8; 32]);
-    let keystore = Rc::new(KeyStore::for_nodes(&material, 64));
+    let keystore = Arc::new(KeyStore::for_nodes(&material, 64));
     let net = OverlayNetwork::build(
         &mut world,
         &topology,
@@ -514,7 +514,7 @@ fn ttl_bounds_forwarding() {
     }
     let mut world = World::new(41);
     let material = KeyMaterial::new([9u8; 32]);
-    let keystore = Rc::new(KeyStore::for_nodes(&material, 64));
+    let keystore = Arc::new(KeyStore::for_nodes(&material, 64));
     let cfg = DaemonConfig {
         default_ttl: 2, // path 0 -> 4 needs 4 hops
         ..DaemonConfig::default()

@@ -12,7 +12,7 @@ use spire_repro::spire_prime::{
 };
 use spire_repro::spire_sim::{Context, LinkConfig, Process, ProcessId, Span, World};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A scripted KV client: PUT, overwrite via CAS, failed CAS, GET; checks
 /// every reply against the expected value once f+1 replicas agree.
@@ -90,7 +90,7 @@ fn main() {
     let cfg = PrimeConfig::new(1, 0); // f=1, n=4, classic BFT sizing
     let mut world = World::new(2025);
     let material = KeyMaterial::new([4u8; 32]);
-    let keystore = Rc::new(KeyStore::for_nodes(&material, 3000));
+    let keystore = Arc::new(KeyStore::for_nodes(&material, 3000));
     let inspection = Inspection::new();
 
     let first = world.process_count() as u32;
@@ -116,7 +116,7 @@ fn main() {
             cfg.clone(),
             ReplicaId(i),
             behavior,
-            Rc::clone(&keystore),
+            Arc::clone(&keystore),
             signer,
             Box::new(net),
             Box::new(KvApp::new()),

@@ -1,0 +1,96 @@
+//! Real-clock runtime tests: a quick smoke run in tier-1, and a 30 s
+//! high-load soak (run by the dedicated CI job via `--ignored`) asserting
+//! safety invariants, no deadlocks, and a clean shutdown.
+
+use spire::{Deployment, DeploymentConfig};
+use spire_sim::Span;
+
+fn rt_outcome(rtus: u32, interval_ms: u64, secs: u64, threads: usize) -> spire::RtOutcome {
+    let mut cfg = DeploymentConfig::wide_area(12345);
+    cfg.workload.rtus = rtus;
+    cfg.workload.update_interval = Span::millis(interval_ms);
+    cfg.trace = false;
+    cfg.mock_sigs = true;
+    Deployment::build(cfg)
+        .into_rt(threads)
+        .run_for(Span::secs(secs))
+}
+
+#[test]
+fn rt_smoke_two_seconds() {
+    let outcome = rt_outcome(4, 500, 2, 2);
+    let r = &outcome.report;
+    assert!(r.safety_ok, "safety violated on rt substrate");
+    assert!(
+        r.updates_confirmed > 0,
+        "no updates confirmed: sent={} metrics may be miswired",
+        r.updates_sent
+    );
+    assert!(
+        r.delivery_ratio() >= 0.90,
+        "delivery ratio {:.3} too low (confirmed {}/{})",
+        r.delivery_ratio(),
+        r.updates_confirmed,
+        r.updates_sent
+    );
+    // Clean shutdown: every worker exited its loop normally.
+    assert_eq!(
+        outcome.run.metrics.counter("rt.worker_clean_exit"),
+        outcome.run.threads as u64
+    );
+}
+
+/// The 30 s soak. `--ignored` only: it holds the machine for real
+/// wall-clock time.
+///
+/// Offered load scales with the host: exp_rt_throughput shows a 1-core
+/// host cannot execute this system in real time much past ~100 updates/s
+/// (the simulator already needs > 1 wall-second per simulated second
+/// there), so the soak offers ~50 updates/s per core, capped at 400/s.
+/// What the soak pins is the runtime substrate itself — safety under
+/// sustained load, no deadlock/livelock, clean shutdown, no mailbox
+/// overflow, bounded pending work — with a delivery floor loose enough
+/// to hold on a loaded single core.
+#[test]
+#[ignore = "30s wall-clock soak; run explicitly (CI rt-soak job)"]
+fn rt_soak_thirty_seconds_high_load() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    // RTUs at 100 ms each = 10 updates/s per RTU.
+    let rtus = (5 * threads as u32).min(40);
+    let outcome = rt_outcome(rtus, 100, 30, threads);
+    let r = &outcome.report;
+    assert!(r.safety_ok, "safety violated under sustained load");
+    assert!(
+        r.delivery_ratio() >= 0.90,
+        "delivery ratio {:.4} below 0.90 (confirmed {}/{})",
+        r.delivery_ratio(),
+        r.updates_confirmed,
+        r.updates_sent
+    );
+    // No deadlock / livelock: the system kept confirming until the end
+    // (no more than a couple of silent seconds tolerated for startup).
+    assert!(
+        r.silent_seconds() <= 2,
+        "confirmations stalled: {} silent seconds",
+        r.silent_seconds()
+    );
+    // Clean shutdown: all workers joined through the normal exit path.
+    assert_eq!(
+        outcome.run.metrics.counter("rt.worker_clean_exit"),
+        outcome.run.threads as u64,
+        "a worker exited abnormally"
+    );
+    // No leaked timers: what remains pending at exit is bounded by the
+    // steady-state working set (per-actor periodic timers + in-flight
+    // frames), not by run length.
+    let pending = outcome.run.metrics.counter("rt.pending_at_exit");
+    assert!(
+        pending < 20_000,
+        "timer/frame leak: {pending} pending at exit"
+    );
+    // Mailboxes kept up: tail-drops under this load mean a stall.
+    let dropped = outcome.run.metrics.counter("rt.mailbox_full_drop");
+    assert_eq!(dropped, 0, "mailbox overflow: {dropped} frames dropped");
+}
