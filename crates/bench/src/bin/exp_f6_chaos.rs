@@ -1,0 +1,24 @@
+//! F6-chaos: the seeded chaos adversary matrix with online invariant
+//! checking. Usage: `exp_f6_chaos [duration_secs] [seed seed ...]`
+//! (defaults: 60 s over seeds 1..=8). Exits nonzero if any seed ends
+//! with an invariant violation, printing the reproducing seed.
+fn main() {
+    let args: Vec<u64> = std::env::args()
+        .skip(1)
+        .map(|a| {
+            a.parse().unwrap_or_else(|_| {
+                eprintln!("usage: exp_f6_chaos [duration_secs] [seed seed ...]");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let duration_s = args.first().copied().unwrap_or(60);
+    let seeds: Vec<u64> = if args.len() > 1 {
+        args[1..].to_vec()
+    } else {
+        (1..=8).collect()
+    };
+    if !spire_bench::experiments::f6_chaos(&seeds, duration_s) {
+        std::process::exit(3);
+    }
+}

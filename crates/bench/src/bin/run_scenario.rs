@@ -1,28 +1,63 @@
-//! Operator tool: run one red-team scenario by index and print its report.
+//! Operator tool: run one red-team scenario (by index or name) or a
+//! seeded chaos run, on either substrate, and print its report.
 //!
-//! Usage: `run_scenario [index] [--substrate=sim|rt|rt:N] [--json[=PATH]] [--trace=PATH]`
+//! Usage:
+//!   `run_scenario [index] [--scenario=NAME] [--chaos=SEED] [--list]`
+//!   `             [--duration=SECS] [--substrate=sim|rt|rt:N]`
+//!   `             [--json[=PATH]] [--trace=PATH]`
 //!
-//! * no argument — lists the suite;
+//! * `--list` (or no selector) — lists the red-team suite;
+//! * `index` / `--scenario=NAME` — picks a suite entry by index or by
+//!   (case-insensitive substring) name;
+//! * `--chaos=SEED` — instead of a suite entry, generates the seeded
+//!   chaos plan (reproducible: same seed, same plan) and runs it;
+//! * `--duration=SECS` — chaos plan horizon (default 60 s);
 //! * `--substrate=` — host the system on the deterministic simulator
 //!   (default) or the real-clock multi-threaded runtime (`rt`, or `rt:N`
-//!   to pin the worker count). The rt substrate runs in wall-clock time;
-//!   attack schedules are a simulator control-plane feature and are
-//!   discarded there, so scenarios with attacks are rejected on rt;
+//!   to pin the worker count). Attack schedules are recorded as a
+//!   substrate-agnostic control plan, so scenarios run unchanged on
+//!   either substrate (rt runs take the scenario duration in wall time);
 //! * `--json` — serializes the full [`spire::Report`] (including the
-//!   per-phase latency breakdown) as JSON to stdout, or to `PATH` with
-//!   `--json=PATH`;
+//!   per-phase latency breakdown and the chaos counters) as JSON to
+//!   stdout, or to `PATH` with `--json=PATH`;
 //! * `--trace=PATH` — enables structured tracing and writes a Chrome
 //!   `trace_event` file loadable in `chrome://tracing` / Perfetto
 //!   (sim substrate only).
+//!
+//! The online invariant checker runs during every scenario; if it finds
+//! a safety violation the tool prints the reproducing seed and exits
+//! nonzero.
 
 use spire::attack::Scenario;
+use spire::chaos::ChaosPlan;
 use spire::deployment::{Deployment, DeploymentConfig, Substrate};
 use spire_scada::WorkloadConfig;
 use spire_sim::Span;
 
+fn list_suite(suite: &[Scenario]) {
+    println!("red-team scenario suite:");
+    for (i, s) in suite.iter().enumerate() {
+        println!(
+            "  {i}: {} ({} attacks, {})",
+            s.name,
+            s.attacks.len(),
+            s.duration
+        );
+    }
+    println!(
+        "\nrun one with: run_scenario <index|--scenario=NAME> [--substrate=sim|rt|rt:N] \
+         [--json[=PATH]] [--trace=PATH]\n\
+         or a seeded chaos run: run_scenario --chaos=SEED [--duration=SECS]"
+    );
+}
+
 fn main() {
     let suite = Scenario::red_team_suite();
     let mut index: Option<usize> = None;
+    let mut by_name: Option<String> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut duration_s: u64 = 60;
+    let mut list = false;
     // `Some(None)` = JSON to stdout, `Some(Some(path))` = JSON to a file.
     let mut json: Option<Option<String>> = None;
     let mut trace_path: Option<String> = None;
@@ -30,6 +65,8 @@ fn main() {
     for arg in std::env::args().skip(1) {
         if arg == "--json" {
             json = Some(None);
+        } else if arg == "--list" {
+            list = true;
         } else if let Some(path) = arg.strip_prefix("--json=") {
             if path.is_empty() {
                 eprintln!("--json= requires a path");
@@ -42,6 +79,20 @@ fn main() {
                 std::process::exit(2);
             }
             trace_path = Some(path.to_string());
+        } else if let Some(name) = arg.strip_prefix("--scenario=") {
+            by_name = Some(name.to_string());
+        } else if let Some(seed) = arg.strip_prefix("--chaos=") {
+            let Ok(seed) = seed.parse::<u64>() else {
+                eprintln!("bad chaos seed {seed:?}: expected an unsigned integer");
+                std::process::exit(2);
+            };
+            chaos_seed = Some(seed);
+        } else if let Some(secs) = arg.strip_prefix("--duration=") {
+            let Ok(secs) = secs.parse::<u64>() else {
+                eprintln!("bad duration {secs:?}: expected seconds");
+                std::process::exit(2);
+            };
+            duration_s = secs;
         } else if let Some(which) = arg.strip_prefix("--substrate=") {
             let Some(parsed) = Substrate::parse(which) else {
                 eprintln!("bad substrate {which:?}: expected sim, rt or rt:N");
@@ -53,35 +104,70 @@ fn main() {
         } else {
             eprintln!("unknown argument: {arg}");
             eprintln!(
-                "usage: run_scenario [index] [--substrate=sim|rt|rt:N] [--json[=PATH]] [--trace=PATH]"
+                "usage: run_scenario [index] [--scenario=NAME] [--chaos=SEED] [--list] \
+                 [--duration=SECS] [--substrate=sim|rt|rt:N] [--json[=PATH]] [--trace=PATH]"
             );
             std::process::exit(2);
         }
     }
-    let Some(index) = index else {
-        println!("red-team scenario suite:");
-        for (i, s) in suite.iter().enumerate() {
-            println!(
-                "  {i}: {} ({} attacks, {})",
-                s.name,
-                s.attacks.len(),
-                s.duration
-            );
-        }
-        println!(
-            "\nrun one with: run_scenario <index> [--substrate=sim|rt|rt:N] [--json[=PATH]] [--trace=PATH]"
-        );
+    if list {
+        list_suite(&suite);
         return;
-    };
-    let Some(scenario) = suite.get(index) else {
-        eprintln!("no scenario {index} (suite has {})", suite.len());
-        std::process::exit(1);
-    };
-    let quiet = matches!(json, Some(None));
-    if !quiet {
-        println!("running scenario {index}: {} on {substrate}", scenario.name);
     }
-    let mut cfg = DeploymentConfig::wide_area(9000 + index as u64);
+    if let Some(name) = &by_name {
+        let needle = name.to_lowercase();
+        let matches: Vec<usize> = suite
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.name.to_lowercase().contains(&needle))
+            .map(|(i, _)| i)
+            .collect();
+        match matches.as_slice() {
+            [i] => index = Some(*i),
+            [] => {
+                eprintln!("no scenario matches {name:?}; use --list to see the suite");
+                std::process::exit(1);
+            }
+            many => {
+                eprintln!("{name:?} is ambiguous; it matches:");
+                for i in many {
+                    eprintln!("  {i}: {}", suite[*i].name);
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+    let seed = chaos_seed.unwrap_or(9000 + index.unwrap_or(0) as u64);
+    // JSON-to-stdout runs must emit nothing but the report object.
+    let quiet = matches!(json, Some(None));
+    let scenario = match (chaos_seed, index) {
+        (Some(seed), _) => {
+            let cfg = DeploymentConfig::wide_area(seed);
+            let plan = ChaosPlan::generate(seed, &cfg.spire, Span::secs(duration_s));
+            if !quiet {
+                println!("chaos plan for seed {seed} ({} events):", plan.log.len());
+                for line in &plan.log {
+                    println!("  {line}");
+                }
+            }
+            plan.scenario()
+        }
+        (None, Some(i)) => {
+            let Some(scenario) = suite.get(i) else {
+                eprintln!("no scenario {i} (suite has {})", suite.len());
+                std::process::exit(1);
+            };
+            scenario.clone()
+        }
+        (None, None) => {
+            list_suite(&suite);
+            return;
+        }
+    };
+    if !quiet {
+        println!("running scenario: {} on {substrate}", scenario.name);
+    }
+    let mut cfg = DeploymentConfig::wide_area(seed);
     cfg.workload = WorkloadConfig {
         rtus: 6,
         update_interval: Span::millis(500),
@@ -110,14 +196,6 @@ fn main() {
             report
         }
         Substrate::Rt { threads } => {
-            if !scenario.attacks.is_empty() {
-                eprintln!(
-                    "scenario {index} ({}) schedules attacks; the attack control \
-                     plane is a simulator feature — run it with --substrate=sim",
-                    scenario.name
-                );
-                std::process::exit(2);
-            }
             if trace_path.is_some() {
                 eprintln!("--trace is not available on the rt substrate");
                 std::process::exit(2);
@@ -125,7 +203,9 @@ fn main() {
             if !quiet {
                 println!("(real-clock run: this takes {duration} of wall time)");
             }
-            let outcome = Deployment::build(cfg).into_rt(threads).run_for(duration);
+            let mut system = Deployment::build(cfg);
+            scenario.apply(&mut system);
+            let outcome = system.into_rt(threads).run_for(duration);
             if !quiet {
                 println!(
                     "rt: {} worker thread(s), {} frames delivered, {} dropped by the link model",
@@ -153,10 +233,27 @@ fn main() {
                 "commands: {} issued / {} actuated; recoveries {:?}",
                 report.commands_issued, report.commands_actuated, report.recoveries
             );
+            println!(
+                "chaos: {} invariant checks, {} violations, {} corrupted / {} duplicated frames, \
+                 {} decode failures",
+                report.chaos.invariant_checks,
+                report.chaos.invariant_violations,
+                report.chaos.corrupted_frames,
+                report.chaos.duplicated_frames,
+                report.chaos.decode_failures,
+            );
             let table = report.phase_table();
             if !table.is_empty() {
                 println!("\nper-phase latency breakdown:\n{table}");
             }
         }
+    }
+    if !report.safety_ok || report.chaos.invariant_violations > 0 {
+        eprintln!(
+            "SAFETY FAILURE: {} invariant violation(s); reproduce with seed {seed} \
+             on --substrate=sim",
+            report.chaos.invariant_violations
+        );
+        std::process::exit(3);
     }
 }

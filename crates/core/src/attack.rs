@@ -52,6 +52,22 @@ pub enum Attack {
         /// When.
         at: Time,
     },
+    /// Wire faults on a site's WAN links: bit-flips, duplicates and
+    /// jitter-induced reordering (noise, not a protocol-level fault).
+    WireFaults {
+        /// Site index.
+        site: usize,
+        /// Start.
+        from: Time,
+        /// End.
+        until: Time,
+        /// Per-frame bit-flip probability.
+        corrupt: f64,
+        /// Per-frame duplication probability.
+        dup: f64,
+        /// Extra per-frame jitter (reorders the duplicated pairs too).
+        jitter: Span,
+    },
 }
 
 impl Attack {
@@ -61,12 +77,7 @@ impl Attack {
             Attack::Compromise { id, behavior, at } => {
                 deployment.schedule_compromise(*id, *behavior, *at);
             }
-            Attack::KillReplica { id, at } => {
-                let pid = deployment.replica_pids[*id as usize];
-                deployment
-                    .world
-                    .schedule_control(*at, move |w| w.crash(pid));
-            }
+            Attack::KillReplica { id, at } => deployment.schedule_kill(*id, *at),
             Attack::DosSite {
                 site,
                 from,
@@ -77,6 +88,16 @@ impl Attack {
                 deployment.schedule_site_disconnect(*site, *from, *until)
             }
             Attack::Recover { id, at } => deployment.schedule_recovery(*id, *at),
+            Attack::WireFaults {
+                site,
+                from,
+                until,
+                corrupt,
+                dup,
+                jitter,
+            } => {
+                deployment.schedule_site_wire_faults(*site, *from, *until, *corrupt, *dup, *jitter)
+            }
         }
     }
 }
@@ -186,10 +207,69 @@ impl Scenario {
         ]
     }
 
-    /// Applies all attacks to the deployment.
+    /// Applies all attacks to the deployment and installs the online
+    /// invariant checker (1 s cadence) for the scenario's duration — every
+    /// scenario run is safety-checked *while* it executes.
     pub fn apply(&self, deployment: &mut Deployment) {
         for attack in &self.attacks {
             attack.apply(deployment);
+        }
+        deployment.install_invariant_checker(Span::secs(1), Time(self.duration.0));
+    }
+
+    /// A copy with every schedule and the duration scaled by
+    /// `num / den` — used to run the suite on the real-clock substrate
+    /// where a simulated minute costs a wall-clock minute.
+    pub fn scaled(&self, num: u64, den: u64) -> Scenario {
+        let st = |t: Time| Time(t.0 * num / den);
+        let attacks = self
+            .attacks
+            .iter()
+            .map(|a| match a.clone() {
+                Attack::Compromise { id, behavior, at } => Attack::Compromise {
+                    id,
+                    behavior,
+                    at: st(at),
+                },
+                Attack::KillReplica { id, at } => Attack::KillReplica { id, at: st(at) },
+                Attack::Recover { id, at } => Attack::Recover { id, at: st(at) },
+                Attack::DosSite {
+                    site,
+                    from,
+                    until,
+                    loss,
+                } => Attack::DosSite {
+                    site,
+                    from: st(from),
+                    until: st(until),
+                    loss,
+                },
+                Attack::DisconnectSite { site, from, until } => Attack::DisconnectSite {
+                    site,
+                    from: st(from),
+                    until: st(until),
+                },
+                Attack::WireFaults {
+                    site,
+                    from,
+                    until,
+                    corrupt,
+                    dup,
+                    jitter,
+                } => Attack::WireFaults {
+                    site,
+                    from: st(from),
+                    until: st(until),
+                    corrupt,
+                    dup,
+                    jitter,
+                },
+            })
+            .collect();
+        Scenario {
+            name: self.name.clone(),
+            attacks,
+            duration: Span(self.duration.0 * num / den),
         }
     }
 }

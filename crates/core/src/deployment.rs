@@ -12,6 +12,7 @@
 //! ```
 
 use crate::config::{SiteKind, SpireConfig};
+use crate::invariant::InvariantChecker;
 use crate::report::Report;
 use spire_crypto::keys::Signer;
 use spire_crypto::{KeyMaterial, KeyStore, NodeId};
@@ -20,13 +21,13 @@ use spire_prime::{
     ByzBehavior, ClientId, Inspection, PrimeConfig, ProtocolMode, Replica, ReplicaId, SpinesNet,
 };
 use spire_scada::{Hmi, Rtu, RtuProxy, ScadaDirectory, ScadaMaster, WorkloadConfig};
-use spire_sim::{LinkConfig, ProcessId, Span, Time, World};
+use spire_sim::{ControlOp, LinkConfig, ProcessId, Span, SpawnFn, Time, World};
 use spire_spines::{
     DaemonBehavior, DaemonConfig, Dissemination, OverlayAddr, OverlayId, OverlayNetwork,
     SpinesPort, Topology,
 };
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
 
 /// Crypto id bases for the different roles.
 pub mod key_base {
@@ -163,6 +164,14 @@ pub struct ReplicaBuilder {
 impl ReplicaBuilder {
     /// Builds replica `id` with the given behaviour and recovery flag.
     pub fn build(&self, id: u32, behavior: ByzBehavior, recovering: bool) -> Replica {
+        if recovering {
+            // A rebuilt process is a new incarnation: view/last-executed
+            // legitimately rewind, so monotonicity invariants restart.
+            self.inspection.update(id, |rec| {
+                rec.incarnation += 1;
+                rec.view = 0;
+            });
+        }
         let signer = Signer::new(
             self.material.signing_key(NodeId(key_base::REPLICA + id)),
             self.mock_sigs,
@@ -215,6 +224,19 @@ pub struct Deployment {
     pub builder: Arc<ReplicaBuilder>,
     /// The configuration the deployment was built from.
     pub cfg: DeploymentConfig,
+    /// Online safety-invariant checker over the inspection registry.
+    /// Install its periodic tick with
+    /// [`Deployment::install_invariant_checker`]; on the rt substrate it
+    /// runs from the control thread automatically.
+    pub checker: Arc<InvariantChecker>,
+    /// Replicas that have been (or are scheduled to be) compromised and
+    /// are therefore exempt from safety checks. Shared with the checker.
+    declared_faulty: Arc<Mutex<BTreeSet<u32>>>,
+    /// Substrate-agnostic mirror of every scheduled fault: each control
+    /// action is applied to the sim world *and* recorded here, so
+    /// [`Deployment::into_rt`] can replay the identical plan under
+    /// wall-clock time.
+    control_plan: Vec<(Time, ControlOp)>,
     recovery_counter: u32,
 }
 
@@ -512,6 +534,18 @@ impl Deployment {
             hmi_pids.push(pid);
         }
 
+        let declared_faulty: Arc<Mutex<BTreeSet<u32>>> = Arc::new(Mutex::new(
+            cfg.byz
+                .iter()
+                .filter(|(_, b)| b.is_byzantine())
+                .map(|(id, _)| *id)
+                .collect(),
+        ));
+        let checker = Arc::new(InvariantChecker::new(
+            inspection.clone(),
+            Arc::clone(&declared_faulty),
+            n_replicas,
+        ));
         Deployment {
             world,
             inspection,
@@ -523,6 +557,9 @@ impl Deployment {
             external,
             builder,
             cfg,
+            checker,
+            declared_faulty,
+            control_plan: Vec::new(),
             recovery_counter: 0,
         }
     }
@@ -549,17 +586,28 @@ impl Deployment {
         std::fs::write(path, self.world.events_jsonl())
     }
 
-    /// Replica ids that are honest under the built configuration.
+    /// Replica ids that are honest under the built configuration and the
+    /// faults scheduled so far (compromised replicas stay excluded even
+    /// after a later recovery — their published history is tainted).
     pub fn correct_replicas(&self) -> Vec<u32> {
+        let faulty = self.declared_faulty.lock().expect("poisoned");
         (0..self.cfg.spire.total_replicas())
-            .filter(|r| {
-                self.cfg
-                    .byz
-                    .get(r)
-                    .map(|b| !b.is_byzantine())
-                    .unwrap_or(true)
-            })
+            .filter(|r| !faulty.contains(r))
             .collect()
+    }
+
+    /// Schedules a batch of substrate-agnostic control ops at `at`: they
+    /// are applied to the sim world when virtual time reaches `at`, and
+    /// recorded in the control plan so an rt-hosted run replays them at
+    /// the same wall-clock offset.
+    pub fn schedule_ops(&mut self, at: Time, ops: Vec<ControlOp>) {
+        self.control_plan
+            .extend(ops.iter().map(|op| (at, op.clone())));
+        self.world.schedule_control(at, move |w| {
+            for op in ops {
+                w.apply_control(op);
+            }
+        });
     }
 
     /// Schedules a proactive recovery of replica `id` at time `at`: the
@@ -568,11 +616,22 @@ impl Deployment {
     pub fn schedule_recovery(&mut self, id: u32, at: Time) {
         let builder = Arc::clone(&self.builder);
         let pid = self.replica_pids[id as usize];
-        self.world.schedule_control(at, move |w| {
-            let replica = builder.build(id, ByzBehavior::Honest, true);
-            w.restart(pid, Box::new(replica));
-            w.metrics_mut().count("spire.recoveries_started", 1);
-        });
+        let spawn: SpawnFn =
+            Arc::new(move || Box::new(builder.build(id, ByzBehavior::Honest, true)));
+        self.schedule_ops(
+            at,
+            vec![
+                ControlOp::Restart(pid, spawn),
+                ControlOp::Count("spire.recoveries_started".into(), 1),
+            ],
+        );
+    }
+
+    /// Schedules a crash of replica `id` at time `at` (process down until
+    /// a later recovery restarts it).
+    pub fn schedule_kill(&mut self, id: u32, at: Time) {
+        let pid = self.replica_pids[id as usize];
+        self.schedule_ops(at, vec![ControlOp::Crash(pid)]);
     }
 
     /// Schedules round-robin proactive recoveries: one replica every
@@ -589,17 +648,23 @@ impl Deployment {
     }
 
     /// Schedules a compromise: at `at`, replica `id` begins misbehaving.
+    /// The replica is declared faulty immediately, so safety checks never
+    /// hold it to honest-replica invariants.
     pub fn schedule_compromise(&mut self, id: u32, behavior: ByzBehavior, at: Time) {
+        self.declared_faulty.lock().expect("poisoned").insert(id);
         let builder = Arc::clone(&self.builder);
         let pid = self.replica_pids[id as usize];
-        self.world.schedule_control(at, move |w| {
-            // The attacker takes over the running process; it keeps state
-            // via state transfer (recovering) but follows the attacker's
-            // logic afterwards.
-            let replica = builder.build(id, behavior, true);
-            w.restart(pid, Box::new(replica));
-            w.metrics_mut().count("spire.compromises", 1);
-        });
+        // The attacker takes over the running process; it keeps state via
+        // state transfer (recovering) but follows the attacker's logic
+        // afterwards.
+        let spawn: SpawnFn = Arc::new(move || Box::new(builder.build(id, behavior, true)));
+        self.schedule_ops(
+            at,
+            vec![
+                ControlOp::Restart(pid, spawn),
+                ControlOp::Count("spire.compromises".into(), 1),
+            ],
+        );
     }
 
     /// All inter-site links of a site's daemons (internal and external).
@@ -623,45 +688,123 @@ impl Deployment {
     /// (all WAN links of its internal and external daemons go down).
     pub fn schedule_site_disconnect(&mut self, site: usize, from: Time, until: Time) {
         let pairs = self.site_wan_peers(site);
-        let pairs2 = pairs.clone();
-        self.world.schedule_control(from, move |w| {
-            for (a, b) in &pairs {
-                w.set_link_up(*a, *b, false);
-            }
-            w.metrics_mut().count("spire.site_disconnects", 1);
-        });
-        self.world.schedule_control(until, move |w| {
-            for (a, b) in &pairs2 {
-                w.set_link_up(*a, *b, true);
-            }
-        });
+        let mut down: Vec<ControlOp> = pairs
+            .iter()
+            .map(|(a, b)| ControlOp::SetLinkUp(*a, *b, false))
+            .collect();
+        down.push(ControlOp::Count("spire.site_disconnects".into(), 1));
+        self.schedule_ops(from, down);
+        let up = pairs
+            .iter()
+            .map(|(a, b)| ControlOp::SetLinkUp(*a, *b, true))
+            .collect();
+        self.schedule_ops(until, up);
     }
 
     /// Schedules a DoS attack against a site: its WAN links become lossy
     /// and severely bandwidth-constrained between `from` and `until`.
     pub fn schedule_site_dos(&mut self, site: usize, from: Time, until: Time, loss: f64) {
         let pairs = self.site_wan_peers(site);
-        let pairs2 = pairs.clone();
-        self.world.schedule_control(from, move |w| {
-            for (a, b) in &pairs {
-                let degraded = LinkConfig {
-                    latency: Span::millis(50),
-                    jitter: Span::millis(30),
-                    loss,
-                    corrupt: 0.0,
-                    bandwidth_bps: Some(200_000),
-                    max_queue: Span::millis(300),
-                };
-                w.set_link_config(*a, *b, degraded);
-            }
-            w.metrics_mut().count("spire.dos_attacks", 1);
+        let degraded = LinkConfig {
+            latency: Span::millis(50),
+            jitter: Span::millis(30),
+            loss,
+            corrupt: 0.0,
+            dup: 0.0,
+            bandwidth_bps: Some(200_000),
+            max_queue: Span::millis(300),
+        };
+        let mut ops: Vec<ControlOp> = pairs
+            .iter()
+            .map(|(a, b)| ControlOp::SetLinkConfig(*a, *b, degraded))
+            .collect();
+        ops.push(ControlOp::Count("spire.dos_attacks".into(), 1));
+        self.schedule_ops(from, ops);
+        // Restore a nominal WAN link.
+        let restore = pairs
+            .iter()
+            .map(|(a, b)| ControlOp::SetLinkConfig(*a, *b, LinkConfig::wan(8)))
+            .collect();
+        self.schedule_ops(until, restore);
+    }
+
+    /// Schedules a wire-fault window against a site's WAN links: frames
+    /// are bit-flipped with probability `corrupt`, duplicated with
+    /// probability `dup`, and reordered by up to `jitter` of extra
+    /// per-frame delay between `from` and `until`. Exercises decoder
+    /// totality and protocol idempotence without consuming fault budget.
+    pub fn schedule_site_wire_faults(
+        &mut self,
+        site: usize,
+        from: Time,
+        until: Time,
+        corrupt: f64,
+        dup: f64,
+        jitter: Span,
+    ) {
+        let pairs = self.site_wan_peers(site);
+        let noisy = LinkConfig::wan(8)
+            .with_corruption(corrupt)
+            .with_dup(dup)
+            .with_jitter(jitter);
+        let mut ops: Vec<ControlOp> = pairs
+            .iter()
+            .map(|(a, b)| ControlOp::SetLinkConfig(*a, *b, noisy))
+            .collect();
+        ops.push(ControlOp::Count("spire.wire_fault_windows".into(), 1));
+        self.schedule_ops(from, ops);
+        let restore = pairs
+            .iter()
+            .map(|(a, b)| ControlOp::SetLinkConfig(*a, *b, LinkConfig::wan(8)))
+            .collect();
+        self.schedule_ops(until, restore);
+    }
+
+    /// Installs the online invariant checker: every `period` of virtual
+    /// time (until `horizon`) it cross-checks all correct replicas'
+    /// published state — execution-prefix consistency, at-most-one commit
+    /// per `(view, seq)`, view monotonicity, checkpoint agreement — and
+    /// the client-side conflicting-accept counter. Violations are counted
+    /// under `invariant.violations` and reported with the reproducing
+    /// seed; with tracing enabled the flight-recorder tail is dumped.
+    pub fn install_invariant_checker(&mut self, period: Span, horizon: Time) {
+        let checker = Arc::clone(&self.checker);
+        let seed = self.cfg.seed;
+        self.world.schedule_control(Time(period.0), move |w| {
+            tick(w, checker, period, horizon, seed)
         });
-        self.world.schedule_control(until, move |w| {
-            for (a, b) in &pairs2 {
-                // Restore a nominal WAN link.
-                w.set_link_config(*a, *b, LinkConfig::wan(8));
+
+        fn tick(
+            w: &mut World,
+            checker: Arc<InvariantChecker>,
+            period: Span,
+            horizon: Time,
+            seed: u64,
+        ) {
+            w.metrics_mut().count("invariant.checks", 1);
+            let mut fresh = checker.check();
+            let accepts = w.metrics().counter("scada.conflicting_accept");
+            fresh += checker.note_conflicting_accepts(accepts);
+            if fresh > 0 {
+                w.metrics_mut().count("invariant.violations", fresh as u64);
+                for v in checker.recent_violations(fresh) {
+                    eprintln!(
+                        "INVARIANT VIOLATION [{}] at {:?}: {} (reproduce with seed {})",
+                        v.kind,
+                        w.now(),
+                        v.detail,
+                        seed
+                    );
+                }
+                if w.tracer().enabled() {
+                    eprintln!("--- flight recorder tail ---\n{}", w.trace_dump_tail(40));
+                }
             }
-        });
+            let next = w.now() + period;
+            if next <= horizon {
+                w.schedule_control(next, move |w| tick(w, checker, period, horizon, seed));
+            }
+        }
     }
 }
 
@@ -712,14 +855,44 @@ impl std::fmt::Display for Substrate {
     }
 }
 
+/// Heuristic message-class labeling for the rt per-class drop counters
+/// (`rt.drop.<class>`). Looks at the outermost frame tag — Prime frames
+/// (including sealed session envelopes) classify precisely; overlay
+/// wrappers and everything else land in coarse buckets.
+pub fn classify_frame(bytes: &[u8]) -> &'static str {
+    let Some(&tag) = bytes.first() else {
+        return "empty";
+    };
+    // Sealed session envelope: [254][sender u32][mac 32][len u32][inner].
+    let tag = if tag == 254 {
+        match bytes.get(41) {
+            Some(&inner) => inner,
+            None => return "other",
+        }
+    } else {
+        tag
+    };
+    match tag {
+        255 => "batch",
+        2..=4 => "preorder",
+        5..=7 => "ordering",
+        10..=12 => "viewchange",
+        13..=15 => "checkpoint",
+        1 | 17 | 19 => "client",
+        8 | 9 => "liveness",
+        16 | 18 => "recon",
+        _ => "other",
+    }
+}
+
 impl Deployment {
     /// Moves the assembled (not yet run) system onto the real-clock
-    /// runtime: the same actors and the same link latency/jitter/loss
-    /// model, hosted on OS threads under wall-clock time.
-    ///
-    /// Control-plane schedules (recoveries, compromises, partitions, DoS)
-    /// are a simulator feature and are discarded; run attack scenarios on
-    /// the sim substrate.
+    /// runtime: the same actors and the same link
+    /// latency/jitter/loss/corruption/duplication model, hosted on OS
+    /// threads under wall-clock time. The control plan accumulated by the
+    /// `schedule_*` methods travels along and is replayed at the same
+    /// offsets from run start, so attack scenarios run unchanged on
+    /// either substrate.
     pub fn into_rt(self, threads: usize) -> RtDeployment {
         let correct = self.correct_replicas();
         let rt_cfg = if threads == 0 {
@@ -727,11 +900,16 @@ impl Deployment {
         } else {
             spire_rt::RtConfig::with_threads(threads)
         };
-        let runtime = spire_rt::Runtime::from_fabric(self.world.into_fabric(), rt_cfg);
+        let hooks = spire_rt::RtHooks {
+            classify: Arc::new(classify_frame),
+        };
+        let runtime = spire_rt::Runtime::from_fabric_with(self.world.into_fabric(), rt_cfg, hooks);
         RtDeployment {
             runtime,
             inspection: self.inspection,
             cfg: self.cfg,
+            checker: self.checker,
+            plan: self.control_plan,
             correct,
         }
     }
@@ -748,6 +926,11 @@ pub struct RtDeployment {
     pub inspection: Inspection,
     /// The configuration the deployment was built from.
     pub cfg: DeploymentConfig,
+    /// Online invariant checker; ticks from the control thread.
+    pub checker: Arc<InvariantChecker>,
+    /// The fault plan recorded at schedule time, replayed at wall-clock
+    /// offsets from run start.
+    plan: Vec<(Time, ControlOp)>,
     correct: Vec<u32>,
 }
 
@@ -762,11 +945,39 @@ pub struct RtOutcome {
 }
 
 impl RtDeployment {
-    /// Runs for `span` of wall-clock time, shuts the runtime down and
-    /// extracts the report (safety checked over the correct replicas).
+    /// Runs for `span` of wall-clock time — executing the recorded fault
+    /// plan at its offsets and ticking the online invariant checker from
+    /// the control thread — then shuts the runtime down and extracts the
+    /// report (safety checked over the correct replicas).
     pub fn run_for(self, span: Span) -> RtOutcome {
-        let run = self.runtime.run_for(span);
-        let safety_ok = self.inspection.check_safety(&self.correct).is_ok();
+        let checker = Arc::clone(&self.checker);
+        let seed = self.cfg.seed;
+        let mut checks: u64 = 0;
+        let mut violations: u64 = 0;
+        let mut run = self.runtime.run_with(span, self.plan, |now| {
+            checks += 1;
+            let fresh = checker.check();
+            if fresh > 0 {
+                violations += fresh as u64;
+                for v in checker.recent_violations(fresh) {
+                    eprintln!(
+                        "INVARIANT VIOLATION [{}] at {:?}: {} (seed {}; rt runs are not \
+                         reproducible — replay the seed on the sim substrate)",
+                        v.kind, now, v.detail, seed
+                    );
+                }
+            }
+        });
+        // Client-side conflicting accepts live in worker metrics, which
+        // merge only at shutdown; fold them in now.
+        let accepts = run.metrics.counter("scada.conflicting_accept");
+        violations += checker.note_conflicting_accepts(accepts) as u64;
+        run.metrics.count("invariant.checks", checks);
+        if violations > 0 {
+            run.metrics.count("invariant.violations", violations);
+        }
+        let safety_ok =
+            self.inspection.check_safety(&self.correct).is_ok() && checker.violation_count() == 0;
         let report = Report::from_metrics(&run.metrics, safety_ok);
         RtOutcome { report, run }
     }

@@ -20,6 +20,8 @@
 //! * [`config`] — the `3f + 2k + 1` resource analysis and site placement.
 //! * [`deployment`] — builds the full wide-area system in a simulator.
 //! * [`attack`] — the attack vocabulary and red-team scenario suite.
+//! * [`chaos`] — the seeded chaos adversary with an `f`-budget accountant.
+//! * [`invariant`] — online safety-invariant checking during every run.
 //! * [`baseline`] — the traditional single-master SCADA comparison system.
 //! * [`report`] — latency/availability/safety metrics extraction.
 //!
@@ -38,12 +40,18 @@
 
 pub mod attack;
 pub mod baseline;
+pub mod chaos;
 pub mod config;
 pub mod deployment;
+pub mod invariant;
 pub mod report;
 
 pub use attack::{Attack, Scenario};
 pub use baseline::BaselineDeployment;
+pub use chaos::{ChaosPlan, FaultBudget};
 pub use config::{required_replicas, SiteKind, SpireConfig};
-pub use deployment::{Deployment, DeploymentConfig, RtDeployment, RtOutcome, Substrate, WanModel};
-pub use report::{PhaseStat, Report, SLA_MS};
+pub use deployment::{
+    classify_frame, Deployment, DeploymentConfig, RtDeployment, RtOutcome, Substrate, WanModel,
+};
+pub use invariant::{InvariantChecker, Violation};
+pub use report::{ChaosStats, PhaseStat, Report, SLA_MS};

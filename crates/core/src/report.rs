@@ -75,6 +75,36 @@ impl AuthStats {
     }
 }
 
+/// Fault-injection and robustness counters: what the chaos layer did to
+/// the run and how the system absorbed it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Invariant-checker passes executed during the run.
+    pub invariant_checks: u64,
+    /// Safety-invariant violations detected (must be 0 within budget).
+    pub invariant_violations: u64,
+    /// Client-side quorums that accepted two conflicting values.
+    pub conflicting_accepts: u64,
+    /// Frames rejected by the total decoders (malformed/truncated).
+    pub decode_failures: u64,
+    /// Frames bit-flipped in flight by the wire-fault injector.
+    pub corrupted_frames: u64,
+    /// Frames duplicated in flight by the wire-fault injector.
+    pub duplicated_frames: u64,
+    /// rt mailbox sends that were parked and retried with backoff.
+    pub mailbox_retries: u64,
+    /// rt frames dropped after exhausting retries, per message class
+    /// (sorted by class name).
+    pub mailbox_dropped: Vec<(String, u64)>,
+}
+
+impl ChaosStats {
+    /// Total frames dropped after mailbox retry exhaustion.
+    pub fn mailbox_dropped_total(&self) -> u64 {
+        self.mailbox_dropped.iter().map(|(_, n)| n).sum()
+    }
+}
+
 /// Metrics extracted from a run.
 #[derive(Clone, Debug)]
 pub struct Report {
@@ -109,6 +139,8 @@ pub struct Report {
     pub phase_breakdown: Vec<PhaseStat>,
     /// Aggregate signing/verification cost counters.
     pub auth: AuthStats,
+    /// Fault-injection and robustness counters.
+    pub chaos: ChaosStats,
 }
 
 impl Report {
@@ -156,6 +188,24 @@ impl Report {
         for (t, _) in series {
             *throughput.entry(t.0 / 1_000_000).or_insert(0) += 1;
         }
+        let mut mailbox_dropped: Vec<(String, u64)> = metrics
+            .counter_names()
+            .filter(|n| n.starts_with("rt.drop."))
+            .map(|n| (n["rt.drop.".len()..].to_string(), metrics.counter(n)))
+            .collect();
+        mailbox_dropped.sort();
+        let chaos = ChaosStats {
+            invariant_checks: metrics.counter("invariant.checks"),
+            invariant_violations: metrics.counter("invariant.violations"),
+            conflicting_accepts: metrics.counter("scada.conflicting_accept"),
+            decode_failures: metrics.counter("prime.decode_fail")
+                + metrics.counter("spines.decode_fail")
+                + metrics.counter("spines.client_decode_fail"),
+            corrupted_frames: metrics.counter("sim.corrupted") + metrics.counter("rt.corrupted"),
+            duplicated_frames: metrics.counter("sim.dup") + metrics.counter("rt.dup"),
+            mailbox_retries: metrics.counter("rt.mailbox_retry"),
+            mailbox_dropped,
+        };
         Report {
             update_summary: Summary::of(&update_latencies_ms),
             sla_fraction: fraction_within(&update_latencies_ms, SLA_MS),
@@ -182,6 +232,7 @@ impl Report {
                 mac_auth_hits: metrics.counter("prime.mac_auth_hits"),
                 mac_fail: metrics.counter("prime.mac_fail"),
             },
+            chaos,
             update_latencies_ms,
             update_timeline,
         }
@@ -291,6 +342,26 @@ impl Report {
             .iter()
             .map(|(s, n)| format!("[{s},{n}]"))
             .collect();
+        let dropped: Vec<String> = self
+            .chaos
+            .mailbox_dropped
+            .iter()
+            .map(|(class, n)| format!("{{\"class\":{class:?},\"dropped\":{n}}}"))
+            .collect();
+        let chaos = format!(
+            "{{\"invariant_checks\":{},\"invariant_violations\":{},\
+             \"conflicting_accepts\":{},\"decode_failures\":{},\
+             \"corrupted_frames\":{},\"duplicated_frames\":{},\
+             \"mailbox_retries\":{},\"mailbox_dropped\":[{}]}}",
+            self.chaos.invariant_checks,
+            self.chaos.invariant_violations,
+            self.chaos.conflicting_accepts,
+            self.chaos.decode_failures,
+            self.chaos.corrupted_frames,
+            self.chaos.duplicated_frames,
+            self.chaos.mailbox_retries,
+            dropped.join(","),
+        );
         format!(
             "{{\"updates_sent\":{},\"updates_confirmed\":{},\"delivery_ratio\":{},\
              \"sla_fraction\":{},\"sla_ms\":{},\"update_summary\":{},\
@@ -301,6 +372,7 @@ impl Report {
              \"batch_flushes\":{},\"batched_msgs\":{},\"mac_ops\":{},\
              \"mac_auth_hits\":{},\"mac_fail\":{},\"amortization_factor\":{},\
              \"signs_per_update\":{},\"verifies_per_update\":{}}},\
+             \"chaos\":{},\
              \"phase_breakdown\":[{}],\"throughput_timeline\":[{}]}}",
             self.updates_sent,
             self.updates_confirmed,
@@ -326,6 +398,7 @@ impl Report {
             num(self.auth.amortization_factor()),
             num(self.signs_per_update()),
             num(self.verifies_per_update()),
+            chaos,
             phases.join(","),
             throughput.join(","),
         )
@@ -372,6 +445,7 @@ mod tests {
             throughput_timeline: timeline,
             phase_breakdown: vec![],
             auth: AuthStats::default(),
+            chaos: ChaosStats::default(),
         }
     }
 
@@ -448,5 +522,24 @@ mod tests {
         assert!(json.contains("\"metric\":\"span.total_us\""));
         assert!(json.contains("\"throughput_timeline\":[[0,2],[1,3]]"));
         assert!(!r.phase_table().is_empty());
+    }
+
+    #[test]
+    fn to_json_carries_chaos_section() {
+        let mut r = report_with(vec![], 0, 0);
+        r.chaos = ChaosStats {
+            invariant_checks: 60,
+            invariant_violations: 0,
+            conflicting_accepts: 0,
+            decode_failures: 3,
+            corrupted_frames: 12,
+            duplicated_frames: 40,
+            mailbox_retries: 7,
+            mailbox_dropped: vec![("liveness".to_string(), 2), ("ordering".to_string(), 1)],
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"chaos\":{\"invariant_checks\":60"));
+        assert!(json.contains("{\"class\":\"liveness\",\"dropped\":2}"));
+        assert_eq!(r.chaos.mailbox_dropped_total(), 3);
     }
 }

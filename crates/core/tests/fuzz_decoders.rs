@@ -1,0 +1,353 @@
+//! Decoder-totality corpus fuzz: every wire decoder in the stack must be
+//! total — malformed, truncated, extended or bit-flipped frames return
+//! `Err`/`None`, never panic. The chaos wire-fault injector and a real
+//! network attacker both deliver exactly these inputs.
+//!
+//! The corpus is a set of *valid* frames from every protocol layer
+//! (Prime messages, sealed session envelopes, Merkle-batched frames,
+//! Spines overlay messages, SCADA ops, Modbus device frames); each is
+//! run through a seeded stream of random mutations and fed to every
+//! decoder. Seeded, so a failure reproduces.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spire_crypto::batch::BatchAttestation;
+use spire_prime::msg::{encode_batched, seal_frame, CheckpointMsg, Matrix, SummaryRow};
+use spire_prime::{decode_enclosed, ClientId, ClientOp, PrimeMsg, ReplicaId};
+use spire_scada::{CommandAction, ModbusFrame, ScadaOp};
+use spire_spines::msg::DataMsg;
+use spire_spines::{Dissemination, OverlayId, OverlayMsg};
+
+fn prime_corpus() -> Vec<Bytes> {
+    let op = ClientOp {
+        client: ClientId(3),
+        cseq: 17,
+        payload: Bytes::from_static(b"update"),
+        sig: [7u8; 64],
+    };
+    let row = SummaryRow {
+        replica: ReplicaId(1),
+        sseq: 9,
+        vector: spire_prime::msg::AruVector(vec![4, 5, 6, 0, 1, 2]),
+        sig: [9u8; 64],
+    };
+    let msgs = vec![
+        PrimeMsg::Op(op.clone()),
+        PrimeMsg::PoRequest {
+            origin: ReplicaId(0),
+            po_seq: 12,
+            ops: vec![op.clone(), op.clone()],
+            sig: [1u8; 64],
+        },
+        PrimeMsg::PoAck {
+            replica: ReplicaId(2),
+            origin: ReplicaId(0),
+            po_seq: 12,
+            digest: [3u8; 32],
+            sig: [2u8; 64],
+        },
+        PrimeMsg::PoSummary(row.clone()),
+        PrimeMsg::PrePrepare {
+            view: 1,
+            seq: 40,
+            matrix: Matrix {
+                rows: vec![row.clone(), row],
+            },
+            sig: [4u8; 64],
+        },
+        PrimeMsg::Prepare {
+            replica: ReplicaId(4),
+            view: 1,
+            seq: 40,
+            digest: [5u8; 32],
+            sig: [5u8; 64],
+        },
+        PrimeMsg::Commit {
+            replica: ReplicaId(4),
+            view: 1,
+            seq: 40,
+            digest: [5u8; 32],
+            sig: [6u8; 64],
+        },
+        PrimeMsg::Ping {
+            replica: ReplicaId(1),
+            nonce: 777,
+        },
+        PrimeMsg::Pong {
+            replica: ReplicaId(2),
+            nonce: 777,
+        },
+        PrimeMsg::Suspect {
+            replica: ReplicaId(3),
+            view: 2,
+            sig: [8u8; 64],
+        },
+        PrimeMsg::Checkpoint(CheckpointMsg {
+            replica: ReplicaId(0),
+            seq: 50,
+            digest: [11u8; 32],
+            sig: [12u8; 64],
+        }),
+        PrimeMsg::StateReq {
+            replica: ReplicaId(5),
+            have_seq: 25,
+            sig: [13u8; 64],
+        },
+        PrimeMsg::ReconReq {
+            replica: ReplicaId(1),
+            origin: ReplicaId(3),
+            po_seq: 8,
+        },
+        PrimeMsg::Notify {
+            replica: ReplicaId(0),
+            client: ClientId(7),
+            nseq: 3,
+            payload: Bytes::from_static(b"breaker"),
+            sig: [14u8; 64],
+        },
+        PrimeMsg::Reply {
+            replica: ReplicaId(0),
+            client: ClientId(7),
+            cseq: 3,
+            result: Bytes::from_static(b"ok"),
+            sig: [15u8; 64],
+        },
+    ];
+    let mut frames: Vec<Bytes> = msgs.iter().map(|m| m.encode()).collect();
+    // Sealed session envelope and a Merkle-batched frame over a vote.
+    let inner = msgs[6].encode();
+    frames.push(seal_frame(ReplicaId(4), &[42u8; 32], &inner));
+    let attestation = BatchAttestation {
+        leaf_index: 1,
+        leaf_count: 4,
+        path: vec![[21u8; 32], [22u8; 32]],
+        root_sig: [23u8; 64],
+    };
+    frames.push(encode_batched(ReplicaId(4), &attestation, &inner));
+    frames
+}
+
+fn overlay_corpus() -> Vec<Bytes> {
+    let data = DataMsg {
+        src: OverlayId(0),
+        src_port: 2,
+        dst: OverlayId(6),
+        dst_port: 1,
+        seq: 55,
+        mode: Dissemination::DisjointPaths(3),
+        ttl: 12,
+        route: vec![OverlayId(0), OverlayId(4), OverlayId(6)],
+        route_idx: 1,
+        reliable: true,
+        payload: Bytes::from_static(b"prime frame inside"),
+    };
+    [
+        OverlayMsg::Hello {
+            from: OverlayId(3),
+            seq: 10,
+        },
+        OverlayMsg::Lsa {
+            origin: OverlayId(2),
+            seq: 4,
+            neighbors: vec![(OverlayId(1), 10), (OverlayId(3), 12)],
+            sig: [31u8; 64],
+        },
+        OverlayMsg::Data {
+            frame_id: 99,
+            msg: data,
+        },
+        OverlayMsg::HopAck { frame_id: 99 },
+        OverlayMsg::ClientAttach { port: 7 },
+        OverlayMsg::ClientSend {
+            dst: OverlayId(6),
+            dst_port: 1,
+            mode: Dissemination::Flood,
+            reliable: false,
+            payload: Bytes::from_static(b"payload"),
+        },
+        OverlayMsg::ClientDeliver {
+            src: OverlayId(0),
+            src_port: 2,
+            payload: Bytes::from_static(b"payload"),
+        },
+    ]
+    .iter()
+    .map(|m| m.encode())
+    .collect()
+}
+
+fn scada_corpus() -> Vec<Bytes> {
+    [
+        ScadaOp::DeviceUpdate {
+            rtu: 2,
+            ts_us: 1_500_000,
+            registers: vec![(0, 230), (1, 49)],
+            breakers: vec![(0, true), (1, false)],
+        },
+        ScadaOp::Command {
+            rtu: 2,
+            ts_us: 1_600_000,
+            action: CommandAction::OpenBreaker(1),
+        },
+        ScadaOp::Command {
+            rtu: 3,
+            ts_us: 1_700_000,
+            action: CommandAction::SetRegister(4, 500),
+        },
+        ScadaOp::ReadState { rtu: 1 },
+    ]
+    .iter()
+    .map(|m| m.encode())
+    .collect()
+}
+
+fn modbus_corpus() -> Vec<Bytes> {
+    [
+        ModbusFrame::ReadRegisters {
+            txn: 1,
+            addr: 0,
+            count: 8,
+        },
+        ModbusFrame::ReadResponse {
+            txn: 1,
+            addr: 0,
+            values: vec![230, 49, 500],
+        },
+        ModbusFrame::WriteCoil {
+            txn: 2,
+            coil: 1,
+            on: false,
+        },
+        ModbusFrame::WriteRegister {
+            txn: 3,
+            addr: 4,
+            value: 500,
+        },
+        ModbusFrame::WriteAck { txn: 3 },
+        ModbusFrame::Report {
+            ts_us: 1_000_000,
+            registers: vec![(0, 230)],
+            coils: vec![(0, true)],
+        },
+    ]
+    .iter()
+    .map(|m| m.encode())
+    .collect()
+}
+
+/// One random mutation of `frame`: bit flip, truncation, extension,
+/// random splice, or full replacement.
+fn mutate(rng: &mut StdRng, frame: &[u8]) -> Vec<u8> {
+    let mut out = frame.to_vec();
+    match rng.gen_range(0u32..5) {
+        // Flip 1-8 random bits.
+        0 => {
+            for _ in 0..rng.gen_range(1..=8) {
+                if out.is_empty() {
+                    break;
+                }
+                let i = rng.gen_range(0..out.len());
+                out[i] ^= 1u8 << rng.gen_range(0..8);
+            }
+        }
+        // Truncate to a random prefix.
+        1 => out.truncate(rng.gen_range(0..=out.len())),
+        // Extend with random tail bytes.
+        2 => {
+            for _ in 0..rng.gen_range(1..64) {
+                out.push(rng.gen());
+            }
+        }
+        // Splice random bytes over a random window.
+        3 => {
+            if !out.is_empty() {
+                let start = rng.gen_range(0..out.len());
+                let end = rng.gen_range(start..=out.len().min(start + 16));
+                for b in &mut out[start..end] {
+                    *b = rng.gen();
+                }
+            }
+        }
+        // Fully random frame (arbitrary length, arbitrary content).
+        _ => {
+            out.clear();
+            for _ in 0..rng.gen_range(0..256) {
+                out.push(rng.gen());
+            }
+        }
+    }
+    out
+}
+
+/// Feed a (possibly mangled) frame to every decoder in the stack. Each
+/// must return without panicking; the results are irrelevant.
+fn decode_everything(bytes: &[u8]) {
+    let _ = PrimeMsg::decode(bytes);
+    let _ = decode_enclosed(bytes);
+    let _ = OverlayMsg::decode(bytes);
+    let _ = ScadaOp::decode(bytes);
+    let _ = ModbusFrame::decode(bytes);
+    let _ = spire_spines::SpinesPort::decode_deliver(&Bytes::copy_from_slice(bytes));
+}
+
+#[test]
+fn corpus_roundtrips_before_mutation() {
+    // Sanity: the corpus really is valid input for its own decoder.
+    for frame in prime_corpus() {
+        let sealed = frame.first() == Some(&spire_prime::msg::SEALED_FRAME_TAG);
+        assert!(
+            if sealed {
+                matches!(spire_prime::msg::decode_sealed(&frame), Ok(Some(_)))
+            } else {
+                decode_enclosed(&frame).is_ok()
+            },
+            "corpus frame failed its own decoder"
+        );
+    }
+    for frame in overlay_corpus() {
+        assert!(OverlayMsg::decode(&frame).is_ok());
+    }
+    for frame in scada_corpus() {
+        assert!(ScadaOp::decode(&frame).is_ok());
+    }
+    for frame in modbus_corpus() {
+        assert!(ModbusFrame::decode(&frame).is_ok());
+    }
+}
+
+#[test]
+fn decoders_are_total_under_mutation() {
+    let corpus: Vec<Bytes> = prime_corpus()
+        .into_iter()
+        .chain(overlay_corpus())
+        .chain(scada_corpus())
+        .chain(modbus_corpus())
+        .collect();
+    // Fixed seed: a failing mutation reproduces. 400 mutations per corpus
+    // frame, each fed to every decoder.
+    let mut rng = StdRng::seed_from_u64(0xDEC0DE);
+    for frame in &corpus {
+        decode_everything(frame);
+        for _ in 0..400 {
+            let mangled = mutate(&mut rng, frame);
+            decode_everything(&mangled);
+        }
+    }
+}
+
+#[test]
+fn truncated_prefixes_never_panic() {
+    // Exhaustive prefix truncation of every corpus frame — the most common
+    // real-world corruption (partial read) gets full coverage.
+    for frame in prime_corpus()
+        .into_iter()
+        .chain(overlay_corpus())
+        .chain(scada_corpus())
+        .chain(modbus_corpus())
+    {
+        for len in 0..frame.len() {
+            decode_everything(&frame[..len]);
+        }
+    }
+}

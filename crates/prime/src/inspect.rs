@@ -30,6 +30,45 @@ pub struct ReplicaRecord {
     pub exec_chain: Vec<Digest>,
     /// Application digest after the latest execution.
     pub app_digest: Digest,
+    /// Restart count of this replica process. A recovery legitimately
+    /// rewinds `view`/`last_executed`, so monotonicity invariants only
+    /// apply within one incarnation.
+    pub incarnation: u64,
+    /// Recent committed matrices as `(view, seq, chain_head)` — the chain
+    /// head after executing matrix `seq`. Bounded ring (newest last); the
+    /// invariant checker cross-references these for at-most-one commit
+    /// per `(view, seq)` and per `seq` across replicas.
+    pub recent_commits: Vec<(u64, u64, Digest)>,
+    /// Recent checkpoints as `(seq, digest)`, bounded ring (newest last).
+    /// Correct replicas checkpointing at the same seq must agree on the
+    /// digest, and each replica's checkpoint seqs must advance.
+    pub recent_checkpoints: Vec<(u64, Digest)>,
+}
+
+/// Bounded history sizes for the per-replica rings above. Large enough
+/// that a 1 s-cadence checker never misses entries, small enough that
+/// inspection snapshots stay cheap.
+pub const RECENT_COMMITS_CAP: usize = 512;
+pub const RECENT_CHECKPOINTS_CAP: usize = 64;
+
+impl ReplicaRecord {
+    /// Appends a commit record, evicting the oldest past the cap.
+    pub fn push_commit(&mut self, view: u64, seq: u64, head: Digest) {
+        if self.recent_commits.len() >= RECENT_COMMITS_CAP {
+            let excess = self.recent_commits.len() + 1 - RECENT_COMMITS_CAP;
+            self.recent_commits.drain(..excess);
+        }
+        self.recent_commits.push((view, seq, head));
+    }
+
+    /// Appends a checkpoint record, evicting the oldest past the cap.
+    pub fn push_checkpoint(&mut self, seq: u64, digest: Digest) {
+        if self.recent_checkpoints.len() >= RECENT_CHECKPOINTS_CAP {
+            let excess = self.recent_checkpoints.len() + 1 - RECENT_CHECKPOINTS_CAP;
+            self.recent_checkpoints.drain(..excess);
+        }
+        self.recent_checkpoints.push((seq, digest));
+    }
 }
 
 /// Shared registry: replica id -> record.

@@ -1346,6 +1346,15 @@ impl Replica {
         self.try_execute(ctx);
     }
 
+    /// Mirrors the current view into the inspection record so the online
+    /// invariant checker sees view transitions even between executions.
+    fn publish_view(&self) {
+        if let Some(inspection) = &self.inspection {
+            let view = self.view;
+            inspection.update(self.me.0, move |rec| rec.view = view);
+        }
+    }
+
     // ================= execution =================
 
     fn try_execute(&mut self, ctx: &mut Context<'_>) {
@@ -1410,6 +1419,10 @@ impl Replica {
             }
             self.last_executed = next;
             ctx.count(self.metric("matrices_executed"), 1);
+            if let Some(inspection) = &self.inspection {
+                let (view, head) = (self.view, self.exec_chain_head);
+                inspection.update(self.me.0, move |rec| rec.push_commit(view, next, head));
+            }
             if next.is_multiple_of(self.cfg.checkpoint_interval) {
                 self.take_checkpoint(ctx, next);
             }
@@ -1556,6 +1569,9 @@ impl Replica {
     fn take_checkpoint(&mut self, ctx: &mut Context<'_>, seq: u64) {
         let snapshot = self.execution_snapshot();
         let digest = spire_crypto::digest(&snapshot);
+        if let Some(inspection) = &self.inspection {
+            inspection.update(self.me.0, move |rec| rec.push_checkpoint(seq, digest));
+        }
         ctx.count(self.metric("sign_ops"), 1);
         let msg = CheckpointMsg::signed(self.me, seq, digest, &self.signer);
         self.checkpoint_votes
@@ -1956,6 +1972,7 @@ impl Replica {
             return;
         }
         self.view = new_view;
+        self.publish_view();
         self.in_view_change = true;
         self.view_entered_at = ctx.now();
         self.timeout_backoff = (self.timeout_backoff * 2).min(8);
@@ -2076,6 +2093,7 @@ impl Replica {
         }
         if view > self.view {
             self.view = view;
+            self.publish_view();
             self.in_view_change = true;
         }
         self.apply_new_view(ctx, view, states);
@@ -2115,6 +2133,7 @@ impl Replica {
             // quorum of them proves the view is active: join it directly.
             if joinable > self.view || (joinable == self.view && self.in_view_change) {
                 self.view = joinable;
+                self.publish_view();
                 self.in_view_change = false;
                 self.outstanding_summary = None;
             }

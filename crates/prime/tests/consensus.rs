@@ -29,6 +29,7 @@ fn link() -> LinkConfig {
         jitter: Span::micros(500),
         loss: 0.0,
         corrupt: 0.0,
+        dup: 0.0,
         bandwidth_bps: None,
         max_queue: Span::secs(10),
     }

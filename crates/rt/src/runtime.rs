@@ -6,14 +6,26 @@
 //! round-robin across workers; each worker owns a bounded mailbox for
 //! frames from other workers and a hashed [`TimerWheel`] that serves both
 //! as its actors' timer service and as the link delay line, applying the
-//! same per-link latency/jitter/loss model the simulator uses.
+//! same per-link latency/jitter/loss/corruption/duplication model the
+//! simulator uses.
+//!
+//! The control plane runs here too: [`Runtime::run_with`] takes a plan of
+//! timestamped [`ControlOp`]s — the same vocabulary `World::apply_control`
+//! executes under virtual time — and applies each at its wall-clock
+//! offset. Crash/restart ops are shipped to the owning worker over its
+//! mailbox (generation counters invalidate the dead incarnation's
+//! timers); link up/down and reconfiguration mutate the shared link
+//! table, visible to every worker's next send.
 //!
 //! Differences from the simulator, by design:
-//! - No bandwidth queueing or byte corruption on links (latency, jitter
-//!   and loss only), and no crash/restart or control-plane injection —
-//!   attack scenarios remain the simulator's job.
-//! - Cross-worker mailboxes are bounded and tail-drop when full (counted
-//!   in `rt.mailbox_full_drop`), like a congested NIC queue.
+//! - No bandwidth queueing on links (latency, jitter, loss, corruption
+//!   and duplication only).
+//! - Cross-worker mailboxes are bounded; a full mailbox triggers bounded
+//!   retry with exponential backoff through the sender's timer wheel
+//!   (`rt.mailbox_retry`), and only after the retry budget is exhausted
+//!   is the frame dropped — counted both globally
+//!   (`rt.mailbox_full_drop`) and per message class (`rt.drop.<class>`
+//!   via [`RtHooks::classify`]), like a congested NIC queue.
 //! - Runs are not reproducible: thread interleaving and the OS clock are
 //!   real. Per-worker RNGs are still seeded from the fabric seed so loss
 //!   and jitter draws do not depend on a global entropy source.
@@ -23,12 +35,14 @@ use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spire_sim::clock::Clock;
-use spire_sim::world::{Backend, Context, Fabric, LinkConfig, Process, ProcessId, TimerId};
+use spire_sim::world::{
+    Backend, Context, ControlOp, Fabric, LinkConfig, Process, ProcessId, SpawnFn, TimerId,
+};
 use spire_sim::{Metrics, Span, SpanPhase, Time, TraceKind};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for the runtime.
@@ -67,6 +81,50 @@ impl RtConfig {
     }
 }
 
+/// A frame-bytes → message-class labeling function (see [`RtHooks`]).
+pub type ClassifyFn = Arc<dyn Fn(&[u8]) -> &'static str + Send + Sync>;
+
+/// Callbacks the hosting layer can hand the runtime. Kept outside
+/// [`RtConfig`] so that stays `Copy`.
+#[derive(Clone)]
+pub struct RtHooks {
+    /// Maps a frame's bytes to a short message-class label for the
+    /// per-class drop counters (`rt.drop.<class>`). The default lumps
+    /// everything under `"frame"`; `spire-core` installs a Prime-aware
+    /// classifier so view-change and checkpoint losses are visible.
+    pub classify: ClassifyFn,
+}
+
+impl Default for RtHooks {
+    fn default() -> RtHooks {
+        RtHooks {
+            classify: Arc::new(|_| "frame"),
+        }
+    }
+}
+
+impl std::fmt::Debug for RtHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtHooks").finish_non_exhaustive()
+    }
+}
+
+/// Mutable per-link state shared by all workers behind one `RwLock`:
+/// sends take a read lock; control-plane ops take the write lock.
+struct RtLink {
+    cfg: LinkConfig,
+    up: bool,
+}
+
+type LinkTable = Arc<RwLock<HashMap<(u32, u32), RtLink>>>;
+
+/// Control-plane actions shipped to the worker that owns the target
+/// actor (only that worker may touch the actor's `Box<dyn Process>`).
+enum CtlMsg {
+    Crash(u32),
+    Restart(u32, SpawnFn),
+}
+
 /// What flows through the cross-worker mailboxes.
 enum Envelope {
     /// A frame already delayed-and-filtered by the sender's link model;
@@ -77,11 +135,20 @@ enum Envelope {
         deliver_at: Time,
         bytes: Bytes,
     },
+    /// A control-plane action for an actor this worker owns.
+    Control(CtlMsg),
     /// Shutdown nudge so sleeping workers re-check the stop flag.
     Wake,
 }
 
-/// An entry in a worker's wheel: a delayed frame or a protocol timer.
+/// How many times a frame that found the destination mailbox full is
+/// re-offered before being dropped, and the initial backoff (doubled per
+/// attempt: 1 ms, 2 ms, 4 ms).
+const MAX_FORWARD_ATTEMPTS: u32 = 3;
+const FORWARD_BACKOFF: Span = Span(1_000);
+
+/// An entry in a worker's wheel: a delayed frame, a protocol timer, or a
+/// frame awaiting a mailbox-retry slot.
 enum Due {
     Deliver {
         from: ProcessId,
@@ -92,6 +159,15 @@ enum Due {
         to: ProcessId,
         id: u64,
         tag: u64,
+        generation: u64,
+    },
+    /// A cross-worker frame that hit a full mailbox: retry the send.
+    Forward {
+        from: ProcessId,
+        to: ProcessId,
+        deliver_at: Time,
+        bytes: Bytes,
+        attempts: u32,
     },
 }
 
@@ -105,10 +181,100 @@ struct WorkerBackend {
     wheel: TimerWheel<Due>,
     cancelled: HashSet<u64>,
     next_timer: u64,
-    links: Arc<HashMap<(u32, u32), LinkConfig>>,
+    links: LinkTable,
+    /// Restart generation per locally-owned actor; timers carry the
+    /// generation they were set under and stale ones are discarded.
+    generations: HashMap<u32, u64>,
+    /// Locally-owned actors currently crashed (deliveries are dropped
+    /// and counted rather than misrouted).
+    down: HashSet<u32>,
     /// `ProcessId -> worker index` for every actor.
     assignment: Arc<Vec<usize>>,
     senders: Vec<SyncSender<Envelope>>,
+    hooks: RtHooks,
+}
+
+impl WorkerBackend {
+    /// Offers a frame to the destination worker's mailbox. On overflow
+    /// the frame parks in our own wheel and retries with exponential
+    /// backoff; only an exhausted budget drops it (counted per class).
+    fn offer(&mut self, w: usize, from: ProcessId, to: ProcessId, deliver_at: Time, bytes: Bytes) {
+        match self.senders[w].try_send(Envelope::Frame {
+            from,
+            to,
+            deliver_at,
+            bytes,
+        }) {
+            Ok(()) => {}
+            Err(TrySendError::Full(Envelope::Frame { bytes, .. })) => {
+                self.metrics.count("rt.mailbox_retry", 1);
+                let retry_at = self.clock.now() + FORWARD_BACKOFF;
+                self.wheel.insert(
+                    retry_at,
+                    Due::Forward {
+                        from,
+                        to,
+                        deliver_at,
+                        bytes,
+                        attempts: 1,
+                    },
+                );
+            }
+            Err(TrySendError::Full(_)) => unreachable!("offered a Frame"),
+            Err(TrySendError::Disconnected(_)) => {
+                self.metrics.count("rt.disconnected_drop", 1);
+            }
+        }
+    }
+
+    /// Retries a parked frame; drops (with per-class accounting) once the
+    /// attempt budget is spent.
+    fn retry_forward(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        deliver_at: Time,
+        bytes: Bytes,
+        attempts: u32,
+    ) {
+        let Some(&w) = self.assignment.get(to.0 as usize) else {
+            self.metrics.count("rt.no_link_drop", 1);
+            return;
+        };
+        match self.senders[w].try_send(Envelope::Frame {
+            from,
+            to,
+            deliver_at,
+            bytes,
+        }) {
+            Ok(()) => {}
+            Err(TrySendError::Full(Envelope::Frame { bytes, .. })) => {
+                if attempts < MAX_FORWARD_ATTEMPTS {
+                    self.metrics.count("rt.mailbox_retry", 1);
+                    let backoff = Span::micros(FORWARD_BACKOFF.0 << attempts);
+                    let retry_at = self.clock.now() + backoff;
+                    self.wheel.insert(
+                        retry_at,
+                        Due::Forward {
+                            from,
+                            to,
+                            deliver_at,
+                            bytes,
+                            attempts: attempts + 1,
+                        },
+                    );
+                } else {
+                    self.metrics.count("rt.mailbox_full_drop", 1);
+                    let class = (self.hooks.classify)(&bytes);
+                    self.metrics.count(&format!("rt.drop.{class}"), 1);
+                }
+            }
+            Err(TrySendError::Full(_)) => unreachable!("offered a Frame"),
+            Err(TrySendError::Disconnected(_)) => {
+                self.metrics.count("rt.disconnected_drop", 1);
+            }
+        }
+    }
 }
 
 impl Backend for WorkerBackend {
@@ -117,40 +283,73 @@ impl Backend for WorkerBackend {
     }
 
     fn send_from(&mut self, from: ProcessId, to: ProcessId, bytes: Bytes) {
-        let Some(cfg) = self.links.get(&(from.0, to.0)).copied() else {
+        let Some((cfg, up)) = self
+            .links
+            .read()
+            .expect("link table poisoned")
+            .get(&(from.0, to.0))
+            .map(|l| (l.cfg, l.up))
+        else {
             self.metrics.count("rt.no_link_drop", 1);
             return;
         };
+        if !up {
+            self.metrics.count("rt.link_down_drop", 1);
+            return;
+        }
         if cfg.loss > 0.0 && self.rng.gen_bool(cfg.loss.min(1.0)) {
             self.metrics.count("rt.loss_drop", 1);
             return;
         }
+        // Wire-layer corruption: one flipped bit, exactly as the
+        // simulator injects it. Decoders must treat this as noise.
+        let bytes =
+            if cfg.corrupt > 0.0 && !bytes.is_empty() && self.rng.gen_bool(cfg.corrupt.min(1.0)) {
+                let mut corrupted = bytes.to_vec();
+                let idx = self.rng.gen_range(0..corrupted.len());
+                corrupted[idx] ^= 0x01;
+                self.metrics.count("rt.corrupted", 1);
+                Bytes::from(corrupted)
+            } else {
+                bytes
+            };
         let jitter = if cfg.jitter.0 > 0 {
             Span::micros(self.rng.gen_range(0..=cfg.jitter.0))
         } else {
             Span::ZERO
         };
-        let deliver_at = self.clock.now() + cfg.latency + jitter;
+        let now = self.clock.now();
+        let deliver_at = now + cfg.latency + jitter;
         self.metrics.count("rt.sent", 1);
         let dest = self.assignment.get(to.0 as usize).copied();
+        // Wire-layer duplication: the copy draws its own jitter, so the
+        // pair can arrive reordered.
+        if cfg.dup > 0.0 && self.rng.gen_bool(cfg.dup.min(1.0)) {
+            let jitter2 = if cfg.jitter.0 > 0 {
+                Span::micros(self.rng.gen_range(0..=cfg.jitter.0))
+            } else {
+                Span::ZERO
+            };
+            let dup_at = now + cfg.latency + jitter2;
+            self.metrics.count("rt.dup", 1);
+            if dest == Some(self.worker) {
+                self.wheel.insert(
+                    dup_at,
+                    Due::Deliver {
+                        from,
+                        to,
+                        bytes: bytes.clone(),
+                    },
+                );
+            } else if let Some(w) = dest {
+                self.offer(w, from, to, dup_at, bytes.clone());
+            }
+        }
         if dest == Some(self.worker) {
             self.wheel
                 .insert(deliver_at, Due::Deliver { from, to, bytes });
         } else if let Some(w) = dest {
-            match self.senders[w].try_send(Envelope::Frame {
-                from,
-                to,
-                deliver_at,
-                bytes,
-            }) {
-                Ok(()) => {}
-                Err(TrySendError::Full(_)) => {
-                    self.metrics.count("rt.mailbox_full_drop", 1);
-                }
-                Err(TrySendError::Disconnected(_)) => {
-                    self.metrics.count("rt.disconnected_drop", 1);
-                }
-            }
+            self.offer(w, from, to, deliver_at, bytes);
         } else {
             self.metrics.count("rt.no_link_drop", 1);
         }
@@ -162,7 +361,16 @@ impl Backend for WorkerBackend {
         let id = ((self.worker as u64) << 48) | self.next_timer;
         self.next_timer += 1;
         let at = self.clock.now() + delay;
-        self.wheel.insert(at, Due::Timer { to: me, id, tag });
+        let generation = self.generations.get(&me.0).copied().unwrap_or(0);
+        self.wheel.insert(
+            at,
+            Due::Timer {
+                to: me,
+                id,
+                tag,
+                generation,
+            },
+        );
         TimerId::from_raw(id)
     }
 
@@ -207,16 +415,44 @@ struct Worker {
 
 impl Worker {
     fn enqueue(&mut self, env: Envelope) {
-        if let Envelope::Frame {
-            from,
-            to,
-            deliver_at,
-            bytes,
-        } = env
-        {
-            self.backend
-                .wheel
-                .insert(deliver_at, Due::Deliver { from, to, bytes });
+        match env {
+            Envelope::Frame {
+                from,
+                to,
+                deliver_at,
+                bytes,
+            } => {
+                self.backend
+                    .wheel
+                    .insert(deliver_at, Due::Deliver { from, to, bytes });
+            }
+            Envelope::Control(ctl) => self.apply_control(ctl),
+            Envelope::Wake => {}
+        }
+    }
+
+    /// Applies a crash or restart to a locally-owned actor. Mirrors the
+    /// simulator's semantics: a crash bumps the generation (invalidating
+    /// the incarnation's timers) and drops subsequent deliveries; a
+    /// restart installs a fresh state machine and runs its `on_start`.
+    fn apply_control(&mut self, ctl: CtlMsg) {
+        match ctl {
+            CtlMsg::Crash(pid) => {
+                if self.actors.remove(&pid).is_some() {
+                    *self.backend.generations.entry(pid).or_insert(0) += 1;
+                    self.backend.down.insert(pid);
+                    self.backend.metrics.count("rt.crashed", 1);
+                }
+            }
+            CtlMsg::Restart(pid, spawn) => {
+                let mut proc = spawn();
+                *self.backend.generations.entry(pid).or_insert(0) += 1;
+                self.backend.down.remove(&pid);
+                self.backend.metrics.count("rt.restarted", 1);
+                let mut ctx = Context::new(&mut self.backend, ProcessId(pid));
+                proc.on_start(&mut ctx);
+                self.actors.insert(pid, proc);
+            }
         }
     }
 
@@ -224,15 +460,28 @@ impl Worker {
         match entry {
             Due::Deliver { from, to, bytes } => {
                 let Some(proc) = self.actors.get_mut(&to.0) else {
-                    self.backend.metrics.count("rt.misrouted_drop", 1);
+                    if self.backend.down.contains(&to.0) {
+                        self.backend.metrics.count("rt.dropped_to_down_process", 1);
+                    } else {
+                        self.backend.metrics.count("rt.misrouted_drop", 1);
+                    }
                     return;
                 };
                 self.backend.metrics.count("rt.delivered", 1);
                 let mut ctx = Context::new(&mut self.backend, to);
                 proc.on_message(&mut ctx, from, &bytes);
             }
-            Due::Timer { to, id, tag } => {
+            Due::Timer {
+                to,
+                id,
+                tag,
+                generation,
+            } => {
                 if self.backend.cancelled.remove(&id) {
+                    return;
+                }
+                if self.backend.generations.get(&to.0).copied().unwrap_or(0) != generation {
+                    self.backend.metrics.count("rt.stale_timer_drop", 1);
                     return;
                 }
                 let Some(proc) = self.actors.get_mut(&to.0) else {
@@ -240,6 +489,16 @@ impl Worker {
                 };
                 let mut ctx = Context::new(&mut self.backend, to);
                 proc.on_timer(&mut ctx, tag);
+            }
+            Due::Forward {
+                from,
+                to,
+                deliver_at,
+                bytes,
+                attempts,
+            } => {
+                self.backend
+                    .retry_forward(from, to, deliver_at, bytes, attempts);
             }
         }
     }
@@ -314,18 +573,31 @@ pub struct Runtime {
     stop: Arc<AtomicBool>,
     epoch: Instant,
     threads: usize,
+    links: LinkTable,
+    assignment: Arc<Vec<usize>>,
 }
 
 impl Runtime {
     /// Spawns workers hosting the fabric's actors. The actors start
     /// running (and their `on_start` timers begin counting) immediately.
     pub fn from_fabric(fabric: Fabric, cfg: RtConfig) -> Runtime {
+        Runtime::from_fabric_with(fabric, cfg, RtHooks::default())
+    }
+
+    /// Like [`Runtime::from_fabric`], with hosting-layer hooks (message
+    /// classification for per-class drop counters).
+    pub fn from_fabric_with(fabric: Fabric, cfg: RtConfig, hooks: RtHooks) -> Runtime {
         let n = fabric.actors.len().max(1);
         let threads = cfg.threads.clamp(1, n);
         let assignment: Arc<Vec<usize>> =
             Arc::new((0..fabric.actors.len()).map(|i| i % threads).collect());
-        let links: Arc<HashMap<(u32, u32), LinkConfig>> =
-            Arc::new(fabric.links.into_iter().collect());
+        let links: LinkTable = Arc::new(RwLock::new(
+            fabric
+                .links
+                .into_iter()
+                .map(|(key, cfg)| (key, RtLink { cfg, up: true }))
+                .collect(),
+        ));
         let stop = Arc::new(AtomicBool::new(false));
         let epoch = Instant::now();
         let mut senders = Vec::with_capacity(threads);
@@ -354,8 +626,11 @@ impl Runtime {
                     cancelled: HashSet::new(),
                     next_timer: 0,
                     links: Arc::clone(&links),
+                    generations: HashMap::new(),
+                    down: HashSet::new(),
                     assignment: Arc::clone(&assignment),
                     senders: senders.clone(),
+                    hooks: hooks.clone(),
                 },
                 actors,
                 rx,
@@ -374,6 +649,8 @@ impl Runtime {
             stop,
             epoch,
             threads,
+            links,
+            assignment,
         }
     }
 
@@ -382,11 +659,87 @@ impl Runtime {
         self.threads
     }
 
+    /// Applies one control-plane op now. Actor ops are shipped to the
+    /// owning worker (blocking send: control traffic must not be lost —
+    /// workers drain their mailboxes continuously, so this cannot wedge);
+    /// link ops mutate the shared link table in place, both directions,
+    /// mirroring the simulator's `set_link_up`/`set_link_config`.
+    fn apply_control(&self, op: ControlOp, metrics: &mut Metrics) {
+        match op {
+            ControlOp::Crash(pid) => {
+                if let Some(&w) = self.assignment.get(pid.0 as usize) {
+                    let _ = self.senders[w].send(Envelope::Control(CtlMsg::Crash(pid.0)));
+                }
+            }
+            ControlOp::Restart(pid, spawn) => {
+                if let Some(&w) = self.assignment.get(pid.0 as usize) {
+                    let _ = self.senders[w].send(Envelope::Control(CtlMsg::Restart(pid.0, spawn)));
+                }
+            }
+            ControlOp::SetLinkUp(a, b, up) => {
+                let mut table = self.links.write().expect("link table poisoned");
+                for key in [(a.0, b.0), (b.0, a.0)] {
+                    if let Some(link) = table.get_mut(&key) {
+                        link.up = up;
+                    }
+                }
+            }
+            ControlOp::SetLinkConfig(a, b, cfg) => {
+                let mut table = self.links.write().expect("link table poisoned");
+                for key in [(a.0, b.0), (b.0, a.0)] {
+                    if let Some(link) = table.get_mut(&key) {
+                        link.cfg = cfg;
+                    }
+                }
+            }
+            ControlOp::Count(name, delta) => metrics.count(&name, delta),
+        }
+    }
+
+    /// Lets the system run for `span` of wall-clock time while executing
+    /// a control plan — timestamped [`ControlOp`]s applied at their
+    /// offsets from runtime start — and calling `tick` roughly every
+    /// 100 ms (the hosting layer's online invariant checks run there).
+    /// Then shuts down as [`Runtime::run_for`] does.
+    pub fn run_with(
+        self,
+        span: Span,
+        mut plan: Vec<(Time, ControlOp)>,
+        mut tick: impl FnMut(Time),
+    ) -> RtRun {
+        plan.sort_by_key(|entry| entry.0);
+        let mut next = 0;
+        let mut ctl_metrics = Metrics::new();
+        let step = Duration::from_millis(100);
+        loop {
+            let now = Time(self.epoch.elapsed().as_micros() as u64);
+            while next < plan.len() && plan[next].0 <= now {
+                let (_, op) = plan[next].clone();
+                self.apply_control(op, &mut ctl_metrics);
+                next += 1;
+            }
+            tick(now);
+            if now.0 >= span.0 {
+                break;
+            }
+            // Sleep to the next interesting instant: plan op, deadline,
+            // or the 100 ms tick — whichever comes first.
+            let mut until = Duration::from_micros(span.0 - now.0).min(step);
+            if next < plan.len() {
+                let wait = Duration::from_micros(plan[next].0 .0.saturating_sub(now.0));
+                until = until.min(wait.max(Duration::from_millis(1)));
+            }
+            std::thread::sleep(until);
+        }
+        let mut run = self.shutdown();
+        run.metrics.merge(&ctl_metrics);
+        run
+    }
+
     /// Lets the system run for `span` of wall-clock time, then shuts it
     /// down: stop flag, wake nudges, join all workers, merge metrics.
     pub fn run_for(self, span: Span) -> RtRun {
-        std::thread::sleep(Duration::from_micros(span.0));
-        self.shutdown()
+        self.run_with(span, Vec::new(), |_| {})
     }
 
     /// Stops and joins all workers, merging their metrics.

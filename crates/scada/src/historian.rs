@@ -117,7 +117,12 @@ impl Process for Historian {
             return;
         }
         let quorum = (self.cfg.f + 1) as usize;
-        let Some(agreed) = self.votes.vote(nseq, replica.0, &payload, quorum) else {
+        let fired = self.votes.vote(nseq, replica.0, &payload, quorum);
+        let conflicts = self.votes.take_conflicts();
+        if conflicts > 0 {
+            ctx.count("scada.conflicting_accept", conflicts);
+        }
+        let Some(agreed) = fired else {
             return;
         };
         let mut r = WireReader::new(&agreed);

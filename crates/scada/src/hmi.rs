@@ -203,6 +203,10 @@ impl Process for Hmi {
             }
             _ => {}
         }
+        let conflicts = self.replies.take_conflicts() + self.alarms.take_conflicts();
+        if conflicts > 0 {
+            ctx.count("scada.conflicting_accept", conflicts);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {

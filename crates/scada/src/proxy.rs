@@ -17,10 +17,28 @@ use std::collections::BTreeMap;
 
 /// Collects per-key votes from replicas and fires once `quorum` of them
 /// agree on identical bytes.
+///
+/// After a key fires, votes keep being tallied: if a *different* value
+/// later gathers a full quorum for the same key, two disjoint quorums
+/// accepted conflicting values — impossible with at most `f` faults, so
+/// it is recorded as a conflict and surfaced to the invariant checker
+/// via `take_conflicts`.
 #[derive(Clone, Debug, Default)]
 pub struct QuorumTracker {
     votes: BTreeMap<u64, BTreeMap<u32, Vec<u8>>>,
-    fired: BTreeMap<u64, bool>,
+    /// key -> hash of the payload that won, once fired.
+    fired: BTreeMap<u64, u64>,
+    conflicts: u64,
+}
+
+/// FNV-1a, enough to distinguish the fired payload without storing it.
+fn payload_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl QuorumTracker {
@@ -33,9 +51,6 @@ impl QuorumTracker {
         payload: &[u8],
         quorum: usize,
     ) -> Option<Vec<u8>> {
-        if self.fired.get(&key).copied().unwrap_or(false) {
-            return None;
-        }
         let votes = self.votes.entry(key).or_default();
         votes.insert(replica, payload.to_vec());
         let mut tallies: BTreeMap<&[u8], usize> = BTreeMap::new();
@@ -46,8 +61,18 @@ impl QuorumTracker {
             .into_iter()
             .find(|(_, count)| *count >= quorum)
             .map(|(payload, _)| payload.to_vec());
+        if let Some(decided) = self.fired.get(&key).copied() {
+            // Already decided: watch for a second, conflicting quorum.
+            if let Some(payload) = winner {
+                if payload_hash(&payload) != decided {
+                    self.conflicts += 1;
+                }
+                self.votes.remove(&key);
+            }
+            return None;
+        }
         if let Some(payload) = winner {
-            self.fired.insert(key, true);
+            self.fired.insert(key, payload_hash(&payload));
             self.votes.remove(&key);
             // Bound memory.
             if self.fired.len() > 100_000 {
@@ -57,6 +82,12 @@ impl QuorumTracker {
             return Some(payload);
         }
         None
+    }
+
+    /// Drains the count of conflicting quorum decisions observed since
+    /// the last call (each is a client-visible safety violation).
+    pub fn take_conflicts(&mut self) -> u64 {
+        std::mem::take(&mut self.conflicts)
     }
 }
 
@@ -187,6 +218,10 @@ impl RtuProxy {
                 }
             }
             _ => {}
+        }
+        let conflicts = self.replies.take_conflicts() + self.notifies.take_conflicts();
+        if conflicts > 0 {
+            ctx.count("scada.conflicting_accept", conflicts);
         }
     }
 

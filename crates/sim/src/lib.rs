@@ -41,4 +41,6 @@ pub use trace::{
     span_key, FlightRecorder, Histogram, SpanPhase, SpanRecord, TraceEvent, TraceKind, Tracer,
 };
 pub use wire::{WireError, WireReader, WireWriter};
-pub use world::{Backend, Context, Fabric, LinkConfig, Process, ProcessId, TimerId, World};
+pub use world::{
+    Backend, Context, ControlOp, Fabric, LinkConfig, Process, ProcessId, SpawnFn, TimerId, World,
+};

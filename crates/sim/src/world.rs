@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Identifies a process within a [`World`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -73,6 +74,10 @@ pub struct LinkConfig {
     /// flipped (bit errors / tampering en route; authenticated protocols
     /// must detect and recover).
     pub corrupt: f64,
+    /// Probability in `[0, 1]` that a message is delivered twice, the
+    /// copy with an independent jitter draw (route flaps / replayed
+    /// frames; protocols must deduplicate).
+    pub dup: f64,
     /// Transmission rate; `None` means infinite (no queueing).
     pub bandwidth_bps: Option<u64>,
     /// Maximum queueing delay before tail drop (router buffer size in
@@ -88,6 +93,7 @@ impl LinkConfig {
             jitter: Span::micros(100),
             loss: 0.0,
             corrupt: 0.0,
+            dup: 0.0,
             bandwidth_bps: Some(1_000_000_000),
             max_queue: Span::millis(200),
         }
@@ -100,6 +106,7 @@ impl LinkConfig {
             jitter: Span::micros(500 * latency_ms.min(10)),
             loss: 0.0,
             corrupt: 0.0,
+            dup: 0.0,
             bandwidth_bps: Some(100_000_000),
             max_queue: Span::millis(200),
         }
@@ -112,6 +119,7 @@ impl LinkConfig {
             jitter: Span::ZERO,
             loss: 0.0,
             corrupt: 0.0,
+            dup: 0.0,
             bandwidth_bps: None,
             max_queue: Span::millis(200),
         }
@@ -133,6 +141,56 @@ impl LinkConfig {
     pub fn with_corruption(mut self, corrupt: f64) -> LinkConfig {
         self.corrupt = corrupt;
         self
+    }
+
+    /// Returns a copy with the given duplication probability.
+    pub fn with_dup(mut self, dup: f64) -> LinkConfig {
+        self.dup = dup;
+        self
+    }
+
+    /// Returns a copy with the given jitter.
+    pub fn with_jitter(mut self, jitter: Span) -> LinkConfig {
+        self.jitter = jitter;
+        self
+    }
+}
+
+/// A thunk producing a fresh state machine for a restarted process slot.
+/// `Fn` (not `FnOnce`) so one scheduled op can be cloned across substrates,
+/// and `Send + Sync` so the real-clock runtime can ship it to the worker
+/// thread owning the actor.
+pub type SpawnFn = Arc<dyn Fn() -> Box<dyn Process> + Send + Sync>;
+
+/// A substrate-agnostic control-plane action: the attack/defense vocabulary
+/// (crash, restart-as-recovering, link partition, link degradation) as
+/// plain data rather than simulator closures, so the same scheduled plan
+/// can be applied by the discrete-event [`World`] (via
+/// [`World::apply_control`]) or by the real-clock `spire-rt` runtime at
+/// wall-clock time.
+#[derive(Clone)]
+pub enum ControlOp {
+    /// Crash a process: it stops receiving messages and timers.
+    Crash(ProcessId),
+    /// Restart a process slot with a freshly spawned state machine.
+    Restart(ProcessId, SpawnFn),
+    /// Bring both directions of a link up or down.
+    SetLinkUp(ProcessId, ProcessId, bool),
+    /// Replace both directions of a link's configuration.
+    SetLinkConfig(ProcessId, ProcessId, LinkConfig),
+    /// Increment a named counter (control-plane bookkeeping).
+    Count(String, u64),
+}
+
+impl std::fmt::Debug for ControlOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlOp::Crash(pid) => write!(f, "Crash({pid})"),
+            ControlOp::Restart(pid, _) => write!(f, "Restart({pid})"),
+            ControlOp::SetLinkUp(a, b, up) => write!(f, "SetLinkUp({a}, {b}, {up})"),
+            ControlOp::SetLinkConfig(a, b, _) => write!(f, "SetLinkConfig({a}, {b})"),
+            ControlOp::Count(name, delta) => write!(f, "Count({name}, {delta})"),
+        }
     }
 }
 
@@ -484,6 +542,20 @@ impl World {
         }
     }
 
+    /// Applies one substrate-agnostic control-plane action immediately.
+    /// The real-clock runtime applies the same [`ControlOp`] vocabulary at
+    /// wall-clock time; here each op maps onto the simulator's native
+    /// crash/restart/link machinery.
+    pub fn apply_control(&mut self, op: ControlOp) {
+        match op {
+            ControlOp::Crash(pid) => self.crash(pid),
+            ControlOp::Restart(pid, spawn) => self.restart(pid, spawn()),
+            ControlOp::SetLinkUp(a, b, up) => self.set_link_up(a, b, up),
+            ControlOp::SetLinkConfig(a, b, cfg) => self.set_link_config(a, b, cfg),
+            ControlOp::Count(name, delta) => self.metrics.count(&name, delta),
+        }
+    }
+
     /// Schedules a control action (attack injection, recovery, topology
     /// change) to run at virtual time `at`.
     pub fn schedule_control<F>(&mut self, at: Time, f: F)
@@ -669,6 +741,25 @@ impl World {
             } else {
                 bytes
             };
+        // Wire-layer duplication: the copy draws its own jitter, so the
+        // pair can arrive reordered. Drawn only on dup-configured links to
+        // keep RNG streams of existing seeds unchanged.
+        if cfg.dup > 0.0 && self.rng.gen_bool(cfg.dup.min(1.0)) {
+            let jitter2 = if cfg.jitter.0 > 0 {
+                Span::micros(self.rng.gen_range(0..=cfg.jitter.0))
+            } else {
+                Span::ZERO
+            };
+            self.metrics.count("sim.dup", 1);
+            self.push(
+                tx_done + cfg.latency + jitter2,
+                EventKind::Deliver {
+                    to,
+                    from,
+                    bytes: bytes.clone(),
+                },
+            );
+        }
         let arrival = tx_done + cfg.latency + jitter;
         let len = bytes.len() as u32;
         self.push(arrival, EventKind::Deliver { to, from, bytes });
@@ -924,6 +1015,7 @@ mod tests {
             jitter: Span::ZERO,
             loss: 0.0,
             corrupt: 0.0,
+            dup: 0.0,
             bandwidth_bps: None,
             max_queue: Span::secs(10),
         }
@@ -1024,6 +1116,7 @@ mod tests {
                 jitter: Span::ZERO,
                 loss: 0.0,
                 corrupt: 0.0,
+                dup: 0.0,
                 bandwidth_bps: Some(1_000_000),
                 max_queue: Span::secs(10),
             },
@@ -1145,6 +1238,7 @@ mod tests {
                     jitter: Span::millis(2),
                     loss: 0.2,
                     corrupt: 0.0,
+                    dup: 0.0,
                     bandwidth_bps: Some(10_000_000),
                     max_queue: Span::secs(10),
                 },
