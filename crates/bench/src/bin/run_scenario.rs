@@ -4,7 +4,7 @@
 //! Usage:
 //!   `run_scenario [index] [--scenario=NAME] [--chaos=SEED] [--list]`
 //!   `             [--duration=SECS] [--substrate=sim|rt|rt:N]`
-//!   `             [--json[=PATH]] [--trace=PATH]`
+//!   `             [--json[=PATH]] [--trace=PATH] [--watch] [--prom=PATH]`
 //!
 //! * `--list` (or no selector) — lists the red-team suite;
 //! * `index` / `--scenario=NAME` — picks a suite entry by index or by
@@ -18,21 +18,30 @@
 //!   substrate-agnostic control plan, so scenarios run unchanged on
 //!   either substrate (rt runs take the scenario duration in wall time);
 //! * `--json` — serializes the full [`spire::Report`] (including the
-//!   per-phase latency breakdown and the chaos counters) as JSON to
-//!   stdout, or to `PATH` with `--json=PATH`;
+//!   per-phase latency breakdown, the chaos counters, the `health`
+//!   section and `substrate`/`cores`/`threads`/`git_rev` provenance) as
+//!   JSON to stdout, or to `PATH` with `--json=PATH`;
 //! * `--trace=PATH` — enables structured tracing and writes a Chrome
 //!   `trace_event` file loadable in `chrome://tracing` / Perfetto
-//!   (sim substrate only).
+//!   (sim substrate only);
+//! * `--watch` — live one-line health status (rate / p99 / SLO breaches /
+//!   detector verdict) to stderr every snapshot interval (rt only: the
+//!   simulator outruns wall time, so there is nothing live to watch);
+//! * `--prom=PATH` — periodically rewrite a Prometheus text-exposition
+//!   snapshot of the live metrics to `PATH` (final metrics at exit; on
+//!   sim the export is written once, after the run).
 //!
-//! The online invariant checker runs during every scenario; if it finds
-//! a safety violation the tool prints the reproducing seed and exits
-//! nonzero.
+//! The online invariant checker and the live health monitor run during
+//! every scenario; if the checker finds a safety violation the tool
+//! prints the reproducing seed and exits nonzero.
 
 use spire::attack::Scenario;
 use spire::chaos::ChaosPlan;
-use spire::deployment::{Deployment, DeploymentConfig, Substrate};
+use spire::deployment::{Deployment, DeploymentConfig, HealthOptions, Substrate};
+use spire::health::{prometheus_text, HealthConfig};
+use spire::report::Provenance;
 use spire_scada::WorkloadConfig;
-use spire_sim::Span;
+use spire_sim::{Span, Time};
 
 fn list_suite(suite: &[Scenario]) {
     println!("red-team scenario suite:");
@@ -62,11 +71,21 @@ fn main() {
     let mut json: Option<Option<String>> = None;
     let mut trace_path: Option<String> = None;
     let mut substrate = Substrate::Sim;
+    let mut watch = false;
+    let mut prom_path: Option<String> = None;
     for arg in std::env::args().skip(1) {
         if arg == "--json" {
             json = Some(None);
         } else if arg == "--list" {
             list = true;
+        } else if arg == "--watch" {
+            watch = true;
+        } else if let Some(path) = arg.strip_prefix("--prom=") {
+            if path.is_empty() {
+                eprintln!("--prom= requires a path");
+                std::process::exit(2);
+            }
+            prom_path = Some(path.to_string());
         } else if let Some(path) = arg.strip_prefix("--json=") {
             if path.is_empty() {
                 eprintln!("--json= requires a path");
@@ -105,7 +124,8 @@ fn main() {
             eprintln!("unknown argument: {arg}");
             eprintln!(
                 "usage: run_scenario [index] [--scenario=NAME] [--chaos=SEED] [--list] \
-                 [--duration=SECS] [--substrate=sim|rt|rt:N] [--json[=PATH]] [--trace=PATH]"
+                 [--duration=SECS] [--substrate=sim|rt|rt:N] [--json[=PATH]] [--trace=PATH] \
+                 [--watch] [--prom=PATH]"
             );
             std::process::exit(2);
         }
@@ -177,10 +197,18 @@ fn main() {
         cfg.trace = true;
     }
     let duration = scenario.duration + Span::secs(5);
+    let mut threads_used = 0usize;
     let report = match substrate {
         Substrate::Sim => {
+            if watch && !quiet {
+                eprintln!(
+                    "--watch is live-only and the simulator outruns wall time; \
+                     the health monitor still runs (see the health line / report)"
+                );
+            }
             let mut system = Deployment::build(cfg);
             scenario.apply(&mut system);
+            system.install_health_monitor(HealthConfig::default(), Time::ZERO + duration);
             system.run_for(duration);
             let report = system.report();
             if let Some(path) = &trace_path {
@@ -191,6 +219,15 @@ fn main() {
                         }
                     }
                     Err(e) => eprintln!("failed to write trace to {path}: {e}"),
+                }
+            }
+            if let Some(path) = &prom_path {
+                if let Err(e) = std::fs::write(path, prometheus_text(system.world.metrics())) {
+                    eprintln!("failed to write Prometheus export to {path}: {e}");
+                    std::process::exit(1);
+                }
+                if !quiet {
+                    println!("prometheus export written to {path}");
                 }
             }
             report
@@ -205,7 +242,13 @@ fn main() {
             }
             let mut system = Deployment::build(cfg);
             scenario.apply(&mut system);
-            let outcome = system.into_rt(threads).run_for(duration);
+            let opts = HealthOptions {
+                config: HealthConfig::default(),
+                watch,
+                prom_path: prom_path.clone(),
+            };
+            let outcome = system.into_rt(threads).run_monitored(duration, opts);
+            threads_used = outcome.run.threads;
             if !quiet {
                 println!(
                     "rt: {} worker thread(s), {} frames delivered, {} dropped by the link model",
@@ -213,21 +256,26 @@ fn main() {
                     outcome.run.metrics.counter("rt.delivered"),
                     outcome.run.metrics.counter("rt.loss_drop"),
                 );
+                if let Some(path) = &prom_path {
+                    println!("prometheus export written to {path}");
+                }
             }
             outcome.report
         }
     };
+    let provenance = Provenance::of(&substrate.to_string(), threads_used, spire_bench::git_rev());
     match json {
         Some(Some(path)) => {
-            if let Err(e) = std::fs::write(&path, report.to_json()) {
+            if let Err(e) = std::fs::write(&path, report.to_json_with(&provenance)) {
                 eprintln!("failed to write report to {path}: {e}");
                 std::process::exit(1);
             }
             println!("report written to {path}");
         }
-        Some(None) => println!("{}", report.to_json()),
+        Some(None) => println!("{}", report.to_json_with(&provenance)),
         None => {
             println!("{}", report.one_line());
+            println!("{}", report.health_line());
             println!("silent seconds: {}", report.silent_seconds());
             println!(
                 "commands: {} issued / {} actuated; recoveries {:?}",

@@ -1037,11 +1037,14 @@ pub fn rt_throughput(point_secs: u64, json_out: Option<&str>) {
         })
         .collect();
     let json = format!(
-        "{{\"experiment\":\"rt_throughput\",\"replicas\":6,\"f\":1,\"k\":1,\
+        "{{\"experiment\":\"rt_throughput\",\"schema_version\":{},\
+         \"git_rev\":{:?},\"replicas\":6,\"f\":1,\"k\":1,\
          \"rtus\":10,\"point_secs\":{point_secs},\"cores\":{cores},\
          \"peak_sim_confirmed_per_wall_s\":{sim_peak},\
          \"peak_rt_confirmed_per_wall_s\":{rt_peak},\
          \"rt_over_sim\":{},\"rows\":[{}]}}\n",
+        spire::report::REPORT_SCHEMA_VERSION,
+        crate::git_rev(),
         rt_peak / sim_peak.max(1e-9),
         json_rows.join(",")
     );

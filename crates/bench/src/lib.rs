@@ -8,6 +8,12 @@ pub mod experiments;
 
 use spire_sim::stats::Summary;
 
+/// Git revision the harness was built from (stamped by `build.rs`;
+/// `"unknown"` outside a checkout).
+pub fn git_rev() -> &'static str {
+    env!("SPIRE_GIT_REV")
+}
+
 /// Reads an experiment scale parameter from the environment.
 pub fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)

@@ -12,6 +12,7 @@
 //! ```
 
 use crate::config::{SiteKind, SpireConfig};
+use crate::health::{prometheus_text, HealthConfig, HealthMonitor};
 use crate::invariant::InvariantChecker;
 use crate::report::Report;
 use spire_crypto::keys::Signer;
@@ -21,7 +22,7 @@ use spire_prime::{
     ByzBehavior, ClientId, Inspection, PrimeConfig, ProtocolMode, Replica, ReplicaId, SpinesNet,
 };
 use spire_scada::{Hmi, Rtu, RtuProxy, ScadaDirectory, ScadaMaster, WorkloadConfig};
-use spire_sim::{ControlOp, LinkConfig, ProcessId, Span, SpawnFn, Time, World};
+use spire_sim::{ControlOp, LinkConfig, Metrics, ProcessId, Span, SpawnFn, Time, TraceKind, World};
 use spire_spines::{
     DaemonBehavior, DaemonConfig, Dissemination, OverlayAddr, OverlayId, OverlayNetwork,
     SpinesPort, Topology,
@@ -806,6 +807,46 @@ impl Deployment {
             }
         }
     }
+
+    /// Installs the live health monitor: every `cfg.interval` of virtual
+    /// time (until `horizon`) it snapshots the world's metrics, grades
+    /// the SLOs, runs the performance-attack detector, publishes the
+    /// `health.*` verdicts back into the metric store, and emits a trace
+    /// `Mark` per fired alarm. Returns a handle to the monitor for
+    /// post-run inspection (snapshot ring, alarm log, first-fire times).
+    pub fn install_health_monitor(
+        &mut self,
+        cfg: HealthConfig,
+        horizon: Time,
+    ) -> Arc<Mutex<HealthMonitor>> {
+        let monitor = Arc::new(Mutex::new(HealthMonitor::new(cfg)));
+        let handle = Arc::clone(&monitor);
+        let interval = cfg.interval;
+        self.world.schedule_control(Time(interval.0), move |w| {
+            tick(w, monitor, interval, horizon)
+        });
+        return handle;
+
+        fn tick(w: &mut World, monitor: Arc<Mutex<HealthMonitor>>, interval: Span, horizon: Time) {
+            let now = w.now();
+            let health_tick = monitor
+                .lock()
+                .expect("health monitor poisoned")
+                .observe(now, w.metrics());
+            HealthMonitor::publish(&health_tick, w.metrics_mut());
+            for alarm in &health_tick.alarms {
+                w.trace(TraceKind::Mark {
+                    pid: 0,
+                    label: alarm.label(),
+                    value: health_tick.snapshot.seq,
+                });
+            }
+            let next = now + interval;
+            if next <= horizon {
+                w.schedule_control(next, move |w| tick(w, monitor, interval, horizon));
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for Deployment {
@@ -942,6 +983,20 @@ pub struct RtOutcome {
     pub report: Report,
     /// Merged per-worker metrics, elapsed wall time, worker count.
     pub run: spire_rt::RtRun,
+    /// The health monitor after the run (None when unmonitored).
+    pub health: Option<HealthMonitor>,
+}
+
+/// How a monitored rt run should surface its live telemetry.
+#[derive(Clone, Debug, Default)]
+pub struct HealthOptions {
+    /// Monitor tuning (interval, thresholds, warmup).
+    pub config: HealthConfig,
+    /// Print a one-line live status to stderr on every snapshot.
+    pub watch: bool,
+    /// Rewrite a Prometheus text-exposition snapshot to this path on
+    /// every snapshot (and once more at shutdown with final metrics).
+    pub prom_path: Option<String>,
 }
 
 impl RtDeployment {
@@ -950,11 +1005,27 @@ impl RtDeployment {
     /// the control thread — then shuts the runtime down and extracts the
     /// report (safety checked over the correct replicas).
     pub fn run_for(self, span: Span) -> RtOutcome {
+        self.run_inner(span, None)
+    }
+
+    /// Like [`RtDeployment::run_for`], with the live health monitor
+    /// sampling [`spire_rt::Runtime::live_metrics`] every
+    /// `opts.config.interval` of wall time: SLO grading, attack
+    /// detection, optional `--watch` status lines and periodic
+    /// Prometheus snapshots, all while the run is in flight.
+    pub fn run_monitored(self, span: Span, opts: HealthOptions) -> RtOutcome {
+        self.run_inner(span, Some(opts))
+    }
+
+    fn run_inner(self, span: Span, opts: Option<HealthOptions>) -> RtOutcome {
         let checker = Arc::clone(&self.checker);
         let seed = self.cfg.seed;
         let mut checks: u64 = 0;
         let mut violations: u64 = 0;
-        let mut run = self.runtime.run_with(span, self.plan, |now| {
+        let mut monitor = opts.as_ref().map(|o| HealthMonitor::new(o.config));
+        let mut health_out = Metrics::new();
+        let mut next_snap = opts.as_ref().map(|o| Time(o.config.interval.0));
+        let mut run = self.runtime.run_with(span, self.plan, |now, rt| {
             checks += 1;
             let fresh = checker.check();
             if fresh > 0 {
@@ -967,6 +1038,33 @@ impl RtDeployment {
                     );
                 }
             }
+            let (Some(mon), Some(opts), Some(due)) =
+                (monitor.as_mut(), opts.as_ref(), next_snap.as_mut())
+            else {
+                return;
+            };
+            if now < *due {
+                return;
+            }
+            *due = now + opts.config.interval;
+            let mut live = rt.live_metrics();
+            // Fold the runtime's own gauges in as `rt.*` series so the
+            // snapshot, the report and the exporters see them.
+            let g = rt.gauges();
+            health_out.record("rt.mailbox_depth", now, g.mailbox_depth as f64);
+            health_out.record("rt.wheel_len", now, g.wheel_len as f64);
+            health_out.record("rt.busy_frac", now, g.busy_frac());
+            let tick = mon.observe(now, &live);
+            HealthMonitor::publish(&tick, &mut health_out);
+            if opts.watch {
+                eprintln!("{}", mon.watch_line(&tick));
+            }
+            if let Some(path) = &opts.prom_path {
+                live.merge(&health_out);
+                if let Err(e) = std::fs::write(path, prometheus_text(&live)) {
+                    eprintln!("prometheus export to {path} failed: {e}");
+                }
+            }
         });
         // Client-side conflicting accepts live in worker metrics, which
         // merge only at shutdown; fold them in now.
@@ -976,10 +1074,22 @@ impl RtDeployment {
         if violations > 0 {
             run.metrics.count("invariant.violations", violations);
         }
+        run.metrics.merge(&health_out);
+        run.metrics.sort_series();
         let safety_ok =
             self.inspection.check_safety(&self.correct).is_ok() && checker.violation_count() == 0;
         let report = Report::from_metrics(&run.metrics, safety_ok);
-        RtOutcome { report, run }
+        // Final snapshot over the complete merged metrics.
+        if let Some(path) = opts.as_ref().and_then(|o| o.prom_path.as_ref()) {
+            if let Err(e) = std::fs::write(path, prometheus_text(&run.metrics)) {
+                eprintln!("prometheus export to {path} failed: {e}");
+            }
+        }
+        RtOutcome {
+            report,
+            run,
+            health: monitor,
+        }
     }
 }
 

@@ -43,6 +43,7 @@ pub mod baseline;
 pub mod chaos;
 pub mod config;
 pub mod deployment;
+pub mod health;
 pub mod invariant;
 pub mod report;
 
@@ -51,7 +52,12 @@ pub use baseline::BaselineDeployment;
 pub use chaos::{ChaosPlan, FaultBudget};
 pub use config::{required_replicas, SiteKind, SpireConfig};
 pub use deployment::{
-    classify_frame, Deployment, DeploymentConfig, RtDeployment, RtOutcome, Substrate, WanModel,
+    classify_frame, Deployment, DeploymentConfig, HealthOptions, RtDeployment, RtOutcome,
+    Substrate, WanModel,
+};
+pub use health::{
+    parse_prometheus, prometheus_text, AlarmKind, AttackDetector, BreachClass, HealthConfig,
+    HealthMonitor, HealthTick, MetricsSnapshot, SloTracker, WindowStats,
 };
 pub use invariant::{InvariantChecker, Violation};
-pub use report::{ChaosStats, PhaseStat, Report, SLA_MS};
+pub use report::{ChaosStats, HealthStats, PhaseStat, Provenance, Report, SLA_MS};

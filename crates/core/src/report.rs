@@ -8,6 +8,78 @@ use spire_sim::Time;
 /// The grid operators' latency requirement used throughout the paper.
 pub const SLA_MS: f64 = 100.0;
 
+/// Version stamp for the report/bench JSON schema; bump when fields
+/// change shape so the bench-trajectory tooling can diff runs across
+/// PRs. v2 added `health`, provenance fields and this stamp.
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
+
+/// Where a report came from: the run substrate and the hardware/build
+/// identity — the same provenance `BENCH_*.json` rows carry.
+#[derive(Clone, Debug)]
+pub struct Provenance {
+    /// `"sim"`, `"rt"` or `"rt:<threads>"`.
+    pub substrate: String,
+    /// CPU cores available on the host.
+    pub cores: usize,
+    /// Worker threads the run used (1 for the simulator).
+    pub threads: usize,
+    /// Git revision the binary was built from (`unknown` outside a
+    /// checkout).
+    pub git_rev: String,
+}
+
+impl Provenance {
+    /// Provenance for a run, resolving `cores` from the host.
+    pub fn of(substrate: &str, threads: usize, git_rev: &str) -> Provenance {
+        Provenance {
+            substrate: substrate.to_string(),
+            cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            threads,
+            git_rev: git_rev.to_string(),
+        }
+    }
+}
+
+/// Live health-telemetry verdicts aggregated over the run, read from the
+/// `health.*` counters the [`crate::health::HealthMonitor`] publishes on
+/// either substrate (all-zero when no monitor was installed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthStats {
+    /// Snapshot windows taken.
+    pub snapshots: u64,
+    /// Windows whose p99 confirm latency exceeded the SLA.
+    pub latency_breaches: u64,
+    /// Windows whose delivery ratio fell below the SLO floor.
+    pub delivery_breaches: u64,
+    /// Windows with expected traffic and zero confirmations.
+    pub silence_breaches: u64,
+    /// Windows that flagged the slow-leader signature.
+    pub slow_leader_alarms: u64,
+    /// Windows that flagged the site-DoS signature.
+    pub site_dos_alarms: u64,
+    /// Windows that flagged the partition signature.
+    pub partition_alarms: u64,
+}
+
+impl HealthStats {
+    /// Total SLO breach windows across classes.
+    pub fn breaches(&self) -> u64 {
+        self.latency_breaches + self.delivery_breaches + self.silence_breaches
+    }
+
+    /// Total detector alarm windows across signatures.
+    pub fn alarms(&self) -> u64 {
+        self.slow_leader_alarms + self.site_dos_alarms + self.partition_alarms
+    }
+
+    /// True when the monitor ran and nothing breached or alarmed.
+    pub fn quiet(&self) -> bool {
+        self.snapshots > 0 && self.breaches() == 0 && self.alarms() == 0
+    }
+}
+
 /// Span-phase histograms to surface in the per-phase latency breakdown,
 /// as `(metric name, display label)`. The `span.*` histograms are fed by
 /// the tracer when a causal span completes; `overlay.hop_us` is fed per
@@ -141,6 +213,8 @@ pub struct Report {
     pub auth: AuthStats,
     /// Fault-injection and robustness counters.
     pub chaos: ChaosStats,
+    /// Live health-telemetry verdicts (zeros when no monitor ran).
+    pub health: HealthStats,
 }
 
 impl Report {
@@ -206,6 +280,15 @@ impl Report {
             mailbox_retries: metrics.counter("rt.mailbox_retry"),
             mailbox_dropped,
         };
+        let health = HealthStats {
+            snapshots: metrics.counter("health.snapshots"),
+            latency_breaches: metrics.counter("health.slo_breach.latency"),
+            delivery_breaches: metrics.counter("health.slo_breach.delivery"),
+            silence_breaches: metrics.counter("health.slo_breach.silence"),
+            slow_leader_alarms: metrics.counter("health.alarm.slow_leader"),
+            site_dos_alarms: metrics.counter("health.alarm.site_dos"),
+            partition_alarms: metrics.counter("health.alarm.partition"),
+        };
         Report {
             update_summary: Summary::of(&update_latencies_ms),
             sla_fraction: fraction_within(&update_latencies_ms, SLA_MS),
@@ -233,6 +316,7 @@ impl Report {
                 mac_fail: metrics.counter("prime.mac_fail"),
             },
             chaos,
+            health,
             update_latencies_ms,
             update_timeline,
         }
@@ -362,8 +446,21 @@ impl Report {
             self.chaos.mailbox_retries,
             dropped.join(","),
         );
+        let health = format!(
+            "{{\"snapshots\":{},\"latency_breaches\":{},\"delivery_breaches\":{},\
+             \"silence_breaches\":{},\"slow_leader_alarms\":{},\"site_dos_alarms\":{},\
+             \"partition_alarms\":{}}}",
+            self.health.snapshots,
+            self.health.latency_breaches,
+            self.health.delivery_breaches,
+            self.health.silence_breaches,
+            self.health.slow_leader_alarms,
+            self.health.site_dos_alarms,
+            self.health.partition_alarms,
+        );
         format!(
-            "{{\"updates_sent\":{},\"updates_confirmed\":{},\"delivery_ratio\":{},\
+            "{{\"schema_version\":{REPORT_SCHEMA_VERSION},\
+             \"updates_sent\":{},\"updates_confirmed\":{},\"delivery_ratio\":{},\
              \"sla_fraction\":{},\"sla_ms\":{},\"update_summary\":{},\
              \"commands_issued\":{},\"commands_actuated\":{},\
              \"view_changes\":{},\"recoveries_started\":{},\"recoveries_completed\":{},\
@@ -372,7 +469,7 @@ impl Report {
              \"batch_flushes\":{},\"batched_msgs\":{},\"mac_ops\":{},\
              \"mac_auth_hits\":{},\"mac_fail\":{},\"amortization_factor\":{},\
              \"signs_per_update\":{},\"verifies_per_update\":{}}},\
-             \"chaos\":{},\
+             \"chaos\":{},\"health\":{},\
              \"phase_breakdown\":[{}],\"throughput_timeline\":[{}]}}",
             self.updates_sent,
             self.updates_confirmed,
@@ -399,8 +496,42 @@ impl Report {
             num(self.signs_per_update()),
             num(self.verifies_per_update()),
             chaos,
+            health,
             phases.join(","),
             throughput.join(","),
+        )
+    }
+
+    /// Like [`Report::to_json`], with run provenance spliced in as
+    /// top-level fields — report JSON then carries the same
+    /// `substrate`/`cores`/`threads`/`git_rev` identity as `BENCH_*.json`
+    /// rows.
+    pub fn to_json_with(&self, prov: &Provenance) -> String {
+        let body = self.to_json();
+        let fields = format!(
+            "{{\"substrate\":{:?},\"cores\":{},\"threads\":{},\"git_rev\":{:?},",
+            prov.substrate, prov.cores, prov.threads, prov.git_rev,
+        );
+        debug_assert!(body.starts_with('{'));
+        format!("{fields}{}", &body[1..])
+    }
+
+    /// One-line health summary for text reports (present even when no
+    /// monitor ran, so its absence is visible too).
+    pub fn health_line(&self) -> String {
+        let h = &self.health;
+        if h.snapshots == 0 {
+            return "health: no monitor installed".to_string();
+        }
+        format!(
+            "health: windows={} breaches[lat={} del={} sil={}] alarms[slow_leader={} site_dos={} partition={}]",
+            h.snapshots,
+            h.latency_breaches,
+            h.delivery_breaches,
+            h.silence_breaches,
+            h.slow_leader_alarms,
+            h.site_dos_alarms,
+            h.partition_alarms,
         )
     }
 
@@ -446,6 +577,7 @@ mod tests {
             phase_breakdown: vec![],
             auth: AuthStats::default(),
             chaos: ChaosStats::default(),
+            health: HealthStats::default(),
         }
     }
 
@@ -541,5 +673,60 @@ mod tests {
         assert!(json.contains("\"chaos\":{\"invariant_checks\":60"));
         assert!(json.contains("{\"class\":\"liveness\",\"dropped\":2}"));
         assert_eq!(r.chaos.mailbox_dropped_total(), 3);
+    }
+
+    #[test]
+    fn to_json_carries_health_and_schema_version() {
+        let mut r = report_with(vec![], 0, 0);
+        r.health = HealthStats {
+            snapshots: 30,
+            latency_breaches: 1,
+            delivery_breaches: 0,
+            silence_breaches: 0,
+            slow_leader_alarms: 4,
+            site_dos_alarms: 0,
+            partition_alarms: 0,
+        };
+        let json = r.to_json();
+        assert!(json.starts_with(&format!("{{\"schema_version\":{REPORT_SCHEMA_VERSION},")));
+        assert!(json.contains("\"health\":{\"snapshots\":30,\"latency_breaches\":1"));
+        assert!(json.contains("\"slow_leader_alarms\":4"));
+        assert_eq!(r.health.breaches(), 1);
+        assert_eq!(r.health.alarms(), 4);
+        assert!(!r.health.quiet());
+        assert!(r.health_line().contains("slow_leader=4"));
+        assert_eq!(
+            report_with(vec![], 0, 0).health_line(),
+            "health: no monitor installed"
+        );
+    }
+
+    #[test]
+    fn to_json_with_splices_provenance_fields() {
+        let r = report_with(vec![], 2, 1);
+        let prov = Provenance::of("rt:4", 4, "abc123def456");
+        let json = r.to_json_with(&prov);
+        assert!(json.starts_with("{\"substrate\":\"rt:4\",\"cores\":"));
+        assert!(json.contains("\"threads\":4"));
+        assert!(json.contains("\"git_rev\":\"abc123def456\""));
+        assert!(json.contains("\"updates_sent\":2"));
+        assert!(json.ends_with('}'));
+        assert!(prov.cores >= 1);
+    }
+
+    #[test]
+    fn health_stats_quiet_requires_a_running_monitor() {
+        assert!(!HealthStats::default().quiet(), "no monitor is not quiet");
+        let h = HealthStats {
+            snapshots: 10,
+            ..HealthStats::default()
+        };
+        assert!(h.quiet());
+        let h = HealthStats {
+            snapshots: 10,
+            site_dos_alarms: 1,
+            ..HealthStats::default()
+        };
+        assert!(!h.quiet());
     }
 }

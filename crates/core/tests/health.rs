@@ -1,0 +1,178 @@
+//! End-to-end validation of the live health telemetry layer: the
+//! detector flags injected performance attacks within one snapshot
+//! interval, stays quiet across a clean multi-seed matrix, and the
+//! `health.*` vocabulary reaches the report and the Prometheus export
+//! on both substrates.
+
+use spire::attack::Scenario;
+use spire::deployment::{Deployment, DeploymentConfig, HealthOptions};
+use spire::health::{parse_prometheus, prometheus_text, AlarmKind, HealthConfig};
+use spire::report::Provenance;
+use spire_sim::{Span, Time};
+
+/// Runs one suite scenario on the simulator with a health monitor
+/// installed and returns (monitor snapshot, deployment) for inspection.
+fn run_sim_monitored(scenario: &Scenario) -> (spire::health::HealthMonitor, Deployment) {
+    let mut system = Deployment::build(DeploymentConfig::wide_area(7));
+    scenario.apply(&mut system);
+    let horizon = scenario.duration + Span::secs(5);
+    let monitor = system.install_health_monitor(HealthConfig::default(), Time::ZERO + horizon);
+    system.run_for(horizon);
+    let snapshot = monitor.lock().unwrap().clone();
+    (snapshot, system)
+}
+
+fn suite_entry(name: &str) -> Scenario {
+    Scenario::red_team_suite()
+        .into_iter()
+        .find(|s| s.name.contains(name))
+        .unwrap_or_else(|| panic!("no suite scenario named {name:?}"))
+}
+
+#[test]
+fn leader_delay_raises_slow_leader_within_one_interval() {
+    let scenario = suite_entry("delay attack");
+    let spire::attack::Attack::Compromise { at, .. } = scenario.attacks[0] else {
+        panic!("expected a compromise attack");
+    };
+    let (mon, _) = run_sim_monitored(&scenario);
+    let fired = mon
+        .detector
+        .first_alarm(AlarmKind::SlowLeader)
+        .expect("leader delay must raise a slow-leader alarm");
+    // The first window that overlaps the attack closes at most one
+    // interval after onset; the alarm must come from that window.
+    let interval = mon.config().interval;
+    assert!(
+        fired.since(at).0 <= 2 * interval.0,
+        "slow-leader alarm at {fired} is more than one closed window after onset {at}"
+    );
+    assert_eq!(mon.verdict(), "SLOW-LEADER");
+}
+
+#[test]
+fn cc_dos_raises_site_dos_within_one_interval() {
+    let scenario = suite_entry("DoS on primary");
+    let spire::attack::Attack::DosSite { from, .. } = scenario.attacks[0] else {
+        panic!("expected a site-DoS attack");
+    };
+    let (mon, _) = run_sim_monitored(&scenario);
+    let fired = mon
+        .detector
+        .first_alarm(AlarmKind::SiteDos)
+        .expect("site DoS must raise a site-DoS alarm");
+    let interval = mon.config().interval;
+    assert!(
+        fired.since(from).0 <= 2 * interval.0,
+        "site-DoS alarm at {fired} is more than one closed window after onset {from}"
+    );
+}
+
+#[test]
+fn disconnected_cc_raises_partition_alarm() {
+    let scenario = suite_entry("disconnected");
+    let (mon, _) = run_sim_monitored(&scenario);
+    assert!(
+        mon.detector.first_alarm(AlarmKind::Partition).is_some(),
+        "a disconnected control center must eventually read as a partition"
+    );
+}
+
+#[test]
+fn clean_multi_seed_matrix_is_quiet() {
+    // Four seeds, no attacks: the detector must stay silent and the SLO
+    // tracker must count zero breaches on every run.
+    for seed in [1, 2, 3, 4] {
+        let mut system = Deployment::build(DeploymentConfig::wide_area(seed));
+        let horizon = Span::secs(60);
+        let monitor = system.install_health_monitor(HealthConfig::default(), Time::ZERO + horizon);
+        system.run_for(horizon);
+        let mon = monitor.lock().unwrap();
+        assert!(
+            mon.detector.quiet(),
+            "seed {seed}: clean run raised alarms {:?}",
+            mon.detector.alarms
+        );
+        assert_eq!(
+            mon.slo.breaches(),
+            0,
+            "seed {seed}: clean run breached SLOs"
+        );
+        assert!(mon.slo.windows > 50, "seed {seed}: monitor barely ran");
+    }
+}
+
+#[test]
+fn report_and_prometheus_carry_health_on_sim() {
+    let scenario = suite_entry("no attack");
+    let (mon, system) = run_sim_monitored(&scenario);
+    assert!(!mon.snapshots().collect::<Vec<_>>().is_empty());
+
+    let report = system.report();
+    assert!(report.health.snapshots > 0, "report missed health counters");
+    assert!(report.health.quiet());
+    let line = report.health_line();
+    assert!(line.contains("windows="), "{line}");
+
+    let json = report.to_json_with(&Provenance::of("sim", 0, "deadbeef"));
+    assert!(json.contains("\"schema_version\":2"), "{json}");
+    assert!(json.contains("\"substrate\":\"sim\""));
+    assert!(json.contains("\"git_rev\":\"deadbeef\""));
+    assert!(json.contains("\"health\":{"));
+
+    // Golden check: the Prometheus export of a real run parses and
+    // carries the health vocabulary alongside the SCADA counters.
+    let text = prometheus_text(system.world.metrics());
+    let samples = parse_prometheus(&text).expect("prometheus export must parse");
+    let get = |n: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == n && s.labels.is_empty())
+            .map(|s| s.value)
+    };
+    assert!(get("spire_health_snapshots").unwrap_or(0.0) > 0.0);
+    assert!(get("spire_scada_updates_confirmed").unwrap_or(0.0) > 0.0);
+    assert_eq!(get("spire_health_alarm_site_dos"), None);
+}
+
+#[test]
+fn report_and_prometheus_carry_health_on_rt() {
+    let mut cfg = DeploymentConfig::wide_area(11);
+    cfg.workload.rtus = 6;
+    cfg.workload.update_interval = Span::millis(200);
+    let system = Deployment::build(cfg);
+    let prom = std::env::temp_dir().join("spire_health_rt_test.prom");
+    let opts = HealthOptions {
+        config: HealthConfig {
+            interval: Span::millis(500),
+            warmup: 1,
+            ..HealthConfig::default()
+        },
+        watch: false,
+        prom_path: Some(prom.to_string_lossy().into_owned()),
+    };
+    let outcome = system.into_rt(2).run_monitored(Span::secs(3), opts);
+
+    let mon = outcome.health.expect("rt run must return its monitor");
+    assert!(mon.latest().is_some(), "monitor never ticked");
+    assert!(outcome.report.health.snapshots > 0);
+
+    let json =
+        outcome
+            .report
+            .to_json_with(&Provenance::of("rt:2", outcome.run.threads, "deadbeef"));
+    assert!(json.contains("\"health\":{"), "{json}");
+    assert!(json.contains("\"substrate\":\"rt:2\""));
+    assert!(json.contains("\"threads\":2"));
+    assert!(json.contains("\"cores\":"));
+
+    // The exporter wrote a parseable file with live rt gauges in it.
+    let text = std::fs::read_to_string(&prom).expect("prometheus file written");
+    let samples = parse_prometheus(&text).expect("rt prometheus export must parse");
+    assert!(samples.iter().any(|s| s.name == "spire_health_snapshots"));
+    assert!(
+        samples.iter().any(|s| s.name.starts_with("spire_rt_")),
+        "rt gauges missing from export"
+    );
+    let _ = std::fs::remove_file(&prom);
+}

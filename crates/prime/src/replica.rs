@@ -71,7 +71,7 @@ const PROPOSAL_WINDOW: u64 = 8;
 /// Every metric name a replica emits. Keys are prefixed with the instance
 /// label once, at construction, because several fire per message delivery —
 /// a `format!` there dominated the metrics path.
-const METRIC_NAMES: [&str; 40] = [
+const METRIC_NAMES: [&str; 42] = [
     "bad_client_sig",
     "bad_po_sig",
     "bad_op_in_batch",
@@ -97,6 +97,8 @@ const METRIC_NAMES: [&str; 40] = [
     "recovery_completed",
     "recovery_from_genesis",
     "tat_ms",
+    "preprepares_sent",
+    "leader_gap_us",
     "suspects_sent",
     "bad_new_view",
     "view_changes",
@@ -311,6 +313,10 @@ pub struct Replica {
     outstanding_pings: BTreeMap<u64, (u32, Time)>,
     outstanding_summary: Option<(u64, Time)>,
     last_progress: Time,
+    /// When this replica, as leader, last sent a pre-prepare — feeds the
+    /// `leader_gap_us` ordering-cadence histogram the health layer's
+    /// slow-leader detector reads.
+    last_preprepare_at: Option<Time>,
 
     // ---- checkpoints / recovery ----
     recovery_started: Time,
@@ -416,6 +422,7 @@ impl Replica {
             outstanding_pings: BTreeMap::new(),
             outstanding_summary: None,
             last_progress: Time::ZERO,
+            last_preprepare_at: None,
             recovery_started: Time::ZERO,
             checkpoint_votes: BTreeMap::new(),
             stable_checkpoint: None,
@@ -1114,6 +1121,15 @@ impl Replica {
         }
         let seq = self.last_proposed + 1;
         self.last_proposed = seq;
+        // Ordering-cadence instrumentation: the gap between consecutive
+        // pre-prepares from this leader. A performance-attacking leader
+        // (LeaderDelay) stretches this without tripping crash timeouts.
+        let now = ctx.now();
+        if let Some(prev) = self.last_preprepare_at {
+            ctx.observe(self.metric("leader_gap_us"), now.since(prev).0);
+        }
+        self.last_preprepare_at = Some(now);
+        ctx.count(self.metric("preprepares_sent"), 1);
         if self.behavior == ByzBehavior::Equivocate {
             // Send conflicting proposals to the two halves of the cluster.
             let mut alt = matrix.clone();

@@ -17,5 +17,5 @@
 pub mod runtime;
 pub mod wheel;
 
-pub use runtime::{RtConfig, RtHooks, RtRun, Runtime};
+pub use runtime::{RtConfig, RtGauges, RtHooks, RtRun, Runtime};
 pub use wheel::TimerWheel;

@@ -40,9 +40,9 @@ use spire_sim::world::{
 };
 use spire_sim::{Metrics, Span, SpanPhase, Time, TraceKind};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError, TrySendError};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for the runtime.
@@ -118,6 +118,70 @@ struct RtLink {
 
 type LinkTable = Arc<RwLock<HashMap<(u32, u32), RtLink>>>;
 
+/// How often each worker publishes its telemetry: a clone of its private
+/// metrics into the shared slot plus gauge samples (mailbox depth, wheel
+/// occupancy, busy fraction) into its own series.
+const PUBLISH_INTERVAL: Span = Span(250_000);
+
+/// One worker's shared telemetry slot. Senders bump `mailbox_depth` when
+/// a frame lands in this worker's mailbox; the owner decrements it per
+/// frame drained and refreshes everything else at [`PUBLISH_INTERVAL`].
+/// This is what [`Runtime::live_metrics`] and [`Runtime::gauges`] read
+/// while the run is still in flight.
+pub(crate) struct WorkerShared {
+    /// Latest published clone of the worker's private metrics.
+    metrics: Mutex<Metrics>,
+    /// Frames currently queued in this worker's mailbox (approximate:
+    /// updated by racing senders and the draining owner).
+    mailbox_depth: AtomicI64,
+    /// Timer-wheel entries pending at last publish.
+    wheel_len: AtomicU64,
+    /// Cumulative microseconds spent dispatching work.
+    busy_us: AtomicU64,
+    /// Cumulative microseconds spent parked waiting for work.
+    idle_us: AtomicU64,
+}
+
+impl WorkerShared {
+    fn new() -> WorkerShared {
+        WorkerShared {
+            metrics: Mutex::new(Metrics::new()),
+            mailbox_depth: AtomicI64::new(0),
+            wheel_len: AtomicU64::new(0),
+            busy_us: AtomicU64::new(0),
+            idle_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A point-in-time view of the runtime's own health gauges, aggregated
+/// across workers — the blind spots end-of-run metrics cannot show.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RtGauges {
+    /// Frames queued in cross-worker mailboxes right now.
+    pub mailbox_depth: u64,
+    /// Timer-wheel entries pending across all workers (timers + delayed
+    /// frames + parked retries) as of each worker's last publish.
+    pub wheel_len: u64,
+    /// Cumulative busy microseconds across workers.
+    pub busy_us: u64,
+    /// Cumulative idle microseconds across workers.
+    pub idle_us: u64,
+}
+
+impl RtGauges {
+    /// Fraction of worker time spent dispatching (0 when nothing has
+    /// been published yet).
+    pub fn busy_frac(&self) -> f64 {
+        let total = self.busy_us + self.idle_us;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_us as f64 / total as f64
+        }
+    }
+}
+
 /// Control-plane actions shipped to the worker that owns the target
 /// actor (only that worker may touch the actor's `Box<dyn Process>`).
 enum CtlMsg {
@@ -192,6 +256,8 @@ struct WorkerBackend {
     assignment: Arc<Vec<usize>>,
     senders: Vec<SyncSender<Envelope>>,
     hooks: RtHooks,
+    /// Telemetry slots for every worker (index = worker id).
+    shared: Arc<Vec<WorkerShared>>,
 }
 
 impl WorkerBackend {
@@ -205,7 +271,9 @@ impl WorkerBackend {
             deliver_at,
             bytes,
         }) {
-            Ok(()) => {}
+            Ok(()) => {
+                self.shared[w].mailbox_depth.fetch_add(1, Ordering::Relaxed);
+            }
             Err(TrySendError::Full(Envelope::Frame { bytes, .. })) => {
                 self.metrics.count("rt.mailbox_retry", 1);
                 let retry_at = self.clock.now() + FORWARD_BACKOFF;
@@ -247,7 +315,9 @@ impl WorkerBackend {
             deliver_at,
             bytes,
         }) {
-            Ok(()) => {}
+            Ok(()) => {
+                self.shared[w].mailbox_depth.fetch_add(1, Ordering::Relaxed);
+            }
             Err(TrySendError::Full(Envelope::Frame { bytes, .. })) => {
                 if attempts < MAX_FORWARD_ATTEMPTS {
                     self.metrics.count("rt.mailbox_retry", 1);
@@ -411,6 +481,11 @@ struct Worker {
     actors: HashMap<u32, Box<dyn Process>>,
     rx: Receiver<Envelope>,
     stop: Arc<AtomicBool>,
+    /// Precomputed per-worker gauge series names (`rt.wN.*`), so the
+    /// publish path never formats strings.
+    gauge_mailbox: String,
+    gauge_wheel: String,
+    gauge_busy: String,
 }
 
 impl Worker {
@@ -422,6 +497,11 @@ impl Worker {
                 deliver_at,
                 bytes,
             } => {
+                // Every received frame was counted by its sender; keep
+                // the shared depth gauge in step.
+                self.backend.shared[self.backend.worker]
+                    .mailbox_depth
+                    .fetch_sub(1, Ordering::Relaxed);
                 self.backend
                     .wheel
                     .insert(deliver_at, Due::Deliver { from, to, bytes });
@@ -429,6 +509,43 @@ impl Worker {
             Envelope::Control(ctl) => self.apply_control(ctl),
             Envelope::Wake => {}
         }
+    }
+
+    /// Publishes this worker's telemetry: gauge samples into its own
+    /// series, busy/idle counters, and a metrics clone into the shared
+    /// slot for [`Runtime::live_metrics`].
+    fn publish(&mut self, now: Time, busy_us: &mut u64, idle_us: &mut u64) {
+        let wheel_len = self.backend.wheel.len() as u64;
+        let depth = {
+            let me = &self.backend.shared[self.backend.worker];
+            me.wheel_len.store(wheel_len, Ordering::Relaxed);
+            me.busy_us.fetch_add(*busy_us, Ordering::Relaxed);
+            me.idle_us.fetch_add(*idle_us, Ordering::Relaxed);
+            me.mailbox_depth.load(Ordering::Relaxed).max(0) as u64
+        };
+        let window = *busy_us + *idle_us;
+        let busy_frac = if window == 0 {
+            0.0
+        } else {
+            *busy_us as f64 / window as f64
+        };
+        self.backend.metrics.count("rt.busy_us", *busy_us);
+        self.backend.metrics.count("rt.idle_us", *idle_us);
+        *busy_us = 0;
+        *idle_us = 0;
+        self.backend
+            .metrics
+            .record(&self.gauge_mailbox, now, depth as f64);
+        self.backend
+            .metrics
+            .record(&self.gauge_wheel, now, wheel_len as f64);
+        self.backend
+            .metrics
+            .record(&self.gauge_busy, now, busy_frac);
+        *self.backend.shared[self.backend.worker]
+            .metrics
+            .lock()
+            .expect("telemetry slot poisoned") = self.backend.metrics.clone();
     }
 
     /// Applies a crash or restart to a locally-owned actor. Mirrors the
@@ -515,7 +632,11 @@ impl Worker {
             self.actors.insert(pid, proc);
         }
         let mut due: Vec<(Time, Due)> = Vec::new();
+        let mut busy_us = 0u64;
+        let mut idle_us = 0u64;
+        let mut last_publish = Time(0);
         loop {
+            let loop_start = self.backend.clock.now();
             loop {
                 match self.rx.try_recv() {
                     Ok(env) => self.enqueue(env),
@@ -530,6 +651,12 @@ impl Worker {
                 for (_, entry) in due.drain(..) {
                     self.dispatch(entry);
                 }
+            }
+            let worked_until = self.backend.clock.now();
+            busy_us += worked_until.since(loop_start).0;
+            if worked_until.since(last_publish).0 >= PUBLISH_INTERVAL.0 {
+                self.publish(worked_until, &mut busy_us, &mut idle_us);
+                last_publish = worked_until;
             }
             if self.stop.load(Ordering::Acquire) {
                 break;
@@ -546,7 +673,10 @@ impl Worker {
                 Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
                 Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
             }
+            idle_us += self.backend.clock.now().since(worked_until).0;
         }
+        self.backend.metrics.count("rt.busy_us", busy_us);
+        self.backend.metrics.count("rt.idle_us", idle_us);
         self.backend
             .metrics
             .count("rt.pending_at_exit", self.backend.wheel.len() as u64);
@@ -575,6 +705,7 @@ pub struct Runtime {
     threads: usize,
     links: LinkTable,
     assignment: Arc<Vec<usize>>,
+    shared: Arc<Vec<WorkerShared>>,
 }
 
 impl Runtime {
@@ -612,6 +743,8 @@ impl Runtime {
         for (pid, (_name, proc)) in fabric.actors.into_iter().enumerate() {
             crews[pid % threads].insert(pid as u32, proc);
         }
+        let shared: Arc<Vec<WorkerShared>> =
+            Arc::new((0..threads).map(|_| WorkerShared::new()).collect());
         let mut handles = Vec::with_capacity(threads);
         for (w, (actors, rx)) in crews.into_iter().zip(receivers).enumerate() {
             let worker = Worker {
@@ -631,10 +764,14 @@ impl Runtime {
                     assignment: Arc::clone(&assignment),
                     senders: senders.clone(),
                     hooks: hooks.clone(),
+                    shared: Arc::clone(&shared),
                 },
                 actors,
                 rx,
                 stop: Arc::clone(&stop),
+                gauge_mailbox: format!("rt.w{w}.mailbox_depth"),
+                gauge_wheel: format!("rt.w{w}.wheel"),
+                gauge_busy: format!("rt.w{w}.busy_frac"),
             };
             handles.push(
                 std::thread::Builder::new()
@@ -651,12 +788,39 @@ impl Runtime {
             threads,
             links,
             assignment,
+            shared,
         }
     }
 
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Merges every worker's last-published metrics clone into one store
+    /// (series re-sorted). At most [`PUBLISH_INTERVAL`] stale — the
+    /// in-flight view the health monitor snapshots while the run is
+    /// still going.
+    pub fn live_metrics(&self) -> Metrics {
+        let mut merged = Metrics::new();
+        for slot in self.shared.iter() {
+            merged.merge(&slot.metrics.lock().expect("telemetry slot poisoned"));
+        }
+        merged.sort_series();
+        merged
+    }
+
+    /// Aggregated runtime gauges (mailbox depth, wheel occupancy,
+    /// busy/idle time) as of each worker's last publish.
+    pub fn gauges(&self) -> RtGauges {
+        let mut g = RtGauges::default();
+        for slot in self.shared.iter() {
+            g.mailbox_depth += slot.mailbox_depth.load(Ordering::Relaxed).max(0) as u64;
+            g.wheel_len += slot.wheel_len.load(Ordering::Relaxed);
+            g.busy_us += slot.busy_us.load(Ordering::Relaxed);
+            g.idle_us += slot.idle_us.load(Ordering::Relaxed);
+        }
+        g
     }
 
     /// Applies one control-plane op now. Actor ops are shipped to the
@@ -699,13 +863,15 @@ impl Runtime {
     /// Lets the system run for `span` of wall-clock time while executing
     /// a control plan — timestamped [`ControlOp`]s applied at their
     /// offsets from runtime start — and calling `tick` roughly every
-    /// 100 ms (the hosting layer's online invariant checks run there).
-    /// Then shuts down as [`Runtime::run_for`] does.
+    /// 100 ms with the current time and the runtime itself (the hosting
+    /// layer's online invariant checks and health snapshots run there,
+    /// reading [`Runtime::live_metrics`] / [`Runtime::gauges`]). Then
+    /// shuts down as [`Runtime::run_for`] does.
     pub fn run_with(
         self,
         span: Span,
         mut plan: Vec<(Time, ControlOp)>,
-        mut tick: impl FnMut(Time),
+        mut tick: impl FnMut(Time, &Runtime),
     ) -> RtRun {
         plan.sort_by_key(|entry| entry.0);
         let mut next = 0;
@@ -718,7 +884,7 @@ impl Runtime {
                 self.apply_control(op, &mut ctl_metrics);
                 next += 1;
             }
-            tick(now);
+            tick(now, &self);
             if now.0 >= span.0 {
                 break;
             }
@@ -739,7 +905,7 @@ impl Runtime {
     /// Lets the system run for `span` of wall-clock time, then shuts it
     /// down: stop flag, wake nudges, join all workers, merge metrics.
     pub fn run_for(self, span: Span) -> RtRun {
-        self.run_with(span, Vec::new(), |_| {})
+        self.run_with(span, Vec::new(), |_, _| {})
     }
 
     /// Stops and joins all workers, merging their metrics.

@@ -75,7 +75,7 @@ fn crash_and_restart_respawns_actor() {
             ControlOp::Restart(echo, Arc::new(|| Box::new(Echo) as Box<dyn Process>)),
         ),
     ];
-    let run = rt.run_with(Span::millis(1_200), plan, |_| {});
+    let run = rt.run_with(Span::millis(1_200), plan, |_, _| {});
     let m = &run.metrics;
     assert_eq!(m.counter("rt.crashed"), 1, "crash not applied");
     assert_eq!(m.counter("rt.restarted"), 1, "restart not applied");
@@ -117,7 +117,7 @@ fn link_down_window_and_config_swap() {
         (Time(500_000), ControlOp::SetLinkUp(ping, echo, true)),
         (Time(500_000), ControlOp::SetLinkConfig(ping, echo, dup_cfg)),
     ];
-    let run = rt.run_with(Span::millis(1_000), plan, |_| {});
+    let run = rt.run_with(Span::millis(1_000), plan, |_, _| {});
     let m = &run.metrics;
     assert!(
         m.counter("rt.link_down_drop") > 0,

@@ -22,17 +22,25 @@ impl Metrics {
         Metrics::default()
     }
 
-    /// Increments a counter.
+    /// Increments a counter. The hot path looks the key up by `&str`
+    /// first; a fresh `String` is allocated only on the first increment
+    /// of a new name.
     pub fn count(&mut self, name: &str, delta: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
     }
 
-    /// Appends a sample to a time series.
+    /// Appends a sample to a time series (allocates the key only on the
+    /// first sample of a new name).
     pub fn record(&mut self, name: &str, at: Time, value: f64) {
-        self.series
-            .entry(name.to_string())
-            .or_default()
-            .push((at, value));
+        if let Some(samples) = self.series.get_mut(name) {
+            samples.push((at, value));
+        } else {
+            self.series.insert(name.to_string(), vec![(at, value)]);
+        }
     }
 
     /// Reads a counter (zero if never incremented).
@@ -55,12 +63,30 @@ impl Metrics {
         self.counters.keys().map(|s| s.as_str())
     }
 
+    /// All counters as `(name, value)` pairs (sorted by name) — the raw
+    /// material for point-in-time snapshots and exporters.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// The samples of a series with timestamps in `(after, upto]`.
+    /// Assumes the series is time-ordered (true for simulator runs, and
+    /// for merged real-clock metrics after [`Metrics::sort_series`]);
+    /// uses binary search, so windowed readers stay cheap on long series.
+    pub fn series_window(&self, name: &str, after: Time, upto: Time) -> &[(Time, f64)] {
+        let samples = self.series(name);
+        let lo = samples.partition_point(|(t, _)| *t <= after);
+        let hi = samples.partition_point(|(t, _)| *t <= upto);
+        &samples[lo..hi]
+    }
+
     /// All series names (sorted).
     pub fn series_names(&self) -> impl Iterator<Item = &str> {
         self.series.keys().map(|s| s.as_str())
     }
 
-    /// Records one value into a named log-bucketed histogram.
+    /// Records one value into a named log-bucketed histogram (allocates
+    /// the key only on the first observation of a new name).
     pub fn observe(&mut self, name: &str, value: u64) {
         if let Some(h) = self.histograms.get_mut(name) {
             h.observe(value);
@@ -155,6 +181,80 @@ mod tests {
         assert_eq!(a.counter("only_b"), 2);
         assert_eq!(a.values("series_b"), vec![9.0]);
         assert_eq!(a.counter_names().count(), 2);
+    }
+
+    #[test]
+    fn merge_then_sort_series_interleaves_worker_samples() {
+        // Two "workers" record the same series concurrently; after a
+        // merge the samples are grouped per worker, not time-ordered.
+        let mut a = Metrics::new();
+        a.record("lat", Time(10), 1.0);
+        a.record("lat", Time(30), 3.0);
+        let mut b = Metrics::new();
+        b.record("lat", Time(20), 2.0);
+        b.record("lat", Time(40), 4.0);
+        a.merge(&b);
+        assert_eq!(a.values("lat"), vec![1.0, 3.0, 2.0, 4.0]);
+        a.sort_series();
+        assert_eq!(a.values("lat"), vec![1.0, 2.0, 3.0, 4.0]);
+        let times: Vec<u64> = a.series("lat").iter().map(|(t, _)| t.0).collect();
+        assert_eq!(times, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn merge_histograms_preserves_percentiles() {
+        // Merging per-worker histograms must agree with one histogram
+        // that observed every sample directly.
+        let mut whole = Metrics::new();
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        for v in 0..1000u64 {
+            whole.observe("h", v);
+            if v % 2 == 0 {
+                a.observe("h", v);
+            } else {
+                b.observe("h", v);
+            }
+        }
+        a.merge(&b);
+        let merged = a.histogram("h").unwrap();
+        let direct = whole.histogram("h").unwrap();
+        assert_eq!(merged.count(), direct.count());
+        assert_eq!(merged.min(), direct.min());
+        assert_eq!(merged.max(), direct.max());
+        assert_eq!(merged.percentile(50.0), direct.percentile(50.0));
+        assert_eq!(merged.percentile(99.0), direct.percentile(99.0));
+        assert!((merged.mean() - direct.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_window_selects_half_open_interval() {
+        let mut m = Metrics::new();
+        for t in [10u64, 20, 30, 40, 50] {
+            m.record("s", Time(t), t as f64);
+        }
+        let w = m.series_window("s", Time(20), Time(40));
+        // (20, 40]: strictly after 20, up to and including 40.
+        assert_eq!(w.iter().map(|(t, _)| t.0).collect::<Vec<_>>(), vec![30, 40]);
+        assert!(m.series_window("s", Time(50), Time(99)).is_empty());
+        assert!(m.series_window("missing", Time(0), Time(99)).is_empty());
+        assert_eq!(m.series_window("s", Time(0), Time(u64::MAX)).len(), 5);
+    }
+
+    #[test]
+    fn count_hot_path_accumulates_existing_keys() {
+        let mut m = Metrics::new();
+        for _ in 0..100 {
+            m.count("hot", 1);
+            m.record("hot_series", Time(1), 1.0);
+            m.observe("hot_hist", 7);
+        }
+        assert_eq!(m.counter("hot"), 100);
+        assert_eq!(m.values("hot_series").len(), 100);
+        assert_eq!(m.histogram("hot_hist").unwrap().count(), 100);
+        // Exactly one key exists per name despite 100 updates.
+        assert_eq!(m.counter_names().count(), 1);
+        assert_eq!(m.counters().count(), 1);
     }
 
     #[test]
