@@ -1,0 +1,260 @@
+//! Schedule exploration driver over the Prime model seam
+//! (`spire-explore`): bounded exhaustive interleaving, seeded randomized
+//! adversarial exploration, and deterministic replay of failure
+//! artifacts.
+//!
+//! Usage:
+//!   `exp_x1_explore --exhaustive [--scenario=NAME] [--ops=N]`
+//!   `              [--depth=D] [--max-states=S] [--min-states=S]`
+//!   `exp_x1_explore --random [--scenario=NAME] [--ops=N] [--seed=S]`
+//!   `              [--secs=S | --episodes=N] [--steps=N] [--rounds=R]`
+//!   `              [--artifact=PATH] [--expect-violation]`
+//!   `              [--max-shrunk=N]`
+//!   `exp_x1_explore --replay=PATH [--expect-violation]`
+//!
+//! * `--scenario` — behavior assignment: `honest`, `equivocating-leader`,
+//!   `leader-delay`, `mute-replica`, `po-equivocation` (f=1, k=0,
+//!   n=4 throughout);
+//! * `--min-states` — exhaustive mode exits 1 unless at least this many
+//!   distinct states were visited (CI coverage floor);
+//! * `--expect-violation` — invert the verdict: exit 1 unless a
+//!   violation was found (random mode hunts + shrinks it first) or, for
+//!   `--replay`, unless the artifact still reproduces one;
+//! * `--artifact` — where random mode writes the shrunk replay artifact
+//!   when a violation is found (also written on unexpected violations, so
+//!   CI can upload it);
+//! * `--max-shrunk` — with `--expect-violation`: exit 1 if the shrunk
+//!   schedule still exceeds this many events.
+//!
+//! Replays are deterministic: the artifact pins the scenario and the
+//! exact choice sequence, and the model seam leaves no other
+//! nondeterminism. An artifact produced under `--features
+//! seeded-commit-bug` records that (`"seeded_bug": true`); replay it
+//! against a build with the same feature set.
+
+use spire_explore::{exhaustive, random, Artifact, Bounds, Harness, RandomParams, Scenario};
+use spire_prime::model::SEEDED_BUG_ACTIVE;
+use std::time::Duration;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("explore FAIL: {msg}");
+    std::process::exit(1);
+}
+
+#[derive(PartialEq)]
+enum Mode {
+    Exhaustive,
+    Random,
+    Replay(String),
+}
+
+fn main() {
+    let mut mode: Option<Mode> = None;
+    let mut scenario = "honest".to_string();
+    let mut ops: u32 = 2;
+    let mut depth: usize = 14;
+    let mut max_states: u64 = 250_000;
+    let mut min_states: u64 = 0;
+    let mut seed: u64 = 0;
+    let mut secs: Option<u64> = None;
+    let mut episodes: u64 = 64;
+    let mut steps: usize = 600;
+    let mut rounds: u64 = 16;
+    let mut artifact_path: Option<String> = None;
+    let mut expect_violation = false;
+    let mut max_shrunk: usize = usize::MAX;
+    for arg in std::env::args().skip(1) {
+        if arg == "--exhaustive" {
+            mode = Some(Mode::Exhaustive);
+        } else if arg == "--random" {
+            mode = Some(Mode::Random);
+        } else if let Some(v) = arg.strip_prefix("--replay=") {
+            mode = Some(Mode::Replay(v.to_string()));
+        } else if let Some(v) = arg.strip_prefix("--scenario=") {
+            scenario = v.to_string();
+        } else if let Some(v) = arg.strip_prefix("--ops=") {
+            ops = v.parse().unwrap_or_else(|_| fail("bad --ops"));
+        } else if let Some(v) = arg.strip_prefix("--depth=") {
+            depth = v.parse().unwrap_or_else(|_| fail("bad --depth"));
+        } else if let Some(v) = arg.strip_prefix("--max-states=") {
+            max_states = v.parse().unwrap_or_else(|_| fail("bad --max-states"));
+        } else if let Some(v) = arg.strip_prefix("--min-states=") {
+            min_states = v.parse().unwrap_or_else(|_| fail("bad --min-states"));
+        } else if let Some(v) = arg.strip_prefix("--seed=") {
+            seed = v.parse().unwrap_or_else(|_| fail("bad --seed"));
+        } else if let Some(v) = arg.strip_prefix("--secs=") {
+            secs = Some(v.parse().unwrap_or_else(|_| fail("bad --secs")));
+        } else if let Some(v) = arg.strip_prefix("--episodes=") {
+            episodes = v.parse().unwrap_or_else(|_| fail("bad --episodes"));
+        } else if let Some(v) = arg.strip_prefix("--steps=") {
+            steps = v.parse().unwrap_or_else(|_| fail("bad --steps"));
+        } else if let Some(v) = arg.strip_prefix("--rounds=") {
+            rounds = v.parse().unwrap_or_else(|_| fail("bad --rounds"));
+        } else if let Some(v) = arg.strip_prefix("--artifact=") {
+            artifact_path = Some(v.to_string());
+        } else if arg == "--expect-violation" {
+            expect_violation = true;
+        } else if let Some(v) = arg.strip_prefix("--max-shrunk=") {
+            max_shrunk = v.parse().unwrap_or_else(|_| fail("bad --max-shrunk"));
+        } else {
+            fail(&format!("unknown argument {arg}"));
+        }
+    }
+    let Some(mode) = mode else {
+        fail("pick a mode: --exhaustive, --random, or --replay=PATH");
+    };
+
+    println!("exp_x1_explore: seeded_bug_active={SEEDED_BUG_ACTIVE}");
+    match mode {
+        Mode::Exhaustive => {
+            let scenario = Scenario::named(&scenario, 1, 0, ops).unwrap_or_else(|e| fail(&e));
+            let harness = Harness::new(scenario);
+            let mut bounds = Bounds::tiny();
+            bounds.max_depth = depth;
+            bounds.max_states = max_states;
+            let report = exhaustive::explore(&harness, &bounds);
+            println!(
+                "exhaustive: scenario={} ops={ops} depth<={depth} states_visited={} \
+                 states_deduped={} replays={} deepest={} frontier_exhausted={}",
+                harness.scenario.name,
+                report.states_visited,
+                report.states_deduped,
+                report.replays,
+                report.deepest,
+                report.frontier_exhausted,
+            );
+            if let Some(violation) = &report.violation {
+                println!(
+                    "violation: kinds={:?} schedule_len={}",
+                    violation.kinds,
+                    violation.schedule.len()
+                );
+                write_artifact(&artifact_path, &harness, 0, violation);
+                if !expect_violation {
+                    fail("exhaustive exploration found an invariant violation");
+                }
+                check_shrunk_len(violation.schedule.len(), max_shrunk);
+                println!("explore OK (expected violation found)");
+                return;
+            }
+            if expect_violation {
+                fail("expected a violation; exhaustive pass was clean");
+            }
+            if report.states_visited < min_states {
+                fail(&format!(
+                    "visited {} distinct states, below the --min-states floor {min_states}",
+                    report.states_visited
+                ));
+            }
+            println!("explore OK (0 violations)");
+        }
+        Mode::Random => {
+            let scenario = Scenario::named(&scenario, 1, 0, ops).unwrap_or_else(|e| fail(&e));
+            let harness = Harness::new(scenario);
+            let params = RandomParams {
+                seed,
+                episodes,
+                steps_per_episode: steps,
+                wall_limit: secs.map(Duration::from_secs),
+            };
+            if expect_violation {
+                let Some(found) = random::hunt(&harness, &params, rounds, max_shrunk.min(1 << 20))
+                else {
+                    fail("expected a violation; randomized exploration found none");
+                };
+                println!(
+                    "violation: kinds={:?} shrunk_len={}",
+                    found.kinds,
+                    found.schedule.len()
+                );
+                write_artifact(&artifact_path, &harness, seed, &found);
+                check_shrunk_len(found.schedule.len(), max_shrunk);
+                println!("explore OK (expected violation found and shrunk)");
+            } else {
+                let report = random::explore(&harness, &params);
+                println!(
+                    "random: scenario={} ops={ops} seed={seed} episodes={} steps={} max_executed={}",
+                    harness.scenario.name, report.episodes, report.steps, report.max_executed
+                );
+                if let Some(found) = &report.violation {
+                    let shrunk = spire_explore::shrink::shrink(&harness, &found.schedule);
+                    let kinds = spire_explore::shrink::reproduces(&harness, &shrunk)
+                        .unwrap_or_else(|| found.kinds.clone());
+                    let shrunk = exhaustive::FoundViolation {
+                        schedule: shrunk,
+                        kinds,
+                    };
+                    write_artifact(&artifact_path, &harness, seed, &shrunk);
+                    fail(&format!(
+                        "randomized exploration found an invariant violation: {:?}",
+                        shrunk.kinds
+                    ));
+                }
+                println!("explore OK (0 violations)");
+            }
+        }
+        Mode::Replay(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+            let artifact = Artifact::from_json_str(&text).unwrap_or_else(|e| fail(&e));
+            if artifact.seeded_bug != SEEDED_BUG_ACTIVE {
+                fail(&format!(
+                    "artifact was produced with seeded_bug={} but this build has {}; \
+                     rebuild with the matching feature set",
+                    artifact.seeded_bug, SEEDED_BUG_ACTIVE
+                ));
+            }
+            let scenario =
+                Scenario::named(&artifact.scenario, artifact.f, artifact.k, artifact.ops)
+                    .unwrap_or_else(|e| fail(&e));
+            let harness = Harness::new(scenario);
+            let cluster = harness.replay(&artifact.events);
+            let kinds = cluster.violation_kinds();
+            println!(
+                "replay: scenario={} events={} applied={} violations={kinds:?}",
+                artifact.scenario,
+                artifact.events.len(),
+                cluster.steps
+            );
+            if expect_violation && kinds.is_empty() {
+                fail("artifact did not reproduce a violation");
+            }
+            if !expect_violation && !kinds.is_empty() {
+                fail("replay hit an invariant violation");
+            }
+            println!("replay OK");
+        }
+    }
+}
+
+fn write_artifact(
+    path: &Option<String>,
+    harness: &Harness,
+    seed: u64,
+    violation: &exhaustive::FoundViolation,
+) {
+    let Some(path) = path else {
+        return;
+    };
+    let artifact = Artifact {
+        scenario: harness.scenario.name.clone(),
+        f: harness.scenario.f,
+        k: harness.scenario.k,
+        ops: harness.scenario.ops,
+        seed,
+        seeded_bug: SEEDED_BUG_ACTIVE,
+        violations: violation.kinds.clone(),
+        events: violation.schedule.clone(),
+    };
+    std::fs::write(path, artifact.to_json_string())
+        .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+    println!("artifact written: {path}");
+}
+
+fn check_shrunk_len(len: usize, max_shrunk: usize) {
+    if len > max_shrunk {
+        fail(&format!(
+            "shrunk schedule has {len} events, above the --max-shrunk bound {max_shrunk}"
+        ));
+    }
+}

@@ -1,0 +1,249 @@
+//! Shared wire-frame corpus: one *valid* frame set per protocol layer
+//! (Prime messages, sealed session envelopes, Merkle-batched frames,
+//! Spines overlay messages, SCADA ops, Modbus device frames).
+//!
+//! Two consumers: `fuzz_decoders.rs` mutates these frames to prove the
+//! decoders total, and `corpus_replay.rs` pins their exact bytes as
+//! committed files under `tests/corpus/` and replays them through live
+//! processes on both substrates. Changing any encoder shows up as a
+//! corpus-drift failure there — regenerate the files deliberately, never
+//! silently.
+
+// Each integration-test binary compiles this module separately and uses
+// a different subset of it.
+#![allow(dead_code)]
+
+use bytes::Bytes;
+use spire_crypto::batch::BatchAttestation;
+use spire_prime::msg::{encode_batched, seal_frame, CheckpointMsg, Matrix, SummaryRow};
+use spire_prime::{ClientId, ClientOp, PrimeMsg, ReplicaId};
+use spire_scada::{CommandAction, ModbusFrame, ScadaOp};
+use spire_spines::msg::DataMsg;
+use spire_spines::{Dissemination, OverlayId, OverlayMsg};
+
+pub fn prime_corpus() -> Vec<Bytes> {
+    let op = ClientOp {
+        client: ClientId(3),
+        cseq: 17,
+        payload: Bytes::from_static(b"update"),
+        sig: [7u8; 64],
+    };
+    let row = SummaryRow {
+        replica: ReplicaId(1),
+        sseq: 9,
+        vector: spire_prime::msg::AruVector(vec![4, 5, 6, 0, 1, 2]),
+        sig: [9u8; 64],
+    };
+    let msgs = vec![
+        PrimeMsg::Op(op.clone()),
+        PrimeMsg::PoRequest {
+            origin: ReplicaId(0),
+            po_seq: 12,
+            ops: vec![op.clone(), op.clone()],
+            sig: [1u8; 64],
+        },
+        PrimeMsg::PoAck {
+            replica: ReplicaId(2),
+            origin: ReplicaId(0),
+            po_seq: 12,
+            digest: [3u8; 32],
+            sig: [2u8; 64],
+        },
+        PrimeMsg::PoSummary(row.clone()),
+        PrimeMsg::PrePrepare {
+            view: 1,
+            seq: 40,
+            matrix: Matrix {
+                rows: vec![row.clone(), row],
+            },
+            sig: [4u8; 64],
+        },
+        PrimeMsg::Prepare {
+            replica: ReplicaId(4),
+            view: 1,
+            seq: 40,
+            digest: [5u8; 32],
+            sig: [5u8; 64],
+        },
+        PrimeMsg::Commit {
+            replica: ReplicaId(4),
+            view: 1,
+            seq: 40,
+            digest: [5u8; 32],
+            sig: [6u8; 64],
+        },
+        PrimeMsg::Ping {
+            replica: ReplicaId(1),
+            nonce: 777,
+        },
+        PrimeMsg::Pong {
+            replica: ReplicaId(2),
+            nonce: 777,
+        },
+        PrimeMsg::Suspect {
+            replica: ReplicaId(3),
+            view: 2,
+            sig: [8u8; 64],
+        },
+        PrimeMsg::Checkpoint(CheckpointMsg {
+            replica: ReplicaId(0),
+            seq: 50,
+            digest: [11u8; 32],
+            sig: [12u8; 64],
+        }),
+        PrimeMsg::StateReq {
+            replica: ReplicaId(5),
+            have_seq: 25,
+            sig: [13u8; 64],
+        },
+        PrimeMsg::ReconReq {
+            replica: ReplicaId(1),
+            origin: ReplicaId(3),
+            po_seq: 8,
+        },
+        PrimeMsg::Notify {
+            replica: ReplicaId(0),
+            client: ClientId(7),
+            nseq: 3,
+            payload: Bytes::from_static(b"breaker"),
+            sig: [14u8; 64],
+        },
+        PrimeMsg::Reply {
+            replica: ReplicaId(0),
+            client: ClientId(7),
+            cseq: 3,
+            result: Bytes::from_static(b"ok"),
+            sig: [15u8; 64],
+        },
+    ];
+    let mut frames: Vec<Bytes> = msgs.iter().map(|m| m.encode()).collect();
+    // Sealed session envelope and a Merkle-batched frame over a vote.
+    let inner = msgs[6].encode();
+    frames.push(seal_frame(ReplicaId(4), &[42u8; 32], &inner));
+    let attestation = BatchAttestation {
+        leaf_index: 1,
+        leaf_count: 4,
+        path: vec![[21u8; 32], [22u8; 32]],
+        root_sig: [23u8; 64],
+    };
+    frames.push(encode_batched(ReplicaId(4), &attestation, &inner));
+    frames
+}
+
+pub fn overlay_corpus() -> Vec<Bytes> {
+    let data = DataMsg {
+        src: OverlayId(0),
+        src_port: 2,
+        dst: OverlayId(6),
+        dst_port: 1,
+        seq: 55,
+        mode: Dissemination::DisjointPaths(3),
+        ttl: 12,
+        route: vec![OverlayId(0), OverlayId(4), OverlayId(6)],
+        route_idx: 1,
+        reliable: true,
+        payload: Bytes::from_static(b"prime frame inside"),
+    };
+    [
+        OverlayMsg::Hello {
+            from: OverlayId(3),
+            seq: 10,
+        },
+        OverlayMsg::Lsa {
+            origin: OverlayId(2),
+            seq: 4,
+            neighbors: vec![(OverlayId(1), 10), (OverlayId(3), 12)],
+            sig: [31u8; 64],
+        },
+        OverlayMsg::Data {
+            frame_id: 99,
+            msg: data,
+        },
+        OverlayMsg::HopAck { frame_id: 99 },
+        OverlayMsg::ClientAttach { port: 7 },
+        OverlayMsg::ClientSend {
+            dst: OverlayId(6),
+            dst_port: 1,
+            mode: Dissemination::Flood,
+            reliable: false,
+            payload: Bytes::from_static(b"payload"),
+        },
+        OverlayMsg::ClientDeliver {
+            src: OverlayId(0),
+            src_port: 2,
+            payload: Bytes::from_static(b"payload"),
+        },
+    ]
+    .iter()
+    .map(|m| m.encode())
+    .collect()
+}
+
+pub fn scada_corpus() -> Vec<Bytes> {
+    [
+        ScadaOp::DeviceUpdate {
+            rtu: 2,
+            ts_us: 1_500_000,
+            registers: vec![(0, 230), (1, 49)],
+            breakers: vec![(0, true), (1, false)],
+        },
+        ScadaOp::Command {
+            rtu: 2,
+            ts_us: 1_600_000,
+            action: CommandAction::OpenBreaker(1),
+        },
+        ScadaOp::Command {
+            rtu: 3,
+            ts_us: 1_700_000,
+            action: CommandAction::SetRegister(4, 500),
+        },
+        ScadaOp::ReadState { rtu: 1 },
+    ]
+    .iter()
+    .map(|m| m.encode())
+    .collect()
+}
+
+pub fn modbus_corpus() -> Vec<Bytes> {
+    [
+        ModbusFrame::ReadRegisters {
+            txn: 1,
+            addr: 0,
+            count: 8,
+        },
+        ModbusFrame::ReadResponse {
+            txn: 1,
+            addr: 0,
+            values: vec![230, 49, 500],
+        },
+        ModbusFrame::WriteCoil {
+            txn: 2,
+            coil: 1,
+            on: false,
+        },
+        ModbusFrame::WriteRegister {
+            txn: 3,
+            addr: 4,
+            value: 500,
+        },
+        ModbusFrame::WriteAck { txn: 3 },
+        ModbusFrame::Report {
+            ts_us: 1_000_000,
+            registers: vec![(0, 230)],
+            coils: vec![(0, true)],
+        },
+    ]
+    .iter()
+    .map(|m| m.encode())
+    .collect()
+}
+
+/// `(category, frames)` for every layer, in the committed-file order.
+pub fn full_corpus() -> Vec<(&'static str, Vec<Bytes>)> {
+    vec![
+        ("prime", prime_corpus()),
+        ("overlay", overlay_corpus()),
+        ("scada", scada_corpus()),
+        ("modbus", modbus_corpus()),
+    ]
+}

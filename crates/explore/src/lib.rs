@@ -1,0 +1,51 @@
+//! Schedule exploration harness over the Prime model seam.
+//!
+//! `spire-prime`'s [`ModelReplica`](spire_prime::ModelReplica) turns a
+//! replica into a pure transition function: the caller injects every
+//! nondeterministic event (message delivery, timer firing, clock reads)
+//! and receives the side effects back as data. This crate drives whole
+//! clusters of model replicas through *schedules* — explicit sequences of
+//! [`Choice`]s — and checks the shared
+//! [`InvariantChecker`](spire::invariant::InvariantChecker) predicates
+//! after every step.
+//!
+//! Three drivers are provided:
+//!
+//! - [`exhaustive::explore`] — bounded exhaustive interleaving for tiny
+//!   configs (breadth-first over choice prefixes with state-hash
+//!   deduplication, so commuting delivery orders collapse);
+//! - [`random::explore`] — seeded randomized exploration with weighted
+//!   adversarial choices (reorder, duplicate, drop, partition bursts) for
+//!   larger configs and longer horizons;
+//! - [`shrink::shrink`] — greedy delta debugging over a failing schedule,
+//!   exploiting that choices referencing vanished messages/timers are
+//!   no-ops (so removing a cause silently disables its dependents).
+//!
+//! Failing schedules serialize to a self-describing JSON replay artifact
+//! ([`Artifact`]); `exp_x1_explore --replay=PATH` in `spire-bench`
+//! re-executes one deterministically.
+
+pub mod cluster;
+pub mod exhaustive;
+pub mod json;
+pub mod random;
+pub mod schedule;
+pub mod shrink;
+
+pub use cluster::{Bounds, Cluster, Harness, Scenario};
+pub use exhaustive::{ExhaustiveReport, FoundViolation};
+pub use random::{RandomParams, RandomReport};
+pub use schedule::{Artifact, Choice, MsgKey};
+
+/// FNV-1a over arbitrary bytes; the stable 64-bit content digest used to
+/// address pending messages and to fold per-replica state digests into a
+/// cluster hash. Not cryptographic — collisions merely merge exploration
+/// states or schedule keys, never corrupt the protocol under test.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

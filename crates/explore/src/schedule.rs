@@ -1,0 +1,274 @@
+//! Schedules, stable message keys, and the JSON replay artifact.
+
+use crate::json::{parse, Json};
+
+/// Content-addressed identity of a pending message, stable across replays
+/// *and* across schedule edits.
+///
+/// A message is `(from, to, fnv64(bytes), nth)` where `nth` counts prior
+/// emissions of the same `(from, to, digest)` triple over the cluster's
+/// whole history. Replaying a schedule prefix regenerates exactly the same
+/// keys, and — crucially for shrinking — a choice whose key no longer
+/// names a pending message (because delta debugging removed the event that
+/// produced it) degrades to a no-op instead of desynchronizing the replay.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MsgKey {
+    /// Sender process id (replica index, or `n` for the injection client).
+    pub from: u32,
+    /// Destination replica index.
+    pub to: u32,
+    /// FNV-1a digest of the frame bytes.
+    pub digest: u64,
+    /// Which same-digest emission on this link (0-based).
+    pub nth: u32,
+}
+
+/// One scheduled nondeterministic event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Choice {
+    /// Deliver pre-signed client op `op` to its scenario-assigned replica.
+    Inject { op: u32 },
+    /// Deliver (and consume) a pending message.
+    Deliver { key: MsgKey },
+    /// Re-enqueue a copy of a pending message (duplication attack).
+    Duplicate { key: MsgKey },
+    /// Silently discard a pending message (loss / partition).
+    Drop { key: MsgKey },
+    /// Fire a pending timer; the virtual clock jumps to its due time.
+    Fire { replica: u32, tag: u64 },
+}
+
+impl Choice {
+    fn to_json(&self) -> Json {
+        let key_fields = |key: &MsgKey| {
+            vec![
+                ("from".to_string(), Json::Num(key.from as u64)),
+                ("to".to_string(), Json::Num(key.to as u64)),
+                (
+                    "digest".to_string(),
+                    Json::Str(format!("{:016x}", key.digest)),
+                ),
+                ("nth".to_string(), Json::Num(key.nth as u64)),
+            ]
+        };
+        match self {
+            Choice::Inject { op } => Json::Obj(vec![
+                ("t".to_string(), Json::Str("inject".to_string())),
+                ("op".to_string(), Json::Num(*op as u64)),
+            ]),
+            Choice::Deliver { key } => {
+                let mut fields = vec![("t".to_string(), Json::Str("deliver".to_string()))];
+                fields.extend(key_fields(key));
+                Json::Obj(fields)
+            }
+            Choice::Duplicate { key } => {
+                let mut fields = vec![("t".to_string(), Json::Str("dup".to_string()))];
+                fields.extend(key_fields(key));
+                Json::Obj(fields)
+            }
+            Choice::Drop { key } => {
+                let mut fields = vec![("t".to_string(), Json::Str("drop".to_string()))];
+                fields.extend(key_fields(key));
+                Json::Obj(fields)
+            }
+            Choice::Fire { replica, tag } => Json::Obj(vec![
+                ("t".to_string(), Json::Str("fire".to_string())),
+                ("replica".to_string(), Json::Num(*replica as u64)),
+                ("tag".to_string(), Json::Num(*tag)),
+            ]),
+        }
+    }
+
+    fn from_json(value: &Json) -> Result<Choice, String> {
+        let tag = value
+            .get("t")
+            .and_then(Json::as_str)
+            .ok_or("event missing \"t\"")?;
+        let u32_field = |name: &str| -> Result<u32, String> {
+            value
+                .get(name)
+                .and_then(Json::as_u64)
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| format!("event missing u32 field \"{name}\""))
+        };
+        let key = || -> Result<MsgKey, String> {
+            let digest_hex = value
+                .get("digest")
+                .and_then(Json::as_str)
+                .ok_or("event missing \"digest\"")?;
+            let digest =
+                u64::from_str_radix(digest_hex, 16).map_err(|e| format!("bad digest hex: {e}"))?;
+            Ok(MsgKey {
+                from: u32_field("from")?,
+                to: u32_field("to")?,
+                digest,
+                nth: u32_field("nth")?,
+            })
+        };
+        match tag {
+            "inject" => Ok(Choice::Inject {
+                op: u32_field("op")?,
+            }),
+            "deliver" => Ok(Choice::Deliver { key: key()? }),
+            "dup" => Ok(Choice::Duplicate { key: key()? }),
+            "drop" => Ok(Choice::Drop { key: key()? }),
+            "fire" => Ok(Choice::Fire {
+                replica: u32_field("replica")?,
+                tag: value
+                    .get("tag")
+                    .and_then(Json::as_u64)
+                    .ok_or("event missing \"tag\"")?,
+            }),
+            other => Err(format!("unknown event type \"{other}\"")),
+        }
+    }
+}
+
+/// A self-describing, deterministically replayable failure record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Artifact {
+    /// Scenario name (behavior assignment), see [`crate::Scenario`].
+    pub scenario: String,
+    /// Prime `f` (Byzantine budget).
+    pub f: u32,
+    /// Prime `k` (recovering budget).
+    pub k: u32,
+    /// Number of pre-signed client ops available to `Inject`.
+    pub ops: u32,
+    /// The seed that produced the schedule (0 for exhaustive search).
+    pub seed: u64,
+    /// Whether the build carried the `seeded-commit-bug` feature; a replay
+    /// must be run against the same build to reproduce.
+    pub seeded_bug: bool,
+    /// Violation kinds the schedule triggers.
+    pub violations: Vec<String>,
+    /// The (shrunken) schedule itself.
+    pub events: Vec<Choice>,
+}
+
+impl Artifact {
+    /// Serializes to the replay JSON document.
+    pub fn to_json_string(&self) -> String {
+        Json::Obj(vec![
+            ("version".to_string(), Json::Num(1)),
+            ("scenario".to_string(), Json::Str(self.scenario.clone())),
+            ("f".to_string(), Json::Num(self.f as u64)),
+            ("k".to_string(), Json::Num(self.k as u64)),
+            ("ops".to_string(), Json::Num(self.ops as u64)),
+            ("seed".to_string(), Json::Num(self.seed)),
+            ("seeded_bug".to_string(), Json::Bool(self.seeded_bug)),
+            (
+                "violations".to_string(),
+                Json::Arr(
+                    self.violations
+                        .iter()
+                        .map(|v| Json::Str(v.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "events".to_string(),
+                Json::Arr(self.events.iter().map(Choice::to_json).collect()),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Parses a replay JSON document.
+    pub fn from_json_str(text: &str) -> Result<Artifact, String> {
+        let doc = parse(text)?;
+        let version = doc
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("artifact missing \"version\"")?;
+        if version != 1 {
+            return Err(format!("unsupported artifact version {version}"));
+        }
+        let u32_field = |name: &str| -> Result<u32, String> {
+            doc.get(name)
+                .and_then(Json::as_u64)
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| format!("artifact missing u32 field \"{name}\""))
+        };
+        let events = doc
+            .get("events")
+            .and_then(Json::as_arr)
+            .ok_or("artifact missing \"events\"")?
+            .iter()
+            .map(Choice::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let violations = doc
+            .get("violations")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Json::as_str)
+            .map(str::to_string)
+            .collect();
+        Ok(Artifact {
+            scenario: doc
+                .get("scenario")
+                .and_then(Json::as_str)
+                .ok_or("artifact missing \"scenario\"")?
+                .to_string(),
+            f: u32_field("f")?,
+            k: u32_field("k")?,
+            ops: u32_field("ops")?,
+            seed: doc.get("seed").and_then(Json::as_u64).unwrap_or(0),
+            seeded_bug: doc
+                .get("seeded_bug")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            violations,
+            events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_roundtrips() {
+        let artifact = Artifact {
+            scenario: "equivocating-leader".to_string(),
+            f: 1,
+            k: 0,
+            ops: 2,
+            seed: 0xDEAD_BEEF,
+            seeded_bug: true,
+            violations: vec!["conflicting-commit".to_string()],
+            events: vec![
+                Choice::Inject { op: 0 },
+                Choice::Deliver {
+                    key: MsgKey {
+                        from: 1,
+                        to: 2,
+                        digest: u64::MAX,
+                        nth: 3,
+                    },
+                },
+                Choice::Duplicate {
+                    key: MsgKey {
+                        from: 0,
+                        to: 1,
+                        digest: 42,
+                        nth: 0,
+                    },
+                },
+                Choice::Drop {
+                    key: MsgKey {
+                        from: 2,
+                        to: 0,
+                        digest: 7,
+                        nth: 1,
+                    },
+                },
+                Choice::Fire { replica: 3, tag: 5 },
+            ],
+        };
+        let text = artifact.to_json_string();
+        assert_eq!(Artifact::from_json_str(&text).unwrap(), artifact);
+    }
+}

@@ -32,6 +32,7 @@ pub mod client;
 pub mod config;
 pub mod inspect;
 pub mod kv;
+pub mod model;
 pub mod msg;
 pub mod net;
 pub mod replica;
@@ -42,6 +43,7 @@ pub use client::TestClient;
 pub use config::{ClientId, PrimeConfig, ProtocolMode, ReplicaId};
 pub use inspect::Inspection;
 pub use kv::{KvApp, KvOp, KvReply};
+pub use model::{Effect, Input, ModelReplica};
 pub use msg::{decode_enclosed, ClientOp, PrimeMsg};
 pub use net::{DirectNet, ReplicaNet, SpinesNet};
 pub use replica::Replica;

@@ -51,14 +51,16 @@ use spire_sim::{
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-const TIMER_PO_FLUSH: u64 = 1;
-const TIMER_SUMMARY: u64 = 2;
-const TIMER_PRE_PREPARE: u64 = 3;
-const TIMER_PING: u64 = 4;
-const TIMER_PROGRESS: u64 = 5;
-const TIMER_RECON: u64 = 6;
-const TIMER_STATE_REQ: u64 = 7;
-const TIMER_BATCH: u64 = 8;
+/// Timer tags. Public so the schedule explorer (`crates/explore`) can
+/// name timer-firing choices symbolically.
+pub const TIMER_PO_FLUSH: u64 = 1;
+pub const TIMER_SUMMARY: u64 = 2;
+pub const TIMER_PRE_PREPARE: u64 = 3;
+pub const TIMER_PING: u64 = 4;
+pub const TIMER_PROGRESS: u64 = 5;
+pub const TIMER_RECON: u64 = 6;
+pub const TIMER_STATE_REQ: u64 = 7;
+pub const TIMER_BATCH: u64 = 8;
 
 /// Messages accumulated in one signing batch before the Merkle root is
 /// signed: bounds both memory and the inclusion-proof length (log2(64) = 6
@@ -1305,7 +1307,17 @@ impl Replica {
     }
 
     fn try_prepare_commit(&mut self, ctx: &mut Context<'_>, seq: u64) {
-        let quorum = self.cfg.ordering_quorum();
+        // Intentionally-seeded safety bug for the exploration harness
+        // (feature `seeded-commit-bug`, never enabled in normal builds):
+        // the Prepare/Commit certificates trip on a single vote instead of
+        // the 2f + k + 1 ordering quorum. The explorer's CI leg proves the
+        // harness catches the resulting divergence and shrinks a
+        // reproducing schedule to a replayable artifact.
+        let quorum = if cfg!(feature = "seeded-commit-bug") {
+            1
+        } else {
+            self.cfg.ordering_quorum()
+        };
         let withhold = self.behavior == ByzBehavior::AckWithhold;
         let me = self.me;
         let Some(slot) = self.slots.get_mut(&seq) else {
@@ -2189,6 +2201,181 @@ impl Replica {
                 .any(|(aru, cover)| aru > cover)
         });
         local || reported
+    }
+
+    /// A 64-bit digest over the protocol-relevant state, used by the
+    /// schedule explorer (`crates/explore`) to deduplicate interleavings:
+    /// two cluster states whose replicas all hash equal behave identically
+    /// on every future input, so only one needs exploring. A hash
+    /// collision merely prunes one branch (coverage loss, never a false
+    /// violation).
+    ///
+    /// Deliberately excluded: the verify/op/row caches and batch signer
+    /// (pure performance state), RTT estimates and outstanding pings (the
+    /// explorer never fires ping timers), and metric bookkeeping.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = StateHasher::new();
+        h.u64(self.me.0 as u64)
+            .u64(self.view)
+            .flag(self.in_view_change)
+            .u64(self.view_entered_at.0)
+            .u64(self.timeout_backoff)
+            .u64(self.last_progress.0)
+            .u64(self.my_po_seq)
+            .u64(self.my_sseq)
+            .u64(self.last_proposed)
+            .u64(self.commit_aru)
+            .u64(self.last_executed)
+            .u64(self.max_seen_commit)
+            .flag(self.recovering)
+            .u64(self.total_ops)
+            .raw(&self.exec_chain_head);
+        for v in self
+            .po_aru
+            .iter()
+            .chain(&self.exec_cover)
+            .chain(&self.po_high)
+            .chain(&self.sseq_high)
+        {
+            h.u64(*v);
+        }
+        for op in &self.pending_ops {
+            h.u64(op.client.0 as u64).u64(op.cseq).raw(&op.payload);
+        }
+        for (client, window) in &self.seen_ops {
+            h.u64(*client as u64).u64(window.floor());
+            for s in window.sparse() {
+                h.u64(s);
+            }
+        }
+        for ((origin, po_seq), entry) in &self.po {
+            h.u64(*origin as u64).u64(*po_seq);
+            match &entry.content {
+                Some((digest, _, _)) => h.raw(digest),
+                None => h.u64(0),
+            };
+            match &entry.acked {
+                Some(digest) => h.raw(digest),
+                None => h.u64(0),
+            };
+            match &entry.certified {
+                Some(digest) => h.raw(digest),
+                None => h.u64(0),
+            };
+            for (digest, votes) in &entry.acks {
+                h.raw(digest);
+                for voter in votes.keys() {
+                    h.u64(*voter as u64);
+                }
+            }
+        }
+        for (replica, row) in &self.latest_rows {
+            h.u64(*replica as u64).u64(row.sseq);
+            for v in &row.vector.0 {
+                h.u64(*v);
+            }
+        }
+        for v in &self.last_summary_vector.0 {
+            h.u64(*v);
+        }
+        match &self.outstanding_summary {
+            Some((sseq, sent)) => h.u64(*sseq).u64(sent.0),
+            None => h.u64(0),
+        };
+        for (seq, slot) in &self.slots {
+            h.u64(*seq).flag(slot.prepared).flag(slot.committed);
+            match &slot.pre_prepare {
+                Some((view, _, digest)) => h.u64(*view).raw(digest),
+                None => h.u64(0),
+            };
+            for (r, d) in &slot.prepares {
+                h.u64(*r as u64).raw(d);
+            }
+            for (r, d) in &slot.commits {
+                h.u64(*r as u64).raw(d);
+            }
+        }
+        for (seq, matrix) in &self.committed_matrices {
+            h.u64(*seq).raw(&matrix.digest());
+        }
+        for (client, window) in &self.executed_cseq {
+            h.u64(*client as u64).u64(window.floor());
+            for s in window.sparse() {
+                h.u64(s);
+            }
+        }
+        for (view, set) in &self.suspects {
+            h.u64(*view);
+            for r in set {
+                h.u64(*r as u64);
+            }
+        }
+        for view in &self.suspected_views {
+            h.u64(*view);
+        }
+        for (view, states) in &self.view_states {
+            h.u64(*view);
+            for r in states.keys() {
+                h.u64(*r as u64);
+            }
+        }
+        for (r, view) in &self.claimed_views {
+            h.u64(*r as u64).u64(*view);
+        }
+        for (seq, votes) in &self.checkpoint_votes {
+            h.u64(*seq);
+            for r in votes.keys() {
+                h.u64(*r as u64);
+            }
+        }
+        match &self.stable_checkpoint {
+            Some((seq, snapshot, _)) => h.u64(*seq).raw(snapshot),
+            None => h.u64(0),
+        };
+        for seq in self.pending_snapshots.keys() {
+            h.u64(*seq);
+        }
+        for (origin, po_seq) in &self.missing {
+            h.u64(*origin as u64).u64(*po_seq);
+        }
+        h.u64(self.recon_rotor as u64);
+        for (at, bytes) in &self.delayed_proposals {
+            h.u64(at.0).raw(bytes);
+        }
+        h.u64(self.outbox.len() as u64)
+            .flag(self.batch_timer_armed)
+            .raw(&self.app.digest());
+        h.finish()
+    }
+}
+
+/// Incremental FNV-1a over little-endian scalar encodings: fast, stable
+/// across platforms, dependency-free. Used only for explorer state
+/// deduplication, never for security.
+struct StateHasher(u64);
+
+impl StateHasher {
+    fn new() -> StateHasher {
+        StateHasher(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn raw(&mut self, bytes: &[u8]) -> &mut StateHasher {
+        for b in bytes {
+            self.0 = (self.0 ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    fn u64(&mut self, v: u64) -> &mut StateHasher {
+        self.raw(&v.to_le_bytes())
+    }
+
+    fn flag(&mut self, v: bool) -> &mut StateHasher {
+        self.u64(u64::from(v))
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
