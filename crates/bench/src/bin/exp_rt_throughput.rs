@@ -3,6 +3,6 @@
 //! SPIRE_RT_JSON overrides the JSON output path.
 fn main() {
     let secs = spire_bench::env_u64("SPIRE_RT_SECS", 10);
-    let path = std::env::var("SPIRE_RT_JSON").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+    let path = std::env::var("SPIRE_RT_JSON").unwrap_or_else(|_| "BENCH_PR8.json".to_string());
     spire_bench::experiments::rt_throughput(secs, Some(&path));
 }

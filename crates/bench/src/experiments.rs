@@ -1011,42 +1011,89 @@ pub fn rt_throughput(point_secs: u64, json_out: Option<&str>) {
          (rt/sim {:.2}x on {cores} core(s))",
         rt_peak / sim_peak.max(1e-9)
     );
+
+    // Worker-count sweep: the same 200 offered updates/s on rt with 1, 2,
+    // and 4 runtime workers, showing how the sharded run queues scale
+    // with thread count (flat when the host has fewer physical cores).
+    println!("\n  worker sweep at 200 offered/s (host has {cores} core(s)):");
+    println!("    workers | confirmed | delivery |  p99 ms | safety");
+    let mut sweep: Vec<Row> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let workload = WorkloadConfig {
+            rtus: 10,
+            update_interval: Span::millis(50),
+            ..Default::default()
+        };
+        let offered = workload.updates_per_second();
+        let mut cfg = DeploymentConfig::wide_area(8900 + workers as u64);
+        cfg.workload = workload;
+        cfg.trace = false;
+        let rt = Deployment::build(cfg).into_rt(workers);
+        let start = std::time::Instant::now();
+        let outcome = rt.run_for(Span::secs(point_secs));
+        let wall_s = start.elapsed().as_secs_f64();
+        let report = outcome.report;
+        let row = Row {
+            substrate: "rt",
+            interval_ms: 50,
+            offered,
+            sent: report.updates_sent,
+            confirmed: report.updates_confirmed,
+            delivery: report.delivery_ratio(),
+            safety: report.safety_ok,
+            wall_s,
+            rate: report.updates_confirmed as f64 / wall_s.max(1e-9),
+            p99_ms: report.update_summary.as_ref().map(|s| s.p99),
+            threads: outcome.run.threads,
+        };
+        println!(
+            "    {:>7} | {:>9} | {:>7.1}% | {:>7.1} | {}",
+            row.threads,
+            row.confirmed,
+            row.delivery * 100.0,
+            row.p99_ms.unwrap_or(f64::NAN),
+            if row.safety { "OK" } else { "BROKEN" }
+        );
+        sweep.push(row);
+    }
+
     let Some(path) = json_out else { return };
-    let json_rows: Vec<String> = rows
-        .iter()
-        .map(|r| {
-            format!(
-                "{{\"substrate\":\"{}\",\"interval_ms\":{},\"offered_per_s\":{},\
-                 \"updates_sent\":{},\"updates_confirmed\":{},\"delivery_ratio\":{},\
-                 \"safety_ok\":{},\"wall_s\":{},\"confirmed_per_wall_s\":{},\
-                 \"p99_ms\":{},\"threads\":{}}}",
-                r.substrate,
-                r.interval_ms,
-                r.offered,
-                r.sent,
-                r.confirmed,
-                r.delivery,
-                r.safety,
-                r.wall_s,
-                r.rate,
-                r.p99_ms
-                    .map(|v| v.to_string())
-                    .unwrap_or_else(|| "null".to_string()),
-                r.threads
-            )
-        })
-        .collect();
+    let fmt_row = |r: &Row| {
+        format!(
+            "{{\"substrate\":\"{}\",\"interval_ms\":{},\"offered_per_s\":{},\
+             \"updates_sent\":{},\"updates_confirmed\":{},\"delivery_ratio\":{},\
+             \"safety_ok\":{},\"wall_s\":{},\"confirmed_per_wall_s\":{},\
+             \"p99_ms\":{},\"threads\":{}}}",
+            r.substrate,
+            r.interval_ms,
+            r.offered,
+            r.sent,
+            r.confirmed,
+            r.delivery,
+            r.safety,
+            r.wall_s,
+            r.rate,
+            r.p99_ms
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+            r.threads
+        )
+    };
+    let json_rows: Vec<String> = rows.iter().map(fmt_row).collect();
+    let sweep_rows: Vec<String> = sweep.iter().map(fmt_row).collect();
     let json = format!(
         "{{\"experiment\":\"rt_throughput\",\"schema_version\":{},\
          \"git_rev\":{:?},\"replicas\":6,\"f\":1,\"k\":1,\
          \"rtus\":10,\"point_secs\":{point_secs},\"cores\":{cores},\
          \"peak_sim_confirmed_per_wall_s\":{sim_peak},\
          \"peak_rt_confirmed_per_wall_s\":{rt_peak},\
-         \"rt_over_sim\":{},\"rows\":[{}]}}\n",
+         \"rt_over_sim\":{},\"rows\":[{}],\
+         \"worker_sweep\":[{}]}}\n",
         spire::report::REPORT_SCHEMA_VERSION,
         crate::git_rev(),
         rt_peak / sim_peak.max(1e-9),
-        json_rows.join(",")
+        json_rows.join(","),
+        sweep_rows.join(",")
     );
     match std::fs::write(path, json) {
         Ok(()) => println!("rt throughput results -> {path}"),

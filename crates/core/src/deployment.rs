@@ -116,6 +116,11 @@ pub struct DeploymentConfig {
     /// sealed with a pairwise key, letting receivers skip the per-hop
     /// signature verification the MAC already covers.
     pub session_macs: bool,
+    /// Ordering pipelining: a wide proposal window, eager (event-driven)
+    /// pre-prepares, cumulative multi-votes, and per-link frame batching.
+    /// Off reverts to strictly timer-paced, one-message-per-frame
+    /// operation (the pre-PR8 wire behaviour) for A/B comparisons.
+    pub pipelining: bool,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -136,6 +141,10 @@ impl DeploymentConfig {
             dual_homed_substations: true,
             trace: std::env::var_os("SPIRE_TRACE").is_some(),
             session_macs: true,
+            // `SPIRE_PIPELINING=0` reverts any scenario binary to the
+            // timer-paced, one-message-per-frame wire behaviour for A/B
+            // runs without a code change.
+            pipelining: std::env::var("SPIRE_PIPELINING").map_or(true, |v| v != "0"),
             seed,
         }
     }
@@ -260,6 +269,14 @@ impl Deployment {
         let n_rtus = cfg.workload.rtus;
         let n_hmis = cfg.workload.hmis;
 
+        // Overlay hop-level link batching rides the same A/B switch as the
+        // Prime pipelining knobs: off means every overlay message is framed,
+        // HMAC'd and acked individually (pre-batching wire behaviour).
+        let mut daemon_cfg = DaemonConfig::default();
+        if !cfg.pipelining {
+            daemon_cfg.batch_window = Span::ZERO;
+        }
+
         // ---------- internal overlay: one daemon per site, full mesh ----------
         let mut internal_topology = Topology::new();
         for i in 0..n_sites {
@@ -285,7 +302,7 @@ impl Deployment {
         let internal = OverlayNetwork::build(
             &mut world,
             &internal_topology,
-            DaemonConfig::default(),
+            daemon_cfg,
             &material,
             &keystore,
             key_base::INTERNAL_DAEMON,
@@ -346,7 +363,7 @@ impl Deployment {
         let external = OverlayNetwork::build(
             &mut world,
             &external_topology,
-            DaemonConfig::default(),
+            daemon_cfg,
             &material,
             &keystore,
             key_base::EXTERNAL_DAEMON,
@@ -423,6 +440,11 @@ impl Deployment {
         prime.client_key_base = key_base::CLIENT;
         prime.batch_sign = cfg.batch_signing;
         prime.batch_interval = cfg.batch_interval;
+        if !cfg.pipelining {
+            prime.proposal_window = 1;
+            prime.eager_propose = false;
+            prime.link_batch = false;
+        }
 
         // ---------- replicas ----------
         let nets: Vec<SpinesNet> = (0..n_replicas)
@@ -905,7 +927,7 @@ pub fn classify_frame(bytes: &[u8]) -> &'static str {
         return "empty";
     };
     // Sealed session envelope: [254][sender u32][mac 32][len u32][inner].
-    let tag = if tag == 254 {
+    let mut tag = if tag == 254 {
         match bytes.get(41) {
             Some(&inner) => inner,
             None => return "other",
@@ -913,10 +935,20 @@ pub fn classify_frame(bytes: &[u8]) -> &'static str {
     } else {
         tag
     };
+    // Multi-frame container: [253][count u16][len u32][first frame]... —
+    // classify by the first sub-frame (a coalesced flush is usually
+    // homogeneous vote traffic anyway).
+    if tag == 253 {
+        let offset = if bytes.first() == Some(&254) { 41 } else { 0 };
+        match bytes.get(offset + 7) {
+            Some(&inner) => tag = inner,
+            None => return "other",
+        }
+    }
     match tag {
         255 => "batch",
-        2..=4 => "preorder",
-        5..=7 => "ordering",
+        2..=4 | 20 => "preorder",
+        5..=7 | 21 => "ordering",
         10..=12 => "viewchange",
         13..=15 => "checkpoint",
         1 | 17 | 19 => "client",

@@ -1,0 +1,37 @@
+//! Committed replay artifacts from real violations the explorers found.
+//!
+//! Each artifact pins the exact schedule that broke an invariant on an
+//! earlier revision; the regression test replays it and asserts the
+//! schedule stays clean. The artifact's own `violations` field records
+//! what it used to trigger, for the archaeology.
+
+use spire_explore::{Artifact, Harness, Scenario};
+
+/// Replays a committed artifact and returns the violation kinds the
+/// schedule produces on the current code.
+fn replay_kinds(artifact_json: &str) -> Vec<String> {
+    let artifact = Artifact::from_json_str(artifact_json).expect("artifact parses");
+    let scenario = Scenario::named(&artifact.scenario, artifact.f, artifact.k, artifact.ops)
+        .expect("known scenario");
+    let harness = Harness::new(scenario);
+    let cluster = harness.replay(&artifact.events);
+    cluster.violation_kinds()
+}
+
+/// Found by the randomized explorer (honest scenario, seed 0) while
+/// validating the pipelined ordering path: `ViewStateMsg` reported only
+/// the *highest* prepared sequence, so with several sequences in flight a
+/// lower prepared-and-elsewhere-committed matrix could be dropped from
+/// the new-view plan and replaced, committing two different matrices at
+/// one sequence. ViewState now carries every prepared claim above the
+/// committed prefix; this schedule must stay violation-free.
+#[test]
+fn viewstate_single_claim_schedule_stays_safe() {
+    let kinds = replay_kinds(include_str!(
+        "../artifacts/viewstate_single_claim_conflicting_commit.json"
+    ));
+    assert!(
+        kinds.is_empty(),
+        "replayed schedule violated invariants: {kinds:?}"
+    );
+}

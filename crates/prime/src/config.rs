@@ -84,6 +84,26 @@ pub struct PrimeConfig {
     /// Capacity of each bounded verification cache (client ops, summary
     /// rows, batch roots); 0 disables caching.
     pub verify_cache: usize,
+    /// How far ahead of the committed prefix the leader may propose: the
+    /// number of ordering sequences that may be in flight (pre-prepared
+    /// but not yet committed) at once. 1 degenerates to strictly serial
+    /// ordering; wider windows pipeline the Prepare/Commit rounds.
+    pub proposal_window: u64,
+    /// Propose as soon as fresh summary rows arrive (subject to
+    /// `eager_propose_gap` and the window) instead of waiting for the
+    /// next `pre_prepare_interval` tick. The timer keeps running as a
+    /// backstop; eager proposals just stop the ordering pipeline from
+    /// quantizing end-to-end latency to the proposal interval.
+    pub eager_propose: bool,
+    /// Minimum gap between consecutive eager proposals, bounding the
+    /// leader's proposal rate (and thus matrix-broadcast load) under
+    /// heavy summary churn.
+    pub eager_propose_gap: Span,
+    /// Coalesce all frames bound for the same peer within one activation
+    /// into a single multi-frame container, sealed (when session MACs
+    /// are on) and shipped through the overlay once. Off, every message
+    /// pays its own seal + dissemination.
+    pub link_batch: bool,
 }
 
 impl PrimeConfig {
@@ -109,6 +129,10 @@ impl PrimeConfig {
             batch_sign: false,
             batch_interval: Span::millis(2),
             verify_cache: 4096,
+            proposal_window: 8,
+            eager_propose: true,
+            eager_propose_gap: Span::millis(5),
+            link_batch: true,
         }
     }
 

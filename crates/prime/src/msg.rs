@@ -317,8 +317,13 @@ pub struct ViewStateMsg {
     pub view: u64,
     /// Highest contiguously committed ordering sequence.
     pub last_committed: u64,
-    /// Highest prepared-but-possibly-uncommitted matrix, if any.
-    pub prepared: Option<PreparedClaim>,
+    /// Every prepared-but-possibly-uncommitted matrix above
+    /// `last_committed`, lowest sequence first. Reporting only the highest
+    /// one is unsound under pipelining: with several sequences in flight a
+    /// lower prepared matrix may already have committed at a replica
+    /// outside the state quorum, and a plan built without its claim would
+    /// re-propose a different matrix at that sequence.
+    pub prepared: Vec<PreparedClaim>,
     /// Signature by `replica`.
     pub sig: [u8; 64],
 }
@@ -349,14 +354,10 @@ impl ViewStateMsg {
         w.u32(self.replica.0)
             .u64(self.view)
             .u64(self.last_committed);
-        match &self.prepared {
-            Some(claim) => {
-                w.u8(1).u64(claim.view).u64(claim.seq);
-                claim.matrix.write(w);
-            }
-            None => {
-                w.u8(0);
-            }
+        w.u16(self.prepared.len() as u16);
+        for claim in &self.prepared {
+            w.u64(claim.view).u64(claim.seq);
+            claim.matrix.write(w);
         }
         w.raw(&self.sig);
     }
@@ -365,15 +366,15 @@ impl ViewStateMsg {
         let replica = ReplicaId(r.u32()?);
         let view = r.u64()?;
         let last_committed = r.u64()?;
-        let prepared = match r.u8()? {
-            0 => None,
-            1 => Some(PreparedClaim {
+        let count = r.u16()? as usize;
+        let mut prepared = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            prepared.push(PreparedClaim {
                 view: r.u64()?,
                 seq: r.u64()?,
                 matrix: Matrix::read(r)?,
-            }),
-            other => return Err(WireError::BadTag(other)),
-        };
+            });
+        }
         Ok(ViewStateMsg {
             replica,
             view,
@@ -574,6 +575,35 @@ pub enum PrimeMsg {
         /// Signature.
         sig: [u8; 64],
     },
+    /// Cumulative pre-order acknowledgement: one signature vouching for
+    /// several PO-Requests at once. Semantically identical to the same
+    /// set of individual [`PrimeMsg::PoAck`]s; emitted when one
+    /// activation acknowledges multiple requests (pipelined ordering,
+    /// coalesced arrival). The whole signed frame is retained as
+    /// certificate material for each covered entry, so reconciliation
+    /// forwards it verbatim like a plain ack.
+    PoAckMulti {
+        /// Acknowledging replica.
+        replica: ReplicaId,
+        /// `(origin, po_seq, digest)` per acknowledged request.
+        entries: Vec<(ReplicaId, u64, Digest)>,
+        /// Signature over all entries.
+        sig: [u8; 64],
+    },
+    /// Cumulative second-round ordering vote: commit votes for several
+    /// ordering sequences of one view under one signature. Emitted when
+    /// a wider proposal window prepares multiple sequences in one
+    /// activation.
+    CommitMulti {
+        /// Voting replica.
+        replica: ReplicaId,
+        /// View.
+        view: u64,
+        /// `(seq, matrix digest)` per committed-to sequence.
+        entries: Vec<(u64, Digest)>,
+        /// Signature over all entries.
+        sig: [u8; 64],
+    },
 }
 
 impl PrimeMsg {
@@ -597,6 +627,8 @@ impl PrimeMsg {
                 | PrimeMsg::Notify { .. }
                 | PrimeMsg::StateReq { .. }
                 | PrimeMsg::Reply { .. }
+                | PrimeMsg::PoAckMulti { .. }
+                | PrimeMsg::CommitMulti { .. }
         )
     }
 
@@ -634,7 +666,9 @@ impl PrimeMsg {
             | PrimeMsg::NewView { sig: s, .. }
             | PrimeMsg::Notify { sig: s, .. }
             | PrimeMsg::StateReq { sig: s, .. }
-            | PrimeMsg::Reply { sig: s, .. } => *s = sig,
+            | PrimeMsg::Reply { sig: s, .. }
+            | PrimeMsg::PoAckMulti { sig: s, .. }
+            | PrimeMsg::CommitMulti { sig: s, .. } => *s = sig,
             PrimeMsg::ViewState(state) => state.sig = sig,
             _ => {}
         }
@@ -665,7 +699,9 @@ impl PrimeMsg {
             | PrimeMsg::NewView { sig, .. }
             | PrimeMsg::Notify { sig, .. }
             | PrimeMsg::StateReq { sig, .. }
-            | PrimeMsg::Reply { sig, .. } => *sig,
+            | PrimeMsg::Reply { sig, .. }
+            | PrimeMsg::PoAckMulti { sig, .. }
+            | PrimeMsg::CommitMulti { sig, .. } => *sig,
             PrimeMsg::ViewState(state) => state.sig,
             // Unsigned control messages (pings, state transfer, recon) rely
             // on the authenticated overlay link; their effects are
@@ -868,6 +904,29 @@ impl PrimeMsg {
                     .bytes(result)
                     .raw(sig);
             }
+            PrimeMsg::PoAckMulti {
+                replica,
+                entries,
+                sig,
+            } => {
+                w.u8(20).u32(replica.0).u16(entries.len() as u16);
+                for (origin, po_seq, digest) in entries {
+                    w.u32(origin.0).u64(*po_seq).raw(digest);
+                }
+                w.raw(sig);
+            }
+            PrimeMsg::CommitMulti {
+                replica,
+                view,
+                entries,
+                sig,
+            } => {
+                w.u8(21).u32(replica.0).u64(*view).u16(entries.len() as u16);
+                for (seq, digest) in entries {
+                    w.u64(*seq).raw(digest);
+                }
+                w.raw(sig);
+            }
         }
     }
 
@@ -992,6 +1051,34 @@ impl PrimeMsg {
                 payload: Bytes::copy_from_slice(r.bytes()?),
                 sig: r.array()?,
             },
+            20 => {
+                let replica = ReplicaId(r.u32()?);
+                let n = r.u16()? as usize;
+                let mut entries = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    entries.push((ReplicaId(r.u32()?), r.u64()?, r.array()?));
+                }
+                PrimeMsg::PoAckMulti {
+                    replica,
+                    entries,
+                    sig: r.array()?,
+                }
+            }
+            21 => {
+                let replica = ReplicaId(r.u32()?);
+                let view = r.u64()?;
+                let n = r.u16()? as usize;
+                let mut entries = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    entries.push((r.u64()?, r.array()?));
+                }
+                PrimeMsg::CommitMulti {
+                    replica,
+                    view,
+                    entries,
+                    sig: r.array()?,
+                }
+            }
             17 => PrimeMsg::Reply {
                 replica: ReplicaId(r.u32()?),
                 client: ClientId(r.u32()?),
@@ -1152,6 +1239,47 @@ pub fn decode_sealed(bytes: &[u8]) -> Result<Option<Sealed<'_>>, WireError> {
     Ok(Some(Sealed { sender, mac, inner }))
 }
 
+/// Frame tag marking a multi-frame container: several ordinary frames
+/// (plain or batch-attested) coalesced into one link transfer. Layout:
+/// `[253][count u16][(len u32 | frame)*]`. When session MACs are on the
+/// whole container is sealed once, amortizing the per-link HMAC (and the
+/// overlay's per-message dissemination and hop-acknowledgement work)
+/// across every frame inside. A receiver treats each inner frame exactly
+/// as if it had arrived alone on the same link.
+pub const MULTI_FRAME_TAG: u8 = 253;
+
+/// Packs already-encoded frames into one multi-frame container.
+pub fn encode_multi(frames: &[Bytes]) -> Bytes {
+    let total: usize = frames.iter().map(|f| f.len() + 4).sum();
+    let mut w = WireWriter::with_capacity(1 + 2 + total);
+    w.u8(MULTI_FRAME_TAG).u16(frames.len() as u16);
+    for frame in frames {
+        w.bytes(frame);
+    }
+    w.finish()
+}
+
+/// Splits a multi-frame container into zero-copy sub-frame slices of the
+/// shared buffer. Returns `Ok(None)` when the bytes are not a container.
+pub fn decode_multi(bytes: &Bytes) -> Result<Option<Vec<Bytes>>, WireError> {
+    if bytes.first() != Some(&MULTI_FRAME_TAG) {
+        return Ok(None);
+    }
+    let mut r = WireReader::new(bytes);
+    r.u8()?; // tag
+    let count = r.u16()? as usize;
+    let mut frames = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let slice = r.bytes()?;
+        // Offset arithmetic against the shared buffer: each sub-frame is
+        // a refcount bump, not a copy.
+        let start = slice.as_ptr() as usize - bytes.as_ptr() as usize;
+        frames.push(bytes.slice(start..start + slice.len()));
+    }
+    r.expect_end()?;
+    Ok(Some(frames))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1237,18 +1365,25 @@ mod tests {
             replica: ReplicaId(2),
             view: 4,
             last_committed: 10,
-            prepared: Some(PreparedClaim {
-                view: 3,
-                seq: 11,
-                matrix: Matrix {
-                    rows: vec![sample_row(1)],
+            prepared: vec![
+                PreparedClaim {
+                    view: 3,
+                    seq: 11,
+                    matrix: Matrix {
+                        rows: vec![sample_row(1)],
+                    },
                 },
-            }),
+                PreparedClaim {
+                    view: 2,
+                    seq: 12,
+                    matrix: Matrix { rows: vec![] },
+                },
+            ],
             sig: [1; 64],
         };
         roundtrip(PrimeMsg::ViewState(state.clone()));
         roundtrip(PrimeMsg::ViewState(ViewStateMsg {
-            prepared: None,
+            prepared: vec![],
             ..state.clone()
         }));
         roundtrip(PrimeMsg::NewView {
@@ -1309,6 +1444,59 @@ mod tests {
             result: Bytes::from_static(b"ok"),
             sig: [3; 64],
         });
+        roundtrip(PrimeMsg::PoAckMulti {
+            replica: ReplicaId(2),
+            entries: vec![
+                (ReplicaId(0), 7, [1; 32]),
+                (ReplicaId(3), 9, [2; 32]),
+                (ReplicaId(1), 1, [3; 32]),
+            ],
+            sig: [6; 64],
+        });
+        roundtrip(PrimeMsg::CommitMulti {
+            replica: ReplicaId(4),
+            view: 2,
+            entries: vec![(11, [4; 32]), (12, [5; 32]), (13, [6; 32])],
+            sig: [7; 64],
+        });
+    }
+
+    #[test]
+    fn multi_frame_roundtrip_is_zero_copy() {
+        let a = PrimeMsg::Ping {
+            replica: ReplicaId(0),
+            nonce: 1,
+        }
+        .encode();
+        let b = PrimeMsg::PoAck {
+            replica: ReplicaId(1),
+            origin: ReplicaId(0),
+            po_seq: 3,
+            digest: [8; 32],
+            sig: [9; 64],
+        }
+        .encode();
+        let container = encode_multi(&[a.clone(), b.clone()]);
+        assert_eq!(container.first(), Some(&MULTI_FRAME_TAG));
+        let frames = decode_multi(&container).expect("decode").expect("multi");
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0], a);
+        assert_eq!(frames[1], b);
+        // Zero-copy: sub-frames alias the container's buffer.
+        let base = container.as_ptr() as usize;
+        let end = base + container.len();
+        for f in &frames {
+            let p = f.as_ptr() as usize;
+            assert!(p >= base && p + f.len() <= end);
+        }
+        // Non-containers pass through untouched.
+        assert!(decode_multi(&a).expect("decode").is_none());
+        // A sealed container authenticates all sub-frames with one MAC.
+        let key = [5u8; 32];
+        let sealed = seal_frame(ReplicaId(0), &key, &container);
+        let parsed = decode_sealed(&sealed).expect("parse").expect("sealed");
+        assert!(parsed.verify(&key));
+        assert_eq!(parsed.inner, &container[..]);
     }
 
     #[test]

@@ -67,13 +67,10 @@ pub const TIMER_BATCH: u64 = 8;
 /// path digests).
 const BATCH_CAP: usize = 64;
 
-/// How far ahead of the committed prefix the leader may propose.
-const PROPOSAL_WINDOW: u64 = 8;
-
 /// Every metric name a replica emits. Keys are prefixed with the instance
 /// label once, at construction, because several fire per message delivery —
 /// a `format!` there dominated the metrics path.
-const METRIC_NAMES: [&str; 42] = [
+const METRIC_NAMES: [&str; 47] = [
     "bad_client_sig",
     "bad_po_sig",
     "bad_op_in_batch",
@@ -116,6 +113,11 @@ const METRIC_NAMES: [&str; 42] = [
     "mac_ops",
     "mac_auth_hits",
     "mac_fail",
+    "link_batches",
+    "link_batched_frames",
+    "eager_proposals",
+    "multi_acks",
+    "multi_commits",
 ];
 
 /// Label-prefixed metric keys, computed once per replica.
@@ -233,6 +235,9 @@ enum Retain {
         po_seq: u64,
         digest: Digest,
     },
+    /// Our own cumulative PO-Ack: the one frame is certificate material
+    /// under every covered `(origin, po_seq)`.
+    AckMulti(Vec<(ReplicaId, u64, Digest)>),
     /// Our own PO-Request: the stored content bytes under
     /// `(me, po_seq)` are replaced with the attested frame.
     Request { po_seq: u64, digest: Digest },
@@ -331,6 +336,15 @@ pub struct Replica {
     /// (checkpoint_seq, snapshot digest).
     state_shares: BTreeMap<(u64, Digest), StateShares>,
 
+    /// Verified pre-prepares for the current/future view that arrived while
+    /// a view change was still in progress. A fresh leader broadcasts its
+    /// NewView and first pre-prepares back to back, and flood paths plus
+    /// link batching give no cross-message FIFO, so the first pre-prepare of
+    /// a view can overtake the NewView that installs it. Dropping it would
+    /// leave a permanent hole in the sequence space (pre-prepares are never
+    /// retransmitted); instead it is stashed here and replayed on install.
+    stashed_pps: BTreeMap<(u64, u64), Matrix>,
+
     // ---- reconciliation ----
     missing: BTreeSet<(u32, u64)>,
     recon_rotor: u32,
@@ -352,6 +366,23 @@ pub struct Replica {
     row_cache: DigestCache,
     /// Reusable encoding buffer for sign/verify signing bytes.
     scratch: WireWriter,
+
+    // ---- link batching / vote coalescing ----
+    /// Frames staged per peer (index = replica id) during the current
+    /// activation; flushed as one (sealed) multi-frame container per peer
+    /// at the activation boundary when `cfg.link_batch` is on.
+    link_stage: Vec<Vec<Bytes>>,
+    /// Peers with staged frames, in first-touch order (deterministic).
+    link_stage_order: Vec<u32>,
+    /// PO-Acks produced during the current activation; one arrival can
+    /// carry many PO-Requests (a coalesced container), and flushing them
+    /// as a single cumulative vote amortizes the signature, the frame
+    /// and the receiver-side verification.
+    pending_acks: Vec<(ReplicaId, u64, Digest)>,
+    /// Commit votes `(view, seq, digest)` produced during the current
+    /// activation; a wide proposal window prepares several sequences per
+    /// arrival, flushed as one cumulative commit per view.
+    pending_commits: Vec<(u64, u64, Digest)>,
 
     // ---- attack modelling ----
     delayed_proposals: Vec<(Time, Bytes)>,
@@ -432,6 +463,7 @@ impl Replica {
             recovering,
             suffix_votes: BTreeMap::new(),
             state_shares: BTreeMap::new(),
+            stashed_pps: BTreeMap::new(),
             missing: BTreeSet::new(),
             recon_rotor: 0,
             max_seen_commit: 0,
@@ -442,6 +474,10 @@ impl Replica {
             op_cache: DigestCache::new(cache),
             row_cache: DigestCache::new(cache),
             scratch: WireWriter::with_capacity(256),
+            link_stage: (0..n).map(|_| Vec::new()).collect(),
+            link_stage_order: Vec::new(),
+            pending_acks: Vec::new(),
+            pending_commits: Vec::new(),
             delayed_proposals: Vec::new(),
             pending_snapshots: BTreeMap::new(),
             inspection: None,
@@ -497,19 +533,59 @@ impl Replica {
     /// when session MACs are on. Retained certificate material must stay
     /// unsealed (a seal is per-recipient), so sealing happens here — at the
     /// last moment before the transport — and nowhere else.
+    ///
+    /// With `cfg.link_batch` on, the frame is *staged* instead: every
+    /// frame bound for the same peer within one activation travels in one
+    /// multi-frame container, sealed once and pushed through the overlay
+    /// once (see [`Replica::flush_links`]). Dissemination order per peer
+    /// is preserved.
     fn net_send(&mut self, ctx: &mut Context<'_>, to: ReplicaId, bytes: Bytes) {
-        let sealed = match self
+        if self.cfg.link_batch && (to.0 as usize) < self.link_stage.len() {
+            let stage = &mut self.link_stage[to.0 as usize];
+            if stage.is_empty() {
+                self.link_stage_order.push(to.0);
+            }
+            stage.push(bytes);
+            return;
+        }
+        let sealed = self.seal_for(ctx, to, &bytes).unwrap_or(bytes);
+        self.net.send_replica(ctx, to, sealed);
+    }
+
+    /// Seals `inner` for `to` when session MACs are on; `None` = unsealed.
+    fn seal_for(&mut self, ctx: &mut Context<'_>, to: ReplicaId, inner: &[u8]) -> Option<Bytes> {
+        let key = self
             .session_keys
             .as_ref()
-            .and_then(|k| k.get(to.0 as usize))
-        {
-            Some(key) => {
-                ctx.count(self.metric("mac_ops"), 1);
-                msg::seal_frame(self.me, key, &bytes)
-            }
-            None => bytes,
-        };
-        self.net.send_replica(ctx, to, sealed);
+            .and_then(|k| k.get(to.0 as usize))?;
+        ctx.count(self.metric("mac_ops"), 1);
+        Some(msg::seal_frame(self.me, key, inner))
+    }
+
+    /// Ships every staged frame: per peer, a lone frame goes out as-is
+    /// and several coalesce into one multi-frame container — one seal,
+    /// one overlay dissemination, one hop-acknowledgement chain for the
+    /// lot. Runs at each activation boundary, so batching adds zero
+    /// latency; it only removes per-frame overhead.
+    fn flush_links(&mut self, ctx: &mut Context<'_>) {
+        if self.link_stage_order.is_empty() {
+            return;
+        }
+        let order = std::mem::take(&mut self.link_stage_order);
+        for &peer in &order {
+            let frames = std::mem::take(&mut self.link_stage[peer as usize]);
+            debug_assert!(!frames.is_empty());
+            let wire = if frames.len() == 1 {
+                frames.into_iter().next().expect("one frame")
+            } else {
+                ctx.count(self.metric("link_batches"), 1);
+                ctx.count(self.metric("link_batched_frames"), frames.len() as u64);
+                msg::encode_multi(&frames)
+            };
+            let to = ReplicaId(peer);
+            let sealed = self.seal_for(ctx, to, &wire).unwrap_or(wire);
+            self.net.send_replica(ctx, to, sealed);
+        }
     }
 
     /// Strips and checks a link-MAC envelope. Returns the inner frame
@@ -545,9 +621,12 @@ impl Replica {
             return None;
         }
         ctx.count(self.metric("mac_auth_hits"), 1);
-        let inner = Bytes::copy_from_slice(sealed.inner);
+        // Zero-copy: the inner frame is a subslice of the sealed buffer,
+        // so reslicing the shared `Bytes` is a refcount bump, not a copy.
+        let start = sealed.inner.as_ptr() as usize - payload.as_ptr() as usize;
+        let len = sealed.inner.len();
         let sender = sealed.sender;
-        Some((inner, Some(sender)))
+        Some((payload.slice(start..start + len), Some(sender)))
     }
 
     fn broadcast(&mut self, ctx: &mut Context<'_>, msg: &PrimeMsg) {
@@ -712,23 +791,111 @@ impl Replica {
         }
         self.sign_msg(ctx, &mut msg);
         let bytes = msg.encode();
-        if let Retain::Ack {
-            origin,
-            po_seq,
-            digest,
-        } = retain
-        {
-            if let Some(entry) = self.po.get_mut(&(origin, po_seq)) {
-                entry
-                    .acks
-                    .entry(digest)
-                    .or_default()
-                    .insert(self.me.0, bytes.clone());
-            }
-        }
+        self.retain_vote(ctx, retain, &bytes);
         for r in 0..self.cfg.n {
             if r != self.me.0 {
                 self.net_send(ctx, ReplicaId(r), bytes.clone());
+            }
+        }
+    }
+
+    /// Stores our own vote frame as certificate material and re-checks the
+    /// pre-order quorums it may have completed.
+    fn retain_vote(&mut self, ctx: &mut Context<'_>, retain: Retain, frame: &Bytes) {
+        match retain {
+            Retain::None | Retain::Request { .. } => {}
+            Retain::Ack {
+                origin,
+                po_seq,
+                digest,
+            } => {
+                if let Some(entry) = self.po.get_mut(&(origin, po_seq)) {
+                    entry
+                        .acks
+                        .entry(digest)
+                        .or_default()
+                        .insert(self.me.0, frame.clone());
+                }
+                self.check_certified(ctx, origin, po_seq);
+            }
+            Retain::AckMulti(entries) => {
+                for (origin, po_seq, digest) in entries {
+                    if let Some(entry) = self.po.get_mut(&(origin.0, po_seq)) {
+                        entry
+                            .acks
+                            .entry(digest)
+                            .or_default()
+                            .insert(self.me.0, frame.clone());
+                    }
+                    self.check_certified(ctx, origin.0, po_seq);
+                }
+            }
+        }
+    }
+
+    /// Converts the activation's staged votes into wire messages: a lone
+    /// PO-Ack or commit goes out in its classic form, while several
+    /// coalesce into one cumulative multi-vote — one signature (or Merkle
+    /// leaf), one frame, one receiver-side verification for the lot.
+    fn flush_pending_votes(&mut self, ctx: &mut Context<'_>) {
+        if !self.pending_acks.is_empty() {
+            let acks = std::mem::take(&mut self.pending_acks);
+            if acks.len() == 1 {
+                let (origin, po_seq, digest) = acks[0];
+                let ack = PrimeMsg::PoAck {
+                    replica: self.me,
+                    origin,
+                    po_seq,
+                    digest,
+                    sig: [0; 64],
+                };
+                self.send_vote(
+                    ctx,
+                    ack,
+                    Retain::Ack {
+                        origin: origin.0,
+                        po_seq,
+                        digest,
+                    },
+                );
+            } else {
+                ctx.count(self.metric("multi_acks"), 1);
+                let msg = PrimeMsg::PoAckMulti {
+                    replica: self.me,
+                    entries: acks.clone(),
+                    sig: [0; 64],
+                };
+                self.send_vote(ctx, msg, Retain::AckMulti(acks));
+            }
+        }
+        if !self.pending_commits.is_empty() {
+            let commits = std::mem::take(&mut self.pending_commits);
+            // Group by view: a view change mid-activation can split them.
+            let mut by_view: BTreeMap<u64, Vec<(u64, Digest)>> = BTreeMap::new();
+            for (view, seq, digest) in commits {
+                by_view.entry(view).or_default().push((seq, digest));
+            }
+            for (view, entries) in by_view {
+                if entries.len() == 1 {
+                    let (seq, digest) = entries[0];
+                    let commit = PrimeMsg::Commit {
+                        replica: self.me,
+                        view,
+                        seq,
+                        digest,
+                        sig: [0; 64],
+                    };
+                    self.send_vote(ctx, commit, Retain::None);
+                } else {
+                    ctx.count(self.metric("multi_commits"), 1);
+                    let msg = PrimeMsg::CommitMulti {
+                        replica: self.me,
+                        view,
+                        entries,
+                        sig: [0; 64],
+                    };
+                    self.send_vote(ctx, msg, Retain::None);
+                }
             }
         }
     }
@@ -781,22 +948,6 @@ impl Replica {
                 }
             }
             match item.retain {
-                Retain::None => {}
-                Retain::Ack {
-                    origin,
-                    po_seq,
-                    digest,
-                } => {
-                    if let Some(entry) = self.po.get_mut(&(origin, po_seq)) {
-                        entry
-                            .acks
-                            .entry(digest)
-                            .or_default()
-                            .insert(self.me.0, frame);
-                    }
-                    // Our retained vote may complete the pre-order quorum.
-                    self.check_certified(ctx, origin, po_seq);
-                }
                 Retain::Request { po_seq, digest } => {
                     // Swap the zero-signature encoding stored at queue time
                     // for the attested frame reconciliation will forward.
@@ -808,6 +959,7 @@ impl Replica {
                         }
                     }
                 }
+                retain => self.retain_vote(ctx, retain, &frame),
             }
         }
     }
@@ -939,22 +1091,10 @@ impl Replica {
             entry.acked = Some(digest);
         }
         if ack_now && self.behavior != ByzBehavior::AckWithhold {
-            let ack = PrimeMsg::PoAck {
-                replica: self.me,
-                origin,
-                po_seq,
-                digest,
-                sig: [0; 64],
-            };
-            self.send_vote(
-                ctx,
-                ack,
-                Retain::Ack {
-                    origin: origin.0,
-                    po_seq,
-                    digest,
-                },
-            );
+            // Staged, not sent: every request acknowledged within this
+            // activation (a coalesced arrival can carry many) shares one
+            // cumulative vote at the activation boundary.
+            self.pending_acks.push((origin, po_seq, digest));
         }
         self.missing.remove(&(origin.0, po_seq));
         self.check_certified(ctx, origin.0, po_seq);
@@ -991,6 +1131,41 @@ impl Replica {
             .or_default()
             .insert(replica.0, frame.clone());
         self.check_certified(ctx, origin.0, po_seq);
+    }
+
+    /// A cumulative PO-Ack: one signature vouches for every `(origin,
+    /// po_seq, digest)` entry. The whole frame is stored per entry as
+    /// certificate material — forwarded verbatim during reconciliation it
+    /// re-verifies and re-derives each entry at the receiver, exactly like
+    /// a stored single ack.
+    fn on_po_ack_multi(
+        &mut self,
+        ctx: &mut Context<'_>,
+        msg: &PrimeMsg,
+        replica: ReplicaId,
+        entries: &[(ReplicaId, u64, Digest)],
+        env_auth: Option<ReplicaId>,
+        frame: &Bytes,
+    ) {
+        if replica.0 >= self.cfg.n || entries.iter().any(|(origin, _, _)| origin.0 >= self.cfg.n) {
+            return;
+        }
+        if !self.verify_replica_msg(ctx, msg, replica, env_auth) {
+            ctx.count(self.metric("bad_ack_sig"), 1);
+            return;
+        }
+        for (origin, po_seq, digest) in entries {
+            if replica == *origin {
+                continue; // the origin's vote is its signed request
+            }
+            let entry = self.po.entry((origin.0, *po_seq)).or_default();
+            entry
+                .acks
+                .entry(*digest)
+                .or_default()
+                .insert(replica.0, frame.clone());
+            self.check_certified(ctx, origin.0, *po_seq);
+        }
     }
 
     fn check_certified(&mut self, ctx: &mut Context<'_>, origin: u32, po_seq: u64) {
@@ -1062,6 +1237,7 @@ impl Replica {
         }
         let msg = PrimeMsg::PoSummary(row);
         self.broadcast(ctx, &msg);
+        self.maybe_eager_propose(ctx);
     }
 
     fn on_summary(&mut self, ctx: &mut Context<'_>, row: SummaryRow) {
@@ -1077,6 +1253,7 @@ impl Replica {
             .unwrap_or(0);
         if row.sseq > current {
             self.latest_rows.insert(row.replica.0, row);
+            self.maybe_eager_propose(ctx);
         }
     }
 
@@ -1095,6 +1272,27 @@ impl Replica {
 
     // ================= ordering =================
 
+    /// Event-driven proposing: fresh summary rows (or a reopened proposal
+    /// window) trigger a pre-prepare immediately instead of waiting for
+    /// the next `pre_prepare_interval` tick, so ordering latency tracks
+    /// message arrival rather than the timer quantum. Rate-limited by
+    /// `eager_propose_gap`; the periodic timer stays on as a backstop.
+    fn maybe_eager_propose(&mut self, ctx: &mut Context<'_>) {
+        if !self.cfg.eager_propose || !self.is_leader() || self.in_view_change || self.recovering {
+            return;
+        }
+        if let Some(prev) = self.last_preprepare_at {
+            if ctx.now().since(prev).0 < self.cfg.eager_propose_gap.0 {
+                return;
+            }
+        }
+        let before = self.last_proposed;
+        self.propose(ctx);
+        if self.last_proposed > before {
+            ctx.count(self.metric("eager_proposals"), 1);
+        }
+    }
+
     fn propose(&mut self, ctx: &mut Context<'_>) {
         if !self.is_leader() || self.in_view_change || self.recovering {
             return;
@@ -1102,7 +1300,7 @@ impl Replica {
         if self.behavior == ByzBehavior::Mute {
             return;
         }
-        if self.last_proposed >= self.commit_aru + PROPOSAL_WINDOW {
+        if self.last_proposed >= self.commit_aru + self.cfg.proposal_window {
             ctx.count(self.metric("propose_window_stall"), 1);
             return;
         }
@@ -1181,6 +1379,16 @@ impl Replica {
 
     fn accept_pre_prepare(&mut self, ctx: &mut Context<'_>, view: u64, seq: u64, matrix: Matrix) {
         if view != self.view || self.in_view_change || seq <= self.commit_aru {
+            // Not installable right now — but if it belongs to the view we
+            // are changing into (or a later one), keep it for replay; see
+            // `stashed_pps`. Stale ones (old view / already committed) drop.
+            let pending = view >= self.view
+                && seq > self.commit_aru
+                && (self.in_view_change || view > self.view);
+            if pending && self.stashed_pps.len() < 64 {
+                ctx.count(self.metric("preprepares_stashed"), 1);
+                self.stashed_pps.insert((view, seq), matrix);
+            }
             return;
         }
         // Validate every row signature so a lying leader cannot fabricate
@@ -1269,7 +1477,7 @@ impl Replica {
             ctx.count(self.metric("bad_prepare_sig"), 1);
             return;
         }
-        self.note_claimed_view(replica, view);
+        self.note_claimed_view(ctx, replica, view);
         if view != self.view {
             return;
         }
@@ -1296,7 +1504,7 @@ impl Replica {
             ctx.count(self.metric("bad_commit_sig"), 1);
             return;
         }
-        self.note_claimed_view(replica, view);
+        self.note_claimed_view(ctx, replica, view);
         self.max_seen_commit = self.max_seen_commit.max(seq);
         if view != self.view {
             return;
@@ -1304,6 +1512,36 @@ impl Replica {
         let slot = self.slots.entry(seq).or_default();
         slot.commits.insert(replica.0, digest);
         self.try_prepare_commit(ctx, seq);
+    }
+
+    /// A cumulative commit: one verification covers a replica's commit
+    /// votes for every pipelined sequence it prepared this activation.
+    fn on_commit_multi(
+        &mut self,
+        ctx: &mut Context<'_>,
+        msg: &PrimeMsg,
+        replica: ReplicaId,
+        view: u64,
+        entries: &[(u64, Digest)],
+        env_auth: Option<ReplicaId>,
+    ) {
+        if replica.0 >= self.cfg.n {
+            return;
+        }
+        if !self.verify_replica_msg(ctx, msg, replica, env_auth) {
+            ctx.count(self.metric("bad_commit_sig"), 1);
+            return;
+        }
+        self.note_claimed_view(ctx, replica, view);
+        for (seq, digest) in entries {
+            self.max_seen_commit = self.max_seen_commit.max(*seq);
+            if view != self.view || *seq <= self.commit_aru {
+                continue;
+            }
+            let slot = self.slots.entry(*seq).or_default();
+            slot.commits.insert(replica.0, *digest);
+            self.try_prepare_commit(ctx, *seq);
+        }
     }
 
     fn try_prepare_commit(&mut self, ctx: &mut Context<'_>, seq: u64) {
@@ -1332,14 +1570,9 @@ impl Replica {
                 slot.prepared = true;
                 if !withhold {
                     slot.commits.insert(me.0, digest);
-                    let commit = PrimeMsg::Commit {
-                        replica: me,
-                        view,
-                        seq,
-                        digest,
-                        sig: [0; 64],
-                    };
-                    self.send_vote(ctx, commit, Retain::None);
+                    // Staged: pipelined windows prepare several sequences
+                    // per activation, flushed as one cumulative commit.
+                    self.pending_commits.push((view, seq, digest));
                 }
             }
         }
@@ -1372,6 +1605,9 @@ impl Replica {
             }
         }
         self.try_execute(ctx);
+        // Commits reopen the proposal window; a leader stalled on it can
+        // resume pipelining right away.
+        self.maybe_eager_propose(ctx);
     }
 
     /// Mirrors the current view into the inspection record so the online
@@ -2010,19 +2246,22 @@ impl Replica {
             replica: self.me.0,
             view: new_view,
         });
-        // Report state for the new view.
-        let prepared = self
+        // Report state for the new view: every prepared sequence above the
+        // committed prefix (bounded by the proposal window), lowest first.
+        // Any one of them may have gathered a commit quorum at a replica
+        // outside the eventual state quorum, so none can be omitted.
+        let prepared: Vec<PreparedClaim> = self
             .slots
             .iter()
             .filter(|(s, slot)| **s > self.commit_aru && slot.prepared)
-            .max_by_key(|(s, _)| **s)
-            .and_then(|(s, slot)| {
+            .filter_map(|(s, slot)| {
                 slot.pre_prepare.as_ref().map(|(v, m, _)| PreparedClaim {
                     view: *v,
                     seq: *s,
                     matrix: m.clone(),
                 })
-            });
+            })
+            .collect();
         let mut state = ViewStateMsg {
             replica: self.me,
             view: new_view,
@@ -2144,12 +2383,33 @@ impl Replica {
             self.accept_pre_prepare(ctx, view, seq, matrix);
         }
         ctx.count(self.metric("views_installed"), 1);
+        self.replay_stashed_pps(ctx);
+    }
+
+    /// Replays pre-prepares that overtook the view installation (see
+    /// `stashed_pps`), and prunes entries the installed view obsoleted.
+    fn replay_stashed_pps(&mut self, ctx: &mut Context<'_>) {
+        if self.stashed_pps.is_empty() || self.in_view_change {
+            return;
+        }
+        let view = self.view;
+        self.stashed_pps.retain(|(v, _), _| *v >= view);
+        let ready: Vec<(u64, u64)> = self
+            .stashed_pps
+            .range((view, 0)..=(view, u64::MAX))
+            .map(|(k, _)| *k)
+            .collect();
+        for key in ready {
+            if let Some(matrix) = self.stashed_pps.remove(&key) {
+                self.accept_pre_prepare(ctx, key.0, key.1, matrix);
+            }
+        }
     }
 
     /// Records that `replica` operates in `view`; if a quorum of f+k+1
     /// replicas claim a higher view than ours, adopt it (we were left
     /// behind by a view change we missed, e.g. during recovery).
-    fn note_claimed_view(&mut self, replica: ReplicaId, view: u64) {
+    fn note_claimed_view(&mut self, ctx: &mut Context<'_>, replica: ReplicaId, view: u64) {
         let entry = self.claimed_views.entry(replica.0).or_insert(0);
         *entry = (*entry).max(view);
         let mut views: Vec<u64> = self.claimed_views.values().copied().collect();
@@ -2164,6 +2424,7 @@ impl Replica {
                 self.publish_view();
                 self.in_view_change = false;
                 self.outstanding_summary = None;
+                self.replay_stashed_pps(ctx);
             }
         }
     }
@@ -2394,20 +2655,55 @@ impl Process for Replica {
             ctx.trace(TraceKind::RecoveryStart { replica: self.me.0 });
             ctx.set_timer(Span::millis(10), TIMER_STATE_REQ);
         }
+        self.flush_pending_votes(ctx);
+        self.flush_links(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, bytes: &Bytes) {
         if self.behavior == ByzBehavior::Mute {
             return;
         }
-        let Some(payload) = self.net.unwrap(from, bytes) else {
+        if let Some(payload) = self.net.unwrap(from, bytes) {
+            // Per-link session authentication: a MAC-sealed frame proves
+            // which peer sent it before any signature inside is decoded.
+            if let Some((payload, link_auth)) = self.unseal(ctx, payload) {
+                // A multi-frame container carries everything one peer
+                // staged for us during a single activation, sealed once;
+                // each subframe inherits the container's link auth.
+                match msg::decode_multi(&payload) {
+                    Ok(Some(frames)) => {
+                        for frame in frames {
+                            self.handle_frame(ctx, frame, link_auth);
+                        }
+                    }
+                    Ok(None) => self.handle_frame(ctx, payload, link_auth),
+                    Err(_) => ctx.count(self.metric("decode_fail"), 1),
+                }
+            }
+        }
+        self.flush_pending_votes(ctx);
+        self.flush_links(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        if self.behavior == ByzBehavior::Mute {
             return;
-        };
-        // Per-link session authentication: a MAC-sealed frame proves which
-        // peer sent it before any signature inside is even decoded.
-        let Some((payload, link_auth)) = self.unseal(ctx, payload) else {
-            return;
-        };
+        }
+        self.handle_timer(ctx, tag);
+        self.flush_pending_votes(ctx);
+        self.flush_links(ctx);
+    }
+}
+
+impl Replica {
+    /// Decodes and dispatches one wire frame (already unsealed, possibly
+    /// extracted from a multi-frame container).
+    fn handle_frame(
+        &mut self,
+        ctx: &mut Context<'_>,
+        payload: Bytes,
+        link_auth: Option<ReplicaId>,
+    ) {
         let Ok(frame) = msg::decode_frame(&payload) else {
             ctx.count(self.metric("decode_fail"), 1);
             return;
@@ -2484,6 +2780,15 @@ impl Process for Replica {
             } => self.on_po_ack(
                 ctx, &msg, *replica, *origin, *po_seq, *digest, env_auth, &payload,
             ),
+            PrimeMsg::PoAckMulti {
+                replica, entries, ..
+            } => self.on_po_ack_multi(ctx, &msg, *replica, entries, env_auth, &payload),
+            PrimeMsg::CommitMulti {
+                replica,
+                view,
+                entries,
+                ..
+            } => self.on_commit_multi(ctx, &msg, *replica, *view, entries, env_auth),
             PrimeMsg::PoSummary(row) => self.on_summary(ctx, row.clone()),
             PrimeMsg::PrePrepare {
                 view, seq, matrix, ..
@@ -2553,10 +2858,9 @@ impl Process for Replica {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
-        if self.behavior == ByzBehavior::Mute {
-            return;
-        }
+    /// The periodic-timer body, wrapped by `on_timer` so staged votes and
+    /// link batches flush once per activation.
+    fn handle_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
         match tag {
             TIMER_PO_FLUSH => {
                 self.flush_po_batch(ctx);
@@ -2726,7 +3030,7 @@ pub fn plan_new_view(states: &[ViewStateMsg]) -> (u64, Vec<(u64, Matrix)>) {
     let base = states.iter().map(|s| s.last_committed).max().unwrap_or(0);
     let mut claims: BTreeMap<u64, &PreparedClaim> = BTreeMap::new();
     for state in states {
-        if let Some(claim) = &state.prepared {
+        for claim in &state.prepared {
             if claim.seq > base {
                 let better = claims
                     .get(&claim.seq)

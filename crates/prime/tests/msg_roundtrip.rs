@@ -13,14 +13,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spire_crypto::BatchAttestation;
 use spire_prime::msg::{
-    decode_frame, decode_sealed, encode_batched, seal_frame, AruVector, CheckpointMsg, ClientOp,
-    Frame, Matrix, PreparedClaim, PrimeMsg, SummaryRow, ViewStateMsg,
+    decode_frame, decode_multi, decode_sealed, encode_batched, encode_multi, seal_frame, AruVector,
+    CheckpointMsg, ClientOp, Frame, Matrix, PreparedClaim, PrimeMsg, SummaryRow, ViewStateMsg,
 };
 use spire_prime::{ClientId, ReplicaId};
 
 const MASTER_SEED: u64 = 0x0005_EED0_FA11;
 const SAMPLES_PER_VARIANT: u64 = 40;
-const VARIANTS: u64 = 19;
+const VARIANTS: u64 = 21;
 
 fn sig64(rng: &mut StdRng) -> [u8; 64] {
     let mut sig = [0u8; 64];
@@ -81,15 +81,14 @@ fn checkpoint(rng: &mut StdRng) -> CheckpointMsg {
 }
 
 fn view_state(rng: &mut StdRng) -> ViewStateMsg {
-    let prepared = if rng.gen_bool(0.5) {
-        Some(PreparedClaim {
+    let claims = rng.gen_range(0..4);
+    let prepared = (0..claims)
+        .map(|_| PreparedClaim {
             view: rng.gen(),
             seq: rng.gen(),
             matrix: matrix(rng),
         })
-    } else {
-        None
-    };
+        .collect();
     ViewStateMsg {
         replica: ReplicaId(rng.gen_range(0..32)),
         view: rng.gen(),
@@ -206,6 +205,25 @@ fn gen_msg(rng: &mut StdRng, variant: u64) -> PrimeMsg {
             result: payload(rng, 64),
             sig: sig64(rng),
         },
+        19 => PrimeMsg::PoAckMulti {
+            replica: ReplicaId(rng.gen_range(0..32)),
+            entries: {
+                let n = rng.gen_range(0..6);
+                (0..n)
+                    .map(|_| (ReplicaId(rng.gen_range(0..32)), rng.gen(), digest32(rng)))
+                    .collect()
+            },
+            sig: sig64(rng),
+        },
+        20 => PrimeMsg::CommitMulti {
+            replica: ReplicaId(rng.gen_range(0..32)),
+            view: rng.gen(),
+            entries: {
+                let n = rng.gen_range(0..6);
+                (0..n).map(|_| (rng.gen(), digest32(rng))).collect()
+            },
+            sig: sig64(rng),
+        },
         _ => unreachable!("variant index out of range"),
     }
 }
@@ -287,5 +305,44 @@ fn sealed_frames_roundtrip() {
         }
         // A plain frame is never mistaken for a sealed envelope.
         assert!(decode_sealed(&inner).expect("parses").is_none() || inner[0] == 254);
+    }
+}
+
+#[test]
+fn multi_frame_containers_roundtrip() {
+    // Random mixes of variants packed into one container (then sealed,
+    // like the replica's link-batched flush) must split back into the
+    // identical frames.
+    for round in 0..VARIANTS {
+        let mut rng = StdRng::seed_from_u64(MASTER_SEED ^ 0x00F1_EE75 ^ round);
+        let count = rng.gen_range(1..6);
+        let msgs: Vec<PrimeMsg> = (0..count)
+            .map(|_| {
+                let variant = rng.gen_range(0..VARIANTS);
+                gen_msg(&mut rng, variant)
+            })
+            .collect();
+        let encoded: Vec<Bytes> = msgs.iter().map(|m| m.encode()).collect();
+        let container = encode_multi(&encoded);
+        let sender = ReplicaId(rng.gen_range(0..32));
+        let key: [u8; 32] = digest32(&mut rng);
+        let sealed = seal_frame(sender, &key, &container);
+        let parsed = decode_sealed(&sealed)
+            .expect("sealed container parses")
+            .expect("tagged as sealed");
+        assert!(parsed.verify(&key), "round {round}: MAC must verify");
+        let inner = Bytes::copy_from_slice(parsed.inner);
+        let frames = decode_multi(&inner)
+            .expect("container parses")
+            .expect("tagged as multi");
+        assert_eq!(frames.len(), msgs.len());
+        for (frame, msg) in frames.iter().zip(&msgs) {
+            match decode_frame(frame).expect("sub-frame decodes") {
+                Frame::Plain(got) => assert_eq!(&got, msg, "round {round}"),
+                Frame::Batched { .. } => panic!("round {round}: sub-frame parsed as batched"),
+            }
+        }
+        // Single plain frames are never mistaken for containers.
+        assert!(decode_multi(&encoded[0]).expect("parses").is_none());
     }
 }

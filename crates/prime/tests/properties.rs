@@ -195,18 +195,21 @@ mod view_change_plan {
             replica: ReplicaId(replica),
             view: 5,
             last_committed,
-            prepared: prepared.map(|(view, seq)| PreparedClaim {
-                view,
-                seq,
-                matrix: Matrix {
-                    rows: vec![SummaryRow {
-                        replica: ReplicaId(replica),
-                        sseq: view, // marker to identify which claim won
-                        vector: AruVector(vec![seq]),
-                        sig: [0; 64],
-                    }],
-                },
-            }),
+            prepared: prepared
+                .into_iter()
+                .map(|(view, seq)| PreparedClaim {
+                    view,
+                    seq,
+                    matrix: Matrix {
+                        rows: vec![SummaryRow {
+                            replica: ReplicaId(replica),
+                            sseq: view, // marker to identify which claim won
+                            vector: AruVector(vec![seq]),
+                            sig: [0; 64],
+                        }],
+                    },
+                })
+                .collect(),
             sig: [0; 64],
         }
     }
@@ -256,6 +259,25 @@ mod view_change_plan {
         ]);
         assert_eq!(base, 12);
         assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn every_reported_claim_is_reproposed_not_just_the_highest() {
+        // Pipelined ordering leaves several prepared sequences in flight at
+        // once. A lower one may already have committed at a replica outside
+        // the state quorum, so the plan must carry every reported claim —
+        // reporting/planning only the top one is how the explorer's
+        // conflicting-commit artifact broke an earlier revision.
+        let mut s = state(0, 10, Some((3, 13)));
+        let low = state(0, 10, Some((3, 11)));
+        s.prepared.extend(low.prepared.clone());
+        let (base, plan) = plan_new_view(&[s, state(1, 10, None), state(2, 10, None)]);
+        assert_eq!(base, 10);
+        assert_eq!(plan.len(), 3);
+        assert_eq!((plan[0].0, plan[1].0, plan[2].0), (11, 12, 13));
+        assert_eq!(plan[0].1.rows.len(), 1, "low claim carried");
+        assert!(plan[1].1.rows.is_empty(), "hole filled with a no-op");
+        assert_eq!(plan[2].1.rows.len(), 1, "high claim carried");
     }
 
     #[test]

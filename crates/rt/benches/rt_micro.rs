@@ -1,10 +1,13 @@
-//! Criterion micro-benchmarks of the runtime hot paths: bounded mailbox
-//! send/recv and hashed timer-wheel insert/fire.
+//! Criterion micro-benchmarks of the runtime hot paths: run-queue
+//! push/pop, frame-batch container seal/unseal, buffer-pool
+//! acquire/release, hashed timer-wheel insert/fire, and the legacy
+//! sync-channel mailbox for comparison.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use spire_rt::TimerWheel;
+use spire_rt::{BufferPool, Pool, RunQueue, TimerWheel};
 use spire_sim::Time;
 use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
 
 fn bench_mailbox(c: &mut Criterion) {
     let mut group = c.benchmark_group("rt_mailbox");
@@ -72,5 +75,134 @@ fn bench_wheel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mailbox, bench_wheel);
+fn bench_run_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rt_run_queue");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("push_pop_same_thread", |b| {
+        let q: RunQueue<u64> = RunQueue::bounded(65_536);
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            q.push(std::hint::black_box(i)).unwrap();
+            q.pop_all(&mut out);
+            std::hint::black_box(out.drain(..).count())
+        });
+    });
+    group.bench_function("push_pop_batch_64", |b| {
+        // One wakeup drains a whole burst: the batched-handoff shape.
+        let q: RunQueue<u64> = RunQueue::bounded(65_536);
+        let mut out = Vec::new();
+        b.iter(|| {
+            for k in 0..64u64 {
+                q.push(k).unwrap();
+            }
+            q.pop_all(&mut out);
+            std::hint::black_box(out.drain(..).count())
+        });
+    });
+    group.bench_function("push_pop_cross_thread", |b| {
+        let q: Arc<RunQueue<u64>> = Arc::new(RunQueue::bounded(65_536));
+        let back: Arc<RunQueue<u64>> = Arc::new(RunQueue::bounded(65_536));
+        let (qe, be) = (Arc::clone(&q), Arc::clone(&back));
+        let echo = std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            loop {
+                qe.pop_wait(&mut buf, None);
+                for v in buf.drain(..) {
+                    if v == u64::MAX {
+                        return;
+                    }
+                    be.push(v).unwrap();
+                }
+            }
+        });
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            q.push(std::hint::black_box(i)).unwrap();
+            while out.is_empty() {
+                back.pop_wait(&mut out, None);
+            }
+            std::hint::black_box(out.drain(..).count())
+        });
+        q.push(u64::MAX).unwrap();
+        echo.join().unwrap();
+    });
+    group.finish();
+}
+
+fn bench_buffer_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rt_buffer_pool");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("acquire_release_warm", |b| {
+        let mut pool: BufferPool = Pool::new(256, 64 * 1024);
+        // Warm: the steady-state path never touches the allocator.
+        pool.release(Vec::with_capacity(1500));
+        b.iter(|| {
+            let mut buf = pool.acquire();
+            buf.extend_from_slice(std::hint::black_box(&[7u8; 1500]));
+            pool.release(buf);
+        });
+    });
+    group.bench_function("alloc_per_frame_baseline", |b| {
+        // What the old wire path paid: a fresh Vec per frame.
+        b.iter(|| {
+            let mut buf: Vec<u8> = Vec::new();
+            buf.extend_from_slice(std::hint::black_box(&[7u8; 1500]));
+            std::hint::black_box(buf)
+        });
+    });
+    group.finish();
+}
+
+fn bench_frame_batch(c: &mut Criterion) {
+    use bytes::Bytes;
+    use spire_crypto::KeyMaterial;
+    use spire_prime::msg::{self, decode_sealed, seal_frame};
+    use spire_prime::ReplicaId;
+
+    let material = KeyMaterial::new([9u8; 32]);
+    let key = material.link_key(spire_crypto::NodeId(1000), spire_crypto::NodeId(1001));
+    let frame = Bytes::from(vec![3u8; 200]);
+
+    let mut group = c.benchmark_group("rt_frame_batch");
+    group.bench_function("seal_unseal_16_singles", |b| {
+        // The unbatched wire path: one HMAC seal + verify per frame.
+        b.iter(|| {
+            let mut total = 0usize;
+            for _ in 0..16 {
+                let sealed = seal_frame(ReplicaId(0), &key, &frame);
+                let parsed = decode_sealed(&sealed).unwrap().unwrap();
+                assert!(parsed.verify(&key));
+                total += parsed.inner.len();
+            }
+            std::hint::black_box(total)
+        });
+    });
+    group.bench_function("seal_unseal_batch_16", |b| {
+        // The batched path: one container, one seal, one verify.
+        let frames: Vec<Bytes> = (0..16).map(|_| frame.clone()).collect();
+        b.iter(|| {
+            let container = msg::encode_multi(std::hint::black_box(&frames));
+            let sealed = seal_frame(ReplicaId(0), &key, &container);
+            let parsed = decode_sealed(&sealed).unwrap().unwrap();
+            assert!(parsed.verify(&key));
+            let inner = Bytes::copy_from_slice(parsed.inner);
+            let subs = msg::decode_multi(&inner).unwrap().unwrap();
+            std::hint::black_box(subs.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mailbox,
+    bench_wheel,
+    bench_run_queue,
+    bench_buffer_pool,
+    bench_frame_batch
+);
 criterion_main!(benches);

@@ -2,25 +2,41 @@
 //!
 //! A [`Runtime`] takes the actors and link model of an assembled
 //! [`Fabric`] (built exactly as for the simulator) and runs them on OS
-//! threads under monotonic wall-clock time. Actors are partitioned
-//! round-robin across workers; each worker owns a bounded mailbox for
-//! frames from other workers and a hashed [`TimerWheel`] that serves both
-//! as its actors' timer service and as the link delay line, applying the
-//! same per-link latency/jitter/loss/corruption/duplication model the
-//! simulator uses.
+//! threads under monotonic wall-clock time. The runtime is event-driven:
+//! actors are run-queue entries, not threads.
+//!
+//! - **Sharded run queues.** Actors are partitioned round-robin across
+//!   workers; each worker owns one [`RunQueue`] for work from other
+//!   workers and a hashed [`TimerWheel`] that serves both as its actors'
+//!   timer service and as the link delay line (the same per-link
+//!   latency/jitter/loss/corruption/duplication model the simulator
+//!   uses). Due work is routed to per-actor pending queues and a ready
+//!   ring; a scheduled actor drains a bounded burst
+//!   ([`RtConfig::burst`]) of frames and timers before yielding, so the
+//!   hot actor's state stays cache-warm without starving its shard.
+//! - **Frame batching.** Cross-worker sends coalesce: frames staged for
+//!   the same destination worker during one scheduling pass travel as a
+//!   single batch envelope — one queue push, at most one wakeup, for the
+//!   whole batch. Batch containers are drawn from a per-worker
+//!   [`Pool`] and released into the destination's pool, so the steady
+//!   state recycles buffers instead of allocating per frame.
+//! - **Wakeup discipline.** An idle worker parks on its run queue's
+//!   condvar until exactly the wheel's next deadline (or the next
+//!   incoming batch, whichever is first); nothing polls. Senders notify
+//!   only a parked worker, so steady-state handoff is syscall-free.
 //!
 //! The control plane runs here too: [`Runtime::run_with`] takes a plan of
 //! timestamped [`ControlOp`]s — the same vocabulary `World::apply_control`
 //! executes under virtual time — and applies each at its wall-clock
 //! offset. Crash/restart ops are shipped to the owning worker over its
-//! mailbox (generation counters invalidate the dead incarnation's
+//! run queue (generation counters invalidate the dead incarnation's
 //! timers); link up/down and reconfiguration mutate the shared link
 //! table, visible to every worker's next send.
 //!
 //! Differences from the simulator, by design:
 //! - No bandwidth queueing on links (latency, jitter, loss, corruption
 //!   and duplication only).
-//! - Cross-worker mailboxes are bounded; a full mailbox triggers bounded
+//! - Cross-worker run queues are bounded; a full queue triggers bounded
 //!   retry with exponential backoff through the sender's timer wheel
 //!   (`rt.mailbox_retry`), and only after the retry budget is exhausted
 //!   is the frame dropped — counted both globally
@@ -30,6 +46,8 @@
 //!   real. Per-worker RNGs are still seeded from the fabric seed so loss
 //!   and jitter draws do not depend on a global entropy source.
 
+use crate::pool::Pool;
+use crate::queue::RunQueue;
 use crate::wheel::TimerWheel;
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -39,9 +57,8 @@ use spire_sim::world::{
     Backend, Context, ControlOp, Fabric, LinkConfig, Process, ProcessId, SpawnFn, TimerId,
 };
 use spire_sim::{Metrics, Span, SpanPhase, Time, TraceKind};
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError, TrySendError};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -50,12 +67,16 @@ use std::time::{Duration, Instant};
 pub struct RtConfig {
     /// Worker threads to spawn (capped at the actor count).
     pub threads: usize,
-    /// Bounded capacity of each worker's cross-worker mailbox.
+    /// Bounded capacity of each worker's cross-worker run queue, in
+    /// frames (batch envelopes count their frames, not one slot).
     pub mailbox_capacity: usize,
     /// Timer-wheel bucket width in microseconds.
     pub wheel_granularity_us: u64,
     /// Timer-wheel bucket count.
     pub wheel_slots: usize,
+    /// Frames + timers one actor may drain per scheduling before the
+    /// ready ring moves on to the next actor.
+    pub burst: usize,
 }
 
 impl Default for RtConfig {
@@ -67,6 +88,7 @@ impl Default for RtConfig {
             mailbox_capacity: 65_536,
             wheel_granularity_us: 200,
             wheel_slots: 1_024,
+            burst: 64,
         }
     }
 }
@@ -120,20 +142,18 @@ type LinkTable = Arc<RwLock<HashMap<(u32, u32), RtLink>>>;
 
 /// How often each worker publishes its telemetry: a clone of its private
 /// metrics into the shared slot plus gauge samples (mailbox depth, wheel
-/// occupancy, busy fraction) into its own series.
+/// occupancy, busy fraction) into its own series. Idle parks are capped
+/// at this interval so the published view is never staler than one
+/// period even on a quiet shard.
 const PUBLISH_INTERVAL: Span = Span(250_000);
 
-/// One worker's shared telemetry slot. Senders bump `mailbox_depth` when
-/// a frame lands in this worker's mailbox; the owner decrements it per
-/// frame drained and refreshes everything else at [`PUBLISH_INTERVAL`].
+/// One worker's shared telemetry slot, refreshed at [`PUBLISH_INTERVAL`].
 /// This is what [`Runtime::live_metrics`] and [`Runtime::gauges`] read
-/// while the run is still in flight.
+/// while the run is still in flight. Mailbox depth is *not* mirrored
+/// here: the run queue's own exact ledger is read directly.
 pub(crate) struct WorkerShared {
     /// Latest published clone of the worker's private metrics.
     metrics: Mutex<Metrics>,
-    /// Frames currently queued in this worker's mailbox (approximate:
-    /// updated by racing senders and the draining owner).
-    mailbox_depth: AtomicI64,
     /// Timer-wheel entries pending at last publish.
     wheel_len: AtomicU64,
     /// Cumulative microseconds spent dispatching work.
@@ -146,7 +166,6 @@ impl WorkerShared {
     fn new() -> WorkerShared {
         WorkerShared {
             metrics: Mutex::new(Metrics::new()),
-            mailbox_depth: AtomicI64::new(0),
             wheel_len: AtomicU64::new(0),
             busy_us: AtomicU64::new(0),
             idle_us: AtomicU64::new(0),
@@ -158,7 +177,9 @@ impl WorkerShared {
 /// across workers — the blind spots end-of-run metrics cannot show.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RtGauges {
-    /// Frames queued in cross-worker mailboxes right now.
+    /// Frames queued in cross-worker run queues right now (exact: read
+    /// from each queue's depth ledger, where
+    /// `depth == sends - recvs - drops` holds by construction).
     pub mailbox_depth: u64,
     /// Timer-wheel entries pending across all workers (timers + delayed
     /// frames + parked retries) as of each worker's last publish.
@@ -189,30 +210,38 @@ enum CtlMsg {
     Restart(u32, SpawnFn),
 }
 
-/// What flows through the cross-worker mailboxes.
+/// A frame in flight between workers: already delayed-and-filtered by
+/// the sender's link model, held in the receiving worker's wheel until
+/// `deliver_at`.
+struct Frame {
+    from: ProcessId,
+    to: ProcessId,
+    deliver_at: Time,
+    bytes: Bytes,
+}
+
+/// What flows through the cross-worker run queues.
 enum Envelope {
-    /// A frame already delayed-and-filtered by the sender's link model;
-    /// the receiving worker holds it in its wheel until `deliver_at`.
-    Frame {
-        from: ProcessId,
-        to: ProcessId,
-        deliver_at: Time,
-        bytes: Bytes,
-    },
+    /// A single frame (retries and duplicates travel alone).
+    Frame(Frame),
+    /// Frames coalesced for this worker during one sender scheduling
+    /// pass: one push, one wakeup, many frames. The container is
+    /// released into the receiving worker's pool after draining.
+    Batch(Vec<Frame>),
     /// A control-plane action for an actor this worker owns.
     Control(CtlMsg),
-    /// Shutdown nudge so sleeping workers re-check the stop flag.
+    /// Shutdown nudge so parked workers re-check the stop flag.
     Wake,
 }
 
-/// How many times a frame that found the destination mailbox full is
+/// How many times a frame that found the destination queue full is
 /// re-offered before being dropped, and the initial backoff (doubled per
 /// attempt: 1 ms, 2 ms, 4 ms).
 const MAX_FORWARD_ATTEMPTS: u32 = 3;
 const FORWARD_BACKOFF: Span = Span(1_000);
 
 /// An entry in a worker's wheel: a delayed frame, a protocol timer, or a
-/// frame awaiting a mailbox-retry slot.
+/// frame awaiting a queue-retry slot.
 enum Due {
     Deliver {
         from: ProcessId,
@@ -225,7 +254,7 @@ enum Due {
         tag: u64,
         generation: u64,
     },
-    /// A cross-worker frame that hit a full mailbox: retry the send.
+    /// A cross-worker frame that hit a full run queue: retry the send.
     Forward {
         from: ProcessId,
         to: ProcessId,
@@ -254,45 +283,79 @@ struct WorkerBackend {
     down: HashSet<u32>,
     /// `ProcessId -> worker index` for every actor.
     assignment: Arc<Vec<usize>>,
-    senders: Vec<SyncSender<Envelope>>,
+    queues: Vec<Arc<RunQueue<Envelope>>>,
+    /// Outgoing frames staged per destination worker during the current
+    /// scheduling pass; flushed as one batch envelope per destination.
+    staged: Vec<Vec<Frame>>,
+    /// Destination workers with staged frames, in first-touch order.
+    staged_order: Vec<usize>,
+    /// Recycled batch containers (refilled by incoming batches).
+    containers: Pool<Frame>,
     hooks: RtHooks,
     /// Telemetry slots for every worker (index = worker id).
     shared: Arc<Vec<WorkerShared>>,
 }
 
 impl WorkerBackend {
-    /// Offers a frame to the destination worker's mailbox. On overflow
-    /// the frame parks in our own wheel and retries with exponential
-    /// backoff; only an exhausted budget drops it (counted per class).
-    fn offer(&mut self, w: usize, from: ProcessId, to: ProcessId, deliver_at: Time, bytes: Bytes) {
-        match self.senders[w].try_send(Envelope::Frame {
+    /// Stages a frame for a remote worker; it travels in the next flush's
+    /// batch envelope.
+    fn stage(&mut self, w: usize, from: ProcessId, to: ProcessId, deliver_at: Time, bytes: Bytes) {
+        if self.staged[w].is_empty() {
+            self.staged_order.push(w);
+            if self.staged[w].capacity() == 0 {
+                self.staged[w] = self.containers.acquire();
+            }
+        }
+        self.staged[w].push(Frame {
             from,
             to,
             deliver_at,
             bytes,
-        }) {
-            Ok(()) => {
-                self.shared[w].mailbox_depth.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    /// Ships every staged batch: one queue push (and at most one wakeup)
+    /// per destination worker. A batch that does not fit the destination
+    /// queue falls back to per-frame bounded retry through our wheel.
+    fn flush_staged(&mut self) {
+        if self.staged_order.is_empty() {
+            return;
+        }
+        let order = std::mem::take(&mut self.staged_order);
+        for w in &order {
+            let frames = std::mem::take(&mut self.staged[*w]);
+            let n = frames.len() as u64;
+            debug_assert!(n > 0);
+            self.metrics.count("rt.envelopes", 1);
+            if n > 1 {
+                self.metrics.count("rt.coalesced_frames", n - 1);
             }
-            Err(TrySendError::Full(Envelope::Frame { bytes, .. })) => {
-                self.metrics.count("rt.mailbox_retry", 1);
-                let retry_at = self.clock.now() + FORWARD_BACKOFF;
-                self.wheel.insert(
-                    retry_at,
-                    Due::Forward {
-                        from,
-                        to,
-                        deliver_at,
-                        bytes,
-                        attempts: 1,
-                    },
-                );
-            }
-            Err(TrySendError::Full(_)) => unreachable!("offered a Frame"),
-            Err(TrySendError::Disconnected(_)) => {
-                self.metrics.count("rt.disconnected_drop", 1);
+            match self.queues[*w].push_weighted(Envelope::Batch(frames), n) {
+                Ok(()) => {}
+                Err(Envelope::Batch(mut frames)) => {
+                    // Park each frame for retry; the container returns to
+                    // our pool.
+                    self.metrics.count("rt.mailbox_retry", n);
+                    let retry_at = self.clock.now() + FORWARD_BACKOFF;
+                    for f in frames.drain(..) {
+                        self.wheel.insert(
+                            retry_at,
+                            Due::Forward {
+                                from: f.from,
+                                to: f.to,
+                                deliver_at: f.deliver_at,
+                                bytes: f.bytes,
+                                attempts: 1,
+                            },
+                        );
+                    }
+                    self.containers.release(frames);
+                }
+                Err(_) => unreachable!("pushed a Batch"),
             }
         }
+        self.staged_order = order;
+        self.staged_order.clear();
     }
 
     /// Retries a parked frame; drops (with per-class accounting) once the
@@ -309,16 +372,14 @@ impl WorkerBackend {
             self.metrics.count("rt.no_link_drop", 1);
             return;
         };
-        match self.senders[w].try_send(Envelope::Frame {
+        match self.queues[w].push(Envelope::Frame(Frame {
             from,
             to,
             deliver_at,
             bytes,
-        }) {
-            Ok(()) => {
-                self.shared[w].mailbox_depth.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(TrySendError::Full(Envelope::Frame { bytes, .. })) => {
+        })) {
+            Ok(()) => {}
+            Err(Envelope::Frame(f)) => {
                 if attempts < MAX_FORWARD_ATTEMPTS {
                     self.metrics.count("rt.mailbox_retry", 1);
                     let backoff = Span::micros(FORWARD_BACKOFF.0 << attempts);
@@ -326,23 +387,20 @@ impl WorkerBackend {
                     self.wheel.insert(
                         retry_at,
                         Due::Forward {
-                            from,
-                            to,
-                            deliver_at,
-                            bytes,
+                            from: f.from,
+                            to: f.to,
+                            deliver_at: f.deliver_at,
+                            bytes: f.bytes,
                             attempts: attempts + 1,
                         },
                     );
                 } else {
                     self.metrics.count("rt.mailbox_full_drop", 1);
-                    let class = (self.hooks.classify)(&bytes);
+                    let class = (self.hooks.classify)(&f.bytes);
                     self.metrics.count(&format!("rt.drop.{class}"), 1);
                 }
             }
-            Err(TrySendError::Full(_)) => unreachable!("offered a Frame"),
-            Err(TrySendError::Disconnected(_)) => {
-                self.metrics.count("rt.disconnected_drop", 1);
-            }
+            Err(_) => unreachable!("pushed a Frame"),
         }
     }
 }
@@ -412,14 +470,14 @@ impl Backend for WorkerBackend {
                     },
                 );
             } else if let Some(w) = dest {
-                self.offer(w, from, to, dup_at, bytes.clone());
+                self.stage(w, from, to, dup_at, bytes.clone());
             }
         }
         if dest == Some(self.worker) {
             self.wheel
                 .insert(deliver_at, Due::Deliver { from, to, bytes });
         } else if let Some(w) = dest {
-            self.offer(w, from, to, deliver_at, bytes);
+            self.stage(w, from, to, deliver_at, bytes);
         } else {
             self.metrics.count("rt.no_link_drop", 1);
         }
@@ -472,14 +530,24 @@ impl Backend for WorkerBackend {
     fn span_mark(&mut self, _pid: u32, _key: u64, _phase: SpanPhase) {}
 }
 
-/// How long a worker sleeps when it has nothing due (it still wakes early
-/// for any mailbox arrival); bounds shutdown latency.
-const MAX_IDLE: Duration = Duration::from_millis(2);
+/// One actor's slot on its worker's scheduler: due-but-unprocessed work
+/// in deadline order, plus its ready-ring membership flag.
+#[derive(Default)]
+struct ActorSlot {
+    pending: VecDeque<Due>,
+    in_ready: bool,
+}
 
 struct Worker {
     backend: WorkerBackend,
     actors: HashMap<u32, Box<dyn Process>>,
-    rx: Receiver<Envelope>,
+    /// Per-actor pending queues (the run-queue entries of the design).
+    slots: HashMap<u32, ActorSlot>,
+    /// Actors with pending work, scheduled round-robin.
+    ready: VecDeque<u32>,
+    /// Frames + timers an actor may drain per scheduling.
+    burst: usize,
+    rx: Arc<RunQueue<Envelope>>,
     stop: Arc<AtomicBool>,
     /// Precomputed per-worker gauge series names (`rt.wN.*`), so the
     /// publish path never formats strings.
@@ -489,22 +557,33 @@ struct Worker {
 }
 
 impl Worker {
+    /// Files an incoming envelope: frames into the wheel (they carry
+    /// their delivery deadline), control applied immediately.
     fn enqueue(&mut self, env: Envelope) {
         match env {
-            Envelope::Frame {
-                from,
-                to,
-                deliver_at,
-                bytes,
-            } => {
-                // Every received frame was counted by its sender; keep
-                // the shared depth gauge in step.
-                self.backend.shared[self.backend.worker]
-                    .mailbox_depth
-                    .fetch_sub(1, Ordering::Relaxed);
-                self.backend
-                    .wheel
-                    .insert(deliver_at, Due::Deliver { from, to, bytes });
+            Envelope::Frame(f) => {
+                self.backend.wheel.insert(
+                    f.deliver_at,
+                    Due::Deliver {
+                        from: f.from,
+                        to: f.to,
+                        bytes: f.bytes,
+                    },
+                );
+            }
+            Envelope::Batch(mut frames) => {
+                for f in frames.drain(..) {
+                    self.backend.wheel.insert(
+                        f.deliver_at,
+                        Due::Deliver {
+                            from: f.from,
+                            to: f.to,
+                            bytes: f.bytes,
+                        },
+                    );
+                }
+                // The sender's container becomes one of ours.
+                self.backend.containers.release(frames);
             }
             Envelope::Control(ctl) => self.apply_control(ctl),
             Envelope::Wake => {}
@@ -516,13 +595,15 @@ impl Worker {
     /// slot for [`Runtime::live_metrics`].
     fn publish(&mut self, now: Time, busy_us: &mut u64, idle_us: &mut u64) {
         let wheel_len = self.backend.wheel.len() as u64;
-        let depth = {
+        // Exact occupancy from the run queue's own ledger — no racing
+        // sender/receiver reconciliation.
+        let depth = self.rx.depth();
+        {
             let me = &self.backend.shared[self.backend.worker];
             me.wheel_len.store(wheel_len, Ordering::Relaxed);
             me.busy_us.fetch_add(*busy_us, Ordering::Relaxed);
             me.idle_us.fetch_add(*idle_us, Ordering::Relaxed);
-            me.mailbox_depth.load(Ordering::Relaxed).max(0) as u64
-        };
+        }
         let window = *busy_us + *idle_us;
         let busy_frac = if window == 0 {
             0.0
@@ -573,6 +654,37 @@ impl Worker {
         }
     }
 
+    /// Routes one due entry: actor work joins its actor's pending queue
+    /// (and puts the actor on the ready ring); forwarding retries run
+    /// immediately — they are runtime work, not actor work.
+    fn route(&mut self, entry: Due) {
+        match entry {
+            Due::Forward {
+                from,
+                to,
+                deliver_at,
+                bytes,
+                attempts,
+            } => {
+                self.backend
+                    .retry_forward(from, to, deliver_at, bytes, attempts);
+            }
+            entry @ (Due::Deliver { .. } | Due::Timer { .. }) => {
+                let pid = match &entry {
+                    Due::Deliver { to, .. } | Due::Timer { to, .. } => to.0,
+                    Due::Forward { .. } => unreachable!(),
+                };
+                let slot = self.slots.entry(pid).or_default();
+                slot.pending.push_back(entry);
+                if !slot.in_ready {
+                    slot.in_ready = true;
+                    self.ready.push_back(pid);
+                }
+            }
+        }
+    }
+
+    /// Runs one actor's work against its state machine.
     fn dispatch(&mut self, entry: Due) {
         match entry {
             Due::Deliver { from, to, bytes } => {
@@ -607,21 +719,36 @@ impl Worker {
                 let mut ctx = Context::new(&mut self.backend, to);
                 proc.on_timer(&mut ctx, tag);
             }
-            Due::Forward {
-                from,
-                to,
-                deliver_at,
-                bytes,
-                attempts,
-            } => {
-                self.backend
-                    .retry_forward(from, to, deliver_at, bytes, attempts);
+            Due::Forward { .. } => unreachable!("forwards never enter actor slots"),
+        }
+    }
+
+    /// Schedules the ready ring once: every currently-ready actor drains
+    /// up to `burst` entries; actors with leftovers rejoin the tail.
+    fn run_ready(&mut self, scratch: &mut Vec<Due>) {
+        let rounds = self.ready.len();
+        for _ in 0..rounds {
+            let Some(pid) = self.ready.pop_front() else {
+                break;
+            };
+            let Some(slot) = self.slots.get_mut(&pid) else {
+                continue;
+            };
+            let take = slot.pending.len().min(self.burst);
+            scratch.extend(slot.pending.drain(..take));
+            if slot.pending.is_empty() {
+                slot.in_ready = false;
+            } else {
+                self.ready.push_back(pid);
+            }
+            for entry in scratch.drain(..) {
+                self.dispatch(entry);
             }
         }
     }
 
     fn run(mut self) -> Metrics {
-        // Start every local actor before touching the mailbox, mirroring
+        // Start every local actor before touching the run queue, mirroring
         // the simulator's time-zero Start events.
         let mut pids: Vec<u32> = self.actors.keys().copied().collect();
         pids.sort_unstable();
@@ -631,27 +758,34 @@ impl Worker {
             proc.on_start(&mut ctx);
             self.actors.insert(pid, proc);
         }
+        self.backend.flush_staged();
+        let mut inbox: Vec<Envelope> = Vec::new();
         let mut due: Vec<(Time, Due)> = Vec::new();
+        let mut scratch: Vec<Due> = Vec::new();
         let mut busy_us = 0u64;
         let mut idle_us = 0u64;
         let mut last_publish = Time(0);
         loop {
             let loop_start = self.backend.clock.now();
-            loop {
-                match self.rx.try_recv() {
-                    Ok(env) => self.enqueue(env),
-                    Err(TryRecvError::Empty) => break,
-                    Err(TryRecvError::Disconnected) => break,
-                }
+            // 1. Drain the run queue (one lock) and file arrivals.
+            self.rx.pop_all(&mut inbox);
+            for env in inbox.drain(..) {
+                self.enqueue(env);
             }
+            // 2. Fire everything due, routed through per-actor queues and
+            // the bounded-burst ready ring (deadline order per actor).
             let now = self.backend.clock.now();
             self.backend.wheel.advance(now, &mut due);
             if !due.is_empty() {
                 due.sort_by_key(|(at, _)| *at);
                 for (_, entry) in due.drain(..) {
-                    self.dispatch(entry);
+                    self.route(entry);
                 }
             }
+            self.run_ready(&mut scratch);
+            // 3. Ship staged cross-worker batches: one push + at most one
+            // wakeup per destination.
+            self.backend.flush_staged();
             let worked_until = self.backend.clock.now();
             busy_us += worked_until.since(loop_start).0;
             if worked_until.since(last_publish).0 >= PUBLISH_INTERVAL.0 {
@@ -661,17 +795,24 @@ impl Worker {
             if self.stop.load(Ordering::Acquire) {
                 break;
             }
-            let timeout = match self.backend.wheel.next_due() {
-                Some(t) => {
-                    let wait = t.0.saturating_sub(self.backend.clock.now().0);
-                    Duration::from_micros(wait).min(MAX_IDLE)
-                }
-                None => MAX_IDLE,
+            // 4. Still-runnable actors (burst leftovers): loop again
+            // without parking.
+            if !self.ready.is_empty() {
+                continue;
+            }
+            // 5. Park until exactly the next deadline (or the next
+            // publish slot, bounding telemetry staleness), woken early by
+            // incoming work. No polling.
+            let next_publish = last_publish + PUBLISH_INTERVAL;
+            let wake_at = match self.backend.wheel.next_due() {
+                Some(t) => t.min(next_publish),
+                None => next_publish,
             };
-            match self.rx.recv_timeout(timeout) {
-                Ok(env) => self.enqueue(env),
-                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
-                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+            let wait = wake_at.0.saturating_sub(self.backend.clock.now().0);
+            let deadline = Instant::now() + Duration::from_micros(wait);
+            self.rx.pop_wait(&mut inbox, Some(deadline));
+            for env in inbox.drain(..) {
+                self.enqueue(env);
             }
             idle_us += self.backend.clock.now().since(worked_until).0;
         }
@@ -699,7 +840,7 @@ pub struct RtRun {
 /// A running real-clock substrate hosting one deployment's actors.
 pub struct Runtime {
     handles: Vec<std::thread::JoinHandle<Metrics>>,
-    senders: Vec<SyncSender<Envelope>>,
+    queues: Vec<Arc<RunQueue<Envelope>>>,
     stop: Arc<AtomicBool>,
     epoch: Instant,
     threads: usize,
@@ -731,13 +872,9 @@ impl Runtime {
         ));
         let stop = Arc::new(AtomicBool::new(false));
         let epoch = Instant::now();
-        let mut senders = Vec::with_capacity(threads);
-        let mut receivers = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let (tx, rx) = sync_channel::<Envelope>(cfg.mailbox_capacity.max(1));
-            senders.push(tx);
-            receivers.push(rx);
-        }
+        let queues: Vec<Arc<RunQueue<Envelope>>> = (0..threads)
+            .map(|_| Arc::new(RunQueue::bounded(cfg.mailbox_capacity.max(1))))
+            .collect();
         let mut crews: Vec<HashMap<u32, Box<dyn Process>>> =
             (0..threads).map(|_| HashMap::new()).collect();
         for (pid, (_name, proc)) in fabric.actors.into_iter().enumerate() {
@@ -746,7 +883,7 @@ impl Runtime {
         let shared: Arc<Vec<WorkerShared>> =
             Arc::new((0..threads).map(|_| WorkerShared::new()).collect());
         let mut handles = Vec::with_capacity(threads);
-        for (w, (actors, rx)) in crews.into_iter().zip(receivers).enumerate() {
+        for (w, actors) in crews.into_iter().enumerate() {
             let worker = Worker {
                 backend: WorkerBackend {
                     worker: w,
@@ -762,12 +899,18 @@ impl Runtime {
                     generations: HashMap::new(),
                     down: HashSet::new(),
                     assignment: Arc::clone(&assignment),
-                    senders: senders.clone(),
+                    queues: queues.clone(),
+                    staged: (0..threads).map(|_| Vec::new()).collect(),
+                    staged_order: Vec::new(),
+                    containers: Pool::default(),
                     hooks: hooks.clone(),
                     shared: Arc::clone(&shared),
                 },
                 actors,
-                rx,
+                slots: HashMap::new(),
+                ready: VecDeque::new(),
+                burst: cfg.burst.max(1),
+                rx: Arc::clone(&queues[w]),
                 stop: Arc::clone(&stop),
                 gauge_mailbox: format!("rt.w{w}.mailbox_depth"),
                 gauge_wheel: format!("rt.w{w}.wheel"),
@@ -782,7 +925,7 @@ impl Runtime {
         }
         Runtime {
             handles,
-            senders,
+            queues,
             stop,
             epoch,
             threads,
@@ -810,12 +953,15 @@ impl Runtime {
         merged
     }
 
-    /// Aggregated runtime gauges (mailbox depth, wheel occupancy,
-    /// busy/idle time) as of each worker's last publish.
+    /// Aggregated runtime gauges: run-queue depth is exact and current
+    /// (each queue's own ledger); wheel occupancy and busy/idle are as of
+    /// each worker's last publish.
     pub fn gauges(&self) -> RtGauges {
         let mut g = RtGauges::default();
+        for q in self.queues.iter() {
+            g.mailbox_depth += q.depth();
+        }
         for slot in self.shared.iter() {
-            g.mailbox_depth += slot.mailbox_depth.load(Ordering::Relaxed).max(0) as u64;
             g.wheel_len += slot.wheel_len.load(Ordering::Relaxed);
             g.busy_us += slot.busy_us.load(Ordering::Relaxed);
             g.idle_us += slot.idle_us.load(Ordering::Relaxed);
@@ -824,20 +970,20 @@ impl Runtime {
     }
 
     /// Applies one control-plane op now. Actor ops are shipped to the
-    /// owning worker (blocking send: control traffic must not be lost —
-    /// workers drain their mailboxes continuously, so this cannot wedge);
-    /// link ops mutate the shared link table in place, both directions,
-    /// mirroring the simulator's `set_link_up`/`set_link_config`.
+    /// owning worker's run queue as urgent entries (control traffic must
+    /// not be lost, so it bypasses the frame capacity bound); link ops
+    /// mutate the shared link table in place, both directions, mirroring
+    /// the simulator's `set_link_up`/`set_link_config`.
     fn apply_control(&self, op: ControlOp, metrics: &mut Metrics) {
         match op {
             ControlOp::Crash(pid) => {
                 if let Some(&w) = self.assignment.get(pid.0 as usize) {
-                    let _ = self.senders[w].send(Envelope::Control(CtlMsg::Crash(pid.0)));
+                    self.queues[w].push_urgent(Envelope::Control(CtlMsg::Crash(pid.0)), 1);
                 }
             }
             ControlOp::Restart(pid, spawn) => {
                 if let Some(&w) = self.assignment.get(pid.0 as usize) {
-                    let _ = self.senders[w].send(Envelope::Control(CtlMsg::Restart(pid.0, spawn)));
+                    self.queues[w].push_urgent(Envelope::Control(CtlMsg::Restart(pid.0, spawn)), 1);
                 }
             }
             ControlOp::SetLinkUp(a, b, up) => {
@@ -911,10 +1057,9 @@ impl Runtime {
     /// Stops and joins all workers, merging their metrics.
     pub fn shutdown(self) -> RtRun {
         self.stop.store(true, Ordering::Release);
-        for tx in &self.senders {
-            let _ = tx.try_send(Envelope::Wake);
+        for q in &self.queues {
+            q.push_urgent(Envelope::Wake, 1);
         }
-        drop(self.senders);
         let mut metrics = Metrics::new();
         for handle in self.handles {
             let worker_metrics = handle.join().expect("rt worker panicked");

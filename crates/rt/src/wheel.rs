@@ -5,6 +5,13 @@
 //! their bucket until their time comes around. Each runtime worker owns one
 //! wheel and uses it both for its actors' protocol timers and as the link
 //! delay line for in-flight frames.
+//!
+//! The wheel is the event-driven runtime's parking clock: a worker with
+//! nothing runnable sleeps until exactly [`TimerWheel::next_due`] (or an
+//! incoming-work wakeup) instead of polling. That makes `next_due` a
+//! hot-loop call, so each bucket caches its own earliest deadline —
+//! recomputing the global minimum scans `slot_count` cached values, never
+//! the entries themselves.
 
 use spire_sim::Time;
 
@@ -12,13 +19,19 @@ use spire_sim::Time;
 #[derive(Debug)]
 pub struct TimerWheel<T> {
     slots: Vec<Vec<(Time, T)>>,
+    /// Earliest deadline per bucket (`Time::MAX` = empty); maintained on
+    /// insert and on every bucket visit during advance.
+    slot_min: Vec<Time>,
     granularity_us: u64,
     /// The last tick `advance` fully processed.
     last_tick: u64,
     len: usize,
-    /// Cached earliest deadline (`None` means unknown; recomputed lazily).
+    /// Cached earliest deadline across all buckets (`None` = unknown;
+    /// recomputed from `slot_min` on demand).
     min_due: Option<Time>,
 }
+
+const NO_DEADLINE: Time = Time(u64::MAX);
 
 impl<T> TimerWheel<T> {
     /// Creates a wheel of `slot_count` buckets of `granularity_us` each.
@@ -26,6 +39,7 @@ impl<T> TimerWheel<T> {
         assert!(granularity_us > 0 && slot_count > 1);
         TimerWheel {
             slots: (0..slot_count).map(|_| Vec::new()).collect(),
+            slot_min: vec![NO_DEADLINE; slot_count],
             granularity_us,
             last_tick: 0,
             len: 0,
@@ -55,6 +69,7 @@ impl<T> TimerWheel<T> {
         let tick = self.tick_of(at).max(self.last_tick);
         let slot = (tick % self.slots.len() as u64) as usize;
         self.slots[slot].push((at, item));
+        self.slot_min[slot] = self.slot_min[slot].min(at);
         self.len += 1;
         self.min_due = match self.min_due {
             Some(m) => Some(m.min(at)),
@@ -68,13 +83,13 @@ impl<T> TimerWheel<T> {
             return None;
         }
         if self.min_due.is_none() {
-            let mut min: Option<Time> = None;
-            for slot in &self.slots {
-                for (at, _) in slot {
-                    min = Some(min.map_or(*at, |m: Time| m.min(*at)));
-                }
+            // One pass over the per-bucket minima — O(slot_count), not
+            // O(entries).
+            let mut min = NO_DEADLINE;
+            for &m in &self.slot_min {
+                min = min.min(m);
             }
-            self.min_due = min;
+            self.min_due = (min != NO_DEADLINE).then_some(min);
         }
         self.min_due
     }
@@ -91,15 +106,21 @@ impl<T> TimerWheel<T> {
             let fired_before = out.len();
             for step in 0..span {
                 let slot = ((self.last_tick + step) % slot_count) as usize;
+                if self.slot_min[slot] > now {
+                    continue; // nothing due in this bucket
+                }
                 let bucket = &mut self.slots[slot];
+                let mut remaining_min = NO_DEADLINE;
                 let mut i = 0;
                 while i < bucket.len() {
                     if bucket[i].0 <= now {
                         out.push(bucket.swap_remove(i));
                     } else {
+                        remaining_min = remaining_min.min(bucket[i].0);
                         i += 1;
                     }
                 }
+                self.slot_min[slot] = remaining_min;
             }
             let fired = out.len() - fired_before;
             self.len -= fired;
@@ -175,5 +196,29 @@ mod tests {
         out.clear();
         w.advance(Time(600), &mut out);
         assert_eq!(out, vec![(Time(550), 2)]);
+    }
+
+    #[test]
+    fn slot_min_cache_survives_partial_drains() {
+        // Two entries share a bucket across rounds; draining the near one
+        // must leave the cached bucket minimum pointing at the far one.
+        let mut w: TimerWheel<u32> = TimerWheel::new(100, 4);
+        w.insert(Time(120), 1);
+        w.insert(Time(520), 2); // same bucket, next revolution
+        w.insert(Time(230), 3);
+        assert_eq!(w.next_due(), Some(Time(120)));
+        let mut out = Vec::new();
+        w.advance(Time(150), &mut out);
+        assert_eq!(out, vec![(Time(120), 1)]);
+        assert_eq!(w.next_due(), Some(Time(230)));
+        out.clear();
+        w.advance(Time(300), &mut out);
+        assert_eq!(out, vec![(Time(230), 3)]);
+        assert_eq!(w.next_due(), Some(Time(520)));
+        out.clear();
+        w.advance(Time(600), &mut out);
+        assert_eq!(out, vec![(Time(520), 2)]);
+        assert_eq!(w.next_due(), None);
+        assert!(w.is_empty());
     }
 }

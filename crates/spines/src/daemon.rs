@@ -14,6 +14,11 @@
 //!    starve other sources (Spines' fair resource allocation).
 //!
 //! Hop-by-hop reliability (ack + retransmit) recovers from lossy links.
+//! Data frames and hop acks bound for the same neighbor coalesce into
+//! link-level batches sealed by one HMAC per flush window (see
+//! [`DaemonConfig::batch_window`]) — constrained flooding otherwise
+//! amplifies every application message into one authenticated frame and
+//! one ack per overlay edge.
 
 use crate::msg::{lsa_signing_bytes, DataMsg, Dissemination, OverlayMsg};
 use crate::topology::{OverlayId, Topology};
@@ -28,6 +33,7 @@ use std::sync::Arc;
 const TIMER_HELLO: u64 = 1;
 const TIMER_LSA: u64 = 2;
 const TIMER_RETX: u64 = 3;
+const TIMER_FLUSH: u64 = 4;
 
 /// Tuning knobs for a daemon.
 #[derive(Clone, Copy, Debug)]
@@ -53,6 +59,17 @@ pub struct DaemonConfig {
     pub flood_rate_per_source: f64,
     /// Burst allowance per source (messages).
     pub flood_burst: f64,
+    /// Hop-level link batching: data frames and hop acks bound for the same
+    /// neighbor are staged for up to this window and flushed as one
+    /// [`OverlayMsg::Batch`] under a single link HMAC. Real Spines packs
+    /// messages into link-level packets the same way; without it, flooding
+    /// amplifies every application message into one authenticated frame per
+    /// overlay edge *plus* one ack per frame. `Span::ZERO` disables
+    /// batching (every message is framed and acked individually).
+    pub batch_window: Span,
+    /// Flush a neighbor's stage early once this many frames are queued,
+    /// bounding batch size and staging memory under load.
+    pub batch_max_frames: usize,
 }
 
 impl Default for DaemonConfig {
@@ -71,6 +88,8 @@ impl Default for DaemonConfig {
             default_ttl: 32,
             flood_rate_per_source: 5_000.0,
             flood_burst: 500.0,
+            batch_window: Span::millis(1),
+            batch_max_frames: 32,
         }
     }
 }
@@ -109,7 +128,10 @@ struct PendingFrame {
     to_pid: ProcessId,
     to_overlay: OverlayId,
     msg: DataMsg,
-    bytes: Bytes,
+    /// Encoded wire body, *without* the link HMAC: the first transmission
+    /// rides a batch (one HMAC per batch), so retransmissions — the rare
+    /// path — re-seal individually from this.
+    body: Bytes,
     retries: u32,
     next_at: Time,
     /// Current retransmission timeout (doubles per retry, capped).
@@ -145,6 +167,12 @@ pub struct Daemon {
     send_seq: BTreeMap<u16, u64>,
     buckets: BTreeMap<OverlayId, TokenBucket>,
     hello_seq: u64,
+    /// Per-neighbor staged frames awaiting the next batch flush.
+    stage: BTreeMap<OverlayId, Vec<Bytes>>,
+    /// Per-neighbor staged hop acks, flushed as one cumulative ack.
+    staged_acks: BTreeMap<OverlayId, Vec<u64>>,
+    /// Whether a TIMER_FLUSH is already pending.
+    flush_scheduled: bool,
 }
 
 const SEEN_CAP: usize = 100_000;
@@ -202,6 +230,9 @@ impl Daemon {
             send_seq: BTreeMap::new(),
             buckets: BTreeMap::new(),
             hello_seq: 0,
+            stage: BTreeMap::new(),
+            staged_acks: BTreeMap::new(),
+            flush_scheduled: false,
         }
     }
 
@@ -209,16 +240,86 @@ impl Daemon {
         NodeId(self.key_base + overlay.0 as u32)
     }
 
-    fn frame_to(&mut self, ctx: &mut Context<'_>, neighbor: OverlayId, msg: &OverlayMsg) {
+    /// Seals an encoded body with the neighbor's link HMAC and sends it.
+    fn seal_to(&mut self, ctx: &mut Context<'_>, neighbor: OverlayId, body: &[u8]) {
         let Some(state) = self.neighbors.get(&neighbor) else {
             return;
         };
-        let body = msg.encode();
-        let tag = hmac_sha256(&state.link_key, &body);
+        let tag = hmac_sha256(&state.link_key, body);
         let mut framed = Vec::with_capacity(body.len() + 32);
-        framed.extend_from_slice(&body);
+        framed.extend_from_slice(body);
         framed.extend_from_slice(&tag);
         ctx.send(state.pid, Bytes::from(framed));
+    }
+
+    fn frame_to(&mut self, ctx: &mut Context<'_>, neighbor: OverlayId, msg: &OverlayMsg) {
+        let body = msg.encode();
+        self.seal_to(ctx, neighbor, &body);
+    }
+
+    fn batching(&self) -> bool {
+        self.cfg.batch_window.0 > 0
+    }
+
+    /// Queues an encoded frame for the neighbor's next batch flush.
+    fn stage_frame(&mut self, ctx: &mut Context<'_>, neighbor: OverlayId, body: Bytes) {
+        let queued = {
+            let stage = self.stage.entry(neighbor).or_default();
+            stage.push(body);
+            stage.len()
+        };
+        if queued >= self.cfg.batch_max_frames {
+            self.flush_neighbor(ctx, neighbor);
+        } else {
+            self.schedule_flush(ctx);
+        }
+    }
+
+    fn schedule_flush(&mut self, ctx: &mut Context<'_>) {
+        if !self.flush_scheduled {
+            self.flush_scheduled = true;
+            ctx.set_timer(self.cfg.batch_window, TIMER_FLUSH);
+        }
+    }
+
+    /// Flushes one neighbor's staged acks + frames as a single sealed batch.
+    /// Acks go first so the sender's retransmission table drains promptly.
+    fn flush_neighbor(&mut self, ctx: &mut Context<'_>, neighbor: OverlayId) {
+        let acks = self.staged_acks.remove(&neighbor).unwrap_or_default();
+        let mut frames = self.stage.remove(&neighbor).unwrap_or_default();
+        if !acks.is_empty() {
+            let ack = if acks.len() == 1 {
+                OverlayMsg::HopAck { frame_id: acks[0] }
+            } else {
+                OverlayMsg::HopAckMulti { frame_ids: acks }
+            };
+            frames.insert(0, ack.encode());
+        }
+        match frames.len() {
+            0 => {}
+            1 => self.seal_to(ctx, neighbor, &frames[0]),
+            n => {
+                ctx.count("spines.link_batches", 1);
+                ctx.count("spines.link_batched_frames", n as u64);
+                let body = OverlayMsg::Batch { frames }.encode();
+                self.seal_to(ctx, neighbor, &body);
+            }
+        }
+    }
+
+    fn flush_stages(&mut self, ctx: &mut Context<'_>) {
+        if self.stage.is_empty() && self.staged_acks.is_empty() {
+            return;
+        }
+        let mut targets: Vec<OverlayId> = self.stage.keys().copied().collect();
+        for n in self.staged_acks.keys() {
+            if !targets.contains(n) {
+                targets.push(*n);
+            }
+        }
+        for n in targets {
+            self.flush_neighbor(ctx, n);
+        }
     }
 
     /// Sends a data frame to a neighbor, registering it for retransmission
@@ -247,34 +348,40 @@ impl Daemon {
         self.next_frame += 1;
         let reliable = msg.reliable;
         if reliable {
-            if let Some(state) = self.neighbors.get(&neighbor) {
-                let wire = OverlayMsg::Data {
-                    frame_id,
-                    msg: msg.clone(),
-                };
-                let body = wire.encode();
-                let tag = hmac_sha256(&state.link_key, &body);
-                let mut framed = Vec::with_capacity(body.len() + 32);
-                framed.extend_from_slice(&body);
-                framed.extend_from_slice(&tag);
-                let framed = Bytes::from(framed);
-                ctx.send(state.pid, framed.clone());
-                self.pending.insert(
-                    frame_id,
-                    PendingFrame {
-                        to_pid: state.pid,
-                        to_overlay: neighbor,
-                        msg,
-                        bytes: framed,
-                        retries: 0,
-                        next_at: ctx.now() + self.cfg.retransmit_timeout,
-                        rto: self.cfg.retransmit_timeout,
-                    },
-                );
+            let Some(state) = self.neighbors.get(&neighbor) else {
+                return;
+            };
+            let to_pid = state.pid;
+            let wire = OverlayMsg::Data {
+                frame_id,
+                msg: msg.clone(),
+            };
+            let body = wire.encode();
+            self.pending.insert(
+                frame_id,
+                PendingFrame {
+                    to_pid,
+                    to_overlay: neighbor,
+                    msg,
+                    body: body.clone(),
+                    retries: 0,
+                    next_at: ctx.now() + self.cfg.retransmit_timeout,
+                    rto: self.cfg.retransmit_timeout,
+                },
+            );
+            if self.batching() {
+                self.stage_frame(ctx, neighbor, body);
+            } else {
+                self.seal_to(ctx, neighbor, &body);
             }
         } else {
             let wire = OverlayMsg::Data { frame_id, msg };
-            self.frame_to(ctx, neighbor, &wire);
+            if self.batching() {
+                let body = wire.encode();
+                self.stage_frame(ctx, neighbor, body);
+            } else {
+                self.frame_to(ctx, neighbor, &wire);
+            }
         }
     }
 
@@ -622,7 +729,15 @@ impl Daemon {
             }
             OverlayMsg::Data { frame_id, msg } => {
                 if msg.reliable {
-                    self.frame_to(ctx, from, &OverlayMsg::HopAck { frame_id });
+                    if self.batching() {
+                        // Cumulative ack: all reliable frames of one batch
+                        // (or window) are acknowledged in a single
+                        // HopAckMulti on the next flush.
+                        self.staged_acks.entry(from).or_default().push(frame_id);
+                        self.schedule_flush(ctx);
+                    } else {
+                        self.frame_to(ctx, from, &OverlayMsg::HopAck { frame_id });
+                    }
                     if !self.mark_frame_seen(frame_id) {
                         return; // duplicate retransmission
                     }
@@ -631,6 +746,24 @@ impl Daemon {
             }
             OverlayMsg::HopAck { frame_id } => {
                 self.pending.remove(&frame_id);
+            }
+            OverlayMsg::HopAckMulti { frame_ids } => {
+                for frame_id in frame_ids {
+                    self.pending.remove(&frame_id);
+                }
+            }
+            OverlayMsg::Batch { frames } => {
+                for body in frames {
+                    match OverlayMsg::decode(&body) {
+                        // Refuse nesting: a forwarded batch-of-batches could
+                        // otherwise recurse unboundedly.
+                        Ok(OverlayMsg::Batch { .. }) => {
+                            ctx.count("spines.nested_batch_drop", 1);
+                        }
+                        Ok(sub) => self.on_neighbor_msg(ctx, from, sub),
+                        Err(_) => ctx.count("spines.decode_fail", 1),
+                    }
+                }
             }
             _ => ctx.count("spines.unexpected_neighbor_msg", 1),
         }
@@ -693,6 +826,17 @@ impl Process for Daemon {
             match OverlayMsg::decode(body) {
                 Ok(msg) => self.on_neighbor_msg(ctx, overlay_from, msg),
                 Err(_) => ctx.count("spines.decode_fail", 1),
+            }
+            // Acks are latency-critical — a delayed ack fires the sender's
+            // retransmission timer and multiplies traffic — so they flush at
+            // the end of the activation that received the data (one
+            // cumulative ack per incoming batch), while forwarded data keeps
+            // riding the coalescing window.
+            if !self.staged_acks.is_empty() {
+                let targets: Vec<OverlayId> = self.staged_acks.keys().copied().collect();
+                for n in targets {
+                    self.flush_neighbor(ctx, n);
+                }
             }
         } else {
             // Local client.
@@ -811,13 +955,25 @@ impl Process for Daemon {
                         // not multiply traffic.
                         frame.rto = Span::micros((frame.rto.0 * 2).min(2_000_000));
                         frame.next_at = now + frame.rto;
-                        let pid = frame.to_pid;
-                        let bytes = frame.bytes.clone();
-                        ctx.send(pid, bytes);
+                        // Retransmissions bypass the batch stage and are
+                        // sealed individually: the rare path pays the
+                        // per-frame HMAC so the common path doesn't.
+                        let Some(state) = self.neighbors.get(&frame.to_overlay) else {
+                            continue;
+                        };
+                        let tag = hmac_sha256(&state.link_key, &frame.body);
+                        let mut framed = Vec::with_capacity(frame.body.len() + 32);
+                        framed.extend_from_slice(&frame.body);
+                        framed.extend_from_slice(&tag);
+                        ctx.send(frame.to_pid, Bytes::from(framed));
                         ctx.count("spines.retx", 1);
                     }
                 }
                 ctx.set_timer(self.cfg.retransmit_interval, TIMER_RETX);
+            }
+            TIMER_FLUSH => {
+                self.flush_scheduled = false;
+                self.flush_stages(ctx);
             }
             _ => {}
         }

@@ -126,6 +126,17 @@ pub enum OverlayMsg {
         /// Application bytes.
         payload: Bytes,
     },
+    /// Cumulative acknowledgement of several reliable data frames on a link.
+    HopAckMulti {
+        /// The frames being acknowledged.
+        frame_ids: Vec<u64>,
+    },
+    /// A hop-level batch: several encoded messages for the same neighbor,
+    /// authenticated by a single link HMAC. Batches do not nest.
+    Batch {
+        /// Each element is one encoded non-`Batch` [`OverlayMsg`].
+        frames: Vec<Bytes>,
+    },
 }
 
 impl OverlayMsg {
@@ -194,6 +205,18 @@ impl OverlayMsg {
                 payload,
             } => {
                 w.u8(7).u16(src.0).u16(*src_port).bytes(payload);
+            }
+            OverlayMsg::HopAckMulti { frame_ids } => {
+                w.u8(8).u16(frame_ids.len() as u16);
+                for id in frame_ids {
+                    w.u64(*id);
+                }
+            }
+            OverlayMsg::Batch { frames } => {
+                w.u8(9).u16(frames.len() as u16);
+                for frame in frames {
+                    w.bytes(frame);
+                }
             }
         }
         w.finish()
@@ -285,6 +308,22 @@ impl OverlayMsg {
                     payload,
                 }
             }
+            8 => {
+                let n = r.u16()? as usize;
+                let mut frame_ids = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    frame_ids.push(r.u64()?);
+                }
+                OverlayMsg::HopAckMulti { frame_ids }
+            }
+            9 => {
+                let n = r.u16()? as usize;
+                let mut frames = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    frames.push(Bytes::copy_from_slice(r.bytes()?));
+                }
+                OverlayMsg::Batch { frames }
+            }
             other => return Err(WireError::BadTag(other)),
         };
         r.expect_end()?;
@@ -353,6 +392,19 @@ mod tests {
             src: OverlayId(2),
             src_port: 7,
             payload: Bytes::new(),
+        });
+        roundtrip(OverlayMsg::HopAckMulti {
+            frame_ids: vec![1, 99, u64::MAX],
+        });
+        roundtrip(OverlayMsg::Batch {
+            frames: vec![
+                OverlayMsg::HopAck { frame_id: 7 }.encode(),
+                OverlayMsg::Hello {
+                    from: OverlayId(3),
+                    seq: 99,
+                }
+                .encode(),
+            ],
         });
     }
 

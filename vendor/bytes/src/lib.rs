@@ -12,7 +12,13 @@ pub struct Bytes {
 #[derive(Clone)]
 enum Repr {
     Static(&'static [u8]),
-    Shared(Arc<[u8]>),
+    /// A view into a shared allocation: slicing bumps the refcount and
+    /// narrows the window instead of copying.
+    Shared {
+        data: Arc<[u8]>,
+        start: usize,
+        len: usize,
+    },
 }
 
 impl Bytes {
@@ -32,8 +38,17 @@ impl Bytes {
 
     /// Creates `Bytes` by copying the given slice.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from_shared(Arc::from(data))
+    }
+
+    fn from_shared(data: Arc<[u8]>) -> Bytes {
+        let len = data.len();
         Bytes {
-            data: Repr::Shared(Arc::from(data)),
+            data: Repr::Shared {
+                data,
+                start: 0,
+                len,
+            },
         }
     }
 
@@ -52,8 +67,8 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
-    /// Returns a sub-slice as a new `Bytes` (copying; the real crate
-    /// shares, but callers only rely on the value).
+    /// Returns a sub-slice as a new `Bytes` sharing the same allocation
+    /// (a refcount bump and window narrowing, never a copy).
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
         use std::ops::Bound;
         let len = self.len();
@@ -67,13 +82,29 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => len,
         };
-        Bytes::copy_from_slice(&self.as_slice()[start..end])
+        assert!(start <= end && end <= len, "slice out of bounds");
+        match &self.data {
+            Repr::Static(s) => Bytes {
+                data: Repr::Static(&s[start..end]),
+            },
+            Repr::Shared {
+                data,
+                start: base,
+                ..
+            } => Bytes {
+                data: Repr::Shared {
+                    data: data.clone(),
+                    start: base + start,
+                    len: end - start,
+                },
+            },
+        }
     }
 
     fn as_slice(&self) -> &[u8] {
         match &self.data {
             Repr::Static(s) => s,
-            Repr::Shared(s) => s,
+            Repr::Shared { data, start, len } => &data[*start..*start + *len],
         }
     }
 }
@@ -105,9 +136,7 @@ impl std::borrow::Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes {
-            data: Repr::Shared(Arc::from(v)),
-        }
+        Bytes::from_shared(Arc::from(v))
     }
 }
 
@@ -125,9 +154,7 @@ impl From<String> for Bytes {
 
 impl From<Box<[u8]>> for Bytes {
     fn from(v: Box<[u8]>) -> Bytes {
-        Bytes {
-            data: Repr::Shared(Arc::from(v)),
-        }
+        Bytes::from_shared(Arc::from(v))
     }
 }
 
@@ -226,5 +253,17 @@ mod tests {
         let s = Bytes::from_static(b"hi");
         assert!(!s.is_empty());
         assert_eq!(s.slice(1..), Bytes::from_static(b"i"));
+    }
+
+    #[test]
+    fn slice_shares_the_allocation() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let mid = b.slice(2..5);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        assert_eq!(mid.as_ptr(), unsafe { b.as_ptr().add(2) });
+        // Slices of slices keep narrowing the same window.
+        let inner = mid.slice(1..2);
+        assert_eq!(&inner[..], &[3]);
+        assert_eq!(inner.as_ptr(), unsafe { b.as_ptr().add(3) });
     }
 }
