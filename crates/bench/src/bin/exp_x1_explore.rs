@@ -14,7 +14,8 @@
 //!
 //! * `--scenario` — behavior assignment: `honest`, `equivocating-leader`,
 //!   `leader-delay`, `mute-replica`, `po-equivocation` (f=1, k=0,
-//!   n=4 throughout);
+//!   n=4 throughout), or `xshard-commit` (cross-shard 2PC over two model
+//!   groups; `--random` and `--replay` only, with `--ops` transactions);
 //! * `--min-states` — exhaustive mode exits 1 unless at least this many
 //!   distinct states were visited (CI coverage floor);
 //! * `--expect-violation` — invert the verdict: exit 1 unless a
@@ -32,7 +33,9 @@
 //! seeded-commit-bug` records that (`"seeded_bug": true`); replay it
 //! against a build with the same feature set.
 
-use spire_explore::{exhaustive, random, Artifact, Bounds, Harness, RandomParams, Scenario};
+use spire_explore::{
+    exhaustive, random, xshard, Artifact, Bounds, Harness, RandomParams, Scenario,
+};
 use spire_prime::model::SEEDED_BUG_ACTIVE;
 use std::time::Duration;
 
@@ -104,7 +107,27 @@ fn main() {
         fail("pick a mode: --exhaustive, --random, or --replay=PATH");
     };
 
-    println!("exp_x1_explore: seeded_bug_active={SEEDED_BUG_ACTIVE}");
+    println!(
+        "exp_x1_explore: seeded_bug_active={SEEDED_BUG_ACTIVE} \
+         seeded_xshard_bug_active={}",
+        xshard::SEEDED_XSHARD_BUG_ACTIVE
+    );
+    if scenario.starts_with("xshard") {
+        run_xshard(
+            mode,
+            &scenario,
+            ops,
+            seed,
+            secs,
+            episodes,
+            steps,
+            rounds,
+            &artifact_path,
+            expect_violation,
+            max_shrunk,
+        );
+        return;
+    }
     match mode {
         Mode::Exhaustive => {
             let scenario = Scenario::named(&scenario, 1, 0, ops).unwrap_or_else(|e| fail(&e));
@@ -197,6 +220,10 @@ fn main() {
             let text = std::fs::read_to_string(&path)
                 .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
             let artifact = Artifact::from_json_str(&text).unwrap_or_else(|e| fail(&e));
+            if artifact.scenario.starts_with("xshard") {
+                replay_xshard(&artifact, expect_violation);
+                return;
+            }
             if artifact.seeded_bug != SEEDED_BUG_ACTIVE {
                 fail(&format!(
                     "artifact was produced with seeded_bug={} but this build has {}; \
@@ -257,4 +284,129 @@ fn check_shrunk_len(len: usize, max_shrunk: usize) {
             "shrunk schedule has {len} events, above the --max-shrunk bound {max_shrunk}"
         ));
     }
+}
+
+/// Cross-shard scenarios: randomized exploration / replay against the
+/// `spire_explore::xshard` cluster (exhaustive mode is not supported —
+/// the coordinator's timer space makes prefix enumeration useless).
+#[allow(clippy::too_many_arguments)]
+fn run_xshard(
+    mode: Mode,
+    scenario: &str,
+    ops: u32,
+    seed: u64,
+    secs: Option<u64>,
+    episodes: u64,
+    steps: usize,
+    rounds: u64,
+    artifact_path: &Option<String>,
+    expect_violation: bool,
+    max_shrunk: usize,
+) {
+    let harness =
+        xshard::XHarness::new(xshard::XScenario::named(scenario, ops).unwrap_or_else(|e| fail(&e)));
+    let params = RandomParams {
+        seed,
+        episodes,
+        steps_per_episode: steps,
+        wall_limit: secs.map(Duration::from_secs),
+    };
+    match mode {
+        Mode::Exhaustive => fail("xshard scenarios support --random and --replay only"),
+        Mode::Replay(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+            let artifact = Artifact::from_json_str(&text).unwrap_or_else(|e| fail(&e));
+            replay_xshard(&artifact, expect_violation);
+        }
+        Mode::Random if expect_violation => {
+            let Some(found) = xshard::hunt(&harness, &params, rounds, max_shrunk.min(1 << 20))
+            else {
+                fail("expected a violation; randomized xshard exploration found none");
+            };
+            println!(
+                "violation: kinds={:?} shrunk_len={}",
+                found.kinds,
+                found.schedule.len()
+            );
+            write_xshard_artifact(artifact_path, &harness, seed, &found);
+            check_shrunk_len(found.schedule.len(), max_shrunk);
+            println!("explore OK (expected violation found and shrunk)");
+        }
+        Mode::Random => {
+            let report = xshard::explore(&harness, &params);
+            println!(
+                "random: scenario={} ops={ops} seed={seed} episodes={} steps={} completed_txs={}",
+                harness.scenario.name, report.episodes, report.steps, report.max_executed
+            );
+            if let Some(found) = &report.violation {
+                let shrunk = xshard::shrink(&harness, &found.schedule);
+                let kinds =
+                    xshard::reproduces(&harness, &shrunk).unwrap_or_else(|| found.kinds.clone());
+                let shrunk = exhaustive::FoundViolation {
+                    schedule: shrunk,
+                    kinds,
+                };
+                write_xshard_artifact(artifact_path, &harness, seed, &shrunk);
+                fail(&format!(
+                    "randomized xshard exploration broke atomicity: {:?}",
+                    shrunk.kinds
+                ));
+            }
+            println!("explore OK (0 violations)");
+        }
+    }
+}
+
+fn replay_xshard(artifact: &Artifact, expect_violation: bool) {
+    if artifact.seeded_bug != xshard::SEEDED_XSHARD_BUG_ACTIVE {
+        fail(&format!(
+            "artifact was produced with seeded_bug={} but this build has {}; \
+             rebuild with the matching `seeded-xshard-bug` feature set",
+            artifact.seeded_bug,
+            xshard::SEEDED_XSHARD_BUG_ACTIVE
+        ));
+    }
+    let harness = xshard::XHarness::new(
+        xshard::XScenario::named(&artifact.scenario, artifact.ops).unwrap_or_else(|e| fail(&e)),
+    );
+    let cluster = harness.replay(&artifact.events);
+    let kinds = cluster.violation_kinds();
+    println!(
+        "replay: scenario={} events={} applied={} violations={kinds:?}",
+        artifact.scenario,
+        artifact.events.len(),
+        cluster.steps
+    );
+    if expect_violation && kinds.is_empty() {
+        fail("artifact did not reproduce a violation");
+    }
+    if !expect_violation && !kinds.is_empty() {
+        fail("replay hit an atomicity violation");
+    }
+    println!("replay OK");
+}
+
+fn write_xshard_artifact(
+    path: &Option<String>,
+    harness: &xshard::XHarness,
+    seed: u64,
+    violation: &exhaustive::FoundViolation,
+) {
+    let Some(path) = path else {
+        return;
+    };
+    let artifact = Artifact {
+        scenario: harness.scenario.name.clone(),
+        f: harness.scenario.f,
+        k: 0,
+        ops: harness.scenario.ops,
+        seed,
+        seeded_bug: xshard::SEEDED_XSHARD_BUG_ACTIVE,
+        violations: violation.kinds.clone(),
+        events: violation.schedule.clone(),
+    };
+    std::fs::write(path, artifact.to_json_string())
+        .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+    println!("artifact written: {path}");
 }

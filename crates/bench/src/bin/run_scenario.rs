@@ -4,6 +4,7 @@
 //! Usage:
 //!   `run_scenario [index] [--scenario=NAME] [--chaos=SEED] [--list]`
 //!   `             [--duration=SECS] [--substrate=sim|rt|rt:N]`
+//!   `             [--shards=N] [--cross-shard-rate=R]`
 //!   `             [--json[=PATH]] [--trace=PATH] [--watch] [--prom=PATH]`
 //!
 //! * `--list` (or no selector) — lists the red-team suite;
@@ -29,7 +30,14 @@
 //!   simulator outruns wall time, so there is nothing live to watch);
 //! * `--prom=PATH` — periodically rewrite a Prometheus text-exposition
 //!   snapshot of the live metrics to `PATH` (final metrics at exit; on
-//!   sim the export is written once, after the run).
+//!   sim the export is written once, after the run);
+//! * `--shards=N` — instead of a suite entry, run an N-group sharded
+//!   deployment (the RTU fleet partitioned across N independent Prime
+//!   groups plus the cross-shard 2PC coordinator) for `--duration`
+//!   seconds on the chosen substrate; the report gains per-shard and
+//!   `xshard` sections;
+//! * `--cross-shard-rate=R` — with `--shards`, make a fraction `R`
+//!   (0..1) of supervisory commands span two groups (default 0.1).
 //!
 //! The online invariant checker and the live health monitor run during
 //! every scenario; if the checker finds a safety violation the tool
@@ -39,9 +47,51 @@ use spire::attack::Scenario;
 use spire::chaos::ChaosPlan;
 use spire::deployment::{Deployment, DeploymentConfig, HealthOptions, Substrate};
 use spire::health::{prometheus_text, HealthConfig};
-use spire::report::Provenance;
+use spire::report::{Provenance, Report};
+use spire::sharded::{ShardedConfig, ShardedDeployment};
 use spire_scada::WorkloadConfig;
 use spire_sim::{Span, Time};
+
+/// Runs an N-group sharded deployment and returns (report, threads used).
+fn run_sharded(
+    shards: u32,
+    cross_rate: f64,
+    seed: u64,
+    duration: Span,
+    substrate: Substrate,
+    quiet: bool,
+) -> (Report, usize) {
+    let mut cfg = ShardedConfig::wide_area(shards, seed);
+    cfg.base.workload = WorkloadConfig {
+        rtus: 6 * shards,
+        update_interval: Span::millis(500),
+        ..Default::default()
+    };
+    cfg.cross_rate = cross_rate;
+    if !quiet {
+        println!(
+            "running sharded deployment: {shards} group(s), {} RTUs, {:.0}% cross-shard, \
+             on {substrate}",
+            cfg.base.workload.rtus,
+            cross_rate * 100.0
+        );
+    }
+    let mut system = ShardedDeployment::build(cfg);
+    system.install_invariant_checker(Span::secs(1), Time::ZERO + duration);
+    match substrate {
+        Substrate::Sim => {
+            system.run_for(duration);
+            (system.report(), 0)
+        }
+        Substrate::Rt { threads } => {
+            if !quiet {
+                println!("(real-clock run: this takes {duration} of wall time)");
+            }
+            let outcome = system.into_rt(threads).run_for(duration);
+            (outcome.report, outcome.run.threads)
+        }
+    }
+}
 
 fn list_suite(suite: &[Scenario]) {
     println!("red-team scenario suite:");
@@ -73,6 +123,8 @@ fn main() {
     let mut substrate = Substrate::Sim;
     let mut watch = false;
     let mut prom_path: Option<String> = None;
+    let mut shards: Option<u32> = None;
+    let mut cross_rate: f64 = 0.1;
     for arg in std::env::args().skip(1) {
         if arg == "--json" {
             json = Some(None);
@@ -112,6 +164,26 @@ fn main() {
                 std::process::exit(2);
             };
             duration_s = secs;
+        } else if let Some(n) = arg.strip_prefix("--shards=") {
+            let Ok(n) = n.parse::<u32>() else {
+                eprintln!("bad shard count {n:?}: expected an unsigned integer");
+                std::process::exit(2);
+            };
+            if n == 0 {
+                eprintln!("--shards needs at least 1 group");
+                std::process::exit(2);
+            }
+            shards = Some(n);
+        } else if let Some(r) = arg.strip_prefix("--cross-shard-rate=") {
+            let Ok(r) = r.parse::<f64>() else {
+                eprintln!("bad cross-shard rate {r:?}: expected a fraction in 0..1");
+                std::process::exit(2);
+            };
+            if !(0.0..1.0).contains(&r) {
+                eprintln!("cross-shard rate {r} out of range [0, 1)");
+                std::process::exit(2);
+            }
+            cross_rate = r;
         } else if let Some(which) = arg.strip_prefix("--substrate=") {
             let Some(parsed) = Substrate::parse(which) else {
                 eprintln!("bad substrate {which:?}: expected sim, rt or rt:N");
@@ -124,7 +196,8 @@ fn main() {
             eprintln!("unknown argument: {arg}");
             eprintln!(
                 "usage: run_scenario [index] [--scenario=NAME] [--chaos=SEED] [--list] \
-                 [--duration=SECS] [--substrate=sim|rt|rt:N] [--json[=PATH]] [--trace=PATH] \
+                 [--duration=SECS] [--substrate=sim|rt|rt:N] [--shards=N] \
+                 [--cross-shard-rate=R] [--json[=PATH]] [--trace=PATH] \
                  [--watch] [--prom=PATH]"
             );
             std::process::exit(2);
@@ -160,6 +233,25 @@ fn main() {
     let seed = chaos_seed.unwrap_or(9000 + index.unwrap_or(0) as u64);
     // JSON-to-stdout runs must emit nothing but the report object.
     let quiet = matches!(json, Some(None));
+    if let Some(n) = shards {
+        if index.is_some() || by_name.is_some() || chaos_seed.is_some() {
+            eprintln!("--shards runs its own workload; drop the scenario/chaos selector");
+            std::process::exit(2);
+        }
+        if trace_path.is_some() || watch || prom_path.is_some() {
+            eprintln!("--trace/--watch/--prom are not available with --shards");
+            std::process::exit(2);
+        }
+        let (report, threads_used) = run_sharded(
+            n,
+            cross_rate,
+            seed,
+            Span::secs(duration_s),
+            substrate,
+            quiet,
+        );
+        finish(&report, substrate, threads_used, &json, seed);
+    }
     let scenario = match (chaos_seed, index) {
         (Some(seed), _) => {
             let cfg = DeploymentConfig::wide_area(seed);
@@ -263,10 +355,22 @@ fn main() {
             outcome.report
         }
     };
+    finish(&report, substrate, threads_used, &json, seed);
+}
+
+/// Emits the report (text or JSON) and exits: 0 on success, 3 on any
+/// safety/invariant violation.
+fn finish(
+    report: &Report,
+    substrate: Substrate,
+    threads_used: usize,
+    json: &Option<Option<String>>,
+    seed: u64,
+) -> ! {
     let provenance = Provenance::of(&substrate.to_string(), threads_used, spire_bench::git_rev());
     match json {
         Some(Some(path)) => {
-            if let Err(e) = std::fs::write(&path, report.to_json_with(&provenance)) {
+            if let Err(e) = std::fs::write(path, report.to_json_with(&provenance)) {
                 eprintln!("failed to write report to {path}: {e}");
                 std::process::exit(1);
             }
@@ -290,6 +394,24 @@ fn main() {
                 report.chaos.duplicated_frames,
                 report.chaos.decode_failures,
             );
+            for s in &report.shards {
+                println!(
+                    "shard {}: {}/{} confirmed, p50={:.1}ms p99={:.1}ms",
+                    s.shard, s.confirmed, s.sent, s.p50_ms, s.p99_ms
+                );
+            }
+            if report.xshard.commands > 0 {
+                println!(
+                    "cross-shard: {} commands, {} committed / {} aborted ({} retries), \
+                     commit p50={:.1}ms p99={:.1}ms",
+                    report.xshard.commands,
+                    report.xshard.committed,
+                    report.xshard.aborted,
+                    report.xshard.retries,
+                    report.xshard.commit_p50_ms,
+                    report.xshard.commit_p99_ms,
+                );
+            }
             let table = report.phase_table();
             if !table.is_empty() {
                 println!("\nper-phase latency breakdown:\n{table}");
@@ -304,4 +426,5 @@ fn main() {
         );
         std::process::exit(3);
     }
+    std::process::exit(0);
 }

@@ -1101,6 +1101,344 @@ pub fn rt_throughput(point_secs: u64, json_out: Option<&str>) {
     }
 }
 
+/// SHARD — multi-group scaling: aggregate confirmed-updates/s for 1, 2
+/// and 4 Prime groups under a **fixed** total offered load with the WAN
+/// bandwidth capped, plus cross-shard 2PC legs (10% mix, poisoned
+/// aborts, coordinator chaos) proving atomicity holds while intra-shard
+/// throughput scales.
+///
+/// A single group funnels every update through one set of six replicas,
+/// so the replicas' modeled per-message CPU time (signature checks,
+/// ordering work — the ceiling the paper measures on real hosts) is
+/// what saturates: confirmed throughput flattens at the CPU's service
+/// rate while queueing shows up as latency, never loss. Sharding splits
+/// the ordering work across independent groups — the aggregate
+/// confirmed rate climbs back toward the offered load. `smoke` runs the
+/// reduced CI matrix (2 groups, short legs, sim + rt) and the full mode
+/// demands the >= 3x scaling from 1 -> 4 groups. Returns overall
+/// success; writes `BENCH_PR9.json`-style rows to `json_out`.
+///
+/// (A WAN bandwidth cap is *not* a usable ceiling here: the overlay's
+/// hop-by-hop retransmission turns any sustained link overload into a
+/// congestion-collapse spiral — RTOs cap at 2 s, so multi-second queues
+/// multiply traffic without bound and goodput falls off a cliff instead
+/// of flattening. `SPIRE_SHARD_BW` still applies one for exploration.)
+pub fn shard_scaling(point_secs: u64, smoke: bool, json_out: Option<&str>) -> bool {
+    use spire::sharded::{ShardedConfig, ShardedDeployment};
+
+    // Fixed offered load for the scaling sweep; the replica CPU model is
+    // tuned so one group saturates well below it but four groups, each
+    // ordering a quarter of the updates, clear it.
+    let total_rtus: u32 = crate::env_u64("SPIRE_SHARD_RTUS", if smoke { 24 } else { 40 }) as u32;
+    let interval = Span::millis(100);
+    let offered_per_s = total_rtus as u64 * 1000 / 100;
+    // Calibrated so one group saturates far below the 400/s offered load
+    // while four groups clear ~95% of it (sim is deterministic, so the
+    // sweep reproduces exactly). The smoke matrix only runs 1 -> 2
+    // groups at a lighter load, so it uses a lighter per-message cost
+    // that leaves the 2-group point comfortably under capacity.
+    let cpu_us = crate::env_u64("SPIRE_SHARD_CPU_US", if smoke { 500 } else { 800 });
+    let wan_bps = std::env::var("SPIRE_SHARD_BW")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok());
+    let sweep: &[u32] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+
+    #[derive(Clone)]
+    struct Row {
+        substrate: &'static str,
+        shards: u32,
+        cross_rate: f64,
+        chaos: bool,
+        report: spire::Report,
+        run_s: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let mut ok = true;
+
+    header(
+        &format!(
+            "SHARD: aggregate throughput vs group count \
+             ({total_rtus} RTUs, {offered_per_s}/s offered, {cpu_us} us replica CPU per message)"
+        ),
+        "  groups | confirmed |  rate/s | delivery |  p99_ms | safety",
+    );
+    let scaling_cfg = |shards: u32, seed: u64| {
+        let mut cfg = ShardedConfig::wide_area(shards, seed);
+        cfg.base.workload = WorkloadConfig {
+            rtus: total_rtus,
+            update_interval: interval,
+            hmis: 1,
+            ..Default::default()
+        };
+        cfg.base.replica_service_us = Some(cpu_us);
+        if let Some(bps) = wan_bps {
+            // Exploration-only WAN cap; deep router buffers keep the
+            // saturated configurations from tail-dropping their own
+            // ordering frames into a zero-throughput collapse.
+            cfg.base.wan_bandwidth_bps = Some(bps);
+            cfg.base.wan_max_queue_ms = Some(10_000);
+        }
+        cfg
+    };
+    let mut rates: Vec<(u32, f64)> = Vec::new();
+    for &shards in sweep {
+        let mut system = ShardedDeployment::build(scaling_cfg(shards, 900 + shards as u64));
+        system.install_invariant_checker(Span::secs(1), secs(point_secs));
+        system.run_for(Span::secs(point_secs));
+        let report = system.report();
+        let rate = report.updates_confirmed as f64 / point_secs as f64;
+        println!(
+            "  {shards:>6} | {:>9} | {:>7.1} | {:>7.1}% | {:>7.1} | {}",
+            report.updates_confirmed,
+            rate,
+            report.delivery_ratio() * 100.0,
+            report.update_summary.as_ref().map_or(f64::NAN, |s| s.p99),
+            if report.safety_ok { "OK" } else { "BROKEN" },
+        );
+        ok &= report.safety_ok;
+        rates.push((shards, rate));
+        rows.push(Row {
+            substrate: "sim",
+            shards,
+            cross_rate: 0.0,
+            chaos: false,
+            report,
+            run_s: point_secs as f64,
+        });
+    }
+    let rate_of = |n: u32| {
+        rates
+            .iter()
+            .find(|(s, _)| *s == n)
+            .map(|(_, r)| *r)
+            .unwrap_or(f64::NAN)
+    };
+    let scaling = rate_of(*sweep.last().unwrap()) / rate_of(1).max(1e-9);
+    println!(
+        "  scaling 1 -> {} groups: {scaling:.2}x (offered {offered_per_s}/s)",
+        sweep.last().unwrap()
+    );
+    // The top sweep point must actually clear its offered load; without
+    // this, a WAN cap savage enough to kill *every* configuration would
+    // make the scaling ratio degenerate (0 -> epsilon) and pass trivially.
+    let top_delivery = rows
+        .last()
+        .map(|r| r.report.delivery_ratio())
+        .unwrap_or(0.0);
+    if top_delivery < 0.9 {
+        println!(
+            "  FAIL: {}-group delivery {:.1}% — the cap drowned every configuration",
+            sweep.last().unwrap(),
+            top_delivery * 100.0
+        );
+        ok = false;
+    }
+    if smoke {
+        // CI gate: adding a group must never cost aggregate throughput.
+        if rate_of(2) < rate_of(1) {
+            println!("  FAIL: 2-group aggregate below the single-group baseline");
+            ok = false;
+        }
+    } else if scaling < 3.0 {
+        println!("  FAIL: expected >= 3x scaling from 1 -> 4 groups, got {scaling:.2}x");
+        ok = false;
+    }
+
+    // Cross-shard legs: uncapped WAN, moderate per-shard load, 10% of
+    // supervisory commands spanning two groups (plus a poisoned-abort
+    // variant and a coordinator-chaos variant). Atomicity must hold in
+    // all three; the chaos window must actually force retries.
+    let xshard_secs = if smoke { 30 } else { 60 };
+    let x_groups: u32 = if smoke { 2 } else { 4 };
+    header(
+        &format!("SHARD: cross-shard 2PC legs ({x_groups} groups, 10% mix, {xshard_secs}s)"),
+        "  leg            | commands | committed | aborted | retries | commit p50/p99 ms | atomic",
+    );
+    let xshard_cfg = |seed: u64, poison_every: u64, cross_rate: f64| {
+        let mut cfg = ShardedConfig::wide_area(x_groups, seed);
+        cfg.base.workload = WorkloadConfig {
+            rtus: 4 * x_groups,
+            update_interval: Span::millis(500),
+            hmis: 1,
+            command_interval: Span::secs(5),
+            ..Default::default()
+        };
+        cfg.cross_rate = cross_rate;
+        cfg.poison_every = poison_every;
+        cfg
+    };
+    // The smoke window is short enough that at a 10% mix the poisoned
+    // leg may never reach its every-3rd command; make every command
+    // cross-shard and poison every other one so both the abort and the
+    // commit path are exercised deterministically.
+    let (poison_nth, poison_cross) = if smoke { (2, 1.0) } else { (3, 0.1) };
+    for (leg, poison_every, chaos, cross_rate) in [
+        ("mix", 0u64, false, 0.1),
+        ("poisoned", poison_nth, false, poison_cross),
+        ("chaos", 0, true, 0.1),
+    ] {
+        let mut system =
+            ShardedDeployment::build(xshard_cfg(1200 + poison_every, poison_every, cross_rate));
+        if chaos {
+            system.schedule_coordinator_chaos(
+                secs(xshard_secs / 4),
+                secs(3 * xshard_secs / 4),
+                0.75,
+                0.3,
+            );
+        }
+        system.install_invariant_checker(Span::secs(1), secs(xshard_secs));
+        system.run_for(Span::secs(xshard_secs));
+        let report = system.report();
+        let atomic = system.ledger.violation_count() == 0
+            && report.chaos.invariant_violations == 0
+            && report.safety_ok;
+        println!(
+            "  {leg:<14} | {:>8} | {:>9} | {:>7} | {:>7} | {:>8.1}/{:<8.1} | {}",
+            report.xshard.commands,
+            report.xshard.committed,
+            report.xshard.aborted,
+            report.xshard.retries,
+            report.xshard.commit_p50_ms,
+            report.xshard.commit_p99_ms,
+            if atomic { "OK" } else { "VIOLATED" },
+        );
+        ok &= atomic && report.xshard.committed > 0;
+        if leg == "poisoned" && report.xshard.aborted == 0 {
+            println!("  FAIL: poisoned leg never exercised the abort path");
+            ok = false;
+        }
+        rows.push(Row {
+            substrate: "sim",
+            shards: x_groups,
+            cross_rate,
+            chaos,
+            report,
+            run_s: xshard_secs as f64,
+        });
+    }
+
+    // rt leg: the same sharded system (2 groups, 10% mix) hosted on the
+    // real-clock runtime — wall time, so keep it short.
+    let rt_secs = if smoke { 6 } else { 10 };
+    println!("\nSHARD: rt substrate leg (2 groups, 10% mix, {rt_secs}s wall time)");
+    let outcome = {
+        let mut cfg = ShardedConfig::wide_area(2, 1300);
+        cfg.base.workload = WorkloadConfig {
+            rtus: 8,
+            update_interval: Span::millis(250),
+            hmis: 1,
+            command_interval: Span::secs(2),
+            ..Default::default()
+        };
+        cfg.cross_rate = 0.1;
+        ShardedDeployment::build(cfg)
+            .into_rt(0)
+            .run_for(Span::secs(rt_secs))
+    };
+    let rt_ok = outcome.report.safety_ok
+        && outcome.report.chaos.invariant_violations == 0
+        && outcome.report.delivery_ratio() > 0.9
+        && outcome.report.updates_confirmed > 0;
+    println!(
+        "  rt: {}/{} confirmed ({:.1}%), xshard {} committed / {} aborted, safety {}",
+        outcome.report.updates_confirmed,
+        outcome.report.updates_sent,
+        outcome.report.delivery_ratio() * 100.0,
+        outcome.report.xshard.committed,
+        outcome.report.xshard.aborted,
+        if rt_ok { "OK" } else { "BROKEN" },
+    );
+    ok &= rt_ok;
+    rows.push(Row {
+        substrate: "rt",
+        shards: 2,
+        cross_rate: 0.1,
+        chaos: false,
+        report: outcome.report,
+        run_s: rt_secs as f64,
+    });
+
+    println!(
+        "\nshard scaling: {} (scaling {scaling:.2}x, {} legs)",
+        if ok { "PASS" } else { "FAIL" },
+        rows.len()
+    );
+
+    let Some(path) = json_out else { return ok };
+    let fmt_row = |r: &Row| {
+        let rep = &r.report;
+        format!(
+            "{{\"substrate\":\"{}\",\"shards\":{},\"cross_rate\":{},\"chaos\":{},\
+             \"run_s\":{},\"updates_sent\":{},\"updates_confirmed\":{},\
+             \"delivery_ratio\":{},\"confirmed_per_s\":{},\"p99_ms\":{},\
+             \"safety_ok\":{},\"invariant_violations\":{},\
+             \"xshard\":{{\"commands\":{},\"committed\":{},\"aborted\":{},\"retries\":{},\
+             \"commit_p50_ms\":{},\"commit_p99_ms\":{}}},\
+             \"per_shard\":[{}]}}",
+            r.substrate,
+            r.shards,
+            r.cross_rate,
+            r.chaos,
+            r.run_s,
+            rep.updates_sent,
+            rep.updates_confirmed,
+            rep.delivery_ratio(),
+            rep.updates_confirmed as f64 / r.run_s.max(1e-9),
+            rep.update_summary
+                .as_ref()
+                .map(|s| s.p99.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+            rep.safety_ok,
+            rep.chaos.invariant_violations,
+            rep.xshard.commands,
+            rep.xshard.committed,
+            rep.xshard.aborted,
+            rep.xshard.retries,
+            finite_or_null(rep.xshard.commit_p50_ms),
+            finite_or_null(rep.xshard.commit_p99_ms),
+            rep.shards
+                .iter()
+                .map(|s| format!(
+                    "{{\"shard\":{},\"sent\":{},\"confirmed\":{},\"p50_ms\":{},\"p99_ms\":{}}}",
+                    s.shard,
+                    s.sent,
+                    s.confirmed,
+                    finite_or_null(s.p50_ms),
+                    finite_or_null(s.p99_ms),
+                ))
+                .collect::<Vec<_>>()
+                .join(","),
+        )
+    };
+    let json = format!(
+        "{{\"experiment\":\"shard_scaling\",\"schema_version\":{},\
+         \"git_rev\":{:?},\"smoke\":{smoke},\"point_secs\":{point_secs},\
+         \"cores\":{},\"total_rtus\":{total_rtus},\"offered_per_s\":{offered_per_s},\
+         \"replica_service_us\":{cpu_us},\"scaling\":{scaling},\"pass\":{ok},\
+         \"rows\":[{}]}}\n",
+        spire::report::REPORT_SCHEMA_VERSION,
+        crate::git_rev(),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        rows.iter().map(fmt_row).collect::<Vec<_>>().join(","),
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => println!("shard scaling results -> {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+    ok
+}
+
+fn finite_or_null(v: f64) -> String {
+    if v.is_finite() {
+        v.to_string()
+    } else {
+        "null".to_string()
+    }
+}
+
 /// Convenience wrapper used by `cargo bench` and the all-experiments bin.
 pub fn run_all(scale: u64) {
     t1_configurations();

@@ -121,6 +121,25 @@ pub struct DeploymentConfig {
     /// Off reverts to strictly timer-paced, one-message-per-frame
     /// operation (the pre-PR8 wire behaviour) for A/B comparisons.
     pub pipelining: bool,
+    /// Override for every WAN link's bandwidth (both overlays). `None`
+    /// keeps [`LinkConfig::wan`]'s default; the shard-scaling experiments
+    /// constrain this so a single group's aggregate traffic saturates
+    /// while a partitioned deployment's per-group share does not.
+    pub wan_bandwidth_bps: Option<u64>,
+    /// Override for every WAN link's router buffer depth in
+    /// milliseconds of queueing delay. `None` keeps the 200 ms default.
+    /// Capped-bandwidth studies deepen this so a saturated group
+    /// degrades into queueing latency instead of tail-dropping the
+    /// ordering frames it needs to make progress at all.
+    pub wan_max_queue_ms: Option<u64>,
+    /// Modeled per-message CPU time on each replica, in microseconds
+    /// (`None` = infinitely fast hosts, the default). Spire's real-world
+    /// throughput ceiling is the replicas' signature/ordering work, not
+    /// the wire; the shard-scaling experiments set this so one group
+    /// saturates at a measurable confirmed rate while the queueing
+    /// stays graceful (latency, not loss — see
+    /// [`spire_sim::World::set_service_time`]).
+    pub replica_service_us: Option<u64>,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -145,6 +164,9 @@ impl DeploymentConfig {
             // timer-paced, one-message-per-frame wire behaviour for A/B
             // runs without a code change.
             pipelining: std::env::var("SPIRE_PIPELINING").map_or(true, |v| v != "0"),
+            wan_bandwidth_bps: None,
+            wan_max_queue_ms: None,
+            replica_service_us: None,
             seed,
         }
     }
@@ -158,6 +180,14 @@ impl DeploymentConfig {
     }
 }
 
+/// Builds the replicated application a group's replicas run. The default
+/// is a plain [`ScadaMaster`] over the group's directory; sharded
+/// deployments substitute a master carrying cross-shard participant
+/// state. Recovery and compromise injection rebuild replicas through the
+/// same factory, so the substituted application survives restarts.
+pub type AppFactory =
+    Arc<dyn Fn(&ScadaDirectory) -> Box<dyn spire_prime::Application> + Send + Sync>;
+
 /// Everything needed to construct a fresh replica process (used by
 /// proactive recovery and compromise injection).
 pub struct ReplicaBuilder {
@@ -169,6 +199,7 @@ pub struct ReplicaBuilder {
     nets: Vec<SpinesNet>,
     mock_sigs: bool,
     session_macs: bool,
+    app_factory: AppFactory,
 }
 
 impl ReplicaBuilder {
@@ -182,8 +213,11 @@ impl ReplicaBuilder {
                 rec.view = 0;
             });
         }
+        // `replica_key_base` already carries the group's key offset in a
+        // sharded deployment, so recovery rebuilds with the right keys.
         let signer = Signer::new(
-            self.material.signing_key(NodeId(key_base::REPLICA + id)),
+            self.material
+                .signing_key(NodeId(self.prime.replica_key_base + id)),
             self.mock_sigs,
         );
         let mut replica = Replica::new(
@@ -193,7 +227,7 @@ impl ReplicaBuilder {
             Arc::clone(&self.keystore),
             signer,
             Box::new(self.nets[id as usize].clone()),
-            Box::new(ScadaMaster::new(self.directory.clone())),
+            (self.app_factory)(&self.directory),
             recovering,
         )
         .with_inspection(self.inspection.clone());
@@ -202,14 +236,96 @@ impl ReplicaBuilder {
             // key material exactly as both endpoints will (link_key is
             // order-independent). Recovery rebuilds replicas through this
             // same path, so rejoining replicas keep their link keys.
-            let me = NodeId(key_base::REPLICA + id);
+            let me = NodeId(self.prime.replica_key_base + id);
             let keys = (0..self.prime.n)
-                .map(|peer| self.material.link_key(me, NodeId(key_base::REPLICA + peer)))
+                .map(|peer| {
+                    self.material
+                        .link_key(me, NodeId(self.prime.replica_key_base + peer))
+                })
                 .collect();
             replica = replica.with_session_keys(keys);
         }
         replica
     }
+}
+
+/// Build-time parameters of one replication group inside a (possibly
+/// sharded) deployment. [`GroupSpec::single`] reproduces the classic
+/// single-group system; the sharded builder creates one spec per group
+/// with disjoint key offsets and RTU partitions.
+#[derive(Clone)]
+pub struct GroupSpec {
+    /// Crypto-id offset for every role in this group
+    /// (`g * spire_shard::SHARD_KEY_STRIDE`).
+    pub key_offset: u32,
+    /// Process-name prefix (`""` for the single group, `"s0-"`, ... when
+    /// sharded) so pid maps stay readable.
+    pub label: String,
+    /// Extra metric scope for the group's proxies (e.g. `"shard0"`);
+    /// scoped delivery/latency series are emitted alongside the global
+    /// `scada.*` ones.
+    pub metric_scope: Option<String>,
+    /// Global RTU ids this group owns. A proxy's Prime client id is its
+    /// global RTU id; its signing key is `key_offset + CLIENT + id`.
+    pub rtus: Vec<u32>,
+    /// Number of HMIs (client ids `1000..`).
+    pub hmis: u32,
+    /// Per-replica Byzantine behaviours within this group.
+    pub byz: BTreeMap<u32, ByzBehavior>,
+    /// Extra `(client id, external-overlay port)` pairs registered at the
+    /// group's HMI site — the cross-shard coordinator attaches here.
+    pub extra_clients: Vec<(u32, u16)>,
+    /// Replicated-application factory (`None` = plain SCADA master).
+    pub app_factory: Option<AppFactory>,
+}
+
+impl GroupSpec {
+    /// The classic single-group layout implied by `cfg`.
+    pub fn single(cfg: &DeploymentConfig) -> GroupSpec {
+        GroupSpec {
+            key_offset: 0,
+            label: String::new(),
+            metric_scope: None,
+            rtus: (0..cfg.workload.rtus).collect(),
+            hmis: cfg.workload.hmis,
+            byz: cfg.byz.clone(),
+            extra_clients: Vec::new(),
+            app_factory: None,
+        }
+    }
+}
+
+/// Everything [`build_group`] constructed for one group, kept for wiring
+/// (coordinator clients), fault injection and safety checking.
+pub struct GroupParts {
+    /// The group's replica inspection registry.
+    pub inspection: Inspection,
+    /// Per-replica process ids.
+    pub replica_pids: Vec<ProcessId>,
+    /// Per-RTU proxy process ids (group-local order of `spec.rtus`).
+    pub proxy_pids: Vec<ProcessId>,
+    /// Per-RTU device process ids.
+    pub device_pids: Vec<ProcessId>,
+    /// HMI process ids.
+    pub hmi_pids: Vec<ProcessId>,
+    /// The group's internal overlay.
+    pub internal: OverlayNetwork,
+    /// The group's external overlay.
+    pub external: OverlayNetwork,
+    /// Replica construction context for recovery/compromise injection.
+    pub builder: Arc<ReplicaBuilder>,
+    /// The group's online safety-invariant checker.
+    pub checker: Arc<InvariantChecker>,
+    /// Replicas declared faulty (shared with the checker).
+    pub declared_faulty: Arc<Mutex<BTreeSet<u32>>>,
+    /// Site index whose external daemon hosts HMIs and extra clients.
+    pub hmi_site: u16,
+    /// External-overlay addresses of the group's replicas.
+    pub replica_addr_external: Vec<OverlayAddr>,
+    /// External-overlay address of every client id.
+    pub client_addrs: BTreeMap<u32, OverlayAddr>,
+    /// The group's Prime configuration (key bases already offset).
+    pub prime: PrimeConfig,
 }
 
 /// A fully built Spire system.
@@ -250,24 +366,26 @@ pub struct Deployment {
     recovery_counter: u32,
 }
 
-impl Deployment {
-    /// Builds the full system.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration fails [`SpireConfig::validate`] (non
-    /// site-tolerant layouts are allowed; they are part of the evaluation).
-    pub fn build(cfg: DeploymentConfig) -> Deployment {
-        cfg.spire.validate(false).expect("invalid spire config");
-        let mut world = World::new(cfg.seed);
-        let material = KeyMaterial::new([0x55u8; 32]);
-        let keystore = Arc::new(KeyStore::for_nodes(&material, 4096));
+/// Builds one replication group into `world`: its internal/external
+/// overlays, Prime replicas, substations (devices + proxies) and HMIs.
+/// [`Deployment::build`] calls this once with [`GroupSpec::single`]; the
+/// sharded deployment calls it once per group with disjoint key offsets
+/// and RTU partitions. Tracing must already be enabled on `world` when
+/// `cfg.trace` is set (overlay daemons are marked here).
+pub fn build_group(
+    world: &mut World,
+    cfg: &DeploymentConfig,
+    spec: &GroupSpec,
+    material: &KeyMaterial,
+    keystore: &Arc<KeyStore>,
+) -> GroupParts {
+    {
         let inspection = Inspection::new();
         let sites = &cfg.spire.sites;
         let n_sites = sites.len() as u16;
         let n_replicas = cfg.spire.total_replicas();
-        let n_rtus = cfg.workload.rtus;
-        let n_hmis = cfg.workload.hmis;
+        let n_rtus = spec.rtus.len() as u32;
+        let n_hmis = spec.hmis;
 
         // Overlay hop-level link batching rides the same A/B switch as the
         // Prime pipelining knobs: off means every overlay message is framed,
@@ -291,21 +409,35 @@ impl Deployment {
                 internal_topology.add_edge(OverlayId(i), OverlayId(j), w.max(1));
             }
         }
+        // Optional deployment-wide WAN bandwidth cap and router buffer
+        // depth (scaling studies).
+        let bw = cfg.wan_bandwidth_bps;
+        let queue_ms = cfg.wan_max_queue_ms;
+        let wan_link = move |ms: u64| {
+            let mut link = match bw {
+                Some(bps) => LinkConfig::wan(ms).with_bandwidth(bps),
+                None => LinkConfig::wan(ms),
+            };
+            if let Some(q) = queue_ms {
+                link = link.with_max_queue(Span::millis(q));
+            }
+            link
+        };
         let wan_for = {
             let sites = sites.clone();
             let wan = cfg.wan;
             move |a: OverlayId, b: OverlayId| {
                 let ms = wan.site_latency(sites[a.0 as usize].kind, sites[b.0 as usize].kind);
-                LinkConfig::wan(ms)
+                wan_link(ms)
             }
         };
         let internal = OverlayNetwork::build(
-            &mut world,
+            world,
             &internal_topology,
             daemon_cfg,
-            &material,
-            &keystore,
-            key_base::INTERNAL_DAEMON,
+            material,
+            keystore,
+            spec.key_offset + key_base::INTERNAL_DAEMON,
             &wan_for,
             |_| DaemonBehavior::Honest,
         );
@@ -357,22 +489,21 @@ impl Deployment {
                     (Some(x), Some(y)) => wan.site_latency(x, y),
                     _ => wan.sub_cc_ms,
                 };
-                LinkConfig::wan(ms)
+                wan_link(ms)
             }
         };
         let external = OverlayNetwork::build(
-            &mut world,
+            world,
             &external_topology,
             daemon_cfg,
-            &material,
-            &keystore,
-            key_base::EXTERNAL_DAEMON,
+            material,
+            keystore,
+            spec.key_offset + key_base::EXTERNAL_DAEMON,
             &external_wan,
             |_| DaemonBehavior::Honest,
         );
 
         if cfg.trace {
-            world.enable_tracing(65_536);
             // Overlay daemons are marked so the simulator can attribute
             // per-hop forwarding latency to the Spines path.
             for node in internal_topology.nodes() {
@@ -387,7 +518,7 @@ impl Deployment {
 
         // ---------- directory & addressing ----------
         let mut directory = ScadaDirectory::default();
-        for r in 0..n_rtus {
+        for &r in &spec.rtus {
             directory.rtu_proxy.insert(r, r); // proxy client id = rtu id
         }
         for h in 0..n_hmis {
@@ -406,11 +537,11 @@ impl Deployment {
             })
             .collect();
         let mut client_addrs: BTreeMap<u32, OverlayAddr> = BTreeMap::new();
-        for r in 0..n_rtus {
+        for (i, &r) in spec.rtus.iter().enumerate() {
             client_addrs.insert(
                 r,
                 OverlayAddr {
-                    node: OverlayId(n_sites + r as u16),
+                    node: OverlayId(n_sites + i as u16),
                     port: PROXY_PORT,
                 },
             );
@@ -427,6 +558,18 @@ impl Deployment {
                 },
             );
         }
+        // Extra clients (the cross-shard coordinator) attach at the HMI
+        // site; registered before replica nets are cloned so replies
+        // route back to them.
+        for &(id, port) in &spec.extra_clients {
+            client_addrs.insert(
+                id,
+                OverlayAddr {
+                    node: OverlayId(hmi_site),
+                    port,
+                },
+            );
+        }
 
         let mut prime = PrimeConfig::new(cfg.spire.f, cfg.spire.k);
         prime.n = n_replicas;
@@ -436,8 +579,8 @@ impl Deployment {
         prime.checkpoint_interval = 25;
         // SCADA's 100 ms regime warrants fast crash detection.
         prime.progress_timeout = Span::secs(2);
-        prime.replica_key_base = key_base::REPLICA;
-        prime.client_key_base = key_base::CLIENT;
+        prime.replica_key_base = spec.key_offset + key_base::REPLICA;
+        prime.client_key_base = spec.key_offset + key_base::CLIENT;
         prime.batch_sign = cfg.batch_signing;
         prime.batch_interval = cfg.batch_interval;
         if !cfg.pipelining {
@@ -467,32 +610,42 @@ impl Deployment {
                 }
             })
             .collect();
+        let app_factory: AppFactory = spec.app_factory.clone().unwrap_or_else(|| {
+            Arc::new(|dir: &ScadaDirectory| {
+                Box::new(ScadaMaster::new(dir.clone())) as Box<dyn spire_prime::Application>
+            })
+        });
         let builder = Arc::new(ReplicaBuilder {
             prime: prime.clone(),
-            keystore: Arc::clone(&keystore),
+            keystore: Arc::clone(keystore),
             material: material.clone(),
             directory: directory.clone(),
             inspection: inspection.clone(),
             nets: nets.clone(),
             mock_sigs: cfg.mock_sigs,
             session_macs: cfg.session_macs,
+            app_factory,
         });
+        let label = &spec.label;
         let mut replica_pids = Vec::new();
         for r in 0..n_replicas {
-            let behavior = cfg.byz.get(&r).copied().unwrap_or(ByzBehavior::Honest);
+            let behavior = spec.byz.get(&r).copied().unwrap_or(ByzBehavior::Honest);
             let replica = builder.build(r, behavior, false);
-            let pid = world.add_process(&format!("replica-{r}"), Box::new(replica));
+            let pid = world.add_process(&format!("{label}replica-{r}"), Box::new(replica));
+            if let Some(us) = cfg.replica_service_us {
+                world.set_service_time(pid, Span::micros(us));
+            }
             let site = cfg.spire.site_of_replica(r) as u16;
-            internal.wire_client(&mut world, OverlayId(site), pid);
-            external.wire_client(&mut world, OverlayId(site), pid);
+            internal.wire_client(world, OverlayId(site), pid);
+            external.wire_client(world, OverlayId(site), pid);
             replica_pids.push(pid);
         }
 
         // ---------- substations: devices + proxies ----------
         let mut device_pids = Vec::new();
         let mut proxy_pids = Vec::new();
-        for r in 0..n_rtus {
-            let hub = OverlayId(n_sites + r as u16);
+        for (i, &r) in spec.rtus.iter().enumerate() {
+            let hub = OverlayId(n_sites + i as u16);
             // Device and proxy are co-located at the substation.
             let first = world.process_count() as u32;
             let proxy_pid = ProcessId(first + 1);
@@ -502,12 +655,12 @@ impl Deployment {
                 cfg.workload.update_interval,
                 cfg.workload.process,
             );
-            let device_pid = world.add_process(&format!("rtu-{r}"), Box::new(device));
+            let device_pid = world.add_process(&format!("{label}rtu-{r}"), Box::new(device));
             let signer = Signer::new(
-                material.signing_key(NodeId(key_base::CLIENT + r)),
+                material.signing_key(NodeId(prime.client_key_base + r)),
                 cfg.mock_sigs,
             );
-            let proxy = RtuProxy::new(
+            let mut proxy = RtuProxy::new(
                 prime.clone(),
                 r,
                 ClientId(r),
@@ -519,10 +672,13 @@ impl Deployment {
                 },
                 device_pid,
             );
-            let got_proxy = world.add_process(&format!("proxy-{r}"), Box::new(proxy));
+            if let Some(scope) = &spec.metric_scope {
+                proxy = proxy.with_metric_scope(scope);
+            }
+            let got_proxy = world.add_process(&format!("{label}proxy-{r}"), Box::new(proxy));
             assert_eq!(got_proxy, proxy_pid);
             world.add_link(device_pid, proxy_pid, LinkConfig::local());
-            external.wire_client(&mut world, hub, proxy_pid);
+            external.wire_client(world, hub, proxy_pid);
             device_pids.push(device_pid);
             proxy_pids.push(proxy_pid);
         }
@@ -532,7 +688,7 @@ impl Deployment {
         for h in 0..n_hmis {
             let client = 1000 + h;
             let signer = Signer::new(
-                material.signing_key(NodeId(key_base::CLIENT + client)),
+                material.signing_key(NodeId(prime.client_key_base + client)),
                 cfg.mock_sigs,
             );
             let hmi = Hmi::new(
@@ -547,18 +703,18 @@ impl Deployment {
                     addrs: replica_addr_external.clone(),
                     mode: Dissemination::Flood,
                 },
-                (0..n_rtus).collect(),
+                spec.rtus.clone(),
                 cfg.workload.command_interval,
                 0,
             )
             .with_polling(cfg.workload.poll_interval);
-            let pid = world.add_process(&format!("hmi-{h}"), Box::new(hmi));
-            external.wire_client(&mut world, OverlayId(hmi_site), pid);
+            let pid = world.add_process(&format!("{label}hmi-{h}"), Box::new(hmi));
+            external.wire_client(world, OverlayId(hmi_site), pid);
             hmi_pids.push(pid);
         }
 
         let declared_faulty: Arc<Mutex<BTreeSet<u32>>> = Arc::new(Mutex::new(
-            cfg.byz
+            spec.byz
                 .iter()
                 .filter(|(_, b)| b.is_byzantine())
                 .map(|(id, _)| *id)
@@ -569,8 +725,7 @@ impl Deployment {
             Arc::clone(&declared_faulty),
             n_replicas,
         ));
-        Deployment {
-            world,
+        GroupParts {
             inspection,
             replica_pids,
             proxy_pids,
@@ -579,9 +734,46 @@ impl Deployment {
             internal,
             external,
             builder,
-            cfg,
             checker,
             declared_faulty,
+            hmi_site,
+            replica_addr_external,
+            client_addrs,
+            prime,
+        }
+    }
+}
+
+impl Deployment {
+    /// Builds the full system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SpireConfig::validate`] (non
+    /// site-tolerant layouts are allowed; they are part of the evaluation).
+    pub fn build(cfg: DeploymentConfig) -> Deployment {
+        cfg.spire.validate(false).expect("invalid spire config");
+        let mut world = World::new(cfg.seed);
+        let material = KeyMaterial::new([0x55u8; 32]);
+        let keystore = Arc::new(KeyStore::for_nodes(&material, 4096));
+        if cfg.trace {
+            world.enable_tracing(65_536);
+        }
+        let spec = GroupSpec::single(&cfg);
+        let parts = build_group(&mut world, &cfg, &spec, &material, &keystore);
+        Deployment {
+            world,
+            inspection: parts.inspection,
+            replica_pids: parts.replica_pids,
+            proxy_pids: parts.proxy_pids,
+            device_pids: parts.device_pids,
+            hmi_pids: parts.hmi_pids,
+            internal: parts.internal,
+            external: parts.external,
+            builder: parts.builder,
+            cfg,
+            checker: parts.checker,
+            declared_faulty: parts.declared_faulty,
             control_plan: Vec::new(),
             recovery_counter: 0,
         }

@@ -65,12 +65,17 @@ struct CheckerState {
     accepts_seen: u64,
 }
 
+/// An externally-supplied invariant: drained on every tick, each returned
+/// string is one new violation detail.
+type ExternalCheck = (&'static str, Arc<dyn Fn() -> Vec<String> + Send + Sync>);
+
 /// The online checker. Cheap to share (`Arc`); every method takes `&self`.
 pub struct InvariantChecker {
     inspection: Inspection,
     faulty: Arc<Mutex<BTreeSet<u32>>>,
     n_replicas: u32,
     state: Mutex<CheckerState>,
+    external: Mutex<Vec<ExternalCheck>>,
 }
 
 impl InvariantChecker {
@@ -87,7 +92,20 @@ impl InvariantChecker {
             faulty,
             n_replicas,
             state: Mutex::new(CheckerState::default()),
+            external: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Registers an external invariant run on every [`InvariantChecker::check`]
+    /// pass: `drain` returns the details of violations found since its last
+    /// call (e.g. the cross-shard atomicity ledger). `kind` tags them in
+    /// [`Violation::kind`].
+    pub fn add_external(
+        &self,
+        kind: &'static str,
+        drain: Arc<dyn Fn() -> Vec<String> + Send + Sync>,
+    ) {
+        self.external.lock().expect("poisoned").push((kind, drain));
     }
 
     /// Runs invariants 1–4 over the current inspection snapshot; returns
@@ -97,9 +115,17 @@ impl InvariantChecker {
         let correct: Vec<u32> = (0..self.n_replicas)
             .filter(|r| !faulty.contains(r))
             .collect();
+        // Drain external invariants before taking the state lock.
+        let mut external_hits: Vec<Violation> = Vec::new();
+        for (kind, drain) in self.external.lock().expect("poisoned").iter() {
+            for detail in drain() {
+                external_hits.push(Violation { kind, detail });
+            }
+        }
         let mut st = self.state.lock().expect("poisoned");
         st.checks += 1;
         let before = st.violations.len();
+        st.violations.append(&mut external_hits);
 
         // 1. Execution-prefix consistency across correct replicas.
         if let Err((a, b)) = self.inspection.check_safety(&correct) {

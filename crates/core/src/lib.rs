@@ -46,18 +46,22 @@ pub mod deployment;
 pub mod health;
 pub mod invariant;
 pub mod report;
+pub mod sharded;
 
 pub use attack::{Attack, Scenario};
 pub use baseline::BaselineDeployment;
 pub use chaos::{ChaosPlan, FaultBudget};
 pub use config::{required_replicas, SiteKind, SpireConfig};
 pub use deployment::{
-    classify_frame, Deployment, DeploymentConfig, HealthOptions, RtDeployment, RtOutcome,
-    Substrate, WanModel,
+    build_group, classify_frame, AppFactory, Deployment, DeploymentConfig, GroupParts, GroupSpec,
+    HealthOptions, RtDeployment, RtOutcome, Substrate, WanModel,
 };
 pub use health::{
     parse_prometheus, prometheus_text, AlarmKind, AttackDetector, BreachClass, HealthConfig,
     HealthMonitor, HealthTick, MetricsSnapshot, SloTracker, WindowStats,
 };
 pub use invariant::{InvariantChecker, Violation};
-pub use report::{ChaosStats, HealthStats, PhaseStat, Provenance, Report, SLA_MS};
+pub use report::{
+    ChaosStats, HealthStats, PhaseStat, Provenance, Report, ShardStat, XShardStats, SLA_MS,
+};
+pub use sharded::{ShardedConfig, ShardedDeployment, ShardedRt};

@@ -10,8 +10,10 @@ pub const SLA_MS: f64 = 100.0;
 
 /// Version stamp for the report/bench JSON schema; bump when fields
 /// change shape so the bench-trajectory tooling can diff runs across
-/// PRs. v2 added `health`, provenance fields and this stamp.
-pub const REPORT_SCHEMA_VERSION: u32 = 2;
+/// PRs. v2 added `health`, provenance fields and this stamp. v3 added
+/// `shards` (per-group workload stats) and `xshard` (cross-shard 2PC
+/// outcomes) for sharded deployments.
+pub const REPORT_SCHEMA_VERSION: u32 = 3;
 
 /// Where a report came from: the run substrate and the hardware/build
 /// identity — the same provenance `BENCH_*.json` rows carry.
@@ -147,6 +149,53 @@ impl AuthStats {
     }
 }
 
+/// Per-shard workload statistics from a sharded deployment, read from
+/// the `shard{N}.*` metrics each group's scoped proxies publish (empty
+/// for single-group deployments).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardStat {
+    /// Shard (replication group) index.
+    pub shard: u32,
+    /// Updates submitted by this shard's proxies.
+    pub sent: u64,
+    /// Updates confirmed by f+1 of this shard's replicas.
+    pub confirmed: u64,
+    /// Median confirm latency, ms (NaN with no samples).
+    pub p50_ms: f64,
+    /// 99th-percentile confirm latency, ms (NaN with no samples).
+    pub p99_ms: f64,
+}
+
+/// Cross-shard 2PC-over-BFT outcomes, read from the `xshard.*` metrics
+/// the coordinator publishes (all-zero without a coordinator workload).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct XShardStats {
+    /// Cross-shard transactions begun.
+    pub commands: u64,
+    /// Transactions committed at every participant.
+    pub committed: u64,
+    /// Transactions aborted at every participant.
+    pub aborted: u64,
+    /// Prepare/decision retry rounds across all transactions.
+    pub retries: u64,
+    /// Median end-to-end commit latency, ms (NaN with no commits).
+    pub commit_p50_ms: f64,
+    /// 99th-percentile commit latency, ms (NaN with no commits).
+    pub commit_p99_ms: f64,
+}
+
+impl XShardStats {
+    /// Fraction of finished transactions that committed (NaN when none
+    /// finished).
+    pub fn commit_rate(&self) -> f64 {
+        let done = self.committed + self.aborted;
+        if done == 0 {
+            return f64::NAN;
+        }
+        self.committed as f64 / done as f64
+    }
+}
+
 /// Fault-injection and robustness counters: what the chaos layer did to
 /// the run and how the system absorbed it.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -215,6 +264,10 @@ pub struct Report {
     pub chaos: ChaosStats,
     /// Live health-telemetry verdicts (zeros when no monitor ran).
     pub health: HealthStats,
+    /// Per-shard workload stats (empty for single-group deployments).
+    pub shards: Vec<ShardStat>,
+    /// Cross-shard 2PC outcomes (zeros without a coordinator workload).
+    pub xshard: XShardStats,
 }
 
 impl Report {
@@ -280,6 +333,40 @@ impl Report {
             mailbox_retries: metrics.counter("rt.mailbox_retry"),
             mailbox_dropped,
         };
+        let mut shard_ids: Vec<u32> = metrics
+            .counter_names()
+            .filter_map(|n| {
+                n.strip_prefix("shard")?
+                    .strip_suffix(".updates_sent")?
+                    .parse()
+                    .ok()
+            })
+            .collect();
+        shard_ids.sort_unstable();
+        let shards = shard_ids
+            .into_iter()
+            .map(|g| {
+                let lat = metrics.values(&format!("shard{g}.update_latency_ms"));
+                let summary = Summary::of(&lat);
+                ShardStat {
+                    shard: g,
+                    sent: metrics.counter(&format!("shard{g}.updates_sent")),
+                    confirmed: metrics.counter(&format!("shard{g}.updates_confirmed")),
+                    p50_ms: summary.as_ref().map_or(f64::NAN, |s| s.p50),
+                    p99_ms: summary.as_ref().map_or(f64::NAN, |s| s.p99),
+                }
+            })
+            .collect();
+        let commit_lat = metrics.values("xshard.commit_latency_ms");
+        let commit_summary = Summary::of(&commit_lat);
+        let xshard = XShardStats {
+            commands: metrics.counter("xshard.commands"),
+            committed: metrics.counter("xshard.commits"),
+            aborted: metrics.counter("xshard.aborts"),
+            retries: metrics.counter("xshard.retries"),
+            commit_p50_ms: commit_summary.as_ref().map_or(f64::NAN, |s| s.p50),
+            commit_p99_ms: commit_summary.as_ref().map_or(f64::NAN, |s| s.p99),
+        };
         let health = HealthStats {
             snapshots: metrics.counter("health.snapshots"),
             latency_breaches: metrics.counter("health.slo_breach.latency"),
@@ -317,6 +404,8 @@ impl Report {
             },
             chaos,
             health,
+            shards,
+            xshard,
             update_latencies_ms,
             update_timeline,
         }
@@ -446,6 +535,31 @@ impl Report {
             self.chaos.mailbox_retries,
             dropped.join(","),
         );
+        let shards: Vec<String> = self
+            .shards
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"shard\":{},\"sent\":{},\"confirmed\":{},\"p50_ms\":{},\"p99_ms\":{}}}",
+                    s.shard,
+                    s.sent,
+                    s.confirmed,
+                    num(s.p50_ms),
+                    num(s.p99_ms),
+                )
+            })
+            .collect();
+        let xshard = format!(
+            "{{\"commands\":{},\"committed\":{},\"aborted\":{},\"retries\":{},\
+             \"commit_rate\":{},\"commit_p50_ms\":{},\"commit_p99_ms\":{}}}",
+            self.xshard.commands,
+            self.xshard.committed,
+            self.xshard.aborted,
+            self.xshard.retries,
+            num(self.xshard.commit_rate()),
+            num(self.xshard.commit_p50_ms),
+            num(self.xshard.commit_p99_ms),
+        );
         let health = format!(
             "{{\"snapshots\":{},\"latency_breaches\":{},\"delivery_breaches\":{},\
              \"silence_breaches\":{},\"slow_leader_alarms\":{},\"site_dos_alarms\":{},\
@@ -469,7 +583,7 @@ impl Report {
              \"batch_flushes\":{},\"batched_msgs\":{},\"mac_ops\":{},\
              \"mac_auth_hits\":{},\"mac_fail\":{},\"amortization_factor\":{},\
              \"signs_per_update\":{},\"verifies_per_update\":{}}},\
-             \"chaos\":{},\"health\":{},\
+             \"chaos\":{},\"health\":{},\"shards\":[{}],\"xshard\":{},\
              \"phase_breakdown\":[{}],\"throughput_timeline\":[{}]}}",
             self.updates_sent,
             self.updates_confirmed,
@@ -497,6 +611,8 @@ impl Report {
             num(self.verifies_per_update()),
             chaos,
             health,
+            shards.join(","),
+            xshard,
             phases.join(","),
             throughput.join(","),
         )
@@ -578,6 +694,8 @@ mod tests {
             auth: AuthStats::default(),
             chaos: ChaosStats::default(),
             health: HealthStats::default(),
+            shards: vec![],
+            xshard: XShardStats::default(),
         }
     }
 
@@ -699,6 +817,46 @@ mod tests {
             report_with(vec![], 0, 0).health_line(),
             "health: no monitor installed"
         );
+    }
+
+    #[test]
+    fn to_json_carries_shard_and_xshard_sections() {
+        let mut r = report_with(vec![], 20, 18);
+        r.shards = vec![
+            ShardStat {
+                shard: 0,
+                sent: 12,
+                confirmed: 11,
+                p50_ms: 60.0,
+                p99_ms: 95.0,
+            },
+            ShardStat {
+                shard: 1,
+                sent: 8,
+                confirmed: 7,
+                p50_ms: 58.0,
+                p99_ms: 90.0,
+            },
+        ];
+        r.xshard = XShardStats {
+            commands: 10,
+            committed: 8,
+            aborted: 2,
+            retries: 3,
+            commit_p50_ms: 250.0,
+            commit_p99_ms: 600.0,
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"shards\":[{\"shard\":0,\"sent\":12"));
+        assert!(json.contains("{\"shard\":1,\"sent\":8"));
+        assert!(json.contains("\"xshard\":{\"commands\":10,\"committed\":8,\"aborted\":2"));
+        assert!(json.contains("\"commit_rate\":0.8"));
+        assert!((r.xshard.commit_rate() - 0.8).abs() < 1e-9);
+        // Single-group reports stay clean: empty array, NaN rate -> null.
+        let plain = report_with(vec![], 0, 0);
+        assert!(plain.to_json().contains("\"shards\":[]"));
+        assert!(plain.to_json().contains("\"commit_rate\":null"));
+        assert!(plain.xshard.commit_rate().is_nan());
     }
 
     #[test]

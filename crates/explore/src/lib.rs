@@ -31,6 +31,7 @@ pub mod json;
 pub mod random;
 pub mod schedule;
 pub mod shrink;
+pub mod xshard;
 
 pub use cluster::{Bounds, Cluster, Harness, Scenario};
 pub use exhaustive::{ExhaustiveReport, FoundViolation};

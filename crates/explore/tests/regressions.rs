@@ -5,7 +5,7 @@
 //! schedule stays clean. The artifact's own `violations` field records
 //! what it used to trigger, for the archaeology.
 
-use spire_explore::{Artifact, Harness, Scenario};
+use spire_explore::{xshard, Artifact, Harness, Scenario};
 
 /// Replays a committed artifact and returns the violation kinds the
 /// schedule produces on the current code.
@@ -34,4 +34,39 @@ fn viewstate_single_claim_schedule_stays_safe() {
         kinds.is_empty(),
         "replayed schedule violated invariants: {kinds:?}"
     );
+}
+
+/// Hunted and shrunk by `xshard::hunt` against the planted
+/// `seeded-xshard-bug` coordinator (an "impatient" commit phase that
+/// aborts unacked groups after three retries while acked groups stay
+/// committed — a textbook 2PC atomicity break). On an honest build the
+/// schedule must stay clean; with the seeded feature compiled in it must
+/// still reproduce the mixed decision, proving the ledger oracle and the
+/// deterministic replay path both work end to end.
+#[test]
+fn xshard_impatient_coordinator_schedule() {
+    let artifact = Artifact::from_json_str(include_str!(
+        "../artifacts/xshard_impatient_coordinator_mixed_decision.json"
+    ))
+    .expect("artifact parses");
+    assert!(
+        artifact.seeded_bug,
+        "artifact must record it was hunted under the seeded feature"
+    );
+    let harness = xshard::XHarness::new(
+        xshard::XScenario::named(&artifact.scenario, artifact.ops).expect("known scenario"),
+    );
+    let kinds = harness.replay(&artifact.events).violation_kinds();
+    if xshard::SEEDED_XSHARD_BUG_ACTIVE {
+        assert_eq!(
+            kinds,
+            vec!["xshard-atomicity".to_string()],
+            "seeded build must reproduce the committed violation"
+        );
+    } else {
+        assert!(
+            kinds.is_empty(),
+            "honest build replayed the schedule into a violation: {kinds:?}"
+        );
+    }
 }

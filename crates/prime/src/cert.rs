@@ -1,0 +1,233 @@
+//! Portable reply certificates: proof that a Prime group ordered and
+//! executed an operation with a given result.
+//!
+//! A client that collects `f + 1` replies carrying the same result knows
+//! the group decided it, but that knowledge is local. A [`ReplyCert`]
+//! packages the raw reply frames so a *third party* (another replication
+//! group, an auditor) can re-verify the quorum offline: each frame is
+//! either a plain `Reply` whose embedded signature checks out, or a
+//! batch-attested `Reply` whose Merkle inclusion proof ties it to a signed
+//! batch root (under batch signing the embedded signature field is zero,
+//! so the raw frame — attestation included — is the only portable proof).
+//!
+//! This is the external-certificate hook used by the cross-shard
+//! coordinator (`spire-shard`): the coordinator group orders a `Prepare`,
+//! the coordinator client certifies the f+1 identical prepare votes, and
+//! participant groups verify the certificate before ordering `Commit`.
+
+use std::collections::BTreeSet;
+
+use bytes::Bytes;
+use spire_crypto::{KeyStore, NodeId};
+use spire_sim::{WireError, WireReader, WireWriter};
+
+use crate::config::ClientId;
+use crate::msg::{decode_frame, Frame, PrimeMsg};
+
+/// Upper bound on frames carried by one certificate (a quorum needs only
+/// `f + 1`; anything larger is a malformed or hostile encoding).
+pub const MAX_CERT_FRAMES: usize = 64;
+
+/// An `f + 1` reply certificate: the agreed result plus the raw reply
+/// frames (exactly as read off the wire) that attest to it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplyCert {
+    /// The result all counted replies must carry.
+    pub result: Bytes,
+    /// Raw reply frames: plain (embedded signature) or batch-attested.
+    pub frames: Vec<Bytes>,
+}
+
+impl ReplyCert {
+    /// Appends the certificate to a wire encoding.
+    pub fn write_into(&self, w: &mut WireWriter) {
+        w.bytes(&self.result);
+        w.u8(self.frames.len() as u8);
+        for frame in &self.frames {
+            w.bytes(frame);
+        }
+    }
+
+    /// Reads a certificate from a wire encoding.
+    pub fn read(r: &mut WireReader) -> Result<ReplyCert, WireError> {
+        let result = Bytes::copy_from_slice(r.bytes()?);
+        let n = r.u8()? as usize;
+        if n > MAX_CERT_FRAMES {
+            return Err(WireError::OversizedLength(n as u64));
+        }
+        let mut frames = Vec::with_capacity(n);
+        for _ in 0..n {
+            frames.push(Bytes::copy_from_slice(r.bytes()?));
+        }
+        Ok(ReplyCert { result, frames })
+    }
+
+    /// Verifies the certificate: at least `f + 1` *distinct* replicas of
+    /// the issuing group (keys at `replica_key_base + id`) produced an
+    /// authentic `Reply` to `client` carrying exactly `self.result`.
+    /// Unparseable, mismatched, or badly-signed frames are skipped rather
+    /// than fatal — an attacker padding a valid certificate with junk
+    /// must not invalidate it.
+    pub fn verify(
+        &self,
+        keystore: &KeyStore,
+        replica_key_base: u32,
+        client: ClientId,
+        f: u32,
+        mock: bool,
+    ) -> bool {
+        let mut scratch = WireWriter::with_capacity(256);
+        let mut seen: BTreeSet<u32> = BTreeSet::new();
+        for raw in &self.frames {
+            match decode_frame(raw) {
+                Ok(Frame::Plain(msg)) => {
+                    if let PrimeMsg::Reply {
+                        replica,
+                        client: c,
+                        result,
+                        ..
+                    } = &msg
+                    {
+                        if *c == client
+                            && *result == self.result
+                            && msg.verify_sig_with(
+                                keystore,
+                                NodeId(replica_key_base + replica.0),
+                                mock,
+                                &mut scratch,
+                            )
+                        {
+                            seen.insert(replica.0);
+                        }
+                    }
+                }
+                Ok(Frame::Batched {
+                    signer,
+                    attestation,
+                    msg,
+                    msg_digest,
+                }) => {
+                    if let PrimeMsg::Reply {
+                        replica,
+                        client: c,
+                        result,
+                        ..
+                    } = &msg
+                    {
+                        if signer == *replica
+                            && *c == client
+                            && *result == self.result
+                            && attestation.verify(
+                                keystore,
+                                NodeId(replica_key_base + replica.0),
+                                &msg_digest,
+                                mock,
+                            )
+                        {
+                            seen.insert(replica.0);
+                        }
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+        seen.len() > f as usize
+    }
+
+    /// Encodes to standalone canonical bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut w = WireWriter::with_capacity(256);
+        self.write_into(&mut w);
+        w.finish()
+    }
+
+    /// Decodes standalone canonical bytes.
+    pub fn decode(bytes: &[u8]) -> Result<ReplyCert, WireError> {
+        let mut r = WireReader::new(bytes);
+        let cert = ReplyCert::read(&mut r)?;
+        r.expect_end()?;
+        Ok(cert)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReplicaId;
+    use spire_crypto::keys::{KeyMaterial, Signer};
+
+    const BASE: u32 = 1000;
+
+    fn store(n: u32) -> (KeyMaterial, KeyStore) {
+        let material = KeyMaterial::new([9u8; 32]);
+        let store = KeyStore::for_nodes(&material, n);
+        (material, store)
+    }
+
+    fn signed_reply(material: &KeyMaterial, replica: u32, result: &[u8]) -> Bytes {
+        let signer = Signer::new(material.signing_key(NodeId(BASE + replica)), true);
+        let mut msg = PrimeMsg::Reply {
+            replica: ReplicaId(replica),
+            client: ClientId(7),
+            cseq: 1,
+            result: Bytes::copy_from_slice(result),
+            sig: [0; 64],
+        };
+        let mut scratch = WireWriter::new();
+        msg.sign_with(&signer, &mut scratch);
+        msg.encode()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cert = ReplyCert {
+            result: Bytes::from_static(b"ok"),
+            frames: vec![Bytes::from_static(b"a"), Bytes::from_static(b"bb")],
+        };
+        let decoded = ReplyCert::decode(&cert.encode()).unwrap();
+        assert_eq!(decoded, cert);
+    }
+
+    #[test]
+    fn quorum_of_plain_replies_verifies() {
+        let (material, store) = store(2048);
+        let cert = ReplyCert {
+            result: Bytes::from_static(b"ok"),
+            frames: (0..2).map(|r| signed_reply(&material, r, b"ok")).collect(),
+        };
+        assert!(cert.verify(&store, BASE, ClientId(7), 1, true));
+    }
+
+    #[test]
+    fn duplicate_replicas_do_not_count_twice() {
+        let (material, store) = store(2048);
+        let frame = signed_reply(&material, 0, b"ok");
+        let cert = ReplyCert {
+            result: Bytes::from_static(b"ok"),
+            frames: vec![frame.clone(), frame],
+        };
+        assert!(!cert.verify(&store, BASE, ClientId(7), 1, true));
+    }
+
+    #[test]
+    fn mismatched_result_rejected() {
+        let (material, store) = store(2048);
+        let cert = ReplyCert {
+            result: Bytes::from_static(b"other"),
+            frames: (0..2).map(|r| signed_reply(&material, r, b"ok")).collect(),
+        };
+        assert!(!cert.verify(&store, BASE, ClientId(7), 1, true));
+    }
+
+    #[test]
+    fn junk_frames_are_skipped_not_fatal() {
+        let (material, store) = store(2048);
+        let mut frames = vec![Bytes::from_static(&[0xde, 0xad])];
+        frames.extend((0..2).map(|r| signed_reply(&material, r, b"ok")));
+        let cert = ReplyCert {
+            result: Bytes::from_static(b"ok"),
+            frames,
+        };
+        assert!(cert.verify(&store, BASE, ClientId(7), 1, true));
+    }
+}

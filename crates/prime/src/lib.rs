@@ -28,6 +28,7 @@
 
 pub mod application;
 pub mod behavior;
+pub mod cert;
 pub mod client;
 pub mod config;
 pub mod inspect;
@@ -39,6 +40,7 @@ pub mod replica;
 
 pub use application::{Application, CounterApp, ExecResult, HashChainApp, Notification};
 pub use behavior::ByzBehavior;
+pub use cert::ReplyCert;
 pub use client::TestClient;
 pub use config::{ClientId, PrimeConfig, ProtocolMode, ReplicaId};
 pub use inspect::Inspection;

@@ -32,7 +32,7 @@ pub mod workload;
 pub use device::Rtu;
 pub use historian::{Archive, BreakerEvent, Historian};
 pub use hmi::Hmi;
-pub use master::{ScadaDirectory, ScadaMaster};
+pub use master::{ScadaDirectory, ScadaMaster, XShardContext};
 pub use modbus::ModbusFrame;
 pub use op::{CommandAction, ScadaOp};
 pub use proxy::RtuProxy;

@@ -6,8 +6,11 @@
 use crate::op::{CommandAction, ScadaOp};
 use spire_crypto::Digest;
 use spire_prime::{Application, ClientId, ExecResult, Notification};
+use spire_shard::msg::op_tag;
+use spire_shard::{CertVerifier, ShardMsg, XParticipant, XShardLedger};
 use spire_sim::{WireReader, WireWriter};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Static wiring of the SCADA deployment, identical on every replica.
 #[derive(Clone, Debug, Default)]
@@ -26,6 +29,19 @@ struct RtuState {
     updates_applied: u64,
 }
 
+/// Cross-shard wiring for a sharded deployment: the 2PC participant state
+/// machine plus the (non-replicated) certificate verifier and decision
+/// ledger shared with the invariant checker.
+#[derive(Clone, Debug)]
+pub struct XShardContext {
+    /// Ordered, deterministic participant state (part of snapshots).
+    pub participant: XParticipant,
+    /// Verifies prepare certificates from any coordinator group.
+    pub verifier: CertVerifier,
+    /// Deployment-wide atomicity ledger (side channel, not state).
+    pub ledger: Arc<XShardLedger>,
+}
+
 /// The replicated state machine.
 #[derive(Clone, Debug, Default)]
 pub struct ScadaMaster {
@@ -34,6 +50,8 @@ pub struct ScadaMaster {
     /// Deterministic per-target notification counters.
     nseq: BTreeMap<u32, u64>,
     events: u64,
+    /// Present only in sharded deployments.
+    xshard: Option<XShardContext>,
 }
 
 impl ScadaMaster {
@@ -42,6 +60,94 @@ impl ScadaMaster {
         ScadaMaster {
             directory,
             ..Default::default()
+        }
+    }
+
+    /// Enables cross-shard transaction participation.
+    pub fn with_xshard(mut self, ctx: XShardContext) -> ScadaMaster {
+        self.xshard = Some(ctx);
+        self
+    }
+
+    /// Applies a supervisory action to the model and notifies the target
+    /// RTU's proxy — shared by HMI commands and committed cross-shard
+    /// transactions.
+    fn actuate(&mut self, rtu: u32, ts_us: u64, action: CommandAction) -> Vec<Notification> {
+        {
+            let state = self.rtus.entry(rtu).or_default();
+            match action {
+                CommandAction::OpenBreaker(b) => {
+                    state.breakers.insert(b, false);
+                }
+                CommandAction::CloseBreaker(b) => {
+                    state.breakers.insert(b, true);
+                }
+                CommandAction::SetRegister(a, v) => {
+                    state.registers.insert(a, v);
+                }
+            }
+        }
+        let mut notifications = Vec::new();
+        if let Some(proxy) = self.directory.rtu_proxy.get(&rtu).copied() {
+            let mut w = WireWriter::new();
+            w.u8(notify_kind::COMMAND).u32(rtu).u64(ts_us);
+            match action {
+                CommandAction::OpenBreaker(b) => {
+                    w.u8(1).u8(b);
+                }
+                CommandAction::CloseBreaker(b) => {
+                    w.u8(2).u8(b);
+                }
+                CommandAction::SetRegister(a, v) => {
+                    w.u8(3).u16(a).u16(v);
+                }
+            }
+            let payload = w.finish().to_vec();
+            notifications.push(self.notify(proxy, payload));
+        }
+        notifications
+    }
+
+    /// Executes an ordered cross-shard operation through the embedded
+    /// participant, applying own-shard commands on a first commit.
+    fn execute_xshard(&mut self, op: &[u8]) -> ExecResult {
+        let Some(ctx) = self.xshard.as_mut() else {
+            return ExecResult::reply(b"err:not-sharded".to_vec());
+        };
+        let Ok(msg) = ShardMsg::decode(op) else {
+            return ExecResult::reply(b"err:decode".to_vec());
+        };
+        let verifier = ctx.verifier.clone();
+        let outcome = ctx.participant.execute(&msg, &verifier);
+        if let Some(decision) = &outcome.decision {
+            ctx.ledger.record(
+                decision.xid,
+                ctx.participant.shard(),
+                decision.shards.len() as u32,
+                decision.decision,
+            );
+        }
+        let ts_us = match &msg {
+            ShardMsg::XCommit { ts_us, .. } => *ts_us,
+            _ => 0,
+        };
+        let mut notifications = Vec::new();
+        for cmd in &outcome.applies {
+            let action = match cmd.kind {
+                spire_shard::msg::cmd_kind::OPEN_BREAKER => CommandAction::OpenBreaker(cmd.a as u8),
+                spire_shard::msg::cmd_kind::CLOSE_BREAKER => {
+                    CommandAction::CloseBreaker(cmd.a as u8)
+                }
+                spire_shard::msg::cmd_kind::SET_REGISTER => {
+                    CommandAction::SetRegister(cmd.a, cmd.b)
+                }
+                _ => continue,
+            };
+            notifications.extend(self.actuate(cmd.rtu, ts_us, action));
+        }
+        ExecResult {
+            reply: outcome.reply,
+            notifications,
         }
     }
 
@@ -98,6 +204,13 @@ impl ScadaMaster {
 
 impl Application for ScadaMaster {
     fn classify(&self, op: &[u8]) -> Option<&'static str> {
+        if op.first().is_some_and(|&b| ShardMsg::is_shard_op(b)) {
+            return Some(match op[0] {
+                op_tag::XPREPARE => "xshard.prepare",
+                op_tag::XCOMMIT => "xshard.commit",
+                _ => "xshard.abort",
+            });
+        }
         Some(match ScadaOp::decode(op) {
             Ok(ScadaOp::DeviceUpdate { .. }) => "scada.device_update",
             Ok(ScadaOp::Command { .. }) => "scada.command",
@@ -107,6 +220,9 @@ impl Application for ScadaMaster {
     }
 
     fn execute(&mut self, op: &[u8]) -> ExecResult {
+        if op.first().is_some_and(|&b| ShardMsg::is_shard_op(b)) {
+            return self.execute_xshard(op);
+        }
         let Ok(op) = ScadaOp::decode(op) else {
             return ExecResult::reply(b"err:decode".to_vec());
         };
@@ -154,41 +270,9 @@ impl Application for ScadaMaster {
                 // Apply optimistically to the model (the authoritative state
                 // arrives with the next device update) and forward the
                 // command to the RTU's proxy.
-                {
-                    let state = self.rtus.entry(rtu).or_default();
-                    match action {
-                        CommandAction::OpenBreaker(b) => {
-                            state.breakers.insert(b, false);
-                        }
-                        CommandAction::CloseBreaker(b) => {
-                            state.breakers.insert(b, true);
-                        }
-                        CommandAction::SetRegister(a, v) => {
-                            state.registers.insert(a, v);
-                        }
-                    }
-                }
-                let mut notifications = Vec::new();
-                if let Some(proxy) = self.directory.rtu_proxy.get(&rtu).copied() {
-                    let mut w = WireWriter::new();
-                    w.u8(2).u32(rtu).u64(ts_us);
-                    match action {
-                        CommandAction::OpenBreaker(b) => {
-                            w.u8(1).u8(b);
-                        }
-                        CommandAction::CloseBreaker(b) => {
-                            w.u8(2).u8(b);
-                        }
-                        CommandAction::SetRegister(a, v) => {
-                            w.u8(3).u16(a).u16(v);
-                        }
-                    }
-                    let payload = w.finish().to_vec();
-                    notifications.push(self.notify(proxy, payload));
-                }
                 ExecResult {
                     reply: b"ok:cmd".to_vec(),
-                    notifications,
+                    notifications: self.actuate(rtu, ts_us, action),
                 }
             }
             ScadaOp::ReadState { rtu } => ExecResult::reply(self.encode_rtu_state(rtu)),
@@ -216,6 +300,12 @@ impl Application for ScadaMaster {
             w.u32(*t).u64(*s);
         }
         w.u64(self.events);
+        // Sharded deployments append the 2PC participant state; legacy
+        // single-group snapshots simply end here.
+        if let Some(ctx) = &self.xshard {
+            w.u8(1);
+            ctx.participant.write_into(&mut w);
+        }
         w.finish().to_vec()
     }
 
@@ -259,6 +349,13 @@ impl Application for ScadaMaster {
         self.rtus = rtus;
         self.nseq = nseq;
         self.events = r.u64().unwrap_or(0);
+        if let Some(ctx) = self.xshard.as_mut() {
+            if r.u8() == Ok(1) {
+                if let Ok(participant) = XParticipant::read(&mut r) {
+                    ctx.participant = participant;
+                }
+            }
+        }
     }
 
     fn digest(&self) -> Digest {

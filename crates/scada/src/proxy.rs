@@ -106,6 +106,16 @@ pub struct RtuProxy {
     replies: QuorumTracker,
     notifies: QuorumTracker,
     txn: u16,
+    /// Precomputed per-shard metric keys (sharded deployments only) —
+    /// emitted alongside the global `scada.*` series.
+    scoped: Option<ScopedKeys>,
+}
+
+#[derive(Clone, Debug)]
+struct ScopedKeys {
+    sent: String,
+    confirmed: String,
+    latency: String,
 }
 
 impl RtuProxy {
@@ -130,7 +140,21 @@ impl RtuProxy {
             replies: QuorumTracker::default(),
             notifies: QuorumTracker::default(),
             txn: 0,
+            scoped: None,
         }
+    }
+
+    /// Additionally publishes updates/confirms/latency under
+    /// `{scope}.updates_sent` etc. — one scope per shard, so the
+    /// aggregate report can break delivery down by group. Keys are
+    /// precomputed here to keep the hot path allocation-free.
+    pub fn with_metric_scope(mut self, scope: &str) -> RtuProxy {
+        self.scoped = Some(ScopedKeys {
+            sent: format!("{scope}.updates_sent"),
+            confirmed: format!("{scope}.updates_confirmed"),
+            latency: format!("{scope}.update_latency_ms"),
+        });
+        self
     }
 
     fn submit(&mut self, ctx: &mut Context<'_>, op: ScadaOp) {
@@ -153,6 +177,9 @@ impl RtuProxy {
             }
         }
         ctx.count("scada.updates_sent", 1);
+        if let Some(scoped) = &self.scoped {
+            ctx.count(&scoped.sent, 1);
+        }
     }
 
     fn on_device_frame(&mut self, ctx: &mut Context<'_>, frame: ModbusFrame) {
@@ -198,9 +225,15 @@ impl RtuProxy {
                     if let Some(sent) = self.sent_at.remove(&cseq) {
                         let latency = ctx.now().since(sent).as_millis_f64();
                         ctx.record("scada.update_latency_ms", latency);
+                        if let Some(scoped) = &self.scoped {
+                            ctx.record(&scoped.latency, latency);
+                        }
                     }
                     ctx.span_mark(span_key(self.client_id.0, cseq), SpanPhase::Confirm);
                     ctx.count("scada.updates_confirmed", 1);
+                    if let Some(scoped) = &self.scoped {
+                        ctx.count(&scoped.confirmed, 1);
+                    }
                 }
             }
             PrimeMsg::Notify {

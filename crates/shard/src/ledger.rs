@@ -1,0 +1,209 @@
+//! Online cross-shard atomicity ledger.
+//!
+//! Every replica that decides a transaction (executes `XCommit` or
+//! `XAbort` for an xid it had not decided) records the decision here; the
+//! deployment's `InvariantChecker` drains violations each tick. The
+//! invariant is the 2PC contract: for each transaction, all participants
+//! commit XOR all participants abort — a mixed decision set, or two
+//! replicas of one group deciding differently, is a safety violation.
+//! In-flight transactions (some participants not yet decided) are *not*
+//! violations: blocking 2PC guarantees eventual completion, not
+//! simultaneous completion.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
+
+use crate::msg::{DECISION_ABORT, DECISION_COMMIT};
+
+/// Aggregate transaction counts for reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LedgerCounts {
+    /// Transactions committed by every participant.
+    pub committed: u64,
+    /// Transactions aborted by every participant.
+    pub aborted: u64,
+    /// Transactions with at least one decision recorded but not complete.
+    pub in_flight: u64,
+    /// Total atomicity violations observed.
+    pub violations: u64,
+}
+
+#[derive(Debug)]
+struct TxRecord {
+    n_shards: u32,
+    by_shard: BTreeMap<u32, u8>,
+    done: bool,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    txs: BTreeMap<u64, TxRecord>,
+    flagged: BTreeSet<u64>,
+    pending: Vec<String>,
+    committed: u64,
+    aborted: u64,
+    violations: u64,
+}
+
+/// Shared decision ledger (one per sharded deployment; replicas hold an
+/// `Arc` and record through a mutex — decisions are rare relative to the
+/// update hot path).
+#[derive(Debug, Default)]
+pub struct XShardLedger {
+    inner: Mutex<State>,
+}
+
+impl XShardLedger {
+    /// An empty ledger.
+    pub fn new() -> XShardLedger {
+        XShardLedger::default()
+    }
+
+    /// Records one replica's decision for (`xid`, `shard`). `n_shards` is
+    /// the transaction's participant count (for completion tracking).
+    pub fn record(&self, xid: u64, shard: u32, n_shards: u32, decision: u8) {
+        let mut guard = self.inner.lock().unwrap();
+        let s = &mut *guard;
+        let tx = s.txs.entry(xid).or_insert_with(|| TxRecord {
+            n_shards,
+            by_shard: BTreeMap::new(),
+            done: false,
+        });
+        let mut conflict = None;
+        match tx.by_shard.get(&shard) {
+            None => {
+                tx.by_shard.insert(shard, decision);
+            }
+            Some(&prev) if prev == decision => {}
+            Some(&prev) => {
+                conflict = Some(format!(
+                    "xshard: tx {xid} shard {shard} decided {} then {} (replica divergence)",
+                    name(prev),
+                    name(decision)
+                ));
+            }
+        }
+        if conflict.is_none()
+            && tx.by_shard.values().any(|&d| d == DECISION_COMMIT)
+            && tx.by_shard.values().any(|&d| d == DECISION_ABORT)
+        {
+            let mix: Vec<String> = tx
+                .by_shard
+                .iter()
+                .map(|(sh, &d)| format!("{sh}:{}", name(d)))
+                .collect();
+            conflict = Some(format!(
+                "xshard: tx {xid} mixed decisions [{}] (atomicity broken)",
+                mix.join(" ")
+            ));
+        }
+        if !tx.done && tx.by_shard.len() as u32 >= tx.n_shards {
+            if tx.by_shard.values().all(|&d| d == DECISION_COMMIT) {
+                tx.done = true;
+                s.committed += 1;
+            } else if tx.by_shard.values().all(|&d| d == DECISION_ABORT) {
+                tx.done = true;
+                s.aborted += 1;
+            }
+        }
+        if let Some(text) = conflict {
+            // One report per transaction: later records for a poisoned tx
+            // would otherwise re-flag it every tick.
+            if s.flagged.insert(xid) {
+                s.violations += 1;
+                s.pending.push(text);
+            }
+        }
+    }
+
+    /// Returns violations found since the last drain (for the online
+    /// invariant checker's external-check hook).
+    pub fn drain_violations(&self) -> Vec<String> {
+        std::mem::take(&mut self.inner.lock().unwrap().pending)
+    }
+
+    /// Total violations ever observed (drained or not).
+    pub fn violation_count(&self) -> u64 {
+        self.inner.lock().unwrap().violations
+    }
+
+    /// True when no violation was ever observed.
+    pub fn ok(&self) -> bool {
+        self.violation_count() == 0
+    }
+
+    /// Aggregate counts.
+    pub fn counts(&self) -> LedgerCounts {
+        let s = self.inner.lock().unwrap();
+        let done = s.txs.values().filter(|t| t.done).count() as u64;
+        LedgerCounts {
+            committed: s.committed,
+            aborted: s.aborted,
+            in_flight: s.txs.len() as u64 - done,
+            violations: s.violations,
+        }
+    }
+}
+
+fn name(decision: u8) -> &'static str {
+    match decision {
+        DECISION_COMMIT => "commit",
+        DECISION_ABORT => "abort",
+        _ => "?",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_commit_all_shards() {
+        let ledger = XShardLedger::new();
+        // Two replicas per shard record the same decision.
+        for _ in 0..2 {
+            ledger.record(1, 0, 2, DECISION_COMMIT);
+            ledger.record(1, 1, 2, DECISION_COMMIT);
+        }
+        assert!(ledger.ok());
+        let c = ledger.counts();
+        assert_eq!((c.committed, c.aborted, c.in_flight), (1, 0, 0));
+    }
+
+    #[test]
+    fn clean_abort_all_shards() {
+        let ledger = XShardLedger::new();
+        ledger.record(2, 0, 2, DECISION_ABORT);
+        ledger.record(2, 1, 2, DECISION_ABORT);
+        assert!(ledger.ok());
+        assert_eq!(ledger.counts().aborted, 1);
+    }
+
+    #[test]
+    fn mixed_decision_is_a_violation_reported_once() {
+        let ledger = XShardLedger::new();
+        ledger.record(3, 0, 2, DECISION_COMMIT);
+        ledger.record(3, 1, 2, DECISION_ABORT);
+        ledger.record(3, 1, 2, DECISION_ABORT);
+        assert!(!ledger.ok());
+        assert_eq!(ledger.drain_violations().len(), 1);
+        assert!(ledger.drain_violations().is_empty());
+        assert_eq!(ledger.violation_count(), 1);
+    }
+
+    #[test]
+    fn replica_divergence_within_a_shard_is_a_violation() {
+        let ledger = XShardLedger::new();
+        ledger.record(4, 0, 1, DECISION_COMMIT);
+        ledger.record(4, 0, 1, DECISION_ABORT);
+        assert_eq!(ledger.violation_count(), 1);
+    }
+
+    #[test]
+    fn in_flight_is_not_a_violation() {
+        let ledger = XShardLedger::new();
+        ledger.record(5, 0, 3, DECISION_COMMIT);
+        assert!(ledger.ok());
+        assert_eq!(ledger.counts().in_flight, 1);
+    }
+}

@@ -137,6 +137,16 @@ impl LinkConfig {
         self
     }
 
+    /// Returns a copy with the given router buffer depth (maximum
+    /// queueing delay before tail drop). Deep buffers turn saturation
+    /// into latency instead of loss — the scaling experiments use this
+    /// so a congested group degrades gracefully rather than dropping
+    /// the very ordering frames it needs to make progress.
+    pub fn with_max_queue(mut self, depth: Span) -> LinkConfig {
+        self.max_queue = depth;
+        self
+    }
+
     /// Returns a copy with the given corruption probability.
     pub fn with_corruption(mut self, corrupt: f64) -> LinkConfig {
         self.corrupt = corrupt;
@@ -206,6 +216,11 @@ struct Slot {
     name: String,
     up: bool,
     generation: u64,
+    /// Modeled single-threaded CPU: time to handle one inbound message.
+    /// `None` means infinitely fast (the default — pure network model).
+    service: Option<Span>,
+    /// When the modeled CPU frees up; deliveries queue behind it.
+    busy_until: Time,
 }
 
 enum EventKind {
@@ -214,6 +229,13 @@ enum EventKind {
         generation: u64,
     },
     Deliver {
+        to: ProcessId,
+        from: ProcessId,
+        bytes: Bytes,
+    },
+    /// A delivery that already paid its service time at the modeled CPU
+    /// (see [`World::set_service_time`]); executes immediately on pop.
+    Execute {
         to: ProcessId,
         from: ProcessId,
         bytes: Bytes,
@@ -441,6 +463,8 @@ impl World {
             name: name.to_string(),
             up: true,
             generation: 0,
+            service: None,
+            busy_until: Time(0),
         });
         let now = self.clock.now();
         self.push(
@@ -463,6 +487,22 @@ impl World {
         self.slots[id.0 as usize].up
     }
 
+    /// Models a single-threaded CPU for the process: each inbound message
+    /// occupies it for `per_msg` before the handler runs, and deliveries
+    /// arriving while it is busy queue behind it. This is the graceful
+    /// saturation ceiling the scaling experiments lean on — a replica that
+    /// can verify/order only so many messages per second falls behind in
+    /// *latency*, never by dropping protocol frames. `Span::ZERO` removes
+    /// the model (the default: an infinitely fast host).
+    pub fn set_service_time(&mut self, id: ProcessId, per_msg: Span) {
+        let slot = &mut self.slots[id.0 as usize];
+        slot.service = if per_msg == Span::ZERO {
+            None
+        } else {
+            Some(per_msg)
+        };
+    }
+
     /// Number of processes ever added.
     pub fn process_count(&self) -> usize {
         self.slots.len()
@@ -483,16 +523,18 @@ impl World {
     /// incarnation; in-flight messages are still delivered (as they would be
     /// to a rebooted host on a real network).
     pub fn restart(&mut self, id: ProcessId, proc: Box<dyn Process>) {
+        let now = self.clock.now();
         let generation = {
             let slot = &mut self.slots[id.0 as usize];
             slot.proc = Some(proc);
             slot.up = true;
             slot.generation += 1;
+            // A rebooted host starts with an idle CPU.
+            slot.busy_until = now;
             slot.generation
         };
         self.tracer
             .record(self.clock.now(), TraceKind::Restart { pid: id.0 });
-        let now = self.clock.now();
         self.push(now, EventKind::Start { to: id, generation });
     }
 
@@ -617,18 +659,31 @@ impl World {
             EventKind::Deliver { to, from, bytes } => {
                 let idx = to.0 as usize;
                 if idx < self.slots.len() && self.slots[idx].up {
-                    self.metrics.count("sim.delivered", 1);
-                    if self.tracer.enabled() {
-                        self.tracer.record(
-                            self.clock.now(),
-                            TraceKind::MsgRecv {
-                                to: to.0,
-                                from: from.0,
-                                len: bytes.len() as u32,
-                            },
-                        );
+                    // Modeled CPU: serialize message handling through the
+                    // process's single server. The handler runs when the
+                    // message *finishes* service; deliveries arriving while
+                    // the CPU is busy queue behind it (an M/D/1 mailbox —
+                    // saturation shows up as latency, never as loss).
+                    if let Some(per_msg) = self.slots[idx].service {
+                        let now = self.clock.now();
+                        let start = self.slots[idx].busy_until.max(now);
+                        if start > now {
+                            self.metrics.count("sim.cpu_queued", 1);
+                        }
+                        let done = start + per_msg;
+                        self.slots[idx].busy_until = done;
+                        self.push(done, EventKind::Execute { to, from, bytes });
+                    } else {
+                        self.deliver_now(to, from, bytes);
                     }
-                    self.dispatch(to, None, |proc, ctx| proc.on_message(ctx, from, &bytes));
+                } else {
+                    self.metrics.count("sim.dropped_to_down_process", 1);
+                }
+            }
+            EventKind::Execute { to, from, bytes } => {
+                let idx = to.0 as usize;
+                if idx < self.slots.len() && self.slots[idx].up {
+                    self.deliver_now(to, from, bytes);
                 } else {
                     self.metrics.count("sim.dropped_to_down_process", 1);
                 }
@@ -653,6 +708,21 @@ impl World {
             }
         }
         true
+    }
+
+    fn deliver_now(&mut self, to: ProcessId, from: ProcessId, bytes: Bytes) {
+        self.metrics.count("sim.delivered", 1);
+        if self.tracer.enabled() {
+            self.tracer.record(
+                self.clock.now(),
+                TraceKind::MsgRecv {
+                    to: to.0,
+                    from: from.0,
+                    len: bytes.len() as u32,
+                },
+            );
+        }
+        self.dispatch(to, None, |proc, ctx| proc.on_message(ctx, from, &bytes));
     }
 
     fn dispatch<F>(&mut self, to: ProcessId, require_generation: Option<u64>, f: F)
@@ -1126,6 +1196,31 @@ mod tests {
         assert_eq!(times.len(), 2);
         let gap = times[1].1 - times[0].1;
         assert!((gap - 0.010).abs() < 1e-6, "gap={gap}");
+    }
+
+    #[test]
+    fn service_time_serializes_without_loss() {
+        // A burst of 50 messages into a process modeling 10 ms of CPU
+        // per message: every one is delivered (saturation is latency,
+        // never loss), spaced by the service time, and the CPU queueing
+        // is visible in the metric.
+        let mut world = World::new(1);
+        let rx = world.add_process(
+            "rx",
+            Box::new(Collector {
+                received: Vec::new(),
+            }),
+        );
+        world.set_service_time(rx, Span::millis(10));
+        let tx = world.add_process("tx", Box::new(Sender { to: rx, n: 50 }));
+        world.add_link(tx, rx, fixed_link(1));
+        world.run_for(Span::secs(2));
+        let times = world.metrics().series("rx_time");
+        assert_eq!(times.len(), 50);
+        let span = times[49].1 - times[0].1;
+        assert!((span - 0.49).abs() < 1e-6, "span={span}");
+        assert!(world.metrics().counter("sim.cpu_queued") > 0);
+        assert_eq!(world.metrics().counter("sim.delivered"), 50);
     }
 
     #[test]
