@@ -1,0 +1,25 @@
+//! ENDURANCE: bounded-memory soak — >=10 simulated minutes of rolling
+//! proactive recovery (one replica every ~30 s) under network-only
+//! chaos, asserting the retained-log plateau, zero invariant
+//! violations and >= 95% delivery outside recovery windows. Scale with
+//! SPIRE_ENDURANCE_SECS (default 600 simulated s); pick the substrate
+//! with SPIRE_ENDURANCE_SUBSTRATE=sim|rt|rt:N (rt runs in wall time —
+//! keep it short); the JSON summary lands in SPIRE_ENDURANCE_JSON
+//! (default BENCH_PR10.json).
+use spire::deployment::Substrate;
+
+fn main() {
+    let secs = spire_bench::env_u64("SPIRE_ENDURANCE_SECS", 600);
+    let substrate = match std::env::var("SPIRE_ENDURANCE_SUBSTRATE") {
+        Ok(s) => Substrate::parse(&s).unwrap_or_else(|| {
+            eprintln!("bad SPIRE_ENDURANCE_SUBSTRATE {s:?}: expected sim, rt or rt:N");
+            std::process::exit(2);
+        }),
+        Err(_) => Substrate::Sim,
+    };
+    let path =
+        std::env::var("SPIRE_ENDURANCE_JSON").unwrap_or_else(|_| "BENCH_PR10.json".to_string());
+    if !spire_bench::experiments::endurance(secs, substrate, Some(&path)) {
+        std::process::exit(1);
+    }
+}

@@ -128,11 +128,23 @@ fn main() {
         );
         return;
     }
+    // The recovering-replica scenario spends the k budget; everything
+    // else explores the tight k = 0 cluster.
+    let k = if scenario == "recovering-replica" {
+        1
+    } else {
+        0
+    };
     match mode {
         Mode::Exhaustive => {
-            let scenario = Scenario::named(&scenario, 1, 0, ops).unwrap_or_else(|e| fail(&e));
+            let scenario = Scenario::named(&scenario, 1, k, ops).unwrap_or_else(|e| fail(&e));
+            let recovery = scenario.name == "recovering-replica";
             let harness = Harness::new(scenario);
-            let mut bounds = Bounds::tiny();
+            let mut bounds = if recovery {
+                Bounds::recovery()
+            } else {
+                Bounds::tiny()
+            };
             bounds.max_depth = depth;
             bounds.max_states = max_states;
             let report = exhaustive::explore(&harness, &bounds);
@@ -172,7 +184,7 @@ fn main() {
             println!("explore OK (0 violations)");
         }
         Mode::Random => {
-            let scenario = Scenario::named(&scenario, 1, 0, ops).unwrap_or_else(|e| fail(&e));
+            let scenario = Scenario::named(&scenario, 1, k, ops).unwrap_or_else(|e| fail(&e));
             let harness = Harness::new(scenario);
             let params = RandomParams {
                 seed,

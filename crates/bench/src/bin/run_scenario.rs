@@ -4,6 +4,7 @@
 //! Usage:
 //!   `run_scenario [index] [--scenario=NAME] [--chaos=SEED] [--list]`
 //!   `             [--duration=SECS] [--substrate=sim|rt|rt:N]`
+//!   `             [--recovery-period=SECS] [--recovery-concurrent=K]`
 //!   `             [--shards=N] [--cross-shard-rate=R]`
 //!   `             [--json[=PATH]] [--trace=PATH] [--watch] [--prom=PATH]`
 //!
@@ -37,7 +38,16 @@
 //!   seconds on the chosen substrate; the report gains per-shard and
 //!   `xshard` sections;
 //! * `--cross-shard-rate=R` — with `--shards`, make a fraction `R`
-//!   (0..1) of supervisory commands span two groups (default 0.1).
+//!   (0..1) of supervisory commands span two groups (default 0.1);
+//! * `--recovery-period=SECS` — overlay a rolling proactive-recovery
+//!   rotation on the scenario: every `SECS` the next replica(s)
+//!   round-robin restart with a clean state machine and re-join via
+//!   chunked, retried state transfer. Each restart is announced as a
+//!   recovery window, so the health monitor grades it `degraded` and the
+//!   invariant checker reports `recovery-stalled` if the replica misses
+//!   its catch-up deadline;
+//! * `--recovery-concurrent=K` — replicas restarted per rotation round
+//!   (default 1; clamped to the layout's `k`).
 //!
 //! The online invariant checker and the live health monitor run during
 //! every scenario; if the checker finds a safety violation the tool
@@ -45,7 +55,9 @@
 
 use spire::attack::Scenario;
 use spire::chaos::ChaosPlan;
-use spire::deployment::{Deployment, DeploymentConfig, HealthOptions, Substrate};
+use spire::deployment::{
+    Deployment, DeploymentConfig, HealthOptions, RollingRecoveryConfig, Substrate,
+};
 use spire::health::{prometheus_text, HealthConfig};
 use spire::report::{Provenance, Report};
 use spire::sharded::{ShardedConfig, ShardedDeployment};
@@ -125,6 +137,8 @@ fn main() {
     let mut prom_path: Option<String> = None;
     let mut shards: Option<u32> = None;
     let mut cross_rate: f64 = 0.1;
+    let mut recovery_period: Option<u64> = None;
+    let mut recovery_concurrent: u32 = 1;
     for arg in std::env::args().skip(1) {
         if arg == "--json" {
             json = Some(None);
@@ -184,6 +198,26 @@ fn main() {
                 std::process::exit(2);
             }
             cross_rate = r;
+        } else if let Some(secs) = arg.strip_prefix("--recovery-period=") {
+            let Ok(secs) = secs.parse::<u64>() else {
+                eprintln!("bad recovery period {secs:?}: expected seconds");
+                std::process::exit(2);
+            };
+            if secs == 0 {
+                eprintln!("--recovery-period needs at least 1 second");
+                std::process::exit(2);
+            }
+            recovery_period = Some(secs);
+        } else if let Some(k) = arg.strip_prefix("--recovery-concurrent=") {
+            let Ok(k) = k.parse::<u32>() else {
+                eprintln!("bad recovery concurrency {k:?}: expected an unsigned integer");
+                std::process::exit(2);
+            };
+            if k == 0 {
+                eprintln!("--recovery-concurrent needs at least 1 replica");
+                std::process::exit(2);
+            }
+            recovery_concurrent = k;
         } else if let Some(which) = arg.strip_prefix("--substrate=") {
             let Some(parsed) = Substrate::parse(which) else {
                 eprintln!("bad substrate {which:?}: expected sim, rt or rt:N");
@@ -197,7 +231,8 @@ fn main() {
             eprintln!(
                 "usage: run_scenario [index] [--scenario=NAME] [--chaos=SEED] [--list] \
                  [--duration=SECS] [--substrate=sim|rt|rt:N] [--shards=N] \
-                 [--cross-shard-rate=R] [--json[=PATH]] [--trace=PATH] \
+                 [--cross-shard-rate=R] [--recovery-period=SECS] \
+                 [--recovery-concurrent=K] [--json[=PATH]] [--trace=PATH] \
                  [--watch] [--prom=PATH]"
             );
             std::process::exit(2);
@@ -240,6 +275,10 @@ fn main() {
         }
         if trace_path.is_some() || watch || prom_path.is_some() {
             eprintln!("--trace/--watch/--prom are not available with --shards");
+            std::process::exit(2);
+        }
+        if recovery_period.is_some() {
+            eprintln!("--recovery-period is not available with --shards");
             std::process::exit(2);
         }
         let (report, threads_used) = run_sharded(
@@ -290,6 +329,29 @@ fn main() {
     }
     let duration = scenario.duration + Span::secs(5);
     let mut threads_used = 0usize;
+    // Rolling recovery must be announced before `scenario.apply` installs
+    // the invariant checker, so the catch-up deadline and the health
+    // monitor both see the windows.
+    let schedule_recovery = |system: &mut Deployment, quiet: bool| {
+        let Some(secs) = recovery_period else {
+            return;
+        };
+        let rcfg = RollingRecoveryConfig {
+            period: Span::secs(secs),
+            concurrent: recovery_concurrent,
+            ..RollingRecoveryConfig::default()
+        };
+        let windows =
+            system.schedule_rolling_recovery(Time(rcfg.period.0), Time(scenario.duration.0), rcfg);
+        if !quiet {
+            println!(
+                "rolling recovery: {} window(s) announced (period {}s, {} concurrent)",
+                windows.len(),
+                secs,
+                recovery_concurrent
+            );
+        }
+    };
     let report = match substrate {
         Substrate::Sim => {
             if watch && !quiet {
@@ -299,6 +361,7 @@ fn main() {
                 );
             }
             let mut system = Deployment::build(cfg);
+            schedule_recovery(&mut system, quiet);
             scenario.apply(&mut system);
             system.install_health_monitor(HealthConfig::default(), Time::ZERO + duration);
             system.run_for(duration);
@@ -333,6 +396,7 @@ fn main() {
                 println!("(real-clock run: this takes {duration} of wall time)");
             }
             let mut system = Deployment::build(cfg);
+            schedule_recovery(&mut system, quiet);
             scenario.apply(&mut system);
             let opts = HealthOptions {
                 config: HealthConfig::default(),
@@ -385,6 +449,20 @@ fn finish(
                 "commands: {} issued / {} actuated; recoveries {:?}",
                 report.commands_issued, report.commands_actuated, report.recoveries
             );
+            if report.recovery.started > 0 {
+                println!(
+                    "recovery: {}/{} completed, {} chunks reconstructed ({} retry rounds), \
+                     duration p50={:.0}ms p99={:.0}ms; compaction: {} runs, {} entries evicted",
+                    report.recovery.completed,
+                    report.recovery.started,
+                    report.recovery.chunks,
+                    report.recovery.chunk_retries,
+                    report.recovery.duration_p50_ms,
+                    report.recovery.duration_p99_ms,
+                    report.recovery.compaction_runs,
+                    report.recovery.compaction_evicted,
+                );
+            }
             println!(
                 "chaos: {} invariant checks, {} violations, {} corrupted / {} duplicated frames, \
                  {} decode failures",

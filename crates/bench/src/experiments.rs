@@ -5,7 +5,7 @@
 
 use crate::{bucket_timeline, fmt_summary, header, parallel_runs};
 use spire::attack::Scenario;
-use spire::deployment::{Deployment, DeploymentConfig};
+use spire::deployment::{Deployment, DeploymentConfig, Substrate};
 use spire::{BaselineDeployment, SpireConfig};
 use spire_prime::{ByzBehavior, ProtocolMode};
 use spire_scada::WorkloadConfig;
@@ -1456,4 +1456,344 @@ pub fn run_all(scale: u64) {
     t3_red_team();
     f6_chaos(&[1, 2, 3, 4], 30 * scale);
     let _ = fmt_summary(&None);
+}
+
+/// ENDURANCE — bounded-memory soak: a wide-area deployment runs for
+/// `duration_s` simulated seconds with the rolling proactive-recovery
+/// rotation (one replica every ~30 s) and *network-only* chaos — site
+/// DoS, site disconnects and wire-fault windows that drop/corrupt the
+/// state-transfer share traffic — while every replica crash slot is
+/// owned by the rotation itself. Asserts the three endurance claims:
+///
+/// 1. **log-size plateau** — per-replica retained PO-log size
+///    (`prime.compaction.po_retained`) in the final window stays within
+///    `SPIRE_ENDURANCE_PLATEAU` (default 1.2x) of the window right
+///    after the first compaction, i.e. compaction keeps memory bounded;
+/// 2. **0 invariant violations** (and the cross-replica safety check);
+/// 3. **>= 95% delivery excluding recovery windows** — confirmed
+///    updates outside announced `(replica, start, end)` windows vs the
+///    offered load over those same seconds.
+///
+/// Every scheduled recovery must also complete (chunk retry/backoff
+/// defeats the loss windows). Writes a `BENCH_PR10.json`-style summary
+/// to `json_out`. Runs on either substrate (rt takes `duration_s` in
+/// wall time — keep it short there). Returns overall success.
+pub fn endurance(duration_s: u64, substrate: Substrate, json_out: Option<&str>) -> bool {
+    use spire::deployment::RollingRecoveryConfig;
+    use spire::{ChaosPlan, HealthConfig};
+
+    let seed = crate::env_u64("SPIRE_ENDURANCE_SEED", 1804);
+    let period_s = crate::env_u64("SPIRE_ENDURANCE_PERIOD", 30);
+    let window_s = crate::env_u64("SPIRE_ENDURANCE_WINDOW", 10);
+    let plateau_limit = std::env::var("SPIRE_ENDURANCE_PLATEAU")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.2);
+
+    let rtus = 10u32;
+    let interval = Span::secs(1);
+    let mut cfg = DeploymentConfig::wide_area(seed);
+    cfg.workload = WorkloadConfig {
+        rtus,
+        update_interval: interval,
+        hmis: 1,
+        command_interval: Span::secs(30),
+        ..Default::default()
+    };
+    let duration = Span::secs(duration_s);
+
+    // Network chaos only: the rotation owns the whole f + k replica
+    // fault budget, while the wire still drops and corrupts the share
+    // traffic the recovering replica depends on.
+    let plan = ChaosPlan::generate(seed, &cfg.spire, duration).network_only();
+    let scenario = plan.scenario();
+
+    let mut system = Deployment::build(cfg);
+    // Rolling rotation must be announced before `apply` installs the
+    // invariant checker (it captures the windows for the catch-up
+    // deadline check). Stop scheduling early enough that the last
+    // window can close before the horizon.
+    //
+    // The rotation respects the same fault budget the chaos accountant
+    // enforces: a site DoS/disconnection plus a recovering replica
+    // exceeds `f + k` for the 6-replica layout (4-of-6 quorum), so each
+    // round slides forward past any conflicting site-attack span. Wire
+    // faults are *not* avoided — recovering through corrupted and
+    // duplicated share traffic is the point of the soak.
+    let mut busy: Vec<(Time, Time)> = plan
+        .attacks
+        .iter()
+        .filter_map(|a| match a {
+            spire::Attack::DosSite { from, until, .. }
+            | spire::Attack::DisconnectSite { from, until, .. } => Some((*from, *until)),
+            _ => None,
+        })
+        .collect();
+    busy.sort();
+    let margin = Span::secs(3);
+    let window = Span::secs(window_s);
+    let sched_horizon = Time(duration_s.saturating_sub(window_s + 5) * 1_000_000);
+    let rcfg = RollingRecoveryConfig {
+        period: Span::secs(period_s),
+        window,
+        ..RollingRecoveryConfig::default()
+    };
+    let mut windows = Vec::new();
+    let mut last_end = Time(0);
+    let mut round_at = secs(period_s);
+    while round_at <= sched_horizon {
+        // Never overlap the previous (possibly slid) window either:
+        // two concurrent recoveries would exceed k = 1.
+        let mut at = round_at.max(last_end);
+        let scheduled = loop {
+            let conflict = busy.iter().find(|(s, e)| {
+                let lo = Time(at.0.saturating_sub(margin.0));
+                let hi = at + window + margin;
+                *s < hi && lo < *e
+            });
+            match conflict {
+                None => break true,
+                Some((_, e)) if *e + margin <= sched_horizon => at = *e + margin,
+                Some(_) => break false, // conflict runs past the horizon
+            }
+        };
+        if scheduled {
+            windows.extend(system.schedule_rolling_recovery(at, at, rcfg));
+            last_end = at + window + margin;
+        }
+        round_at = round_at + rcfg.period;
+    }
+    scenario.apply(&mut system);
+
+    header(
+        &format!(
+            "ENDURANCE: {duration_s} s soak, recovery every {period_s} s, \
+             network chaos seed {seed}, on {substrate}"
+        ),
+        "metric                           value",
+    );
+    for line in &plan.log {
+        println!("  chaos: {line}");
+    }
+
+    let (report, po_series): (spire::Report, Vec<(Time, f64)>) = match substrate {
+        Substrate::Sim => {
+            system.install_health_monitor(HealthConfig::default(), secs(duration_s));
+            // SPIRE_ENDURANCE_DEBUG=1 prints a per-minute ordering-health
+            // probe to stderr — enough to localize a liveness wedge to the
+            // execution, commit, or pre-order layer without a debugger.
+            if std::env::var_os("SPIRE_ENDURANCE_DEBUG").is_some() {
+                let insp = system.inspection.clone();
+                for m in 1..=duration_s / 60 {
+                    let insp = insp.clone();
+                    system
+                        .world
+                        .schedule_control(Time(m * 60_000_000), move |w| {
+                            let records = insp.records();
+                            let execs: Vec<u64> =
+                                records.values().map(|r| r.last_executed).collect();
+                            let arus: Vec<u64> = records.values().map(|r| r.commit_aru).collect();
+                            let miss: Vec<u64> = records.values().map(|r| r.missing_po).collect();
+                            let metrics = w.metrics();
+                            eprintln!(
+                                "t={}s confirmed={} execs={execs:?} arus={arus:?} miss={miss:?} \
+                             po_retries={} vc_rebroadcasts={}",
+                                m * 60,
+                                metrics.counter("scada.updates_confirmed"),
+                                metrics.counter("prime.po_retries"),
+                                metrics.counter("prime.vc_rebroadcasts"),
+                            );
+                        });
+                }
+            }
+            system.run_for(duration);
+            let po = system
+                .world
+                .metrics()
+                .series("prime.compaction.po_retained")
+                .to_vec();
+            (system.report(), po)
+        }
+        Substrate::Rt { threads } => {
+            let outcome = system
+                .into_rt(threads)
+                .run_monitored(duration, spire::deployment::HealthOptions::default());
+            let po = outcome
+                .run
+                .metrics
+                .series("prime.compaction.po_retained")
+                .to_vec();
+            (outcome.report, po)
+        }
+    };
+
+    // Delivery excluding recovery windows: count whole seconds whose
+    // midpoint lies outside every announced window, and the confirmed
+    // updates stamped in those seconds, against the offered rate.
+    let in_window = |t: Time| windows.iter().any(|(_, s, e)| *s <= t && t < *e);
+    let mut secs_outside = 0u64;
+    for s in 0..duration_s {
+        if !in_window(Time(s * 1_000_000 + 500_000)) {
+            secs_outside += 1;
+        }
+    }
+    let confirmed_outside = report
+        .update_timeline
+        .iter()
+        .filter(|(t, _)| !in_window(*t))
+        .count() as u64;
+    let offered_per_s = rtus as u64 * 1_000_000 / interval.0;
+    let expected_outside = (offered_per_s * secs_outside).max(1);
+    let delivery_excl = confirmed_outside as f64 / expected_outside as f64;
+
+    // Log-size plateau: max retained PO-log size across replicas in the
+    // window right after the first compaction vs the final window.
+    let plateau_window_us = (duration_s / 4).clamp(10, 60) * 1_000_000;
+    let max_in = |lo: u64, hi: u64| {
+        po_series
+            .iter()
+            .filter(|(t, _)| t.0 >= lo && t.0 < hi)
+            .map(|(_, v)| *v)
+            .fold(f64::NAN, f64::max)
+    };
+    let (early_max, final_max) = match po_series.first() {
+        Some(&(t0, _)) => (
+            max_in(t0.0, t0.0 + plateau_window_us),
+            max_in(duration.0.saturating_sub(plateau_window_us), duration.0 + 1),
+        ),
+        None => (f64::NAN, f64::NAN),
+    };
+    let plateau_ratio = final_max / early_max;
+    // The ratio test catches unbounded growth; below an absolute floor it
+    // only measures noise (a handful of in-flight entries around attack
+    // windows), so a final size that is trivially bounded passes outright.
+    // A real leak compounds over the soak and blows far past the floor.
+    let plateau_floor = crate::env_u64("SPIRE_ENDURANCE_PLATEAU_FLOOR", 150) as f64;
+    let plateau_ok =
+        final_max <= plateau_floor || (plateau_ratio.is_finite() && plateau_ratio <= plateau_limit);
+
+    let rec = &report.recovery;
+    let rotations = windows.len() as u64;
+    let invariants_ok = report.safety_ok && report.chaos.invariant_violations == 0;
+    let recoveries_ok = rotations >= 2 && rec.started >= rotations && rec.completed >= rec.started;
+    let delivery_ok = delivery_excl >= 0.95;
+
+    println!("rotations scheduled              {rotations}");
+    println!(
+        "recoveries                       {} started / {} completed",
+        rec.started, rec.completed
+    );
+    println!(
+        "state transfer                   {} chunks, {} retry rounds, p50 {:.1} ms, p99 {:.1} ms",
+        rec.chunks, rec.chunk_retries, rec.duration_p50_ms, rec.duration_p99_ms
+    );
+    println!(
+        "compaction                       {} runs, {} entries evicted",
+        rec.compaction_runs, rec.compaction_evicted
+    );
+    println!(
+        "po retained (early/final max)    {early_max:.0} / {final_max:.0} \
+         -> ratio {plateau_ratio:.3} (limit {plateau_limit}) {}",
+        if plateau_ok { "OK" } else { "GREW" }
+    );
+    println!(
+        "delivery overall                 {:.2} %",
+        report.delivery_ratio() * 100.0
+    );
+    println!(
+        "delivery excl. recovery windows  {:.2} % ({confirmed_outside}/{expected_outside}) {}",
+        delivery_excl * 100.0,
+        if delivery_ok { "OK" } else { "LOW" }
+    );
+    // Per-minute confirmed counts: the soak's availability timeline.
+    let minutes = duration_s / 60;
+    if minutes >= 2 {
+        let per_min: Vec<String> = (0..minutes)
+            .map(|m| {
+                let lo = m * 60_000_000;
+                let hi = lo + 60_000_000;
+                let n = report
+                    .update_timeline
+                    .iter()
+                    .filter(|(t, _)| t.0 >= lo && t.0 < hi)
+                    .count();
+                format!("{n}")
+            })
+            .collect();
+        println!("confirmed per minute             [{}]", per_min.join(", "));
+    }
+    println!(
+        "invariants                       {} checks, {} violations; safety {}",
+        report.chaos.invariant_checks,
+        report.chaos.invariant_violations,
+        if report.safety_ok { "OK" } else { "VIOLATED" }
+    );
+    println!(
+        "health                           {} degraded windows, {} breaches",
+        report.health.degraded_windows,
+        report.health.breaches()
+    );
+
+    let ok = invariants_ok && plateau_ok && delivery_ok && recoveries_ok;
+    println!(
+        "endurance verdict                {}",
+        if ok { "PASS" } else { "FAIL" }
+    );
+
+    if let Some(path) = json_out {
+        let json = format!(
+            "{{\"experiment\":\"endurance\",\"schema_version\":{},\
+             \"git_rev\":{:?},\"substrate\":\"{substrate}\",\
+             \"duration_s\":{duration_s},\"period_s\":{period_s},\
+             \"window_s\":{window_s},\"chaos_seed\":{seed},\
+             \"rotations\":{rotations},\
+             \"recoveries_started\":{},\"recoveries_completed\":{},\
+             \"recovery_chunks\":{},\"chunk_retries\":{},\
+             \"recovery_p50_ms\":{},\"recovery_p99_ms\":{},\
+             \"accums_evicted\":{},\
+             \"compaction_runs\":{},\"compaction_evicted\":{},\
+             \"po_retained_early_max\":{},\"po_retained_final_max\":{},\
+             \"plateau_ratio\":{},\"plateau_limit\":{plateau_limit},\
+             \"plateau_floor\":{plateau_floor},\
+             \"delivery_overall\":{},\"delivery_excl_recovery\":{},\
+             \"invariant_checks\":{},\"invariant_violations\":{},\
+             \"degraded_windows\":{},\"safety_ok\":{},\"ok\":{ok}}}\n",
+            spire::report::REPORT_SCHEMA_VERSION,
+            crate::git_rev(),
+            rec.started,
+            rec.completed,
+            rec.chunks,
+            rec.chunk_retries,
+            finite_or_null(rec.duration_p50_ms),
+            finite_or_null(rec.duration_p99_ms),
+            rec.accums_evicted,
+            rec.compaction_runs,
+            rec.compaction_evicted,
+            finite_or_null(early_max),
+            finite_or_null(final_max),
+            finite_or_null(plateau_ratio),
+            finite_or_null(report.delivery_ratio()),
+            finite_or_null(delivery_excl),
+            report.chaos.invariant_checks,
+            report.chaos.invariant_violations,
+            report.health.degraded_windows,
+            report.safety_ok,
+        );
+        match std::fs::write(path, json) {
+            Ok(()) => println!("endurance results -> {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    trace_hooks_maybe(&report);
+    ok
+}
+
+// The endurance soak consumes `system` on the rt path, so the usual
+// `trace_hooks(&system, ...)` handle is gone by reporting time; phase
+// tables still print when tracing captured spans.
+fn trace_hooks_maybe(report: &spire::Report) {
+    let table = report.phase_table();
+    if !table.is_empty() {
+        println!("\nper-phase latency breakdown (endurance):\n{table}");
+    }
 }

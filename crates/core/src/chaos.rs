@@ -149,11 +149,12 @@ impl ChaosPlan {
                     if budget.can_compromise(id, t, busy_until, f)
                         && budget.can_fault(id, t, busy_until, f, k)
                     {
-                        let behavior = match rng.gen_range(0u32..5) {
+                        let behavior = match rng.gen_range(0u32..6) {
                             0 => ByzBehavior::DivergentExec,
                             1 => ByzBehavior::Equivocate,
                             2 => ByzBehavior::AckWithhold,
                             3 => ByzBehavior::Mute,
+                            4 => ByzBehavior::CorruptShares,
                             _ => ByzBehavior::LeaderDelay(Span::millis(800)),
                         };
                         budget.windows.push((id, t, busy_until, true));
@@ -242,6 +243,24 @@ impl ChaosPlan {
         }
     }
 
+    /// Restricts the plan to network-level faults (site DoS/disconnect
+    /// and wire-fault windows), dropping every replica crash, recovery
+    /// and compromise. Used when an external schedule owns replica churn
+    /// — e.g. the rolling proactive-recovery rotation of the endurance
+    /// experiment — so the whole `f + k` fault budget stays free for it
+    /// while the network still drops, corrupts and reorders the state
+    /// transfer's share traffic.
+    pub fn network_only(mut self) -> ChaosPlan {
+        self.attacks.retain(|a| {
+            matches!(
+                a,
+                Attack::DosSite { .. } | Attack::DisconnectSite { .. } | Attack::WireFaults { .. }
+            )
+        });
+        self.log.retain(|l| l.contains("site"));
+        self
+    }
+
     /// Wraps the plan as a named [`Scenario`] so the standard runners
     /// (apply + invariant checker + report) drive it unchanged.
     pub fn scenario(&self) -> Scenario {
@@ -287,6 +306,29 @@ mod tests {
                 };
                 assert!(at <= Time(60_000_000), "event past horizon in seed {seed}");
             }
+        }
+    }
+
+    #[test]
+    fn network_only_drops_replica_faults() {
+        for seed in 0..20 {
+            let p = plan(seed).network_only();
+            for a in &p.attacks {
+                assert!(
+                    matches!(
+                        a,
+                        Attack::DosSite { .. }
+                            | Attack::DisconnectSite { .. }
+                            | Attack::WireFaults { .. }
+                    ),
+                    "seed {seed} kept a replica fault: {a:?}"
+                );
+            }
+            assert_eq!(
+                p.attacks.len(),
+                p.log.len(),
+                "log out of sync (seed {seed})"
+            );
         }
     }
 

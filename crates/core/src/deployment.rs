@@ -364,6 +364,41 @@ pub struct Deployment {
     /// wall-clock time.
     control_plan: Vec<(Time, ControlOp)>,
     recovery_counter: u32,
+    /// Announced proactive-recovery windows `(replica, start, end)`
+    /// accumulated by the rolling scheduler. Shared with the health
+    /// monitor (degraded grading) and the invariant checker (bounded
+    /// catch-up), on both substrates.
+    recovery_windows: Vec<(u32, Time, Time)>,
+}
+
+/// Tuning for the rolling proactive-recovery scheduler
+/// ([`Deployment::schedule_rolling_recovery`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RollingRecoveryConfig {
+    /// Gap between consecutive recovery rounds.
+    pub period: Span,
+    /// Offset between replicas recovered within the same round.
+    pub stagger: Span,
+    /// Replicas restarted per round; clamped to the layout's `k` (the
+    /// number of simultaneously-recovering replicas the quorums absorb).
+    pub concurrent: u32,
+    /// Announced per-replica window length: the replica must finish
+    /// state transfer and re-join within this span of its restart. The
+    /// health engine grades it `degraded` (not silent/partitioned)
+    /// inside the window; the invariant checker reports
+    /// `recovery-stalled` if the flag outlives it.
+    pub window: Span,
+}
+
+impl Default for RollingRecoveryConfig {
+    fn default() -> RollingRecoveryConfig {
+        RollingRecoveryConfig {
+            period: Span::secs(30),
+            stagger: Span::secs(2),
+            concurrent: 1,
+            window: Span::secs(10),
+        }
+    }
 }
 
 /// Builds one replication group into `world`: its internal/external
@@ -776,6 +811,7 @@ impl Deployment {
             declared_faulty: parts.declared_faulty,
             control_plan: Vec::new(),
             recovery_counter: 0,
+            recovery_windows: Vec::new(),
         }
     }
 
@@ -852,14 +888,60 @@ impl Deployment {
     /// Schedules round-robin proactive recoveries: one replica every
     /// `period`, starting at `start`, until `horizon`.
     pub fn schedule_proactive_recovery(&mut self, start: Time, period: Span, horizon: Time) {
+        self.schedule_rolling_recovery(
+            start,
+            horizon,
+            RollingRecoveryConfig {
+                period,
+                stagger: Span(0),
+                concurrent: 1,
+                ..RollingRecoveryConfig::default()
+            },
+        );
+    }
+
+    /// Schedules the rolling proactive-recovery rotation of the paper:
+    /// every `rcfg.period` a round restarts the next `rcfg.concurrent`
+    /// replicas (round-robin, clamped to the layout's `k`), each offset
+    /// by `rcfg.stagger` within the round, until `horizon`. Every restart
+    /// is *announced* as a `(replica, start, start + window)` recovery
+    /// window — returned here and remembered by the deployment, so the
+    /// health monitor installed later grades those spans `degraded` and
+    /// the invariant checker holds the replica to the catch-up deadline.
+    /// Like every `schedule_*`, the restarts ride the control plan and
+    /// replay identically on the rt substrate.
+    pub fn schedule_rolling_recovery(
+        &mut self,
+        start: Time,
+        horizon: Time,
+        rcfg: RollingRecoveryConfig,
+    ) -> Vec<(u32, Time, Time)> {
         let n = self.cfg.spire.total_replicas();
-        let mut at = start;
-        while at <= horizon {
-            let id = self.recovery_counter % n;
-            self.recovery_counter += 1;
-            self.schedule_recovery(id, at);
-            at = at + period;
+        let per_round = rcfg.concurrent.clamp(1, self.cfg.spire.k.max(1)).min(n);
+        let mut announced = Vec::new();
+        let mut round_at = start;
+        while round_at <= horizon {
+            let mut at = round_at;
+            for _ in 0..per_round {
+                if at > horizon {
+                    break;
+                }
+                let id = self.recovery_counter % n;
+                self.recovery_counter += 1;
+                self.schedule_recovery(id, at);
+                announced.push((id, at, at + rcfg.window));
+                at = at + rcfg.stagger.max(Span(1));
+            }
+            round_at = round_at + rcfg.period;
         }
+        self.recovery_windows.extend(announced.iter().copied());
+        announced
+    }
+
+    /// The recovery windows announced by every
+    /// [`Deployment::schedule_rolling_recovery`] call so far.
+    pub fn recovery_windows(&self) -> &[(u32, Time, Time)] {
+        &self.recovery_windows
     }
 
     /// Schedules a compromise: at `at`, replica `id` begins misbehaving.
@@ -985,13 +1067,15 @@ impl Deployment {
     pub fn install_invariant_checker(&mut self, period: Span, horizon: Time) {
         let checker = Arc::clone(&self.checker);
         let seed = self.cfg.seed;
+        let windows: Arc<Vec<(u32, Time, Time)>> = Arc::new(self.recovery_windows.clone());
         self.world.schedule_control(Time(period.0), move |w| {
-            tick(w, checker, period, horizon, seed)
+            tick(w, checker, windows, period, horizon, seed)
         });
 
         fn tick(
             w: &mut World,
             checker: Arc<InvariantChecker>,
+            windows: Arc<Vec<(u32, Time, Time)>>,
             period: Span,
             horizon: Time,
             seed: u64,
@@ -1000,6 +1084,7 @@ impl Deployment {
             let mut fresh = checker.check();
             let accepts = w.metrics().counter("scada.conflicting_accept");
             fresh += checker.note_conflicting_accepts(accepts);
+            fresh += checker.note_recovery_windows(w.now(), &windows);
             if fresh > 0 {
                 w.metrics_mut().count("invariant.violations", fresh as u64);
                 for v in checker.recent_violations(fresh) {
@@ -1017,7 +1102,9 @@ impl Deployment {
             }
             let next = w.now() + period;
             if next <= horizon {
-                w.schedule_control(next, move |w| tick(w, checker, period, horizon, seed));
+                w.schedule_control(next, move |w| {
+                    tick(w, checker, windows, period, horizon, seed)
+                });
             }
         }
     }
@@ -1033,7 +1120,9 @@ impl Deployment {
         cfg: HealthConfig,
         horizon: Time,
     ) -> Arc<Mutex<HealthMonitor>> {
-        let monitor = Arc::new(Mutex::new(HealthMonitor::new(cfg)));
+        let monitor = Arc::new(Mutex::new(
+            HealthMonitor::new(cfg).with_recovery_windows(self.recovery_windows.clone()),
+        ));
         let handle = Arc::clone(&monitor);
         let interval = cfg.interval;
         self.world.schedule_control(Time(interval.0), move |w| {
@@ -1146,6 +1235,7 @@ pub fn classify_frame(bytes: &[u8]) -> &'static str {
         1 | 17 | 19 => "client",
         8 | 9 => "liveness",
         16 | 18 => "recon",
+        22..=24 => "statexfer",
         _ => "other",
     }
 }
@@ -1176,6 +1266,7 @@ impl Deployment {
             checker: self.checker,
             plan: self.control_plan,
             correct,
+            recovery_windows: self.recovery_windows,
         }
     }
 }
@@ -1197,6 +1288,10 @@ pub struct RtDeployment {
     /// offsets from run start.
     plan: Vec<(Time, ControlOp)>,
     correct: Vec<u32>,
+    /// Announced recovery windows, carried from the scheduler so the
+    /// health monitor and the catch-up invariant see them under
+    /// wall-clock replay too.
+    recovery_windows: Vec<(u32, Time, Time)>,
 }
 
 /// The result of a real-clock run: the standard [`Report`] plus the raw
@@ -1246,12 +1341,15 @@ impl RtDeployment {
         let seed = self.cfg.seed;
         let mut checks: u64 = 0;
         let mut violations: u64 = 0;
-        let mut monitor = opts.as_ref().map(|o| HealthMonitor::new(o.config));
+        let mut monitor = opts.as_ref().map(|o| {
+            HealthMonitor::new(o.config).with_recovery_windows(self.recovery_windows.clone())
+        });
+        let recovery_windows = self.recovery_windows.clone();
         let mut health_out = Metrics::new();
         let mut next_snap = opts.as_ref().map(|o| Time(o.config.interval.0));
         let mut run = self.runtime.run_with(span, self.plan, |now, rt| {
             checks += 1;
-            let fresh = checker.check();
+            let fresh = checker.check() + checker.note_recovery_windows(now, &recovery_windows);
             if fresh > 0 {
                 violations += fresh as u64;
                 for v in checker.recent_violations(fresh) {

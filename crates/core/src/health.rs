@@ -121,6 +121,11 @@ pub struct WindowStats {
     pub suspects: u64,
     /// Link-level loss drops this window (sim + rt counters).
     pub link_drops: u64,
+    /// Replicas inside an announced proactive-recovery window at the
+    /// snapshot instant. A window with `recovering > 0` is graded
+    /// *degraded*: expected silence feeds neither the no-silence SLO nor
+    /// the partition streak.
+    pub recovering: u64,
 }
 
 /// One observation of the live metrics: absolute totals plus the
@@ -205,6 +210,10 @@ pub struct SloTracker {
     pub delivery_breaches: u64,
     /// Windows with expected traffic and zero confirmations.
     pub silence_breaches: u64,
+    /// Windows graded degraded instead: a replica was inside its
+    /// announced recovery window, so reduced throughput or silence was
+    /// expected and is not held against the SLOs.
+    pub degraded_windows: u64,
 }
 
 impl SloTracker {
@@ -221,7 +230,12 @@ impl SloTracker {
             self.delivery_breaches += 1;
             breaches.push(BreachClass::Delivery);
         }
-        if started && w.confirmed == 0 {
+        if w.recovering > 0 {
+            // An announced recovery is in flight: silence is expected
+            // (the recovering replica is re-fetching state), so the
+            // window is degraded, not in breach of the no-silence SLO.
+            self.degraded_windows += 1;
+        } else if started && w.confirmed == 0 {
             self.silence_breaches += 1;
             breaches.push(BreachClass::Silence);
         }
@@ -290,11 +304,17 @@ impl AttackDetector {
         }
 
         // Partition: sustained total silence while traffic is expected.
+        // Silence inside an announced recovery window is *degraded*, not
+        // partition evidence: the streak neither grows (the quiet window
+        // is explained) nor resets (a real partition that outlives the
+        // recovery window keeps accumulating afterwards).
         if started && w.confirmed == 0 {
-            self.silent_windows += 1;
-            if self.silent_windows >= cfg.partition_windows {
-                self.partition_windows += 1;
-                fired.push(AlarmKind::Partition);
+            if w.recovering == 0 {
+                self.silent_windows += 1;
+                if self.silent_windows >= cfg.partition_windows {
+                    self.partition_windows += 1;
+                    fired.push(AlarmKind::Partition);
+                }
             }
         } else {
             self.silent_windows = 0;
@@ -364,6 +384,10 @@ pub struct HealthMonitor {
     prev: Option<Absolutes>,
     seq: u64,
     ring: VecDeque<MetricsSnapshot>,
+    /// Announced proactive-recovery windows `(replica, start, end)`; a
+    /// snapshot taken inside one grades the window degraded instead of
+    /// silent/partitioned.
+    recovery_windows: Vec<(u32, Time, Time)>,
     /// Rolling SLO accounting.
     pub slo: SloTracker,
     /// The attack detector's state and alarm log.
@@ -378,6 +402,7 @@ impl HealthMonitor {
             prev: None,
             seq: 0,
             ring: VecDeque::new(),
+            recovery_windows: Vec::new(),
             slo: SloTracker::default(),
             detector: AttackDetector::default(),
         }
@@ -386,6 +411,19 @@ impl HealthMonitor {
     /// The monitor's tuning.
     pub fn config(&self) -> &HealthConfig {
         &self.cfg
+    }
+
+    /// Announces the schedule of proactive-recovery windows so silence
+    /// from a recovering replica is graded `degraded` rather than fed to
+    /// the no-silence SLO and the partition detector.
+    pub fn set_recovery_windows(&mut self, windows: Vec<(u32, Time, Time)>) {
+        self.recovery_windows = windows;
+    }
+
+    /// Builder form of [`HealthMonitor::set_recovery_windows`].
+    pub fn with_recovery_windows(mut self, windows: Vec<(u32, Time, Time)>) -> HealthMonitor {
+        self.recovery_windows = windows;
+        self
     }
 
     /// Takes one snapshot of the live metrics: computes the window delta
@@ -442,6 +480,11 @@ impl HealthMonitor {
             view_changes: abs.view_changes.saturating_sub(prev.view_changes),
             suspects: abs.suspects.saturating_sub(prev.suspects),
             link_drops: abs.link_drops.saturating_sub(prev.link_drops),
+            recovering: self
+                .recovery_windows
+                .iter()
+                .filter(|(_, start, end)| *start <= now && now < *end)
+                .count() as u64,
         };
         let snapshot = MetricsSnapshot {
             at: now,
@@ -490,6 +533,10 @@ impl HealthMonitor {
         if let Some(tat) = w.tat_p99_ms {
             m.record("health.window_tat_p99_ms", at, tat);
         }
+        m.record("health.recovering", at, w.recovering as f64);
+        if w.recovering > 0 {
+            m.count("health.degraded_windows", 1);
+        }
         for b in &tick.breaches {
             m.count(b.metric(), 1);
         }
@@ -518,6 +565,8 @@ impl HealthMonitor {
             "SITE-DOS"
         } else if self.detector.slow_leader_windows > 0 {
             "SLOW-LEADER"
+        } else if self.latest().is_some_and(|s| s.window.recovering > 0) {
+            "degraded"
         } else {
             "ok"
         }
@@ -889,6 +938,49 @@ mod tests {
         // Traffic resumes: the streak resets.
         feed(&mut m, Time(3_500_000), 10, 10, 20.0);
         assert!(mon.observe(Time(4_000_000), &m).alarms.is_empty());
+    }
+
+    #[test]
+    fn recovery_window_grades_degraded_not_silent() {
+        let cfg = HealthConfig {
+            warmup: 0,
+            partition_windows: 2,
+            delivery_windows: 1,
+            ..HealthConfig::default()
+        };
+        let mut mon = HealthMonitor::new(cfg)
+            // Replica 2 recovers between 1.5 s and 4 s.
+            .with_recovery_windows(vec![(2, Time(1_500_000), Time(4_000_000))]);
+        let mut m = Metrics::new();
+        feed(&mut m, Time(500_000), 10, 10, 20.0);
+        assert!(mon.observe(Time(1_000_000), &m).alarms.is_empty());
+        // Two fully-silent windows inside the announced recovery: no
+        // silence breach, no partition alarm — degraded instead. (Traffic
+        // kept under the DoS judging threshold to isolate the signatures.)
+        m.count("scada.updates_sent", 4);
+        let t = mon.observe(Time(2_000_000), &m);
+        assert!(!t.breaches.contains(&BreachClass::Silence));
+        assert_eq!(t.snapshot.window.recovering, 1);
+        m.count("scada.updates_sent", 4);
+        let t = mon.observe(Time(3_000_000), &m);
+        assert!(!t.alarms.contains(&AlarmKind::Partition));
+        assert_eq!(mon.slo.silence_breaches, 0);
+        assert_eq!(mon.slo.degraded_windows, 2);
+        assert_eq!(mon.verdict(), "degraded");
+        // Publish surfaces the gauge and the degraded counter.
+        let mut out = Metrics::new();
+        HealthMonitor::publish(&t, &mut out);
+        assert_eq!(out.values("health.recovering").len(), 1);
+        assert_eq!(out.counter("health.degraded_windows"), 1);
+        // Past the window, silence counts again and the streak starts
+        // from zero (recovery windows never mask a later partition).
+        m.count("scada.updates_sent", 4);
+        let t = mon.observe(Time(5_000_000), &m);
+        assert!(t.breaches.contains(&BreachClass::Silence));
+        assert!(!t.alarms.contains(&AlarmKind::Partition));
+        m.count("scada.updates_sent", 4);
+        let t = mon.observe(Time(6_000_000), &m);
+        assert!(t.alarms.contains(&AlarmKind::Partition));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 use spire_crypto::Digest;
 use spire_prime::Inspection;
+use spire_sim::Time;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 
@@ -63,6 +64,9 @@ struct CheckerState {
     reported_commits: BTreeSet<(u64, u32)>,
     reported_checkpoints: BTreeSet<(u64, u32)>,
     accepts_seen: u64,
+    /// Indices into the announced recovery-window schedule that have been
+    /// judged (either caught up in time or reported stalled).
+    settled_recoveries: BTreeSet<usize>,
 }
 
 /// An externally-supplied invariant: drained on every tick, each returned
@@ -208,6 +212,56 @@ impl InvariantChecker {
         st.violations.len() - before
     }
 
+    /// Invariant 6: bounded recovery. Every announced proactive-recovery
+    /// window `(replica, start, end)` is a promise: by `end` the replica
+    /// must have finished state transfer (or the genesis fallback) and
+    /// cleared its published `recovering` flag — i.e. it re-joined the
+    /// execution quorum. Called on every checker tick with the current
+    /// substrate time; each window is judged once, after it closes.
+    /// A replica inside a *later* announced window at judgement time is
+    /// deferred (a fresh rotation legitimately re-raises the flag), and
+    /// declared-faulty replicas are exempt as everywhere else. Returns
+    /// the number of new violations.
+    pub fn note_recovery_windows(&self, now: Time, windows: &[(u32, Time, Time)]) -> usize {
+        let faulty = self.faulty.lock().expect("poisoned").clone();
+        let records = self.inspection.records();
+        let mut st = self.state.lock().expect("poisoned");
+        let before = st.violations.len();
+        for (idx, &(id, start, end)) in windows.iter().enumerate() {
+            if now < end || st.settled_recoveries.contains(&idx) {
+                continue;
+            }
+            if faulty.contains(&id) {
+                st.settled_recoveries.insert(idx);
+                continue;
+            }
+            // Defer judgement while the replica sits inside another
+            // announced window (the next rotation already started it).
+            let in_other = windows
+                .iter()
+                .any(|&(oid, s, e)| oid == id && s <= now && now < e && s != start);
+            if in_other {
+                continue;
+            }
+            let Some(rec) = records.get(&id) else {
+                continue;
+            };
+            st.settled_recoveries.insert(idx);
+            if rec.recovering {
+                st.violations.push(Violation {
+                    kind: "recovery-stalled",
+                    detail: format!(
+                        "replica {id} entered proactive recovery at {:.1}s and was still \
+                         recovering past the {:.1}s window deadline",
+                        start.as_secs_f64(),
+                        end.as_secs_f64()
+                    ),
+                });
+            }
+        }
+        st.violations.len() - before
+    }
+
     /// Invariant 5: feeds the cumulative `scada.conflicting_accept`
     /// counter; any increase since the last call means a client-side
     /// quorum accepted two conflicting values. Returns the number of new
@@ -339,6 +393,37 @@ mod tests {
         c.inspection.update(1, |r| r.push_checkpoint(25, [2; 32]));
         assert_eq!(c.check(), 1);
         assert_eq!(c.violations()[0].kind, "checkpoint-divergence");
+    }
+
+    #[test]
+    fn recovery_windows_are_judged_once_after_close() {
+        let c = checker_with(3, &[]);
+        let windows = vec![(1u32, Time(1_000_000), Time(5_000_000))];
+        c.inspection.update(1, |r| r.recovering = true);
+        // Window still open: no judgement.
+        assert_eq!(c.note_recovery_windows(Time(3_000_000), &windows), 0);
+        // Deadline passed with the flag still up: one violation, once.
+        assert_eq!(c.note_recovery_windows(Time(5_000_000), &windows), 1);
+        assert_eq!(c.violations()[0].kind, "recovery-stalled");
+        assert_eq!(c.note_recovery_windows(Time(6_000_000), &windows), 0);
+    }
+
+    #[test]
+    fn completed_recovery_passes_and_later_window_defers() {
+        let c = checker_with(3, &[]);
+        let windows = vec![
+            (1u32, Time(1_000_000), Time(5_000_000)),
+            (1u32, Time(6_000_000), Time(9_000_000)),
+        ];
+        // Caught up in time: no violation.
+        c.inspection.update(1, |r| r.recovering = false);
+        assert_eq!(c.note_recovery_windows(Time(5_500_000), &windows), 0);
+        // The next rotation raised the flag again; judging the first
+        // window now (inside the second) must not misfire, and the
+        // second window is graded on its own deadline.
+        c.inspection.update(1, |r| r.recovering = true);
+        assert_eq!(c.note_recovery_windows(Time(7_000_000), &windows), 0);
+        assert_eq!(c.note_recovery_windows(Time(9_000_000), &windows), 1);
     }
 
     #[test]

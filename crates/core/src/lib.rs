@@ -54,7 +54,7 @@ pub use chaos::{ChaosPlan, FaultBudget};
 pub use config::{required_replicas, SiteKind, SpireConfig};
 pub use deployment::{
     build_group, classify_frame, AppFactory, Deployment, DeploymentConfig, GroupParts, GroupSpec,
-    HealthOptions, RtDeployment, RtOutcome, Substrate, WanModel,
+    HealthOptions, RollingRecoveryConfig, RtDeployment, RtOutcome, Substrate, WanModel,
 };
 pub use health::{
     parse_prometheus, prometheus_text, AlarmKind, AttackDetector, BreachClass, HealthConfig,
@@ -62,6 +62,7 @@ pub use health::{
 };
 pub use invariant::{InvariantChecker, Violation};
 pub use report::{
-    ChaosStats, HealthStats, PhaseStat, Provenance, Report, ShardStat, XShardStats, SLA_MS,
+    ChaosStats, HealthStats, PhaseStat, Provenance, RecoveryStats, Report, ShardStat, XShardStats,
+    SLA_MS,
 };
 pub use sharded::{ShardedConfig, ShardedDeployment, ShardedRt};

@@ -12,8 +12,9 @@ pub const SLA_MS: f64 = 100.0;
 /// change shape so the bench-trajectory tooling can diff runs across
 /// PRs. v2 added `health`, provenance fields and this stamp. v3 added
 /// `shards` (per-group workload stats) and `xshard` (cross-shard 2PC
-/// outcomes) for sharded deployments.
-pub const REPORT_SCHEMA_VERSION: u32 = 3;
+/// outcomes) for sharded deployments. v4 added `recovery` (chunked state
+/// transfer + log compaction) and `health.degraded_windows`.
+pub const REPORT_SCHEMA_VERSION: u32 = 4;
 
 /// Where a report came from: the run substrate and the hardware/build
 /// identity — the same provenance `BENCH_*.json` rows carry.
@@ -63,6 +64,9 @@ pub struct HealthStats {
     pub site_dos_alarms: u64,
     /// Windows that flagged the partition signature.
     pub partition_alarms: u64,
+    /// Windows graded degraded (a replica was inside its announced
+    /// proactive-recovery window) instead of silent/partitioned.
+    pub degraded_windows: u64,
 }
 
 impl HealthStats {
@@ -79,6 +83,48 @@ impl HealthStats {
     /// True when the monitor ran and nothing breached or alarmed.
     pub fn quiet(&self) -> bool {
         self.snapshots > 0 && self.breaches() == 0 && self.alarms() == 0
+    }
+}
+
+/// Proactive-recovery and log-compaction statistics, read from the
+/// `prime.recovery_*` / `prime.compaction.*` metrics replicas publish
+/// (all-zero when no recovery ran).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Recoveries the scheduler started (`spire.recoveries_started`).
+    pub started: u64,
+    /// Recoveries that completed state transfer.
+    pub completed: u64,
+    /// Snapshot chunks reconstructed from erasure shares.
+    pub chunks: u64,
+    /// Per-chunk retry rounds against alternate responders.
+    pub chunk_retries: u64,
+    /// Stale/poisoned transfer accumulators evicted.
+    pub accums_evicted: u64,
+    /// Median recovery duration, ms (NaN when none completed).
+    pub duration_p50_ms: f64,
+    /// 99th-percentile recovery duration, ms (NaN when none completed).
+    pub duration_p99_ms: f64,
+    /// Log-compaction passes across all replicas.
+    pub compaction_runs: u64,
+    /// Total log entries garbage-collected by compaction.
+    pub compaction_evicted: u64,
+    /// Final retained PO-Request-store size (last gauge sample).
+    pub retained_po: f64,
+    /// Final retained preorder-slot count (last gauge sample).
+    pub retained_slots: f64,
+    /// Final retained ordering-matrix count (last gauge sample).
+    pub retained_matrices: f64,
+}
+
+impl RecoveryStats {
+    /// Fraction of started recoveries that completed (NaN when none
+    /// started).
+    pub fn completion_rate(&self) -> f64 {
+        if self.started == 0 {
+            return f64::NAN;
+        }
+        self.completed as f64 / self.started as f64
     }
 }
 
@@ -264,6 +310,8 @@ pub struct Report {
     pub chaos: ChaosStats,
     /// Live health-telemetry verdicts (zeros when no monitor ran).
     pub health: HealthStats,
+    /// Proactive-recovery + log-compaction stats (zeros without any).
+    pub recovery: RecoveryStats,
     /// Per-shard workload stats (empty for single-group deployments).
     pub shards: Vec<ShardStat>,
     /// Cross-shard 2PC outcomes (zeros without a coordinator workload).
@@ -375,6 +423,27 @@ impl Report {
             slow_leader_alarms: metrics.counter("health.alarm.slow_leader"),
             site_dos_alarms: metrics.counter("health.alarm.site_dos"),
             partition_alarms: metrics.counter("health.alarm.partition"),
+            degraded_windows: metrics.counter("health.degraded_windows"),
+        };
+        let last_gauge = |name: &str| metrics.series(name).last().map_or(f64::NAN, |(_, v)| *v);
+        let duration = metrics.histogram("prime.recovery_duration_us");
+        let recovery = RecoveryStats {
+            started: metrics.counter("spire.recoveries_started"),
+            completed: metrics.counter("prime.recovery_completed"),
+            chunks: metrics.counter("prime.recovery_chunks"),
+            chunk_retries: metrics.counter("prime.recovery_chunk_retries"),
+            accums_evicted: metrics.counter("prime.state_accums_evicted"),
+            duration_p50_ms: duration
+                .filter(|h| h.count() > 0)
+                .map_or(f64::NAN, |h| h.percentile(50.0) / 1000.0),
+            duration_p99_ms: duration
+                .filter(|h| h.count() > 0)
+                .map_or(f64::NAN, |h| h.percentile(99.0) / 1000.0),
+            compaction_runs: metrics.counter("prime.compaction.runs"),
+            compaction_evicted: metrics.counter("prime.compaction.evicted"),
+            retained_po: last_gauge("prime.compaction.po_retained"),
+            retained_slots: last_gauge("prime.compaction.slots_retained"),
+            retained_matrices: last_gauge("prime.compaction.matrices_retained"),
         };
         Report {
             update_summary: Summary::of(&update_latencies_ms),
@@ -404,6 +473,7 @@ impl Report {
             },
             chaos,
             health,
+            recovery,
             shards,
             xshard,
             update_latencies_ms,
@@ -563,7 +633,7 @@ impl Report {
         let health = format!(
             "{{\"snapshots\":{},\"latency_breaches\":{},\"delivery_breaches\":{},\
              \"silence_breaches\":{},\"slow_leader_alarms\":{},\"site_dos_alarms\":{},\
-             \"partition_alarms\":{}}}",
+             \"partition_alarms\":{},\"degraded_windows\":{}}}",
             self.health.snapshots,
             self.health.latency_breaches,
             self.health.delivery_breaches,
@@ -571,6 +641,26 @@ impl Report {
             self.health.slow_leader_alarms,
             self.health.site_dos_alarms,
             self.health.partition_alarms,
+            self.health.degraded_windows,
+        );
+        let recovery = format!(
+            "{{\"started\":{},\"completed\":{},\"completion_rate\":{},\"chunks\":{},\
+             \"chunk_retries\":{},\"accums_evicted\":{},\"duration_p50_ms\":{},\
+             \"duration_p99_ms\":{},\"compaction_runs\":{},\"compaction_evicted\":{},\
+             \"retained_po\":{},\"retained_slots\":{},\"retained_matrices\":{}}}",
+            self.recovery.started,
+            self.recovery.completed,
+            num(self.recovery.completion_rate()),
+            self.recovery.chunks,
+            self.recovery.chunk_retries,
+            self.recovery.accums_evicted,
+            num(self.recovery.duration_p50_ms),
+            num(self.recovery.duration_p99_ms),
+            self.recovery.compaction_runs,
+            self.recovery.compaction_evicted,
+            num(self.recovery.retained_po),
+            num(self.recovery.retained_slots),
+            num(self.recovery.retained_matrices),
         );
         format!(
             "{{\"schema_version\":{REPORT_SCHEMA_VERSION},\
@@ -583,7 +673,7 @@ impl Report {
              \"batch_flushes\":{},\"batched_msgs\":{},\"mac_ops\":{},\
              \"mac_auth_hits\":{},\"mac_fail\":{},\"amortization_factor\":{},\
              \"signs_per_update\":{},\"verifies_per_update\":{}}},\
-             \"chaos\":{},\"health\":{},\"shards\":[{}],\"xshard\":{},\
+             \"chaos\":{},\"health\":{},\"recovery\":{},\"shards\":[{}],\"xshard\":{},\
              \"phase_breakdown\":[{}],\"throughput_timeline\":[{}]}}",
             self.updates_sent,
             self.updates_confirmed,
@@ -611,6 +701,7 @@ impl Report {
             num(self.verifies_per_update()),
             chaos,
             health,
+            recovery,
             shards.join(","),
             xshard,
             phases.join(","),
@@ -694,6 +785,7 @@ mod tests {
             auth: AuthStats::default(),
             chaos: ChaosStats::default(),
             health: HealthStats::default(),
+            recovery: RecoveryStats::default(),
             shards: vec![],
             xshard: XShardStats::default(),
         }
@@ -804,6 +896,7 @@ mod tests {
             slow_leader_alarms: 4,
             site_dos_alarms: 0,
             partition_alarms: 0,
+            degraded_windows: 0,
         };
         let json = r.to_json();
         assert!(json.starts_with(&format!("{{\"schema_version\":{REPORT_SCHEMA_VERSION},")));
@@ -817,6 +910,35 @@ mod tests {
             report_with(vec![], 0, 0).health_line(),
             "health: no monitor installed"
         );
+    }
+
+    #[test]
+    fn to_json_carries_recovery_section() {
+        let mut r = report_with(vec![], 0, 0);
+        r.recovery = RecoveryStats {
+            started: 10,
+            completed: 9,
+            chunks: 180,
+            chunk_retries: 12,
+            accums_evicted: 1,
+            duration_p50_ms: 350.0,
+            duration_p99_ms: 1200.0,
+            compaction_runs: 40,
+            compaction_evicted: 5000,
+            retained_po: 48.0,
+            retained_slots: 25.0,
+            retained_matrices: 25.0,
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"recovery\":{\"started\":10,\"completed\":9"));
+        assert!(json.contains("\"chunk_retries\":12"));
+        assert!(json.contains("\"compaction_evicted\":5000"));
+        assert!((r.recovery.completion_rate() - 0.9).abs() < 1e-9);
+        // A run without recoveries serializes cleanly: zeros + null rate.
+        let plain = report_with(vec![], 0, 0);
+        assert!(plain.to_json().contains("\"recovery\":{\"started\":0"));
+        assert!(plain.to_json().contains("\"completion_rate\":null"));
+        assert!(plain.recovery.completion_rate().is_nan());
     }
 
     #[test]

@@ -115,7 +115,7 @@ fn report_and_prometheus_carry_health_on_sim() {
     assert!(line.contains("windows="), "{line}");
 
     let json = report.to_json_with(&Provenance::of("sim", 0, "deadbeef"));
-    assert!(json.contains("\"schema_version\":3"), "{json}");
+    assert!(json.contains("\"schema_version\":4"), "{json}");
     assert!(json.contains("\"substrate\":\"sim\""));
     assert!(json.contains("\"git_rev\":\"deadbeef\""));
     assert!(json.contains("\"health\":{"));

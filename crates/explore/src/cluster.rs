@@ -9,7 +9,7 @@ use spire::InvariantChecker;
 use spire_crypto::keys::Signer;
 use spire_crypto::{KeyMaterial, KeyStore, NodeId};
 use spire_prime::replica::{
-    TIMER_PING, TIMER_PO_FLUSH, TIMER_PRE_PREPARE, TIMER_PROGRESS, TIMER_SUMMARY,
+    TIMER_PING, TIMER_PO_FLUSH, TIMER_PRE_PREPARE, TIMER_PROGRESS, TIMER_STATE_REQ, TIMER_SUMMARY,
 };
 use spire_prime::{
     ByzBehavior, ClientId, ClientOp, DirectNet, Effect, HashChainApp, Input, Inspection,
@@ -25,7 +25,9 @@ use std::sync::{Arc, Mutex};
 /// equivocates when leader — the safety attack quorums must contain),
 /// `leader-delay` (replica 0 mounts Prime's signature performance attack),
 /// `mute-replica` (last replica is crash-like), `po-equivocation`
-/// (replica 1 equivocates pre-order contents).
+/// (replica 1 equivocates pre-order contents), `recovering-replica`
+/// (the last replica starts mid-state-transfer — requires `k >= 1`; the
+/// explorer interleaves its rejoin with ordering and view changes).
 #[derive(Clone, Debug)]
 pub struct Scenario {
     /// Behavior-assignment name (see type docs).
@@ -42,11 +44,17 @@ impl Scenario {
     /// Builds a scenario, validating the name.
     pub fn named(name: &str, f: u32, k: u32, ops: u32) -> Result<Scenario, String> {
         match name {
+            "recovering-replica" if k == 0 => Err(
+                "scenario \"recovering-replica\" needs k >= 1 (the recovering \
+                 replica spends the k budget)"
+                    .to_string(),
+            ),
             "honest"
             | "equivocating-leader"
             | "leader-delay"
             | "mute-replica"
-            | "po-equivocation" => Ok(Scenario {
+            | "po-equivocation"
+            | "recovering-replica" => Ok(Scenario {
                 name: name.to_string(),
                 f,
                 k,
@@ -71,6 +79,11 @@ impl Scenario {
             "po-equivocation" if i == 1 => ByzBehavior::EquivocatePo,
             _ => ByzBehavior::Honest,
         }
+    }
+
+    /// Whether replica `i` starts mid-state-transfer (recovering mode).
+    pub fn recovering(&self, i: u32) -> bool {
+        self.name == "recovering-replica" && i == self.n() - 1
     }
 
     /// Indices of replicas whose behavior counts against `f` (exempted
@@ -122,6 +135,16 @@ impl Bounds {
             max_states: 250_000,
             timer_budget,
         }
+    }
+
+    /// [`Bounds::tiny`] plus the state-request timer, so the
+    /// `recovering-replica` scenario can drive its rejoin (repeated
+    /// state requests, and past the genesis deadline the fallback that
+    /// clears the recovering flag) inside the explored schedule.
+    pub fn recovery() -> Bounds {
+        let mut bounds = Bounds::tiny();
+        bounds.timer_budget.insert(TIMER_STATE_REQ, 3);
+        bounds
     }
 }
 
@@ -198,7 +221,7 @@ impl Harness {
                 self.signers[i as usize].clone(),
                 Box::new(net),
                 Box::new(HashChainApp::new()),
-                false,
+                self.scenario.recovering(i),
             )
             .with_inspection(inspection.clone());
             replicas.push(ModelReplica::new(

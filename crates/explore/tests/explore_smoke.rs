@@ -81,6 +81,37 @@ fn seeded_bug_is_caught_and_shrinks_small() {
 }
 
 #[test]
+fn random_recovering_replica_rejoins_without_violations() {
+    // k = 1: the last replica starts mid-state-transfer and its rejoin
+    // (state requests, share fetches, or the genesis fallback) is
+    // interleaved with ordering and view changes by the explorer. No
+    // schedule may produce divergence, and the healthy quorum must still
+    // order ops while the recovering replica is out.
+    let h = Harness::new(Scenario::named("recovering-replica", 1, 1, 3).expect("known scenario"));
+    let params = RandomParams {
+        seed: 0x4EC,
+        episodes: 6,
+        steps_per_episode: 600,
+        wall_limit: None,
+    };
+    let report = random::explore(&h, &params);
+    assert!(
+        report.violation.is_none(),
+        "recovering-replica run violated invariants: {:?}",
+        report.violation
+    );
+    assert!(
+        report.max_executed > 0,
+        "healthy quorum failed to order ops around the recovering replica"
+    );
+}
+
+#[test]
+fn recovering_replica_scenario_requires_k() {
+    assert!(Scenario::named("recovering-replica", 1, 0, 2).is_err());
+}
+
+#[test]
 fn exhaustive_tiny_config_is_clean_and_deduplicates() {
     if SEEDED_BUG_ACTIVE {
         // Under the bug build the exhaustive pass may legitimately find a

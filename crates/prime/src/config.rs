@@ -68,6 +68,21 @@ pub struct PrimeConfig {
     /// A recovering replica that finds no checkpoint anywhere for this long
     /// rejoins from genesis and catches up via reconciliation instead.
     pub recovery_genesis_timeout: Span,
+    /// State transfer splits the execution snapshot into chunks of this
+    /// many bytes; each chunk is erasure-encoded independently so a
+    /// recovering replica reconstructs from any `f+1` per-chunk shares.
+    pub state_chunk_bytes: usize,
+    /// Initial per-chunk retry timeout: chunks still missing this long
+    /// after the manifest is pinned are re-requested from alternate
+    /// responders. Doubles on every retry round up to
+    /// [`Self::chunk_retry_max`].
+    pub chunk_retry_timeout: Span,
+    /// Ceiling for the exponential per-chunk retry backoff.
+    pub chunk_retry_max: Span,
+    /// Manifest/share accumulators for a checkpoint that made no progress
+    /// for this long are evicted (bounds memory when responders go mute
+    /// or serve garbage).
+    pub state_accum_deadline: Span,
     /// Crypto id base for replicas in the key store.
     pub replica_key_base: u32,
     /// Crypto id base for clients in the key store.
@@ -124,6 +139,10 @@ impl PrimeConfig {
             checkpoint_interval: 50,
             recon_interval: Span::millis(50),
             recovery_genesis_timeout: Span::secs(3),
+            state_chunk_bytes: 1024,
+            chunk_retry_timeout: Span::millis(200),
+            chunk_retry_max: Span::secs(2),
+            state_accum_deadline: Span::secs(2),
             replica_key_base: 1000,
             client_key_base: 2000,
             batch_sign: false,

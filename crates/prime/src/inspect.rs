@@ -43,6 +43,26 @@ pub struct ReplicaRecord {
     /// Correct replicas checkpointing at the same seq must agree on the
     /// digest, and each replica's checkpoint seqs must advance.
     pub recent_checkpoints: Vec<(u64, Digest)>,
+    /// Whether the replica is currently in state-transfer recovery. Set on
+    /// recovery start, cleared when the transfer (or recovery fallback)
+    /// completes; the health engine grades such replicas `degraded` and
+    /// the invariant checker bounds how long the flag may stay up.
+    pub recovering: bool,
+    /// Highest contiguously committed matrix sequence (ordering progress;
+    /// execution may trail this while pre-order data is reconciled).
+    pub commit_aru: u64,
+    /// Highest sequence this replica has proposed (leaders only advance it;
+    /// a gap of `proposal_window` above `commit_aru` blocks new proposals).
+    pub last_proposed: u64,
+    /// Pre-order entries currently known-missing (awaiting reconciliation).
+    pub missing_po: u64,
+    /// Whether a view change is in progress on this replica.
+    pub in_view_change: bool,
+    /// Why execution trails `commit_aru`, if it does: 0 = it does not
+    /// (idle), 1 = the committed matrix for `last_executed + 1` is absent
+    /// (ordering hole), 2 = the matrix is present but pre-order data is
+    /// still being reconciled.
+    pub exec_stall: u8,
 }
 
 /// Bounded history sizes for the per-replica rings above. Large enough

@@ -604,6 +604,65 @@ pub enum PrimeMsg {
         /// Signature over all entries.
         sig: [u8; 64],
     },
+    /// State-transfer manifest: the chunk layout of the snapshot at a
+    /// stable checkpoint. The snapshot is split into `chunk_size`-byte
+    /// chunks and each chunk is erasure-encoded independently, so a
+    /// recovering replica reconstructs chunk-by-chunk from any
+    /// `erasure_k` per-chunk shares and re-requests only what is missing.
+    /// Unsigned: the requester pins a layout only after `f + 1` distinct
+    /// responders sent byte-identical manifests (at least one of them is
+    /// correct), and the embedded checkpoint proof carries its own
+    /// signatures.
+    StateMeta {
+        /// Responding replica.
+        replica: ReplicaId,
+        /// Sequence of the described checkpoint.
+        checkpoint_seq: u64,
+        /// Erasure parameter `k`: shares needed per chunk.
+        erasure_k: u8,
+        /// Bytes per chunk before encoding (last chunk may be shorter).
+        chunk_size: u32,
+        /// Total snapshot length in bytes.
+        total_len: u64,
+        /// Digest of each plaintext chunk, in order; corrupt shares are
+        /// caught when a reconstructed chunk misses its pinned digest.
+        chunk_digests: Vec<Digest>,
+        /// `f + 1` matching signed checkpoint attestations proving the
+        /// whole-snapshot digest.
+        proof: Vec<CheckpointMsg>,
+        /// The current view at the responder.
+        view: u64,
+        /// The responder's highest seen PO sequence originated by the
+        /// requester (numbering resume, as in [`PrimeMsg::StateResp`]).
+        requester_po_high: u64,
+        /// The responder's highest seen summary sequence from the
+        /// requester.
+        requester_sseq_high: u64,
+    },
+    /// One erasure share of one snapshot chunk. Unsigned; validated
+    /// against the pinned manifest's chunk digest after reconstruction.
+    StateChunk {
+        /// Responding replica.
+        replica: ReplicaId,
+        /// Sequence of the checkpoint the chunk belongs to.
+        checkpoint_seq: u64,
+        /// Chunk index within the manifest layout.
+        chunk: u32,
+        /// Erasure share index (the responder's replica id).
+        share_index: u8,
+        /// The share bytes.
+        share: Bytes,
+    },
+    /// Re-request of specific missing chunks, sent to alternate
+    /// responders when the per-chunk retry timer fires.
+    StateChunkReq {
+        /// Requesting (recovering) replica.
+        replica: ReplicaId,
+        /// Checkpoint whose chunks are wanted.
+        checkpoint_seq: u64,
+        /// Indices of the chunks still missing.
+        chunks: Vec<u32>,
+    },
 }
 
 impl PrimeMsg {
@@ -927,6 +986,63 @@ impl PrimeMsg {
                 }
                 w.raw(sig);
             }
+            PrimeMsg::StateMeta {
+                replica,
+                checkpoint_seq,
+                erasure_k,
+                chunk_size,
+                total_len,
+                chunk_digests,
+                proof,
+                view,
+                requester_po_high,
+                requester_sseq_high,
+            } => {
+                w.u8(22)
+                    .u32(replica.0)
+                    .u64(*checkpoint_seq)
+                    .u8(*erasure_k)
+                    .u32(*chunk_size)
+                    .u64(*total_len)
+                    .u16(chunk_digests.len() as u16);
+                for d in chunk_digests {
+                    w.raw(d);
+                }
+                w.u16(proof.len() as u16);
+                for p in proof {
+                    p.write(w);
+                }
+                w.u64(*view)
+                    .u64(*requester_po_high)
+                    .u64(*requester_sseq_high);
+            }
+            PrimeMsg::StateChunk {
+                replica,
+                checkpoint_seq,
+                chunk,
+                share_index,
+                share,
+            } => {
+                w.u8(23)
+                    .u32(replica.0)
+                    .u64(*checkpoint_seq)
+                    .u32(*chunk)
+                    .u8(*share_index)
+                    .bytes(share);
+            }
+            PrimeMsg::StateChunkReq {
+                replica,
+                checkpoint_seq,
+                chunks,
+            } => {
+                w.u8(24)
+                    .u32(replica.0)
+                    .u64(*checkpoint_seq)
+                    .u16(chunks.len() as u16);
+                for c in chunks {
+                    w.u32(*c);
+                }
+            }
         }
     }
 
@@ -1086,6 +1202,56 @@ impl PrimeMsg {
                 result: Bytes::copy_from_slice(r.bytes()?),
                 sig: r.array()?,
             },
+            22 => {
+                let replica = ReplicaId(r.u32()?);
+                let checkpoint_seq = r.u64()?;
+                let erasure_k = r.u8()?;
+                let chunk_size = r.u32()?;
+                let total_len = r.u64()?;
+                let n = r.u16()? as usize;
+                let mut chunk_digests = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    chunk_digests.push(r.array()?);
+                }
+                let n = r.u16()? as usize;
+                let mut proof = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    proof.push(CheckpointMsg::read(&mut r)?);
+                }
+                PrimeMsg::StateMeta {
+                    replica,
+                    checkpoint_seq,
+                    erasure_k,
+                    chunk_size,
+                    total_len,
+                    chunk_digests,
+                    proof,
+                    view: r.u64()?,
+                    requester_po_high: r.u64()?,
+                    requester_sseq_high: r.u64()?,
+                }
+            }
+            23 => PrimeMsg::StateChunk {
+                replica: ReplicaId(r.u32()?),
+                checkpoint_seq: r.u64()?,
+                chunk: r.u32()?,
+                share_index: r.u8()?,
+                share: Bytes::copy_from_slice(r.bytes()?),
+            },
+            24 => {
+                let replica = ReplicaId(r.u32()?);
+                let checkpoint_seq = r.u64()?;
+                let n = r.u16()? as usize;
+                let mut chunks = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    chunks.push(r.u32()?);
+                }
+                PrimeMsg::StateChunkReq {
+                    replica,
+                    checkpoint_seq,
+                    chunks,
+                }
+            }
             other => return Err(WireError::BadTag(other)),
         };
         r.expect_end()?;
@@ -1099,7 +1265,7 @@ impl PrimeMsg {
 }
 
 /// Frame tag marking a batch-attested message ([`PrimeMsg`] encodings start
-/// with tags 1..=19, so the two framings share one byte stream).
+/// with tags 1..=24, so the two framings share one byte stream).
 pub const BATCH_FRAME_TAG: u8 = 255;
 
 /// A replica-to-replica frame as read off a link: either a plain message
@@ -1458,6 +1624,52 @@ mod tests {
             view: 2,
             entries: vec![(11, [4; 32]), (12, [5; 32]), (13, [6; 32])],
             sig: [7; 64],
+        });
+        roundtrip(PrimeMsg::StateMeta {
+            replica: ReplicaId(1),
+            checkpoint_seq: 50,
+            erasure_k: 2,
+            chunk_size: 1024,
+            total_len: 2500,
+            chunk_digests: vec![[1; 32], [2; 32], [3; 32]],
+            proof: vec![CheckpointMsg {
+                replica: ReplicaId(0),
+                seq: 50,
+                digest: [7; 32],
+                sig: [8; 64],
+            }],
+            view: 2,
+            requester_po_high: 17,
+            requester_sseq_high: 5,
+        });
+        roundtrip(PrimeMsg::StateMeta {
+            replica: ReplicaId(3),
+            checkpoint_seq: 75,
+            erasure_k: 3,
+            chunk_size: 512,
+            total_len: 0,
+            chunk_digests: vec![],
+            proof: vec![],
+            view: 0,
+            requester_po_high: 0,
+            requester_sseq_high: 0,
+        });
+        roundtrip(PrimeMsg::StateChunk {
+            replica: ReplicaId(2),
+            checkpoint_seq: 50,
+            chunk: 1,
+            share_index: 2,
+            share: Bytes::from_static(b"chunk-share"),
+        });
+        roundtrip(PrimeMsg::StateChunkReq {
+            replica: ReplicaId(5),
+            checkpoint_seq: 50,
+            chunks: vec![0, 2, 7],
+        });
+        roundtrip(PrimeMsg::StateChunkReq {
+            replica: ReplicaId(5),
+            checkpoint_seq: 50,
+            chunks: vec![],
         });
     }
 

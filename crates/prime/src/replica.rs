@@ -61,6 +61,7 @@ pub const TIMER_PROGRESS: u64 = 5;
 pub const TIMER_RECON: u64 = 6;
 pub const TIMER_STATE_REQ: u64 = 7;
 pub const TIMER_BATCH: u64 = 8;
+pub const TIMER_CHUNK: u64 = 9;
 
 /// Messages accumulated in one signing batch before the Merkle root is
 /// signed: bounds both memory and the inclusion-proof length (log2(64) = 6
@@ -70,7 +71,7 @@ const BATCH_CAP: usize = 64;
 /// Every metric name a replica emits. Keys are prefixed with the instance
 /// label once, at construction, because several fire per message delivery —
 /// a `format!` there dominated the metrics path.
-const METRIC_NAMES: [&str; 47] = [
+const METRIC_NAMES: [&str; 61] = [
     "bad_client_sig",
     "bad_po_sig",
     "bad_op_in_batch",
@@ -85,6 +86,8 @@ const METRIC_NAMES: [&str; 47] = [
     "bad_commit_sig",
     "committed",
     "recon_requested",
+    "po_retries",
+    "po_gap_recon",
     "matrices_executed",
     "ops_executed",
     "bad_ckpt_sig",
@@ -99,6 +102,7 @@ const METRIC_NAMES: [&str; 47] = [
     "preprepares_sent",
     "leader_gap_us",
     "suspects_sent",
+    "vc_rebroadcasts",
     "bad_new_view",
     "view_changes",
     "views_installed",
@@ -118,6 +122,17 @@ const METRIC_NAMES: [&str; 47] = [
     "eager_proposals",
     "multi_acks",
     "multi_commits",
+    "bad_state_meta",
+    "state_accums_evicted",
+    "recovery_chunks",
+    "recovery_chunk_retries",
+    "recovery_duration_us",
+    "compaction.runs",
+    "compaction.evicted",
+    "compaction.po_retained",
+    "compaction.slots_retained",
+    "compaction.matrices_retained",
+    "compaction.suffix_retained",
 ];
 
 /// Label-prefixed metric keys, computed once per replica.
@@ -193,10 +208,55 @@ struct OrderingSlot {
     committed: bool,
 }
 
-/// Per-snapshot state-transfer accumulator: share index -> share bytes,
-/// plus the erasure `k` parameter, the validated checkpoint proof and the
-/// po-high hint.
-type StateShares = (u8, BTreeMap<u8, Vec<u8>>, Vec<CheckpointMsg>, (u64, u64));
+/// A state-transfer manifest observed from one or more responders, keyed
+/// by a digest over its full layout so a lying responder cannot split the
+/// vote. Pinned (promoted to a [`ChunkTransfer`]) once `f + 1` distinct
+/// responders vouch for byte-identical layouts: at least one is correct,
+/// and the embedded checkpoint proof carries its own `f + 1` signatures.
+struct MetaCandidate {
+    checkpoint_seq: u64,
+    snapshot_digest: Digest,
+    erasure_k: u8,
+    chunk_size: u32,
+    total_len: u64,
+    chunk_digests: Vec<Digest>,
+    proof: Vec<CheckpointMsg>,
+    po_high: u64,
+    sseq_high: u64,
+    voters: BTreeSet<u32>,
+}
+
+/// The pinned in-flight chunked state transfer: per-chunk shares
+/// accumulate until any `erasure_k` of them reconstruct to the pinned
+/// chunk digest; missing chunks are re-requested from rotating alternate
+/// responders with exponential backoff.
+struct ChunkTransfer {
+    checkpoint_seq: u64,
+    snapshot_digest: Digest,
+    erasure_k: u8,
+    chunk_size: u32,
+    total_len: u64,
+    chunk_digests: Vec<Digest>,
+    proof: Vec<CheckpointMsg>,
+    po_high: u64,
+    sseq_high: u64,
+    /// Reconstructed chunks by index.
+    chunks: BTreeMap<u32, Vec<u8>>,
+    /// Collected shares for not-yet-reconstructed chunks.
+    shares: BTreeMap<u32, BTreeMap<u8, Vec<u8>>>,
+    /// Current retry delay (doubles per round, capped).
+    backoff: Span,
+    /// Rotates the alternate responders asked on each retry round.
+    retry_rotor: u32,
+    /// Retry rounds issued for this transfer (reported on completion).
+    retries: u64,
+}
+
+/// Manifest candidates retained at once (superseded ones are evicted).
+const META_CANDIDATE_CAP: usize = 8;
+/// Shares stashed before a manifest pins (links reorder the manifest and
+/// the share stream); hard bound on pre-pin memory.
+const EARLY_SHARE_CAP: usize = 4096;
 
 #[derive(Default)]
 struct PoEntry {
@@ -332,9 +392,19 @@ pub struct Replica {
     stable_exec_cover: Vec<u64>,
     recovering: bool,
     suffix_votes: BTreeMap<(u64, Digest), (Matrix, BTreeSet<u32>)>,
-    /// Erasure shares collected during state transfer, keyed by the proven
-    /// (checkpoint_seq, snapshot digest).
-    state_shares: BTreeMap<(u64, Digest), StateShares>,
+    /// Manifest candidates observed during state transfer, keyed by a
+    /// digest of the full layout (see [`MetaCandidate`]).
+    meta_votes: BTreeMap<Digest, MetaCandidate>,
+    /// Chunk shares that arrived before a manifest pinned, keyed by
+    /// (checkpoint_seq, chunk, share index); bounded by [`EARLY_SHARE_CAP`].
+    early_shares: BTreeMap<(u64, u32, u8), Vec<u8>>,
+    /// The pinned in-flight chunked transfer, if any.
+    transfer: Option<ChunkTransfer>,
+    /// Last time any state-transfer accumulator made progress; stale
+    /// accumulators are evicted after `cfg.state_accum_deadline`.
+    accum_touched: Time,
+    /// Whether a `TIMER_CHUNK` retry tick is already pending.
+    chunk_timer_armed: bool,
 
     /// Verified pre-prepares for the current/future view that arrived while
     /// a view change was still in progress. A fresh leader broadcasts its
@@ -349,6 +419,11 @@ pub struct Replica {
     missing: BTreeSet<(u32, u64)>,
     recon_rotor: u32,
     max_seen_commit: u64,
+    /// `po_aru` snapshot from the previous recon tick: a per-origin
+    /// certification aru that sits below `po_high` across two ticks is a
+    /// hole (lost request or lost acks), not in-flight traffic, and gets
+    /// actively repaired (see `retry_uncertified_po`).
+    po_gap_snapshot: Vec<u64>,
 
     // ---- amortized authentication ----
     /// Votes/replies queued for the amortized flush (when `batch_sign`):
@@ -462,11 +537,16 @@ impl Replica {
             stable_exec_cover: vec![0; n],
             recovering,
             suffix_votes: BTreeMap::new(),
-            state_shares: BTreeMap::new(),
+            meta_votes: BTreeMap::new(),
+            early_shares: BTreeMap::new(),
+            transfer: None,
+            accum_touched: Time::ZERO,
+            chunk_timer_armed: false,
             stashed_pps: BTreeMap::new(),
             missing: BTreeSet::new(),
             recon_rotor: 0,
             max_seen_commit: 0,
+            po_gap_snapshot: vec![0; n],
             outbox: Vec::new(),
             batch_timer_armed: false,
             batcher: BatchSigner::new(),
@@ -1090,7 +1170,15 @@ impl Replica {
         if ack_now {
             entry.acked = Some(digest);
         }
-        if ack_now && self.behavior != ByzBehavior::AckWithhold {
+        // A duplicate of a still-uncertified request is a retry: our first
+        // ack may have been lost (links give up after bounded
+        // retransmission), so vote again. Acks are idempotent at the
+        // receiver, and the re-ack stops once the entry certifies.
+        let re_ack = !ack_now
+            && origin != self.me
+            && entry.certified.is_none()
+            && entry.acked == Some(digest);
+        if (ack_now || re_ack) && self.behavior != ByzBehavior::AckWithhold {
             // Staged, not sent: every request acknowledged within this
             // activation (a coalesced arrival can carry many) shares one
             // cumulative vote at the activation boundary.
@@ -1619,6 +1707,32 @@ impl Replica {
         }
     }
 
+    /// Mirrors ordering-layer progress variables into the inspection record
+    /// (published from the progress timer, so snapshots stay fresh even when
+    /// execution is stalled and the per-op update path never runs).
+    fn publish_ordering_health(&self) {
+        if let Some(inspection) = &self.inspection {
+            let (commit_aru, last_proposed) = (self.commit_aru, self.last_proposed);
+            let missing_po = self.missing.len() as u64;
+            let in_view_change = self.in_view_change;
+            let next = self.last_executed + 1;
+            let exec_stall = if next > self.commit_aru {
+                0 // idle: nothing committed beyond execution
+            } else if !self.committed_matrices.contains_key(&next) {
+                1 // committed matrix itself absent (ordering hole)
+            } else {
+                2 // matrix present: waiting on pre-order reconciliation
+            };
+            inspection.update(self.me.0, move |rec| {
+                rec.commit_aru = commit_aru;
+                rec.last_proposed = last_proposed;
+                rec.missing_po = missing_po;
+                rec.in_view_change = in_view_change;
+                rec.exec_stall = exec_stall;
+            });
+        }
+    }
+
     // ================= execution =================
 
     fn try_execute(&mut self, ctx: &mut Context<'_>) {
@@ -1896,10 +2010,22 @@ impl Replica {
             replica: self.me.0,
             seq,
         });
-        self.garbage_collect(seq);
+        self.garbage_collect(ctx, seq);
     }
 
-    fn garbage_collect(&mut self, stable_seq: u64) {
+    /// Compacts every log indexed below the stable checkpoint: ordering
+    /// matrices and certificate slots, checkpoint votes, pre-ordering
+    /// entries below the stable execution cover, suffix votes, stale
+    /// view-change state and reconciliation requests. Emits
+    /// `compaction.*` counters plus retained-size gauges so endurance
+    /// runs can assert the plateau.
+    fn garbage_collect(&mut self, ctx: &mut Context<'_>, stable_seq: u64) {
+        let before = self.committed_matrices.len()
+            + self.slots.len()
+            + self.po.len()
+            + self.suffix_votes.len()
+            + self.missing.len()
+            + self.view_states.len();
         self.committed_matrices.retain(|s, _| *s > stable_seq);
         self.slots.retain(|s, _| *s > stable_seq);
         self.checkpoint_votes.retain(|s, _| *s + 1 >= stable_seq);
@@ -1907,6 +2033,43 @@ impl Replica {
         let cover = self.stable_exec_cover.clone();
         self.po
             .retain(|(origin, s), _| *s > cover[*origin as usize]);
+        // Suffix votes at or below the stable checkpoint can never be
+        // adopted again (last_executed >= stable_seq once restored).
+        self.suffix_votes.retain(|(s, _), _| *s > stable_seq);
+        // Reconciliation requests below the stable cover are satisfied by
+        // state transfer, never by per-request recon.
+        self.missing
+            .retain(|(origin, s)| *s > cover[*origin as usize]);
+        // View-change state for long-dead views (suspicions are only
+        // counted for views >= self.view; view states only install view+1).
+        let view = self.view;
+        self.suspects.retain(|v, _| *v >= view);
+        self.suspected_views.retain(|v| *v >= view);
+        self.view_states.retain(|v, _| *v + 1 >= view);
+        let after = self.committed_matrices.len()
+            + self.slots.len()
+            + self.po.len()
+            + self.suffix_votes.len()
+            + self.missing.len()
+            + self.view_states.len();
+        ctx.count(self.metric("compaction.runs"), 1);
+        ctx.count(
+            self.metric("compaction.evicted"),
+            before.saturating_sub(after) as u64,
+        );
+        ctx.record(self.metric("compaction.po_retained"), self.po.len() as f64);
+        ctx.record(
+            self.metric("compaction.slots_retained"),
+            self.slots.len() as f64,
+        );
+        ctx.record(
+            self.metric("compaction.matrices_retained"),
+            self.committed_matrices.len() as f64,
+        );
+        ctx.record(
+            self.metric("compaction.suffix_retained"),
+            self.suffix_votes.len() as f64,
+        );
     }
 
     fn on_state_req(
@@ -1932,28 +2095,33 @@ impl Replica {
         let mut suffix_from = have_seq + 1;
         if let Some((seq, snapshot, proof)) = self.stable_checkpoint.clone() {
             if seq > have_seq {
-                // Erasure-code the snapshot with k = f + 1: any f+1 correct
-                // responders let the requester reconstruct, at 1/(f+1) the
-                // bandwidth each. Deterministic, so all responders produce
-                // identical share sets.
-                let k = (self.cfg.f + 1) as usize;
-                let n = self.n().max(k);
-                if let Ok(shares) = spire_crypto::erasure::encode(&snapshot, k, n) {
-                    let share = &shares[self.me.0 as usize];
-                    let resp = PrimeMsg::StateResp {
-                        replica: self.me,
-                        checkpoint_seq: seq,
-                        share_index: share.index,
-                        erasure_k: k as u8,
-                        share: Bytes::from(share.data.clone()),
-                        proof,
-                        view: self.view,
-                        requester_po_high: self.po_high[from.0 as usize],
-                        requester_sseq_high: self.sseq_high[from.0 as usize],
-                    };
-                    self.send_to(ctx, from, &resp);
-                    suffix_from = seq + 1;
-                }
+                // Chunked transfer: describe the layout (per-chunk digests
+                // pin what a correct reconstruction must hash to), then
+                // stream this replica's erasure share of every chunk. Each
+                // chunk is coded with k = f + 1, so any f+1 correct
+                // responders let the requester reconstruct it at 1/(f+1)
+                // the bandwidth each; a lost or corrupt share costs one
+                // chunk retry, not the whole snapshot.
+                let chunk_size = self.cfg.state_chunk_bytes.max(1);
+                let chunk_digests: Vec<Digest> = snapshot
+                    .chunks(chunk_size)
+                    .map(spire_crypto::digest)
+                    .collect();
+                let meta = PrimeMsg::StateMeta {
+                    replica: self.me,
+                    checkpoint_seq: seq,
+                    erasure_k: (self.cfg.f + 1) as u8,
+                    chunk_size: chunk_size as u32,
+                    total_len: snapshot.len() as u64,
+                    chunk_digests,
+                    proof,
+                    view: self.view,
+                    requester_po_high: self.po_high[from.0 as usize],
+                    requester_sseq_high: self.sseq_high[from.0 as usize],
+                };
+                self.send_to(ctx, from, &meta);
+                self.send_chunk_shares(ctx, from, seq, &snapshot, None);
+                suffix_from = seq + 1;
             }
         }
         // Send the committed suffix so the requester can catch up to the
@@ -1981,26 +2149,113 @@ impl Replica {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn on_state_resp(
+    /// Sends this replica's erasure share of each requested chunk of the
+    /// stable snapshot (all chunks when `wanted` is None). A responder
+    /// with [`ByzBehavior::CorruptShares`] flips bits in every share it
+    /// serves — the requester's per-chunk digest check weeds these out.
+    fn send_chunk_shares(
         &mut self,
         ctx: &mut Context<'_>,
+        to: ReplicaId,
+        seq: u64,
+        snapshot: &[u8],
+        wanted: Option<&[u32]>,
+    ) {
+        let k = (self.cfg.f + 1) as usize;
+        let n = self.n().max(k);
+        let chunk_size = self.cfg.state_chunk_bytes.max(1);
+        let corrupt = self.behavior == ByzBehavior::CorruptShares;
+        for (i, chunk) in snapshot.chunks(chunk_size).enumerate() {
+            if let Some(w) = wanted {
+                if !w.contains(&(i as u32)) {
+                    continue;
+                }
+            }
+            let Ok(shares) = spire_crypto::erasure::encode(chunk, k, n) else {
+                continue;
+            };
+            let share = &shares[self.me.0 as usize];
+            let mut data = share.data.clone();
+            if corrupt {
+                for b in &mut data {
+                    *b ^= 0xA5;
+                }
+            }
+            let msg = PrimeMsg::StateChunk {
+                replica: self.me,
+                checkpoint_seq: seq,
+                chunk: i as u32,
+                share_index: share.index,
+                share: Bytes::from(data),
+            };
+            self.send_to(ctx, to, &msg);
+        }
+    }
+
+    /// A requester re-asking alternate responders for chunks it is still
+    /// missing. Serve only from the matching stable checkpoint.
+    fn on_state_chunk_req(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: ReplicaId,
         checkpoint_seq: u64,
-        share_index: u8,
+        chunks: &[u32],
+    ) {
+        if from.0 >= self.cfg.n || from == self.me || chunks.len() > 512 {
+            return;
+        }
+        let Some((seq, snapshot, _)) = self.stable_checkpoint.clone() else {
+            return;
+        };
+        if seq != checkpoint_seq {
+            return;
+        }
+        self.send_chunk_shares(ctx, from, seq, &snapshot, Some(chunks));
+    }
+
+    /// A state-transfer manifest from one responder. Unsigned: instead,
+    /// the layout is tallied by its digest and pinned only once `f + 1`
+    /// distinct responders sent byte-identical manifests, and the
+    /// embedded checkpoint proof must carry `f + 1` valid signatures
+    /// over one snapshot digest.
+    #[allow(clippy::too_many_arguments)]
+    fn on_state_meta(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: ReplicaId,
+        checkpoint_seq: u64,
         erasure_k: u8,
-        share: Bytes,
+        chunk_size: u32,
+        total_len: u64,
+        chunk_digests: Vec<Digest>,
         proof: Vec<CheckpointMsg>,
-        view: u64,
         requester_po_high: u64,
         requester_sseq_high: u64,
     ) {
+        if from.0 >= self.cfg.n || from == self.me {
+            return;
+        }
         if !self.recovering && checkpoint_seq <= self.last_executed {
             return;
         }
+        if let Some(t) = &self.transfer {
+            if t.checkpoint_seq >= checkpoint_seq {
+                return; // already pinned this (or a newer) transfer
+            }
+        }
+        // Layout sanity before any allocation is charged to this claim.
+        let expected = (total_len as usize).div_ceil((chunk_size as usize).max(1));
+        if erasure_k == 0
+            || erasure_k as u32 > self.cfg.n
+            || chunk_size == 0
+            || chunk_digests.len() != expected
+            || expected > u16::MAX as usize
+        {
+            ctx.count(self.metric("bad_state_meta"), 1);
+            return;
+        }
         // Validate the proof: f+1 distinct valid signatures over one
-        // snapshot digest at this sequence. The share itself cannot be
-        // checked until reconstruction; the digest check after decode
-        // rejects corrupted shares.
+        // snapshot digest at this sequence.
         let mut tallies: BTreeMap<Digest, BTreeSet<u32>> = BTreeMap::new();
         for attestation in &proof {
             if attestation.seq != checkpoint_seq || attestation.replica.0 >= self.cfg.n {
@@ -2015,7 +2270,7 @@ impl Replica {
             }
         }
         let needed = (self.cfg.f + 1) as usize;
-        let Some(digest) = tallies
+        let Some(snapshot_digest) = tallies
             .iter()
             .find(|(_, set)| set.len() >= needed)
             .map(|(d, _)| *d)
@@ -2023,42 +2278,168 @@ impl Replica {
             ctx.count(self.metric("bad_state_proof"), 1);
             return;
         };
-        if erasure_k == 0 || erasure_k as u32 > self.cfg.n {
+        // Key the candidate by a digest over the complete layout, so a
+        // lying responder cannot merge its vote with a correct one's.
+        let mut w = WireWriter::new();
+        w.u64(checkpoint_seq)
+            .raw(&snapshot_digest)
+            .u8(erasure_k)
+            .u32(chunk_size)
+            .u64(total_len);
+        for d in &chunk_digests {
+            w.raw(d);
+        }
+        let key = spire_crypto::digest(&w.finish());
+        if !self.meta_votes.contains_key(&key) && self.meta_votes.len() >= META_CANDIDATE_CAP {
+            // Evict the candidate for the oldest checkpoint to stay bounded.
+            if let Some(victim) = self
+                .meta_votes
+                .iter()
+                .min_by_key(|(_, c)| c.checkpoint_seq)
+                .map(|(k, _)| *k)
+            {
+                self.meta_votes.remove(&victim);
+                ctx.count(self.metric("state_accums_evicted"), 1);
+            }
+        }
+        let entry = self.meta_votes.entry(key).or_insert_with(|| MetaCandidate {
+            checkpoint_seq,
+            snapshot_digest,
+            erasure_k,
+            chunk_size,
+            total_len,
+            chunk_digests,
+            proof,
+            po_high: 0,
+            sseq_high: 0,
+            voters: BTreeSet::new(),
+        });
+        entry.voters.insert(from.0);
+        entry.po_high = entry.po_high.max(requester_po_high);
+        entry.sseq_high = entry.sseq_high.max(requester_sseq_high);
+        self.accum_touched = ctx.now();
+        if entry.voters.len() >= needed {
+            self.pin_transfer(ctx, key);
+        }
+    }
+
+    /// Promotes a quorum-backed manifest candidate to the active transfer,
+    /// drains any early-stashed shares into it and starts the retry timer.
+    fn pin_transfer(&mut self, ctx: &mut Context<'_>, key: Digest) {
+        let Some(c) = self.meta_votes.remove(&key) else {
+            return;
+        };
+        self.meta_votes.clear();
+        let mut t = ChunkTransfer {
+            checkpoint_seq: c.checkpoint_seq,
+            snapshot_digest: c.snapshot_digest,
+            erasure_k: c.erasure_k,
+            chunk_size: c.chunk_size,
+            total_len: c.total_len,
+            chunk_digests: c.chunk_digests,
+            proof: c.proof,
+            po_high: c.po_high,
+            sseq_high: c.sseq_high,
+            chunks: BTreeMap::new(),
+            shares: BTreeMap::new(),
+            backoff: self.cfg.chunk_retry_timeout,
+            retry_rotor: 0,
+            retries: 0,
+        };
+        let early = std::mem::take(&mut self.early_shares);
+        for ((seq, chunk, idx), data) in early {
+            if seq == t.checkpoint_seq && (chunk as usize) < t.chunk_digests.len() {
+                t.shares.entry(chunk).or_default().insert(idx, data);
+            }
+        }
+        let pending: Vec<u32> = t.shares.keys().copied().collect();
+        self.transfer = Some(t);
+        self.accum_touched = ctx.now();
+        for chunk in pending {
+            self.try_reconstruct_chunk(ctx, chunk);
+        }
+        if !self.chunk_timer_armed {
+            self.chunk_timer_armed = true;
+            ctx.set_timer(self.cfg.chunk_retry_timeout, TIMER_CHUNK);
+        }
+        self.maybe_finalize_transfer(ctx);
+    }
+
+    /// One erasure share of one chunk from one responder.
+    fn on_state_chunk(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: ReplicaId,
+        checkpoint_seq: u64,
+        chunk: u32,
+        share_index: u8,
+        share: Bytes,
+    ) {
+        if from.0 >= self.cfg.n || share_index as u32 >= self.cfg.n {
             return;
         }
-        // Collect the share.
-        let entry = self
-            .state_shares
-            .entry((checkpoint_seq, digest))
-            .or_insert_with(|| (erasure_k, BTreeMap::new(), proof.clone(), (0, 0)));
-        if entry.0 != erasure_k {
-            return; // inconsistent parameter claim; ignore this responder
-        }
-        entry.1.insert(share_index, share.to_vec());
-        entry.3 = (
-            entry.3 .0.max(requester_po_high),
-            entry.3 .1.max(requester_sseq_high),
-        );
-        if entry.1.len() < erasure_k as usize {
+        if !self.recovering && checkpoint_seq <= self.last_executed {
             return;
         }
-        // Try reconstructing from combinations of k collected shares (bad
-        // shares from Byzantine responders fail the digest check and are
-        // weeded out by trying other subsets; bounded search).
-        let k = erasure_k as usize;
-        let shares: Vec<spire_crypto::erasure::Share> = entry
-            .1
+        match &mut self.transfer {
+            Some(t) if t.checkpoint_seq == checkpoint_seq => {
+                if t.chunks.contains_key(&chunk) || chunk as usize >= t.chunk_digests.len() {
+                    return;
+                }
+                // A share is never larger than the chunk it codes (plus
+                // the erasure length frame).
+                if share.len() > t.chunk_size as usize + 64 {
+                    return;
+                }
+                t.shares
+                    .entry(chunk)
+                    .or_default()
+                    .insert(share_index, share.to_vec());
+                self.accum_touched = ctx.now();
+                self.try_reconstruct_chunk(ctx, chunk);
+                self.maybe_finalize_transfer(ctx);
+            }
+            _ => {
+                // Stash ahead of the manifest pin (bounded): responders
+                // stream manifest + shares back to back and links reorder.
+                if share.len() > self.cfg.state_chunk_bytes.max(1) + 64 {
+                    return;
+                }
+                if self.early_shares.len() < EARLY_SHARE_CAP {
+                    self.early_shares
+                        .insert((checkpoint_seq, chunk, share_index), share.to_vec());
+                    self.accum_touched = ctx.now();
+                }
+            }
+        }
+    }
+
+    /// Attempts to reconstruct one chunk from the collected shares: tries
+    /// combinations of `k` shares (bounded search) until one decodes to
+    /// the pinned per-chunk digest. Corrupt shares from Byzantine
+    /// responders fail the digest check and other subsets are tried.
+    fn try_reconstruct_chunk(&mut self, ctx: &mut Context<'_>, chunk: u32) {
+        let Some(t) = &mut self.transfer else {
+            return;
+        };
+        let k = t.erasure_k as usize;
+        let Some(pool) = t.shares.get(&chunk) else {
+            return;
+        };
+        if pool.len() < k {
+            return;
+        }
+        let want = t.chunk_digests[chunk as usize];
+        let shares: Vec<spire_crypto::erasure::Share> = pool
             .iter()
             .map(|(idx, data)| spire_crypto::erasure::Share {
                 index: *idx,
                 data: data.clone(),
             })
             .collect();
-        let (requester_po_high, requester_sseq_high) = entry.3;
-        let proof = entry.2.clone();
-        let mut snapshot: Option<Vec<u8>> = None;
         let m = shares.len().min(16); // responders are replicas: small
         let mut attempts = 0;
+        let mut found: Option<Vec<u8>> = None;
         for mask in 0u32..(1 << m) {
             if mask.count_ones() as usize != k {
                 continue;
@@ -2072,18 +2453,51 @@ impl Replica {
                 .map(|i| shares[i].clone())
                 .collect();
             if let Ok(candidate) = spire_crypto::erasure::decode(&subset, k) {
-                if spire_crypto::digest(&candidate) == digest {
-                    snapshot = Some(candidate);
+                if spire_crypto::digest(&candidate) == want {
+                    found = Some(candidate);
                     break;
                 }
             }
         }
-        let Some(snapshot) = snapshot else {
-            ctx.count(self.metric("state_reconstruct_pending"), 1);
+        match found {
+            Some(data) => {
+                t.chunks.insert(chunk, data);
+                t.shares.remove(&chunk);
+                ctx.count(self.metric("recovery_chunks"), 1);
+            }
+            None => {
+                ctx.count(self.metric("state_reconstruct_pending"), 1);
+            }
+        }
+    }
+
+    /// Once every chunk reconstructed, reassemble the snapshot, check it
+    /// against the proven digest and install it.
+    fn maybe_finalize_transfer(&mut self, ctx: &mut Context<'_>) {
+        let done = self
+            .transfer
+            .as_ref()
+            .is_some_and(|t| t.chunks.len() == t.chunk_digests.len());
+        if !done {
             return;
-        };
-        let snapshot = Bytes::from(snapshot);
-        self.state_shares.remove(&(checkpoint_seq, digest));
+        }
+        let t = self.transfer.take().expect("checked above");
+        self.meta_votes.clear();
+        self.early_shares.clear();
+        let mut snapshot = Vec::with_capacity(t.total_len as usize);
+        for data in t.chunks.into_values() {
+            snapshot.extend_from_slice(&data);
+        }
+        if snapshot.len() as u64 != t.total_len
+            || spire_crypto::digest(&snapshot) != t.snapshot_digest
+        {
+            // With at most f Byzantine replicas, f+1 matching manifests pin
+            // a correct layout; a whole-snapshot mismatch here means the
+            // pin itself was forged — drop everything and retry fresh.
+            ctx.count(self.metric("bad_state_snapshot"), 1);
+            return;
+        }
+        let checkpoint_seq = t.checkpoint_seq;
         if checkpoint_seq <= self.last_executed {
             return;
         }
@@ -2091,13 +2505,12 @@ impl Replica {
             ctx.count(self.metric("bad_state_snapshot"), 1);
             return;
         }
-        let _ = view; // views are learned from quorum traffic, not from a
-                      // single (possibly lying) state-transfer responder
+        let snapshot = Bytes::from(snapshot);
         self.last_executed = checkpoint_seq;
         self.commit_aru = self.commit_aru.max(checkpoint_seq);
         self.last_proposed = self.last_proposed.max(checkpoint_seq);
         self.missing.clear();
-        self.stable_checkpoint = Some((checkpoint_seq, snapshot, proof));
+        self.stable_checkpoint = Some((checkpoint_seq, snapshot, t.proof));
         self.stable_exec_cover = self.exec_cover.clone();
         self.po_aru = self.exec_cover.clone();
         self.last_summary_vector = AruVector(self.po_aru.clone());
@@ -2106,13 +2519,28 @@ impl Replica {
             // so fresh PO-Requests do not collide with pre-recovery
             // certificates. (The local ARU is *not* bumped: we only claim
             // what we can re-certify; peers' summaries cover the rest.)
-            self.my_po_seq = self.my_po_seq.max(requester_po_high);
-            self.my_sseq = self.my_sseq.max(requester_sseq_high);
+            self.my_po_seq = self.my_po_seq.max(t.po_high);
+            self.my_sseq = self.my_sseq.max(t.sseq_high);
             self.recovering = false;
             ctx.count(self.metric("recovery_completed"), 1);
+            ctx.observe(
+                self.metric("recovery_duration_us"),
+                ctx.now().since(self.recovery_started).0,
+            );
             ctx.trace(TraceKind::RecoveryDone { replica: self.me.0 });
+            self.publish_recovering(false);
         }
+        self.garbage_collect(ctx, checkpoint_seq);
         self.try_execute(ctx);
+    }
+
+    /// Publishes the recovering flag to the inspection registry so the
+    /// invariant checker and health engine can tell an announced recovery
+    /// from silence or attack.
+    fn publish_recovering(&self, recovering: bool) {
+        if let Some(inspection) = &self.inspection {
+            inspection.update(self.me.0, move |rec| rec.recovering = recovering);
+        }
     }
 
     fn on_suffix_vote(&mut self, ctx: &mut Context<'_>, from: ReplicaId, seq: u64, matrix: Matrix) {
@@ -2130,6 +2558,76 @@ impl Replica {
             let matrix = entry.0.clone();
             self.committed_matrices.insert(seq, matrix);
             self.advance_commit_aru(ctx);
+        }
+    }
+
+    /// Actively repairs certification holes in the pre-order layer.
+    ///
+    /// A PO-Request and its acks are each sent once, but the overlay gives
+    /// up on a frame after bounded retransmission, so an attack window can
+    /// permanently lose either direction. The per-origin certification aru
+    /// is contiguous, so one lost entry wedges it forever: summary vectors
+    /// stop changing, leaders stop proposing (or propose identical
+    /// matrices), and ordering starves even after the network heals —
+    /// execution-driven reconciliation never fires because the hole never
+    /// reaches a committed matrix. Two complementary retries, both driven
+    /// from the recon tick and both quiet in steady state:
+    ///
+    /// - the *origin* re-broadcasts its own oldest still-uncertified
+    ///   requests (receivers re-ack duplicates of uncertified entries, so
+    ///   this regenerates lost acks too);
+    /// - everyone else recon-requests the first certification gap per
+    ///   origin once the gap has survived two ticks (repairs a hole that
+    ///   some peer has already certified when the origin's retry cannot
+    ///   reach us directly).
+    fn retry_uncertified_po(&mut self, ctx: &mut Context<'_>) {
+        let me = self.me.0;
+        let mut frames = Vec::new();
+        for s in (self.po_aru[me as usize] + 1)..=self.my_po_seq {
+            if frames.len() >= 8 {
+                break;
+            }
+            if let Some(entry) = self.po.get(&(me, s)) {
+                if entry.certified.is_none() {
+                    if let Some((_, _, raw)) = &entry.content {
+                        frames.push(raw.clone());
+                    }
+                }
+            }
+        }
+        if !frames.is_empty() {
+            ctx.count(self.metric("po_retries"), frames.len() as u64);
+            for frame in frames {
+                for r in 0..self.cfg.n {
+                    if r != me {
+                        self.net_send(ctx, ReplicaId(r), frame.clone());
+                    }
+                }
+            }
+        }
+        let n = self.cfg.n;
+        for origin in 0..n {
+            if origin == me {
+                continue;
+            }
+            let aru = self.po_aru[origin as usize];
+            let stuck =
+                aru < self.po_high[origin as usize] && aru == self.po_gap_snapshot[origin as usize];
+            if stuck {
+                let req = PrimeMsg::ReconReq {
+                    replica: self.me,
+                    origin: ReplicaId(origin),
+                    po_seq: aru + 1,
+                };
+                for offset in 1..=2u32 {
+                    let target = (me + origin + offset * (self.recon_rotor % n + 1)) % n;
+                    if target != me {
+                        self.send_to(ctx, ReplicaId(target), &req);
+                    }
+                }
+                ctx.count(self.metric("po_gap_recon"), 1);
+            }
+            self.po_gap_snapshot[origin as usize] = aru;
         }
     }
 
@@ -2202,6 +2700,49 @@ impl Replica {
         });
         self.broadcast(ctx, &msg);
         self.check_suspect_quorum(ctx);
+    }
+
+    /// Re-broadcasts the current view's change artifacts: our Suspect,
+    /// our ViewState while the change is in flight, and — from a new
+    /// leader already holding a state quorum — the NewView itself. Every
+    /// one of those messages is otherwise sent exactly once; a loss
+    /// window that swallows them (site DoS, disconnection) would leave
+    /// all replicas waiting forever on a quorum that can no longer form.
+    /// Receivers treat each as an idempotent set-insert, so resending is
+    /// safe.
+    fn rebroadcast_view_change(&mut self, ctx: &mut Context<'_>) {
+        let mut suspect = PrimeMsg::Suspect {
+            replica: self.me,
+            view: self.view,
+            sig: [0; 64],
+        };
+        self.sign_msg(ctx, &mut suspect);
+        self.broadcast(ctx, &suspect);
+        if self.in_view_change {
+            let own_state = self
+                .view_states
+                .get(&self.view)
+                .and_then(|m| m.get(&self.me.0))
+                .cloned();
+            if let Some(state) = own_state {
+                self.broadcast(ctx, &PrimeMsg::ViewState(state));
+            }
+        } else if self.cfg.leader_of(self.view) == self.me {
+            let quorum = self.cfg.ordering_quorum();
+            if let Some(states) = self.view_states.get(&self.view) {
+                if states.len() >= quorum {
+                    let states: Vec<ViewStateMsg> = states.values().cloned().collect();
+                    let mut msg = PrimeMsg::NewView {
+                        view: self.view,
+                        states,
+                        sig: [0; 64],
+                    };
+                    self.sign_msg(ctx, &mut msg);
+                    self.broadcast(ctx, &msg);
+                }
+            }
+        }
+        ctx.count(self.metric("vc_rebroadcasts"), 1);
     }
 
     fn on_suspect(&mut self, ctx: &mut Context<'_>, msg: &PrimeMsg, replica: ReplicaId, view: u64) {
@@ -2596,6 +3137,31 @@ impl Replica {
         for seq in self.pending_snapshots.keys() {
             h.u64(*seq);
         }
+        match &self.transfer {
+            Some(t) => {
+                h.u64(t.checkpoint_seq)
+                    .u64(t.chunks.len() as u64)
+                    .u64(t.retries);
+                for (chunk, pool) in &t.shares {
+                    h.u64(*chunk as u64);
+                    for idx in pool.keys() {
+                        h.u64(*idx as u64);
+                    }
+                }
+            }
+            None => {
+                h.u64(0);
+            }
+        }
+        for (key, c) in &self.meta_votes {
+            h.raw(key);
+            for voter in &c.voters {
+                h.u64(*voter as u64);
+            }
+        }
+        for (seq, chunk, idx) in self.early_shares.keys() {
+            h.u64(*seq).u64(*chunk as u64).u64(*idx as u64);
+        }
         for (origin, po_seq) in &self.missing {
             h.u64(*origin as u64).u64(*po_seq);
         }
@@ -2652,6 +3218,8 @@ impl Process for Replica {
         ctx.set_timer(self.cfg.recon_interval, TIMER_RECON);
         if self.recovering {
             self.recovery_started = ctx.now();
+            self.accum_touched = ctx.now();
+            self.publish_recovering(true);
             ctx.trace(TraceKind::RecoveryStart { replica: self.me.0 });
             ctx.set_timer(Span::millis(10), TIMER_STATE_REQ);
         }
@@ -2711,29 +3279,38 @@ impl Replica {
         if self.recovering {
             // While recovering, only state transfer traffic is processed
             // (never batch-attested, so only plain frames matter).
-            if let Frame::Plain(PrimeMsg::StateResp {
-                checkpoint_seq,
-                share_index,
-                erasure_k,
-                share,
-                proof,
-                view,
-                requester_po_high,
-                requester_sseq_high,
-                ..
-            }) = frame
-            {
-                self.on_state_resp(
-                    ctx,
+            match frame {
+                Frame::Plain(PrimeMsg::StateMeta {
+                    replica,
                     checkpoint_seq,
-                    share_index,
                     erasure_k,
-                    share,
+                    chunk_size,
+                    total_len,
+                    chunk_digests,
                     proof,
-                    view,
                     requester_po_high,
                     requester_sseq_high,
-                );
+                    ..
+                }) => self.on_state_meta(
+                    ctx,
+                    replica,
+                    checkpoint_seq,
+                    erasure_k,
+                    chunk_size,
+                    total_len,
+                    chunk_digests,
+                    proof,
+                    requester_po_high,
+                    requester_sseq_high,
+                ),
+                Frame::Plain(PrimeMsg::StateChunk {
+                    replica,
+                    checkpoint_seq,
+                    chunk,
+                    share_index,
+                    share,
+                }) => self.on_state_chunk(ctx, replica, checkpoint_seq, chunk, share_index, share),
+                _ => {}
             }
             return;
         }
@@ -2823,27 +3400,54 @@ impl Replica {
             PrimeMsg::StateReq {
                 replica, have_seq, ..
             } => self.on_state_req(ctx, &msg, *replica, *have_seq),
-            PrimeMsg::StateResp {
+            // Legacy whole-snapshot transfer, superseded by the chunked
+            // path; still decoded for wire compatibility, never acted on.
+            PrimeMsg::StateResp { .. } => {}
+            PrimeMsg::StateMeta {
+                replica,
                 checkpoint_seq,
-                share_index,
                 erasure_k,
-                share,
+                chunk_size,
+                total_len,
+                chunk_digests,
                 proof,
-                view,
                 requester_po_high,
                 requester_sseq_high,
                 ..
-            } => self.on_state_resp(
+            } => self.on_state_meta(
                 ctx,
+                *replica,
                 *checkpoint_seq,
-                *share_index,
                 *erasure_k,
-                share.clone(),
+                *chunk_size,
+                *total_len,
+                chunk_digests.clone(),
                 proof.clone(),
-                *view,
                 *requester_po_high,
                 *requester_sseq_high,
             ),
+            PrimeMsg::StateChunk {
+                replica,
+                checkpoint_seq,
+                chunk,
+                share_index,
+                share,
+            } => self.on_state_chunk(
+                ctx,
+                *replica,
+                *checkpoint_seq,
+                *chunk,
+                *share_index,
+                share.clone(),
+            ),
+            PrimeMsg::StateChunkReq {
+                replica,
+                checkpoint_seq,
+                chunks,
+            } => {
+                let chunks = chunks.clone();
+                self.on_state_chunk_req(ctx, *replica, *checkpoint_seq, &chunks)
+            }
             PrimeMsg::SuffixVote {
                 replica,
                 seq,
@@ -2921,6 +3525,7 @@ impl Replica {
                 ctx.set_timer(self.cfg.ping_interval, TIMER_PING);
             }
             TIMER_PROGRESS => {
+                self.publish_ordering_health();
                 let now = ctx.now();
                 let timeout = Span::micros(self.cfg.progress_timeout.0 * self.timeout_backoff);
                 // A view change that never completes (its new leader is
@@ -2932,7 +3537,17 @@ impl Replica {
                     && self.work_pending()
                     && now.since(self.last_progress) >= timeout;
                 if !self.recovering && (vc_stalled || ordering_stalled) {
-                    self.suspect_current_view(ctx);
+                    if self.suspected_views.contains(&self.view) {
+                        // Already suspected this view once: the one-shot
+                        // Suspect (or our ViewState, or the leader's
+                        // NewView) may have been lost to an attack
+                        // window, and nobody else will resend it. A
+                        // stall that persists past the timeout re-sends
+                        // the artifacts instead of just re-detecting.
+                        self.rebroadcast_view_change(ctx);
+                    } else {
+                        self.suspect_current_view(ctx);
+                    }
                 }
                 // Check twice per timeout window so stalls are caught
                 // promptly regardless of timer phase.
@@ -2974,6 +3589,7 @@ impl Replica {
                         }
                     }
                 }
+                self.retry_uncertified_po(ctx);
                 self.recon_rotor = self.recon_rotor.wrapping_add(1);
                 self.try_execute(ctx);
                 ctx.set_timer(self.cfg.recon_interval, TIMER_RECON);
@@ -2997,13 +3613,30 @@ impl Replica {
             TIMER_STATE_REQ if self.recovering => {
                 // If nobody has a checkpoint yet (young system), rejoin
                 // from genesis; reconciliation certificates let us
-                // replay everything that was ordered meanwhile.
-                if ctx.now().since(self.recovery_started) >= self.cfg.recovery_genesis_timeout {
+                // replay everything that was ordered meanwhile. An active
+                // chunked transfer defers the fallback: shares are
+                // arriving, completion is a matter of retries.
+                if ctx.now().since(self.recovery_started) >= self.cfg.recovery_genesis_timeout
+                    && self.transfer.is_none()
+                {
                     self.recovering = false;
+                    self.meta_votes.clear();
+                    self.early_shares.clear();
                     ctx.count(self.metric("recovery_from_genesis"), 1);
                     ctx.count(self.metric("recovery_completed"), 1);
                     ctx.trace(TraceKind::RecoveryDone { replica: self.me.0 });
+                    self.publish_recovering(false);
                     return;
+                }
+                // Pre-pin accumulators that stopped making progress are
+                // dropped; the fresh StateReq below re-solicits manifests.
+                if ctx.now().since(self.accum_touched) >= self.cfg.state_accum_deadline
+                    && (!self.meta_votes.is_empty() || !self.early_shares.is_empty())
+                    && self.transfer.is_none()
+                {
+                    self.meta_votes.clear();
+                    self.early_shares.clear();
+                    ctx.count(self.metric("state_accums_evicted"), 1);
                 }
                 let mut req = PrimeMsg::StateReq {
                     replica: self.me,
@@ -3014,8 +3647,65 @@ impl Replica {
                 self.broadcast(ctx, &req);
                 ctx.set_timer(Span::millis(500), TIMER_STATE_REQ);
             }
+            TIMER_CHUNK => {
+                self.chunk_timer_armed = false;
+                self.on_chunk_timer(ctx);
+            }
             _ => {}
         }
+    }
+
+    /// Per-chunk retry tick: evicts a stalled transfer, otherwise
+    /// re-requests the missing chunks from two rotating alternate
+    /// responders with exponential backoff.
+    fn on_chunk_timer(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let stalled = self.transfer.is_some()
+            && now.since(self.accum_touched) >= self.cfg.state_accum_deadline;
+        if stalled {
+            // Stale or poisoned transfer: evict everything; TIMER_STATE_REQ
+            // (recovering) or TIMER_RECON (catch-up) solicits fresh
+            // manifests from scratch.
+            self.transfer = None;
+            self.meta_votes.clear();
+            self.early_shares.clear();
+            ctx.count(self.metric("state_accums_evicted"), 1);
+            return;
+        }
+        let Some(t) = &mut self.transfer else {
+            return;
+        };
+        let missing: Vec<u32> = (0..t.chunk_digests.len() as u32)
+            .filter(|c| !t.chunks.contains_key(c))
+            .take(256)
+            .collect();
+        if missing.is_empty() {
+            return; // finalize already ran (or is about to)
+        }
+        t.retries += 1;
+        t.retry_rotor = t.retry_rotor.wrapping_add(1);
+        let delay = t.backoff;
+        t.backoff = Span((t.backoff.0 * 2).min(self.cfg.chunk_retry_max.0));
+        let rotor = t.retry_rotor;
+        let seq = t.checkpoint_seq;
+        ctx.count(self.metric("recovery_chunk_retries"), 1);
+        let req = PrimeMsg::StateChunkReq {
+            replica: self.me,
+            checkpoint_seq: seq,
+            chunks: missing,
+        };
+        // Two rotating alternates per round: one mute or corrupt responder
+        // cannot stall the transfer, and the request load spreads.
+        let n = self.cfg.n;
+        if n > 1 {
+            for offset in 0..2u32 {
+                let slot = (rotor + offset) % (n - 1);
+                let target = (self.me.0 + 1 + slot) % n;
+                self.send_to(ctx, ReplicaId(target), &req);
+            }
+        }
+        self.chunk_timer_armed = true;
+        ctx.set_timer(delay, TIMER_CHUNK);
     }
 }
 
